@@ -1,0 +1,28 @@
+"""Ablation — one-scan vs two-scan matching.
+
+The paper runs two scans per family and matches on both; a single scan
+is cheaper but admits false merges when distinct devices reboot into the
+same (engine ID, boots, reboot-bin) bucket."""
+
+from repro.alias.sets import evaluate_against_truth
+from repro.alias.snmpv3 import Snmpv3AliasResolver
+
+
+def compare(ctx):
+    truth = ctx.topology.true_alias_sets(4)
+    first = Snmpv3AliasResolver(use_both_scans=False).resolve(ctx.valid_v4)
+    both = Snmpv3AliasResolver(use_both_scans=True).resolve(ctx.valid_v4)
+    return (
+        (first, evaluate_against_truth(first, truth)),
+        (both, evaluate_against_truth(both, truth)),
+    )
+
+
+def test_bench_ablation_scans(benchmark, ctx):
+    (first, ev_first), (both, ev_both) = benchmark(compare, ctx)
+    print(f"\nfirst-only: sets={first.count} precision={ev_first.precision:.4f} "
+          f"recall={ev_first.recall:.4f}")
+    print(f"both-scans: sets={both.count} precision={ev_both.precision:.4f} "
+          f"recall={ev_both.recall:.4f}")
+    assert ev_both.precision >= ev_first.precision
+    assert both.count >= first.count  # stricter key can only split

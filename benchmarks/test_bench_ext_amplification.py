@@ -1,0 +1,14 @@
+"""EXT — §8 quantified: reflection/amplification potential of the
+responder population (bandwidth and packet amplification factors)."""
+
+from repro.analysis.amplification import analyze_amplification
+
+
+def test_bench_ext_amplification(benchmark, ctx):
+    scan1, __ = ctx.campaign.scan_pair(4)
+    report = benchmark(analyze_amplification, scan1)
+    print("\n" + report.headline())
+    print(f"PAF p99: {report.paf_ecdf.quantile(0.99):.0f}, "
+          f"BAF p99: {report.baf_ecdf.quantile(0.99):.1f}")
+    assert report.mean_baf > 1.0      # replies bigger than probes
+    assert report.worst_paf >= 10     # the buggy amplifier tail exists

@@ -1,0 +1,26 @@
+"""EXT — §7.1 comparator: banner grabbing vs SNMPv3 fingerprinting.
+
+Banner classification needs a listening TCP service that volunteers
+vendor information; on router populations both conditions mostly fail."""
+
+from repro.fingerprint.banner import BannerGrabber, BannerOutcome
+
+
+def run(ctx):
+    grabber = BannerGrabber(ctx.topology)
+    router_ips = []
+    for group, __ in ctx.router_vendors:
+        v4 = sorted((a for a in group if a.version == 4), key=int)
+        if v4:
+            router_ips.append(v4[0])
+    return grabber.survey(router_ips), len(router_ips)
+
+
+def test_bench_ext_banner(benchmark, ctx):
+    histogram, sampled = benchmark(run, ctx)
+    print(f"\nsampled router IPs: {sampled}")
+    for outcome, count in histogram.items():
+        print(f"  {outcome.value}: {count}")
+    identified = histogram[BannerOutcome.IDENTIFIED]
+    no_service = histogram[BannerOutcome.NO_SERVICE]
+    assert no_service > identified   # SNMPv3 identified all of these

@@ -1,0 +1,39 @@
+"""EXT — §8: offline USM dictionary attack, and why a leaked engine-ID
+corpus is worse than one leak: the 1 MB password stretch amortizes
+across every engine, leaving only a cheap localization per target."""
+
+from repro.net.mac import MacAddress
+from repro.snmp.bruteforce import CapturedMessage, UsmBruteForcer, forge_authenticated_get
+from repro.snmp.engine_id import EngineId
+from repro.snmp.usm import AuthProtocol
+
+PASSWORD = "winter-maintenance-7"
+DICTIONARY = [f"guess-{i:04d}" for i in range(30)] + [PASSWORD]
+
+
+def capture_for(mac_suffix: int) -> CapturedMessage:
+    engine_id = EngineId.from_mac(9, MacAddress(0x00000CBB0000 + mac_suffix))
+    wire = forge_authenticated_get(
+        engine_id=engine_id.raw, engine_boots=3, engine_time=12345,
+        user_name=b"noc", password=PASSWORD,
+    )
+    return CapturedMessage.from_wire(wire)
+
+
+def crack_corpus(captures):
+    forcer = UsmBruteForcer()
+    results = forcer.crack_many(captures, DICTIONARY)
+    return results, forcer.cache_size
+
+
+def test_bench_ext_bruteforce(benchmark):
+    captures = [capture_for(i) for i in range(8)]
+    results, cache_size = benchmark.pedantic(
+        crack_corpus, args=(captures,), rounds=2, iterations=1
+    )
+    cracked = sum(1 for r in results.values() if r.cracked)
+    print(f"\nengines attacked: {len(captures)}, cracked: {cracked}")
+    print(f"dictionary size: {len(DICTIONARY)}, stretches computed: "
+          f"{cache_size} (amortized across all engines)")
+    assert cracked == len(captures)
+    assert cache_size == len(DICTIONARY)  # one stretch per guess, total

@@ -1,0 +1,32 @@
+"""EXT — router-level topology recovery: collapse the traceroute
+interface graph with SNMPv3 aliases and measure how close the result
+lands to the ground-truth router graph (alias resolution's raison
+d'etre, and what ITDK does with MIDAR)."""
+
+from repro.topology.graph import (
+    collapse_with_aliases,
+    graph_statistics,
+    interface_graph,
+    true_router_graph,
+)
+
+
+def run(ctx):
+    graph = interface_graph(ctx.topology)
+    inferred = collapse_with_aliases(graph, ctx.alias_v4)
+    truth = true_router_graph(ctx.topology, graph)
+    return graph, inferred, truth
+
+
+def test_bench_ext_graph(benchmark, ctx):
+    graph, inferred, truth = benchmark.pedantic(run, args=(ctx,), rounds=2, iterations=1)
+    stats = graph_statistics(graph, inferred)
+    oracle = graph_statistics(graph, truth)
+    print(f"\ninterface view: {stats.interface_nodes} nodes, "
+          f"{stats.interface_edges} edges")
+    print(f"SNMPv3-collapsed: {stats.router_nodes} nodes "
+          f"({stats.node_reduction:.1%} duplicates removed)")
+    print(f"ground truth: {oracle.router_nodes} nodes "
+          f"({oracle.node_reduction:.1%} duplicates)")
+    assert truth.number_of_nodes() <= inferred.number_of_nodes() <= graph.number_of_nodes()
+    assert stats.node_reduction > 0.0

@@ -1,0 +1,15 @@
+"""EXT — §6.3 monitoring: engine-ID persistence over follow-up campaigns."""
+
+from repro.experiments.extensions import longitudinal_experiment
+
+
+def test_bench_ext_longitudinal(benchmark, ctx):
+    result = benchmark.pedantic(
+        longitudinal_experiment, args=(ctx,), kwargs={"offsets_days": (30.0, 180.0)},
+        rounds=2, iterations=1,
+    )
+    print()
+    for s in result.snapshots:
+        print(f"{s.label}: responsive {s.responsive}, engine-ID persistence "
+              f"{s.persistence_fraction:.3f}, median uptime {s.median_uptime_days:.0f}d")
+    assert all(s.persistence_fraction > 0.99 for s in result.snapshots)

@@ -1,0 +1,19 @@
+"""EXT — §9 future work: NAT and load-balancer inference.
+
+Mines NAT gateways from discarded engine IDs and burst-probes triaged
+targets for engine-ID flips, scoring both against ground truth."""
+
+from repro.experiments.extensions import middlebox_experiment
+
+
+def test_bench_ext_middlebox(benchmark, ctx):
+    result = benchmark.pedantic(middlebox_experiment, args=(ctx,), rounds=2, iterations=1)
+    r = result.report
+    print(f"\nNAT gateways: {result.nats_found} found "
+          f"(precision {r.nat_precision:.2f}, recall {r.nat_recall:.2f})")
+    print(f"load balancers: {result.lbs_found} found of "
+          f"{result.lb_candidates_probed} bursted "
+          f"(precision {r.lb_precision:.2f}, recall {r.lb_recall:.2f})")
+    assert r.nat_precision == 1.0
+    assert r.lb_precision == 1.0
+    assert result.nats_found > 0

@@ -1,0 +1,27 @@
+"""EXT — §7.2 comparator: ICMP rate-limit alias resolution on a sampled
+candidate set (the technique costs thousands of probes per pair, which
+is why it cannot run Internet-wide — unlike the single-packet SNMPv3
+method)."""
+
+from repro.alias.ratelimit import IcmpRateLimitOracle, RateLimitResolver
+from repro.alias.sets import evaluate_against_truth
+
+
+def run(ctx):
+    oracle = IcmpRateLimitOracle(ctx.topology)
+    resolver = RateLimitResolver(oracle)
+    routers = [d for d in ctx.topology.routers() if len(d.ipv4_interfaces) >= 2]
+    candidates = []
+    for device in routers[:6]:
+        candidates.extend(i.address for i in device.ipv4_interfaces[:3])
+    sets = resolver.resolve(candidates, start=0.0)
+    return sets, candidates
+
+
+def test_bench_ext_ratelimit(benchmark, ctx):
+    sets, candidates = benchmark.pedantic(run, args=(ctx,), rounds=2, iterations=1)
+    ev = evaluate_against_truth(sets, ctx.topology.true_alias_sets(4))
+    print(f"\ncandidates: {len(candidates)}, alias sets: {sets.count} "
+          f"({sets.non_singleton_count} non-singleton)")
+    print(f"precision {ev.precision:.2f}, recall {ev.recall:.2f}")
+    assert ev.precision > 0.9

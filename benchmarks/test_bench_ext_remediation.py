@@ -1,0 +1,19 @@
+"""EXT — §8 recommendations, measured: what each mitigation costs the
+attacker's view (responsive devices, MAC-fingerprintable vendors,
+resolvable aliases)."""
+
+from repro.experiments.remediation import remediation_experiment
+from repro.topology.config import TopologyConfig
+
+
+def run():
+    return remediation_experiment(TopologyConfig.paper_scale(divisor=400, seed=2021))
+
+
+def test_bench_ext_remediation(benchmark):
+    experiment = benchmark.pedantic(run, rounds=2, iterations=1)
+    print("\n" + experiment.render())
+    baseline = experiment.outcomes["none"]
+    assert experiment.outcomes["acl"].responsive_ips == 0
+    assert experiment.outcomes["random-engine-id"].mac_identified_vendors == 0
+    assert experiment.outcomes["explicit-v3"].reduction_vs(baseline) > 0.05

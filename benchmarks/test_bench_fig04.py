@@ -1,0 +1,12 @@
+"""F4 — Figure 4: ECDF of the number of IPs per engine ID."""
+
+from repro.experiments import figures_engine as fe
+
+
+def test_bench_fig04(benchmark, ctx):
+    f4 = benchmark(fe.figure4, ctx)
+    print("\n" + f4.ecdf_v4.render("IPs per engine ID (IPv4)", [1, 2, 5, 10, 100]))
+    print(f4.ecdf_v6.render("IPs per engine ID (IPv6)", [1, 2, 5, 10, 100]))
+    assert f4.singleton_fraction_v4 > 0.8       # paper: >80% singleton (v4)
+    assert f4.singleton_fraction_v6 > 0.5       # paper: >half (v6)
+    assert f4.max_ips_single_engine_id_v4 > 50  # heavy tail (bug population)

@@ -1,0 +1,12 @@
+"""F5 — Figure 5: engine-ID format distribution per address family."""
+
+from repro.experiments import figures_engine as fe
+from repro.snmp.engine_id import EngineIdFormat
+
+
+def test_bench_fig05(benchmark, ctx):
+    f5 = benchmark(fe.figure5, ctx)
+    print("\n" + f5.render())
+    assert f5.share(4, EngineIdFormat.MAC) > 0.4   # paper: ~60% MAC
+    assert f5.share(6, EngineIdFormat.MAC) > 0.4
+    assert f5.share(6, EngineIdFormat.IPV4) > 0.10  # paper: >15% IPv4-format in v6

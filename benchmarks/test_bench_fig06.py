@@ -1,0 +1,16 @@
+"""F6 — Figure 6: relative Hamming weight of Octets vs non-conforming
+engine IDs (randomness analysis)."""
+
+from repro.analysis.hamming import histogram
+from repro.experiments import figures_engine as fe
+
+
+def test_bench_fig06(benchmark, ctx):
+    f6 = benchmark(fe.figure6, ctx)
+    print(f"\nOctets: n={len(f6.octets_weights)} mean={f6.octets_mean:.3f}")
+    print(f"Non-conforming: n={len(f6.non_conforming_weights)} "
+          f"mean={f6.non_conforming_mean:.3f} skew={f6.non_conforming_skewness:+.2f}")
+    for center, frac in histogram(f6.non_conforming_weights, bins=10):
+        print(f"  {center:.2f}: {'#' * int(frac * 60)}")
+    assert abs(f6.octets_mean - 0.5) < 0.05       # paper: centered at 0.5
+    assert f6.non_conforming_skewness > 0          # paper: positive skew

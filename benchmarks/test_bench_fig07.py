@@ -1,0 +1,18 @@
+"""F7 — Figure 7: last-reboot distribution of the top-3 engine IDs.
+
+The most-shared engine IDs (firmware-bug populations) must span years of
+last-reboot values — the evidence they are NOT single devices."""
+
+from repro.experiments import figures_engine as fe
+
+
+def test_bench_fig07(benchmark, ctx):
+    f7 = benchmark(fe.figure7, ctx)
+    for family, top in (("IPv4", f7.top_v4), ("IPv6", f7.top_v6)):
+        for rank, (raw, ecdf) in enumerate(top, 1):
+            print(f"\n{family} #{rank} 0x{raw.hex()[:22]}..: {ecdf.count} IPs, "
+                  f"span {f7.reboot_span_years(ecdf):.1f} years")
+    spanning = sum(
+        1 for __, e in f7.top_v4 + f7.top_v6 if f7.reboot_span_years(e) > 1.0
+    )
+    assert spanning >= 4  # paper: 5 of 6 span multiple years

@@ -1,0 +1,13 @@
+"""F8 — Figure 8: |delta last reboot| between the scans of a pair."""
+
+from repro.experiments import figures_engine as fe
+
+
+def test_bench_fig08(benchmark, ctx):
+    f8 = benchmark(fe.figure8, ctx)
+    for label, ecdf in (("IPv4 all", f8.all_v4), ("IPv4 routers", f8.routers_v4),
+                        ("IPv6 all", f8.all_v6), ("IPv6 routers", f8.routers_v6)):
+        print(f"\n{label:<13} <=10s {ecdf.at(10):.1%}  <=120s {ecdf.at(120):.1%}")
+    assert f8.routers_v4.at(10) > 0.9            # routers consistent at the knee
+    assert f8.all_v6.at(10) > f8.all_v4.at(10)   # v6 tighter than v4
+    assert f8.all_v4.at(120) > f8.all_v4.at(10)  # v4 long tail

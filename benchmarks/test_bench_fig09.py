@@ -1,0 +1,10 @@
+"""F9 — Figure 9: number of IPs per alias set (v4 / v6 / routers)."""
+
+from repro.experiments import figures_alias as fa
+
+
+def test_bench_fig09(benchmark, ctx):
+    f9 = benchmark(fa.figure9, ctx)
+    print("\n" + f9.ipv4_sets.render("IPs per IPv4 alias set", [1, 2, 5, 10, 50]))
+    print(f9.router_sets.render("IPs per router alias set", [1, 2, 5, 10, 50]))
+    assert f9.router_sets_are_larger  # paper: router sets hold many more IPs

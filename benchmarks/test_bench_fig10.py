@@ -1,0 +1,15 @@
+"""F10 — Figure 10: SNMPv3 coverage of router IPs per AS."""
+
+from repro.experiments import figures_vendor as fv
+
+
+def test_bench_fig10(benchmark, ctx):
+    f10 = benchmark(fv.figure10, ctx)
+    print(f"\noverall coverage: {f10.coverage.overall:.1%}")
+    for threshold, ecdf in f10.ecdfs().items():
+        print(f"ASes with {threshold}+ dataset IPs (n={ecdf.count}): "
+              f"<10%: {ecdf.at(0.0999):.0%}  >80%: {ecdf.fraction_above(0.8):.0%}")
+    assert 0.08 < f10.coverage.overall < 0.30  # paper: 16% overall
+    ecdf = f10.coverage.ecdf(2)
+    assert ecdf.at(0.0999) > 0.2               # many networks barely covered
+    assert ecdf.fraction_above(0.8) > 0.02     # some networks wide open

@@ -1,0 +1,17 @@
+"""F11 — Figure 11: vendor popularity over all de-aliased devices."""
+
+from repro.experiments import figures_vendor as fv
+
+
+def test_bench_fig11(benchmark, ctx):
+    f11 = benchmark(fv.figure11, ctx)
+    print()
+    for vendor, count in f11.top(10):
+        by_proto = f11.by_protocol.get(vendor, {})
+        print(f"{vendor:<14} {count:>7}  (v4 {by_proto.get('v4', 0)}, "
+              f"v6 {by_proto.get('v6', 0)}, dual {by_proto.get('dual', 0)})")
+    print(f"top-10 share: {f11.top_n_share(10):.0%}")
+    top = [v for v, __ in f11.top(10)]
+    assert set(top[:2]) == {"Net-SNMP", "Cisco"}     # paper's two leaders
+    assert {"Broadcom", "Thomson", "Netgear"} <= set(top)
+    assert f11.top_n_share(10) > 0.8                  # paper: top-10 >= 80%

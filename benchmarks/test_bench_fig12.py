@@ -1,0 +1,16 @@
+"""F12 — Figure 12: router vendor popularity."""
+
+from repro.experiments import figures_vendor as fv
+
+
+def test_bench_fig12(benchmark, ctx):
+    f12 = benchmark(fv.figure12, ctx)
+    print()
+    for vendor, count in f12.top(10):
+        print(f"{vendor:<14} {count:>7}")
+    top = f12.top(10)
+    assert top[0][0] == "Cisco"              # paper: Cisco ~240k of 347k
+    assert top[1][0] == "Huawei"             # paper: Huawei ~52k
+    assert top[0][1] > 2 * top[1][1]
+    majors = sum(f12.count(v) for v in ("Cisco", "Huawei", "Juniper", "H3C", "Net-SNMP"))
+    assert majors / sum(f12.counts.values()) > 0.75  # paper: >95% majors

@@ -1,0 +1,12 @@
+"""F13 — Figure 13: time since last reboot of identified routers."""
+
+from repro.experiments import figures_vendor as fv
+
+
+def test_bench_fig13(benchmark, ctx):
+    stats = benchmark(fv.figure13, ctx)
+    print("\n" + stats.headline())
+    print(f"median uptime: {stats.median_uptime_days:.0f} days over {stats.count} routers")
+    assert stats.frac_uptime_over_one_year < 0.40   # paper: <25%
+    assert stats.frac_rebooted_this_year > 0.40     # paper: >50%
+    assert 0.08 < stats.frac_rebooted_last_month < 0.40  # paper: ~20%

@@ -1,0 +1,14 @@
+"""F14 — Figure 14: number of router vendors per AS."""
+
+from repro.experiments import figures_vendor as fv
+
+
+def test_bench_fig14(benchmark, ctx):
+    f14 = benchmark(fv.figure14, ctx)
+    print()
+    for threshold, ecdf in f14.ecdf_by_min_routers.items():
+        print(f"ASes with {threshold}+ routers (n={ecdf.count}): "
+              f"single-vendor {ecdf.at(1.0):.0%}, >5 vendors {ecdf.fraction_above(5):.0%}")
+    if 5 in f14.ecdf_by_min_routers:
+        assert 0.15 < f14.single_vendor_fraction(5) < 0.75  # paper: 40%
+        assert f14.ecdf_by_min_routers[5].fraction_above(5) < 0.15  # paper: <10%

@@ -1,0 +1,19 @@
+"""F15 — Figure 15: router vendor popularity per continent."""
+
+from repro.experiments import figures_vendor as fv
+from repro.topology.model import Region
+
+
+def test_bench_fig15(benchmark, ctx):
+    f15 = benchmark(fv.figure15, ctx)
+    print()
+    for region in sorted(f15.shares, key=lambda r: -f15.totals.get(r, 0)):
+        shares = f15.shares[region]
+        print(f"{region.value} ({f15.totals[region]:>5}): " + "  ".join(
+            f"{v} {shares.get(v, 0):.0%}"
+            for v in ("Cisco", "Huawei", "Net-SNMP", "Juniper", "Other")))
+    # Paper: Cisco dominant across regions; Huawei absent in NA, strong in AS.
+    for region in (Region.EU, Region.NA):
+        assert f15.shares[region]["Cisco"] == max(f15.shares[region].values())
+    assert f15.share(Region.NA, "Huawei") < 0.02
+    assert max(f15.share(Region.AS, "Huawei"), f15.share(Region.EU, "Huawei")) > 0.08

@@ -1,0 +1,15 @@
+"""F16 — Figure 16: vendor mix of the top-10 networks by router count."""
+
+from repro.experiments import figures_vendor as fv
+
+
+def test_bench_fig16(benchmark, ctx):
+    rows = benchmark(fv.figure16, ctx)
+    print()
+    for row in rows:
+        mix = ", ".join(f"{v} {s:.0%}" for v, s in row.vendor_shares.items() if s > 0.01)
+        print(f"{row.region.value}-{row.asn} ({row.router_count:>4} routers): {mix}")
+    assert len(rows) == 10
+    cisco_dominant = sum(1 for r in rows if r.dominant_vendor == "Cisco")
+    assert cisco_dominant >= 5  # paper: 6 of 10
+    assert all(r.router_count >= rows[-1].router_count for r in rows)

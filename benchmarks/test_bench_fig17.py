@@ -1,0 +1,12 @@
+"""F17 — Figure 17: vendor dominance per AS."""
+
+from repro.experiments import figures_vendor as fv
+
+
+def test_bench_fig17(benchmark, ctx):
+    f17 = benchmark(fv.figure17, ctx)
+    print()
+    for threshold, ecdf in f17.ecdf_by_min_routers.items():
+        print(f"ASes with {threshold}+ routers (n={ecdf.count}): "
+              f"dominance >=0.7 for {ecdf.fraction_at_least(0.7):.0%}")
+    assert f17.high_dominance_fraction(2, 0.7) > 0.6  # paper: >80% at >=0.7

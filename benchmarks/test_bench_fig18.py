@@ -1,0 +1,14 @@
+"""F18 — Figure 18: vendor dominance per region (ASes with 10+ routers;
+at our scale the threshold is 5+ to keep regions populated)."""
+
+from repro.experiments import figures_vendor as fv
+
+
+def test_bench_fig18(benchmark, ctx):
+    f18 = benchmark(fv.figure18, ctx, min_routers=5)
+    print()
+    for region, ecdf in sorted(f18.items(), key=lambda kv: kv[0].value):
+        print(f"{region.value}: n={ecdf.count} ASes, median dominance {ecdf.median:.2f}")
+    assert f18, "no region had enough fingerprinted routers"
+    for ecdf in f18.values():
+        assert ecdf.median > 0.4

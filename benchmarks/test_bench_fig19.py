@@ -1,0 +1,13 @@
+"""F19 — Figure 19 (Appendix B): uniqueness of the (last reboot, engine
+boots) tuple."""
+
+from repro.experiments import figures_engine as fe
+
+
+def test_bench_fig19(benchmark, ctx):
+    f19 = benchmark(fe.figure19, ctx)
+    print(f"\nIPv4: {f19.unique_fraction_v4:.1%} of IPs have a tuple seen "
+          f"with one engine ID (paper: 97.2%)")
+    print(f"IPv6: {f19.unique_fraction_v6:.1%} (paper: 99.8%)")
+    assert f19.unique_fraction_v4 > 0.95
+    assert f19.unique_fraction_v6 > 0.95

@@ -1,0 +1,16 @@
+"""F20 — Figure 20 (Appendix C): routers per AS per region."""
+
+from repro.experiments import figures_vendor as fv
+from repro.topology.model import Region
+
+
+def test_bench_fig20(benchmark, ctx):
+    f20 = benchmark(fv.figure20, ctx)
+    print()
+    for region, ecdf in sorted(f20.items(), key=lambda kv: kv[0].value):
+        print(f"{region.value}: n={ecdf.count} ASes, median {ecdf.median:.0f}, "
+              f"p90 {ecdf.quantile(0.9):.0f}, max {max(ecdf.values):.0f}")
+    assert Region.EU in f20 and Region.NA in f20
+    # Heavy-tailed in the big regions; the largest networks sit in EU/NA.
+    for region in (Region.EU, Region.NA):
+        assert max(f20[region].values) >= 3 * f20[region].median

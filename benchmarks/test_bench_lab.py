@@ -1,0 +1,22 @@
+"""LAB — §6.2.1: the controlled bench-router experiment."""
+
+from repro.experiments.lab import default_lab, run_lab_experiment
+
+
+def run_all():
+    return [run_lab_experiment(router) for router in default_lab()]
+
+
+def test_bench_lab(benchmark):
+    reports = benchmark(run_all)
+    print()
+    for report in reports:
+        print(f"{report.router}: v2c={report.v2c_works_after_config} "
+              f"v3-implicit={report.v3_discovery_after_config} "
+              f"mac-vendor={report.engine_mac_vendor} "
+              f"first-iface={report.engine_mac_is_first_interface} "
+              f"smallest-mac={report.engine_mac_is_smallest}")
+    assert all(r.v3_discovery_after_config for r in reports)
+    assert all(not r.answers_before_config for r in reports)
+    assert all(r.engine_mac_is_first_interface and not r.engine_mac_is_smallest
+               for r in reports)

@@ -1,0 +1,25 @@
+"""Performance — a full four-scan campaign over a small Internet.
+
+Unlike the table/figure benches (which reuse the session campaign), this
+one measures the end-to-end measurement cost: topology build + four
+rate-limited scans + interim churn/reboot events."""
+
+import pytest
+
+from repro.scanner.campaign import ScanCampaign
+from repro.topology.config import TopologyConfig
+from repro.topology.generator import build_topology
+
+
+def run_campaign():
+    cfg = TopologyConfig.tiny(seed=99)
+    topo = build_topology(cfg)
+    return ScanCampaign(topo, cfg).run()
+
+
+def test_bench_full_campaign(benchmark):
+    result = benchmark.pedantic(run_campaign, rounds=3, iterations=1)
+    scan = result.scans["v4-1"]
+    print(f"\nv4-1: {scan.targets_probed} probed, {scan.responsive_count} responsive, "
+          f"{scan.probe_bytes_sent} bytes out, {scan.reply_bytes_received} bytes in")
+    assert scan.responsive_count > 0

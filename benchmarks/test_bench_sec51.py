@@ -1,0 +1,21 @@
+"""§5.1 — alias resolution headline numbers, incl. dual-stack joining.
+
+Benchmarks the paper's chosen resolver over the valid IPv4 records (the
+heaviest single grouping operation) and prints the §5.1 summary."""
+
+from repro.alias.snmpv3 import resolve_aliases
+from repro.experiments import figures_alias as fa
+
+
+def test_bench_sec51(benchmark, ctx):
+    sets = benchmark(resolve_aliases, ctx.valid_v4)
+    s51 = fa.section51(ctx)
+    print(f"\nIPv4: {s51.v4.sets} sets, {s51.v4.non_singletons} non-singleton, "
+          f"{s51.v4.ips_in_non_singletons} IPs grouped "
+          f"({s51.v4.grouped_fraction:.0%}), {s51.v4.mean_non_singleton_size:.1f} IPs/set")
+    print(f"IPv6: {s51.v6.sets} sets, {s51.v6.non_singletons} non-singleton")
+    print(f"joint: {s51.v4_only_sets} v4-only, {s51.v6_only_sets} v6-only, "
+          f"{s51.dual_sets} dual-stack (avg {s51.dual_mean_size:.1f} addrs)")
+    assert sets.count == s51.v4.sets
+    assert s51.v4.grouped_fraction > 0.3   # paper: 70% of IPs grouped
+    assert s51.dual_sets > 0

@@ -1,0 +1,24 @@
+"""§5.3 — comparison with MIDAR and Speedtrap.
+
+Benchmarks the MIDAR-style resolver over the union IPv4 router dataset
+(estimation + sieve + pairwise monotonic-bounds tests) and prints the
+comparison against the SNMPv3 sets."""
+
+from repro.alias.compare import compare_alias_sets
+from repro.alias.midar import MidarResolver
+
+
+def test_bench_sec53(benchmark, ctx, speedtrap_sets):
+    candidates = sorted(ctx.datasets.union_v4, key=int)
+    midar = benchmark(MidarResolver(ctx.topology).resolve, candidates)
+    print(f"\nMIDAR: {midar.count} sets, {midar.non_singleton_count} non-singleton "
+          f"({midar.mean_non_singleton_size:.1f} IPs/set)")
+    print(f"Speedtrap: {speedtrap_sets.count} sets, "
+          f"{speedtrap_sets.non_singleton_count} non-singleton")
+    print(f"SNMPv3 IPv4: {ctx.alias_v4.non_singleton_count} non-singleton")
+    report = compare_alias_sets(ctx.alias_v4, midar)
+    print(f"exact {report.exact_matches}, partial {report.partial_overlaps_a}, "
+          f"complementary {report.complementary}")
+    # Paper: MIDAR's sets are overwhelmingly singletons; views complement.
+    assert midar.non_singleton_count < 0.2 * midar.count
+    assert report.complementary

@@ -1,0 +1,18 @@
+"""§6.2.3 — Nmap comparison: fingerprint one IP per identified router.
+
+Paper: 22.2k of 26.4k routers yield no Nmap result (no open TCP port);
+matches agree with the SNMPv3 verdict; Nmap costs orders of magnitude
+more probes than the single SNMPv3 packet."""
+
+from repro.experiments import figures_vendor as fv
+
+
+def test_bench_sec62(benchmark, ctx):
+    s62 = benchmark(fv.section62, ctx)
+    print(f"\nsampled router IPs: {s62.sampled}")
+    print(f"no result: {s62.no_result} ({s62.no_result_fraction:.0%}; paper 84%)")
+    print(f"matches: {s62.matches} ({s62.agreeing_matches} agree with SNMPv3)")
+    print(f"guesses: {s62.guesses} ({s62.disagreeing_guesses} disagree)")
+    print(f"probes: Nmap {s62.nmap_probes_total} vs SNMPv3 {s62.snmpv3_probes_total}")
+    assert s62.no_result_fraction > 0.6
+    assert s62.nmap_probes_total > 5 * s62.snmpv3_probes_total

@@ -1,0 +1,14 @@
+"""§8 — response amplification: IPs answering one probe many times."""
+
+from repro.experiments import figures_vendor as fv
+
+
+def test_bench_sec8(benchmark, ctx):
+    s8 = benchmark(fv.section8, ctx)
+    print(f"\nresponsive IPv4 addresses: {s8.responsive_ips}")
+    print(f"multi-response IPs: {s8.multi_response_ips} "
+          f"({s8.multi_response_fraction:.2%}; paper ~0.6%)")
+    print(f"max identical replies to one probe: {s8.max_responses_single_ip}")
+    assert s8.multi_response_ips > 0
+    assert s8.multi_response_fraction < 0.05
+    assert s8.max_responses_single_ip >= 10

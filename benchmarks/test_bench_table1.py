@@ -1,0 +1,16 @@
+"""T1 — Table 1: SNMPv3 measurement-campaign overview.
+
+Regenerates the paper's Table 1 rows (responsive IPs, unique engine IDs,
+valid engine ID, valid engine ID + time, per scan) from the session's
+campaign and benchmarks the tabulation.
+"""
+
+from repro.experiments import tables
+
+
+def test_bench_table1(benchmark, ctx):
+    table = benchmark(tables.table1, ctx)
+    print("\n" + table.render())
+    v4 = table.rows[2]
+    assert v4.valid_engine_id_time_ips <= v4.valid_engine_id_ips <= v4.responsive_ips
+    assert v4.responsive_ips > table.rows[0].responsive_ips  # v4 >> v6

@@ -1,0 +1,11 @@
+"""T2 — Table 2: router datasets (ITDK / RIPE Atlas / IPv6 Hitlist) and
+their overlap with SNMPv3-responsive addresses."""
+
+from repro.experiments import tables
+
+
+def test_bench_table2(benchmark, ctx):
+    table = benchmark(tables.table2, ctx)
+    print("\n" + table.render())
+    assert table.row("ITDK").ipv4_addresses > table.row("RIPE Atlas").ipv4_addresses
+    assert 0 < table.row("Union").ipv4_snmpv3 < table.row("Union").ipv4_addresses

@@ -1,0 +1,15 @@
+"""T3 — Table 3 (Appendix A): the eight alias-resolution variants.
+
+Benchmarks the full eight-variant sweep over the valid IPv4 records and
+prints the table; the paper's chosen variant (Divide by 20, both scans)
+must group at least as many IPs as exact matching."""
+
+from repro.experiments import tables
+
+
+def test_bench_table3(benchmark, ctx):
+    table = benchmark(tables.table3, ctx)
+    print("\n" + table.render())
+    assert table.row("Divide by 20 both").ips_in_non_singletons >= \
+        table.row("Exact both").ips_in_non_singletons
+    assert table.row("Exact both").alias_sets >= table.row("Divide by 20 both").alias_sets

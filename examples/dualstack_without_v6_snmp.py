@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Dual-stack discovery without a single IPv6 SNMP response.
+
+The paper's dual-stack aliasing needs the device to answer SNMPv3 on
+both address families.  This scenario composes two identifier leaks the
+paper discusses separately:
+
+* the **MAC inside the engine ID** (one IPv4 SNMPv3 probe), and
+* the **MAC inside EUI-64 IPv6 addresses** (no probe at all — SLAAC
+  advertises it in the address),
+
+to pair IPv4 and IPv6 addresses of the same hardware even when the IPv6
+side never speaks SNMP.  Every inferred pair is checked against the
+simulator's ground truth, and the comparison shows how many pairs plain
+SNMPv3 dual-stack matching could not see.
+"""
+
+from repro import ExperimentContext, TopologyConfig
+from repro.alias.mac_correlation import MacCorrelator, evaluate_correlation
+from repro.net.eui64 import mac_from_ipv6
+
+
+def main() -> None:
+    config = TopologyConfig.paper_scale(divisor=200)
+    print("running the IPv4 campaign (the only SNMP traffic needed)...")
+    ctx = ExperimentContext.create(config)
+
+    v6_targets = sorted(ctx.datasets.hitlist_targets_v6, key=int)
+    eui64 = [a for a in v6_targets if mac_from_ipv6(a) is not None]
+    print(f"\nIPv6 hitlist: {len(v6_targets)} addresses, "
+          f"{len(eui64)} EUI-64 ({len(eui64) / len(v6_targets):.0%}) — each one "
+          f"advertises its MAC")
+
+    correlator = MacCorrelator()
+    matches = correlator.correlate(ctx.valid_v4, v6_targets)
+    evaluation = evaluate_correlation(ctx.topology, matches, ctx.valid_v4, v6_targets)
+    print(f"\nMAC-correlated dual-stack pairs: {evaluation.matches}")
+    print(f"  precision {evaluation.precision:.2f}, recall "
+          f"{evaluation.recall:.2f} over {evaluation.matchable_devices} "
+          f"matchable devices")
+
+    snmp_pairs = set()
+    for group in ctx.alias_dual.split_by_protocol()["dual"]:
+        for a4 in (a for a in group if a.version == 4):
+            for a6 in (a for a in group if a.version == 6):
+                snmp_pairs.add((a4, a6))
+    novel = [m for m in matches if (m.v4_address, m.v6_address) not in snmp_pairs]
+    print(f"  pairs invisible to SNMPv3 dual-stack matching: {len(novel)}")
+
+    for match in matches[:5]:
+        print(f"  {match.v4_address}  <->  {match.v6_address}"
+              f"   (MAC {match.engine_mac})")
+
+    print("\nwhy the fuzzy variant is wrong (consecutive factory MACs):")
+    fuzzy = MacCorrelator(neighborhood=4).correlate(ctx.valid_v4, v6_targets)
+    fuzzy_eval = evaluate_correlation(ctx.topology, fuzzy, ctx.valid_v4, v6_targets)
+    print(f"  neighbourhood=4: {fuzzy_eval.matches} pairs at precision "
+          f"{fuzzy_eval.precision:.2f}")
+
+
+if __name__ == "__main__":
+    main()

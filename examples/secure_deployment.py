@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Defending against SNMPv3 fingerprinting: the paper's §8 advice, measured.
+
+Applies each of the paper's recommendations to the simulated Internet and
+re-runs the attacker's scan:
+
+* **ACLs / segregated management** removes the device from the attacker's
+  view entirely;
+* **explicit SNMPv3 configuration** silences the devices that only
+  answered because a v2c community implicitly enabled v3;
+* **random (non-MAC) engine IDs** keep the protocol working — discovery,
+  key localization, alias resolution all still function — while blinding
+  vendor fingerprinting and cross-protocol MAC correlation.
+
+The second half shows what full protection looks like at the protocol
+level: an authPriv exchange (HMAC-SHA1-96 + AES-128-CFB) where an
+on-path observer sees only ciphertext — yet discovery still leaks the
+engine ID, because the protocol cannot work otherwise.
+"""
+
+from repro.asn1.oid import Oid
+from repro.experiments.remediation import remediation_experiment
+from repro.net.mac import MacAddress
+from repro.snmp.agent import SnmpAgent, UsmUser
+from repro.snmp.client import SnmpClient
+from repro.snmp.constants import OID_SYS_DESCR
+from repro.snmp.engine_id import EngineId
+from repro.snmp.mib import build_system_mib
+from repro.snmp.usm import AuthProtocol
+from repro.topology.config import TopologyConfig
+
+
+def main() -> None:
+    print("measuring each mitigation at 100% adoption...")
+    experiment = remediation_experiment(TopologyConfig.paper_scale(divisor=500))
+    print(experiment.render())
+
+    print("\nsame, at a realistic 40% adoption:")
+    partial = remediation_experiment(
+        TopologyConfig.paper_scale(divisor=500), adoption=0.4,
+        mitigations=("none", "all"),
+    )
+    print(partial.render())
+
+    print("\n--- full protocol protection (authPriv) ---")
+    user = UsmUser(b"netops", AuthProtocol.HMAC_SHA1_96, "auth-passphrase",
+                   priv_password="priv-passphrase")
+    agent = SnmpAgent(
+        engine_id=EngineId.from_octets(9, b"\x5f\x1d\x88\x03\xc2\x9a\x41\x7e"),
+        boot_time=0.0, engine_boots=1, users=(user,),
+        mib=build_system_mib("hardened router", "r1", Oid("1.3.6.1.4.1.9.1.1"),
+                             lambda: 0.0),
+    )
+    client = SnmpClient(agent)
+    value = client.get_v3_priv(user, OID_SYS_DESCR, now=100.0)
+    print(f"authPriv GET over AES-128-CFB: {value.decode()}")
+
+    discovery = client.discover(now=100.0)
+    eid = EngineId(discovery.engine_id)
+    print(f"discovery still answers (engine ID {eid}, format {eid.format.value})")
+    print("-> random Octets format: no MAC, no vendor OUI to fingerprint")
+
+
+if __name__ == "__main__":
+    main()

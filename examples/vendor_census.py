@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Router vendor census: market share, homogeneity and patch hygiene.
+
+The §6.4/§6.5 operator-facing analysis: who builds the Internet's
+routers, how homogeneous are individual networks (vendor dominance — a
+proxy for single-vendor vulnerability blast radius), and how stale are
+deployed devices (time since last reboot as a patch-level indicator).
+"""
+
+from collections import Counter
+
+from repro import ExperimentContext, TopologyConfig
+from repro.analysis.dominance import as_vendor_profiles, dominance_values
+from repro.experiments.figures_vendor import figure13, figure13_by_vendor, figure15, figure16
+
+
+def main() -> None:
+    config = TopologyConfig.paper_scale(divisor=150)
+    print("building simulated Internet and running scans...")
+    ctx = ExperimentContext.create(config)
+
+    print(f"\n{ctx.router_sets.count} routers fingerprinted across "
+          f"{len(ctx.router_vendor_by_as)} networks\n")
+
+    print("global market share:")
+    counts = Counter(v.vendor for __, v in ctx.router_vendors)
+    total = sum(counts.values())
+    for vendor, count in counts.most_common(8):
+        print(f"  {vendor:<14} {count:>6}  {count / total:6.1%}")
+
+    print("\nregional market share (Figure 15):")
+    f15 = figure15(ctx)
+    for region in sorted(f15.shares, key=lambda r: -f15.totals.get(r, 0)):
+        shares = f15.shares[region]
+        line = ", ".join(f"{v} {shares[v]:.0%}" for v in
+                         ("Cisco", "Huawei", "Net-SNMP", "Juniper", "Other"))
+        print(f"  {region.value} ({f15.totals[region]:>5} routers): {line}")
+
+    print("\ntop networks by router count (Figure 16):")
+    for row in figure16(ctx, n=5):
+        mix = ", ".join(f"{v} {s:.0%}" for v, s in row.vendor_shares.items() if s > 0.01)
+        print(f"  {row.region.value}-{row.asn} ({row.router_count} routers): {mix}")
+
+    print("\nvendor dominance (Figure 17): blast radius of a single-vendor CVE")
+    profiles = as_vendor_profiles(ctx.router_vendor_by_as)
+    for min_routers in (2, 5, 10):
+        ecdf = dominance_values(profiles, min_routers=min_routers)
+        if ecdf.count:
+            print(f"  ASes with {min_routers}+ routers (n={ecdf.count}): "
+                  f"{ecdf.fraction_at_least(0.7):.0%} have one vendor supplying >=70%")
+
+    print("\npatch hygiene (Figure 13):")
+    print(f"  {figure13(ctx).headline()}")
+
+    print("\npatch hygiene per vendor (uptime > 1 year = likely unpatched):")
+    for vendor, stats in sorted(
+        figure13_by_vendor(ctx).items(),
+        key=lambda kv: -kv[1].frac_uptime_over_one_year,
+    ):
+        print(f"  {vendor:<14} n={stats.count:<5} stale>{365}d: "
+              f"{stats.frac_uptime_over_one_year:5.0%}   median uptime "
+              f"{stats.median_uptime_days:5.0f}d")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Alias resolution: SNMPv3 (the paper's technique) and the comparators.
+
+* :mod:`repro.alias.sets` — the :class:`AliasSets` result type and
+  ground-truth precision/recall evaluation;
+* :mod:`repro.alias.snmpv3` — grouping by (engine ID, engine boots,
+  binned last-reboot-time), with all eight Table 3 variants and
+  dual-stack joining;
+* :mod:`repro.alias.midar` — IPv4 IP-ID monotonic-bounds alias
+  resolution in the style of MIDAR (§5.3's comparator);
+* :mod:`repro.alias.speedtrap` — IPv6 fragment-ID alias resolution in
+  the style of Speedtrap;
+* :mod:`repro.alias.dns_names` — the Router Names rDNS-regex technique
+  (§5.2's comparator);
+* :mod:`repro.alias.compare` — exact/partial overlap metrics between two
+  collections of alias sets;
+* :mod:`repro.alias.ratelimit` — ICMP rate-limit alias resolution
+  (Vermeulen et al., the §7.2 comparator);
+* :mod:`repro.alias.apple` — APPLE-style path-length pruning (Marder);
+* :mod:`repro.alias.siblings` — TCP-timestamp dual-stack sibling
+  detection (Scheitle et al., the §7.3 comparator).
+"""
+
+from repro.alias.sets import AliasSets, AliasEvaluation, evaluate_against_truth
+from repro.alias.snmpv3 import (
+    MatchVariant,
+    Snmpv3AliasResolver,
+    resolve_aliases,
+    resolve_dual_stack,
+)
+from repro.alias.compare import OverlapReport, compare_alias_sets
+from repro.alias.midar import MidarResolver
+from repro.alias.speedtrap import SpeedtrapResolver
+from repro.alias.dns_names import RouterNamesResolver
+from repro.alias.apple import PathLengthPruner
+from repro.alias.ratelimit import IcmpRateLimitOracle, RateLimitResolver
+from repro.alias.siblings import SiblingDetector, TcpTimestampOracle
+
+__all__ = [
+    "AliasEvaluation",
+    "AliasSets",
+    "MatchVariant",
+    "IcmpRateLimitOracle",
+    "MidarResolver",
+    "OverlapReport",
+    "PathLengthPruner",
+    "RateLimitResolver",
+    "RouterNamesResolver",
+    "SiblingDetector",
+    "Snmpv3AliasResolver",
+    "SpeedtrapResolver",
+    "TcpTimestampOracle",
+    "compare_alias_sets",
+    "evaluate_against_truth",
+    "resolve_aliases",
+    "resolve_dual_stack",
+]

@@ -1,0 +1,81 @@
+"""Overlap metrics between two alias-set collections (§5.2/§5.3).
+
+The paper compares its SNMPv3 alias sets against Router Names, MIDAR and
+Speedtrap using two notions:
+
+* **exact matches** — sets with identical membership in both collections;
+* **partial overlaps** — sets of one collection sharing at least one
+  address with some set of the other.
+
+Both are reported here, along with the address-level intersection and the
+complementarity summary the paper draws (each technique sees addresses
+the other cannot).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.alias.sets import AliasSets
+from repro.net.addresses import IPAddress
+
+
+@dataclass(frozen=True)
+class OverlapReport:
+    """Comparison of collection A (ours) against collection B (theirs)."""
+
+    technique_a: str
+    technique_b: str
+    sets_a: int
+    sets_b: int
+    non_singleton_a: int
+    non_singleton_b: int
+    exact_matches: int
+    partial_overlaps_a: int        # sets of A touching any set of B
+    partial_overlaps_b: int        # sets of B touched by any set of A
+    shared_addresses: int
+    only_a_addresses: int
+    only_b_addresses: int
+
+    @property
+    def complementary(self) -> bool:
+        """Both techniques contribute exclusive addresses."""
+        return self.only_a_addresses > 0 and self.only_b_addresses > 0
+
+
+def compare_alias_sets(ours: AliasSets, theirs: AliasSets) -> OverlapReport:
+    """Compute the §5.2/§5.3 overlap metrics."""
+    ours_frozen = {frozenset(g) for g in ours.sets}
+    theirs_frozen = {frozenset(g) for g in theirs.sets}
+    exact = len(ours_frozen & theirs_frozen)
+
+    theirs_by_address: dict[IPAddress, int] = {}
+    for index, group in enumerate(theirs.sets):
+        for address in group:
+            theirs_by_address[address] = index
+
+    partial_a = 0
+    touched_b: set[int] = set()
+    for group in ours.sets:
+        hit = {theirs_by_address[a] for a in group if a in theirs_by_address}
+        if hit:
+            partial_a += 1
+            touched_b.update(hit)
+
+    addresses_a = set(ours.addresses())
+    addresses_b = set(theirs.addresses())
+
+    return OverlapReport(
+        technique_a=ours.technique,
+        technique_b=theirs.technique,
+        sets_a=ours.count,
+        sets_b=theirs.count,
+        non_singleton_a=ours.non_singleton_count,
+        non_singleton_b=theirs.non_singleton_count,
+        exact_matches=exact,
+        partial_overlaps_a=partial_a,
+        partial_overlaps_b=len(touched_b),
+        shared_addresses=len(addresses_a & addresses_b),
+        only_a_addresses=len(addresses_a - addresses_b),
+        only_b_addresses=len(addresses_b - addresses_a),
+    )

@@ -1,0 +1,176 @@
+"""Alias-set containers and ground-truth evaluation.
+
+An alias set is a group of IP addresses inferred to belong to one device.
+:class:`AliasSets` wraps a collection of such groups with the statistics
+the paper reports (singleton vs non-singleton counts, addresses per set,
+protocol classification), and :func:`evaluate_against_truth` scores an
+inference against the simulator's ground truth with pairwise precision
+and recall — the quantities the operator survey of §6.2.2 approximates in
+the real world.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.net.addresses import IPAddress
+
+
+@dataclass
+class AliasSets:
+    """A collection of inferred alias sets."""
+
+    sets: list[frozenset[IPAddress]]
+    technique: str = ""
+
+    def __post_init__(self) -> None:
+        self._by_address: dict[IPAddress, int] = {}
+        for index, group in enumerate(self.sets):
+            for address in group:
+                self._by_address[address] = index
+
+    # -- classification ------------------------------------------------------
+
+    @staticmethod
+    def _kind(group: frozenset[IPAddress]) -> str:
+        versions = {a.version for a in group}
+        if versions == {4}:
+            return "v4"
+        if versions == {6}:
+            return "v6"
+        return "dual"
+
+    def split_by_protocol(self) -> dict[str, list[frozenset[IPAddress]]]:
+        """Partition into IPv4-only / IPv6-only / dual-stack sets."""
+        result: dict[str, list[frozenset[IPAddress]]] = {"v4": [], "v6": [], "dual": []}
+        for group in self.sets:
+            result[self._kind(group)].append(group)
+        return result
+
+    # -- statistics ----------------------------------------------------------
+
+    @property
+    def count(self) -> int:
+        return len(self.sets)
+
+    def non_singletons(self) -> list[frozenset[IPAddress]]:
+        return [g for g in self.sets if len(g) > 1]
+
+    @property
+    def non_singleton_count(self) -> int:
+        return sum(1 for g in self.sets if len(g) > 1)
+
+    @property
+    def addresses_in_non_singletons(self) -> int:
+        return sum(len(g) for g in self.sets if len(g) > 1)
+
+    @property
+    def mean_non_singleton_size(self) -> float:
+        non = self.non_singletons()
+        if not non:
+            return 0.0
+        return sum(len(g) for g in non) / len(non)
+
+    def sizes(self) -> list[int]:
+        return [len(g) for g in self.sets]
+
+    def set_of(self, address: IPAddress) -> "frozenset[IPAddress] | None":
+        index = self._by_address.get(address)
+        if index is None:
+            return None
+        return self.sets[index]
+
+    def addresses(self) -> Iterator[IPAddress]:
+        return iter(self._by_address)
+
+    @property
+    def address_count(self) -> int:
+        return len(self._by_address)
+
+    def __iter__(self) -> Iterator[frozenset[IPAddress]]:
+        return iter(self.sets)
+
+    def __len__(self) -> int:
+        return len(self.sets)
+
+
+@dataclass(frozen=True)
+class AliasEvaluation:
+    """Pairwise precision/recall of an inference vs ground truth.
+
+    A *pair* is an unordered pair of addresses placed in the same set.
+    ``precision`` = inferred pairs that are true / inferred pairs;
+    ``recall`` = true pairs recovered / true pairs among the evaluated
+    addresses (addresses the technique actually emitted).
+    """
+
+    true_pairs: int
+    inferred_pairs: int
+    correct_pairs: int
+
+    @property
+    def precision(self) -> float:
+        if self.inferred_pairs == 0:
+            return 1.0
+        return self.correct_pairs / self.inferred_pairs
+
+    @property
+    def recall(self) -> float:
+        if self.true_pairs == 0:
+            return 1.0
+        return self.correct_pairs / self.true_pairs
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        if p + r == 0.0:
+            return 0.0
+        return 2 * p * r / (p + r)
+
+
+def _pair_count(n: int) -> int:
+    return n * (n - 1) // 2
+
+
+def evaluate_against_truth(
+    inferred: AliasSets,
+    truth: "dict[int, frozenset[IPAddress]] | Iterable[frozenset[IPAddress]]",
+) -> AliasEvaluation:
+    """Score inferred alias sets against ground-truth device groupings.
+
+    Recall is computed over the addresses the technique emitted (a scanner
+    cannot recover aliases of silent interfaces), so it measures grouping
+    quality, not coverage — coverage is reported separately (Figure 10).
+    """
+    truth_sets = list(truth.values()) if isinstance(truth, dict) else list(truth)
+    device_of: dict[IPAddress, int] = {}
+    for index, group in enumerate(truth_sets):
+        for address in group:
+            device_of[address] = index
+
+    emitted = set(inferred.addresses())
+    true_pairs = 0
+    per_device: dict[int, int] = {}
+    for address in emitted:
+        device = device_of.get(address)
+        if device is not None:
+            per_device[device] = per_device.get(device, 0) + 1
+    true_pairs = sum(_pair_count(n) for n in per_device.values())
+
+    inferred_pairs = 0
+    correct_pairs = 0
+    for group in inferred:
+        inferred_pairs += _pair_count(len(group))
+        devices: dict[int, int] = {}
+        for address in group:
+            device = device_of.get(address)
+            if device is not None:
+                devices[device] = devices.get(device, 0) + 1
+        correct_pairs += sum(_pair_count(n) for n in devices.values())
+
+    return AliasEvaluation(
+        true_pairs=true_pairs,
+        inferred_pairs=inferred_pairs,
+        correct_pairs=correct_pairs,
+    )

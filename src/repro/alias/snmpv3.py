@@ -1,0 +1,118 @@
+"""SNMPv3 alias resolution (§5, Appendix A).
+
+Addresses whose filtered records agree on **engine ID**, **engine boots**
+and (a binned) **last reboot time** are grouped into one alias set.  The
+eight variants of Table 3 differ in two dimensions:
+
+* which scans contribute matching fields — the first scan only, or both;
+* how the last reboot time is matched — exactly (integer seconds),
+  rounded to tens, divided into 20-second bins, or divided and rounded.
+
+The paper's chosen configuration is ``DIVIDE_BY_20`` over ``both`` scans,
+mirroring the 10-second consistency threshold of the filtering pipeline.
+Dual-stack aliases fall out of running the same grouping over the
+concatenated IPv4 + IPv6 records: a router answering on both families
+reports the same engine triple on every address.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.alias.sets import AliasSets
+from repro.pipeline.records import ValidRecord
+
+
+class MatchVariant(enum.Enum):
+    """Last-reboot-time matching rules of Table 3."""
+
+    EXACT = "exact"
+    ROUND = "round"
+    DIVIDE_BY_20 = "divide-20"
+    DIVIDE_BY_20_ROUND = "divide-20-round"
+
+    def key(self, last_reboot: float) -> int:
+        """Map a last-reboot timestamp to its matching bucket."""
+        if self is MatchVariant.EXACT:
+            return int(last_reboot)
+        if self is MatchVariant.ROUND:
+            return int(round(last_reboot, -1))
+        if self is MatchVariant.DIVIDE_BY_20:
+            return int(last_reboot // 20)
+        return int(round(last_reboot / 20))
+
+
+@dataclass(frozen=True)
+class Snmpv3AliasResolver:
+    """Configurable grouping engine.
+
+    ``variant`` picks the reboot-time rule; ``use_both_scans`` adds the
+    second scan's reboot bucket (and implicitly its boots, which the
+    pipeline already guarantees equal) to the matching key.
+    """
+
+    variant: MatchVariant = MatchVariant.DIVIDE_BY_20
+    use_both_scans: bool = True
+
+    def group_key(self, record: ValidRecord) -> tuple:
+        key: tuple = (
+            record.engine_id.raw,
+            record.engine_boots,
+            self.variant.key(record.last_reboot_first),
+        )
+        if self.use_both_scans:
+            key += (self.variant.key(record.last_reboot_second),)
+        return key
+
+    def resolve(self, records: Iterable[ValidRecord]) -> AliasSets:
+        """Group records into alias sets."""
+        groups: dict[tuple, set] = {}
+        for record in records:
+            groups.setdefault(self.group_key(record), set()).add(record.address)
+        label = f"snmpv3/{self.variant.value}/{'both' if self.use_both_scans else 'first'}"
+        return AliasSets(
+            sets=[frozenset(g) for g in groups.values()],
+            technique=label,
+        )
+
+
+def resolve_aliases(
+    records: Iterable[ValidRecord],
+    variant: MatchVariant = MatchVariant.DIVIDE_BY_20,
+    use_both_scans: bool = True,
+) -> AliasSets:
+    """One-call helper for the paper's chosen configuration."""
+    return Snmpv3AliasResolver(variant=variant, use_both_scans=use_both_scans).resolve(records)
+
+
+def resolve_dual_stack(
+    v4_records: Iterable[ValidRecord],
+    v6_records: Iterable[ValidRecord],
+    variant: MatchVariant = MatchVariant.DIVIDE_BY_20,
+    use_both_scans: bool = True,
+) -> AliasSets:
+    """Joint IPv4+IPv6 alias resolution (§5.1's final step).
+
+    The IPv6 scans ran on different days than the IPv4 scans, so the
+    derived *last reboot time* — an absolute timestamp — is the field that
+    transfers across families; engine boots must also agree (a reboot
+    between the family campaigns splits the device, conservatively).
+    """
+    resolver = Snmpv3AliasResolver(variant=variant, use_both_scans=use_both_scans)
+    groups: dict[tuple, set] = {}
+    for record in list(v4_records) + list(v6_records):
+        # Cross-family matching cannot use the second scan's bucket: the
+        # scan-2 timestamps differ by family.  Use the canonical reboot
+        # bucket plus boots plus engine ID.
+        key = (
+            record.engine_id.raw,
+            record.engine_boots,
+            resolver.variant.key(record.last_reboot_first),
+        )
+        groups.setdefault(key, set()).add(record.address)
+    return AliasSets(
+        sets=[frozenset(g) for g in groups.values()],
+        technique=f"snmpv3-dual/{variant.value}",
+    )

@@ -1,0 +1,53 @@
+"""Analysis utilities behind the paper's figures.
+
+* :mod:`repro.analysis.ecdf` — empirical CDFs (most figures are ECDFs);
+* :mod:`repro.analysis.hamming` — Hamming-weight randomness analysis
+  (Figure 6);
+* :mod:`repro.analysis.coverage` — per-AS SNMPv3 responsiveness coverage
+  (Figure 10, §5.4's combined-coverage numbers);
+* :mod:`repro.analysis.dominance` — vendors per AS and vendor dominance
+  (Figures 14/17);
+* :mod:`repro.analysis.regional` — per-region aggregations (Figures
+  15/16/18/20).
+"""
+
+from repro.analysis.amplification import AmplificationReport, analyze_amplification
+from repro.analysis.ecdf import Ecdf
+from repro.analysis.statistics import (
+    bootstrap_interval,
+    compare_proportions,
+    vendor_share_intervals,
+    wilson_interval,
+)
+from repro.analysis.hamming import hamming_weight_distribution, skewness
+from repro.analysis.coverage import AsCoverage, CombinedCoverage, as_coverage, combined_coverage
+from repro.analysis.dominance import as_vendor_profiles, dominance_values, vendors_per_as
+from repro.analysis.regional import (
+    regional_dominance,
+    regional_router_counts,
+    regional_vendor_shares,
+    top_networks_vendor_mix,
+)
+
+__all__ = [
+    "AmplificationReport",
+    "AsCoverage",
+    "CombinedCoverage",
+    "Ecdf",
+    "as_coverage",
+    "as_vendor_profiles",
+    "combined_coverage",
+    "dominance_values",
+    "analyze_amplification",
+    "bootstrap_interval",
+    "compare_proportions",
+    "hamming_weight_distribution",
+    "regional_dominance",
+    "regional_router_counts",
+    "regional_vendor_shares",
+    "skewness",
+    "top_networks_vendor_mix",
+    "vendor_share_intervals",
+    "wilson_interval",
+    "vendors_per_as",
+]

@@ -1,0 +1,85 @@
+"""Amplification-vector analysis (§8).
+
+SNMPv3 runs over UDP, so sources are spoofable, and some buggy agents
+answer one synchronization request with *many* identical replies — the
+paper observed a single address returning 48.5 million responses.  This
+module quantifies the reflection/amplification potential of a scanned
+population:
+
+* **bandwidth amplification factor (BAF)** — reply bytes per probe byte,
+  the standard amplification metric (Rossow, NDSS 2014);
+* **packet amplification factor (PAF)** — replies per probe;
+* the distribution of both across responders, and the contribution of
+  the multi-responder tail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.ecdf import Ecdf
+from repro.scanner.records import ScanResult
+
+
+@dataclass(frozen=True)
+class AmplificationReport:
+    """Population-level amplification statistics for one scan."""
+
+    responders: int
+    probe_bytes: int
+    reply_bytes: int
+    paf_ecdf: Ecdf
+    baf_ecdf: Ecdf
+    worst_paf: float
+    worst_baf: float
+    multi_responder_reply_share: float
+
+    @property
+    def mean_baf(self) -> float:
+        if self.probe_bytes == 0:
+            return 0.0
+        return self.reply_bytes / self.probe_bytes
+
+    def headline(self) -> str:
+        return (
+            f"{self.responders} responders; mean BAF {self.mean_baf:.2f}, "
+            f"worst responder: {self.worst_paf:.0f} packets / "
+            f"{self.worst_baf:.1f}x bytes per probe; multi-responders "
+            f"contribute {self.multi_responder_reply_share:.1%} of reply bytes"
+        )
+
+
+def analyze_amplification(scan: ScanResult, probe_size: "int | None" = None) -> AmplificationReport:
+    """Compute amplification statistics from a captured scan.
+
+    ``probe_size`` defaults to the average probe wire size of the scan.
+    Per-responder reply volume is reconstructed from the observation's
+    reply count and wire size (identical replies, as captured).
+    """
+    if probe_size is None:
+        probe_size = (
+            scan.probe_bytes_sent // scan.targets_probed if scan.targets_probed else 0
+        )
+    pafs = []
+    bafs = []
+    multi_bytes = 0
+    total_reply_bytes = 0
+    for obs in scan.observations.values():
+        reply_bytes = obs.wire_bytes * obs.response_count
+        total_reply_bytes += reply_bytes
+        pafs.append(float(obs.response_count))
+        bafs.append(reply_bytes / probe_size if probe_size else 0.0)
+        if obs.response_count > 1:
+            multi_bytes += reply_bytes
+    return AmplificationReport(
+        responders=scan.responsive_count,
+        probe_bytes=probe_size * scan.responsive_count,
+        reply_bytes=total_reply_bytes,
+        paf_ecdf=Ecdf.from_values(pafs) if pafs else Ecdf(values=()),
+        baf_ecdf=Ecdf.from_values(bafs) if bafs else Ecdf(values=()),
+        worst_paf=max(pafs, default=0.0),
+        worst_baf=max(bafs, default=0.0),
+        multi_responder_reply_share=(
+            multi_bytes / total_reply_bytes if total_reply_bytes else 0.0
+        ),
+    )

@@ -1,0 +1,98 @@
+"""Per-AS SNMPv3 coverage (Figure 10) and combined coverage (§5.4).
+
+Coverage of an AS = responsive SNMPv3 router IPs / all router IPs of that
+AS in the union router dataset.  §5.4 additionally quantifies how much
+de-aliasing coverage MIDAR and SNMPv3 each achieve alone and combined.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.alias.sets import AliasSets
+from repro.analysis.ecdf import Ecdf
+from repro.net.addresses import IPAddress
+from repro.topology.model import Topology
+
+
+@dataclass(frozen=True)
+class AsCoverage:
+    """Per-AS coverage ratios, filterable by minimum dataset size."""
+
+    per_as: dict[int, tuple[int, int]]  # asn -> (responsive, total)
+
+    def ratios(self, min_total: int = 2) -> dict[int, float]:
+        return {
+            asn: responsive / total
+            for asn, (responsive, total) in self.per_as.items()
+            if total >= min_total
+        }
+
+    def ecdf(self, min_total: int = 2) -> Ecdf:
+        return Ecdf.from_values(self.ratios(min_total).values())
+
+    @property
+    def overall(self) -> float:
+        responsive = sum(r for r, __ in self.per_as.values())
+        total = sum(t for __, t in self.per_as.values())
+        return responsive / total if total else 0.0
+
+
+def as_coverage(
+    topology: Topology,
+    dataset_addresses: "frozenset[IPAddress] | set[IPAddress]",
+    responsive_addresses: "set[IPAddress]",
+) -> AsCoverage:
+    """Compute per-AS coverage of a router dataset by scan responses."""
+    per_as: dict[int, list[int]] = {}
+    for address in dataset_addresses:
+        device = topology.device_of_address(address)
+        if device is None:
+            continue
+        entry = per_as.setdefault(device.asn, [0, 0])
+        entry[1] += 1
+        if address in responsive_addresses:
+            entry[0] += 1
+    return AsCoverage(per_as={asn: (r, t) for asn, (r, t) in per_as.items()})
+
+
+@dataclass(frozen=True)
+class CombinedCoverage:
+    """§5.4's headline: de-aliased router-IP coverage by technique."""
+
+    total_router_ips: int
+    midar_covered: int
+    snmpv3_covered: int
+    combined_covered: int
+
+    @property
+    def midar_fraction(self) -> float:
+        return self.midar_covered / self.total_router_ips if self.total_router_ips else 0.0
+
+    @property
+    def snmpv3_fraction(self) -> float:
+        return self.snmpv3_covered / self.total_router_ips if self.total_router_ips else 0.0
+
+    @property
+    def combined_fraction(self) -> float:
+        return self.combined_covered / self.total_router_ips if self.total_router_ips else 0.0
+
+
+def combined_coverage(
+    router_ips: "frozenset[IPAddress] | set[IPAddress]",
+    midar_sets: AliasSets,
+    snmpv3_sets: AliasSets,
+) -> CombinedCoverage:
+    """Router IPs de-aliased (in a non-singleton set) per technique."""
+    midar_ns = {a for g in midar_sets.non_singletons() for a in g}
+    snmp_ns = {a for g in snmpv3_sets.non_singletons() for a in g}
+    router_set = set(router_ips)
+    midar_covered = len(router_set & midar_ns)
+    snmp_covered = len(router_set & snmp_ns)
+    combined = len(router_set & (midar_ns | snmp_ns))
+    return CombinedCoverage(
+        total_router_ips=len(router_set),
+        midar_covered=midar_covered,
+        snmpv3_covered=snmp_covered,
+        combined_covered=combined,
+    )

@@ -1,0 +1,74 @@
+"""Per-AS vendor profiles: vendors per AS and vendor dominance.
+
+Figure 14 plots how many distinct router vendors appear inside one AS;
+Figure 17 plots *vendor dominance* — the paper's metric for homogeneity:
+the fraction of an AS's routers that belong to its most common vendor.
+High dominance means one vendor's vulnerability can take out most of the
+network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.ecdf import Ecdf
+
+
+@dataclass(frozen=True)
+class AsVendorProfile:
+    """Vendor composition of one AS's fingerprinted routers."""
+
+    asn: int
+    vendor_counts: dict[str, int]
+
+    @property
+    def router_count(self) -> int:
+        return sum(self.vendor_counts.values())
+
+    @property
+    def vendor_count(self) -> int:
+        return len(self.vendor_counts)
+
+    @property
+    def dominant_vendor(self) -> str:
+        return max(self.vendor_counts, key=self.vendor_counts.get)
+
+    @property
+    def dominance(self) -> float:
+        """Fraction of routers belonging to the most common vendor."""
+        total = self.router_count
+        if total == 0:
+            return 0.0
+        return max(self.vendor_counts.values()) / total
+
+
+def as_vendor_profiles(
+    router_vendor_by_as: "dict[int, list[str]]",
+) -> list[AsVendorProfile]:
+    """Build profiles from {asn: [vendor per fingerprinted router]}."""
+    profiles = []
+    for asn, vendors in router_vendor_by_as.items():
+        counts: dict[str, int] = {}
+        for vendor in vendors:
+            counts[vendor] = counts.get(vendor, 0) + 1
+        if counts:
+            profiles.append(AsVendorProfile(asn=asn, vendor_counts=counts))
+    return profiles
+
+
+def vendors_per_as(
+    profiles: "list[AsVendorProfile]", min_routers: int = 1
+) -> Ecdf:
+    """Figure 14: ECDF of the number of vendors, per minimum AS size."""
+    return Ecdf.from_values(
+        p.vendor_count for p in profiles if p.router_count >= min_routers
+    )
+
+
+def dominance_values(
+    profiles: "list[AsVendorProfile]", min_routers: int = 2
+) -> Ecdf:
+    """Figure 17: ECDF of vendor dominance, per minimum AS size."""
+    return Ecdf.from_values(
+        p.dominance for p in profiles if p.router_count >= min_routers
+    )

@@ -1,0 +1,73 @@
+"""Empirical cumulative distribution functions.
+
+Nearly every figure in the paper is an ECDF; this class is the common
+representation the experiment modules emit, with evaluation, quantiles
+and a plain-text renderer for the benchmark reports.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+@dataclass(frozen=True)
+class Ecdf:
+    """An immutable ECDF over real values."""
+
+    values: tuple[float, ...]
+
+    @classmethod
+    def from_values(cls, values: Iterable[float]) -> "Ecdf":
+        return cls(values=tuple(sorted(float(v) for v in values)))
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    def at(self, x: float) -> float:
+        """P(X <= x)."""
+        if not self.values:
+            raise ValueError("ECDF over no values")
+        return bisect.bisect_right(self.values, x) / len(self.values)
+
+    def fraction_above(self, x: float) -> float:
+        """P(X > x)."""
+        return 1.0 - self.at(x)
+
+    def fraction_at_least(self, x: float) -> float:
+        """P(X >= x)."""
+        if not self.values:
+            raise ValueError("ECDF over no values")
+        return 1.0 - bisect.bisect_left(self.values, x) / len(self.values)
+
+    def quantile(self, q: float) -> float:
+        """The q-quantile (0 <= q <= 1), by the nearest-rank method."""
+        if not self.values:
+            raise ValueError("ECDF over no values")
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile out of range: {q}")
+        if q == 0.0:
+            return self.values[0]
+        rank = max(0, min(len(self.values) - 1, int(q * len(self.values) + 0.5) - 1))
+        return self.values[rank]
+
+    @property
+    def median(self) -> float:
+        return self.quantile(0.5)
+
+    def series(self, points: "Sequence[float] | None" = None) -> list[tuple[float, float]]:
+        """(x, P(X<=x)) pairs — the plottable curve."""
+        if points is None:
+            points = sorted(set(self.values))
+        return [(float(x), self.at(x)) for x in points]
+
+    def render(self, label: str, points: Sequence[float], width: int = 40) -> str:
+        """ASCII rendering for benchmark reports."""
+        lines = [f"ECDF: {label} (n={self.count})"]
+        for x in points:
+            frac = self.at(x)
+            bar = "#" * int(frac * width)
+            lines.append(f"  x<={x:>12.6g}  {frac:6.1%} |{bar}")
+        return "\n".join(lines)

@@ -1,0 +1,117 @@
+"""Regional aggregations (Figures 15/16/18/20).
+
+All functions consume the per-AS router-vendor mapping produced by the
+fingerprinting stage, joined with the topology's AS-to-region assignment
+(the stand-in for CAIDA AS Rank's AS-to-country mapping in Appendix C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.dominance import AsVendorProfile
+from repro.analysis.ecdf import Ecdf
+from repro.topology.model import Region, Topology
+
+#: The vendor columns of the Figure 15/16 heat maps.
+HEATMAP_VENDORS = ("Cisco", "Huawei", "Net-SNMP", "Juniper")
+
+
+def _region_of(topology: Topology, asn: int) -> Region:
+    return topology.ases[asn].region
+
+
+def regional_vendor_shares(
+    topology: Topology, profiles: "list[AsVendorProfile]"
+) -> dict[Region, dict[str, float]]:
+    """Figure 15: per-region market share over the heat-map vendors+Other."""
+    totals: dict[Region, dict[str, int]] = {}
+    for profile in profiles:
+        region = _region_of(topology, profile.asn)
+        bucket = totals.setdefault(region, {})
+        for vendor, count in profile.vendor_counts.items():
+            column = vendor if vendor in HEATMAP_VENDORS else "Other"
+            bucket[column] = bucket.get(column, 0) + count
+    shares: dict[Region, dict[str, float]] = {}
+    for region, counts in totals.items():
+        total = sum(counts.values())
+        shares[region] = {
+            column: counts.get(column, 0) / total
+            for column in (*HEATMAP_VENDORS, "Other")
+        }
+    return shares
+
+
+def regional_router_counts(
+    topology: Topology, profiles: "list[AsVendorProfile]"
+) -> dict[Region, int]:
+    """Total fingerprinted routers per region (Figure 15's parentheses)."""
+    totals: dict[Region, int] = {}
+    for profile in profiles:
+        region = _region_of(topology, profile.asn)
+        totals[region] = totals.get(region, 0) + profile.router_count
+    return totals
+
+
+@dataclass(frozen=True)
+class TopNetwork:
+    """One row of Figure 16."""
+
+    asn: int
+    region: Region
+    router_count: int
+    vendor_shares: dict[str, float]
+
+    @property
+    def dominant_vendor(self) -> str:
+        return max(self.vendor_shares, key=self.vendor_shares.get)
+
+
+def top_networks_vendor_mix(
+    topology: Topology, profiles: "list[AsVendorProfile]", n: int = 10
+) -> list[TopNetwork]:
+    """Figure 16: the n largest networks by router count, with vendor mix."""
+    ranked = sorted(profiles, key=lambda p: p.router_count, reverse=True)[:n]
+    rows = []
+    for profile in ranked:
+        total = profile.router_count
+        shares = {
+            column: sum(
+                c for v, c in profile.vendor_counts.items()
+                if (v if v in HEATMAP_VENDORS else "Other") == column
+            ) / total
+            for column in (*HEATMAP_VENDORS, "Other")
+        }
+        rows.append(
+            TopNetwork(
+                asn=profile.asn,
+                region=_region_of(topology, profile.asn),
+                router_count=total,
+                vendor_shares=shares,
+            )
+        )
+    return rows
+
+
+def regional_dominance(
+    topology: Topology, profiles: "list[AsVendorProfile]", min_routers: int = 10
+) -> dict[Region, Ecdf]:
+    """Figure 18: per-region dominance ECDFs over ASes of a minimum size."""
+    values: dict[Region, list[float]] = {}
+    for profile in profiles:
+        if profile.router_count < min_routers:
+            continue
+        region = _region_of(topology, profile.asn)
+        values.setdefault(region, []).append(profile.dominance)
+    return {region: Ecdf.from_values(v) for region, v in values.items()}
+
+
+def routers_per_as_by_region(
+    topology: Topology, profiles: "list[AsVendorProfile]"
+) -> dict[Region, Ecdf]:
+    """Figure 20 (Appendix C): routers-per-AS ECDF per region."""
+    values: dict[Region, list[float]] = {}
+    for profile in profiles:
+        region = _region_of(topology, profile.asn)
+        values.setdefault(region, []).append(float(profile.router_count))
+    return {region: Ecdf.from_values(v) for region, v in values.items()}

@@ -1,0 +1,58 @@
+"""ASN.1 Basic Encoding Rules (BER) codec.
+
+SNMP messages are BER-encoded ASN.1 structures.  This package implements the
+subset of BER that SNMP requires, built from scratch:
+
+* definite-length TLV encoding and decoding,
+* the universal types ``INTEGER``, ``OCTET STRING``, ``NULL``,
+  ``OBJECT IDENTIFIER`` and ``SEQUENCE``,
+* the SNMP application types (``Counter32``, ``Gauge32``, ``TimeTicks``,
+  ``IpAddress``, ``Counter64``, ``Opaque``),
+* context-constructed tags used for SNMP PDUs.
+
+The public entry points are :func:`repro.asn1.ber.encode_tlv`,
+:func:`repro.asn1.ber.decode_tlv` and the typed helpers in
+:mod:`repro.asn1.ber`, plus the :class:`repro.asn1.oid.Oid` value type.
+"""
+
+from repro.asn1.ber import (
+    BerDecodeError,
+    BerEncodeError,
+    Tag,
+    TagClass,
+    decode_integer,
+    decode_null,
+    decode_octet_string,
+    decode_oid,
+    decode_sequence,
+    decode_tlv,
+    encode_integer,
+    encode_length,
+    encode_null,
+    encode_octet_string,
+    encode_oid,
+    encode_sequence,
+    encode_tlv,
+)
+from repro.asn1.oid import Oid
+
+__all__ = [
+    "BerDecodeError",
+    "BerEncodeError",
+    "Oid",
+    "Tag",
+    "TagClass",
+    "decode_integer",
+    "decode_null",
+    "decode_octet_string",
+    "decode_oid",
+    "decode_sequence",
+    "decode_tlv",
+    "encode_integer",
+    "encode_length",
+    "encode_null",
+    "encode_octet_string",
+    "encode_oid",
+    "encode_sequence",
+    "encode_tlv",
+]

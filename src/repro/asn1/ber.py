@@ -1,0 +1,300 @@
+"""BER (Basic Encoding Rules) primitives.
+
+Implements the definite-length subset of X.690 BER that SNMP uses.  All
+encoders return ``bytes``; all decoders accept a buffer plus an offset and
+return ``(value, next_offset)`` so callers can stream through compound
+structures without copying.
+
+SNMP restricts itself to definite lengths and to two's-complement INTEGERs
+of at most 64 bits (``Counter64``), which keeps this codec small and easy
+to audit.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.asn1.oid import Oid
+
+
+class BerEncodeError(ValueError):
+    """Raised when a value cannot be BER-encoded."""
+
+
+class BerDecodeError(ValueError):
+    """Raised when a buffer is not valid BER for the expected type."""
+
+
+class TagClass(enum.IntEnum):
+    """The two-bit tag class of a BER identifier octet."""
+
+    UNIVERSAL = 0x00
+    APPLICATION = 0x40
+    CONTEXT = 0x80
+    PRIVATE = 0xC0
+
+
+# Universal tags used by SNMP.
+TAG_INTEGER = 0x02
+TAG_OCTET_STRING = 0x04
+TAG_NULL = 0x05
+TAG_OID = 0x06
+TAG_SEQUENCE = 0x30
+
+# SNMP application tags (APPLICATION class, RFC 2578).
+TAG_IPADDRESS = 0x40
+TAG_COUNTER32 = 0x41
+TAG_GAUGE32 = 0x42
+TAG_TIMETICKS = 0x43
+TAG_OPAQUE = 0x44
+TAG_COUNTER64 = 0x46
+
+_CONSTRUCTED = 0x20
+_MAX_LENGTH_OCTETS = 8
+
+
+@dataclass(frozen=True)
+class Tag:
+    """A decoded BER identifier octet.
+
+    ``number`` is the raw tag byte (low-tag-number form only — SNMP never
+    needs high-tag-number form), ``constructed`` is the P/C bit and
+    ``tag_class`` the class bits.
+    """
+
+    number: int
+    constructed: bool
+    tag_class: TagClass
+
+    @classmethod
+    def from_byte(cls, byte: int) -> "Tag":
+        return cls(
+            number=byte & 0x1F,
+            constructed=bool(byte & _CONSTRUCTED),
+            tag_class=TagClass(byte & 0xC0),
+        )
+
+    def to_byte(self) -> int:
+        return int(self.tag_class) | (_CONSTRUCTED if self.constructed else 0) | self.number
+
+
+def encode_length(length: int) -> bytes:
+    """Encode a definite length per X.690 §8.1.3."""
+    if length < 0:
+        raise BerEncodeError(f"negative length: {length}")
+    if length < 0x80:
+        return bytes([length])
+    body = length.to_bytes((length.bit_length() + 7) // 8, "big")
+    if len(body) > _MAX_LENGTH_OCTETS:
+        raise BerEncodeError(f"length too large: {length}")
+    return bytes([0x80 | len(body)]) + body
+
+
+def decode_length(buf: bytes, offset: int) -> tuple[int, int]:
+    """Decode a definite length, returning ``(length, next_offset)``."""
+    if offset >= len(buf):
+        raise BerDecodeError("truncated length")
+    first = buf[offset]
+    offset += 1
+    if first < 0x80:
+        return first, offset
+    num_octets = first & 0x7F
+    if num_octets == 0:
+        raise BerDecodeError("indefinite lengths are not allowed in SNMP BER")
+    if num_octets > _MAX_LENGTH_OCTETS:
+        raise BerDecodeError(f"length of {num_octets} octets too large")
+    if offset + num_octets > len(buf):
+        raise BerDecodeError("truncated long-form length")
+    length = int.from_bytes(buf[offset : offset + num_octets], "big")
+    return length, offset + num_octets
+
+
+def encode_tlv(tag_byte: int, content: bytes) -> bytes:
+    """Encode a full TLV triple with the given raw tag byte."""
+    if not 0 <= tag_byte <= 0xFF:
+        raise BerEncodeError(f"tag byte out of range: {tag_byte}")
+    return bytes([tag_byte]) + encode_length(len(content)) + content
+
+
+def decode_tlv(buf: bytes, offset: int = 0) -> tuple[int, bytes, int]:
+    """Decode one TLV, returning ``(tag_byte, content, next_offset)``."""
+    if offset >= len(buf):
+        raise BerDecodeError("truncated TLV: no tag byte")
+    tag_byte = buf[offset]
+    if tag_byte & 0x1F == 0x1F:
+        raise BerDecodeError("high-tag-number form is not used by SNMP")
+    length, body_offset = decode_length(buf, offset + 1)
+    end = body_offset + length
+    if end > len(buf):
+        raise BerDecodeError(
+            f"truncated TLV body: need {length} bytes, have {len(buf) - body_offset}"
+        )
+    return tag_byte, buf[body_offset:end], end
+
+
+def expect_tag(buf: bytes, offset: int, expected: int, what: str) -> tuple[bytes, int]:
+    """Decode a TLV and verify its tag byte, returning ``(content, next_offset)``."""
+    tag_byte, content, next_offset = decode_tlv(buf, offset)
+    if tag_byte != expected:
+        raise BerDecodeError(f"expected {what} (tag 0x{expected:02x}), got tag 0x{tag_byte:02x}")
+    return content, next_offset
+
+
+# ---------------------------------------------------------------------------
+# INTEGER
+# ---------------------------------------------------------------------------
+
+def _integer_content(value: int) -> bytes:
+    """Two's-complement minimal-length content octets for an INTEGER."""
+    if value >= 0:
+        length = value.bit_length() // 8 + 1
+    else:
+        length = (value + 1).bit_length() // 8 + 1
+    return value.to_bytes(length, "big", signed=True)
+
+
+def encode_integer(value: int, tag_byte: int = TAG_INTEGER) -> bytes:
+    """Encode a signed INTEGER (or an application type sharing the encoding)."""
+    return encode_tlv(tag_byte, _integer_content(value))
+
+
+def encode_unsigned(value: int, tag_byte: int) -> bytes:
+    """Encode an unsigned application integer (Counter32, TimeTicks, ...).
+
+    Unsigned SNMP types still use two's-complement content, so values with
+    the high bit set gain a leading zero octet.
+    """
+    if value < 0:
+        raise BerEncodeError(f"unsigned type cannot encode negative value {value}")
+    return encode_tlv(tag_byte, _integer_content(value))
+
+
+def decode_integer_content(content: bytes) -> int:
+    if not content:
+        raise BerDecodeError("INTEGER with empty content")
+    if len(content) > 1 and (
+        (content[0] == 0x00 and not content[1] & 0x80)
+        or (content[0] == 0xFF and content[1] & 0x80)
+    ):
+        raise BerDecodeError("non-minimal INTEGER encoding")
+    return int.from_bytes(content, "big", signed=True)
+
+
+def decode_integer(buf: bytes, offset: int = 0, tag_byte: int = TAG_INTEGER) -> tuple[int, int]:
+    """Decode an INTEGER TLV, returning ``(value, next_offset)``."""
+    content, next_offset = expect_tag(buf, offset, tag_byte, "INTEGER")
+    return decode_integer_content(content), next_offset
+
+
+# ---------------------------------------------------------------------------
+# OCTET STRING / NULL
+# ---------------------------------------------------------------------------
+
+def encode_octet_string(value: bytes, tag_byte: int = TAG_OCTET_STRING) -> bytes:
+    """Encode an OCTET STRING (primitive form)."""
+    return encode_tlv(tag_byte, bytes(value))
+
+
+def decode_octet_string(
+    buf: bytes, offset: int = 0, tag_byte: int = TAG_OCTET_STRING
+) -> tuple[bytes, int]:
+    """Decode an OCTET STRING TLV, returning ``(value, next_offset)``."""
+    return expect_tag(buf, offset, tag_byte, "OCTET STRING")
+
+
+def encode_null() -> bytes:
+    """Encode a NULL value."""
+    return encode_tlv(TAG_NULL, b"")
+
+
+def decode_null(buf: bytes, offset: int = 0) -> tuple[None, int]:
+    """Decode a NULL TLV, returning ``(None, next_offset)``."""
+    content, next_offset = expect_tag(buf, offset, TAG_NULL, "NULL")
+    if content:
+        raise BerDecodeError("NULL with non-empty content")
+    return None, next_offset
+
+
+# ---------------------------------------------------------------------------
+# OBJECT IDENTIFIER
+# ---------------------------------------------------------------------------
+
+def _encode_base128(value: int) -> bytes:
+    """Base-128 encoding with continuation bits, used for OID sub-identifiers."""
+    if value < 0x80:
+        return bytes([value])
+    chunks = []
+    while value:
+        chunks.append(value & 0x7F)
+        value >>= 7
+    chunks.reverse()
+    return bytes([c | 0x80 for c in chunks[:-1]] + [chunks[-1]])
+
+
+def encode_oid(oid: Oid) -> bytes:
+    """Encode an OBJECT IDENTIFIER."""
+    arcs = oid.arcs
+    if len(arcs) < 2:
+        raise BerEncodeError(f"OID needs at least two arcs to encode: {oid}")
+    first = arcs[0] * 40 + arcs[1]
+    content = _encode_base128(first)
+    for arc in arcs[2:]:
+        content += _encode_base128(arc)
+    return encode_tlv(TAG_OID, content)
+
+
+def decode_oid(buf: bytes, offset: int = 0) -> tuple[Oid, int]:
+    """Decode an OBJECT IDENTIFIER TLV, returning ``(Oid, next_offset)``."""
+    content, next_offset = expect_tag(buf, offset, TAG_OID, "OBJECT IDENTIFIER")
+    if not content:
+        raise BerDecodeError("OID with empty content")
+    subids: list[int] = []
+    value = 0
+    started = False
+    for i, byte in enumerate(content):
+        if not started and byte == 0x80:
+            raise BerDecodeError("OID sub-identifier has leading 0x80 padding")
+        started = True
+        value = (value << 7) | (byte & 0x7F)
+        if not byte & 0x80:
+            subids.append(value)
+            value = 0
+            started = False
+        elif i == len(content) - 1:
+            raise BerDecodeError("OID ends mid sub-identifier")
+    first = subids[0]
+    if first < 40:
+        arcs = (0, first)
+    elif first < 80:
+        arcs = (1, first - 40)
+    else:
+        arcs = (2, first - 80)
+    return Oid(arcs + tuple(subids[1:])), next_offset
+
+
+# ---------------------------------------------------------------------------
+# SEQUENCE
+# ---------------------------------------------------------------------------
+
+def encode_sequence(*parts: bytes, tag_byte: int = TAG_SEQUENCE) -> bytes:
+    """Encode a SEQUENCE (or any constructed type) from pre-encoded parts."""
+    return encode_tlv(tag_byte, b"".join(parts))
+
+
+def decode_sequence(
+    buf: bytes, offset: int = 0, tag_byte: int = TAG_SEQUENCE
+) -> tuple[bytes, int]:
+    """Decode a SEQUENCE TLV, returning ``(content, next_offset)``.
+
+    The content is returned raw; callers iterate it with :func:`decode_tlv`.
+    """
+    return expect_tag(buf, offset, tag_byte, "SEQUENCE")
+
+
+def iter_tlvs(content: bytes):
+    """Yield ``(tag_byte, body)`` for each TLV inside a constructed content."""
+    offset = 0
+    while offset < len(content):
+        tag_byte, body, offset = decode_tlv(content, offset)
+        yield tag_byte, body

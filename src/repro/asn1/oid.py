@@ -1,0 +1,108 @@
+"""Object identifier value type.
+
+An OID is an immutable sequence of non-negative integer arcs, e.g.
+``1.3.6.1.2.1.1.1.0`` (``sysDescr.0``).  The class supports prefix tests,
+concatenation, and dotted-string parsing, which is all SNMP needs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+
+class Oid:
+    """An ASN.1 OBJECT IDENTIFIER.
+
+    Instances are immutable, hashable and totally ordered (lexicographic
+    order on arcs, which matches MIB tree order).
+
+    >>> sysdescr = Oid("1.3.6.1.2.1.1.1.0")
+    >>> sysdescr.arcs[:3]
+    (1, 3, 6)
+    >>> Oid("1.3.6") .is_prefix_of(sysdescr)
+    True
+    """
+
+    __slots__ = ("_arcs",)
+
+    def __init__(self, arcs: "str | Iterable[int] | Oid") -> None:
+        if isinstance(arcs, Oid):
+            self._arcs: tuple[int, ...] = arcs._arcs
+            return
+        if isinstance(arcs, str):
+            text = arcs.strip().lstrip(".")
+            if not text:
+                raise ValueError("empty OID string")
+            try:
+                parsed = tuple(int(part) for part in text.split("."))
+            except ValueError as exc:
+                raise ValueError(f"invalid OID string: {arcs!r}") from exc
+        else:
+            parsed = tuple(int(a) for a in arcs)
+        if not parsed:
+            raise ValueError("OID must have at least one arc")
+        if any(a < 0 for a in parsed):
+            raise ValueError(f"OID arcs must be non-negative: {parsed}")
+        if len(parsed) >= 1 and parsed[0] > 2:
+            raise ValueError(f"first OID arc must be 0..2: {parsed[0]}")
+        if len(parsed) >= 2 and parsed[0] < 2 and parsed[1] > 39:
+            raise ValueError(f"second OID arc must be 0..39 when first is 0/1: {parsed[1]}")
+        self._arcs = parsed
+
+    @property
+    def arcs(self) -> tuple[int, ...]:
+        """The integer arcs of the OID."""
+        return self._arcs
+
+    def is_prefix_of(self, other: "Oid") -> bool:
+        """Return ``True`` when ``self`` is a (non-strict) prefix of ``other``."""
+        return other._arcs[: len(self._arcs)] == self._arcs
+
+    def child(self, *extra: int) -> "Oid":
+        """Return a new OID with ``extra`` arcs appended."""
+        return Oid(self._arcs + tuple(extra))
+
+    def parent(self) -> "Oid":
+        """Return the OID with the final arc removed."""
+        if len(self._arcs) <= 1:
+            raise ValueError("root OID has no parent")
+        return Oid(self._arcs[:-1])
+
+    def __add__(self, other: "Oid | Iterable[int]") -> "Oid":
+        other_arcs = other._arcs if isinstance(other, Oid) else tuple(other)
+        return Oid(self._arcs + other_arcs)
+
+    def __len__(self) -> int:
+        return len(self._arcs)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._arcs)
+
+    def __getitem__(self, index: int) -> int:
+        return self._arcs[index]
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Oid):
+            return self._arcs == other._arcs
+        return NotImplemented
+
+    def __lt__(self, other: "Oid") -> bool:
+        return self._arcs < other._arcs
+
+    def __le__(self, other: "Oid") -> bool:
+        return self._arcs <= other._arcs
+
+    def __gt__(self, other: "Oid") -> bool:
+        return self._arcs > other._arcs
+
+    def __ge__(self, other: "Oid") -> bool:
+        return self._arcs >= other._arcs
+
+    def __hash__(self) -> int:
+        return hash(self._arcs)
+
+    def __str__(self) -> str:
+        return ".".join(str(a) for a in self._arcs)
+
+    def __repr__(self) -> str:
+        return f"Oid({str(self)!r})"

@@ -1,0 +1,189 @@
+"""Command-line interface.
+
+Four subcommands mirror the measurement workflow::
+
+    snmpv3-repro scan    --scale 300 --out runs/demo     # campaign -> JSONL
+    snmpv3-repro analyze runs/demo                       # filter+alias+census
+    snmpv3-repro report  --scale 100 [--quick]           # full paper report
+    snmpv3-repro publish --scale 100 --out published     # figure CSVs
+    snmpv3-repro lab                                     # §6.2.1 bench run
+
+``scan`` exports the four raw scans; ``analyze`` consumes those files —
+so the two stages can run on different machines, the way the paper's
+collection and analysis separate.  ``python -m repro`` is equivalent.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from collections import Counter
+from pathlib import Path
+
+
+def _cmd_scan(args: argparse.Namespace) -> int:
+    from repro.io import export_scan_jsonl
+    from repro.scanner.campaign import ScanCampaign
+    from repro.topology.config import TopologyConfig
+    from repro.topology.generator import build_topology
+
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    config = TopologyConfig.paper_scale(divisor=args.scale, seed=args.seed)
+    print(f"building simulated Internet (1/{args.scale:g} scale, seed {args.seed})...")
+    started = time.time()
+    topology = build_topology(config)
+    result = ScanCampaign(topology, config).run()
+    for label, scan in result.scans.items():
+        path = out / f"scan-{label}.jsonl"
+        count = export_scan_jsonl(scan, path)
+        print(f"  {path}: {count} responsive IPs "
+              f"({scan.targets_probed} probed)")
+    print(f"done in {time.time() - started:.1f}s")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.alias.snmpv3 import resolve_aliases, resolve_dual_stack
+    from repro.fingerprint.vendor import vendor_of_alias_set
+    from repro.io import (
+        export_alias_sets_csv,
+        export_alias_sets_jsonl,
+        export_vendor_census_csv,
+        load_scan_jsonl,
+    )
+    from repro.pipeline.filters import FilterPipeline
+
+    run_dir = Path(args.run_dir)
+    scans = {}
+    for label in ("v4-1", "v4-2", "v6-1", "v6-2"):
+        path = run_dir / f"scan-{label}.jsonl"
+        if not path.exists():
+            print(f"error: missing {path}", file=sys.stderr)
+            return 2
+        scans[label] = load_scan_jsonl(path)
+
+    pipeline = FilterPipeline(reboot_threshold=args.threshold)
+    result_v4 = pipeline.run(scans["v4-1"], scans["v4-2"])
+    result_v6 = pipeline.run(scans["v6-1"], scans["v6-2"])
+    print(f"valid records: {len(result_v4.valid)} IPv4, {len(result_v6.valid)} IPv6")
+    for name, count in result_v4.stats.removed.items():
+        if count:
+            print(f"  filter {name}: removed {count} (IPv4)")
+
+    dual = resolve_dual_stack(result_v4.valid, result_v6.valid)
+    print(f"alias sets: {dual.count} devices, "
+          f"{dual.non_singleton_count} with multiple addresses")
+    export_alias_sets_jsonl(dual, run_dir / "alias-sets.jsonl")
+    export_alias_sets_csv(dual, run_dir / "alias-sets.csv")
+
+    records = {r.address: r for r in result_v4.valid + result_v6.valid}
+    census = Counter()
+    for group in dual.sets:
+        engine_ids = [records[a].engine_id for a in group if a in records]
+        census[vendor_of_alias_set(engine_ids).vendor] += 1
+    export_vendor_census_csv(census.most_common(), run_dir / "vendor-census.csv")
+    print("top vendors: " + ", ".join(f"{v} {c}" for v, c in census.most_common(5)))
+    print(f"artifacts written to {run_dir}/")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments import ExperimentContext
+    from repro.experiments.report import render_full_report
+    from repro.topology.config import TopologyConfig
+
+    config = TopologyConfig.paper_scale(divisor=args.scale, seed=args.seed)
+    print(f"running full reproduction (1/{args.scale:g} scale)...", file=sys.stderr)
+    ctx = ExperimentContext.create(config)
+    text = render_full_report(ctx, include_comparators=not args.quick)
+    if args.out:
+        Path(args.out).write_text(text, encoding="utf-8")
+        print(f"report written to {args.out}", file=sys.stderr)
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_publish(args: argparse.Namespace) -> int:
+    from repro.experiments import ExperimentContext
+    from repro.experiments.publish import publish_all
+    from repro.topology.config import TopologyConfig
+
+    config = TopologyConfig.paper_scale(divisor=args.scale, seed=args.seed)
+    print(f"running measurement (1/{args.scale:g} scale)...", file=sys.stderr)
+    ctx = ExperimentContext.create(config)
+    files = publish_all(ctx, args.out)
+    print(f"wrote {len(files)} CSV artifacts to {args.out}/")
+    return 0
+
+
+def _cmd_lab(args: argparse.Namespace) -> int:
+    from repro.experiments.lab import default_lab, run_lab_experiment
+
+    failures = 0
+    for router in default_lab():
+        report = run_lab_experiment(router)
+        verdicts = {
+            "silent before config": not report.answers_before_config,
+            "v2c after community": report.v2c_works_after_config,
+            "v3 implicitly enabled": report.v3_discovery_after_config,
+            "engine ID is MAC": report.engine_id_is_mac,
+            "same ID on all interfaces": report.same_engine_id_on_all_interfaces,
+            "first-interface MAC": report.engine_mac_is_first_interface,
+        }
+        print(f"{report.router}:")
+        for name, passed in verdicts.items():
+            print(f"  [{'ok' if passed else 'FAIL'}] {name}")
+            failures += 0 if passed else 1
+    return 1 if failures else 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="snmpv3-repro",
+        description="SNMPv3 router-fingerprinting reproduction toolchain",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    scan = sub.add_parser("scan", help="run the four-scan campaign, export JSONL")
+    scan.add_argument("--scale", type=float, default=300.0)
+    scan.add_argument("--seed", type=int, default=2021)
+    scan.add_argument("--out", default="runs/latest")
+    scan.set_defaults(func=_cmd_scan)
+
+    analyze = sub.add_parser("analyze", help="filter + alias + census from exports")
+    analyze.add_argument("run_dir")
+    analyze.add_argument("--threshold", type=float, default=10.0,
+                         help="last-reboot consistency threshold in seconds")
+    analyze.set_defaults(func=_cmd_analyze)
+
+    report = sub.add_parser("report", help="full table/figure reproduction")
+    report.add_argument("--scale", type=float, default=100.0)
+    report.add_argument("--seed", type=int, default=2021)
+    report.add_argument("--quick", action="store_true")
+    report.add_argument("--out", default=None)
+    report.set_defaults(func=_cmd_report)
+
+    publish = sub.add_parser(
+        "publish", help="export every figure/table series as CSV (snmpv3.io-style)"
+    )
+    publish.add_argument("--scale", type=float, default=100.0)
+    publish.add_argument("--seed", type=int, default=2021)
+    publish.add_argument("--out", default="published")
+    publish.set_defaults(func=_cmd_publish)
+
+    lab = sub.add_parser("lab", help="run the §6.2.1 lab validation")
+    lab.set_defaults(func=_cmd_lab)
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

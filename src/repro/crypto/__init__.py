@@ -1,0 +1,13 @@
+"""Minimal cryptographic primitives for SNMPv3 privacy.
+
+The paper's §2.1 summary of SNMPv3 — "strong user-based authentication,
+integrity, replay protection, and encryption" — needs a symmetric cipher
+for the last item.  The standard library offers HMAC/MD5/SHA but no block
+cipher, so :mod:`repro.crypto.aes` implements AES-128 from scratch
+(validated against the FIPS-197 and NIST SP 800-38A test vectors) plus
+the CFB-128 mode RFC 3826 uses for the User-based Security Model.
+"""
+
+from repro.crypto.aes import Aes128, cfb128_decrypt, cfb128_encrypt
+
+__all__ = ["Aes128", "cfb128_decrypt", "cfb128_encrypt"]

@@ -1,0 +1,165 @@
+"""AES-128 and CFB-128 mode, implemented from scratch (FIPS-197).
+
+Only encryption of single blocks is required: CFB mode uses the forward
+cipher for both encryption and decryption.  The implementation favours
+clarity over speed — SNMPv3 messages are tiny — and is validated against
+the FIPS-197 Appendix C vector and the NIST SP 800-38A CFB128 vectors in
+``tests/crypto``.
+"""
+
+from __future__ import annotations
+
+_BLOCK = 16
+_ROUNDS = 10  # AES-128
+
+# -- S-box ----------------------------------------------------------------------
+
+def _build_sbox() -> bytes:
+    """Construct the AES S-box from first principles (GF(2^8) inversion
+    followed by the affine transform) rather than pasting a table."""
+    # Multiplicative inverses via exp/log tables over the AES polynomial.
+    exp = [0] * 512
+    log = [0] * 256
+    x = 1
+    for i in range(255):
+        exp[i] = x
+        log[x] = i
+        # multiply x by the generator 0x03
+        x ^= (x << 1) ^ (0x11B if x & 0x80 else 0)
+        x &= 0xFF
+    for i in range(255, 512):
+        exp[i] = exp[i - 255]
+
+    sbox = bytearray(256)
+    for value in range(256):
+        inv = 0 if value == 0 else exp[255 - log[value]]
+        # Affine transformation.
+        result = 0x63
+        for bit in range(8):
+            parity = (
+                (inv >> bit)
+                ^ (inv >> ((bit + 4) % 8))
+                ^ (inv >> ((bit + 5) % 8))
+                ^ (inv >> ((bit + 6) % 8))
+                ^ (inv >> ((bit + 7) % 8))
+            ) & 1
+            result ^= parity << bit
+        # result initialised with 0x63 already XORed bitwise: combine.
+        sbox[value] = result
+    return bytes(sbox)
+
+
+_SBOX = _build_sbox()
+
+_RCON = (0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36)
+
+
+def _xtime(value: int) -> int:
+    """Multiply by x (i.e. 2) in GF(2^8)."""
+    value <<= 1
+    if value & 0x100:
+        value ^= 0x11B
+    return value & 0xFF
+
+
+class Aes128:
+    """The AES-128 forward cipher."""
+
+    def __init__(self, key: bytes) -> None:
+        if len(key) != 16:
+            raise ValueError(f"AES-128 needs a 16-byte key, got {len(key)}")
+        self._round_keys = self._expand_key(key)
+
+    @staticmethod
+    def _expand_key(key: bytes) -> list[bytes]:
+        words = [key[i : i + 4] for i in range(0, 16, 4)]
+        for round_index in range(_ROUNDS):
+            prev = words[-1]
+            # RotWord + SubWord + Rcon.
+            rotated = prev[1:] + prev[:1]
+            substituted = bytes(_SBOX[b] for b in rotated)
+            first = bytes(
+                [substituted[0] ^ _RCON[round_index]] + list(substituted[1:])
+            )
+            base = len(words) - 4
+            w0 = bytes(a ^ b for a, b in zip(words[base], first))
+            w1 = bytes(a ^ b for a, b in zip(words[base + 1], w0))
+            w2 = bytes(a ^ b for a, b in zip(words[base + 2], w1))
+            w3 = bytes(a ^ b for a, b in zip(words[base + 3], w2))
+            words.extend([w0, w1, w2, w3])
+        return [b"".join(words[i : i + 4]) for i in range(0, len(words), 4)]
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        """Encrypt one 16-byte block."""
+        if len(block) != _BLOCK:
+            raise ValueError(f"AES block must be 16 bytes, got {len(block)}")
+        state = bytes(a ^ b for a, b in zip(block, self._round_keys[0]))
+        for round_index in range(1, _ROUNDS):
+            state = _sub_bytes(state)
+            state = _shift_rows(state)
+            state = _mix_columns(state)
+            state = bytes(a ^ b for a, b in zip(state, self._round_keys[round_index]))
+        state = _sub_bytes(state)
+        state = _shift_rows(state)
+        return bytes(a ^ b for a, b in zip(state, self._round_keys[_ROUNDS]))
+
+
+def _sub_bytes(state: bytes) -> bytes:
+    return bytes(_SBOX[b] for b in state)
+
+
+def _shift_rows(state: bytes) -> bytes:
+    # State is column-major: byte index = 4*col + row.
+    out = bytearray(16)
+    for col in range(4):
+        for row in range(4):
+            out[4 * col + row] = state[4 * ((col + row) % 4) + row]
+    return bytes(out)
+
+
+def _mix_columns(state: bytes) -> bytes:
+    out = bytearray(16)
+    for col in range(4):
+        a = state[4 * col : 4 * col + 4]
+        out[4 * col + 0] = _xtime(a[0]) ^ (_xtime(a[1]) ^ a[1]) ^ a[2] ^ a[3]
+        out[4 * col + 1] = a[0] ^ _xtime(a[1]) ^ (_xtime(a[2]) ^ a[2]) ^ a[3]
+        out[4 * col + 2] = a[0] ^ a[1] ^ _xtime(a[2]) ^ (_xtime(a[3]) ^ a[3])
+        out[4 * col + 3] = (_xtime(a[0]) ^ a[0]) ^ a[1] ^ a[2] ^ _xtime(a[3])
+    return bytes(out)
+
+
+# -- CFB-128 mode ----------------------------------------------------------------------
+
+
+def cfb128_encrypt(key: bytes, iv: bytes, plaintext: bytes) -> bytes:
+    """CFB mode with 128-bit feedback (the RFC 3826 configuration).
+
+    The final segment may be shorter than a block; SNMP does not pad.
+    """
+    if len(iv) != _BLOCK:
+        raise ValueError(f"CFB-128 needs a 16-byte IV, got {len(iv)}")
+    cipher = Aes128(key)
+    out = bytearray()
+    feedback = iv
+    for offset in range(0, len(plaintext), _BLOCK):
+        keystream = cipher.encrypt_block(feedback)
+        segment = plaintext[offset : offset + _BLOCK]
+        encrypted = bytes(p ^ k for p, k in zip(segment, keystream))
+        out.extend(encrypted)
+        feedback = encrypted if len(encrypted) == _BLOCK else feedback
+    return bytes(out)
+
+
+def cfb128_decrypt(key: bytes, iv: bytes, ciphertext: bytes) -> bytes:
+    """Inverse of :func:`cfb128_encrypt` (uses the forward cipher)."""
+    if len(iv) != _BLOCK:
+        raise ValueError(f"CFB-128 needs a 16-byte IV, got {len(iv)}")
+    cipher = Aes128(key)
+    out = bytearray()
+    feedback = iv
+    for offset in range(0, len(ciphertext), _BLOCK):
+        keystream = cipher.encrypt_block(feedback)
+        segment = ciphertext[offset : offset + _BLOCK]
+        out.extend(c ^ k for c, k in zip(segment, keystream))
+        feedback = segment if len(segment) == _BLOCK else feedback
+    return bytes(out)

@@ -1,0 +1,187 @@
+"""The shared experiment context.
+
+Builds the simulated Internet, runs the four scan campaigns, the
+filtering pipeline, alias resolution (single-family and dual-stack), and
+vendor fingerprinting — once.  Every table/figure module projects from
+the cached results, mirroring how the paper derives all of its evaluation
+from the same two scan pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+
+from repro.alias.sets import AliasSets
+from repro.alias.snmpv3 import MatchVariant, resolve_aliases, resolve_dual_stack
+from repro.fingerprint.vendor import VendorInference, vendor_of_alias_set
+from repro.net.addresses import IPAddress
+from repro.pipeline.filters import FilterPipeline, PipelineResult
+from repro.pipeline.records import ValidRecord
+from repro.scanner.campaign import CampaignResult, ScanCampaign
+from repro.topology.config import TopologyConfig
+from repro.topology.datasets import RdnsZone, RouterDatasets, build_rdns_zone
+from repro.topology.generator import build_topology
+from repro.topology.model import Topology
+
+
+@dataclass
+class ExperimentContext:
+    """Everything the evaluation sections consume."""
+
+    config: TopologyConfig
+    topology: Topology
+    campaign: CampaignResult
+    pipeline_v4: PipelineResult
+    pipeline_v6: PipelineResult
+
+    @classmethod
+    def create(
+        cls,
+        config: "TopologyConfig | None" = None,
+        pipeline: "FilterPipeline | None" = None,
+    ) -> "ExperimentContext":
+        """Run the full measurement pipeline."""
+        config = config or TopologyConfig.paper_scale()
+        topology = build_topology(config)
+        campaign = ScanCampaign(topology, config).run()
+        pipeline = pipeline or FilterPipeline()
+        pipeline_v4 = pipeline.run(*campaign.scan_pair(4))
+        pipeline_v6 = pipeline.run(*campaign.scan_pair(6))
+        return cls(
+            config=config,
+            topology=topology,
+            campaign=campaign,
+            pipeline_v4=pipeline_v4,
+            pipeline_v6=pipeline_v6,
+        )
+
+    # -- convenience views ----------------------------------------------------
+
+    @property
+    def datasets(self) -> RouterDatasets:
+        return self.campaign.datasets
+
+    @cached_property
+    def rdns_zone(self) -> RdnsZone:
+        return build_rdns_zone(self.topology, self.config)
+
+    @cached_property
+    def valid_v4(self) -> list[ValidRecord]:
+        return self.pipeline_v4.valid
+
+    @cached_property
+    def valid_v6(self) -> list[ValidRecord]:
+        return self.pipeline_v6.valid
+
+    @cached_property
+    def record_by_address(self) -> dict[IPAddress, ValidRecord]:
+        return {r.address: r for r in self.valid_v4 + self.valid_v6}
+
+    @cached_property
+    def merged_v4(self):
+        """Scan-pair join for IPv4 (pre-filter), cached for the figures."""
+        from repro.pipeline.records import merge_scan_pair
+
+        return merge_scan_pair(*self.campaign.scan_pair(4))[0]
+
+    @cached_property
+    def merged_v6(self):
+        """Scan-pair join for IPv6 (pre-filter), cached for the figures."""
+        from repro.pipeline.records import merge_scan_pair
+
+        return merge_scan_pair(*self.campaign.scan_pair(6))[0]
+
+    # -- alias resolution --------------------------------------------------------
+
+    @cached_property
+    def alias_v4(self) -> AliasSets:
+        return resolve_aliases(self.valid_v4)
+
+    @cached_property
+    def alias_v6(self) -> AliasSets:
+        return resolve_aliases(self.valid_v6)
+
+    @cached_property
+    def alias_dual(self) -> AliasSets:
+        """The final joint alias sets (§5.1) — 'devices' in §6's terms."""
+        return resolve_dual_stack(self.valid_v4, self.valid_v6)
+
+    # -- router tagging -------------------------------------------------------------
+
+    def is_router_set(self, group: "frozenset[IPAddress]") -> bool:
+        """An alias set is a router when any member IP is in a router dataset."""
+        return any(self.datasets.is_router_ip(a) for a in group)
+
+    @cached_property
+    def router_sets(self) -> AliasSets:
+        """Alias sets identified as routers (the ~350k population)."""
+        return AliasSets(
+            sets=[g for g in self.alias_dual.sets if self.is_router_set(g)],
+            technique="snmpv3-routers",
+        )
+
+    @cached_property
+    def responsive_router_ips_v4(self) -> set[IPAddress]:
+        """SNMPv3-responsive IPv4 addresses inside the union router dataset."""
+        scan1, scan2 = self.campaign.scan_pair(4)
+        responsive = set(scan1.observations) | set(scan2.observations)
+        return responsive & set(self.datasets.union_v4)
+
+    # -- fingerprinting ---------------------------------------------------------------
+
+    def vendor_of_set(self, group: "frozenset[IPAddress]") -> VendorInference:
+        engine_ids = [
+            self.record_by_address[a].engine_id
+            for a in group
+            if a in self.record_by_address
+        ]
+        return vendor_of_alias_set(engine_ids)
+
+    @cached_property
+    def device_vendors(self) -> list[tuple[frozenset, VendorInference]]:
+        """(alias set, vendor) for every de-aliased device (Figure 11)."""
+        return [(g, self.vendor_of_set(g)) for g in self.alias_dual.sets]
+
+    @cached_property
+    def router_vendors(self) -> list[tuple[frozenset, VendorInference]]:
+        """(alias set, vendor) for router alias sets (Figure 12)."""
+        return [(g, self.vendor_of_set(g)) for g in self.router_sets.sets]
+
+    # -- per-AS views --------------------------------------------------------------------
+
+    def as_of_set(self, group: "frozenset[IPAddress]") -> "int | None":
+        """Majority AS of an alias set's addresses (ground-truth prefix map)."""
+        counts: dict[int, int] = {}
+        for address in group:
+            device = self.topology.device_of_address(address)
+            if device is not None:
+                counts[device.asn] = counts.get(device.asn, 0) + 1
+        if not counts:
+            return None
+        return max(counts, key=counts.get)
+
+    @cached_property
+    def router_vendor_by_as(self) -> dict[int, list[str]]:
+        """{asn: [inferred vendor per router]} — the §6.4 input."""
+        result: dict[int, list[str]] = {}
+        for group, verdict in self.router_vendors:
+            asn = self.as_of_set(group)
+            if asn is None:
+                continue
+            result.setdefault(asn, []).append(verdict.vendor)
+        return result
+
+    # -- reboot views ------------------------------------------------------------------------
+
+    @cached_property
+    def router_last_reboots(self) -> list[float]:
+        """One last-reboot timestamp per router alias set (Figure 13)."""
+        reboots = []
+        for group in self.router_sets.sets:
+            for address in group:
+                record = self.record_by_address.get(address)
+                if record is not None:
+                    reboots.append(record.last_reboot_time)
+                    break
+        return reboots

@@ -1,0 +1,184 @@
+"""Alias-resolution figures and comparisons: Figure 9, §5.1–§5.4.
+
+Covers the alias-set size distribution, the per-protocol breakdown of
+§5.1, the Router Names comparison (§5.2), the MIDAR/Speedtrap comparison
+(§5.3) and the combined-coverage computation (§5.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.alias.compare import OverlapReport, compare_alias_sets
+from repro.alias.dns_names import RouterNamesResolver
+from repro.alias.midar import MidarResolver
+from repro.alias.sets import AliasSets
+from repro.alias.speedtrap import SpeedtrapResolver
+from repro.analysis.coverage import CombinedCoverage, combined_coverage
+from repro.analysis.ecdf import Ecdf
+from repro.experiments.context import ExperimentContext
+
+
+# -- §5.1 summary ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AliasSummary:
+    """The §5.1 headline numbers for one alias-set collection."""
+
+    label: str
+    sets: int
+    non_singletons: int
+    ips_in_non_singletons: int
+    mean_non_singleton_size: float
+    input_ips: int
+
+    @property
+    def grouped_fraction(self) -> float:
+        """Fraction of input IPs that landed in non-singleton sets."""
+        if self.input_ips == 0:
+            return 0.0
+        return self.ips_in_non_singletons / self.input_ips
+
+
+def alias_summary(sets: AliasSets, label: str, input_ips: int) -> AliasSummary:
+    return AliasSummary(
+        label=label,
+        sets=sets.count,
+        non_singletons=sets.non_singleton_count,
+        ips_in_non_singletons=sets.addresses_in_non_singletons,
+        mean_non_singleton_size=sets.mean_non_singleton_size,
+        input_ips=input_ips,
+    )
+
+
+@dataclass(frozen=True)
+class Section51:
+    """Per-family and dual-stack alias results."""
+
+    v4: AliasSummary
+    v6: AliasSummary
+    v4_only_sets: int
+    v6_only_sets: int
+    dual_sets: int
+    dual_non_singleton: int
+    dual_mean_size: float
+
+
+def section51(ctx: ExperimentContext) -> Section51:
+    split = ctx.alias_dual.split_by_protocol()
+    dual_groups = split["dual"]
+    dual_sizes = [len(g) for g in dual_groups]
+    return Section51(
+        v4=alias_summary(ctx.alias_v4, "IPv4", len(ctx.valid_v4)),
+        v6=alias_summary(ctx.alias_v6, "IPv6", len(ctx.valid_v6)),
+        v4_only_sets=len(split["v4"]),
+        v6_only_sets=len(split["v6"]),
+        dual_sets=len(dual_groups),
+        dual_non_singleton=sum(1 for g in dual_groups if len(g) > 1),
+        dual_mean_size=(sum(dual_sizes) / len(dual_sizes)) if dual_sizes else 0.0,
+    )
+
+
+# -- Figure 9: IPs per alias set ---------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Figure9:
+    """Alias-set size ECDFs: IPv4, IPv6 and router-only sets."""
+
+    ipv4_sets: Ecdf
+    ipv6_sets: Ecdf
+    router_sets: Ecdf
+
+    @property
+    def router_sets_are_larger(self) -> bool:
+        """Paper: router alias sets contain many more addresses."""
+        return self.router_sets.median >= self.ipv4_sets.median
+
+
+def figure9(ctx: ExperimentContext) -> Figure9:
+    return Figure9(
+        ipv4_sets=Ecdf.from_values(ctx.alias_v4.sizes()),
+        ipv6_sets=Ecdf.from_values(ctx.alias_v6.sizes()),
+        router_sets=Ecdf.from_values(ctx.router_sets.sizes()),
+    )
+
+
+# -- §5.2: Router Names comparison ---------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Section52:
+    """SNMPv3 vs Router Names."""
+
+    router_names: AliasSets
+    snmpv3_dual_non_singleton: int
+    router_names_dual_non_singleton: int
+    overlap: OverlapReport
+
+
+def section52(ctx: ExperimentContext) -> Section52:
+    resolver = RouterNamesResolver(ctx.rdns_zone)
+    router_names = resolver.resolve(ctx.topology)
+    rn_split = router_names.split_by_protocol()
+    sn_split = ctx.alias_dual.split_by_protocol()
+    return Section52(
+        router_names=router_names,
+        snmpv3_dual_non_singleton=sum(1 for g in sn_split["dual"] if len(g) > 1),
+        router_names_dual_non_singleton=sum(1 for g in rn_split["dual"] if len(g) > 1),
+        overlap=compare_alias_sets(ctx.alias_dual, router_names),
+    )
+
+
+# -- §5.3: MIDAR / Speedtrap comparison ------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Section53:
+    """SNMPv3 vs the IP-ID techniques."""
+
+    midar: AliasSets
+    speedtrap: AliasSets
+    midar_overlap: OverlapReport
+    speedtrap_overlap: OverlapReport
+
+
+def section53(ctx: ExperimentContext) -> Section53:
+    midar_candidates = sorted(ctx.datasets.union_v4, key=int)
+    speedtrap_candidates = sorted(ctx.datasets.itdk_v6 | ctx.datasets.ripe_v6, key=int)
+    midar_sets = MidarResolver(ctx.topology).resolve(midar_candidates)
+    speedtrap_sets = SpeedtrapResolver(ctx.topology).resolve(speedtrap_candidates)
+    return Section53(
+        midar=midar_sets,
+        speedtrap=speedtrap_sets,
+        midar_overlap=compare_alias_sets(ctx.alias_v4, midar_sets),
+        speedtrap_overlap=compare_alias_sets(ctx.alias_v6, speedtrap_sets),
+    )
+
+
+# -- §5.4: combined coverage --------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Section54:
+    """Union router-IP de-alias coverage: MIDAR, SNMPv3, combined."""
+
+    coverage: CombinedCoverage
+    snmpv3_responsive_fraction: float  # paper: 16% of union router IPs
+
+
+def section54(ctx: ExperimentContext, midar_sets: "AliasSets | None" = None) -> Section54:
+    if midar_sets is None:
+        midar_sets = MidarResolver(ctx.topology).resolve(
+            sorted(ctx.datasets.union_v4, key=int)
+        )
+    coverage = combined_coverage(
+        ctx.datasets.union_v4, midar_sets, ctx.alias_v4
+    )
+    responsive_fraction = (
+        len(ctx.responsive_router_ips_v4) / len(ctx.datasets.union_v4)
+        if ctx.datasets.union_v4
+        else 0.0
+    )
+    return Section54(coverage=coverage, snmpv3_responsive_fraction=responsive_fraction)

@@ -1,0 +1,264 @@
+"""Engine-ID centric figures: 4, 5, 6, 7, 8 and 19 (Appendix B).
+
+Each function consumes the shared :class:`ExperimentContext` and returns
+a small result object holding both the plottable series and the scalar
+facts the paper's prose asserts about the figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.ecdf import Ecdf
+from repro.analysis.hamming import hamming_weight_distribution, mean, skewness
+from repro.experiments.context import ExperimentContext
+from repro.snmp.engine_id import EngineIdFormat
+
+
+# -- Figure 4: IPs per engine ID ------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Figure4:
+    """ECDF of the number of IPs each unique engine ID was seen on."""
+
+    ecdf_v4: Ecdf
+    ecdf_v6: Ecdf
+
+    @property
+    def singleton_fraction_v4(self) -> float:
+        """Paper: >80% of IPv4 engine IDs are seen on one IP."""
+        return self.ecdf_v4.at(1.0)
+
+    @property
+    def singleton_fraction_v6(self) -> float:
+        """Paper: more than half for IPv6."""
+        return self.ecdf_v6.at(1.0)
+
+    @property
+    def max_ips_single_engine_id_v4(self) -> float:
+        """The heavy tail: shared-engine-ID bug populations."""
+        return self.ecdf_v4.values[-1] if self.ecdf_v4.values else 0.0
+
+
+def _ips_per_engine_id(scan_observations) -> list[int]:
+    counts: dict[bytes, int] = {}
+    for obs in scan_observations:
+        if obs.engine_id is None or not obs.engine_id.raw:
+            continue
+        counts[obs.engine_id.raw] = counts.get(obs.engine_id.raw, 0) + 1
+    return list(counts.values())
+
+
+def figure4(ctx: ExperimentContext) -> Figure4:
+    scan_v4, __ = ctx.campaign.scan_pair(4)
+    scan_v6, __ = ctx.campaign.scan_pair(6)
+    return Figure4(
+        ecdf_v4=Ecdf.from_values(_ips_per_engine_id(scan_v4)),
+        ecdf_v6=Ecdf.from_values(_ips_per_engine_id(scan_v6)),
+    )
+
+
+# -- Figure 5: engine-ID format distribution ----------------------------------------
+
+
+@dataclass(frozen=True)
+class Figure5:
+    """Share of each engine-ID format among unique engine IDs, per family."""
+
+    shares_v4: dict[EngineIdFormat, float]
+    shares_v6: dict[EngineIdFormat, float]
+
+    def share(self, version: int, fmt: EngineIdFormat) -> float:
+        shares = self.shares_v4 if version == 4 else self.shares_v6
+        return shares.get(fmt, 0.0)
+
+    def render(self) -> str:
+        lines = [f"{'format':<22} {'IPv4':>8} {'IPv6':>8}"]
+        for fmt in EngineIdFormat:
+            lines.append(
+                f"{fmt.value:<22} {self.shares_v4.get(fmt, 0.0):>7.1%}"
+                f" {self.shares_v6.get(fmt, 0.0):>7.1%}"
+            )
+        return "\n".join(lines)
+
+
+def _format_shares(scan) -> dict[EngineIdFormat, float]:
+    seen: set[bytes] = set()
+    counts: dict[EngineIdFormat, int] = {}
+    for obs in scan.observations.values():
+        if obs.engine_id is None or not obs.engine_id.raw:
+            continue
+        if obs.engine_id.raw in seen:
+            continue
+        seen.add(obs.engine_id.raw)
+        counts[obs.engine_id.format] = counts.get(obs.engine_id.format, 0) + 1
+    total = max(1, sum(counts.values()))
+    return {fmt: count / total for fmt, count in counts.items()}
+
+
+def figure5(ctx: ExperimentContext) -> Figure5:
+    scan_v4, __ = ctx.campaign.scan_pair(4)
+    scan_v6, __ = ctx.campaign.scan_pair(6)
+    return Figure5(
+        shares_v4=_format_shares(scan_v4), shares_v6=_format_shares(scan_v6)
+    )
+
+
+# -- Figure 6: Hamming-weight randomness ----------------------------------------------
+
+
+@dataclass(frozen=True)
+class Figure6:
+    """Relative Hamming weights of Octets vs non-conforming engine IDs."""
+
+    octets_weights: list[float]
+    non_conforming_weights: list[float]
+
+    @property
+    def octets_mean(self) -> float:
+        return mean(self.octets_weights)
+
+    @property
+    def non_conforming_mean(self) -> float:
+        return mean(self.non_conforming_weights)
+
+    @property
+    def non_conforming_skewness(self) -> float:
+        """Paper: positive skew — sparse bit patterns."""
+        return skewness(self.non_conforming_weights)
+
+
+def figure6(ctx: ExperimentContext) -> Figure6:
+    scan_v4, __ = ctx.campaign.scan_pair(4)
+    octets = []
+    legacy = []
+    for obs in scan_v4.observations.values():
+        if obs.engine_id is None or not obs.engine_id.raw:
+            continue
+        if obs.engine_id.format is EngineIdFormat.OCTETS:
+            octets.append(obs.engine_id)
+        elif obs.engine_id.format is EngineIdFormat.NON_CONFORMING:
+            legacy.append(obs.engine_id)
+    return Figure6(
+        octets_weights=hamming_weight_distribution(octets),
+        non_conforming_weights=hamming_weight_distribution(legacy),
+    )
+
+
+# -- Figure 7: last-reboot spread of the top engine IDs --------------------------------
+
+
+@dataclass(frozen=True)
+class Figure7:
+    """Last-reboot ECDFs of the three most-shared engine IDs per family."""
+
+    top_v4: list[tuple[bytes, Ecdf]]
+    top_v6: list[tuple[bytes, Ecdf]]
+
+    @staticmethod
+    def reboot_span_years(ecdf: Ecdf) -> float:
+        """Spread between the 5th and 95th percentile, in years."""
+        if ecdf.count < 2:
+            return 0.0
+        return (ecdf.quantile(0.95) - ecdf.quantile(0.05)) / (365.25 * 86400)
+
+
+def figure7(ctx: ExperimentContext, top_n: int = 3) -> Figure7:
+    def top_engine_reboots(scan) -> list[tuple[bytes, Ecdf]]:
+        by_engine: dict[bytes, list[float]] = {}
+        for obs in scan.observations.values():
+            if obs.engine_id is None or not obs.engine_id.raw:
+                continue
+            by_engine.setdefault(obs.engine_id.raw, []).append(obs.last_reboot_time)
+        ranked = sorted(by_engine.items(), key=lambda kv: len(kv[1]), reverse=True)
+        return [(raw, Ecdf.from_values(values)) for raw, values in ranked[:top_n]]
+
+    scan_v4, __ = ctx.campaign.scan_pair(4)
+    scan_v6, __ = ctx.campaign.scan_pair(6)
+    return Figure7(
+        top_v4=top_engine_reboots(scan_v4), top_v6=top_engine_reboots(scan_v6)
+    )
+
+
+# -- Figure 8: |delta last reboot| between scans -------------------------------------------
+
+
+@dataclass(frozen=True)
+class Figure8:
+    """Reboot-delta ECDFs for all IPs and router IPs, per family."""
+
+    all_v4: Ecdf
+    routers_v4: Ecdf
+    all_v6: Ecdf
+    routers_v6: Ecdf
+
+
+def figure8(ctx: ExperimentContext) -> Figure8:
+    def deltas(version: int) -> tuple[Ecdf, Ecdf]:
+        merged = ctx.merged_v4 if version == 4 else ctx.merged_v6
+        all_values = []
+        router_values = []
+        for record in merged:
+            if not record.consistent_engine_id:
+                continue
+            if (
+                record.first.engine_time <= 0
+                or record.second.engine_time <= 0
+                or record.first.engine_boots != record.second.engine_boots
+            ):
+                continue
+            delta = record.reboot_time_delta
+            all_values.append(delta)
+            if ctx.datasets.is_router_ip(record.address):
+                router_values.append(delta)
+        return Ecdf.from_values(all_values), Ecdf.from_values(router_values)
+
+    all_v4, routers_v4 = deltas(4)
+    all_v6, routers_v6 = deltas(6)
+    return Figure8(
+        all_v4=all_v4, routers_v4=routers_v4, all_v6=all_v6, routers_v6=routers_v6
+    )
+
+
+# -- Figure 19 (Appendix B): tuple uniqueness ------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Figure19:
+    """How many engine IDs share one (last reboot, boots) tuple."""
+
+    engine_ids_per_tuple_v4: Ecdf
+    engine_ids_per_tuple_v6: Ecdf
+    unique_fraction_v4: float  # paper: 97.2% of IPv4 IPs
+    unique_fraction_v6: float  # paper: 99.8% of IPv6 IPs
+
+
+def figure19(ctx: ExperimentContext) -> Figure19:
+    def per_family(records) -> tuple[Ecdf, float]:
+        engines_by_tuple: dict[tuple, set[bytes]] = {}
+        for record in records:
+            key = (int(record.last_reboot_first) // 20, record.engine_boots)
+            engines_by_tuple.setdefault(key, set()).add(record.engine_id.raw)
+        counts = {key: len(engines) for key, engines in engines_by_tuple.items()}
+        ip_weighted = []
+        unique_ips = 0
+        total_ips = 0
+        for record in records:
+            key = (int(record.last_reboot_first) // 20, record.engine_boots)
+            n = counts[key]
+            ip_weighted.append(float(n))
+            total_ips += 1
+            if n == 1:
+                unique_ips += 1
+        fraction = unique_ips / total_ips if total_ips else 1.0
+        return Ecdf.from_values(ip_weighted), fraction
+
+    ecdf_v4, frac_v4 = per_family(ctx.valid_v4)
+    ecdf_v6, frac_v6 = per_family(ctx.valid_v6)
+    return Figure19(
+        engine_ids_per_tuple_v4=ecdf_v4,
+        engine_ids_per_tuple_v6=ecdf_v6,
+        unique_fraction_v4=frac_v4,
+        unique_fraction_v6=frac_v6,
+    )

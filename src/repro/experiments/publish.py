@@ -1,0 +1,123 @@
+"""Publish figure/table data as CSV — the snmpv3.io companion artifacts.
+
+The paper maintains "regularly updated graphs of aggregated results at
+https://snmpv3.io".  This module writes every figure's plottable series
+and every table's rows into a directory of CSV files, so the aggregated
+(and, per §3.3, anonymized — only simulated entities appear here) results
+can be regenerated and diffed across measurement runs.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.experiments import figures_alias as fa
+from repro.experiments import figures_engine as fe
+from repro.experiments import figures_vendor as fv
+from repro.experiments import tables
+from repro.experiments.context import ExperimentContext
+from repro.snmp.engine_id import EngineIdFormat
+
+
+def _write(path: Path, header: "list[str]", rows) -> None:
+    with path.open("w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        writer.writerows(rows)
+
+
+def _ecdf_rows(ecdf):
+    return [(f"{x:.6g}", f"{y:.6f}") for x, y in ecdf.series()]
+
+
+def publish_all(ctx: ExperimentContext, out_dir: "str | Path") -> list[str]:
+    """Write every figure/table artifact; returns the file names written."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    written: list[str] = []
+
+    def emit(name: str, header: "list[str]", rows) -> None:
+        _write(out / name, header, rows)
+        written.append(name)
+
+    # Tables.
+    t1 = tables.table1(ctx)
+    emit("table1.csv",
+         ["scan", "responsive_ips", "unique_engine_ids", "valid_engine_id",
+          "valid_engine_id_time"],
+         [(r.label, r.responsive_ips, r.unique_engine_ids,
+           r.valid_engine_id_ips, r.valid_engine_id_time_ips) for r in t1.rows])
+    t2 = tables.table2(ctx)
+    emit("table2.csv",
+         ["dataset", "ipv4", "ipv4_snmpv3", "ipv6", "ipv6_snmpv3"],
+         [(r.dataset, r.ipv4_addresses, r.ipv4_snmpv3,
+           r.ipv6_addresses, r.ipv6_snmpv3) for r in t2.rows])
+    t3 = tables.table3(ctx)
+    emit("table3.csv",
+         ["variant", "alias_sets", "non_singletons", "ips_in_non_singletons",
+          "ips_per_non_singleton"],
+         [(r.variant, r.alias_sets, r.non_singleton_sets,
+           r.ips_in_non_singletons, f"{r.ips_per_non_singleton:.2f}")
+          for r in t3.rows])
+
+    # ECDF figures.
+    f4 = fe.figure4(ctx)
+    emit("fig04_ips_per_engine_id_v4.csv", ["x", "cdf"], _ecdf_rows(f4.ecdf_v4))
+    emit("fig04_ips_per_engine_id_v6.csv", ["x", "cdf"], _ecdf_rows(f4.ecdf_v6))
+
+    f5 = fe.figure5(ctx)
+    emit("fig05_engine_id_formats.csv",
+         ["format", "ipv4_share", "ipv6_share"],
+         [(fmt.value, f"{f5.shares_v4.get(fmt, 0.0):.4f}",
+           f"{f5.shares_v6.get(fmt, 0.0):.4f}") for fmt in EngineIdFormat])
+
+    f6 = fe.figure6(ctx)
+    emit("fig06_hamming_octets.csv", ["relative_weight"],
+         [(f"{w:.4f}",) for w in sorted(f6.octets_weights)])
+    emit("fig06_hamming_nonconforming.csv", ["relative_weight"],
+         [(f"{w:.4f}",) for w in sorted(f6.non_conforming_weights)])
+
+    f8 = fe.figure8(ctx)
+    for name, ecdf in (("v4_all", f8.all_v4), ("v4_routers", f8.routers_v4),
+                       ("v6_all", f8.all_v6), ("v6_routers", f8.routers_v6)):
+        emit(f"fig08_reboot_delta_{name}.csv", ["seconds", "cdf"], _ecdf_rows(ecdf))
+
+    f9 = fa.figure9(ctx)
+    emit("fig09_alias_set_sizes_v4.csv", ["size", "cdf"], _ecdf_rows(f9.ipv4_sets))
+    emit("fig09_alias_set_sizes_routers.csv", ["size", "cdf"],
+         _ecdf_rows(f9.router_sets))
+
+    f10 = fv.figure10(ctx)
+    emit("fig10_coverage_per_as.csv", ["asn", "responsive", "total"],
+         [(asn, r, t) for asn, (r, t) in sorted(f10.coverage.per_as.items())])
+
+    for name, pop in (("fig11_device_vendors", fv.figure11(ctx)),
+                      ("fig12_router_vendors", fv.figure12(ctx))):
+        emit(f"{name}.csv", ["vendor", "v4_only", "v6_only", "dual", "total"],
+             [(vendor,
+               pop.by_protocol[vendor]["v4"], pop.by_protocol[vendor]["v6"],
+               pop.by_protocol[vendor]["dual"], count)
+              for vendor, count in pop.top(10_000)])
+
+    emit("fig13_last_reboot_times.csv", ["unix_time"],
+         [(f"{t:.0f}",) for t in sorted(ctx.router_last_reboots)])
+
+    f15 = fv.figure15(ctx)
+    emit("fig15_regional_shares.csv",
+         ["region", "vendor", "share", "routers_in_region"],
+         [(region.value, vendor, f"{share:.4f}", f15.totals.get(region, 0))
+          for region, shares in sorted(f15.shares.items(), key=lambda kv: kv[0].value)
+          for vendor, share in shares.items()])
+
+    emit("fig16_top_networks.csv",
+         ["region", "asn", "routers", "dominant_vendor"],
+         [(row.region.value, row.asn, row.router_count, row.dominant_vendor)
+          for row in fv.figure16(ctx)])
+
+    f17 = fv.figure17(ctx)
+    for threshold, ecdf in f17.ecdf_by_min_routers.items():
+        emit(f"fig17_dominance_min{threshold}.csv", ["dominance", "cdf"],
+             _ecdf_rows(ecdf))
+
+    return written

@@ -1,0 +1,266 @@
+"""Render the complete evaluation as a text report.
+
+``render_full_report`` prints every table and figure reproduction in
+paper order — this is what ``examples/full_reproduction.py`` and the
+benchmark harness emit, and what EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+import io
+
+from repro.experiments import figures_alias as fa
+from repro.experiments import figures_engine as fe
+from repro.experiments import figures_vendor as fv
+from repro.experiments import tables
+from repro.experiments.context import ExperimentContext
+from repro.experiments.lab import default_lab, run_lab_experiment
+from repro.snmp.engine_id import EngineIdFormat
+
+
+def _h(title: str) -> str:
+    return f"\n{'=' * 72}\n{title}\n{'=' * 72}"
+
+
+def render_full_report(
+    ctx: ExperimentContext,
+    include_comparators: bool = True,
+    include_extensions: bool = False,
+) -> str:
+    """Render every experiment; comparators (MIDAR/Speedtrap/Nmap/rDNS)
+    can be skipped for quick runs, and the beyond-the-paper extensions
+    (middlebox inference, amplification, longitudinal monitoring) added
+    on request."""
+    out = io.StringIO()
+    w = out.write
+
+    w(_h("Table 1: SNMPv3 measurement campaigns"))
+    w("\n" + tables.table1(ctx).render() + "\n")
+
+    w(_h("Table 2: router datasets and SNMPv3 overlap"))
+    w("\n" + tables.table2(ctx).render() + "\n")
+
+    w(_h("Table 3 (Appendix A): alias resolution variants"))
+    w("\n" + tables.table3(ctx).render() + "\n")
+
+    w(_h("Figure 4: number of IPs per engine ID"))
+    f4 = fe.figure4(ctx)
+    w(f"\nIPv4 singleton engine IDs: {f4.singleton_fraction_v4:.1%}")
+    w(f"\nIPv6 singleton engine IDs: {f4.singleton_fraction_v6:.1%}")
+    w(f"\nlargest IPv4 engine-ID footprint: {f4.max_ips_single_engine_id_v4:.0f} IPs\n")
+    w(f4.ecdf_v4.render("IPs per engine ID (IPv4)", [1, 2, 5, 10, 100, 1000]) + "\n")
+
+    w(_h("Figure 5: engine ID format distribution"))
+    w("\n" + fe.figure5(ctx).render() + "\n")
+
+    w(_h("Figure 6: relative Hamming weight (randomness)"))
+    f6 = fe.figure6(ctx)
+    w(f"\nOctets mean weight: {f6.octets_mean:.3f} (random ~ 0.5)")
+    w(f"\nNon-conforming mean weight: {f6.non_conforming_mean:.3f}")
+    w(f"\nNon-conforming skewness: {f6.non_conforming_skewness:+.2f} (positive = sparse)\n")
+
+    w(_h("Figure 7: last reboot time of top-3 engine IDs"))
+    f7 = fe.figure7(ctx)
+    for family, top in (("IPv4", f7.top_v4), ("IPv6", f7.top_v6)):
+        for rank, (raw, ecdf) in enumerate(top, 1):
+            w(
+                f"\n{family} #{rank}: 0x{raw.hex()[:24]}... on {ecdf.count} IPs, "
+                f"reboot spread {f7.reboot_span_years(ecdf):.1f} years"
+            )
+    w("\n")
+
+    w(_h("Figure 8: |delta last reboot| between scans"))
+    f8 = fe.figure8(ctx)
+    for label, ecdf in (
+        ("IPv4 all IPs", f8.all_v4), ("IPv4 router IPs", f8.routers_v4),
+        ("IPv6 all IPs", f8.all_v6), ("IPv6 router IPs", f8.routers_v6),
+    ):
+        if ecdf.count:
+            w(f"\n{label:<16} <=10s: {ecdf.at(10):.1%}   <=120s: {ecdf.at(120):.1%}")
+    w("\n")
+
+    w(_h("Section 5.1: alias sets"))
+    s51 = fa.section51(ctx)
+    for summary in (s51.v4, s51.v6):
+        w(
+            f"\n{summary.label}: {summary.sets} alias sets, "
+            f"{summary.non_singletons} non-singleton holding "
+            f"{summary.ips_in_non_singletons} IPs "
+            f"({summary.grouped_fraction:.0%} of input, "
+            f"{summary.mean_non_singleton_size:.1f} IPs/set)"
+        )
+    w(
+        f"\njoint: {s51.v4_only_sets} IPv4-only, {s51.v6_only_sets} IPv6-only, "
+        f"{s51.dual_sets} dual-stack sets ({s51.dual_mean_size:.1f} addrs/dual set)\n"
+    )
+
+    w(_h("Figure 9: IPs per alias set"))
+    f9 = fa.figure9(ctx)
+    w(f"\nIPv4 sets median {f9.ipv4_sets.median:.0f}, router sets median "
+      f"{f9.router_sets.median:.0f} (routers larger: {f9.router_sets_are_larger})\n")
+
+    if include_comparators:
+        w(_h("Section 5.2: Router Names comparison"))
+        s52 = fa.section52(ctx)
+        w(f"\nRouter Names: {s52.router_names.count} sets "
+          f"({s52.router_names.non_singleton_count} non-singleton)")
+        w(f"\ndual-stack non-singleton: SNMPv3 {s52.snmpv3_dual_non_singleton} vs "
+          f"Router Names {s52.router_names_dual_non_singleton}")
+        w(f"\nexact matches: {s52.overlap.exact_matches}, partial overlaps: "
+          f"{s52.overlap.partial_overlaps_a}, complementary: "
+          f"{s52.overlap.complementary}\n")
+
+        w(_h("Section 5.3: MIDAR / Speedtrap comparison"))
+        s53 = fa.section53(ctx)
+        w(f"\nMIDAR: {s53.midar.count} sets, {s53.midar.non_singleton_count} "
+          f"non-singleton ({s53.midar.mean_non_singleton_size:.1f} IPs/set)")
+        w(f"\nSpeedtrap: {s53.speedtrap.count} sets, "
+          f"{s53.speedtrap.non_singleton_count} non-singleton")
+        w(f"\nSNMPv3 IPv4 non-singleton: {ctx.alias_v4.non_singleton_count}\n")
+
+        w(_h("Section 5.4: combined de-alias coverage"))
+        s54 = fa.section54(ctx, s53.midar)
+        c = s54.coverage
+        w(f"\nrouter IPs responsive to SNMPv3: {s54.snmpv3_responsive_fraction:.1%}")
+        w(f"\nde-aliased: MIDAR {c.midar_fraction:.1%}, SNMPv3 "
+          f"{c.snmpv3_fraction:.1%}, combined {c.combined_fraction:.1%}\n")
+
+    w(_h("Figure 10: SNMPv3 coverage per AS"))
+    f10 = fv.figure10(ctx)
+    w(f"\noverall coverage: {f10.coverage.overall:.1%}")
+    for threshold, ecdf in f10.ecdfs().items():
+        w(f"\nASes with {threshold}+ IPs (n={ecdf.count}): "
+          f"<10% cov: {ecdf.at(0.0999):.0%}, >80% cov: {ecdf.fraction_above(0.8):.0%}")
+    w("\n")
+
+    w(_h("Figure 11: vendor popularity (all devices)"))
+    f11 = fv.figure11(ctx)
+    for vendor, count in f11.top(10):
+        w(f"\n{vendor:<14} {count:>8}")
+    w(f"\ntop-10 share: {f11.top_n_share(10):.0%}\n")
+
+    w(_h("Figure 12: router vendor popularity"))
+    f12 = fv.figure12(ctx)
+    from repro.analysis.statistics import vendor_share_intervals
+
+    intervals = vendor_share_intervals(f12.counts)
+    for vendor, count in f12.top(10):
+        est = intervals[vendor]
+        w(f"\n{vendor:<14} {count:>8}   share {est.point:6.1%} "
+          f"[{est.low:.1%}, {est.high:.1%}]")
+    w("\n")
+
+    w(_h("Figure 13: time since last reboot (routers)"))
+    w("\n" + fv.figure13(ctx).headline() + "\n")
+
+    w(_h("Figure 14: router vendors per AS"))
+    f14 = fv.figure14(ctx)
+    for threshold, ecdf in f14.ecdf_by_min_routers.items():
+        w(f"\nASes with {threshold}+ routers (n={ecdf.count}): "
+          f"single vendor {ecdf.at(1.0):.0%}, >5 vendors {ecdf.fraction_above(5):.0%}")
+    w("\n")
+
+    w(_h("Figure 15: regional vendor popularity"))
+    f15 = fv.figure15(ctx)
+    for region in sorted(f15.shares, key=lambda r: -f15.totals.get(r, 0)):
+        shares = f15.shares[region]
+        w(f"\n{region.value} ({f15.totals.get(region, 0)} routers): " + ", ".join(
+            f"{v} {shares.get(v, 0.0):.0%}" for v in ("Cisco", "Huawei", "Net-SNMP", "Juniper", "Other")
+        ))
+    w("\n")
+
+    w(_h("Figure 16: top-10 networks by router count"))
+    for row in fv.figure16(ctx):
+        w(f"\n{row.region.value}-AS{row.asn} ({row.router_count} routers): " + ", ".join(
+            f"{v} {s:.0%}" for v, s in row.vendor_shares.items() if s > 0.005
+        ))
+    w("\n")
+
+    w(_h("Figure 17: vendor dominance per AS"))
+    f17 = fv.figure17(ctx)
+    for threshold, ecdf in f17.ecdf_by_min_routers.items():
+        w(f"\nASes with {threshold}+ routers (n={ecdf.count}): "
+          f"dominance >=0.7 for {ecdf.fraction_at_least(0.7):.0%}")
+    w("\n")
+
+    w(_h("Figure 18: vendor dominance per region"))
+    for region, ecdf in fv.figure18(ctx, min_routers=5).items():
+        w(f"\n{region.value} (n={ecdf.count}): median dominance {ecdf.median:.2f}")
+    w("\n")
+
+    w(_h("Figure 19 (Appendix B): (last reboot, boots) tuple uniqueness"))
+    f19 = fe.figure19(ctx)
+    w(f"\nIPv4 IPs with tuple mapping to one engine ID: {f19.unique_fraction_v4:.1%}")
+    w(f"\nIPv6 IPs with tuple mapping to one engine ID: {f19.unique_fraction_v6:.1%}\n")
+
+    w(_h("Figure 20 (Appendix C): routers per AS per region"))
+    for region, ecdf in fv.figure20(ctx).items():
+        w(f"\n{region.value}: n={ecdf.count} ASes, median {ecdf.median:.0f}, "
+          f"max {max(ecdf.values):.0f}")
+    w("\n")
+
+    if include_comparators:
+        w(_h("Section 6.2.3: Nmap comparison"))
+        s62 = fv.section62(ctx)
+        w(f"\nsampled router IPs: {s62.sampled}")
+        w(f"\nno result: {s62.no_result} ({s62.no_result_fraction:.0%}), matches: "
+          f"{s62.matches} ({s62.agreeing_matches} agreeing), guesses: {s62.guesses}"
+          f" ({s62.disagreeing_guesses} disagreeing)")
+        w(f"\nprobe cost: Nmap {s62.nmap_probes_total} packets vs SNMPv3 "
+          f"{s62.snmpv3_probes_total}\n")
+
+    w(_h("Section 8: response amplification"))
+    s8 = fv.section8(ctx)
+    w(f"\nmulti-response IPs: {s8.multi_response_ips} of {s8.responsive_ips} "
+      f"({s8.multi_response_fraction:.2%}), max replies from one IP: "
+      f"{s8.max_responses_single_ip}\n")
+
+    w(_h("Section 6.2.1: lab validation"))
+    for router in default_lab():
+        result = run_lab_experiment(router)
+        w(f"\n{result.router}: silent-before-config="
+          f"{not result.answers_before_config}, v2c-after-config="
+          f"{result.v2c_works_after_config}, v3-implicitly-enabled="
+          f"{result.v3_discovery_after_config}, engine-ID-is-MAC="
+          f"{result.engine_id_is_mac} ({result.engine_mac_vendor}), "
+          f"same-on-all-interfaces={result.same_engine_id_on_all_interfaces}, "
+          f"first-interface={result.engine_mac_is_first_interface}, "
+          f"smallest-mac={result.engine_mac_is_smallest}")
+    w("\n")
+
+    if include_extensions:
+        w(_render_extensions(ctx))
+    return out.getvalue()
+
+
+def _render_extensions(ctx: ExperimentContext) -> str:
+    """The beyond-the-paper sections (§8 quantified, §9 future work)."""
+    from repro.analysis.amplification import analyze_amplification
+    from repro.experiments.extensions import (
+        longitudinal_experiment,
+        middlebox_experiment,
+    )
+
+    out = io.StringIO()
+    w = out.write
+
+    w(_h("Extension: amplification vectors (§8 quantified)"))
+    scan1, __ = ctx.campaign.scan_pair(4)
+    w("\n" + analyze_amplification(scan1).headline() + "\n")
+
+    w(_h("Extension: NAT and load-balancer inference (§9 future work)"))
+    mb = middlebox_experiment(ctx)
+    w(f"\nNAT gateways mined: {mb.nats_found} "
+      f"(precision {mb.report.nat_precision:.2f}, recall {mb.report.nat_recall:.2f})")
+    w(f"\nload balancers found: {mb.lbs_found} of {mb.lb_candidates_probed} "
+      f"bursted (precision {mb.report.lb_precision:.2f}, "
+      f"recall {mb.report.lb_recall:.2f})\n")
+
+    w(_h("Extension: longitudinal monitoring (§6.3)"))
+    longitudinal = longitudinal_experiment(ctx, offsets_days=(30.0, 180.0))
+    for snapshot in longitudinal.snapshots:
+        w(f"\n{snapshot.label}: {snapshot.responsive} responsive, engine-ID "
+          f"persistence {snapshot.persistence_fraction:.1%}, median uptime "
+          f"{snapshot.median_uptime_days:.0f} days")
+    w("\n")
+    return out.getvalue()

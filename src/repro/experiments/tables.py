@@ -1,0 +1,186 @@
+"""Tables 1–3 of the paper.
+
+* **Table 1** — scan-campaign overview: responsive IPs, unique engine
+  IDs, IPs with valid engine ID, IPs with valid engine ID + engine time;
+* **Table 2** — router datasets (ITDK / RIPE Atlas / IPv6 Hitlist) and
+  their overlap with SNMPv3-responsive addresses;
+* **Table 3** (Appendix A) — the eight alias-resolution variants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.alias.snmpv3 import MatchVariant, Snmpv3AliasResolver
+from repro.experiments.context import ExperimentContext
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One measurement campaign row of Table 1."""
+
+    label: str
+    responsive_ips: int
+    unique_engine_ids: int
+    valid_engine_id_ips: int     # shared per scan pair, as in the paper
+    valid_engine_id_time_ips: int
+
+    def render(self) -> str:
+        return (
+            f"{self.label:<10} {self.responsive_ips:>10} {self.unique_engine_ids:>12}"
+            f" {self.valid_engine_id_ips:>14} {self.valid_engine_id_time_ips:>16}"
+        )
+
+
+@dataclass(frozen=True)
+class Table1:
+    rows: tuple[Table1Row, ...]
+
+    def render(self) -> str:
+        header = (
+            f"{'scan':<10} {'#IPs':>10} {'#EngineIDs':>12}"
+            f" {'#valid-eid':>14} {'#valid-eid+time':>16}"
+        )
+        return "\n".join([header] + [row.render() for row in self.rows])
+
+
+def table1(ctx: ExperimentContext) -> Table1:
+    """Reproduce Table 1 from the campaign + pipeline results."""
+    rows = []
+    for version, pipeline in ((6, ctx.pipeline_v6), (4, ctx.pipeline_v4)):
+        scan1, scan2 = ctx.campaign.scan_pair(version)
+        for scan in (scan1, scan2):
+            rows.append(
+                Table1Row(
+                    label=scan.label,
+                    responsive_ips=scan.responsive_count,
+                    unique_engine_ids=scan.unique_engine_ids(),
+                    valid_engine_id_ips=pipeline.stats.valid_engine_id_count,
+                    valid_engine_id_time_ips=pipeline.stats.valid_count,
+                )
+            )
+    return Table1(rows=tuple(rows))
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    """One router-dataset row of Table 2."""
+
+    dataset: str
+    ipv4_addresses: int
+    ipv4_snmpv3: int
+    ipv6_addresses: int
+    ipv6_snmpv3: int
+
+    def render(self) -> str:
+        return (
+            f"{self.dataset:<12} {self.ipv4_addresses:>10} ({self.ipv4_snmpv3:>8})"
+            f" {self.ipv6_addresses:>10} ({self.ipv6_snmpv3:>8})"
+        )
+
+
+@dataclass(frozen=True)
+class Table2:
+    rows: tuple[Table2Row, ...]
+
+    def render(self) -> str:
+        header = f"{'dataset':<12} {'IPv4':>10} {'(SNMPv3)':>10} {'IPv6':>10} {'(SNMPv3)':>10}"
+        return "\n".join([header] + [row.render() for row in self.rows])
+
+    def row(self, dataset: str) -> Table2Row:
+        for row in self.rows:
+            if row.dataset == dataset:
+                return row
+        raise KeyError(dataset)
+
+
+def table2(ctx: ExperimentContext) -> Table2:
+    """Reproduce Table 2: dataset sizes and SNMPv3 overlap."""
+    datasets = ctx.datasets
+    scan1_v4, scan2_v4 = ctx.campaign.scan_pair(4)
+    scan1_v6, scan2_v6 = ctx.campaign.scan_pair(6)
+    responsive_v4 = set(scan1_v4.observations) | set(scan2_v4.observations)
+    responsive_v6 = set(scan1_v6.observations) | set(scan2_v6.observations)
+
+    def row(name: str, v4_set, v6_set) -> Table2Row:
+        return Table2Row(
+            dataset=name,
+            ipv4_addresses=len(v4_set),
+            ipv4_snmpv3=len(set(v4_set) & responsive_v4),
+            ipv6_addresses=len(v6_set),
+            ipv6_snmpv3=len(set(v6_set) & responsive_v6),
+        )
+
+    return Table2(
+        rows=(
+            row("ITDK", datasets.itdk_v4, datasets.itdk_v6),
+            row("RIPE Atlas", datasets.ripe_v4, datasets.ripe_v6),
+            row("IPv6 Hitlist", frozenset(), datasets.hitlist_v6),
+            row("Union", datasets.union_v4, datasets.union_v6),
+        )
+    )
+
+
+@dataclass(frozen=True)
+class Table3Row:
+    """One alias-resolution variant of Table 3."""
+
+    variant: str
+    alias_sets: int
+    non_singleton_sets: int
+    ips_in_non_singletons: int
+    ips_per_non_singleton: float
+
+    def render(self) -> str:
+        return (
+            f"{self.variant:<26} {self.alias_sets:>9} {self.non_singleton_sets:>9}"
+            f" {self.ips_in_non_singletons:>9} {self.ips_per_non_singleton:>7.1f}"
+        )
+
+
+@dataclass(frozen=True)
+class Table3:
+    rows: tuple[Table3Row, ...]
+
+    def render(self) -> str:
+        header = (
+            f"{'variant':<26} {'sets':>9} {'non-sing':>9} {'IPs-ns':>9} {'IPs/set':>7}"
+        )
+        return "\n".join([header] + [row.render() for row in self.rows])
+
+    def row(self, variant: str) -> Table3Row:
+        for row in self.rows:
+            if row.variant == variant:
+                return row
+        raise KeyError(variant)
+
+
+#: Variant order of the paper's Table 3.
+TABLE3_VARIANTS: tuple[tuple[str, MatchVariant, bool], ...] = (
+    ("Exact first", MatchVariant.EXACT, False),
+    ("Exact both", MatchVariant.EXACT, True),
+    ("Round first", MatchVariant.ROUND, False),
+    ("Round both", MatchVariant.ROUND, True),
+    ("Divide by 20 first", MatchVariant.DIVIDE_BY_20, False),
+    ("Divide by 20 both", MatchVariant.DIVIDE_BY_20, True),
+    ("Divide by 20+round first", MatchVariant.DIVIDE_BY_20_ROUND, False),
+    ("Divide by 20+round both", MatchVariant.DIVIDE_BY_20_ROUND, True),
+)
+
+
+def table3(ctx: ExperimentContext) -> Table3:
+    """Reproduce Table 3 over the valid IPv4 records."""
+    rows = []
+    for label, variant, both in TABLE3_VARIANTS:
+        resolver = Snmpv3AliasResolver(variant=variant, use_both_scans=both)
+        sets = resolver.resolve(ctx.valid_v4)
+        rows.append(
+            Table3Row(
+                variant=label,
+                alias_sets=sets.count,
+                non_singleton_sets=sets.non_singleton_count,
+                ips_in_non_singletons=sets.addresses_in_non_singletons,
+                ips_per_non_singleton=sets.mean_non_singleton_size,
+            )
+        )
+    return Table3(rows=tuple(rows))

@@ -1,0 +1,31 @@
+"""Device fingerprinting: the SNMPv3 method and its comparators.
+
+* :mod:`repro.fingerprint.vendor` — the paper's technique (§3.1/§6):
+  vendor from the MAC OUI inside the engine ID, falling back to the
+  enterprise number;
+* :mod:`repro.fingerprint.nmap` — an Nmap-style TCP/IP stack
+  fingerprinter with a signature database, reproducing §6.2.3's
+  comparison (most routers expose no TCP service, so Nmap returns
+  nothing);
+* :mod:`repro.fingerprint.ttl` — initial-TTL tuple signatures (§7.1's
+  Vanaubel et al. comparator), including the Cisco/Huawei ambiguity;
+* :mod:`repro.fingerprint.uptime` — time-since-last-reboot statistics
+  (Figure 13).
+"""
+
+from repro.fingerprint.vendor import VendorInference, infer_vendor, vendor_of_alias_set
+from repro.fingerprint.nmap import NmapEngine, NmapOutcome, NmapResult
+from repro.fingerprint.ttl import TtlFingerprinter
+from repro.fingerprint.uptime import UptimeStatistics, uptime_statistics
+
+__all__ = [
+    "NmapEngine",
+    "NmapOutcome",
+    "NmapResult",
+    "TtlFingerprinter",
+    "UptimeStatistics",
+    "VendorInference",
+    "infer_vendor",
+    "uptime_statistics",
+    "vendor_of_alias_set",
+]

@@ -1,0 +1,107 @@
+"""Nmap-style TCP/IP stack fingerprinting (§6.2.3 comparator).
+
+Nmap's OS detection needs at least one open and one closed TCP port on
+the target to run its full probe battery; without an open port it reports
+nothing, and with incomplete test results it falls back to a best-effort
+*guess*.  The paper found exactly this on real routers: 22.2k of 26.4k
+targets yielded no result, 1.3k produced (wrong) guesses, and only 2.9k
+matched its database.
+
+The engine here probes the simulated device population the same way:
+
+* **no open TCP port** (the default posture of routers) → ``NO_RESULT``;
+* open port and the device's OS family is in the signature database →
+  ``MATCH`` with the correct vendor (plus OS detail, which the SNMPv3
+  technique cannot provide);
+* open port but an unknown stack → ``GUESS``, drawn from the database's
+  common entries and frequently wrong.
+
+The probe cost per target is tracked: Nmap sends dozens of packets where
+the SNMPv3 technique sends one.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+
+from repro.net.addresses import IPAddress
+from repro.topology.model import Device, Topology
+
+#: os_family -> vendor, as a fingerprint database would resolve them.
+SIGNATURE_DATABASE: dict[str, str] = {
+    "IOS": "Cisco",
+    "JunOS": "Juniper",
+    "Linux": "Net-SNMP",
+    "RouterOS": "MikroTik",
+    "NetIron": "Brocade",
+}
+
+#: Probes Nmap sends per target when ports respond (16 tests, several
+#: packets each) vs the closed-port short-circuit.
+PROBES_FULL = 30
+PROBES_PORTSCAN_ONLY = 10
+
+
+class NmapOutcome(enum.Enum):
+    NO_RESULT = "no-result"
+    MATCH = "match"
+    GUESS = "guess"
+
+
+@dataclass(frozen=True)
+class NmapResult:
+    """Per-target outcome."""
+
+    address: IPAddress
+    outcome: NmapOutcome
+    vendor: "str | None"
+    os_detail: "str | None"
+    probes_sent: int
+
+    def agrees_with(self, true_vendor: str) -> bool:
+        return self.vendor == true_vendor
+
+
+class NmapEngine:
+    """Fingerprint targets on the simulated population."""
+
+    def __init__(self, topology: Topology, seed: int = 0x4A0) -> None:
+        self.topology = topology
+        self._rng = random.Random(seed ^ topology.seed)
+
+    def fingerprint(self, address: IPAddress) -> NmapResult:
+        """Run OS detection against one target address."""
+        device = self.topology.device_of_address(address)
+        if device is None or not device.open_tcp_ports:
+            # Top-10-port scan finds nothing listening: no OS detection.
+            return NmapResult(
+                address=address,
+                outcome=NmapOutcome.NO_RESULT,
+                vendor=None,
+                os_detail=None,
+                probes_sent=PROBES_PORTSCAN_ONLY,
+            )
+        known_vendor = SIGNATURE_DATABASE.get(device.os_family)
+        if known_vendor is not None and self._rng.random() < 0.9:
+            return NmapResult(
+                address=address,
+                outcome=NmapOutcome.MATCH,
+                vendor=known_vendor,
+                os_detail=f"{device.os_family} (exact)",
+                probes_sent=PROBES_FULL,
+            )
+        # Unknown stack (or flaky test run): best-guess from the database.
+        guess = self._rng.choice(sorted(set(SIGNATURE_DATABASE.values())))
+        return NmapResult(
+            address=address,
+            outcome=NmapOutcome.GUESS,
+            vendor=guess,
+            os_detail=None,
+            probes_sent=PROBES_FULL,
+        )
+
+    def fingerprint_many(self, addresses: "list[IPAddress]") -> list[NmapResult]:
+        """Batch interface used by the §6.2.3 experiment."""
+        return [self.fingerprint(a) for a in addresses]

@@ -1,0 +1,77 @@
+"""Initial-TTL fingerprinting (§7.1: Vanaubel et al. comparator).
+
+Different router OSes set different initial TTLs on the packets they
+originate; the tuple of iTTLs inferred from, e.g., an ICMP echo reply and
+an ICMP time-exceeded message forms a coarse signature.  The universe of
+tuples is tiny, so distinct vendors collide — notoriously, Huawei shares
+Cisco's ``(255, 255)`` — which is the limitation the paper contrasts its
+exact registry-based method against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.addresses import IPAddress
+from repro.topology.config import TTL_SIGNATURES
+from repro.topology.model import Topology
+
+#: Initial-TTL values a stack may use; observed TTLs are rounded up to
+#: the next of these.
+_COMMON_ITTLS = (32, 64, 128, 255)
+
+_DEFAULT_SIGNATURE = (64, 64)
+
+
+def infer_ittl(observed_ttl: int) -> int:
+    """Round an observed hop-decremented TTL up to the initial value."""
+    for candidate in _COMMON_ITTLS:
+        if observed_ttl <= candidate:
+            return candidate
+    return 255
+
+
+@dataclass(frozen=True)
+class TtlVerdict:
+    """The signature tuple and every vendor it is consistent with."""
+
+    signature: tuple[int, int]
+    candidate_vendors: tuple[str, ...]
+
+    @property
+    def ambiguous(self) -> bool:
+        return len(self.candidate_vendors) != 1
+
+
+class TtlFingerprinter:
+    """Probe devices for their iTTL tuple and map to candidate vendors."""
+
+    def __init__(self, topology: Topology, path_length: int = 12) -> None:
+        self.topology = topology
+        self.path_length = path_length
+        self._by_signature: dict[tuple[int, int], tuple[str, ...]] = {}
+        for vendor, signature in TTL_SIGNATURES.items():
+            existing = self._by_signature.get(signature, ())
+            self._by_signature[signature] = existing + (vendor,)
+
+    def signature_of(self, address: IPAddress) -> "tuple[int, int] | None":
+        """Elicit the (echo-reply, time-exceeded) iTTL tuple of a target."""
+        device = self.topology.device_of_address(address)
+        if device is None:
+            return None
+        echo, exceeded = TTL_SIGNATURES.get(device.vendor, _DEFAULT_SIGNATURE)
+        # The probe sees initial TTL minus path length; infer_ittl undoes it.
+        return (
+            infer_ittl(echo - self.path_length),
+            infer_ittl(exceeded - self.path_length),
+        )
+
+    def fingerprint(self, address: IPAddress) -> "TtlVerdict | None":
+        """Full inference for one target."""
+        signature = self.signature_of(address)
+        if signature is None:
+            return None
+        return TtlVerdict(
+            signature=signature,
+            candidate_vendors=self._by_signature.get(signature, ()),
+        )

@@ -1,0 +1,99 @@
+"""SNMPv3 vendor fingerprinting (§3.1, §6).
+
+Confidence ladder, as the paper describes it:
+
+1. **MAC OUI** — when the engine ID embeds a MAC address, the upper three
+   bytes name the company that registered the block (highest confidence);
+2. **Enterprise number** — present in every RFC 3411-conforming engine
+   ID; used to corroborate the OUI or as the fallback signal;
+3. Net-SNMP's enterprise-specific format is labelled ``Net-SNMP`` —
+   the software implementation, which operators confirmed corresponds to
+   network appliances (§6.2.2);
+4. anything else is ``unknown``.
+
+No statistical inference is involved — this is a registry lookup, which
+is what makes a single probe per target sufficient.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.oui.registry import OuiRegistry, default_registry
+from repro.snmp.engine_id import EngineId, EngineIdFormat
+
+UNKNOWN_VENDOR = "unknown"
+
+
+@dataclass(frozen=True)
+class VendorInference:
+    """A vendor verdict with its evidence trail."""
+
+    vendor: str
+    source: str              # "mac-oui", "enterprise", "net-snmp", "none"
+    oui_vendor: "str | None" = None
+    enterprise_vendor: "str | None" = None
+
+    @property
+    def confident(self) -> bool:
+        """MAC-OUI verdicts, and OUI+enterprise agreements, rank highest."""
+        return self.source == "mac-oui"
+
+    @property
+    def corroborated(self) -> bool:
+        """Both signals present and agreeing."""
+        return (
+            self.oui_vendor is not None
+            and self.enterprise_vendor is not None
+            and self.oui_vendor == self.enterprise_vendor
+        )
+
+
+def infer_vendor(
+    engine_id: EngineId, registry: "OuiRegistry | None" = None
+) -> VendorInference:
+    """Infer the device vendor from one engine ID."""
+    registry = registry or default_registry()
+    enterprise_vendor = engine_id.enterprise_vendor
+    if engine_id.format is EngineIdFormat.NET_SNMP:
+        return VendorInference(
+            vendor="Net-SNMP", source="net-snmp", enterprise_vendor=enterprise_vendor
+        )
+    oui_vendor = None
+    if engine_id.format is EngineIdFormat.MAC:
+        oui_vendor = registry.vendor_of(engine_id.mac)
+        if oui_vendor is not None:
+            return VendorInference(
+                vendor=oui_vendor,
+                source="mac-oui",
+                oui_vendor=oui_vendor,
+                enterprise_vendor=enterprise_vendor,
+            )
+    if enterprise_vendor is not None:
+        return VendorInference(
+            vendor=enterprise_vendor,
+            source="enterprise",
+            oui_vendor=oui_vendor,
+            enterprise_vendor=enterprise_vendor,
+        )
+    return VendorInference(vendor=UNKNOWN_VENDOR, source="none", oui_vendor=oui_vendor)
+
+
+def vendor_of_alias_set(
+    engine_ids: "list[EngineId]", registry: "OuiRegistry | None" = None
+) -> VendorInference:
+    """Vendor verdict for an alias set (one device, possibly many records).
+
+    All members of a correctly resolved set share one engine ID; this
+    helper simply prefers the most confident verdict among members, which
+    also behaves sensibly for sets built by other techniques.
+    """
+    if not engine_ids:
+        return VendorInference(vendor=UNKNOWN_VENDOR, source="none")
+    best: "VendorInference | None" = None
+    rank = {"mac-oui": 3, "net-snmp": 2, "enterprise": 1, "none": 0}
+    for engine_id in engine_ids:
+        verdict = infer_vendor(engine_id, registry)
+        if best is None or rank[verdict.source] > rank[best.source]:
+            best = verdict
+    return best

@@ -1,0 +1,30 @@
+"""Dataset import/export.
+
+The paper's final contribution is "sharing our datasets and analysis
+scripts".  This package serializes every artifact of a measurement run
+into stable, line-oriented formats a downstream researcher can consume
+without this library:
+
+* scan observations → JSON Lines (one responsive IP per line),
+* alias sets → JSON Lines (one set per line) or two-column CSV,
+* vendor census → CSV,
+and the corresponding loaders, all round-trip tested.
+"""
+
+from repro.io.exports import (
+    export_alias_sets_csv,
+    export_alias_sets_jsonl,
+    export_scan_jsonl,
+    export_vendor_census_csv,
+    load_alias_sets_jsonl,
+    load_scan_jsonl,
+)
+
+__all__ = [
+    "export_alias_sets_csv",
+    "export_alias_sets_jsonl",
+    "export_scan_jsonl",
+    "export_vendor_census_csv",
+    "load_alias_sets_jsonl",
+    "load_scan_jsonl",
+]

@@ -1,0 +1,166 @@
+"""Serializers and loaders for measurement artifacts.
+
+Formats are deliberately boring: JSON Lines for record streams (engine
+IDs hex-encoded), CSV for tabular summaries.  Loaders reconstruct the
+full Python objects, and every exporter/loader pair round-trips — see
+``tests/io``.
+"""
+
+from __future__ import annotations
+
+import csv
+import ipaddress
+import json
+from pathlib import Path
+from typing import Iterable
+
+from repro.alias.sets import AliasSets
+from repro.scanner.records import ScanObservation, ScanResult
+from repro.snmp.engine_id import EngineId
+
+#: Schema version stamped into every JSONL header line.
+FORMAT_VERSION = 1
+
+
+# -- scan observations ----------------------------------------------------------
+
+
+def export_scan_jsonl(scan: ScanResult, path: "str | Path") -> int:
+    """Write one JSON line per responsive IP; returns the record count.
+
+    The first line is a header object describing the scan (label, family,
+    schedule, probe counts) so the file is self-describing.
+    """
+    path = Path(path)
+    records = 0
+    with path.open("w", encoding="utf-8") as handle:
+        header = {
+            "format": "snmpv3-scan",
+            "version": FORMAT_VERSION,
+            "label": scan.label,
+            "ip_version": scan.ip_version,
+            "started_at": scan.started_at,
+            "finished_at": scan.finished_at,
+            "targets_probed": scan.targets_probed,
+            "responsive": scan.responsive_count,
+        }
+        handle.write(json.dumps(header) + "\n")
+        for obs in sorted(scan.observations.values(), key=lambda o: int(o.address)):
+            row = {
+                "ip": str(obs.address),
+                "recv_time": obs.recv_time,
+                "engine_id": obs.engine_id.raw.hex() if obs.engine_id else None,
+                "engine_boots": obs.engine_boots,
+                "engine_time": obs.engine_time,
+                "responses": obs.response_count,
+                "wire_bytes": obs.wire_bytes,
+            }
+            handle.write(json.dumps(row) + "\n")
+            records += 1
+    return records
+
+
+def load_scan_jsonl(path: "str | Path") -> ScanResult:
+    """Reconstruct a :class:`ScanResult` from an exported file."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        header = json.loads(handle.readline())
+        if header.get("format") != "snmpv3-scan":
+            raise ValueError(f"{path} is not an snmpv3-scan export")
+        if header.get("version") != FORMAT_VERSION:
+            raise ValueError(f"unsupported export version: {header.get('version')}")
+        scan = ScanResult(
+            label=header["label"],
+            ip_version=header["ip_version"],
+            started_at=header["started_at"],
+            finished_at=header["finished_at"],
+            targets_probed=header["targets_probed"],
+        )
+        for line in handle:
+            row = json.loads(line)
+            engine_hex = row["engine_id"]
+            scan.add(
+                ScanObservation(
+                    address=ipaddress.ip_address(row["ip"]),
+                    recv_time=row["recv_time"],
+                    engine_id=(
+                        EngineId(bytes.fromhex(engine_hex))
+                        if engine_hex is not None
+                        else None
+                    ),
+                    engine_boots=row["engine_boots"],
+                    engine_time=row["engine_time"],
+                    response_count=row["responses"],
+                    wire_bytes=row["wire_bytes"],
+                )
+            )
+    return scan
+
+
+# -- alias sets ----------------------------------------------------------------------
+
+
+def export_alias_sets_jsonl(sets: AliasSets, path: "str | Path") -> int:
+    """One JSON line per alias set: ``{"id": n, "ips": [...]}``."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        header = {
+            "format": "alias-sets",
+            "version": FORMAT_VERSION,
+            "technique": sets.technique,
+            "sets": sets.count,
+        }
+        handle.write(json.dumps(header) + "\n")
+        ordered = sorted(sets.sets, key=lambda g: min(int(a) for a in g))
+        for index, group in enumerate(ordered):
+            handle.write(
+                json.dumps({"id": index, "ips": sorted(map(str, group))}) + "\n"
+            )
+    return sets.count
+
+
+def load_alias_sets_jsonl(path: "str | Path") -> AliasSets:
+    """Reconstruct :class:`AliasSets` from an exported file."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        header = json.loads(handle.readline())
+        if header.get("format") != "alias-sets":
+            raise ValueError(f"{path} is not an alias-sets export")
+        groups = []
+        for line in handle:
+            row = json.loads(line)
+            groups.append(frozenset(ipaddress.ip_address(ip) for ip in row["ips"]))
+    return AliasSets(sets=groups, technique=header.get("technique", ""))
+
+
+def export_alias_sets_csv(sets: AliasSets, path: "str | Path") -> int:
+    """Two-column CSV (``set_id,ip``) — the flat join-friendly form."""
+    path = Path(path)
+    rows = 0
+    with path.open("w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["set_id", "ip"])
+        ordered = sorted(sets.sets, key=lambda g: min(int(a) for a in g))
+        for index, group in enumerate(ordered):
+            for ip in sorted(map(str, group)):
+                writer.writerow([index, ip])
+                rows += 1
+    return rows
+
+
+# -- vendor census --------------------------------------------------------------------------
+
+
+def export_vendor_census_csv(
+    rows: "Iterable[tuple[str, int]]", path: "str | Path"
+) -> int:
+    """``vendor,count`` CSV for the Figure 11/12 bar data."""
+    path = Path(path)
+    written = 0
+    with path.open("w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["vendor", "devices"])
+        for vendor, count in rows:
+            writer.writerow([vendor, count])
+            written += 1
+    return written

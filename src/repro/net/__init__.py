@@ -1,0 +1,35 @@
+"""Network substrate: addresses, MACs, datagrams and the simulated fabric.
+
+This package provides the building blocks the scanner and the simulated
+Internet share:
+
+* :mod:`repro.net.addresses` — IPv4/IPv6 helpers (routability tests,
+  deterministic address allocation),
+* :mod:`repro.net.mac` — an IEEE MAC address value type with OUI access,
+* :mod:`repro.net.packet` — the UDP datagram model exchanged over the
+  fabric,
+* :mod:`repro.net.transport` — the simulated network fabric itself, which
+  binds agents to addresses and delivers datagrams with configurable
+  latency, loss and firewall rules.
+"""
+
+from repro.net.addresses import (
+    ip_from_int,
+    ip_to_int,
+    is_routable_ipv4,
+    is_routable_ipv6,
+)
+from repro.net.mac import MacAddress
+from repro.net.packet import Datagram
+from repro.net.transport import AccessControlList, NetworkFabric
+
+__all__ = [
+    "AccessControlList",
+    "Datagram",
+    "MacAddress",
+    "NetworkFabric",
+    "ip_from_int",
+    "ip_to_int",
+    "is_routable_ipv4",
+    "is_routable_ipv6",
+]

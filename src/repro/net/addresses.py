@@ -1,0 +1,117 @@
+"""IPv4/IPv6 address helpers.
+
+The paper's filtering pipeline needs routability tests (the "Unroutable
+IPv4 engine IDs" filter removes engine IDs built from reserved, private or
+multicast addresses), and the topology generator needs deterministic
+address allocation inside prefixes.  Everything here wraps the standard
+:mod:`ipaddress` module with the specific semantics the paper uses.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from typing import Union
+
+IPAddress = Union[ipaddress.IPv4Address, ipaddress.IPv6Address]
+
+# Special-purpose IPv4 ranges that are never globally routable (RFC 6890
+# and friends).  ``ipaddress`` flags most of these via ``is_global`` but we
+# enumerate explicitly so the filter's behaviour is self-documenting.
+_SPECIAL_V4 = [
+    ipaddress.ip_network(net)
+    for net in (
+        "0.0.0.0/8",        # "this network"
+        "10.0.0.0/8",       # private
+        "100.64.0.0/10",    # shared address space (CGN)
+        "127.0.0.0/8",      # loopback
+        "169.254.0.0/16",   # link local
+        "172.16.0.0/12",    # private
+        "192.0.0.0/24",     # IETF protocol assignments
+        "192.0.2.0/24",     # TEST-NET-1
+        "192.168.0.0/16",   # private
+        "198.18.0.0/15",    # benchmarking
+        "198.51.100.0/24",  # TEST-NET-2
+        "203.0.113.0/24",   # TEST-NET-3
+        "224.0.0.0/4",      # multicast
+        "240.0.0.0/4",      # reserved (includes 255.255.255.255)
+    )
+]
+
+_SPECIAL_V6 = [
+    ipaddress.ip_network(net)
+    for net in (
+        "::/128",        # unspecified
+        "::1/128",       # loopback
+        "::ffff:0:0/96", # IPv4-mapped
+        "100::/64",      # discard
+        "2001:db8::/32", # documentation
+        "fc00::/7",      # unique local
+        "fe80::/10",     # link local
+        "ff00::/8",      # multicast
+    )
+]
+
+
+def parse_ip(text: str) -> IPAddress:
+    """Parse an IPv4 or IPv6 address string."""
+    return ipaddress.ip_address(text)
+
+
+def ip_to_int(address: "IPAddress | str") -> int:
+    """Return the integer value of an address."""
+    if isinstance(address, str):
+        address = ipaddress.ip_address(address)
+    return int(address)
+
+
+def ip_from_int(value: int, version: int = 4) -> IPAddress:
+    """Build an address from its integer value for the given IP version."""
+    if version == 4:
+        return ipaddress.IPv4Address(value)
+    if version == 6:
+        return ipaddress.IPv6Address(value)
+    raise ValueError(f"unknown IP version: {version}")
+
+
+def is_routable_ipv4(address: "ipaddress.IPv4Address | str") -> bool:
+    """Return ``True`` when an IPv4 address is globally routable.
+
+    Used by the "Unroutable IPv4 engine IDs" filter (§4.4): engine IDs
+    containing private/reserved/multicast addresses are not guaranteed to
+    be unique across the Internet and are discarded.
+    """
+    if isinstance(address, str):
+        address = ipaddress.IPv4Address(address)
+    return not any(address in net for net in _SPECIAL_V4)
+
+
+def is_routable_ipv6(address: "ipaddress.IPv6Address | str") -> bool:
+    """Return ``True`` when an IPv6 address is globally routable."""
+    if isinstance(address, str):
+        address = ipaddress.IPv6Address(address)
+    return not any(address in net for net in _SPECIAL_V6)
+
+
+def is_routable(address: "IPAddress | str") -> bool:
+    """Version-dispatching routability test."""
+    if isinstance(address, str):
+        address = ipaddress.ip_address(address)
+    if address.version == 4:
+        return is_routable_ipv4(address)
+    return is_routable_ipv6(address)
+
+
+def nth_host(network: "ipaddress.IPv4Network | ipaddress.IPv6Network", index: int) -> IPAddress:
+    """Return the ``index``-th host address inside ``network``.
+
+    Deterministic address allocation for the topology generator: host 0 is
+    the first usable address after the network address.  Raises
+    :class:`ValueError` when the prefix is exhausted.
+    """
+    base = int(network.network_address) + 1 + index
+    last_usable = int(network.broadcast_address)
+    if network.version == 4:
+        last_usable -= 1  # exclude the broadcast address
+    if index < 0 or base > last_usable:
+        raise ValueError(f"prefix {network} exhausted at index {index}")
+    return ip_from_int(base, network.version)

@@ -1,0 +1,68 @@
+"""Modified EUI-64 IPv6 interface identifiers (RFC 4291 Appendix A).
+
+SLAAC-configured interfaces historically derive their IPv6 interface
+identifier from the hardware MAC: flip the universal/local bit, split the
+MAC and insert ``ff:fe`` in the middle.  The transformation is trivially
+reversible — an EUI-64 address *advertises* the device's MAC.
+
+The paper's threat discussion leans on related work (Rye & Beverly's
+IPv6 periphery studies) built on exactly this property.  Combined with
+SNMPv3, it enables a cross-protocol correlation the paper stops short
+of: an engine ID carrying a MAC can be matched against EUI-64 IPv6
+addresses to find dual-stack aliases *without any IPv6 SNMP response at
+all* — see :mod:`repro.alias.mac_correlation`.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+
+from repro.net.mac import MacAddress
+
+_ULBIT = 0x02
+_FFFE = 0xFFFE
+
+
+def eui64_interface_id(mac: MacAddress) -> int:
+    """The 64-bit modified EUI-64 interface identifier for a MAC."""
+    raw = mac.packed
+    flipped = bytes([raw[0] ^ _ULBIT]) + raw[1:]
+    return int.from_bytes(
+        flipped[:3] + _FFFE.to_bytes(2, "big") + flipped[3:], "big"
+    )
+
+
+def ipv6_from_mac(
+    prefix: "ipaddress.IPv6Network | str", mac: MacAddress
+) -> ipaddress.IPv6Address:
+    """Build the SLAAC address a host with ``mac`` takes in ``prefix``.
+
+    ``prefix`` must be a /64 (or shorter, in which case the first /64 is
+    used, matching a single-subnet deployment).
+    """
+    if isinstance(prefix, str):
+        prefix = ipaddress.ip_network(prefix)
+    base = int(prefix.network_address) >> 64 << 64
+    return ipaddress.IPv6Address(base | eui64_interface_id(mac))
+
+
+def mac_from_ipv6(address: "ipaddress.IPv6Address | str") -> "MacAddress | None":
+    """Recover the MAC from an EUI-64 address; ``None`` if not EUI-64.
+
+    Detection: bytes 11–12 of the address (the middle of the interface
+    identifier) must be ``ff:fe``.  Privacy (RFC 4941) and static
+    addresses fail the check, as they should.
+    """
+    if isinstance(address, str):
+        address = ipaddress.IPv6Address(address)
+    packed = address.packed
+    if packed[11] != 0xFF or packed[12] != 0xFE:
+        return None
+    high = packed[8:11]
+    low = packed[13:16]
+    return MacAddress(bytes([high[0] ^ _ULBIT]) + high[1:] + low)
+
+
+def is_eui64(address: "ipaddress.IPv6Address | str") -> bool:
+    """Whether the address carries a recoverable MAC."""
+    return mac_from_ipv6(address) is not None

@@ -1,0 +1,95 @@
+"""IEEE MAC address value type.
+
+Engine IDs in the MAC format embed one of the device's hardware addresses;
+the upper three bytes are the Organizationally Unique Identifier (OUI) that
+identifies the vendor.  :class:`MacAddress` is the value type used across
+the codebase for these six-byte identifiers.
+"""
+
+from __future__ import annotations
+
+
+class MacAddress:
+    """A 48-bit IEEE MAC address.
+
+    Immutable and hashable.  The canonical text form is lower-case
+    colon-separated hex (``74:8e:f8:31:db:80``).
+    """
+
+    __slots__ = ("_value",)
+
+    def __init__(self, value: "int | bytes | str | MacAddress") -> None:
+        if isinstance(value, MacAddress):
+            self._value: int = value._value
+            return
+        if isinstance(value, int):
+            if not 0 <= value < 1 << 48:
+                raise ValueError(f"MAC integer out of range: {value:#x}")
+            self._value = value
+        elif isinstance(value, (bytes, bytearray)):
+            if len(value) != 6:
+                raise ValueError(f"MAC must be 6 bytes, got {len(value)}")
+            self._value = int.from_bytes(value, "big")
+        elif isinstance(value, str):
+            cleaned = value.replace(":", "").replace("-", "").replace(".", "")
+            if len(cleaned) != 12:
+                raise ValueError(f"invalid MAC string: {value!r}")
+            self._value = int(cleaned, 16)
+        else:
+            raise TypeError(f"cannot build MacAddress from {type(value).__name__}")
+
+    @property
+    def value(self) -> int:
+        """The 48-bit integer value."""
+        return self._value
+
+    @property
+    def oui(self) -> bytes:
+        """The upper three bytes: the IEEE Organizationally Unique Identifier."""
+        return self.packed[:3]
+
+    @property
+    def nic_specific(self) -> bytes:
+        """The lower three bytes, assigned by the vendor per device."""
+        return self.packed[3:]
+
+    @property
+    def packed(self) -> bytes:
+        """The six-byte big-endian representation."""
+        return self._value.to_bytes(6, "big")
+
+    @property
+    def is_locally_administered(self) -> bool:
+        """True when the U/L bit is set (not a globally unique burned-in MAC)."""
+        return bool(self.packed[0] & 0x02)
+
+    @property
+    def is_multicast(self) -> bool:
+        """True when the I/G bit is set."""
+        return bool(self.packed[0] & 0x01)
+
+    def successor(self, offset: int = 1) -> "MacAddress":
+        """Return the MAC ``offset`` positions later (wrapping inside 48 bits).
+
+        Routers typically number consecutive interfaces with consecutive
+        MACs from the same OUI block; the topology generator uses this.
+        """
+        return MacAddress((self._value + offset) % (1 << 48))
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, MacAddress):
+            return self._value == other._value
+        return NotImplemented
+
+    def __lt__(self, other: "MacAddress") -> bool:
+        return self._value < other._value
+
+    def __hash__(self) -> int:
+        return hash(self._value)
+
+    def __str__(self) -> str:
+        raw = self.packed
+        return ":".join(f"{b:02x}" for b in raw)
+
+    def __repr__(self) -> str:
+        return f"MacAddress({str(self)!r})"

@@ -1,0 +1,175 @@
+"""Simulated network fabric.
+
+The fabric stands in for the live Internet: endpoints (SNMP agents, TCP
+stacks, ICMP responders) are *bound* to ``(address, protocol, port)`` keys
+and probes are *injected* with a virtual send timestamp.  The fabric
+applies, in order:
+
+1. firewall access-control lists (the paper notes some routers sit behind
+   ACLs that drop packets to well-known ports — those devices never
+   answer),
+2. independent packet loss on the forward and return path,
+3. a latency model (base propagation plus jitter),
+
+and then hands the datagram to the bound handler, collecting zero or more
+replies.  Everything is driven by a seeded :class:`random.Random`, so a
+scan over a given topology is fully reproducible.
+
+Time is virtual: callers pass ``now`` (seconds since the simulation epoch)
+and receive replies tagged with their arrival time.  There is no real
+sleeping anywhere, which keeps Internet-scale-shaped experiments fast.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Protocol
+
+from repro.net.addresses import IPAddress
+from repro.net.packet import Datagram
+
+#: A bound endpoint: receives the datagram and the virtual receive time,
+#: returns reply payloads (possibly empty, possibly several for buggy
+#: amplifying implementations).
+Handler = Callable[[Datagram, float], "Iterable[bytes]"]
+
+
+@dataclass
+class AccessControlList:
+    """A firewall rule set protecting an endpoint.
+
+    ``blocked_ports`` drops any datagram to those destination ports;
+    ``allow_sources`` (when non-empty) drops datagrams from any source not
+    listed.  This models the "segregated management network" posture the
+    paper recommends: a device with SNMP reachable only from inside never
+    shows up in an Internet-wide scan.
+    """
+
+    blocked_ports: frozenset[int] = frozenset()
+    allow_sources: frozenset[IPAddress] = frozenset()
+
+    def permits(self, datagram: Datagram) -> bool:
+        """Return ``True`` when the datagram passes the ACL."""
+        if datagram.dport in self.blocked_ports:
+            return False
+        if self.allow_sources and datagram.src not in self.allow_sources:
+            return False
+        return True
+
+
+@dataclass
+class LinkProfile:
+    """Per-endpoint path characteristics."""
+
+    loss_probability: float = 0.0
+    base_latency: float = 0.05
+    jitter: float = 0.02
+
+
+@dataclass
+class FabricStats:
+    """Counters the fabric keeps for observability and tests."""
+
+    injected: int = 0
+    dropped_no_endpoint: int = 0
+    dropped_acl: int = 0
+    dropped_loss: int = 0
+    delivered: int = 0
+    replies: int = 0
+    reply_bytes: int = 0
+    probe_bytes: int = 0
+
+
+class NetworkFabric:
+    """The simulated Internet's delivery plane.
+
+    >>> fabric = NetworkFabric(seed=7)
+    >>> import ipaddress
+    >>> addr = ipaddress.ip_address("192.0.2.1")
+    >>> fabric.bind(addr, "udp", 161, lambda dg, now: [b"pong:" + dg.payload])
+    >>> probe = Datagram(ipaddress.ip_address("198.51.100.9"), addr, 40000, 161, b"ping")
+    >>> [(reply.payload, round(t, 3)) for reply, t in fabric.inject(probe, now=1.0)]
+    [(b'pong:ping', ...)]
+    """
+
+    def __init__(self, seed: int = 0, default_profile: "LinkProfile | None" = None) -> None:
+        self._rng = random.Random(seed)
+        self._endpoints: dict[tuple[IPAddress, str, int], Handler] = {}
+        self._acls: dict[IPAddress, AccessControlList] = {}
+        self._profiles: dict[IPAddress, LinkProfile] = {}
+        self._default_profile = default_profile or LinkProfile()
+        self.stats = FabricStats()
+
+    # -- wiring -----------------------------------------------------------
+
+    def bind(self, address: IPAddress, protocol: str, port: int, handler: Handler) -> None:
+        """Bind ``handler`` to ``(address, protocol, port)``.
+
+        Binding the same key twice is an error: the topology generator must
+        never assign one address to two devices.
+        """
+        key = (address, protocol, port)
+        if key in self._endpoints:
+            raise ValueError(f"endpoint already bound: {key}")
+        self._endpoints[key] = handler
+
+    def unbind(self, address: IPAddress, protocol: str, port: int) -> None:
+        """Remove a binding (used to model CPE address churn between scans)."""
+        self._endpoints.pop((address, protocol, port), None)
+
+    def is_bound(self, address: IPAddress, protocol: str, port: int) -> bool:
+        """Return whether an endpoint is currently bound to the key."""
+        return (address, protocol, port) in self._endpoints
+
+    def set_acl(self, address: IPAddress, acl: AccessControlList) -> None:
+        """Attach a firewall ACL in front of every port of ``address``."""
+        self._acls[address] = acl
+
+    def set_profile(self, address: IPAddress, profile: LinkProfile) -> None:
+        """Attach per-address path characteristics."""
+        self._profiles[address] = profile
+
+    # -- delivery ---------------------------------------------------------
+
+    def inject(
+        self, datagram: Datagram, now: float, protocol: str = "udp"
+    ) -> list[tuple[Datagram, float]]:
+        """Deliver a probe and return ``(reply, arrival_time)`` pairs.
+
+        A probe that is firewalled, lost, or unanswered returns an empty
+        list — indistinguishable outcomes, exactly as on the real Internet.
+        """
+        self.stats.injected += 1
+        self.stats.probe_bytes += datagram.wire_size
+        handler = self._endpoints.get((datagram.dst, protocol, datagram.dport))
+        if handler is None:
+            self.stats.dropped_no_endpoint += 1
+            return []
+        acl = self._acls.get(datagram.dst)
+        if acl is not None and not acl.permits(datagram):
+            self.stats.dropped_acl += 1
+            return []
+        profile = self._profiles.get(datagram.dst, self._default_profile)
+        if self._rng.random() < profile.loss_probability:
+            self.stats.dropped_loss += 1
+            return []
+        forward_delay = profile.base_latency / 2 + self._rng.random() * profile.jitter / 2
+        arrival = now + forward_delay
+        self.stats.delivered += 1
+        replies: list[tuple[Datagram, float]] = []
+        for payload in handler(datagram, arrival):
+            if self._rng.random() < profile.loss_probability:
+                self.stats.dropped_loss += 1
+                continue
+            return_delay = profile.base_latency / 2 + self._rng.random() * profile.jitter / 2
+            reply = datagram.reply(payload, sent_at=arrival)
+            replies.append((reply, arrival + return_delay))
+            self.stats.replies += 1
+            self.stats.reply_bytes += reply.wire_size
+        return replies
+
+    @property
+    def endpoint_count(self) -> int:
+        """Number of bound endpoints."""
+        return len(self._endpoints)

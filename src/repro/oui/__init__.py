@@ -1,0 +1,24 @@
+"""Vendor registries: IEEE OUIs and IANA Private Enterprise Numbers.
+
+The paper infers vendors two ways (§3.1):
+
+* from the **MAC OUI** when the engine ID embeds a MAC address — the upper
+  three bytes identify the company that registered the block;
+* from the **enterprise number** in the engine ID header, which RFC 3411
+  mandates for conforming engine IDs.
+
+Both registries here are embedded subsets covering the vendors the paper
+names plus enough long-tail entries to exercise the "unregistered MAC" and
+"unknown vendor" code paths.
+"""
+
+from repro.oui.enterprise import ENTERPRISE_NUMBERS, enterprise_name, enterprise_number
+from repro.oui.registry import OuiRegistry, default_registry
+
+__all__ = [
+    "ENTERPRISE_NUMBERS",
+    "OuiRegistry",
+    "default_registry",
+    "enterprise_name",
+    "enterprise_number",
+]

@@ -1,0 +1,126 @@
+"""Embedded IEEE OUI registry.
+
+A subset of the IEEE MA-L assignments covering every vendor the paper's
+evaluation names (Cisco, Huawei, Juniper, H3C, Broadcom, Thomson, Netgear,
+Ambit, Ruijie, Brocade, Adtran, OneAccess, ...) plus common server-NIC and
+CPE vendors, so that both the router and the "everything else" populations
+of the simulated Internet carry realistic hardware addresses.
+
+The live paper resolves OUIs against the full ``oui.txt`` from the IEEE;
+we substitute this curated table (documented in DESIGN.md §2).  MACs whose
+OUI is absent from the table model the "Unregistered MAC engine IDs"
+filter input of §4.4.
+"""
+
+from __future__ import annotations
+
+from repro.net.mac import MacAddress
+
+# vendor -> OUI prefixes (hex, no separators).  Multiple blocks per vendor
+# mirror reality and exercise OUI->vendor canonicalization.
+VENDOR_OUIS: dict[str, tuple[str, ...]] = {
+    "Cisco": ("00000c", "000142", "001b54", "002699", "58971e", "70db98", "bc671c"),
+    "Huawei": ("00e0fc", "001882", "00259e", "286ed4", "48dbd4", "f44c7f"),
+    "Juniper": ("000585", "28c0da", "2c6bf5", "3c8ab0", "78fe3d", "f8c001"),
+    "H3C": ("000fe2", "3ce5a6", "5866ba", "70f96d"),
+    "Broadcom": ("001018", "001be9", "d43d7e"),
+    "Thomson": ("001095", "001f9f", "002644", "8c04ff"),
+    "Netgear": ("00095b", "000fb5", "00146c", "204e7f", "9c3dcf"),
+    "Ambit": ("00d059", "001d6b"),
+    "Ruijie": ("00d0f8", "58696c", "300d9e"),
+    "Brocade": ("00051e", "748ef8", "000533"),
+    "Adtran": ("00a0c8", "00121e"),
+    "OneAccess": ("0012ef", "70fc8c"),
+    "MikroTik": ("000c42", "4c5e0c", "d4ca6d"),
+    "ZTE": ("0019c6", "344b50"),
+    "Arista": ("001c73",),
+    "Nokia": ("00d0f6", "a4f4c2"),
+    "Fortinet": ("00090f",),
+    "Extreme": ("000130", "000496"),
+    "TP-Link": ("14cc20", "50c7bf", "ec086b"),
+    "D-Link": ("00055d", "000d88", "14d64d"),
+    "Ubiquiti": ("00156d", "24a43c", "687251"),
+    "Dell": ("001422", "f8b156"),
+    "HP": ("000bcd", "3cd92b", "9457a5"),
+    "Intel": ("0002b3", "001b21", "a0369f"),
+    "Realtek": ("00e04c",),
+    "Supermicro": ("002590", "0cc47a"),
+    "VMware": ("005056",),
+    "ZyXEL": ("001349", "5c6a80"),
+    "Sagemcom": ("002569", "e8be81"),
+    "AVM": ("00040e", "3810d5"),
+    "Technicolor": ("00189b", "a02c2b"),
+    "Calix": ("000631", "cc9efc"),
+    "Eltex": ("a8f94b", "e0d9e3"),
+    "Mellanox": ("0002c9", "b8599f"),
+}
+
+
+class OuiRegistry:
+    """Maps MAC OUIs to vendor names and allocates vendor MAC blocks.
+
+    >>> reg = default_registry()
+    >>> reg.vendor_of(MacAddress("74:8e:f8:31:db:80"))
+    'Brocade'
+    >>> reg.vendor_of(MacAddress("ee:ee:ee:00:00:01")) is None
+    True
+    """
+
+    def __init__(self, vendor_ouis: "dict[str, tuple[str, ...]] | None" = None) -> None:
+        self._vendor_ouis = dict(vendor_ouis if vendor_ouis is not None else VENDOR_OUIS)
+        self._by_oui: dict[bytes, str] = {}
+        for vendor, prefixes in self._vendor_ouis.items():
+            for prefix in prefixes:
+                oui = bytes.fromhex(prefix)
+                if len(oui) != 3:
+                    raise ValueError(f"OUI must be 3 bytes: {prefix!r}")
+                if oui in self._by_oui:
+                    raise ValueError(f"duplicate OUI {prefix!r}")
+                self._by_oui[oui] = vendor
+
+    def vendor_of(self, mac: "MacAddress | bytes") -> "str | None":
+        """Return the registered vendor for a MAC, or ``None`` if unregistered."""
+        oui = mac.oui if isinstance(mac, MacAddress) else bytes(mac)[:3]
+        return self._by_oui.get(oui)
+
+    def is_registered(self, mac: "MacAddress | bytes") -> bool:
+        """Return whether the MAC's OUI appears in the registry."""
+        return self.vendor_of(mac) is not None
+
+    def ouis_for(self, vendor: str) -> tuple[bytes, ...]:
+        """Return the OUI blocks registered to ``vendor``."""
+        prefixes = self._vendor_ouis.get(vendor)
+        if prefixes is None:
+            raise KeyError(f"unknown vendor: {vendor!r}")
+        return tuple(bytes.fromhex(p) for p in prefixes)
+
+    def vendors(self) -> tuple[str, ...]:
+        """All vendor names in the registry."""
+        return tuple(self._vendor_ouis)
+
+    def make_mac(self, vendor: str, block_index: int, device_index: int) -> MacAddress:
+        """Deterministically allocate a MAC in one of ``vendor``'s OUI blocks.
+
+        ``device_index`` selects the NIC-specific low 24 bits; the topology
+        generator uses sequential indices so interfaces of one router get
+        consecutive MACs, as real line cards do.
+        """
+        ouis = self.ouis_for(vendor)
+        oui = ouis[block_index % len(ouis)]
+        if not 0 <= device_index < 1 << 24:
+            raise ValueError(f"device index out of 24-bit range: {device_index}")
+        return MacAddress(oui + device_index.to_bytes(3, "big"))
+
+    def __len__(self) -> int:
+        return len(self._by_oui)
+
+
+_DEFAULT: "OuiRegistry | None" = None
+
+
+def default_registry() -> OuiRegistry:
+    """Return the process-wide default registry (built once, immutable)."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = OuiRegistry()
+    return _DEFAULT

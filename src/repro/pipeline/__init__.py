@@ -1,0 +1,19 @@
+"""The §4.4 response-filtering pipeline.
+
+Raw scan pairs go in; per-IP records with *valid* engine IDs and engine
+times come out.  The ten filters run in the paper's order, each reporting
+how many records it removed (the numbers the paper quotes per step), and
+each individually disableable for the ablation benchmarks.
+"""
+
+from repro.pipeline.records import MergedObservation, ValidRecord, merge_scan_pair
+from repro.pipeline.filters import FilterPipeline, FilterStats, PipelineResult
+
+__all__ = [
+    "FilterPipeline",
+    "FilterStats",
+    "MergedObservation",
+    "PipelineResult",
+    "ValidRecord",
+    "merge_scan_pair",
+]

@@ -1,0 +1,90 @@
+"""Record types flowing through the filtering pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.addresses import IPAddress
+from repro.scanner.records import ScanObservation, ScanResult
+from repro.snmp.engine_id import EngineId
+
+
+@dataclass(frozen=True)
+class MergedObservation:
+    """One IP observed in both scans of a pair."""
+
+    address: IPAddress
+    first: ScanObservation
+    second: ScanObservation
+
+    @property
+    def version(self) -> int:
+        return self.address.version
+
+    @property
+    def engine_id(self) -> "EngineId | None":
+        """The (scan-1) engine ID; filters guarantee consistency downstream."""
+        return self.first.engine_id
+
+    @property
+    def consistent_engine_id(self) -> bool:
+        if self.first.engine_id is None or self.second.engine_id is None:
+            return False
+        return self.first.engine_id.raw == self.second.engine_id.raw
+
+    @property
+    def reboot_time_delta(self) -> float:
+        """|Δ last reboot| between the two scans — Figure 8's quantity."""
+        return abs(self.first.last_reboot_time - self.second.last_reboot_time)
+
+
+@dataclass(frozen=True)
+class ValidRecord:
+    """A fully filtered record: the pipeline's output row.
+
+    Exposes the six matching fields the alias-resolution stage groups on:
+    engine ID, engine boots and last reboot time, for both scans.
+    """
+
+    address: IPAddress
+    engine_id: EngineId
+    engine_boots: int
+    last_reboot_first: float
+    last_reboot_second: float
+    recv_time_first: float
+    recv_time_second: float
+    engine_time_first: int
+    engine_time_second: int
+
+    @property
+    def version(self) -> int:
+        return self.address.version
+
+    @property
+    def last_reboot_time(self) -> float:
+        """Canonical last reboot time (first scan's derivation)."""
+        return self.last_reboot_first
+
+
+def merge_scan_pair(first: ScanResult, second: ScanResult) -> tuple[list[MergedObservation], int]:
+    """Join two scans on address.
+
+    Returns the merged records plus the count of non-overlapping IPs
+    (responsive in exactly one scan), which the paper reports separately
+    from the inconsistency filter.
+    """
+    merged: list[MergedObservation] = []
+    overlap = set(first.observations) & set(second.observations)
+    for address in overlap:
+        merged.append(
+            MergedObservation(
+                address=address,
+                first=first.observations[address],
+                second=second.observations[address],
+            )
+        )
+    non_overlap = (
+        len(first.observations) + len(second.observations) - 2 * len(overlap)
+    )
+    merged.sort(key=lambda m: int(m.address))
+    return merged, non_overlap

@@ -1,0 +1,25 @@
+"""Internet-wide SNMPv3 scanning over the simulated fabric.
+
+Mirrors the paper's §3.2 measurement setup:
+
+* :mod:`repro.scanner.records` — the observation records a scan produces;
+* :mod:`repro.scanner.zmap` — the ZMap-equivalent engine: permuted
+  targets, rate-limited single-probe-per-IP UDP scanning, full response
+  capture with receive timestamps;
+* :mod:`repro.scanner.campaign` — orchestration of the paper's four
+  campaigns (two IPv4 scans, two IPv6 scans) including the interim events
+  between paired scans (device reboots, CPE address churn).
+"""
+
+from repro.scanner.records import ScanObservation, ScanResult
+from repro.scanner.zmap import ZmapConfig, ZmapScanner
+from repro.scanner.campaign import CampaignResult, ScanCampaign
+
+__all__ = [
+    "CampaignResult",
+    "ScanCampaign",
+    "ScanObservation",
+    "ScanResult",
+    "ZmapConfig",
+    "ZmapScanner",
+]

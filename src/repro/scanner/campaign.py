@@ -1,0 +1,171 @@
+"""Scan-campaign orchestration.
+
+Reproduces the paper's measurement schedule (Table 1): two IPv6 scans on
+consecutive days, then two IPv4 scans roughly a week apart.  Between the
+paired scans the simulated Internet keeps living:
+
+* devices flagged ``reboot_between_scans`` restart at a random moment in
+  the campaign window (feeding the "inconsistent engine boots" filter);
+* DHCP-pool CPE re-address — either swapping addresses with another
+  churned device in the same AS (the same IP then answers with a
+  *different* engine ID: the "inconsistent engine ID" filter) or moving
+  to a fresh address (shrinking the scan-overlap set).
+
+IPv4 scans target every address in the simulated address plan (equivalent
+to probing the full routable space — unassigned addresses never answer);
+IPv6 scans target the IPv6 Hitlist view only, as the paper does.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.net.addresses import IPAddress
+from repro.net.transport import LinkProfile, NetworkFabric
+from repro.scanner.records import ScanResult
+from repro.scanner.zmap import ZmapConfig, ZmapScanner
+from repro.snmp.constants import SNMP_PORT
+from repro.topology import timeline
+from repro.topology.config import TopologyConfig
+from repro.topology.datasets import RouterDatasets, build_router_datasets
+from repro.topology.model import Device, Topology
+
+#: Scan labels in chronological order.
+SCAN_LABELS = ("v6-1", "v6-2", "v4-1", "v4-2")
+
+_SCHEDULE = {
+    "v6-1": (6, timeline.SCAN1_V6_START, 20000.0),
+    "v6-2": (6, timeline.SCAN2_V6_START, 20000.0),
+    "v4-1": (4, timeline.SCAN1_V4_START, 5000.0),
+    "v4-2": (4, timeline.SCAN2_V4_START, 5000.0),
+}
+
+#: Probability that a DHCP-pool device re-addresses within the inter-scan
+#: gap, per address family (6 days for IPv4, 1 day for IPv6).
+_CHURN_PROB = {4: 0.6, 6: 0.15}
+
+
+@dataclass
+class CampaignResult:
+    """All four scans plus the per-scan ground-truth address bindings."""
+
+    scans: dict[str, ScanResult] = field(default_factory=dict)
+    bindings: dict[str, dict[IPAddress, int]] = field(default_factory=dict)
+    datasets: "RouterDatasets | None" = None
+
+    def scan_pair(self, version: int) -> tuple[ScanResult, ScanResult]:
+        """The (scan 1, scan 2) pair for one address family."""
+        prefix = f"v{version}"
+        return self.scans[f"{prefix}-1"], self.scans[f"{prefix}-2"]
+
+
+class ScanCampaign:
+    """Runs the four-scan measurement campaign against a topology."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        config: "TopologyConfig | None" = None,
+        loss_probability: float = 0.02,
+    ) -> None:
+        self.topology = topology
+        self.config = config or TopologyConfig(seed=topology.seed)
+        self._rng = random.Random(topology.seed ^ 0x5CA7)
+        self._fabric = NetworkFabric(
+            seed=topology.seed ^ 0xFAB,
+            default_profile=LinkProfile(
+                loss_probability=loss_probability, base_latency=0.08, jitter=0.04
+            ),
+        )
+        self._scanner = ZmapScanner(self._fabric, ZmapConfig())
+        # address -> device id, the campaign's live view (mutated by churn).
+        self._binding: dict[IPAddress, int] = {}
+        self._reboot_times: dict[int, float] = {}
+        self._rebooted: set[int] = set()
+
+    # -- public -----------------------------------------------------------------
+
+    def run(self) -> CampaignResult:
+        """Execute all four scans in chronological order."""
+        datasets = build_router_datasets(self.topology, self.config)
+        self._bind_initial()
+        self._schedule_reboots()
+        result = CampaignResult(datasets=datasets)
+        for label in SCAN_LABELS:
+            version, start, rate = _SCHEDULE[label]
+            if label.endswith("-2"):
+                self._apply_churn(version)
+            self._apply_due_reboots(start)
+            targets = self._targets(version, datasets)
+            result.bindings[label] = dict(self._binding)
+            result.scans[label] = self._scanner.scan(
+                targets, label=label, ip_version=version, start_time=start, rate_pps=rate
+            )
+        return result
+
+    # -- setup -------------------------------------------------------------------
+
+    def _bind_initial(self) -> None:
+        for device in self.topology.devices.values():
+            if not device.snmp_open:
+                continue
+            for interface in device.interfaces:
+                if not interface.snmp_reachable:
+                    continue
+                self._binding[interface.address] = device.device_id
+                handler = (
+                    device.agent_pool.handle_datagram
+                    if device.agent_pool is not None
+                    else device.agent.handle_datagram
+                )
+                self._fabric.bind(interface.address, "udp", SNMP_PORT, handler)
+
+    def _schedule_reboots(self) -> None:
+        window_start = timeline.SCAN1_V6_START
+        window_end = timeline.SCAN2_V4_START + timeline.SCAN2_V4_DURATION
+        for device in self.topology.devices.values():
+            if device.reboot_between_scans:
+                self._reboot_times[device.device_id] = self._rng.uniform(
+                    window_start, window_end
+                )
+
+    # -- interim events ------------------------------------------------------------
+
+    def _apply_due_reboots(self, now: float) -> None:
+        for device_id, when in self._reboot_times.items():
+            if when <= now and device_id not in self._rebooted:
+                self.topology.devices[device_id].agent.reboot(when)
+                self._rebooted.add(device_id)
+
+    def _apply_churn(self, version: int) -> None:
+        """Re-address DHCP-pool devices before the family's second scan."""
+        prob = _CHURN_PROB[version]
+        pools: dict[int, list[IPAddress]] = {}
+        for address, device_id in self._binding.items():
+            device = self.topology.devices[device_id]
+            if device.dhcp_pool and address.version == version \
+                    and self._rng.random() < prob:
+                pools.setdefault(device.asn, []).append(address)
+        for asn, addresses in pools.items():
+            if len(addresses) < 2:
+                continue
+            owners = [self._binding[a] for a in addresses]
+            rotated = owners[1:] + owners[:1]
+            for address, new_owner in zip(addresses, rotated):
+                self._fabric.unbind(address, "udp", SNMP_PORT)
+            for address, new_owner in zip(addresses, rotated):
+                device = self.topology.devices[new_owner]
+                self._binding[address] = new_owner
+                self._fabric.bind(address, "udp", SNMP_PORT, device.agent.handle_datagram)
+
+    # -- targets ----------------------------------------------------------------------
+
+    def _targets(self, version: int, datasets: RouterDatasets) -> list[IPAddress]:
+        if version == 4:
+            # Equivalent to scanning all routable IPv4 space: unassigned
+            # addresses cannot answer, so only the plan's addresses matter.
+            return sorted(
+                self.topology.all_addresses(4), key=int
+            )
+        return sorted(datasets.hitlist_targets_v6, key=int)

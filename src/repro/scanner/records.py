@@ -1,0 +1,91 @@
+"""Observation records produced by a scan.
+
+One :class:`ScanObservation` per responsive target IP — the row format the
+whole measurement pipeline consumes.  A :class:`ScanResult` is one full
+campaign pass (e.g. "IPv4 scan 1") with bookkeeping that backs Table 1 and
+the §8 amplification analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.net.addresses import IPAddress
+from repro.snmp.engine_id import EngineId
+
+
+@dataclass(frozen=True)
+class ScanObservation:
+    """What one responsive IP told us.
+
+    ``engine_id`` is ``None`` when the reply could not be parsed at all
+    (malformed); an *empty* engine ID is represented by an ``EngineId``
+    over zero bytes — the distinction feeds the missing-engine-ID filter.
+    ``response_count`` exceeds 1 for the §8 amplification population.
+    """
+
+    address: IPAddress
+    recv_time: float
+    engine_id: "EngineId | None"
+    engine_boots: int = 0
+    engine_time: int = 0
+    response_count: int = 1
+    wire_bytes: int = 0
+
+    @property
+    def version(self) -> int:
+        return self.address.version
+
+    @property
+    def last_reboot_time(self) -> float:
+        """Derived last reboot: receive time minus reported engine time."""
+        return self.recv_time - float(self.engine_time)
+
+    @property
+    def parsed(self) -> bool:
+        return self.engine_id is not None
+
+
+@dataclass
+class ScanResult:
+    """One complete scan pass over a target list."""
+
+    label: str
+    ip_version: int
+    started_at: float
+    finished_at: float = 0.0
+    targets_probed: int = 0
+    observations: dict[IPAddress, ScanObservation] = field(default_factory=dict)
+    #: IPs that sent more than one reply, with their reply counts (§8).
+    multi_responders: dict[IPAddress, int] = field(default_factory=dict)
+    probe_bytes_sent: int = 0
+    reply_bytes_received: int = 0
+
+    def add(self, observation: ScanObservation) -> None:
+        """Record one responsive IP (keeps the first observation per IP)."""
+        if observation.address not in self.observations:
+            self.observations[observation.address] = observation
+        if observation.response_count > 1:
+            self.multi_responders[observation.address] = observation.response_count
+
+    @property
+    def responsive_count(self) -> int:
+        """Number of distinct responsive IPs (Table 1 '#IPs')."""
+        return len(self.observations)
+
+    def unique_engine_ids(self) -> int:
+        """Number of distinct parsed engine IDs (Table 1 '#Engine IDs')."""
+        return len(
+            {
+                obs.engine_id.raw
+                for obs in self.observations.values()
+                if obs.engine_id is not None
+            }
+        )
+
+    def __iter__(self) -> Iterator[ScanObservation]:
+        return iter(self.observations.values())
+
+    def __len__(self) -> int:
+        return len(self.observations)

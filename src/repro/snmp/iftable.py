@@ -1,0 +1,77 @@
+"""The interfaces table (ifTable, RFC 2863 subset).
+
+The lab validation cross-checks the engine ID's MAC against the router's
+interface inventory ("the MAC in the engine ID corresponds to the first
+interface as reported by the router").  With management credentials, the
+same inventory is available over SNMP: this module populates the classic
+``ifTable`` columns — ifIndex, ifDescr, ifType, ifPhysAddress,
+ifOperStatus — so an authenticated walk reproduces that cross-check
+in-protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.asn1.oid import Oid
+from repro.net.mac import MacAddress
+from repro.snmp.mib import Mib
+
+#: ifTable column bases (1.3.6.1.2.1.2.2.1.<column>.<ifIndex>).
+OID_IF_TABLE_ENTRY = Oid("1.3.6.1.2.1.2.2.1")
+COLUMN_IF_INDEX = 1
+COLUMN_IF_DESCR = 2
+COLUMN_IF_TYPE = 3
+COLUMN_IF_PHYS_ADDRESS = 6
+COLUMN_IF_OPER_STATUS = 8
+
+#: ifNumber (1.3.6.1.2.1.2.1.0).
+OID_IF_NUMBER = Oid("1.3.6.1.2.1.2.1.0")
+
+IF_TYPE_ETHERNET = 6
+IF_OPER_UP = 1
+IF_OPER_DOWN = 2
+
+
+@dataclass(frozen=True)
+class InterfaceEntry:
+    """One row of the interfaces table."""
+
+    index: int
+    descr: str
+    mac: "MacAddress | None"
+    oper_up: bool = True
+
+
+def column_oid(column: int, if_index: int) -> Oid:
+    """The instance OID for one cell."""
+    return OID_IF_TABLE_ENTRY.child(column, if_index)
+
+
+def populate_if_table(mib: Mib, entries: "list[InterfaceEntry]") -> None:
+    """Install ifNumber and the ifTable rows into a MIB."""
+    mib.set(OID_IF_NUMBER, len(entries))
+    for entry in entries:
+        mib.set(column_oid(COLUMN_IF_INDEX, entry.index), entry.index)
+        mib.set(column_oid(COLUMN_IF_DESCR, entry.index), entry.descr.encode())
+        mib.set(column_oid(COLUMN_IF_TYPE, entry.index), IF_TYPE_ETHERNET)
+        mib.set(
+            column_oid(COLUMN_IF_PHYS_ADDRESS, entry.index),
+            entry.mac.packed if entry.mac is not None else b"",
+        )
+        mib.set(
+            column_oid(COLUMN_IF_OPER_STATUS, entry.index),
+            IF_OPER_UP if entry.oper_up else IF_OPER_DOWN,
+        )
+
+
+def parse_if_table(rows: "list[tuple[Oid, object]]") -> dict[int, dict[int, object]]:
+    """Group walked (oid, value) pairs back into {ifIndex: {column: value}}."""
+    table: dict[int, dict[int, object]] = {}
+    base_len = len(OID_IF_TABLE_ENTRY)
+    for oid, value in rows:
+        if not OID_IF_TABLE_ENTRY.is_prefix_of(oid) or len(oid) != base_len + 2:
+            continue
+        column, if_index = oid[base_len], oid[base_len + 1]
+        table.setdefault(if_index, {})[column] = value
+    return table

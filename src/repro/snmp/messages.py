@@ -1,0 +1,268 @@
+"""SNMP message framing: v1/v2c community messages and SNMPv3 (RFC 3412).
+
+The SNMPv3 message the scanner sends — the *unsolicited synchronization
+request* of the paper's Figure 2 — is a regular v3 GET with:
+
+* an **empty** ``msgAuthoritativeEngineID``,
+* zero ``msgAuthoritativeEngineBoots`` / ``msgAuthoritativeEngineTime``,
+* an empty user name and no authentication/privacy parameters,
+* the *reportable* flag set, so the agent answers with a Report PDU.
+
+The agent's Report (Figure 3) carries its real engine ID, boots and time
+in the security parameters — that triple is everything the paper's
+measurement machinery consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.asn1 import ber
+from repro.snmp import constants
+from repro.snmp.pdu import Pdu
+
+
+@dataclass(frozen=True)
+class UsmSecurityParameters:
+    """The UsmSecurityParameters SEQUENCE (RFC 3414 §2.4)."""
+
+    engine_id: bytes = b""
+    engine_boots: int = 0
+    engine_time: int = 0
+    user_name: bytes = b""
+    auth_params: bytes = b""
+    priv_params: bytes = b""
+
+    def encode(self) -> bytes:
+        body = ber.encode_sequence(
+            ber.encode_octet_string(self.engine_id),
+            ber.encode_integer(self.engine_boots),
+            ber.encode_integer(self.engine_time),
+            ber.encode_octet_string(self.user_name),
+            ber.encode_octet_string(self.auth_params),
+            ber.encode_octet_string(self.priv_params),
+        )
+        return body
+
+    @classmethod
+    def decode(cls, buf: bytes) -> "UsmSecurityParameters":
+        content, end = ber.decode_sequence(buf, 0)
+        if end != len(buf):
+            raise ber.BerDecodeError("trailing bytes after UsmSecurityParameters")
+        engine_id, pos = ber.decode_octet_string(content, 0)
+        engine_boots, pos = ber.decode_integer(content, pos)
+        engine_time, pos = ber.decode_integer(content, pos)
+        user_name, pos = ber.decode_octet_string(content, pos)
+        auth_params, pos = ber.decode_octet_string(content, pos)
+        priv_params, pos = ber.decode_octet_string(content, pos)
+        if pos != len(content):
+            raise ber.BerDecodeError("trailing bytes inside UsmSecurityParameters")
+        return cls(
+            engine_id=engine_id,
+            engine_boots=engine_boots,
+            engine_time=engine_time,
+            user_name=user_name,
+            auth_params=auth_params,
+            priv_params=priv_params,
+        )
+
+
+@dataclass(frozen=True)
+class ScopedPdu:
+    """A plaintext scoped PDU (RFC 3412 §6.8)."""
+
+    context_engine_id: bytes
+    context_name: bytes
+    pdu: Pdu
+
+    def encode(self) -> bytes:
+        return ber.encode_sequence(
+            ber.encode_octet_string(self.context_engine_id),
+            ber.encode_octet_string(self.context_name),
+            self.pdu.encode(),
+        )
+
+    @classmethod
+    def decode(cls, buf: bytes, offset: int) -> tuple["ScopedPdu", int]:
+        content, next_offset = ber.decode_sequence(buf, offset)
+        context_engine_id, pos = ber.decode_octet_string(content, 0)
+        context_name, pos = ber.decode_octet_string(content, pos)
+        pdu, pos = Pdu.decode(content, pos)
+        if pos != len(content):
+            raise ber.BerDecodeError("trailing bytes inside ScopedPDU")
+        return cls(context_engine_id, context_name, pdu), next_offset
+
+
+@dataclass(frozen=True)
+class SnmpV3Message:
+    """A complete SNMPv3 message.
+
+    ``scoped_pdu`` carries the plaintext payload; when the priv flag is
+    set the payload travels as ``encrypted_pdu`` ciphertext instead
+    (AES-128-CFB per RFC 3826 — see :mod:`repro.snmp.usm`).  The
+    discovery exchange the paper measures is always plaintext.
+    """
+
+    msg_id: int
+    max_size: int = constants.DEFAULT_MAX_SIZE
+    flags: int = constants.FLAG_REPORTABLE
+    security_model: int = constants.SECURITY_MODEL_USM
+    security: UsmSecurityParameters = field(default_factory=UsmSecurityParameters)
+    scoped_pdu: "ScopedPdu | None" = None
+    #: Ciphertext of the scoped PDU when the priv flag is set.
+    encrypted_pdu: "bytes | None" = None
+
+    @property
+    def is_reportable(self) -> bool:
+        return bool(self.flags & constants.FLAG_REPORTABLE)
+
+    @property
+    def is_authenticated(self) -> bool:
+        return bool(self.flags & constants.FLAG_AUTH)
+
+    @property
+    def is_encrypted(self) -> bool:
+        return bool(self.flags & constants.FLAG_PRIV)
+
+    def encode(self) -> bytes:
+        if self.is_encrypted:
+            if self.encrypted_pdu is None:
+                raise ValueError("priv flag set but no encrypted PDU present")
+            msg_data = ber.encode_octet_string(self.encrypted_pdu)
+        else:
+            if self.scoped_pdu is None:
+                raise ValueError("cannot encode a message without a scoped PDU")
+            msg_data = self.scoped_pdu.encode()
+        global_data = ber.encode_sequence(
+            ber.encode_integer(self.msg_id),
+            ber.encode_integer(self.max_size),
+            ber.encode_octet_string(bytes([self.flags])),
+            ber.encode_integer(self.security_model),
+        )
+        return ber.encode_sequence(
+            ber.encode_integer(constants.VERSION_3),
+            global_data,
+            ber.encode_octet_string(self.security.encode()),
+            msg_data,
+        )
+
+    @classmethod
+    def decode(cls, buf: bytes) -> "SnmpV3Message":
+        content, end = ber.decode_sequence(buf, 0)
+        if end != len(buf):
+            raise ber.BerDecodeError("trailing bytes after SNMPv3 message")
+        version, pos = ber.decode_integer(content, 0)
+        if version != constants.VERSION_3:
+            raise ber.BerDecodeError(f"not an SNMPv3 message (version={version})")
+        global_data, pos = ber.decode_sequence(content, pos)
+        msg_id, gpos = ber.decode_integer(global_data, 0)
+        max_size, gpos = ber.decode_integer(global_data, gpos)
+        flags_octets, gpos = ber.decode_octet_string(global_data, gpos)
+        if len(flags_octets) != 1:
+            raise ber.BerDecodeError("msgFlags must be a single octet")
+        security_model, gpos = ber.decode_integer(global_data, gpos)
+        if gpos != len(global_data):
+            raise ber.BerDecodeError("trailing bytes inside msgGlobalData")
+        security_blob, pos = ber.decode_octet_string(content, pos)
+        security = UsmSecurityParameters.decode(security_blob)
+        flags = flags_octets[0]
+        scoped_pdu = None
+        encrypted_pdu = None
+        if flags & constants.FLAG_PRIV:
+            encrypted_pdu, pos = ber.decode_octet_string(content, pos)
+        else:
+            scoped_pdu, pos = ScopedPdu.decode(content, pos)
+        if pos != len(content):
+            raise ber.BerDecodeError("trailing bytes after ScopedPDU")
+        return cls(
+            msg_id=msg_id,
+            max_size=max_size,
+            flags=flags,
+            security_model=security_model,
+            security=security,
+            scoped_pdu=scoped_pdu,
+            encrypted_pdu=encrypted_pdu,
+        )
+
+
+@dataclass(frozen=True)
+class CommunityMessage:
+    """An SNMPv1 or v2c message: version, community string, PDU."""
+
+    version: int
+    community: bytes
+    pdu: Pdu
+
+    def __post_init__(self) -> None:
+        if self.version not in (constants.VERSION_1, constants.VERSION_2C):
+            raise ValueError(f"community messages are v1/v2c only, got {self.version}")
+
+    def encode(self) -> bytes:
+        return ber.encode_sequence(
+            ber.encode_integer(self.version),
+            ber.encode_octet_string(self.community),
+            self.pdu.encode(),
+        )
+
+    @classmethod
+    def decode(cls, buf: bytes) -> "CommunityMessage":
+        content, end = ber.decode_sequence(buf, 0)
+        if end != len(buf):
+            raise ber.BerDecodeError("trailing bytes after community message")
+        version, pos = ber.decode_integer(content, 0)
+        community, pos = ber.decode_octet_string(content, pos)
+        pdu, pos = Pdu.decode(content, pos)
+        if pos != len(content):
+            raise ber.BerDecodeError("trailing bytes after PDU")
+        return cls(version=version, community=community, pdu=pdu)
+
+
+def peek_version(buf: bytes) -> int:
+    """Return the msgVersion of a raw SNMP datagram without a full parse."""
+    content, __ = ber.decode_sequence(buf, 0)
+    version, __ = ber.decode_integer(content, 0)
+    return version
+
+
+def build_discovery_probe(msg_id: int, request_id: "int | None" = None) -> SnmpV3Message:
+    """Build the unsolicited synchronization request of Figure 2.
+
+    Empty engine ID, zero boots/time, empty user, reportable flag set, and
+    a GET PDU with an empty varbind list inside a scoped PDU with empty
+    context.  This is the exact single packet the scanner sends per target.
+    """
+    pdu = Pdu(
+        tag=constants.TAG_GET_REQUEST,
+        request_id=msg_id if request_id is None else request_id,
+    )
+    return SnmpV3Message(
+        msg_id=msg_id,
+        flags=constants.FLAG_REPORTABLE,
+        scoped_pdu=ScopedPdu(context_engine_id=b"", context_name=b"", pdu=pdu),
+    )
+
+
+@dataclass(frozen=True)
+class DiscoveryReply:
+    """The fields of Figure 3 that the measurement pipeline consumes."""
+
+    engine_id: bytes
+    engine_boots: int
+    engine_time: int
+    msg_id: int
+
+
+def parse_discovery_response(payload: bytes) -> DiscoveryReply:
+    """Parse an agent's Report reply to a discovery probe.
+
+    Raises :class:`ber.BerDecodeError` on malformed payloads; the scanner
+    records those as invalid responses (they feed the "missing engine ID"
+    filter of §4.4).
+    """
+    message = SnmpV3Message.decode(payload)
+    return DiscoveryReply(
+        engine_id=message.security.engine_id,
+        engine_boots=message.security.engine_boots,
+        engine_time=message.security.engine_time,
+        msg_id=message.msg_id,
+    )

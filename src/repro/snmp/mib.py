@@ -1,0 +1,86 @@
+"""A minimal MIB: the MIB-II system group plus usmStats counters.
+
+Enough of a management information base for the lab-validation experiment
+(§6.2.1 queries ``sysDescr`` over v2c and v3) and for the agent's Report
+generation.  Values are stored against exact instance OIDs; ``get-next``
+walks the sorted OID space, which is all the client side needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.asn1.oid import Oid
+from repro.snmp import constants
+from repro.snmp.pdu import Counter32, TimeTicks, VarValue
+
+#: A MIB entry is either a static value or a callable evaluated at query
+#: time with the current simulation time (for sysUpTime-style values).
+MibValue = Callable[[float], VarValue] | VarValue
+
+
+@dataclass
+class Mib:
+    """An OID-addressable value store."""
+
+    entries: dict[Oid, MibValue] = field(default_factory=dict)
+
+    def set(self, oid: Oid, value: MibValue) -> None:
+        """Register a static value or a time-dependent callable."""
+        self.entries[oid] = value
+
+    def get(self, oid: Oid, now: float) -> "VarValue | None":
+        """Resolve an exact instance OID; ``None`` for noSuchObject."""
+        entry = self.entries.get(oid)
+        if callable(entry):
+            return entry(now)
+        return entry
+
+    def get_next(self, oid: Oid, now: float) -> "tuple[Oid, VarValue] | None":
+        """Return the first (oid, value) strictly after ``oid`` in tree order."""
+        candidates = sorted(key for key in self.entries if key > oid)
+        if not candidates:
+            return None
+        next_oid = candidates[0]
+        return next_oid, self.get(next_oid, now)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+def install_engine_group(mib: "Mib", agent) -> None:
+    """Install the snmpEngine group, live-wired to the agent's state.
+
+    An authenticated manager can then read the same identity discovery
+    leaks — boots and time via the MIB rather than the USM header.
+    """
+    mib.set(constants.OID_SNMP_ENGINE_ID, agent.engine_id.raw)
+    mib.set(constants.OID_SNMP_ENGINE_BOOTS, lambda now: agent.engine_boots)
+    mib.set(constants.OID_SNMP_ENGINE_TIME, lambda now: agent.engine_time(now))
+    mib.set(constants.OID_SNMP_ENGINE_MAX_SIZE, constants.DEFAULT_MAX_SIZE)
+
+
+def build_system_mib(
+    sys_descr: str,
+    sys_name: str,
+    sys_object_id: Oid,
+    boot_time_getter: Callable[[], float],
+) -> Mib:
+    """Build a system-group MIB for an agent.
+
+    ``sysUpTime`` is live: TimeTicks (hundredths of a second) since the
+    agent's last boot, computed from the agent's boot time at query time.
+    """
+    mib = Mib()
+    mib.set(constants.OID_SYS_DESCR, sys_descr.encode())
+    mib.set(constants.OID_SYS_OBJECT_ID, sys_object_id)
+    mib.set(
+        constants.OID_SYS_UPTIME,
+        lambda now: TimeTicks(max(0, int((now - boot_time_getter()) * 100))),
+    )
+    mib.set(constants.OID_SYS_CONTACT, b"")
+    mib.set(constants.OID_SYS_NAME, sys_name.encode())
+    mib.set(constants.OID_SYS_LOCATION, b"")
+    mib.set(constants.OID_SYS_SERVICES, 72)
+    return mib

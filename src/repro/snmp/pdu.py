@@ -1,0 +1,209 @@
+"""SNMP PDUs (RFC 3416) and variable bindings.
+
+A PDU is a context-tagged structure::
+
+    PDU ::= [tag] IMPLICIT SEQUENCE {
+        request-id   INTEGER,
+        error-status INTEGER,
+        error-index  INTEGER,
+        variable-bindings SEQUENCE OF SEQUENCE { name OID, value ANY }
+    }
+
+Values support the universal and SNMP application types the system group
+and usmStats need: INTEGER, OCTET STRING, NULL, OID, Counter32, Gauge32,
+TimeTicks and Counter64.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+from repro.asn1 import ber
+from repro.asn1.oid import Oid
+from repro.snmp import constants
+
+# The Python-side value space for varbinds.
+VarValue = Union[int, bytes, None, Oid, "Counter32", "Gauge32", "TimeTicks", "Counter64"]
+
+
+class _AppInt(int):
+    """Base for SNMP application integer types (tagged unsigned INTEGERs)."""
+
+    TAG: int = ber.TAG_INTEGER
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}({int(self)})"
+
+
+class Counter32(_AppInt):
+    """A 32-bit wrapping counter (APPLICATION 1)."""
+
+    TAG = ber.TAG_COUNTER32
+
+
+class Gauge32(_AppInt):
+    """A 32-bit gauge (APPLICATION 2)."""
+
+    TAG = ber.TAG_GAUGE32
+
+
+class TimeTicks(_AppInt):
+    """Hundredths of seconds since an epoch (APPLICATION 3)."""
+
+    TAG = ber.TAG_TIMETICKS
+
+
+class Counter64(_AppInt):
+    """A 64-bit wrapping counter (APPLICATION 6)."""
+
+    TAG = ber.TAG_COUNTER64
+
+
+_APP_TYPES = {cls.TAG: cls for cls in (Counter32, Gauge32, TimeTicks, Counter64)}
+
+
+def encode_value(value: VarValue) -> bytes:
+    """Encode a varbind value with its proper tag."""
+    if value is None:
+        return ber.encode_null()
+    if isinstance(value, Oid):
+        return ber.encode_oid(value)
+    if isinstance(value, _AppInt):
+        return ber.encode_unsigned(int(value), value.TAG)
+    if isinstance(value, bool):
+        raise ber.BerEncodeError("SNMP has no BOOLEAN varbind type")
+    if isinstance(value, int):
+        return ber.encode_integer(value)
+    if isinstance(value, (bytes, bytearray)):
+        return ber.encode_octet_string(bytes(value))
+    raise ber.BerEncodeError(f"cannot encode varbind value of type {type(value).__name__}")
+
+
+def decode_value(buf: bytes, offset: int) -> tuple[VarValue, int]:
+    """Decode a varbind value, dispatching on the tag byte."""
+    tag_byte, content, next_offset = ber.decode_tlv(buf, offset)
+    if tag_byte == ber.TAG_NULL:
+        return None, next_offset
+    if tag_byte == ber.TAG_INTEGER:
+        return ber.decode_integer_content(content), next_offset
+    if tag_byte == ber.TAG_OCTET_STRING:
+        return content, next_offset
+    if tag_byte == ber.TAG_OID:
+        oid, __ = ber.decode_oid(buf, offset)
+        return oid, next_offset
+    app_type = _APP_TYPES.get(tag_byte)
+    if app_type is not None:
+        return app_type(ber.decode_integer_content(content)), next_offset
+    if tag_byte == ber.TAG_IPADDRESS:
+        return content, next_offset
+    raise ber.BerDecodeError(f"unsupported varbind value tag 0x{tag_byte:02x}")
+
+
+@dataclass(frozen=True)
+class VarBind:
+    """A single (OID, value) pair."""
+
+    name: Oid
+    value: VarValue = None
+
+    def encode(self) -> bytes:
+        return ber.encode_sequence(ber.encode_oid(self.name), encode_value(self.value))
+
+    @classmethod
+    def decode(cls, buf: bytes, offset: int) -> tuple["VarBind", int]:
+        content, next_offset = ber.decode_sequence(buf, offset)
+        name, value_offset = ber.decode_oid(content, 0)
+        value, end = decode_value(content, value_offset)
+        if end != len(content):
+            raise ber.BerDecodeError("trailing bytes inside VarBind")
+        return cls(name=name, value=value), next_offset
+
+
+@dataclass(frozen=True)
+class Pdu:
+    """A decoded SNMP PDU of any type."""
+
+    tag: int
+    request_id: int
+    error_status: int = constants.ERR_NO_ERROR
+    error_index: int = 0
+    varbinds: tuple[VarBind, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.tag not in constants.PDU_TAGS:
+            raise ValueError(f"unknown PDU tag 0x{self.tag:02x}")
+
+    @property
+    def is_report(self) -> bool:
+        return self.tag == constants.TAG_REPORT
+
+    @property
+    def is_response(self) -> bool:
+        return self.tag == constants.TAG_RESPONSE
+
+    def encode(self) -> bytes:
+        body = (
+            ber.encode_integer(self.request_id)
+            + ber.encode_integer(self.error_status)
+            + ber.encode_integer(self.error_index)
+            + ber.encode_sequence(*(vb.encode() for vb in self.varbinds))
+        )
+        return ber.encode_tlv(self.tag, body)
+
+    @classmethod
+    def decode(cls, buf: bytes, offset: int = 0) -> tuple["Pdu", int]:
+        tag_byte, content, next_offset = ber.decode_tlv(buf, offset)
+        if tag_byte not in constants.PDU_TAGS:
+            raise ber.BerDecodeError(f"not a PDU tag: 0x{tag_byte:02x}")
+        request_id, pos = ber.decode_integer(content, 0)
+        error_status, pos = ber.decode_integer(content, pos)
+        error_index, pos = ber.decode_integer(content, pos)
+        vb_content, pos = ber.decode_sequence(content, pos)
+        if pos != len(content):
+            raise ber.BerDecodeError("trailing bytes inside PDU")
+        varbinds = []
+        vb_pos = 0
+        while vb_pos < len(vb_content):
+            varbind, vb_pos = VarBind.decode(vb_content, vb_pos)
+            varbinds.append(varbind)
+        return (
+            cls(
+                tag=tag_byte,
+                request_id=request_id,
+                error_status=error_status,
+                error_index=error_index,
+                varbinds=tuple(varbinds),
+            ),
+            next_offset,
+        )
+
+
+def get_request(request_id: int, *names: Oid) -> Pdu:
+    """Build a GetRequest PDU for the given OIDs."""
+    return Pdu(
+        tag=constants.TAG_GET_REQUEST,
+        request_id=request_id,
+        varbinds=tuple(VarBind(name) for name in names),
+    )
+
+
+def report(request_id: int, counter_oid: Oid, counter_value: int) -> Pdu:
+    """Build a Report PDU carrying one usmStats counter."""
+    return Pdu(
+        tag=constants.TAG_REPORT,
+        request_id=request_id,
+        varbinds=(VarBind(counter_oid, Counter32(counter_value)),),
+    )
+
+
+def response(request_id: int, varbinds: tuple[VarBind, ...], error_status: int = 0,
+             error_index: int = 0) -> Pdu:
+    """Build a Response PDU."""
+    return Pdu(
+        tag=constants.TAG_RESPONSE,
+        request_id=request_id,
+        error_status=error_status,
+        error_index=error_index,
+        varbinds=varbinds,
+    )

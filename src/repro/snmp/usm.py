@@ -1,0 +1,146 @@
+"""User-based Security Model (RFC 3414).
+
+Implements the pieces of USM the paper's threat analysis rests on:
+
+* **password-to-key** stretching (§A.2): the password is repeated to one
+  megabyte and digested, which slows brute force;
+* **key localization**: ``Kul = H(Ku || engineID || Ku)`` — the reason the
+  engine ID must be disclosed to unauthenticated clients in the first
+  place.  A manager cannot compute the localized key, and therefore cannot
+  authenticate, without first learning the agent's engine ID;
+* **HMAC-MD5-96** and **HMAC-SHA1-96** message authentication.
+
+The discovery exchange the paper abuses exists precisely because of the
+localization step: the protocol must hand out the engine ID *before* any
+authentication can happen.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import enum
+
+_MEGABYTE = 1024 * 1024
+_TRUNCATED_MAC_LEN = 12  # 96 bits
+
+
+class AuthProtocol(enum.Enum):
+    """Authentication protocols defined in RFC 3414."""
+
+    HMAC_MD5_96 = "md5"
+    HMAC_SHA1_96 = "sha1"
+
+    @property
+    def digest_name(self) -> str:
+        return self.value
+
+    @property
+    def key_length(self) -> int:
+        """Digest (and thus key) length in bytes: 16 for MD5, 20 for SHA-1."""
+        return hashlib.new(self.value).digest_size
+
+
+def password_to_key(password: "str | bytes", protocol: AuthProtocol) -> bytes:
+    """Stretch a password into the user key ``Ku`` (RFC 3414 §A.2).
+
+    The password is cyclically repeated until one megabyte has been fed to
+    the digest.  This is the expensive step an offline brute-force attacker
+    must repeat per guess — but, as the paper notes (§8), once an attacker
+    has the engine ID the rest of the dictionary attack can be precomputed.
+    """
+    if isinstance(password, str):
+        password = password.encode("utf-8")
+    if not password:
+        raise ValueError("empty passwords are not permitted by USM")
+    digest = hashlib.new(protocol.digest_name)
+    repetitions, remainder = divmod(_MEGABYTE, len(password))
+    digest.update(password * repetitions)
+    digest.update(password[:remainder])
+    return digest.digest()
+
+
+def localize_key(user_key: bytes, engine_id: bytes, protocol: AuthProtocol) -> bytes:
+    """Derive the per-engine localized key ``Kul = H(Ku || engineID || Ku)``."""
+    if not engine_id:
+        raise ValueError("key localization requires a non-empty engine ID")
+    digest = hashlib.new(protocol.digest_name)
+    digest.update(user_key + engine_id + user_key)
+    return digest.digest()
+
+
+def localized_key_from_password(
+    password: "str | bytes", engine_id: bytes, protocol: AuthProtocol
+) -> bytes:
+    """Convenience composition of :func:`password_to_key` and :func:`localize_key`."""
+    return localize_key(password_to_key(password, protocol), engine_id, protocol)
+
+
+def compute_mac(localized_key: bytes, whole_message: bytes, protocol: AuthProtocol) -> bytes:
+    """Compute the truncated 96-bit HMAC over the serialized message.
+
+    Per RFC 3414, the MAC is computed with the ``msgAuthenticationParameters``
+    field zero-filled; callers pass the message in that state.
+    """
+    mac = hmac.new(localized_key, whole_message, protocol.digest_name)
+    return mac.digest()[:_TRUNCATED_MAC_LEN]
+
+
+# -- privacy (RFC 3826: AES-128-CFB) -----------------------------------------
+
+
+def privacy_key_from_password(
+    password: "str | bytes", engine_id: bytes, protocol: AuthProtocol
+) -> bytes:
+    """Derive the 16-byte AES privacy key (RFC 3826 §1.2).
+
+    The privacy key is the localized key truncated to the cipher's key
+    size — the same stretch-and-localize construction as authentication,
+    which is why engine-ID disclosure weakens *both* services at once.
+    """
+    localized = localized_key_from_password(password, engine_id, protocol)
+    return localized[:16]
+
+
+def aes_privacy_iv(engine_boots: int, engine_time: int, salt: bytes) -> bytes:
+    """RFC 3826 §3.1.2.1: IV = boots(4) || time(4) || 64-bit salt."""
+    if len(salt) != 8:
+        raise ValueError(f"privacy salt must be 8 bytes, got {len(salt)}")
+    return (
+        (engine_boots & 0xFFFFFFFF).to_bytes(4, "big")
+        + (engine_time & 0xFFFFFFFF).to_bytes(4, "big")
+        + salt
+    )
+
+
+def encrypt_scoped_pdu(
+    priv_key: bytes, engine_boots: int, engine_time: int, salt: bytes, plaintext: bytes
+) -> bytes:
+    """Encrypt a serialized ScopedPDU for the msgData field."""
+    from repro.crypto.aes import cfb128_encrypt
+
+    iv = aes_privacy_iv(engine_boots, engine_time, salt)
+    return cfb128_encrypt(priv_key, iv, plaintext)
+
+
+def decrypt_scoped_pdu(
+    priv_key: bytes, engine_boots: int, engine_time: int, salt: bytes, ciphertext: bytes
+) -> bytes:
+    """Inverse of :func:`encrypt_scoped_pdu`."""
+    from repro.crypto.aes import cfb128_decrypt
+
+    iv = aes_privacy_iv(engine_boots, engine_time, salt)
+    return cfb128_decrypt(priv_key, iv, ciphertext)
+
+
+def verify_mac(
+    localized_key: bytes,
+    whole_message_with_zeroed_params: bytes,
+    received_mac: bytes,
+    protocol: AuthProtocol,
+) -> bool:
+    """Constant-time check of a received 96-bit MAC."""
+    if len(received_mac) != _TRUNCATED_MAC_LEN:
+        return False
+    expected = compute_mac(localized_key, whole_message_with_zeroed_params, protocol)
+    return hmac.compare_digest(expected, received_mac)

@@ -1,0 +1,35 @@
+"""Synthetic Internet topology: the measurement substrate.
+
+The paper scans the live Internet; this package builds its stand-in — a
+deterministic population of autonomous systems and devices whose SNMP
+agents, address plans, vendor mixes and behavioural quirks follow the
+distributions the paper reports, so every downstream stage (scanner,
+filters, alias resolution, fingerprinting, per-AS analyses) exercises its
+real logic against realistic inputs with known ground truth.
+
+Main entry points:
+
+* :class:`repro.topology.config.TopologyConfig` — all generation knobs,
+  with :meth:`paper_scale` presets;
+* :class:`repro.topology.generator.TopologyGenerator` — builds a
+  :class:`repro.topology.model.Topology`;
+* :mod:`repro.topology.datasets` — derives the third-party dataset views
+  (ITDK, RIPE Atlas, IPv6 Hitlist, rDNS zone) used for router tagging and
+  for the comparison experiments.
+"""
+
+from repro.topology.config import TopologyConfig
+from repro.topology.generator import TopologyGenerator, build_topology
+from repro.topology.model import AutonomousSystem, Device, DeviceType, Interface, Region, Topology
+
+__all__ = [
+    "AutonomousSystem",
+    "Device",
+    "DeviceType",
+    "Interface",
+    "Region",
+    "Topology",
+    "TopologyConfig",
+    "TopologyGenerator",
+    "build_topology",
+]

@@ -1,0 +1,199 @@
+"""Third-party dataset views over the simulated topology.
+
+The paper tags router IPs using CAIDA's ITDK, RIPE Atlas traceroute hops
+and the IPv6 Hitlist (Table 2), and compares its alias sets with the
+Router Names rDNS dataset (§5.2).  We derive the equivalent views from
+ground truth, with realistic incompleteness:
+
+* **ITDK** — a large sample of router interfaces (MIDAR/Speedtrap-seen);
+* **RIPE Atlas** — a much smaller traceroute-hop sample;
+* **IPv6 Hitlist** — v6 addresses of all device classes (routers *and*
+  the CPE churn population, which the paper notes inflates it);
+* **rDNS zone** — PTR records for a fraction of router interfaces,
+  following each AS's naming convention.  Some conventions encode a
+  router name (usable by the Router Names technique), some do not.
+
+Sampling is seeded from the topology seed, so views are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.net.addresses import IPAddress
+from repro.topology.config import TopologyConfig
+from repro.topology.model import Device, DeviceType, Topology
+
+
+@dataclass(frozen=True)
+class RouterDatasets:
+    """Address sets mirroring Table 2's third-party datasets.
+
+    ``hitlist_targets_v6`` is the broad IPv6 scan-target list (the paper's
+    364M non-aliased hitlist addresses); ``hitlist_v6`` is the narrower
+    router-tagging view — addresses observed as routed hops in hitlist
+    traceroutes, which include some (but far from all) residential CPE.
+    """
+
+    itdk_v4: frozenset[IPAddress]
+    itdk_v6: frozenset[IPAddress]
+    ripe_v4: frozenset[IPAddress]
+    ripe_v6: frozenset[IPAddress]
+    hitlist_v6: frozenset[IPAddress]
+    hitlist_targets_v6: frozenset[IPAddress]
+
+    @property
+    def union_v4(self) -> frozenset[IPAddress]:
+        """The union router dataset for IPv4 (ITDK + RIPE)."""
+        return self.itdk_v4 | self.ripe_v4
+
+    @property
+    def union_v6(self) -> frozenset[IPAddress]:
+        """The union router dataset for IPv6 (ITDK + RIPE + hitlist hops)."""
+        return self.itdk_v6 | self.ripe_v6 | self.hitlist_v6
+
+    def is_router_ip(self, address: IPAddress) -> bool:
+        """Router-tagging test used throughout the evaluation."""
+        if address.version == 4:
+            return address in self.union_v4
+        return address in self.union_v6
+
+
+def build_router_datasets(topology: Topology, config: TopologyConfig) -> RouterDatasets:
+    """Derive the dataset views.
+
+    ITDK and the hitlist are sampled from ground truth; the RIPE Atlas
+    view is, by default, *measured*: simulated traceroutes from a set of
+    vantage networks reveal intermediate router interfaces (silent hops
+    and unused paths make the view incomplete, as in reality).
+    """
+    rng = random.Random(topology.seed ^ 0x17DC)
+    itdk_v4: set[IPAddress] = set()
+    itdk_v6: set[IPAddress] = set()
+    ripe_v4: set[IPAddress] = set()
+    ripe_v6: set[IPAddress] = set()
+    hitlist_hops: set[IPAddress] = set()
+    hitlist_targets: set[IPAddress] = set()
+
+    use_traces = config.ripe_from_traceroutes
+    for device in topology.devices.values():
+        is_router = device.device_type is DeviceType.ROUTER
+        for interface in device.interfaces:
+            if is_router:
+                if interface.version == 4:
+                    if rng.random() < config.itdk_router_frac:
+                        itdk_v4.add(interface.address)
+                    if not use_traces and rng.random() < config.ripe_router_frac:
+                        ripe_v4.add(interface.address)
+                else:
+                    if rng.random() < config.itdk_router_frac * 0.5:
+                        itdk_v6.add(interface.address)
+                    if not use_traces and rng.random() < config.ripe_router_frac:
+                        ripe_v6.add(interface.address)
+                    if rng.random() < config.hitlist_router_frac:
+                        hitlist_hops.add(interface.address)
+                        hitlist_targets.add(interface.address)
+                    elif rng.random() < config.hitlist_router_frac:
+                        hitlist_targets.add(interface.address)
+            elif interface.version == 6:
+                is_cpe = device.device_type is DeviceType.CPE
+                target_frac = (
+                    config.hitlist_cpe_frac if is_cpe else config.hitlist_server_frac
+                )
+                if rng.random() < target_frac:
+                    hitlist_targets.add(interface.address)
+                    # Only occasionally does an end host show up as a
+                    # routed hop (residential gateways in IPv6, §3.4).
+                    if is_cpe and rng.random() < config.hitlist_routed_cpe_frac:
+                        hitlist_hops.add(interface.address)
+
+    if use_traces:
+        traced_v4, traced_v6 = _ripe_from_traceroutes(topology, config, rng)
+        ripe_v4 |= traced_v4
+        ripe_v6 |= traced_v6
+
+    return RouterDatasets(
+        itdk_v4=frozenset(itdk_v4),
+        itdk_v6=frozenset(itdk_v6),
+        ripe_v4=frozenset(ripe_v4),
+        ripe_v6=frozenset(ripe_v6),
+        hitlist_v6=frozenset(hitlist_hops),
+        hitlist_targets_v6=frozenset(hitlist_targets),
+    )
+
+
+def _ripe_from_traceroutes(
+    topology: Topology, config: TopologyConfig, rng: random.Random
+) -> "tuple[set[IPAddress], set[IPAddress]]":
+    """Run the simulated Atlas campaign and split hops by family."""
+    from repro.topology.traceroute import TracerouteEngine
+
+    engine = TracerouteEngine(topology)
+    vantage_asns = sorted(topology.ases)
+    rng.shuffle(vantage_asns)
+    vantage_asns = vantage_asns[: max(1, config.ripe_vantage_count)]
+    targets = [
+        address
+        for address in topology.all_addresses(4) + topology.all_addresses(6)
+        if rng.random() < config.ripe_target_frac
+    ]
+    revealed = engine.atlas_campaign(vantage_asns, targets)
+    v4 = {a for a in revealed if a.version == 4}
+    v6 = {a for a in revealed if a.version == 6}
+    return v4, v6
+
+
+# -- rDNS zone ------------------------------------------------------------------
+
+
+@dataclass
+class RdnsZone:
+    """PTR records for router interfaces plus per-AS convention metadata."""
+
+    records: dict[IPAddress, str] = field(default_factory=dict)
+    #: AS suffix -> naming style ("iface-router", "router-iface", "flat",
+    #: "opaque"); only the first two encode an extractable router name.
+    suffix_styles: dict[str, str] = field(default_factory=dict)
+
+    def ptr(self, address: IPAddress) -> "str | None":
+        return self.records.get(address)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+def build_rdns_zone(topology: Topology, config: TopologyConfig) -> RdnsZone:
+    """Generate PTR records for router interfaces per each AS's style."""
+    rng = random.Random(topology.seed ^ 0x0D25)
+    zone = RdnsZone()
+    for asys in topology.ases.values():
+        zone.suffix_styles[asys.rdns_suffix] = asys.rdns_style
+        router_index = 0
+        for device_id in asys.device_ids:
+            device = topology.devices[device_id]
+            if device.device_type is not DeviceType.ROUTER:
+                continue
+            router_index += 1
+            router_name = f"r{router_index:04d}"
+            for iface_index, interface in enumerate(device.interfaces):
+                if rng.random() >= config.rdns_ptr_frac:
+                    continue
+                zone.records[interface.address] = _hostname(
+                    asys.rdns_style, asys.rdns_suffix, router_name,
+                    iface_index, interface.address, rng,
+                )
+    return zone
+
+
+def _hostname(style: str, suffix: str, router_name: str, iface_index: int,
+              address: IPAddress, rng: random.Random) -> str:
+    if style == "iface-router":
+        return f"et-{iface_index}.{router_name}.{suffix}"
+    if style == "router-iface":
+        return f"{router_name}-eth{iface_index}.{suffix}"
+    if style == "flat":
+        dashed = str(address).replace(".", "-").replace(":", "-")
+        return f"host-{dashed}.{suffix}"
+    # "opaque": no structure at all.
+    return f"x{rng.randrange(1 << 32):08x}.{suffix}"

@@ -1,0 +1,48 @@
+"""Simulation timeline constants.
+
+Simulation time is Unix time (seconds).  The scan campaign dates follow
+the paper's Table 1: two IPv4 scans in mid/late April 2021 and two IPv6
+scans on consecutive days.  Uptimes reach back years (Figure 7's x-axis
+spans 2014–2021), so device boot times are sampled far before the scans.
+"""
+
+from __future__ import annotations
+
+import calendar
+
+_DAY = 86_400.0
+
+
+def _utc(year: int, month: int, day: int) -> float:
+    return float(calendar.timegm((year, month, day, 0, 0, 0)))
+
+
+#: IPv4 scan 1: April 16–20, 2021.
+SCAN1_V4_START = _utc(2021, 4, 16)
+SCAN1_V4_DURATION = 4 * _DAY
+
+#: IPv4 scan 2: April 22–27, 2021.
+SCAN2_V4_START = _utc(2021, 4, 22)
+SCAN2_V4_DURATION = 5 * _DAY
+
+#: IPv6 scan 1: April 13, 2021.
+SCAN1_V6_START = _utc(2021, 4, 13)
+SCAN1_V6_DURATION = 0.5 * _DAY
+
+#: IPv6 scan 2: April 14, 2021.
+SCAN2_V6_START = _utc(2021, 4, 14)
+SCAN2_V6_DURATION = 0.5 * _DAY
+
+#: Reference "now" used when deriving calendar statistics (Figure 13).
+REFERENCE_TIME = SCAN1_V4_START
+
+SECONDS_PER_DAY = _DAY
+SECONDS_PER_YEAR = 365.25 * _DAY
+
+
+def year_start(timestamp: float) -> float:
+    """Unix time of January 1st of the year containing ``timestamp``."""
+    import time
+
+    year = time.gmtime(int(timestamp)).tm_year
+    return _utc(year, 1, 1)

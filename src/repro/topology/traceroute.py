@@ -1,0 +1,154 @@
+"""Traceroute simulation: the substrate behind the RIPE Atlas view.
+
+The paper tags router interfaces using "intermediate hop IPs extracted
+from RIPE Atlas traceroute measurements".  Instead of sampling that view
+directly, this module simulates the measurement: vantage points run
+traceroutes toward targets, and every *intermediate* hop that reveals
+itself contributes a router interface address.
+
+Path model (deterministic given the topology seed):
+
+* each AS designates **core routers** (its largest routers) that carry
+  transit traffic and **edge routers** that face customers;
+* a trace enters through the source AS's core, crosses 0–3 transit ASes
+  (chosen by a stable hash of the AS pair), descends through the
+  destination AS's core and edge, then reaches the target;
+* routers answer time-exceeded probes per-device with a stable
+  probability — silent hops appear as the familiar ``* * *`` and
+  contribute nothing, which is exactly why traceroute-derived router
+  sets are incomplete.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass, field
+
+from repro.net.addresses import IPAddress
+from repro.topology.model import Device, DeviceType, Topology
+
+#: Probability that a router reveals itself in traceroutes at all
+#: (ICMP time-exceeded generation enabled and not filtered).
+DEFAULT_HOP_VISIBILITY = 0.8
+
+
+@dataclass
+class TracerouteHop:
+    """One line of traceroute output."""
+
+    ttl: int
+    address: "IPAddress | None"   # None = the hop stayed silent ("* * *")
+
+    @property
+    def responded(self) -> bool:
+        return self.address is not None
+
+
+@dataclass
+class TracerouteEngine:
+    """Deterministic path synthesis over the simulated topology."""
+
+    topology: Topology
+    hop_visibility: float = DEFAULT_HOP_VISIBILITY
+    seed: int = 0x7A5E
+
+    _core: dict[int, list[Device]] = field(default_factory=dict, repr=False)
+    _edge: dict[int, list[Device]] = field(default_factory=dict, repr=False)
+    _visible: dict[int, bool] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        rng = random.Random(self.seed ^ self.topology.seed)
+        for asys in self.topology.ases.values():
+            routers = [
+                d for d in self.topology.devices_in_as(asys.asn)
+                if d.device_type is DeviceType.ROUTER
+            ]
+            routers.sort(key=lambda d: (-len(d.interfaces), d.device_id))
+            n_core = max(1, len(routers) // 5)
+            self._core[asys.asn] = routers[:n_core]
+            self._edge[asys.asn] = routers[n_core:] or routers
+        for device in self.topology.routers():
+            self._visible[device.device_id] = rng.random() < self.hop_visibility
+
+    # -- path construction ----------------------------------------------------
+
+    def _pick(self, routers: "list[Device]", key: int) -> "Device | None":
+        if not routers:
+            return None
+        return routers[key % len(routers)]
+
+    def _interface_of(self, device: Device, version: int, key: int) -> "IPAddress | None":
+        candidates = [i.address for i in device.interfaces if i.version == version]
+        if not candidates:
+            return None
+        return candidates[key % len(candidates)]
+
+    def _transit_path(self, src_asn: int, dst_asn: int) -> list[int]:
+        """Stable intermediate-AS selection for an AS pair."""
+        if src_asn == dst_asn:
+            return []
+        digest = zlib.crc32(f"{src_asn}-{dst_asn}".encode())
+        all_asns = sorted(self.topology.ases)
+        hops = digest % 4  # 0..3 transit networks
+        return [
+            all_asns[(digest >> (4 * (i + 1))) % len(all_asns)]
+            for i in range(hops)
+            if all_asns[(digest >> (4 * (i + 1))) % len(all_asns)] not in (src_asn, dst_asn)
+        ]
+
+    def trace(self, src_asn: int, target: IPAddress) -> list[TracerouteHop]:
+        """Run one traceroute; returns the hop list including the target."""
+        destination = self.topology.device_of_address(target)
+        if destination is None:
+            return []
+        version = target.version
+        digest = zlib.crc32(f"{src_asn}->{target}".encode())
+        router_path: list[Device] = []
+
+        src_core = self._pick(self._core.get(src_asn, []), digest)
+        if src_core is not None:
+            router_path.append(src_core)
+        for asn in self._transit_path(src_asn, destination.asn):
+            transit = self._pick(self._core.get(asn, []), digest >> 8)
+            if transit is not None:
+                router_path.append(transit)
+        dst_core = self._pick(self._core.get(destination.asn, []), digest >> 16)
+        if dst_core is not None and dst_core not in router_path:
+            router_path.append(dst_core)
+        if destination.device_type is not DeviceType.ROUTER:
+            dst_edge = self._pick(self._edge.get(destination.asn, []), digest >> 20)
+            if dst_edge is not None and dst_edge not in router_path:
+                router_path.append(dst_edge)
+
+        hops: list[TracerouteHop] = []
+        ttl = 0
+        for device in router_path:
+            ttl += 1
+            address = self._interface_of(device, version, digest >> 12)
+            if address is None or not self._visible.get(device.device_id, False):
+                hops.append(TracerouteHop(ttl=ttl, address=None))
+            else:
+                hops.append(TracerouteHop(ttl=ttl, address=address))
+        hops.append(TracerouteHop(ttl=ttl + 1, address=target))
+        return hops
+
+    # -- measurement campaigns -----------------------------------------------------
+
+    def atlas_campaign(
+        self,
+        vantage_asns: "list[int]",
+        targets: "list[IPAddress]",
+    ) -> set[IPAddress]:
+        """RIPE-Atlas-style sweep: intermediate hops from many vantages.
+
+        Returns the set of revealed *intermediate* router interface
+        addresses (final targets excluded, as in the paper's tagging).
+        """
+        revealed: set[IPAddress] = set()
+        for index, target in enumerate(targets):
+            vantage = vantage_asns[index % len(vantage_asns)]
+            for hop in self.trace(vantage, target)[:-1]:
+                if hop.responded:
+                    revealed.add(hop.address)
+        return revealed

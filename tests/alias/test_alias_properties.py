@@ -1,0 +1,119 @@
+"""Property-based tests for alias resolution invariants."""
+
+import ipaddress
+
+from hypothesis import given, settings, strategies as st
+
+from repro.alias.sets import AliasSets, evaluate_against_truth
+from repro.alias.snmpv3 import MatchVariant, Snmpv3AliasResolver
+from repro.net.mac import MacAddress
+from repro.pipeline.records import ValidRecord
+from repro.snmp.engine_id import EngineId
+
+# -- strategies --------------------------------------------------------------------
+
+_addresses = st.integers(min_value=1, max_value=2**24).map(
+    lambda v: ipaddress.IPv4Address((198 << 24) + v)
+)
+
+_engine_ids = st.integers(min_value=0, max_value=200).map(
+    lambda i: EngineId.from_mac(9, MacAddress(0x00000C000000 + i))
+)
+
+
+@st.composite
+def valid_records(draw):
+    address = draw(_addresses)
+    lrt = draw(st.floats(min_value=0, max_value=10**7, allow_nan=False))
+    drift = draw(st.floats(min_value=-9, max_value=9, allow_nan=False))
+    return ValidRecord(
+        address=address,
+        engine_id=draw(_engine_ids),
+        engine_boots=draw(st.integers(min_value=1, max_value=20)),
+        last_reboot_first=lrt,
+        last_reboot_second=lrt + drift,
+        recv_time_first=lrt + 100,
+        recv_time_second=lrt + 200,
+        engine_time_first=100,
+        engine_time_second=200,
+    )
+
+
+record_lists = st.lists(valid_records(), max_size=40, unique_by=lambda r: r.address)
+
+
+# -- resolver invariants ---------------------------------------------------------------
+
+
+@settings(max_examples=60)
+@given(record_lists, st.sampled_from(list(MatchVariant)), st.booleans())
+def test_resolution_is_a_partition(records, variant, both):
+    """Every input address lands in exactly one alias set."""
+    sets = Snmpv3AliasResolver(variant=variant, use_both_scans=both).resolve(records)
+    seen = [a for group in sets for a in group]
+    assert sorted(seen, key=int) == sorted((r.address for r in records), key=int)
+    assert len(seen) == len(set(seen))
+
+
+@settings(max_examples=60)
+@given(record_lists)
+def test_same_key_records_always_merge(records):
+    """Records with identical engine triple are never split."""
+    resolver = Snmpv3AliasResolver()
+    sets = resolver.resolve(records)
+    for left in records:
+        for right in records:
+            if resolver.group_key(left) == resolver.group_key(right):
+                assert sets.set_of(left.address) is sets.set_of(right.address)
+
+
+@settings(max_examples=40)
+@given(record_lists)
+def test_both_scans_refine_first_only(records):
+    """Adding the second scan's field can only split sets, never merge."""
+    first = Snmpv3AliasResolver(use_both_scans=False).resolve(records)
+    both = Snmpv3AliasResolver(use_both_scans=True).resolve(records)
+    assert both.count >= first.count
+    # Refinement: every 'both' set is a subset of some 'first' set.
+    for group in both:
+        member = next(iter(group))
+        assert group <= first.set_of(member)
+
+
+@settings(max_examples=40)
+@given(record_lists)
+def test_exact_refines_binned(records):
+    exact = Snmpv3AliasResolver(variant=MatchVariant.EXACT, use_both_scans=False)
+    binned = Snmpv3AliasResolver(variant=MatchVariant.DIVIDE_BY_20, use_both_scans=False)
+    exact_sets = exact.resolve(records)
+    binned_sets = binned.resolve(records)
+    # int(x) equal implies x // 20 equal, so every exact key maps into one
+    # binned key: exact is a refinement of the 20-second binning.
+    for left in records:
+        for right in records:
+            if exact.group_key(left) == exact.group_key(right):
+                assert binned.group_key(left) == binned.group_key(right)
+    assert exact_sets.count >= binned_sets.count
+
+
+# -- evaluation invariants ------------------------------------------------------------------
+
+
+@settings(max_examples=50)
+@given(record_lists)
+def test_perfect_self_evaluation(records):
+    """Scoring an inference against itself is always perfect."""
+    sets = Snmpv3AliasResolver().resolve(records)
+    ev = evaluate_against_truth(sets, list(sets.sets))
+    assert ev.precision == 1.0
+    assert ev.recall == 1.0
+
+
+@settings(max_examples=50)
+@given(st.lists(_addresses, min_size=1, max_size=30, unique=True))
+def test_all_singletons_vacuous_precision(addresses):
+    sets = AliasSets(sets=[frozenset({a}) for a in addresses])
+    ev = evaluate_against_truth(sets, [frozenset(addresses)])
+    assert ev.precision == 1.0  # no pairs asserted
+    if len(addresses) > 1:
+        assert ev.recall == 0.0

@@ -1,0 +1,94 @@
+"""Unit tests for APPLE-style path-length pruning (§7.2 comparator)."""
+
+import pytest
+
+from repro.alias.apple import PathLengthPruner
+from repro.topology.config import TopologyConfig
+from repro.topology.generator import build_topology
+from repro.topology.model import DeviceType
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return build_topology(TopologyConfig.tiny(seed=83))
+
+
+@pytest.fixture(scope="module")
+def pruner(topo):
+    return PathLengthPruner(topo)
+
+
+class TestDistanceVectors:
+    def test_vector_per_vantage(self, topo, pruner):
+        address = next(iter(topo.routers())).interfaces[0].address
+        vector = pruner.distance_vector(address)
+        assert vector is not None
+        assert len(vector) == len(pruner.vantage_asns)
+        assert all(d >= 1 for d in vector)
+
+    def test_unknown_address_none(self, topo, pruner):
+        import ipaddress
+
+        assert pruner.distance_vector(ipaddress.ip_address("203.0.113.252")) is None
+
+    def test_cache_stability(self, topo, pruner):
+        address = next(iter(topo.routers())).interfaces[0].address
+        assert pruner.distance_vector(address) == pruner.distance_vector(address)
+
+
+class TestCompatibility:
+    def test_true_aliases_always_compatible(self, topo, pruner):
+        """Interfaces of one device share its position in the topology."""
+        checked = 0
+        for device in topo.routers():
+            v4 = [i.address for i in device.ipv4_interfaces]
+            if len(v4) < 2:
+                continue
+            assert pruner.compatible(v4[0], v4[1])
+            checked += 1
+            if checked >= 10:
+                break
+        assert checked >= 3
+
+    def test_unknown_distance_conservative(self, topo, pruner):
+        import ipaddress
+
+        known = next(iter(topo.routers())).interfaces[0].address
+        unknown = ipaddress.ip_address("203.0.113.252")
+        assert pruner.compatible(known, unknown)
+
+    def test_prunes_some_cross_device_pairs(self, topo, pruner):
+        routers = [d for d in topo.routers() if d.ipv4_interfaces]
+        pairs = [
+            (left.ipv4_interfaces[0].address, right.ipv4_interfaces[0].address)
+            for left in routers[:12]
+            for right in routers[12:24]
+        ]
+        kept, pruned = pruner.prune_pairs(pairs)
+        assert pruned > 0
+        assert len(kept) + pruned == len(pairs)
+
+    def test_never_prunes_true_alias_pairs(self, topo, pruner):
+        """The recall guarantee APPLE's design aims for."""
+        true_pairs = []
+        for device in topo.routers():
+            v4 = [i.address for i in device.ipv4_interfaces]
+            for i in range(len(v4) - 1):
+                true_pairs.append((v4[i], v4[i + 1]))
+        kept, pruned = pruner.prune_pairs(true_pairs)
+        assert pruned == 0
+
+
+class TestComposition:
+    def test_pruning_reduces_midar_workload(self, topo):
+        """APPLE + MIDAR: fewer pair tests, same true aliases."""
+        pruner = PathLengthPruner(topo)
+        routers = [d for d in topo.routers() if len(d.ipv4_interfaces) >= 1][:30]
+        addresses = [d.ipv4_interfaces[0].address for d in routers]
+        pairs = [
+            (addresses[i], addresses[j])
+            for i in range(len(addresses))
+            for j in range(i + 1, len(addresses))
+        ]
+        kept, pruned = pruner.prune_pairs(pairs)
+        assert pruned > 0.05 * len(pairs)

@@ -1,0 +1,64 @@
+"""Unit tests for alias-set overlap comparison."""
+
+import ipaddress
+
+from repro.alias.compare import compare_alias_sets
+from repro.alias.sets import AliasSets
+
+
+def addr(s):
+    return ipaddress.ip_address(s)
+
+
+def sets(groups, technique="x"):
+    return AliasSets(sets=[frozenset(map(addr, g)) for g in groups], technique=technique)
+
+
+class TestCompare:
+    def test_exact_match_detected(self):
+        ours = sets([["192.0.2.1", "192.0.2.2"]], "a")
+        theirs = sets([["192.0.2.2", "192.0.2.1"]], "b")
+        report = compare_alias_sets(ours, theirs)
+        assert report.exact_matches == 1
+        assert report.partial_overlaps_a == 1
+
+    def test_partial_overlap_not_exact(self):
+        ours = sets([["192.0.2.1", "192.0.2.2", "192.0.2.3"]])
+        theirs = sets([["192.0.2.1", "192.0.2.2"]])
+        report = compare_alias_sets(ours, theirs)
+        assert report.exact_matches == 0
+        assert report.partial_overlaps_a == 1
+        assert report.partial_overlaps_b == 1
+
+    def test_disjoint_sets(self):
+        ours = sets([["192.0.2.1"]])
+        theirs = sets([["203.0.113.1"]])
+        report = compare_alias_sets(ours, theirs)
+        assert report.exact_matches == 0
+        assert report.partial_overlaps_a == 0
+        assert report.shared_addresses == 0
+        assert report.complementary
+
+    def test_one_set_touching_many(self):
+        ours = sets([["192.0.2.1", "192.0.2.5", "192.0.2.9"]])
+        theirs = sets([["192.0.2.1"], ["192.0.2.5"], ["192.0.2.9"]])
+        report = compare_alias_sets(ours, theirs)
+        assert report.partial_overlaps_a == 1
+        assert report.partial_overlaps_b == 3
+
+    def test_address_accounting(self):
+        ours = sets([["192.0.2.1", "192.0.2.2"]])
+        theirs = sets([["192.0.2.2", "192.0.2.3"]])
+        report = compare_alias_sets(ours, theirs)
+        assert report.shared_addresses == 1
+        assert report.only_a_addresses == 1
+        assert report.only_b_addresses == 1
+
+    def test_counts_carried(self):
+        ours = sets([["192.0.2.1", "192.0.2.2"], ["192.0.2.9"]], "mine")
+        theirs = sets([["203.0.113.1"]], "theirs")
+        report = compare_alias_sets(ours, theirs)
+        assert (report.sets_a, report.sets_b) == (2, 1)
+        assert (report.non_singleton_a, report.non_singleton_b) == (1, 0)
+        assert report.technique_a == "mine"
+        assert report.complementary  # both collections hold exclusive addresses

@@ -1,0 +1,83 @@
+"""Unit tests for the Router Names rDNS technique."""
+
+import pytest
+
+from repro.alias.dns_names import RouterNamesResolver, _suffix_of
+from repro.alias.sets import evaluate_against_truth
+from repro.topology.config import TopologyConfig
+from repro.topology.datasets import build_rdns_zone
+from repro.topology.generator import build_topology
+
+
+@pytest.fixture(scope="module")
+def setup():
+    cfg = TopologyConfig.tiny(seed=13)
+    topo = build_topology(cfg)
+    zone = build_rdns_zone(topo, cfg)
+    return topo, zone
+
+
+class TestSuffixExtraction:
+    def test_two_label_suffix(self):
+        assert _suffix_of("et-1.r0001.net64500.example") == "net64500.example"
+        assert _suffix_of("r0001-eth1.net64500.example") == "net64500.example"
+        assert _suffix_of("host-1-2-3-4.net64501.example") == "net64501.example"
+
+
+class TestLearning:
+    def test_learned_regexes_only_for_structured_suffixes(self, setup):
+        topo, zone = setup
+        learned = RouterNamesResolver(zone).learn(topo)
+        for suffix in learned:
+            assert zone.suffix_styles[suffix] in ("iface-router", "router-iface")
+
+    def test_learned_regexes_meet_ppv_bar(self, setup):
+        topo, zone = setup
+        for regex in RouterNamesResolver(zone).learn(topo).values():
+            assert regex.ppv >= 0.8
+
+    def test_higher_bar_learns_fewer(self, setup):
+        topo, zone = setup
+        loose = RouterNamesResolver(zone, ppv_threshold=0.5).learn(topo)
+        strict = RouterNamesResolver(zone, ppv_threshold=0.999).learn(topo)
+        assert len(strict) <= len(loose)
+
+
+class TestResolution:
+    def test_precision_against_ground_truth(self, setup):
+        topo, zone = setup
+        sets = RouterNamesResolver(zone).resolve(topo)
+        ev = evaluate_against_truth(sets, topo.true_alias_sets())
+        assert ev.precision > 0.95
+
+    def test_covers_only_ptr_addresses(self, setup):
+        topo, zone = setup
+        sets = RouterNamesResolver(zone).resolve(topo)
+        for group in sets:
+            for address in group:
+                assert zone.ptr(address) is not None
+
+    def test_dual_stack_sets_from_shared_hostname(self, setup):
+        topo, zone = setup
+        sets = RouterNamesResolver(zone).resolve(topo)
+        split = sets.split_by_protocol()
+        # Dual-stack routers with PTRs on both families coalesce.
+        dual_routers_with_ptrs = sum(
+            1
+            for d in topo.routers()
+            if d.is_dual_stack
+            and any(zone.ptr(i.address) for i in d.ipv4_interfaces)
+            and any(zone.ptr(i.address) for i in d.ipv6_interfaces)
+            and topo.ases[d.asn].rdns_style in ("iface-router", "router-iface")
+        )
+        if dual_routers_with_ptrs:
+            assert len(split["dual"]) > 0
+
+    def test_smaller_than_snmpv3_universe(self, setup):
+        """The paper's core §5.2 finding: rDNS grouping covers far fewer
+        addresses than the device population, because of PTR gaps and
+        unstructured naming."""
+        topo, zone = setup
+        sets = RouterNamesResolver(zone).resolve(topo)
+        total_router_ifaces = sum(len(d.interfaces) for d in topo.routers())
+        assert sets.address_count < total_router_ifaces

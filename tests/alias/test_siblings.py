@@ -1,0 +1,118 @@
+"""Unit tests for TCP-timestamp sibling detection (§7.3 comparator)."""
+
+import pytest
+
+from repro.alias.siblings import SiblingDetector, TcpTimestampOracle
+from repro.topology.config import TopologyConfig
+from repro.topology.generator import build_topology
+from repro.topology.model import DeviceType
+
+
+@pytest.fixture(scope="module")
+def topo():
+    cfg = TopologyConfig.tiny(seed=41)
+    cfg.server_dual_frac = 0.5       # plenty of dual-stack servers
+    cfg.server_open_tcp_frac = 1.0   # all answer TCP (the method needs it)
+    return build_topology(cfg)
+
+
+@pytest.fixture(scope="module")
+def detector(topo):
+    return SiblingDetector(oracle=TcpTimestampOracle(topo))
+
+
+def dual_stack_servers(topo):
+    return [
+        d for d in topo.devices.values()
+        if d.device_type is DeviceType.SERVER and d.is_dual_stack and d.open_tcp_ports
+    ]
+
+
+class TestOracle:
+    def test_counter_advances_at_device_rate(self, topo):
+        oracle = TcpTimestampOracle(topo)
+        device = next(d for d in topo.devices.values() if d.open_tcp_ports)
+        addr = device.interfaces[0].address
+        t0, t1 = oracle.probe(addr, 0.0), oracle.probe(addr, 10.0)
+        rate = ((t1 - t0) % (1 << 32)) / 10.0
+        assert 90 < rate < 1100  # one of the nominal classes
+
+    def test_closed_device_silent(self, topo):
+        device = next(d for d in topo.devices.values() if not d.open_tcp_ports)
+        oracle = TcpTimestampOracle(topo)
+        assert oracle.probe(device.interfaces[0].address, 0.0) is None
+
+    def test_same_device_same_clock(self, topo):
+        oracle = TcpTimestampOracle(topo)
+        server = dual_stack_servers(topo)[0]
+        v4 = server.ipv4_interfaces[0].address
+        v6 = server.ipv6_interfaces[0].address
+        a = oracle.probe(v4, 100.0)
+        b = oracle.probe(v6, 100.0)
+        assert abs(a - b) <= 1  # identical clock, quantization only
+
+
+class TestDetector:
+    def test_true_siblings_classified(self, topo, detector):
+        hits = 0
+        total = 0
+        for server in dual_stack_servers(topo)[:20]:
+            verdict = detector.classify_pair(
+                server.ipv4_interfaces[0].address,
+                server.ipv6_interfaces[0].address,
+            )
+            if verdict is None:
+                continue
+            total += 1
+            hits += verdict.is_sibling
+        assert total >= 5
+        assert hits / total > 0.9
+
+    def test_non_siblings_rejected(self, topo, detector):
+        servers = dual_stack_servers(topo)
+        rejected = 0
+        total = 0
+        for left, right in zip(servers[:10], servers[10:20]):
+            verdict = detector.classify_pair(
+                left.ipv4_interfaces[0].address,
+                right.ipv6_interfaces[0].address,
+            )
+            if verdict is None:
+                continue
+            total += 1
+            rejected += not verdict.is_sibling
+        assert total >= 3
+        assert rejected / total > 0.9
+
+    def test_routers_mostly_untestable(self, topo, detector):
+        """The paper's point: the technique cannot reach closed routers."""
+        routers = [d for d in topo.routers() if d.is_dual_stack]
+        untestable = 0
+        for router in routers:
+            verdict = detector.classify_pair(
+                router.ipv4_interfaces[0].address,
+                router.ipv6_interfaces[0].address,
+            )
+            if verdict is None:
+                untestable += 1
+        assert routers, "need dual-stack routers in the fixture"
+        assert untestable / len(routers) > 0.5
+
+    def test_classify_pairs_skips_silent(self, topo, detector):
+        silent = next(d for d in topo.devices.values() if not d.open_tcp_ports)
+        server = dual_stack_servers(topo)[0]
+        verdicts = detector.classify_pairs(
+            [
+                (server.ipv4_interfaces[0].address, server.ipv6_interfaces[0].address),
+                (silent.interfaces[0].address, server.ipv6_interfaces[0].address),
+            ]
+        )
+        assert len(verdicts) == 1
+
+    def test_rate_estimate_accuracy(self, topo, detector):
+        oracle = detector.oracle
+        server = dual_stack_servers(topo)[0]
+        addr = server.ipv4_interfaces[0].address
+        rate, __ = detector.estimate_rate(addr, start=0.0)
+        true_rate = oracle._rate[server.device_id]
+        assert abs(rate - true_rate) / true_rate < 1e-3

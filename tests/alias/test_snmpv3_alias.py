@@ -1,0 +1,199 @@
+"""Unit tests for SNMPv3 alias resolution and alias-set containers."""
+
+import ipaddress
+
+import pytest
+
+from repro.alias.sets import AliasSets, evaluate_against_truth
+from repro.alias.snmpv3 import (
+    MatchVariant,
+    Snmpv3AliasResolver,
+    resolve_aliases,
+    resolve_dual_stack,
+)
+from repro.net.mac import MacAddress
+from repro.pipeline.records import ValidRecord
+from repro.snmp.engine_id import EngineId
+
+EID_A = EngineId.from_mac(9, MacAddress("00:00:0c:00:00:01"))
+EID_B = EngineId.from_mac(9, MacAddress("00:00:0c:00:00:02"))
+
+
+def record(address, engine_id=EID_A, boots=3, lrt=1000.0, lrt2=None):
+    lrt2 = lrt if lrt2 is None else lrt2
+    return ValidRecord(
+        address=ipaddress.ip_address(address),
+        engine_id=engine_id,
+        engine_boots=boots,
+        last_reboot_first=lrt,
+        last_reboot_second=lrt2,
+        recv_time_first=lrt + 500,
+        recv_time_second=lrt2 + 900,
+        engine_time_first=500,
+        engine_time_second=900,
+    )
+
+
+class TestGrouping:
+    def test_same_triple_grouped(self):
+        sets = resolve_aliases([record("192.0.2.1"), record("192.0.2.2")])
+        assert sets.count == 1
+        assert sets.non_singleton_count == 1
+
+    def test_different_engine_id_split(self):
+        sets = resolve_aliases(
+            [record("192.0.2.1", EID_A), record("192.0.2.2", EID_B)]
+        )
+        assert sets.count == 2
+
+    def test_different_boots_split(self):
+        sets = resolve_aliases(
+            [record("192.0.2.1", boots=3), record("192.0.2.2", boots=4)]
+        )
+        assert sets.count == 2
+
+    def test_reboot_bin_split(self):
+        # 25 seconds apart: different 20-second bins.
+        sets = resolve_aliases(
+            [record("192.0.2.1", lrt=1000.0), record("192.0.2.2", lrt=1025.0)]
+        )
+        assert sets.count == 2
+
+    def test_reboot_same_bin_grouped(self):
+        sets = resolve_aliases(
+            [record("192.0.2.1", lrt=1000.0), record("192.0.2.2", lrt=1008.0)]
+        )
+        assert sets.count == 1
+
+    def test_shared_engine_id_different_reboots_split(self):
+        """The CSCts87275 population: same engine ID, distinct devices."""
+        sets = resolve_aliases(
+            [
+                record("192.0.2.1", lrt=1000.0),
+                record("192.0.2.2", lrt=900_000.0),
+                record("192.0.2.3", lrt=5_000_000.0),
+            ]
+        )
+        assert sets.count == 3
+
+
+class TestVariants:
+    def test_exact_stricter_than_binned(self):
+        records = [
+            record("192.0.2.1", lrt=1000.2),
+            record("192.0.2.2", lrt=1003.9),
+        ]
+        exact = Snmpv3AliasResolver(MatchVariant.EXACT).resolve(records)
+        binned = Snmpv3AliasResolver(MatchVariant.DIVIDE_BY_20).resolve(records)
+        assert exact.count == 2
+        assert binned.count == 1
+
+    def test_round_variant(self):
+        assert MatchVariant.ROUND.key(1004.0) == 1000
+        assert MatchVariant.ROUND.key(1006.0) == 1010
+
+    def test_divide_keys(self):
+        assert MatchVariant.DIVIDE_BY_20.key(399.0) == 19
+        assert MatchVariant.DIVIDE_BY_20.key(400.0) == 20
+        assert MatchVariant.DIVIDE_BY_20_ROUND.key(409.0) == 20
+        assert MatchVariant.DIVIDE_BY_20_ROUND.key(411.0) == 21
+
+    def test_both_scans_stricter_than_first(self):
+        records = [
+            record("192.0.2.1", lrt=1000.0, lrt2=1000.0),
+            record("192.0.2.2", lrt=1000.0, lrt2=1050.0),  # drifted in scan 2
+        ]
+        first_only = Snmpv3AliasResolver(use_both_scans=False).resolve(records)
+        both = Snmpv3AliasResolver(use_both_scans=True).resolve(records)
+        assert first_only.count == 1
+        assert both.count == 2
+
+
+class TestDualStack:
+    def test_cross_family_merge(self):
+        v4 = [record("192.0.2.1", lrt=1000.0)]
+        v6 = [record("2001:db8::1", lrt=1004.0)]
+        sets = resolve_dual_stack(v4, v6)
+        assert sets.count == 1
+        assert sets.split_by_protocol()["dual"]
+
+    def test_cross_family_split_on_boots(self):
+        v4 = [record("192.0.2.1", boots=3)]
+        v6 = [record("2001:db8::1", boots=4)]
+        sets = resolve_dual_stack(v4, v6)
+        assert sets.count == 2
+
+
+class TestAliasSets:
+    def make_sets(self):
+        return AliasSets(
+            sets=[
+                frozenset({ipaddress.ip_address("192.0.2.1"), ipaddress.ip_address("192.0.2.2")}),
+                frozenset({ipaddress.ip_address("192.0.2.3")}),
+                frozenset({ipaddress.ip_address("2001:db8::1"), ipaddress.ip_address("192.0.2.4")}),
+            ],
+            technique="test",
+        )
+
+    def test_statistics(self):
+        sets = self.make_sets()
+        assert sets.count == 3
+        assert sets.non_singleton_count == 2
+        assert sets.addresses_in_non_singletons == 4
+        assert sets.mean_non_singleton_size == 2.0
+        assert sorted(sets.sizes()) == [1, 2, 2]
+        assert sets.address_count == 5
+
+    def test_protocol_split(self):
+        split = self.make_sets().split_by_protocol()
+        assert len(split["v4"]) == 2
+        assert len(split["dual"]) == 1
+        assert len(split["v6"]) == 0
+
+    def test_set_of(self):
+        sets = self.make_sets()
+        addr = ipaddress.ip_address("192.0.2.1")
+        assert addr in sets.set_of(addr)
+        assert sets.set_of(ipaddress.ip_address("203.0.113.1")) is None
+
+    def test_empty_mean(self):
+        empty = AliasSets(sets=[frozenset({ipaddress.ip_address("192.0.2.1")})])
+        assert empty.mean_non_singleton_size == 0.0
+
+
+class TestEvaluation:
+    def test_perfect_inference(self):
+        a1, a2 = ipaddress.ip_address("192.0.2.1"), ipaddress.ip_address("192.0.2.2")
+        truth = [frozenset({a1, a2})]
+        inferred = AliasSets(sets=[frozenset({a1, a2})])
+        ev = evaluate_against_truth(inferred, truth)
+        assert ev.precision == 1.0
+        assert ev.recall == 1.0
+        assert ev.f1 == 1.0
+
+    def test_false_merge_hurts_precision(self):
+        a1 = ipaddress.ip_address("192.0.2.1")
+        b1 = ipaddress.ip_address("192.0.2.9")
+        truth = [frozenset({a1}), frozenset({b1})]
+        inferred = AliasSets(sets=[frozenset({a1, b1})])
+        ev = evaluate_against_truth(inferred, truth)
+        assert ev.precision == 0.0
+        assert ev.recall == 1.0  # no true pairs existed
+
+    def test_missed_merge_hurts_recall(self):
+        a1, a2 = ipaddress.ip_address("192.0.2.1"), ipaddress.ip_address("192.0.2.2")
+        truth = [frozenset({a1, a2})]
+        inferred = AliasSets(sets=[frozenset({a1}), frozenset({a2})])
+        ev = evaluate_against_truth(inferred, truth)
+        assert ev.precision == 1.0
+        assert ev.recall == 0.0
+        assert ev.f1 == 0.0
+
+    def test_recall_scoped_to_emitted_addresses(self):
+        a1, a2, a3 = (ipaddress.ip_address(f"192.0.2.{i}") for i in (1, 2, 3))
+        truth = [frozenset({a1, a2, a3})]
+        # Only two of the three addresses were responsive/emitted.
+        inferred = AliasSets(sets=[frozenset({a1, a2})])
+        ev = evaluate_against_truth(inferred, truth)
+        assert ev.true_pairs == 1
+        assert ev.recall == 1.0

@@ -1,0 +1,69 @@
+"""Unit tests for amplification analysis (§8)."""
+
+import ipaddress
+
+import pytest
+
+from repro.analysis.amplification import analyze_amplification
+from repro.scanner.records import ScanObservation, ScanResult
+from repro.snmp.engine_id import EngineId
+
+
+def make_scan(observations):
+    scan = ScanResult(label="t", ip_version=4, started_at=0.0)
+    scan.targets_probed = len(observations) * 2
+    scan.probe_bytes_sent = scan.targets_probed * 88
+    for obs in observations:
+        scan.add(obs)
+    return scan
+
+
+def obs(address, response_count=1, wire_bytes=130):
+    return ScanObservation(
+        address=ipaddress.ip_address(address),
+        recv_time=0.0,
+        engine_id=EngineId(b"\x80\x00\x00\x09\x01\x01"),
+        engine_boots=1,
+        engine_time=10,
+        response_count=response_count,
+        wire_bytes=wire_bytes,
+    )
+
+
+class TestAmplification:
+    def test_single_reply_baf(self):
+        scan = make_scan([obs("192.0.2.1")])
+        report = analyze_amplification(scan)
+        # One 130-byte reply to an 88-byte probe.
+        assert report.mean_baf == pytest.approx(130 / 88)
+        assert report.worst_paf == 1.0
+        assert report.multi_responder_reply_share == 0.0
+
+    def test_amplifier_dominates_tail(self):
+        scan = make_scan([obs("192.0.2.1"), obs("192.0.2.2", response_count=48)])
+        report = analyze_amplification(scan)
+        assert report.worst_paf == 48.0
+        assert report.worst_baf == pytest.approx(48 * 130 / 88)
+        assert report.multi_responder_reply_share == pytest.approx(48 / 49)
+
+    def test_explicit_probe_size(self):
+        scan = make_scan([obs("192.0.2.1", wire_bytes=100)])
+        report = analyze_amplification(scan, probe_size=50)
+        assert report.mean_baf == pytest.approx(2.0)
+
+    def test_empty_scan(self):
+        scan = ScanResult(label="t", ip_version=4, started_at=0.0)
+        report = analyze_amplification(scan)
+        assert report.responders == 0
+        assert report.mean_baf == 0.0
+
+    def test_ecdfs_cover_population(self):
+        scan = make_scan([obs(f"192.0.2.{i}") for i in range(1, 11)])
+        report = analyze_amplification(scan)
+        assert report.paf_ecdf.count == 10
+        assert report.paf_ecdf.at(1.0) == 1.0
+
+    def test_headline_renders(self):
+        scan = make_scan([obs("192.0.2.1", response_count=3)])
+        text = analyze_amplification(scan).headline()
+        assert "BAF" in text and "responders" in text

@@ -1,0 +1,120 @@
+"""Unit tests for Hamming, coverage, dominance and regional analysis."""
+
+import ipaddress
+
+import pytest
+
+from repro.alias.sets import AliasSets
+from repro.analysis.coverage import as_coverage, combined_coverage
+from repro.analysis.dominance import as_vendor_profiles, dominance_values, vendors_per_as
+from repro.analysis.hamming import hamming_weight_distribution, histogram, mean, skewness
+from repro.snmp.engine_id import EngineId
+from repro.net.mac import MacAddress
+
+
+class TestHamming:
+    def test_dedup(self):
+        ids = [EngineId(b"\xf0" * 8)] * 5 + [EngineId(b"\x0f" * 8)]
+        assert len(hamming_weight_distribution(ids)) == 2
+
+    def test_data_only_strips_header(self):
+        eid = EngineId.from_octets(9, b"\xff" * 8)
+        (weight,) = hamming_weight_distribution([eid], data_only=True)
+        assert weight == 1.0
+        (full,) = hamming_weight_distribution([eid], data_only=False)
+        assert full < 1.0  # header bits dilute
+
+    def test_non_conforming_uses_full_value(self):
+        eid = EngineId.legacy(9, b"\x00" * 8)
+        (weight,) = hamming_weight_distribution([eid])
+        assert weight < 0.1
+
+    def test_skewness_signs(self):
+        right_tail = [0.2] * 50 + [0.8] * 10
+        left_tail = [0.8] * 50 + [0.2] * 10
+        assert skewness(right_tail) > 0
+        assert skewness(left_tail) < 0
+
+    def test_skewness_needs_data(self):
+        with pytest.raises(ValueError):
+            skewness([0.1, 0.2])
+
+    def test_mean_and_histogram(self):
+        assert mean([0.0, 1.0]) == 0.5
+        hist = histogram([0.05, 0.05, 0.95], bins=10)
+        assert hist[0][1] == pytest.approx(2 / 3)
+        assert hist[-1][1] == pytest.approx(1 / 3)
+        with pytest.raises(ValueError):
+            histogram([0.5], bins=0)
+
+
+class TestCoverage:
+    def _topo(self):
+        from repro.topology.config import TopologyConfig
+        from repro.topology.generator import build_topology
+
+        return build_topology(TopologyConfig.tiny(seed=23))
+
+    def test_as_coverage_ratios(self):
+        topo = self._topo()
+        router_ips = {
+            i.address for d in topo.routers() for i in d.interfaces if i.version == 4
+        }
+        responsive = set(list(router_ips)[: len(router_ips) // 4])
+        cov = as_coverage(topo, router_ips, responsive)
+        assert 0.15 < cov.overall < 0.35
+        for asn, ratio in cov.ratios(min_total=2).items():
+            assert 0.0 <= ratio <= 1.0
+
+    def test_min_total_filters_small_ases(self):
+        topo = self._topo()
+        router_ips = {
+            i.address for d in topo.routers() for i in d.interfaces if i.version == 4
+        }
+        cov = as_coverage(topo, router_ips, set())
+        assert len(cov.ratios(min_total=50)) <= len(cov.ratios(min_total=2))
+
+    def test_combined_coverage(self):
+        a1, a2, a3, a4 = (ipaddress.ip_address(f"192.0.2.{i}") for i in range(1, 5))
+        router_ips = {a1, a2, a3, a4}
+        midar = AliasSets(sets=[frozenset({a1, a2})], technique="midar")
+        snmp = AliasSets(sets=[frozenset({a2, a3})], technique="snmp")
+        combined = combined_coverage(router_ips, midar, snmp)
+        assert combined.midar_fraction == 0.5
+        assert combined.snmpv3_fraction == 0.5
+        assert combined.combined_fraction == 0.75
+
+    def test_combined_ignores_singletons(self):
+        a1 = ipaddress.ip_address("192.0.2.1")
+        singleton = AliasSets(sets=[frozenset({a1})])
+        combined = combined_coverage({a1}, singleton, singleton)
+        assert combined.combined_fraction == 0.0
+
+
+class TestDominance:
+    def test_profiles(self):
+        profiles = as_vendor_profiles({1: ["Cisco", "Cisco", "Juniper"], 2: ["Huawei"]})
+        by_asn = {p.asn: p for p in profiles}
+        assert by_asn[1].dominance == pytest.approx(2 / 3)
+        assert by_asn[1].dominant_vendor == "Cisco"
+        assert by_asn[1].vendor_count == 2
+        assert by_asn[2].dominance == 1.0
+
+    def test_empty_as_skipped(self):
+        assert as_vendor_profiles({1: []}) == []
+
+    def test_vendors_per_as_threshold(self):
+        profiles = as_vendor_profiles(
+            {1: ["Cisco"] * 10 + ["Juniper"], 2: ["Huawei"]}
+        )
+        ecdf_all = vendors_per_as(profiles, min_routers=1)
+        ecdf_big = vendors_per_as(profiles, min_routers=5)
+        assert ecdf_all.count == 2
+        assert ecdf_big.count == 1
+
+    def test_dominance_ecdf(self):
+        profiles = as_vendor_profiles(
+            {1: ["Cisco"] * 9 + ["Juniper"], 2: ["Cisco", "Huawei"]}
+        )
+        ecdf = dominance_values(profiles, min_routers=2)
+        assert ecdf.fraction_at_least(0.9) == 0.5

@@ -1,0 +1,69 @@
+"""Unit tests for the ECDF type."""
+
+import pytest
+
+from repro.analysis.ecdf import Ecdf
+
+
+class TestEcdf:
+    def test_at(self):
+        ecdf = Ecdf.from_values([1, 2, 2, 3, 10])
+        assert ecdf.at(0) == 0.0
+        assert ecdf.at(1) == 0.2
+        assert ecdf.at(2) == 0.6
+        assert ecdf.at(10) == 1.0
+        assert ecdf.at(100) == 1.0
+
+    def test_fraction_above_and_at_least(self):
+        ecdf = Ecdf.from_values([1, 2, 3, 4])
+        assert ecdf.fraction_above(2) == 0.5
+        assert ecdf.fraction_at_least(2) == 0.75
+
+    def test_quantiles(self):
+        ecdf = Ecdf.from_values(range(1, 101))
+        assert ecdf.quantile(0.0) == 1
+        assert ecdf.quantile(1.0) == 100
+        assert ecdf.median == 50
+
+    def test_quantile_bounds(self):
+        ecdf = Ecdf.from_values([1.0])
+        with pytest.raises(ValueError):
+            ecdf.quantile(1.5)
+
+    def test_empty_rejected(self):
+        ecdf = Ecdf.from_values([])
+        with pytest.raises(ValueError):
+            ecdf.at(1.0)
+        with pytest.raises(ValueError):
+            ecdf.quantile(0.5)
+
+    def test_series_monotonic(self):
+        ecdf = Ecdf.from_values([5, 1, 3, 3, 9])
+        series = ecdf.series()
+        ys = [y for __, y in series]
+        assert ys == sorted(ys)
+        assert series[-1][1] == 1.0
+
+    def test_render_contains_fractions(self):
+        text = Ecdf.from_values([1, 2, 3]).render("demo", [1, 2, 3])
+        assert "demo" in text
+        assert "33.3%" in text
+
+    def test_count(self):
+        assert Ecdf.from_values([1, 1, 2]).count == 3
+
+
+class TestEcdfProperties:
+    def test_at_matches_manual_count(self):
+        from hypothesis import given, strategies as st
+
+        @given(st.lists(st.floats(allow_nan=False, allow_infinity=False,
+                                  min_value=-1e9, max_value=1e9), min_size=1),
+               st.floats(allow_nan=False, allow_infinity=False,
+                         min_value=-1e9, max_value=1e9))
+        def check(values, x):
+            ecdf = Ecdf.from_values(values)
+            manual = sum(1 for v in values if v <= x) / len(values)
+            assert ecdf.at(x) == pytest.approx(manual)
+
+        check()

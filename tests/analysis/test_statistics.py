@@ -1,0 +1,109 @@
+"""Tests for the statistical-rigor helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.statistics import (
+    bootstrap_interval,
+    compare_proportions,
+    vendor_share_intervals,
+    wilson_interval,
+)
+
+
+class TestWilson:
+    def test_contains_point_estimate(self):
+        est = wilson_interval(42, 100)
+        assert est.low < est.point < est.high
+        assert est.point == 0.42
+
+    def test_small_sample_wide_interval(self):
+        small = wilson_interval(2, 5)
+        large = wilson_interval(400, 1000)
+        assert (small.high - small.low) > (large.high - large.low)
+
+    def test_extremes_bounded(self):
+        zero = wilson_interval(0, 50)
+        full = wilson_interval(50, 50)
+        assert zero.low == 0.0 and zero.high > 0.0
+        assert full.high == 1.0 and full.low < 1.0
+
+    def test_no_trials(self):
+        est = wilson_interval(0, 0)
+        assert (est.low, est.high) == (0.0, 1.0)
+
+    def test_invalid_counts(self):
+        with pytest.raises(ValueError):
+            wilson_interval(5, 3)
+
+    def test_confidence_widens_interval(self):
+        c95 = wilson_interval(30, 100, confidence=0.95)
+        c99 = wilson_interval(30, 100, confidence=0.99)
+        assert (c99.high - c99.low) > (c95.high - c95.low)
+
+    def test_known_value(self):
+        # Wilson 95% for 5/10 is approximately [0.237, 0.763].
+        est = wilson_interval(5, 10)
+        assert est.low == pytest.approx(0.237, abs=0.01)
+        assert est.high == pytest.approx(0.763, abs=0.01)
+
+    def test_str(self):
+        assert "[" in str(wilson_interval(3, 10))
+
+
+class TestBootstrap:
+    def test_mean_recovery(self):
+        values = [10.0] * 50
+        est = bootstrap_interval(values)
+        assert est.point == 10.0
+        assert est.low == est.high == 10.0
+
+    def test_interval_contains_true_mean_usually(self):
+        rng = np.random.default_rng(3)
+        values = list(rng.normal(5.0, 2.0, size=200))
+        est = bootstrap_interval(values)
+        assert est.low < 5.0 < est.high
+
+    def test_median_statistic(self):
+        values = [1.0, 2.0, 3.0, 100.0]
+        est = bootstrap_interval(values, statistic=np.median)
+        assert est.point == 2.5
+
+    def test_deterministic_given_seed(self):
+        values = [1.0, 5.0, 9.0, 2.0, 7.0]
+        a = bootstrap_interval(values, seed=11)
+        b = bootstrap_interval(values, seed=11)
+        assert (a.low, a.high) == (b.low, b.high)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bootstrap_interval([])
+
+
+class TestCompareProportions:
+    def test_identical_not_significant(self):
+        result = compare_proportions(50, 100, 50, 100)
+        assert result.p_value == pytest.approx(1.0)
+        assert not result.significant()
+
+    def test_large_difference_significant(self):
+        result = compare_proportions(90, 100, 10, 100)
+        assert result.significant()
+        assert result.z_score > 5
+
+    def test_small_samples_not_significant(self):
+        result = compare_proportions(3, 5, 2, 5)
+        assert not result.significant()
+
+    def test_zero_trials_rejected(self):
+        with pytest.raises(ValueError):
+            compare_proportions(0, 0, 1, 10)
+
+
+class TestVendorShares:
+    def test_intervals_for_census(self):
+        counts = {"Cisco": 240, "Huawei": 52, "Juniper": 16}
+        intervals = vendor_share_intervals(counts)
+        assert intervals["Cisco"].point > intervals["Huawei"].point
+        # Cisco's dominance is statistically separable from Huawei's share.
+        assert intervals["Cisco"].low > intervals["Huawei"].high

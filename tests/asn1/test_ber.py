@@ -1,0 +1,184 @@
+"""Unit tests for the BER codec."""
+
+import pytest
+
+from repro.asn1 import ber
+from repro.asn1.oid import Oid
+
+
+class TestLength:
+    def test_short_form(self):
+        assert ber.encode_length(0) == b"\x00"
+        assert ber.encode_length(127) == b"\x7f"
+
+    def test_long_form(self):
+        assert ber.encode_length(128) == b"\x81\x80"
+        assert ber.encode_length(256) == b"\x82\x01\x00"
+        assert ber.encode_length(65535) == b"\x82\xff\xff"
+
+    def test_roundtrip(self):
+        for value in (0, 1, 127, 128, 255, 256, 1000, 65536, 2**31):
+            encoded = ber.encode_length(value)
+            decoded, offset = ber.decode_length(encoded, 0)
+            assert decoded == value
+            assert offset == len(encoded)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ber.BerEncodeError):
+            ber.encode_length(-1)
+
+    def test_indefinite_rejected(self):
+        with pytest.raises(ber.BerDecodeError):
+            ber.decode_length(b"\x80", 0)
+
+    def test_truncated_long_form(self):
+        with pytest.raises(ber.BerDecodeError):
+            ber.decode_length(b"\x82\x01", 0)
+
+
+class TestInteger:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (0, b"\x02\x01\x00"),
+            (1, b"\x02\x01\x01"),
+            (127, b"\x02\x01\x7f"),
+            (128, b"\x02\x02\x00\x80"),
+            (-1, b"\x02\x01\xff"),
+            (-128, b"\x02\x01\x80"),
+            (256, b"\x02\x02\x01\x00"),
+        ],
+    )
+    def test_known_encodings(self, value, expected):
+        assert ber.encode_integer(value) == expected
+
+    def test_roundtrip_extremes(self):
+        for value in (0, 1, -1, 2**31 - 1, -(2**31), 2**63 - 1, 2**64 - 1):
+            decoded, __ = ber.decode_integer(ber.encode_integer(value))
+            assert decoded == value
+
+    def test_non_minimal_rejected(self):
+        # 0x00 0x01 is a non-minimal encoding of 1.
+        with pytest.raises(ber.BerDecodeError):
+            ber.decode_integer(b"\x02\x02\x00\x01")
+
+    def test_empty_content_rejected(self):
+        with pytest.raises(ber.BerDecodeError):
+            ber.decode_integer(b"\x02\x00")
+
+    def test_unsigned_application_type(self):
+        encoded = ber.encode_unsigned(3_000_000_000, ber.TAG_COUNTER32)
+        assert encoded[0] == ber.TAG_COUNTER32
+        tag, content, __ = ber.decode_tlv(encoded)
+        assert ber.decode_integer_content(content) == 3_000_000_000
+
+    def test_unsigned_rejects_negative(self):
+        with pytest.raises(ber.BerEncodeError):
+            ber.encode_unsigned(-5, ber.TAG_COUNTER32)
+
+
+class TestOctetString:
+    def test_empty(self):
+        assert ber.encode_octet_string(b"") == b"\x04\x00"
+        value, __ = ber.decode_octet_string(b"\x04\x00")
+        assert value == b""
+
+    def test_roundtrip(self):
+        payload = bytes(range(256))
+        value, offset = ber.decode_octet_string(ber.encode_octet_string(payload))
+        assert value == payload
+
+    def test_wrong_tag(self):
+        with pytest.raises(ber.BerDecodeError):
+            ber.decode_octet_string(b"\x02\x01\x00")
+
+
+class TestNull:
+    def test_roundtrip(self):
+        value, offset = ber.decode_null(ber.encode_null())
+        assert value is None
+        assert offset == 2
+
+    def test_nonempty_null_rejected(self):
+        with pytest.raises(ber.BerDecodeError):
+            ber.decode_null(b"\x05\x01\x00")
+
+
+class TestOid:
+    def test_sysdescr_known_encoding(self):
+        # 1.3.6.1.2.1.1.1.0 -> 2b 06 01 02 01 01 01 00
+        encoded = ber.encode_oid(Oid("1.3.6.1.2.1.1.1.0"))
+        assert encoded == b"\x06\x08\x2b\x06\x01\x02\x01\x01\x01\x00"
+
+    def test_large_arc_base128(self):
+        oid = Oid("1.3.6.1.4.1.8072.1.2.1")  # includes arc > 127
+        decoded, __ = ber.decode_oid(ber.encode_oid(oid))
+        assert decoded == oid
+
+    def test_two_arc_minimum(self):
+        decoded, __ = ber.decode_oid(ber.encode_oid(Oid("1.3")))
+        assert decoded == Oid("1.3")
+
+    def test_first_arc_2_high_second(self):
+        oid = Oid((2, 999, 3))
+        decoded, __ = ber.decode_oid(ber.encode_oid(oid))
+        assert decoded == oid
+
+    def test_single_arc_unencodable(self):
+        with pytest.raises(ber.BerEncodeError):
+            ber.encode_oid(Oid((1,)))
+
+    def test_leading_padding_rejected(self):
+        # 0x80 continuation prefix with zero payload is invalid.
+        with pytest.raises(ber.BerDecodeError):
+            ber.decode_oid(b"\x06\x02\x80\x01")
+
+    def test_truncated_subid_rejected(self):
+        with pytest.raises(ber.BerDecodeError):
+            ber.decode_oid(b"\x06\x02\x2b\x86")
+
+
+class TestTlv:
+    def test_roundtrip(self):
+        blob = ber.encode_tlv(0xA8, b"hello")
+        tag, content, end = ber.decode_tlv(blob)
+        assert tag == 0xA8
+        assert content == b"hello"
+        assert end == len(blob)
+
+    def test_truncated_body(self):
+        with pytest.raises(ber.BerDecodeError):
+            ber.decode_tlv(b"\x04\x05abc")
+
+    def test_missing_tag(self):
+        with pytest.raises(ber.BerDecodeError):
+            ber.decode_tlv(b"", 0)
+
+    def test_high_tag_number_rejected(self):
+        with pytest.raises(ber.BerDecodeError):
+            ber.decode_tlv(b"\x1f\x01\x00")
+
+    def test_sequence_nesting(self):
+        inner = ber.encode_integer(42) + ber.encode_octet_string(b"x")
+        seq = ber.encode_sequence(ber.encode_integer(42), ber.encode_octet_string(b"x"))
+        content, __ = ber.decode_sequence(seq)
+        assert content == inner
+
+    def test_iter_tlvs(self):
+        seq_content = ber.encode_integer(1) + ber.encode_integer(2) + ber.encode_null()
+        tags = [tag for tag, __ in ber.iter_tlvs(seq_content)]
+        assert tags == [ber.TAG_INTEGER, ber.TAG_INTEGER, ber.TAG_NULL]
+
+
+class TestTagClass:
+    def test_tag_from_byte_roundtrip(self):
+        for byte in (0x02, 0x30, 0xA0, 0xA8, 0x41, 0x46):
+            assert ber.Tag.from_byte(byte).to_byte() == byte
+
+    def test_constructed_bit(self):
+        assert ber.Tag.from_byte(0x30).constructed
+        assert not ber.Tag.from_byte(0x04).constructed
+
+    def test_classes(self):
+        assert ber.Tag.from_byte(0xA0).tag_class is ber.TagClass.CONTEXT
+        assert ber.Tag.from_byte(0x41).tag_class is ber.TagClass.APPLICATION

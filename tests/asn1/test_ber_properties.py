@@ -1,0 +1,65 @@
+"""Property-based round-trip tests for the BER codec."""
+
+from hypothesis import given, strategies as st
+
+from repro.asn1 import ber
+from repro.asn1.oid import Oid
+
+
+@given(st.integers(min_value=-(2**63), max_value=2**64 - 1))
+def test_integer_roundtrip(value):
+    decoded, offset = ber.decode_integer(ber.encode_integer(value))
+    assert decoded == value
+
+
+@given(st.binary(max_size=512))
+def test_octet_string_roundtrip(payload):
+    decoded, offset = ber.decode_octet_string(ber.encode_octet_string(payload))
+    assert decoded == payload
+
+
+@given(st.integers(min_value=0, max_value=2**40))
+def test_length_roundtrip(length):
+    decoded, __ = ber.decode_length(ber.encode_length(length), 0)
+    assert decoded == length
+
+
+_oid_arcs = st.tuples(
+    st.integers(min_value=0, max_value=2),
+    st.integers(min_value=0, max_value=39),
+).flatmap(
+    lambda head: st.lists(
+        st.integers(min_value=0, max_value=2**32), min_size=0, max_size=12
+    ).map(lambda tail: head + tuple(tail))
+)
+
+
+@given(_oid_arcs)
+def test_oid_roundtrip(arcs):
+    oid = Oid(arcs)
+    decoded, __ = ber.decode_oid(ber.encode_oid(oid))
+    assert decoded == oid
+
+
+@given(st.binary(max_size=128), st.sampled_from([0x04, 0x30, 0xA0, 0xA8, 0x41]))
+def test_tlv_roundtrip(content, tag):
+    tag_out, content_out, end = ber.decode_tlv(ber.encode_tlv(tag, content))
+    assert (tag_out, content_out) == (tag, content)
+
+
+@given(st.lists(st.integers(min_value=-(2**31), max_value=2**31), max_size=8))
+def test_sequence_of_integers_roundtrip(values):
+    seq = ber.encode_sequence(*(ber.encode_integer(v) for v in values))
+    content, __ = ber.decode_sequence(seq)
+    decoded = [ber.decode_integer_content(body) for __, body in ber.iter_tlvs(content)]
+    assert decoded == values
+
+
+@given(st.binary(max_size=64))
+def test_decoder_never_crashes_on_garbage(blob):
+    """Arbitrary bytes must raise BerDecodeError or decode cleanly — never
+    raise anything else.  The scanner feeds untrusted payloads here."""
+    try:
+        ber.decode_tlv(blob, 0)
+    except ber.BerDecodeError:
+        pass

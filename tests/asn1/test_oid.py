@@ -1,0 +1,81 @@
+"""Unit tests for the Oid value type."""
+
+import pytest
+
+from repro.asn1.oid import Oid
+
+
+class TestConstruction:
+    def test_from_string(self):
+        assert Oid("1.3.6.1").arcs == (1, 3, 6, 1)
+
+    def test_from_iterable(self):
+        assert Oid([1, 3, 6]).arcs == (1, 3, 6)
+
+    def test_copy_constructor(self):
+        original = Oid("1.3.6")
+        assert Oid(original) == original
+
+    def test_leading_dot_tolerated(self):
+        assert Oid(".1.3.6") == Oid("1.3.6")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Oid("")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ValueError):
+            Oid("1.3.banana")
+
+    def test_negative_arc_rejected(self):
+        with pytest.raises(ValueError):
+            Oid([1, -3])
+
+    def test_first_arc_bounded(self):
+        with pytest.raises(ValueError):
+            Oid([3, 1])
+
+    def test_second_arc_bounded_under_itu(self):
+        with pytest.raises(ValueError):
+            Oid([1, 40])
+        # First arc 2 permits large second arcs.
+        assert Oid([2, 999]).arcs == (2, 999)
+
+
+class TestOperations:
+    def test_prefix(self):
+        assert Oid("1.3.6").is_prefix_of(Oid("1.3.6.1.2"))
+        assert Oid("1.3.6").is_prefix_of(Oid("1.3.6"))
+        assert not Oid("1.3.6.1.2").is_prefix_of(Oid("1.3.6"))
+        assert not Oid("1.3.5").is_prefix_of(Oid("1.3.6"))
+
+    def test_child_and_parent(self):
+        base = Oid("1.3.6")
+        assert base.child(1, 2) == Oid("1.3.6.1.2")
+        assert Oid("1.3.6.1").parent() == base
+
+    def test_root_parent_rejected(self):
+        with pytest.raises(ValueError):
+            Oid([1]).parent()
+
+    def test_concatenation(self):
+        assert Oid("1.3") + Oid("2.6") == Oid((1, 3, 2, 6))
+        assert Oid("1.3") + [6, 1] == Oid("1.3.6.1")
+
+    def test_ordering_is_tree_order(self):
+        assert Oid("1.3.6.1.1") < Oid("1.3.6.1.2")
+        assert Oid("1.3.6") < Oid("1.3.6.1")  # parent sorts before child
+        assert Oid("1.3.6.2") > Oid("1.3.6.1.9")
+
+    def test_hash_and_equality(self):
+        assert len({Oid("1.3.6"), Oid("1.3.6"), Oid("1.3.7")}) == 2
+
+    def test_str_roundtrip(self):
+        text = "1.3.6.1.4.1.8072.1"
+        assert str(Oid(text)) == text
+
+    def test_indexing_and_iteration(self):
+        oid = Oid("1.3.6.1")
+        assert oid[0] == 1
+        assert list(oid) == [1, 3, 6, 1]
+        assert len(oid) == 4

@@ -1,0 +1,84 @@
+"""AES-128 and CFB-128 validated against the official test vectors."""
+
+import pytest
+
+from repro.crypto.aes import Aes128, cfb128_decrypt, cfb128_encrypt
+
+
+class TestFips197:
+    def test_appendix_c_vector(self):
+        """FIPS-197 Appendix C.1: the canonical AES-128 known answer."""
+        key = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+        plaintext = bytes.fromhex("00112233445566778899aabbccddeeff")
+        expected = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+        assert Aes128(key).encrypt_block(plaintext) == expected
+
+    def test_appendix_b_vector(self):
+        """FIPS-197 Appendix B worked example."""
+        key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+        plaintext = bytes.fromhex("3243f6a8885a308d313198a2e0370734")
+        expected = bytes.fromhex("3925841d02dc09fbdc118597196a0b32")
+        assert Aes128(key).encrypt_block(plaintext) == expected
+
+    def test_key_length_enforced(self):
+        with pytest.raises(ValueError):
+            Aes128(b"short")
+
+    def test_block_length_enforced(self):
+        with pytest.raises(ValueError):
+            Aes128(bytes(16)).encrypt_block(b"tiny")
+
+
+class TestSp80038aCfb128:
+    KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+    IV = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+    PLAIN = bytes.fromhex(
+        "6bc1bee22e409f96e93d7e117393172a"
+        "ae2d8a571e03ac9c9eb76fac45af8e51"
+        "30c81c46a35ce411e5fbc1191a0a52ef"
+        "f69f2445df4f9b17ad2b417be66c3710"
+    )
+    CIPHER = bytes.fromhex(
+        "3b3fd92eb72dad20333449f8e83cfb4a"
+        "c8a64537a0b3a93fcde3cdad9f1ce58b"
+        "26751f67a3cbb140b1808cf187a4f4df"
+        "c04b05357c5d1c0eeac4c66f9ff7f2e6"
+    )
+
+    def test_nist_encrypt_vector(self):
+        assert cfb128_encrypt(self.KEY, self.IV, self.PLAIN) == self.CIPHER
+
+    def test_nist_decrypt_vector(self):
+        assert cfb128_decrypt(self.KEY, self.IV, self.CIPHER) == self.PLAIN
+
+    def test_partial_final_segment_roundtrip(self):
+        """SNMP messages are not padded: 37 bytes must round-trip."""
+        message = bytes(range(37))
+        encrypted = cfb128_encrypt(self.KEY, self.IV, message)
+        assert len(encrypted) == 37
+        assert cfb128_decrypt(self.KEY, self.IV, encrypted) == message
+
+    def test_empty_plaintext(self):
+        assert cfb128_encrypt(self.KEY, self.IV, b"") == b""
+
+    def test_iv_length_enforced(self):
+        with pytest.raises(ValueError):
+            cfb128_encrypt(self.KEY, b"\x00" * 8, b"data")
+
+    def test_different_iv_different_ciphertext(self):
+        other_iv = bytes(16)
+        a = cfb128_encrypt(self.KEY, self.IV, b"same message bytes!")
+        b = cfb128_encrypt(self.KEY, other_iv, b"same message bytes!")
+        assert a != b
+
+
+class TestProperties:
+    def test_roundtrip_property(self):
+        from hypothesis import given, strategies as st
+
+        @given(st.binary(min_size=16, max_size=16), st.binary(min_size=16, max_size=16),
+               st.binary(max_size=200))
+        def check(key, iv, message):
+            assert cfb128_decrypt(key, iv, cfb128_encrypt(key, iv, message)) == message
+
+        check()

@@ -1,0 +1,16 @@
+"""Shared experiment context for shape tests.
+
+One medium-scale measurement run (1/250 of the paper's Internet) is built
+per test session; every table/figure test projects from it, exactly as
+the evaluation modules do.
+"""
+
+import pytest
+
+from repro.experiments import ExperimentContext
+from repro.topology.config import TopologyConfig
+
+
+@pytest.fixture(scope="session")
+def ctx():
+    return ExperimentContext.create(TopologyConfig.paper_scale(divisor=250, seed=2021))

@@ -1,0 +1,84 @@
+"""Unit tests for the shared ExperimentContext plumbing."""
+
+import pytest
+
+from repro.experiments import ExperimentContext
+from repro.topology.config import TopologyConfig
+
+
+class TestContextCaching:
+    def test_cached_properties_are_stable(self, ctx):
+        assert ctx.alias_dual is ctx.alias_dual
+        assert ctx.router_sets is ctx.router_sets
+        assert ctx.record_by_address is ctx.record_by_address
+
+    def test_valid_records_match_pipeline(self, ctx):
+        assert len(ctx.valid_v4) == ctx.pipeline_v4.stats.valid_count
+        assert len(ctx.valid_v6) == ctx.pipeline_v6.stats.valid_count
+
+    def test_record_index_covers_both_families(self, ctx):
+        versions = {a.version for a in ctx.record_by_address}
+        assert versions == {4, 6}
+
+    def test_merged_views_cached(self, ctx):
+        assert ctx.merged_v4 is ctx.merged_v4
+        assert len(ctx.merged_v4) > 0
+
+
+class TestRouterTagging:
+    def test_router_sets_subset_of_dual(self, ctx):
+        dual_ids = {id(g) for g in ctx.alias_dual.sets}
+        assert all(id(g) in dual_ids for g in ctx.router_sets.sets)
+
+    def test_is_router_set_consistency(self, ctx):
+        for group in ctx.router_sets.sets[:50]:
+            assert ctx.is_router_set(group)
+
+    def test_responsive_router_ips_within_dataset(self, ctx):
+        assert ctx.responsive_router_ips_v4 <= set(ctx.datasets.union_v4)
+
+
+class TestAsAttribution:
+    def test_as_of_set_matches_ground_truth(self, ctx):
+        checked = 0
+        for group in ctx.alias_dual.sets[:100]:
+            asn = ctx.as_of_set(group)
+            if asn is None:
+                continue
+            device = ctx.topology.device_of_address(next(iter(group)))
+            if device is not None:
+                assert asn == device.asn
+                checked += 1
+        assert checked > 50
+
+    def test_as_of_empty_counts(self, ctx):
+        import ipaddress
+
+        unknown = frozenset({ipaddress.ip_address("203.0.113.199")})
+        assert ctx.as_of_set(unknown) is None
+
+
+class TestVendorViews:
+    def test_device_vendor_count_matches_sets(self, ctx):
+        assert len(ctx.device_vendors) == ctx.alias_dual.count
+
+    def test_router_vendor_count_matches_router_sets(self, ctx):
+        assert len(ctx.router_vendors) == ctx.router_sets.count
+
+    def test_router_reboots_one_per_set(self, ctx):
+        assert len(ctx.router_last_reboots) <= ctx.router_sets.count
+
+
+class TestCustomPipeline:
+    def test_custom_pipeline_threads_through(self):
+        from repro.pipeline.filters import FilterPipeline
+
+        loose = ExperimentContext.create(
+            TopologyConfig.tiny(seed=19),
+            pipeline=FilterPipeline(reboot_threshold=120.0),
+        )
+        strict = ExperimentContext.create(
+            TopologyConfig.tiny(seed=19),
+            pipeline=FilterPipeline(reboot_threshold=2.0),
+        )
+        assert len(loose.valid_v4) >= len(strict.valid_v4)

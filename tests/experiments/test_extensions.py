@@ -1,0 +1,49 @@
+"""Tests for the extension experiments (middlebox inference, monitoring)."""
+
+import pytest
+
+from repro.experiments.extensions import longitudinal_experiment, middlebox_experiment
+
+
+class TestMiddleboxExperiment:
+    @pytest.fixture(scope="class")
+    def result(self, ctx):
+        return middlebox_experiment(ctx)
+
+    def test_nat_mining(self, result):
+        assert result.nats_found > 0
+        assert result.report.nat_precision == 1.0
+        assert result.report.nat_recall > 0.4
+
+    def test_lb_burst(self, result):
+        assert result.report.lb_precision == 1.0
+        # Triage catches round-robin pools; source-hash pools can hide.
+        assert 0.3 < result.report.lb_recall <= 1.0
+
+    def test_triage_is_selective(self, result, ctx):
+        scan1, __ = ctx.campaign.scan_pair(4)
+        assert result.lb_candidates_probed < scan1.responsive_count
+
+
+class TestLongitudinalExperiment:
+    @pytest.fixture(scope="class")
+    def result(self, ctx):
+        return longitudinal_experiment(ctx, offsets_days=(30.0, 180.0))
+
+    def test_snapshots_in_order(self, result):
+        assert [s.offset_days for s in result.snapshots] == [30.0, 180.0]
+
+    def test_engine_ids_persistent(self, result):
+        """The property the whole technique rests on: the identifier does
+        not drift over months."""
+        for snapshot in result.snapshots:
+            assert snapshot.persistence_fraction > 0.99
+
+    def test_population_roughly_stable(self, result):
+        for snapshot in result.snapshots:
+            churn = snapshot.new_addresses + snapshot.gone_addresses
+            assert churn < 0.2 * snapshot.responsive
+
+    def test_uptime_grows_between_snapshots(self, result):
+        first, second = result.snapshots
+        assert second.median_uptime_days > first.median_uptime_days + 100

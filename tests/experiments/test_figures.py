@@ -1,0 +1,311 @@
+"""Shape tests for every figure: the paper's prose claims, checked."""
+
+import pytest
+
+from repro.experiments import figures_alias as fa
+from repro.experiments import figures_engine as fe
+from repro.experiments import figures_vendor as fv
+from repro.snmp.engine_id import EngineIdFormat
+from repro.topology.model import Region
+
+
+class TestFigure4:
+    def test_majority_singleton(self, ctx):
+        f4 = fe.figure4(ctx)
+        assert f4.singleton_fraction_v4 > 0.8
+        assert f4.singleton_fraction_v6 > 0.5
+
+    def test_heavy_tail_exists(self, ctx):
+        """Some engine IDs cover very many IPs (bug populations/routers)."""
+        f4 = fe.figure4(ctx)
+        assert f4.max_ips_single_engine_id_v4 >= 20
+
+
+class TestFigure5:
+    def test_mac_is_dominant_format(self, ctx):
+        f5 = fe.figure5(ctx)
+        assert f5.share(4, EngineIdFormat.MAC) > 0.4
+        assert f5.share(6, EngineIdFormat.MAC) > 0.4
+        for fmt in EngineIdFormat:
+            if fmt is not EngineIdFormat.MAC:
+                assert f5.share(4, fmt) < f5.share(4, EngineIdFormat.MAC)
+
+    def test_middle_formats_10_to_25_percent(self, ctx):
+        """Paper: Octets, non-conforming, Net-SNMP contribute 10-20% each
+        in IPv4."""
+        f5 = fe.figure5(ctx)
+        for fmt in (EngineIdFormat.OCTETS, EngineIdFormat.NON_CONFORMING,
+                    EngineIdFormat.NET_SNMP):
+            assert 0.05 < f5.share(4, fmt) < 0.30
+
+    def test_v6_has_notable_ipv4_format_share(self, ctx):
+        """Paper: >15% of IPv6-scan engine IDs contain IPv4 addresses."""
+        f5 = fe.figure5(ctx)
+        assert f5.share(6, EngineIdFormat.IPV4) > 0.10
+        assert f5.share(6, EngineIdFormat.IPV4) > f5.share(4, EngineIdFormat.IPV4)
+
+
+class TestFigure6:
+    def test_octets_centered_at_half(self, ctx):
+        f6 = fe.figure6(ctx)
+        assert abs(f6.octets_mean - 0.5) < 0.05
+
+    def test_non_conforming_sparse_and_skewed(self, ctx):
+        f6 = fe.figure6(ctx)
+        assert f6.non_conforming_mean < 0.45
+        assert f6.non_conforming_skewness > 0
+
+
+class TestFigure7:
+    def test_top_shared_ids_span_years(self, ctx):
+        """Paper: five of the six most popular engine IDs span multiple
+        years of last-reboot values."""
+        f7 = fe.figure7(ctx)
+        spanning = [
+            ecdf for __, ecdf in f7.top_v4 + f7.top_v6
+            if f7.reboot_span_years(ecdf) > 1.0
+        ]
+        assert len(spanning) >= 3
+
+    def test_top_ids_cover_many_ips(self, ctx):
+        f7 = fe.figure7(ctx)
+        assert f7.top_v4[0][1].count >= 20
+
+
+class TestFigure8:
+    def test_routers_tighter_than_all(self, ctx):
+        f8 = fe.figure8(ctx)
+        assert f8.routers_v4.at(10) >= f8.all_v4.at(10)
+
+    def test_v6_tighter_than_v4(self, ctx):
+        """One day between IPv6 scans vs ~six days for IPv4."""
+        f8 = fe.figure8(ctx)
+        assert f8.all_v6.at(10) > f8.all_v4.at(10)
+
+    def test_router_knee_at_10_seconds(self, ctx):
+        f8 = fe.figure8(ctx)
+        assert f8.routers_v4.at(10) > 0.9
+
+    def test_v4_long_tail(self, ctx):
+        f8 = fe.figure8(ctx)
+        assert f8.all_v4.at(120) > f8.all_v4.at(10)
+
+
+class TestFigure19:
+    def test_tuple_nearly_unique(self, ctx):
+        f19 = fe.figure19(ctx)
+        assert f19.unique_fraction_v4 > 0.95
+        assert f19.unique_fraction_v6 > 0.95
+
+
+class TestSection51:
+    def test_substantial_grouping(self, ctx):
+        s51 = fa.section51(ctx)
+        assert s51.v4.grouped_fraction > 0.3
+        assert s51.v6.grouped_fraction > 0.2
+
+    def test_v4_only_dominates(self, ctx):
+        s51 = fa.section51(ctx)
+        assert s51.v4_only_sets > s51.v6_only_sets > s51.dual_sets
+
+
+class TestFigure9:
+    def test_router_sets_larger(self, ctx):
+        f9 = fa.figure9(ctx)
+        assert f9.router_sets_are_larger
+        assert f9.router_sets.quantile(0.9) >= f9.ipv4_sets.quantile(0.9)
+
+
+class TestSection52:
+    def test_snmpv3_more_dual_sets_than_router_names(self, ctx):
+        """Paper: 2.5x more dual-stack non-singleton sets than Router
+        Names."""
+        s52 = fa.section52(ctx)
+        assert s52.snmpv3_dual_non_singleton > s52.router_names_dual_non_singleton
+
+    def test_few_exact_many_partial(self, ctx):
+        s52 = fa.section52(ctx)
+        assert s52.overlap.exact_matches < s52.overlap.partial_overlaps_a
+
+    def test_complementary(self, ctx):
+        assert fa.section52(ctx).overlap.complementary
+
+
+class TestSection53:
+    @pytest.fixture(scope="class")
+    def s53(self, ctx):
+        return fa.section53(ctx)
+
+    def test_midar_mostly_singletons(self, ctx, s53):
+        """Paper: the overwhelming majority of MIDAR sets are singletons."""
+        assert s53.midar.non_singleton_count < 0.2 * s53.midar.count
+
+    def test_speedtrap_smaller_than_midar(self, ctx, s53):
+        assert s53.speedtrap.non_singleton_count <= s53.midar.non_singleton_count
+
+    def test_complementary_views(self, ctx, s53):
+        assert s53.midar_overlap.complementary
+
+    def test_snmpv3_finds_more_or_comparable_nonsingletons(self, ctx, s53):
+        assert ctx.alias_v4.non_singleton_count > 0.3 * s53.midar.non_singleton_count
+
+
+class TestSection54:
+    def test_combined_exceeds_each(self, ctx):
+        s53 = fa.section53(ctx)
+        s54 = fa.section54(ctx, s53.midar)
+        c = s54.coverage
+        assert c.combined_fraction > c.midar_fraction
+        assert c.combined_fraction > c.snmpv3_fraction
+        assert c.combined_fraction <= c.midar_fraction + c.snmpv3_fraction
+
+    def test_responsive_fraction_near_16_percent(self, ctx):
+        s54 = fa.section54(ctx)
+        assert 0.08 < s54.snmpv3_responsive_fraction < 0.30
+
+
+class TestFigure10:
+    def test_coverage_varies_substantially(self, ctx):
+        f10 = fv.figure10(ctx)
+        ecdf = f10.coverage.ecdf(min_total=2)
+        assert ecdf.at(0.1) > 0.2          # many networks barely covered
+        assert ecdf.fraction_above(0.5) > 0.02  # some networks wide open
+
+    def test_overall_near_16_percent(self, ctx):
+        assert 0.08 < fv.figure10(ctx).coverage.overall < 0.30
+
+
+class TestFigures11And12:
+    def test_device_popularity_ordering(self, ctx):
+        """Figure 11: Net-SNMP and Cisco on top, then the CPE vendors;
+        top-10 above 80%."""
+        f11 = fv.figure11(ctx)
+        top = [vendor for vendor, __ in f11.top(10)]
+        assert set(top[:2]) == {"Net-SNMP", "Cisco"}
+        assert {"Broadcom", "Thomson", "Netgear"} <= set(top)
+        assert f11.top_n_share(10) > 0.8
+
+    def test_router_popularity_ordering(self, ctx):
+        """Figure 12: Cisco first, Huawei second, both far ahead."""
+        f12 = fv.figure12(ctx)
+        top = f12.top(10)
+        assert top[0][0] == "Cisco"
+        assert top[1][0] == "Huawei"
+        assert top[0][1] > 2 * top[1][1]
+
+    def test_router_major_vendor_concentration(self, ctx):
+        f12 = fv.figure12(ctx)
+        total = sum(f12.counts.values())
+        majors = sum(f12.count(v) for v in ("Cisco", "Huawei", "Juniper", "H3C", "Net-SNMP"))
+        assert majors / total > 0.75
+
+    def test_routers_are_a_small_slice_of_devices(self, ctx):
+        f11, f12 = fv.figure11(ctx), fv.figure12(ctx)
+        assert sum(f12.counts.values()) < 0.25 * sum(f11.counts.values())
+
+
+class TestFigure13:
+    def test_uptime_claims(self, ctx):
+        f13 = fv.figure13(ctx)
+        assert f13.frac_uptime_over_one_year < 0.40      # "less than 25%" +margin
+        assert f13.frac_rebooted_this_year > 0.40        # "more than 50%"
+        assert 0.08 < f13.frac_rebooted_last_month < 0.40  # "around 20%"
+
+
+class TestFigure14:
+    def test_many_single_vendor_networks(self, ctx):
+        f14 = fv.figure14(ctx)
+        if 5 in f14.ecdf_by_min_routers:
+            assert 0.2 < f14.single_vendor_fraction(5) < 0.7
+
+    def test_few_networks_exceed_five_vendors(self, ctx):
+        f14 = fv.figure14(ctx)
+        if 5 in f14.ecdf_by_min_routers:
+            assert f14.ecdf_by_min_routers[5].fraction_above(5) < 0.15
+
+
+class TestFigure15:
+    def test_cisco_dominant_in_major_regions(self, ctx):
+        f15 = fv.figure15(ctx)
+        for region in (Region.EU, Region.NA):
+            shares = f15.shares.get(region)
+            assert shares is not None
+            assert shares["Cisco"] == max(shares.values())
+
+    def test_huawei_absent_in_north_america(self, ctx):
+        f15 = fv.figure15(ctx)
+        assert f15.share(Region.NA, "Huawei") < 0.02
+
+    def test_huawei_strong_in_asia_or_europe(self, ctx):
+        f15 = fv.figure15(ctx)
+        assert max(f15.share(Region.AS, "Huawei"), f15.share(Region.EU, "Huawei")) > 0.08
+
+
+class TestFigure16:
+    def test_top_networks_run_major_vendors(self, ctx):
+        rows = fv.figure16(ctx)
+        assert len(rows) == 10
+        for row in rows[:5]:
+            assert row.dominant_vendor in ("Cisco", "Huawei", "Net-SNMP", "Other")
+
+    def test_mostly_cisco_dominated(self, ctx):
+        rows = fv.figure16(ctx)
+        cisco = sum(1 for r in rows if r.dominant_vendor == "Cisco")
+        assert cisco >= 5
+
+    def test_rows_sorted_by_size(self, ctx):
+        rows = fv.figure16(ctx)
+        sizes = [r.router_count for r in rows]
+        assert sizes == sorted(sizes, reverse=True)
+
+
+class TestFigure17:
+    def test_high_dominance_everywhere(self, ctx):
+        f17 = fv.figure17(ctx)
+        assert f17.high_dominance_fraction(2, 0.7) > 0.6
+
+    def test_dominance_values_valid(self, ctx):
+        f17 = fv.figure17(ctx)
+        for ecdf in f17.ecdf_by_min_routers.values():
+            assert all(0.0 <= v <= 1.0 for v in ecdf.values)
+
+
+class TestFigure18:
+    def test_regional_dominance_ecdfs(self, ctx):
+        f18 = fv.figure18(ctx, min_routers=5)
+        assert f18  # at least one region populated
+        for ecdf in f18.values():
+            assert ecdf.median > 0.4
+
+
+class TestFigure20:
+    def test_regions_have_heavy_tails(self, ctx):
+        f20 = fv.figure20(ctx)
+        assert Region.EU in f20 and Region.NA in f20
+        big_regions = [f20[r] for r in (Region.EU, Region.NA)]
+        # Every big region is skewed; at least one markedly so.
+        assert all(max(e.values) >= 2 * e.median for e in big_regions)
+        assert any(max(e.values) >= 3 * e.median for e in big_regions)
+
+
+class TestSection62:
+    def test_nmap_mostly_fails_on_routers(self, ctx):
+        s62 = fv.section62(ctx)
+        assert s62.no_result_fraction > 0.6
+
+    def test_matches_agree_with_snmpv3(self, ctx):
+        s62 = fv.section62(ctx)
+        if s62.matches:
+            assert s62.agreeing_matches / s62.matches > 0.7
+
+    def test_nmap_probe_cost_dwarfs_snmpv3(self, ctx):
+        s62 = fv.section62(ctx)
+        assert s62.nmap_probes_total > 5 * s62.snmpv3_probes_total
+
+
+class TestSection8:
+    def test_rare_amplifiers_exist(self, ctx):
+        s8 = fv.section8(ctx)
+        assert s8.multi_response_ips > 0
+        assert s8.multi_response_fraction < 0.05
+        assert s8.max_responses_single_ip >= 10

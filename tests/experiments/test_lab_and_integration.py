@@ -1,0 +1,111 @@
+"""Lab-validation tests (§6.2.1) and cross-stage integration checks."""
+
+import pytest
+
+from repro.alias.sets import evaluate_against_truth
+from repro.experiments.lab import LabRouter, default_lab, run_lab_experiment
+from repro.experiments.report import render_full_report
+from repro.net.mac import MacAddress
+from repro.oui.registry import default_registry
+
+
+class TestLabValidation:
+    @pytest.fixture(scope="class")
+    def reports(self):
+        return [run_lab_experiment(router) for router in default_lab()]
+
+    def test_three_bench_routers(self, reports):
+        assert [r.router for r in reports] == [
+            "cisco-ios-15.2", "cisco-iosxr-6.0.1", "juniper-junos-17.3",
+        ]
+
+    def test_silent_out_of_the_box(self, reports):
+        assert all(not r.answers_before_config for r in reports)
+
+    def test_v2c_after_single_config_line(self, reports):
+        assert all(r.v2c_works_after_config for r in reports)
+
+    def test_v3_implicitly_enabled(self, reports):
+        """The paper's headline lab finding."""
+        assert all(r.v3_discovery_after_config for r in reports)
+
+    def test_engine_id_is_vendor_mac(self, reports):
+        assert reports[0].engine_mac_vendor == "Cisco"
+        assert reports[2].engine_mac_vendor == "Juniper"
+
+    def test_same_engine_id_all_interfaces(self, reports):
+        assert all(r.same_engine_id_on_all_interfaces for r in reports)
+
+    def test_first_interface_not_smallest_mac(self, reports):
+        """Contradicts RFC 3411 guidance — the paper's observation."""
+        for report in reports:
+            assert report.engine_mac_is_first_interface
+            assert not report.engine_mac_is_smallest
+
+    def test_custom_router_buildable(self):
+        router = LabRouter.build(
+            "h3c-test", "H3C", "H3C Comware 7",
+            enterprise=25506,
+            first_mac=default_registry().make_mac("H3C", 0, 0x9000),
+        )
+        report = run_lab_experiment(router, community=b"readonly")
+        assert report.v3_discovery_after_config
+        assert report.engine_mac_vendor == "H3C"
+
+
+class TestEndToEndAccuracy:
+    """The accuracy claims the operators' survey (§6.2.2) supports."""
+
+    def test_alias_precision_near_perfect(self, ctx):
+        ev = evaluate_against_truth(ctx.alias_dual, ctx.topology.true_alias_sets())
+        assert ev.precision > 0.99
+
+    def test_alias_recall_high(self, ctx):
+        ev = evaluate_against_truth(ctx.alias_dual, ctx.topology.true_alias_sets())
+        assert ev.recall > 0.85
+
+    def test_vendor_fingerprints_match_ground_truth(self, ctx):
+        correct = 0
+        total = 0
+        for group, verdict in ctx.device_vendors:
+            if verdict.vendor == "unknown":
+                continue
+            device = ctx.topology.device_of_address(next(iter(group)))
+            if device is None:
+                continue
+            total += 1
+            if device.vendor == verdict.vendor:
+                correct += 1
+        assert total > 100
+        assert correct / total > 0.95
+
+    def test_router_tags_mostly_true_routers(self, ctx):
+        from repro.topology.model import DeviceType
+
+        routers = 0
+        total = 0
+        for group in ctx.router_sets.sets:
+            device = ctx.topology.device_of_address(next(iter(group)))
+            if device is None:
+                continue
+            total += 1
+            if device.device_type is DeviceType.ROUTER:
+                routers += 1
+        assert total > 0
+        assert routers / total > 0.7
+
+
+class TestReport:
+    def test_full_report_renders(self, ctx):
+        text = render_full_report(ctx, include_comparators=False)
+        for needle in (
+            "Table 1", "Table 2", "Table 3", "Figure 4", "Figure 5",
+            "Figure 13", "Figure 17", "Section 8", "lab validation",
+        ):
+            assert needle in text
+        assert len(text) > 3000
+
+    def test_report_with_comparators(self, ctx):
+        text = render_full_report(ctx, include_comparators=True)
+        for needle in ("MIDAR", "Router Names", "Nmap", "5.4"):
+            assert needle in text

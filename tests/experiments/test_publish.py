@@ -1,0 +1,64 @@
+"""Tests for the figure/table CSV publisher."""
+
+import csv
+
+import pytest
+
+from repro.experiments.publish import publish_all
+
+
+@pytest.fixture(scope="class")
+def published(ctx, tmp_path_factory):
+    out = tmp_path_factory.mktemp("publish")
+    files = publish_all(ctx, out)
+    return out, files
+
+
+class TestPublish:
+    def test_all_expected_files_written(self, published):
+        out, files = published
+        for name in ("table1.csv", "table3.csv", "fig05_engine_id_formats.csv",
+                     "fig12_router_vendors.csv", "fig16_top_networks.csv"):
+            assert name in files
+            assert (out / name).exists()
+
+    def test_files_are_valid_csv_with_headers(self, published):
+        out, files = published
+        for name in files:
+            rows = list(csv.reader((out / name).read_text().splitlines()))
+            assert len(rows) >= 1
+            assert all(rows[0]), f"{name} has an empty header cell"
+
+    def test_table1_matches_context(self, published, ctx):
+        out, __ = published
+        rows = list(csv.DictReader((out / "table1.csv").read_text().splitlines()))
+        scan1, __scan2 = ctx.campaign.scan_pair(4)
+        v4_row = next(r for r in rows if r["scan"] == "v4-1")
+        assert int(v4_row["responsive_ips"]) == scan1.responsive_count
+
+    def test_ecdf_files_monotonic(self, published):
+        out, files = published
+        for name in files:
+            if "fig08" not in name and "fig17" not in name:
+                continue
+            rows = list(csv.DictReader((out / name).read_text().splitlines()))
+            cdf = [float(r["cdf"]) for r in rows]
+            assert cdf == sorted(cdf)
+            if cdf:
+                assert cdf[-1] == pytest.approx(1.0)
+
+    def test_vendor_csv_totals_consistent(self, published):
+        out, __ = published
+        rows = list(csv.DictReader(
+            (out / "fig12_router_vendors.csv").read_text().splitlines()
+        ))
+        for row in rows:
+            parts = int(row["v4_only"]) + int(row["v6_only"]) + int(row["dual"])
+            assert parts == int(row["total"])
+
+    def test_publish_is_deterministic(self, ctx, tmp_path):
+        a, b = tmp_path / "a", tmp_path / "b"
+        publish_all(ctx, a)
+        publish_all(ctx, b)
+        for name in ("table1.csv", "fig12_router_vendors.csv"):
+            assert (a / name).read_text() == (b / name).read_text()

@@ -1,0 +1,64 @@
+"""Tests for the §8 remediation experiment."""
+
+import pytest
+
+from repro.experiments.remediation import MITIGATIONS, remediation_experiment
+from repro.topology.config import TopologyConfig
+
+
+@pytest.fixture(scope="module")
+def experiment():
+    return remediation_experiment(TopologyConfig.tiny(seed=5))
+
+
+class TestMitigations:
+    def test_all_mitigations_measured(self, experiment):
+        assert set(experiment.outcomes) == set(MITIGATIONS)
+
+    def test_acl_silences_everything(self, experiment):
+        """Segregated management: the Internet-side scan sees nothing."""
+        assert experiment.outcomes["acl"].responsive_ips == 0
+        assert experiment.outcomes["all"].responsive_ips == 0
+
+    def test_explicit_v3_removes_implicit_population(self, experiment):
+        baseline = experiment.outcomes["none"]
+        explicit = experiment.outcomes["explicit-v3"]
+        assert explicit.responsive_ips < baseline.responsive_ips
+        assert explicit.reduction_vs(baseline) > 0.05
+
+    def test_random_engine_ids_kill_mac_fingerprinting(self, experiment):
+        baseline = experiment.outcomes["none"]
+        randomized = experiment.outcomes["random-engine-id"]
+        assert baseline.mac_identified_vendors > 0
+        assert randomized.mac_identified_vendors == 0
+        # But the devices still respond — persistence without identity.
+        assert randomized.responsive_ips == baseline.responsive_ips
+
+    def test_random_engine_ids_keep_alias_resolution(self, experiment):
+        """Random-but-persistent engine IDs still resolve aliases — the
+        mitigation blinds fingerprinting, not aliasing."""
+        baseline = experiment.outcomes["none"]
+        randomized = experiment.outcomes["random-engine-id"]
+        assert randomized.non_singleton_alias_sets > 0.7 * baseline.non_singleton_alias_sets
+
+    def test_render(self, experiment):
+        text = experiment.render()
+        assert "mitigation" in text
+        assert "random-engine-id" in text
+
+
+class TestPartialAdoption:
+    def test_partial_adoption_partial_protection(self):
+        experiment = remediation_experiment(
+            TopologyConfig.tiny(seed=5), adoption=0.5, mitigations=("none", "all")
+        )
+        baseline = experiment.outcomes["none"]
+        mitigated = experiment.outcomes["all"]
+        reduction = mitigated.reduction_vs(baseline)
+        assert 0.2 < reduction < 0.8  # half the networks, roughly half the view
+
+    def test_unknown_mitigation_rejected(self):
+        with pytest.raises(ValueError):
+            remediation_experiment(
+                TopologyConfig.tiny(seed=5), mitigations=("voodoo",)
+            )

@@ -1,0 +1,22 @@
+"""Report-rendering coverage, including the extension sections."""
+
+from repro.experiments.report import render_full_report
+
+
+class TestExtensionRendering:
+    def test_extensions_render(self, ctx):
+        text = render_full_report(ctx, include_comparators=False,
+                                  include_extensions=True)
+        for needle in (
+            "amplification vectors", "NAT and load-balancer inference",
+            "longitudinal monitoring", "persistence",
+        ):
+            assert needle in text
+
+    def test_extensions_off_by_default(self, ctx):
+        text = render_full_report(ctx, include_comparators=False)
+        assert "longitudinal monitoring" not in text
+
+    def test_figure12_carries_confidence_intervals(self, ctx):
+        text = render_full_report(ctx, include_comparators=False)
+        assert "share" in text and "%]" in text

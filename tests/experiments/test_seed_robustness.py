@@ -1,0 +1,56 @@
+"""Seed-robustness: the paper's headline claims must not hinge on one RNG
+draw.  Three small-scale Internets with different seeds all have to
+satisfy the core qualitative results."""
+
+import pytest
+
+from repro.experiments import ExperimentContext
+from repro.experiments import figures_engine as fe
+from repro.experiments import figures_vendor as fv
+from repro.snmp.engine_id import EngineIdFormat
+from repro.topology.config import TopologyConfig
+
+
+@pytest.fixture(scope="module", params=[7, 99, 31337])
+def seeded_ctx(request):
+    return ExperimentContext.create(
+        TopologyConfig.paper_scale(divisor=400, seed=request.param)
+    )
+
+
+class TestCoreClaimsAcrossSeeds:
+    def test_mac_dominant_format(self, seeded_ctx):
+        f5 = fe.figure5(seeded_ctx)
+        assert f5.share(4, EngineIdFormat.MAC) > 0.35
+
+    def test_router_vendor_leaders(self, seeded_ctx):
+        f12 = fv.figure12(seeded_ctx)
+        top = f12.top(3)
+        assert top[0][0] == "Cisco"
+        assert "Huawei" in [v for v, __ in top]
+
+    def test_device_vendor_leaders(self, seeded_ctx):
+        f11 = fv.figure11(seeded_ctx)
+        assert {"Net-SNMP", "Cisco"} <= {v for v, __ in f11.top(4)}
+
+    def test_alias_precision(self, seeded_ctx):
+        from repro.alias.sets import evaluate_against_truth
+
+        ev = evaluate_against_truth(
+            seeded_ctx.alias_dual, seeded_ctx.topology.true_alias_sets()
+        )
+        assert ev.precision > 0.99
+        assert ev.recall > 0.8
+
+    def test_reboot_consistency_knee(self, seeded_ctx):
+        f8 = fe.figure8(seeded_ctx)
+        assert f8.routers_v4.at(10) > 0.9
+
+    def test_uptime_shape(self, seeded_ctx):
+        f13 = fv.figure13(seeded_ctx)
+        assert f13.frac_uptime_over_one_year < 0.45
+        assert f13.frac_rebooted_this_year > 0.35
+
+    def test_high_dominance(self, seeded_ctx):
+        f17 = fv.figure17(seeded_ctx)
+        assert f17.high_dominance_fraction(2, 0.7) > 0.55

@@ -1,0 +1,102 @@
+"""Shape tests for Tables 1–3: the paper's headline count structure."""
+
+from repro.experiments import tables
+
+
+class TestTable1:
+    def test_four_rows_in_schedule_order(self, ctx):
+        table = tables.table1(ctx)
+        assert [row.label for row in table.rows] == ["v6-1", "v6-2", "v4-1", "v4-2"]
+
+    def test_count_ordering_invariants(self, ctx):
+        """responsive >= unique engine IDs; valid-eid <= responsive;
+        valid-eid+time <= valid-eid — Table 1's column structure."""
+        for row in tables.table1(ctx).rows:
+            assert row.unique_engine_ids <= row.responsive_ips
+            assert row.valid_engine_id_time_ips <= row.valid_engine_id_ips
+            assert row.valid_engine_id_ips <= row.responsive_ips
+
+    def test_v4_dwarfs_v6(self, ctx):
+        """Paper: 31M IPv4 responders vs 180k IPv6."""
+        table = tables.table1(ctx)
+        v4 = table.rows[2].responsive_ips
+        v6 = table.rows[0].responsive_ips
+        assert v4 > 2 * v6
+
+    def test_scan_pairs_similar_size(self, ctx):
+        table = tables.table1(ctx)
+        for first, second in ((table.rows[0], table.rows[1]), (table.rows[2], table.rows[3])):
+            ratio = first.responsive_ips / second.responsive_ips
+            assert 0.9 < ratio < 1.1
+
+    def test_filtering_keeps_most_v6_times_but_fewer_v4(self, ctx):
+        """Paper: IPv6 time filtering is mild (140k of 152k) while IPv4
+        loses over half (12.5M of 27M)."""
+        table = tables.table1(ctx)
+        v6_keep = table.rows[0].valid_engine_id_time_ips / table.rows[0].valid_engine_id_ips
+        v4_keep = table.rows[2].valid_engine_id_time_ips / table.rows[2].valid_engine_id_ips
+        assert v6_keep > v4_keep
+
+    def test_render(self, ctx):
+        text = tables.table1(ctx).render()
+        assert "v4-1" in text and "#EngineIDs" in text
+
+
+class TestTable2:
+    def test_structure(self, ctx):
+        table = tables.table2(ctx)
+        assert [r.dataset for r in table.rows] == [
+            "ITDK", "RIPE Atlas", "IPv6 Hitlist", "Union",
+        ]
+
+    def test_itdk_is_largest_v4_source(self, ctx):
+        table = tables.table2(ctx)
+        assert table.row("ITDK").ipv4_addresses > table.row("RIPE Atlas").ipv4_addresses
+
+    def test_union_bounds(self, ctx):
+        table = tables.table2(ctx)
+        union = table.row("Union")
+        itdk = table.row("ITDK")
+        assert union.ipv4_addresses >= itdk.ipv4_addresses
+        assert union.ipv4_addresses <= itdk.ipv4_addresses + table.row("RIPE Atlas").ipv4_addresses
+
+    def test_snmpv3_overlap_partial(self, ctx):
+        """Paper: 447k of 2.9M ITDK IPs responsive — a strict subset."""
+        row = tables.table2(ctx).row("ITDK")
+        assert 0 < row.ipv4_snmpv3 < row.ipv4_addresses
+
+    def test_hitlist_largest_v6_source(self, ctx):
+        table = tables.table2(ctx)
+        assert (
+            table.row("IPv6 Hitlist").ipv6_addresses
+            >= table.row("RIPE Atlas").ipv6_addresses
+        )
+
+
+class TestTable3:
+    def test_eight_variants(self, ctx):
+        assert len(tables.table3(ctx).rows) == 8
+
+    def test_exact_produces_most_sets(self, ctx):
+        """Appendix A: exact matching splits most aggressively."""
+        table = tables.table3(ctx)
+        exact = table.row("Exact both").alias_sets
+        binned = table.row("Divide by 20 both").alias_sets
+        assert exact >= binned
+
+    def test_binned_groups_more_ips(self, ctx):
+        table = tables.table3(ctx)
+        exact = table.row("Exact both").ips_in_non_singletons
+        binned = table.row("Divide by 20 both").ips_in_non_singletons
+        assert binned >= exact
+
+    def test_divide_variants_nearly_identical(self, ctx):
+        """Paper: 'Divide by 20' and 'Divide by 20+round' rows match."""
+        table = tables.table3(ctx)
+        a = table.row("Divide by 20 both")
+        b = table.row("Divide by 20+round both")
+        assert abs(a.alias_sets - b.alias_sets) <= 0.02 * a.alias_sets
+
+    def test_ips_per_set_plausible(self, ctx):
+        for row in tables.table3(ctx).rows:
+            assert 1.5 < row.ips_per_non_singleton < 50

@@ -1,0 +1,20 @@
+"""Tests for the per-vendor uptime breakdown."""
+
+from repro.experiments.figures_vendor import figure13_by_vendor
+
+
+class TestFigure13ByVendor:
+    def test_major_vendors_present(self, ctx):
+        stats = figure13_by_vendor(ctx, min_routers=5)
+        assert "Cisco" in stats
+
+    def test_fractions_valid(self, ctx):
+        for vendor, s in figure13_by_vendor(ctx, min_routers=3).items():
+            assert 0.0 <= s.frac_uptime_over_one_year <= 1.0
+            assert 0.0 <= s.frac_rebooted_last_month <= 1.0
+            assert s.count >= 3
+
+    def test_min_routers_threshold(self, ctx):
+        loose = figure13_by_vendor(ctx, min_routers=1)
+        strict = figure13_by_vendor(ctx, min_routers=50)
+        assert len(strict) <= len(loose)

@@ -1,0 +1,90 @@
+"""Unit tests for the banner-grabbing comparator."""
+
+import pytest
+
+from repro.fingerprint.banner import (
+    BannerGrabber,
+    BannerOutcome,
+    classify_banner,
+)
+from repro.topology.config import TopologyConfig
+from repro.topology.generator import build_topology
+from repro.topology.model import DeviceType
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return build_topology(TopologyConfig.tiny(seed=53))
+
+
+class TestClassifier:
+    @pytest.mark.parametrize(
+        "banner,vendor",
+        [
+            ("SSH-2.0-Cisco-1.25", "Cisco"),
+            ("SSH-2.0-HUAWEI-1.5", "Huawei"),
+            ("SSH-2.0-Comware-7.1", "H3C"),
+            ("SSH-2.0-ROSSSH", "MikroTik"),
+            ("SSH-2.0-RomSShell_5.40", "Brocade"),
+        ],
+    )
+    def test_known_banners(self, banner, vendor):
+        assert classify_banner(banner) == vendor
+
+    def test_generic_banner_unclassified(self):
+        assert classify_banner("SSH-2.0-OpenSSH_8.2p1") is None
+        assert classify_banner("Server: nginx") is None
+
+
+class TestGrabber:
+    def test_closed_device_has_no_service(self, topo):
+        grabber = BannerGrabber(topo)
+        device = next(d for d in topo.devices.values() if not d.open_tcp_ports)
+        result = grabber.grab(device.interfaces[0].address)
+        assert result.outcome is BannerOutcome.NO_SERVICE
+        assert result.banner is None
+
+    def test_cisco_with_ssh_identified(self, topo):
+        grabber = BannerGrabber(topo)
+        device = next(
+            d for d in topo.devices.values()
+            if d.vendor == "Cisco" and 22 in d.open_tcp_ports
+        )
+        result = grabber.grab(device.interfaces[0].address)
+        assert result.outcome is BannerOutcome.IDENTIFIED
+        assert result.vendor == "Cisco"
+        assert "Cisco" in result.banner
+
+    def test_hardened_vendor_uninformative(self, topo):
+        grabber = BannerGrabber(topo)
+        device = next(
+            (d for d in topo.devices.values()
+             if d.vendor == "Juniper" and 22 in d.open_tcp_ports),
+            None,
+        )
+        if device is None:
+            pytest.skip("no TCP-open Juniper in fixture")
+        result = grabber.grab(device.interfaces[0].address)
+        # Junos announces a FIPS OpenSSH string: a banner, but no vendor.
+        assert result.outcome is BannerOutcome.UNINFORMATIVE
+
+    def test_survey_routers_mostly_unreachable(self, topo):
+        """The paper's §7.1 conclusion: routers are tightly secured and
+        unresponsive to banner queries."""
+        grabber = BannerGrabber(topo)
+        router_ips = [d.interfaces[0].address for d in topo.routers()]
+        histogram = grabber.survey(router_ips)
+        total = sum(histogram.values())
+        assert histogram[BannerOutcome.NO_SERVICE] / total > 0.6
+
+    def test_survey_counts_sum(self, topo):
+        grabber = BannerGrabber(topo)
+        addresses = [d.interfaces[0].address for d in list(topo.devices.values())[:50]]
+        histogram = grabber.survey(addresses)
+        assert sum(histogram.values()) == 50
+
+    def test_unassigned_address(self, topo):
+        import ipaddress
+
+        result = BannerGrabber(topo).grab(ipaddress.ip_address("203.0.113.254"))
+        assert result.outcome is BannerOutcome.NO_SERVICE

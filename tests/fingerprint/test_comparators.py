@@ -1,0 +1,122 @@
+"""Unit tests for the Nmap/TTL comparators and uptime statistics."""
+
+import pytest
+
+from repro.fingerprint.nmap import NmapEngine, NmapOutcome, SIGNATURE_DATABASE
+from repro.fingerprint.ttl import TtlFingerprinter, infer_ittl
+from repro.fingerprint.uptime import uptime_statistics
+from repro.topology import timeline
+from repro.topology.config import TopologyConfig
+from repro.topology.generator import build_topology
+from repro.topology.model import DeviceType
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return build_topology(TopologyConfig.tiny(seed=17))
+
+
+class TestNmap:
+    def test_no_open_port_no_result(self, topo):
+        engine = NmapEngine(topo)
+        device = next(d for d in topo.devices.values() if not d.open_tcp_ports)
+        result = engine.fingerprint(device.interfaces[0].address)
+        assert result.outcome is NmapOutcome.NO_RESULT
+        assert result.vendor is None
+
+    def test_known_stack_matches(self, topo):
+        engine = NmapEngine(topo)
+        device = next(
+            d for d in topo.devices.values()
+            if d.open_tcp_ports and d.os_family == "Linux"
+        )
+        results = [engine.fingerprint(device.interfaces[0].address) for __ in range(30)]
+        matches = [r for r in results if r.outcome is NmapOutcome.MATCH]
+        assert matches, "known stack should usually match"
+        assert all(r.vendor == "Net-SNMP" for r in matches)
+        assert all(r.os_detail for r in matches)
+
+    def test_unknown_stack_guesses(self, topo):
+        engine = NmapEngine(topo)
+        device = next(
+            d for d in topo.devices.values()
+            if d.open_tcp_ports and d.os_family not in SIGNATURE_DATABASE
+        )
+        result = engine.fingerprint(device.interfaces[0].address)
+        assert result.outcome is NmapOutcome.GUESS
+        assert result.vendor in set(SIGNATURE_DATABASE.values())
+
+    def test_probe_cost_much_higher_than_snmpv3(self, topo):
+        engine = NmapEngine(topo)
+        addresses = [d.interfaces[0].address for d in list(topo.devices.values())[:50]]
+        results = engine.fingerprint_many(addresses)
+        total = sum(r.probes_sent for r in results)
+        assert total >= 10 * len(addresses)  # SNMPv3 sends exactly 1 each
+
+    def test_unassigned_address_no_result(self, topo):
+        import ipaddress
+
+        engine = NmapEngine(topo)
+        result = engine.fingerprint(ipaddress.ip_address("203.0.113.250"))
+        assert result.outcome is NmapOutcome.NO_RESULT
+
+
+class TestTtl:
+    def test_infer_ittl_rounds_up(self):
+        assert infer_ittl(52) == 64
+        assert infer_ittl(64) == 64
+        assert infer_ittl(120) == 128
+        assert infer_ittl(243) == 255
+        assert infer_ittl(300) == 255
+
+    def test_cisco_huawei_ambiguity(self, topo):
+        fingerprinter = TtlFingerprinter(topo)
+        cisco = next(d for d in topo.devices.values() if d.vendor == "Cisco")
+        verdict = fingerprinter.fingerprint(cisco.interfaces[0].address)
+        assert "Cisco" in verdict.candidate_vendors
+        assert "Huawei" in verdict.candidate_vendors
+        assert verdict.ambiguous
+
+    def test_juniper_signature_distinct_from_cisco(self, topo):
+        fingerprinter = TtlFingerprinter(topo)
+        juniper = next(
+            (d for d in topo.devices.values() if d.vendor == "Juniper"), None
+        )
+        if juniper is None:
+            pytest.skip("no Juniper device in tiny topology")
+        verdict = fingerprinter.fingerprint(juniper.interfaces[0].address)
+        assert verdict.signature == (64, 255)
+        assert "Cisco" not in verdict.candidate_vendors
+
+    def test_unknown_address(self, topo):
+        import ipaddress
+
+        assert TtlFingerprinter(topo).fingerprint(
+            ipaddress.ip_address("203.0.113.250")
+        ) is None
+
+
+class TestUptime:
+    def test_empty(self):
+        stats = uptime_statistics([])
+        assert stats.count == 0
+
+    def test_fractions(self):
+        now = timeline.REFERENCE_TIME
+        day = 86_400
+        reboots = [
+            now - 5 * day,        # last month + this year
+            now - 50 * day,       # this year (scan is mid-April)
+            now - 400 * day,      # over a year
+            now - 1000 * day,     # over a year
+        ]
+        stats = uptime_statistics(reboots, reference_time=now)
+        assert stats.count == 4
+        assert stats.frac_rebooted_last_month == 0.25
+        assert stats.frac_uptime_over_one_year == 0.5
+        assert 0.25 <= stats.frac_rebooted_this_year <= 0.75
+
+    def test_headline_renders(self):
+        stats = uptime_statistics([timeline.REFERENCE_TIME - 86_400])
+        text = stats.headline()
+        assert "%" in text and "year" in text

@@ -1,0 +1,170 @@
+"""Unit tests for NAT / load-balancer inference (§9 extension)."""
+
+import ipaddress
+
+import pytest
+
+from repro.fingerprint.middlebox import (
+    LoadBalancerProber,
+    MiddleboxDetector,
+    detect_nat_gateways,
+)
+from repro.net.transport import LinkProfile, NetworkFabric
+from repro.scanner.records import ScanObservation
+from repro.snmp.agent import SnmpAgent
+from repro.snmp.constants import SNMP_PORT
+from repro.snmp.engine_id import EngineId
+from repro.snmp.loadbalancer import AgentPool, BalancingPolicy
+from repro.net.mac import MacAddress
+
+
+def obs(address, engine_id):
+    return ScanObservation(
+        address=ipaddress.ip_address(address),
+        recv_time=0.0,
+        engine_id=engine_id,
+        engine_boots=1,
+        engine_time=100,
+    )
+
+
+class TestNatDetection:
+    def test_private_embedded_address_flagged(self):
+        eid = EngineId.from_ipv4(9, ipaddress.IPv4Address("192.168.4.9"))
+        verdicts = detect_nat_gateways([obs("203.0.113.5", eid)])
+        assert len(verdicts) == 1
+        assert str(verdicts[0].embedded_address) == "192.168.4.9"
+
+    def test_public_embedded_address_not_flagged(self):
+        eid = EngineId.from_ipv4(9, ipaddress.IPv4Address("8.8.8.8"))
+        assert detect_nat_gateways([obs("203.0.113.5", eid)]) == []
+
+    def test_non_ipv4_formats_ignored(self):
+        mac_eid = EngineId.from_mac(9, MacAddress("00:00:0c:01:02:03"))
+        assert detect_nat_gateways([obs("203.0.113.5", mac_eid)]) == []
+
+    def test_unparsed_responses_ignored(self):
+        assert detect_nat_gateways([obs("203.0.113.5", None)]) == []
+
+
+class TestAgentPool:
+    def make_backends(self, n=3):
+        return [
+            SnmpAgent(
+                engine_id=EngineId.net_snmp_random(bytes([i]) * 8),
+                boot_time=0.0,
+                engine_boots=1,
+            )
+            for i in range(n)
+        ]
+
+    def test_round_robin_rotates(self):
+        from repro.net.packet import make_datagram
+
+        pool = AgentPool(backends=self.make_backends(3))
+        dg = make_datagram("198.51.100.1", "192.0.2.1", 40000, 161, b"")
+        picked = [pool.pick(dg).engine_id.raw for __ in range(6)]
+        assert len(set(picked[:3])) == 3
+        assert picked[:3] == picked[3:]
+
+    def test_source_hash_pins_client(self):
+        from repro.net.packet import make_datagram
+
+        pool = AgentPool(backends=self.make_backends(4),
+                         policy=BalancingPolicy.SOURCE_HASH)
+        dg = make_datagram("198.51.100.1", "192.0.2.1", 40000, 161, b"")
+        picked = {pool.pick(dg).engine_id.raw for __ in range(8)}
+        assert len(picked) == 1
+
+    def test_source_hash_spreads_clients(self):
+        from repro.net.packet import make_datagram
+
+        pool = AgentPool(backends=self.make_backends(4),
+                         policy=BalancingPolicy.SOURCE_HASH)
+        picked = {
+            pool.pick(make_datagram(f"198.51.100.{i}", "192.0.2.1", 40000, 161, b"")).engine_id.raw
+            for i in range(1, 9)
+        }
+        assert len(picked) > 1
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(ValueError):
+            AgentPool(backends=[])
+
+    def test_engine_ids_ground_truth(self):
+        pool = AgentPool(backends=self.make_backends(2))
+        assert len(pool.engine_ids) == 2
+
+
+class TestBurstProber:
+    def bind_pool(self, policy):
+        fabric = NetworkFabric(seed=1, default_profile=LinkProfile(loss_probability=0.0))
+        backends = [
+            SnmpAgent(
+                engine_id=EngineId.net_snmp_random(bytes([i]) * 8),
+                boot_time=0.0,
+                engine_boots=1,
+            )
+            for i in range(3)
+        ]
+        pool = AgentPool(backends=backends, policy=policy)
+        vip = ipaddress.ip_address("192.0.2.1")
+        fabric.bind(vip, "udp", SNMP_PORT, pool.handle_datagram)
+        return fabric, vip
+
+    def test_round_robin_pool_detected(self):
+        fabric, vip = self.bind_pool(BalancingPolicy.ROUND_ROBIN)
+        verdict = LoadBalancerProber(fabric).probe_target(vip, start=0.0)
+        assert verdict is not None
+        assert verdict.distinct_engine_ids >= 2
+
+    def test_single_agent_not_flagged(self):
+        fabric = NetworkFabric(seed=1, default_profile=LinkProfile(loss_probability=0.0))
+        agent = SnmpAgent(
+            engine_id=EngineId.from_mac(9, MacAddress("00:00:0c:00:00:07")),
+            boot_time=0.0,
+            engine_boots=1,
+        )
+        addr = ipaddress.ip_address("192.0.2.9")
+        fabric.bind(addr, "udp", SNMP_PORT, agent.handle_datagram)
+        assert LoadBalancerProber(fabric).probe_target(addr, start=0.0) is None
+
+    def test_silent_target_not_flagged(self):
+        fabric = NetworkFabric(seed=1)
+        addr = ipaddress.ip_address("192.0.2.10")
+        assert LoadBalancerProber(fabric).probe_target(addr, start=0.0) is None
+
+
+class TestDetectorEndToEnd:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        from repro.scanner.campaign import ScanCampaign
+        from repro.topology.config import TopologyConfig
+        from repro.topology.generator import build_topology
+
+        cfg = TopologyConfig.tiny(seed=5)
+        topo = build_topology(cfg)
+        result = ScanCampaign(topo, cfg).run()
+        observations = list(result.scans["v4-1"].observations.values()) + list(
+            result.scans["v6-1"].observations.values()
+        )
+        return topo, observations
+
+    def test_nat_precision_perfect(self, setup):
+        topo, observations = setup
+        report = MiddleboxDetector(topo).run(observations, lb_candidates=[])
+        assert report.nat_precision == 1.0
+        assert report.nat_recall > 0.5
+
+    def test_lb_detection_quality(self, setup):
+        topo, observations = setup
+        from repro.topology.model import DeviceType
+
+        vips = [
+            d.interfaces[0].address
+            for d in topo.devices.values()
+            if d.device_type is DeviceType.LOAD_BALANCER and d.snmp_open
+        ]
+        report = MiddleboxDetector(topo).run(observations, lb_candidates=vips)
+        assert report.lb_precision == 1.0
+        assert report.lb_recall > 0.5

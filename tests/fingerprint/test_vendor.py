@@ -1,0 +1,67 @@
+"""Unit tests for vendor fingerprinting."""
+
+import ipaddress
+
+from repro.fingerprint.vendor import UNKNOWN_VENDOR, infer_vendor, vendor_of_alias_set
+from repro.net.mac import MacAddress
+from repro.snmp.engine_id import EngineId
+
+
+class TestInferVendor:
+    def test_mac_oui_highest_confidence(self):
+        eid = EngineId.from_mac(9, MacAddress("00:00:0c:01:02:03"))
+        verdict = infer_vendor(eid)
+        assert verdict.vendor == "Cisco"
+        assert verdict.source == "mac-oui"
+        assert verdict.confident
+        assert verdict.corroborated  # OUI and enterprise agree
+
+    def test_oui_enterprise_disagreement_prefers_oui(self):
+        # Huawei enterprise number wrapping a Cisco MAC (re-badged gear).
+        eid = EngineId.from_mac(2011, MacAddress("00:00:0c:01:02:03"))
+        verdict = infer_vendor(eid)
+        assert verdict.vendor == "Cisco"
+        assert not verdict.corroborated
+        assert verdict.enterprise_vendor == "Huawei"
+
+    def test_unregistered_mac_falls_back_to_enterprise(self):
+        eid = EngineId.from_mac(9, MacAddress("ee:ee:ee:00:00:01"))
+        verdict = infer_vendor(eid)
+        assert verdict.vendor == "Cisco"
+        assert verdict.source == "enterprise"
+        assert not verdict.confident
+
+    def test_net_snmp_format(self):
+        eid = EngineId.net_snmp_random(bytes(8))
+        verdict = infer_vendor(eid)
+        assert verdict.vendor == "Net-SNMP"
+        assert verdict.source == "net-snmp"
+
+    def test_ipv4_format_uses_enterprise(self):
+        eid = EngineId.from_ipv4(2636, ipaddress.IPv4Address("8.8.8.8"))
+        assert infer_vendor(eid).vendor == "Juniper"
+
+    def test_unknown_everything(self):
+        eid = EngineId(bytes.fromhex("80ffffff") + b"\x05" + b"\x01\x02")
+        verdict = infer_vendor(eid)
+        assert verdict.vendor == UNKNOWN_VENDOR
+        assert verdict.source == "none"
+
+    def test_legacy_engine_id_enterprise(self):
+        eid = EngineId.legacy(9, bytes(8))
+        assert infer_vendor(eid).vendor == "Cisco"
+
+
+class TestAliasSetVendor:
+    def test_empty_set(self):
+        assert vendor_of_alias_set([]).vendor == UNKNOWN_VENDOR
+
+    def test_prefers_most_confident_member(self):
+        weak = EngineId.from_octets(9, b"\x01\x02\x03\x04")       # enterprise only
+        strong = EngineId.from_mac(9, MacAddress("00:00:0c:00:00:09"))
+        verdict = vendor_of_alias_set([weak, strong])
+        assert verdict.source == "mac-oui"
+
+    def test_single_member(self):
+        eid = EngineId.from_mac(2011, MacAddress("00:e0:fc:00:00:01"))
+        assert vendor_of_alias_set([eid]).vendor == "Huawei"

@@ -1,0 +1,86 @@
+"""End-to-end tests for the command-line interface."""
+
+import csv
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_subcommands_registered(self):
+        parser = build_parser()
+        for argv in (["scan"], ["analyze", "x"], ["report"], ["lab"]):
+            args = parser.parse_args(argv)
+            assert callable(args.func)
+
+    def test_missing_subcommand_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestScanAnalyzeWorkflow:
+    def test_scan_then_analyze(self, tmp_path, capsys):
+        run_dir = tmp_path / "run"
+        assert main(["scan", "--scale", "1500", "--seed", "3",
+                     "--out", str(run_dir)]) == 0
+        for label in ("v4-1", "v4-2", "v6-1", "v6-2"):
+            assert (run_dir / f"scan-{label}.jsonl").exists()
+
+        assert main(["analyze", str(run_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "alias sets" in out
+        assert (run_dir / "alias-sets.jsonl").exists()
+        assert (run_dir / "alias-sets.csv").exists()
+        census = list(csv.reader(
+            (run_dir / "vendor-census.csv").read_text().splitlines()
+        ))
+        assert census[0] == ["vendor", "devices"]
+        assert len(census) > 2
+
+    def test_scan_export_is_loadable(self, tmp_path):
+        run_dir = tmp_path / "run"
+        main(["scan", "--scale", "1500", "--seed", "3", "--out", str(run_dir)])
+        header = json.loads(
+            (run_dir / "scan-v4-1.jsonl").read_text().splitlines()[0]
+        )
+        assert header["format"] == "snmpv3-scan"
+        assert header["ip_version"] == 4
+
+    def test_analyze_missing_files_fails(self, tmp_path, capsys):
+        assert main(["analyze", str(tmp_path)]) == 2
+        assert "missing" in capsys.readouterr().err
+
+    def test_analyze_threshold_flag(self, tmp_path, capsys):
+        run_dir = tmp_path / "run"
+        main(["scan", "--scale", "1500", "--seed", "3", "--out", str(run_dir)])
+        assert main(["analyze", str(run_dir), "--threshold", "60"]) == 0
+
+
+class TestLab:
+    def test_lab_passes(self, capsys):
+        assert main(["lab"]) == 0
+        out = capsys.readouterr().out
+        assert "[ok] v3 implicitly enabled" in out
+        assert "FAIL" not in out
+
+
+class TestPublish:
+    def test_publish_writes_csvs(self, tmp_path, capsys):
+        out_dir = tmp_path / "pub"
+        assert main(["publish", "--scale", "1500", "--seed", "3",
+                     "--out", str(out_dir)]) == 0
+        assert (out_dir / "table1.csv").exists()
+        assert (out_dir / "fig12_router_vendors.csv").exists()
+        assert "CSV artifacts" in capsys.readouterr().out
+
+
+class TestReport:
+    def test_report_to_file(self, tmp_path):
+        out_file = tmp_path / "report.txt"
+        assert main(["report", "--scale", "1500", "--seed", "3", "--quick",
+                     "--out", str(out_file)]) == 0
+        text = out_file.read_text()
+        assert "Table 1" in text
+        assert "Figure 17" in text

@@ -1,0 +1,69 @@
+"""Export → load → analyze must equal the in-memory path exactly.
+
+The CLI splits collection (`scan`) from analysis (`analyze`) via JSONL
+files; this test guarantees the file boundary is lossless for every
+downstream result the paper derives.
+"""
+
+import pytest
+
+from repro.alias.snmpv3 import resolve_aliases
+from repro.io import export_scan_jsonl, load_scan_jsonl
+from repro.pipeline.filters import FilterPipeline
+from repro.scanner.campaign import ScanCampaign
+from repro.topology.config import TopologyConfig
+from repro.topology.generator import build_topology
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    cfg = TopologyConfig.tiny(seed=37)
+    topo = build_topology(cfg)
+    return ScanCampaign(topo, cfg).run()
+
+
+class TestRoundTripConsistency:
+    def test_pipeline_identical_after_export(self, campaign, tmp_path):
+        scan1, scan2 = campaign.scan_pair(4)
+        export_scan_jsonl(scan1, tmp_path / "s1.jsonl")
+        export_scan_jsonl(scan2, tmp_path / "s2.jsonl")
+        loaded1 = load_scan_jsonl(tmp_path / "s1.jsonl")
+        loaded2 = load_scan_jsonl(tmp_path / "s2.jsonl")
+
+        direct = FilterPipeline().run(scan1, scan2)
+        via_files = FilterPipeline().run(loaded1, loaded2)
+        assert via_files.stats.removed == direct.stats.removed
+        assert len(via_files.valid) == len(direct.valid)
+        assert {r.address for r in via_files.valid} == {
+            r.address for r in direct.valid
+        }
+
+    def test_alias_sets_identical_after_export(self, campaign, tmp_path):
+        scan1, scan2 = campaign.scan_pair(4)
+        export_scan_jsonl(scan1, tmp_path / "s1.jsonl")
+        export_scan_jsonl(scan2, tmp_path / "s2.jsonl")
+        direct = resolve_aliases(FilterPipeline().run(scan1, scan2).valid)
+        via_files = resolve_aliases(
+            FilterPipeline().run(
+                load_scan_jsonl(tmp_path / "s1.jsonl"),
+                load_scan_jsonl(tmp_path / "s2.jsonl"),
+            ).valid
+        )
+        assert {frozenset(g) for g in direct.sets} == {
+            frozenset(g) for g in via_files.sets
+        }
+
+    def test_observation_fields_bitexact(self, campaign, tmp_path):
+        scan1, __ = campaign.scan_pair(6)
+        export_scan_jsonl(scan1, tmp_path / "v6.jsonl")
+        loaded = load_scan_jsonl(tmp_path / "v6.jsonl")
+        assert set(loaded.observations) == set(scan1.observations)
+        for address, original in scan1.observations.items():
+            restored = loaded.observations[address]
+            assert restored.engine_boots == original.engine_boots
+            assert restored.engine_time == original.engine_time
+            assert restored.recv_time == original.recv_time
+            if original.engine_id is None:
+                assert restored.engine_id is None
+            else:
+                assert restored.engine_id.raw == original.engine_id.raw

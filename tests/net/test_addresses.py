@@ -1,0 +1,98 @@
+"""Unit tests for address helpers."""
+
+import ipaddress
+
+import pytest
+
+from repro.net import addresses
+
+
+class TestRoutabilityV4:
+    @pytest.mark.parametrize(
+        "addr",
+        ["8.8.8.8", "1.1.1.1", "193.99.144.80", "23.0.0.1", "100.128.0.1"],
+    )
+    def test_routable(self, addr):
+        assert addresses.is_routable_ipv4(addr)
+
+    @pytest.mark.parametrize(
+        "addr",
+        [
+            "10.0.0.1",
+            "172.16.5.5",
+            "192.168.1.1",
+            "127.0.0.1",
+            "169.254.1.1",
+            "224.0.0.5",
+            "255.255.255.255",
+            "0.0.0.0",
+            "100.64.0.1",
+            "198.18.0.1",
+            "192.0.2.1",
+            "240.0.0.1",
+        ],
+    )
+    def test_unroutable(self, addr):
+        assert not addresses.is_routable_ipv4(addr)
+
+    def test_accepts_address_objects(self):
+        assert addresses.is_routable_ipv4(ipaddress.IPv4Address("8.8.8.8"))
+
+
+class TestRoutabilityV6:
+    @pytest.mark.parametrize("addr", ["2001:4860:4860::8888", "2a00:1450::1"])
+    def test_routable(self, addr):
+        assert addresses.is_routable_ipv6(addr)
+
+    @pytest.mark.parametrize(
+        "addr",
+        ["::1", "fe80::1", "fc00::1", "ff02::1", "2001:db8::1", "::ffff:1.2.3.4", "100::1"],
+    )
+    def test_unroutable(self, addr):
+        assert not addresses.is_routable_ipv6(addr)
+
+
+class TestDispatch:
+    def test_is_routable_dispatches(self):
+        assert addresses.is_routable("8.8.8.8")
+        assert not addresses.is_routable("10.1.2.3")
+        assert addresses.is_routable("2001:4860::1")
+        assert not addresses.is_routable("fe80::2")
+
+
+class TestConversions:
+    def test_int_roundtrip_v4(self):
+        addr = ipaddress.IPv4Address("192.0.2.77")
+        assert addresses.ip_from_int(addresses.ip_to_int(addr), 4) == addr
+
+    def test_int_roundtrip_v6(self):
+        addr = ipaddress.IPv6Address("2001:db8::42")
+        assert addresses.ip_from_int(addresses.ip_to_int(addr), 6) == addr
+
+    def test_ip_to_int_from_string(self):
+        assert addresses.ip_to_int("0.0.0.1") == 1
+
+    def test_bad_version(self):
+        with pytest.raises(ValueError):
+            addresses.ip_from_int(1, 5)
+
+
+class TestNthHost:
+    def test_first_host(self):
+        net = ipaddress.ip_network("198.51.100.0/24")
+        assert str(addresses.nth_host(net, 0)) == "198.51.100.1"
+
+    def test_last_usable_v4(self):
+        net = ipaddress.ip_network("198.51.100.0/30")
+        assert str(addresses.nth_host(net, 1)) == "198.51.100.2"
+        with pytest.raises(ValueError):
+            addresses.nth_host(net, 2)  # .3 is broadcast
+
+    def test_v6_has_no_broadcast(self):
+        net = ipaddress.ip_network("2001:db8::/126")
+        assert str(addresses.nth_host(net, 2)) == "2001:db8::3"
+
+    def test_negative_index(self):
+        net = ipaddress.ip_network("198.51.100.0/24")
+        with pytest.raises(ValueError):
+            addresses.nth_host(net, -1)

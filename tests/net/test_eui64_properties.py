@@ -1,0 +1,37 @@
+"""Property-based tests for the EUI-64 codec."""
+
+import ipaddress
+
+from hypothesis import given, strategies as st
+
+from repro.net.eui64 import ipv6_from_mac, is_eui64, mac_from_ipv6
+from repro.net.mac import MacAddress
+
+
+@given(st.integers(min_value=0, max_value=2**48 - 1))
+def test_mac_roundtrip(value):
+    mac = MacAddress(value)
+    address = ipv6_from_mac("2001:db8:77:1::/64", mac)
+    assert mac_from_ipv6(address) == mac
+    assert is_eui64(address)
+
+
+@given(st.integers(min_value=0, max_value=2**48 - 1),
+       st.integers(min_value=0, max_value=2**16 - 1))
+def test_distinct_macs_distinct_addresses(value, delta):
+    a = ipv6_from_mac("2001:db8::/64", MacAddress(value))
+    b = ipv6_from_mac("2001:db8::/64", MacAddress((value + delta + 1) % 2**48))
+    assert a != b
+
+
+@given(st.integers(min_value=0, max_value=2**128 - 1))
+def test_detection_total(value):
+    """Any IPv6 address classifies without raising."""
+    address = ipaddress.IPv6Address(value)
+    mac = mac_from_ipv6(address)
+    if mac is not None:
+        # Recovered MACs re-embed to the same interface identifier.
+        rebuilt = ipv6_from_mac(
+            ipaddress.ip_network((value >> 64 << 64, 64)), mac
+        )
+        assert rebuilt == address

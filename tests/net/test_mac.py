@@ -1,0 +1,72 @@
+"""Unit tests for the MacAddress type."""
+
+import pytest
+
+from repro.net.mac import MacAddress
+
+
+class TestConstruction:
+    def test_from_colon_string(self):
+        mac = MacAddress("74:8e:f8:31:db:80")
+        assert mac.packed == bytes.fromhex("748ef831db80")
+
+    def test_from_dash_and_dot_strings(self):
+        assert MacAddress("74-8e-f8-31-db-80") == MacAddress("748e.f831.db80")
+
+    def test_from_bytes(self):
+        assert MacAddress(b"\x00\x00\x0c\x01\x02\x03").value == 0x00000C010203
+
+    def test_from_int(self):
+        assert str(MacAddress(0x00000C010203)) == "00:00:0c:01:02:03"
+
+    def test_copy_constructor(self):
+        mac = MacAddress("00:00:0c:00:00:01")
+        assert MacAddress(mac) == mac
+
+    def test_out_of_range_int(self):
+        with pytest.raises(ValueError):
+            MacAddress(1 << 48)
+
+    def test_wrong_byte_length(self):
+        with pytest.raises(ValueError):
+            MacAddress(b"\x00\x01")
+
+    def test_bad_string(self):
+        with pytest.raises(ValueError):
+            MacAddress("not-a-mac")
+
+    def test_bad_type(self):
+        with pytest.raises(TypeError):
+            MacAddress(3.14)
+
+
+class TestProperties:
+    def test_oui_split(self):
+        mac = MacAddress("74:8e:f8:31:db:80")
+        assert mac.oui == bytes.fromhex("748ef8")
+        assert mac.nic_specific == bytes.fromhex("31db80")
+
+    def test_locally_administered_bit(self):
+        assert MacAddress("02:00:00:00:00:01").is_locally_administered
+        assert not MacAddress("00:00:0c:00:00:01").is_locally_administered
+
+    def test_multicast_bit(self):
+        assert MacAddress("01:00:5e:00:00:01").is_multicast
+        assert not MacAddress("00:00:5e:00:00:01").is_multicast
+
+    def test_successor(self):
+        mac = MacAddress("00:00:0c:00:00:ff")
+        assert str(mac.successor()) == "00:00:0c:00:01:00"
+        assert str(mac.successor(2)) == "00:00:0c:00:01:01"
+
+    def test_successor_wraps(self):
+        assert MacAddress("ff:ff:ff:ff:ff:ff").successor() == MacAddress(0)
+
+    def test_ordering_and_hash(self):
+        a = MacAddress("00:00:0c:00:00:01")
+        b = MacAddress("00:00:0c:00:00:02")
+        assert a < b
+        assert len({a, MacAddress(a), b}) == 2
+
+    def test_canonical_string(self):
+        assert str(MacAddress("AA:BB:CC:DD:EE:FF")) == "aa:bb:cc:dd:ee:ff"

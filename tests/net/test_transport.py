@@ -1,0 +1,124 @@
+"""Unit tests for the simulated network fabric and datagram model."""
+
+import ipaddress
+
+import pytest
+
+from repro.net.packet import Datagram, make_datagram
+from repro.net.transport import AccessControlList, LinkProfile, NetworkFabric
+
+PROBER = ipaddress.ip_address("198.51.100.9")
+TARGET = ipaddress.ip_address("192.0.2.1")
+
+
+def echo_handler(datagram, now):
+    return [b"echo:" + datagram.payload]
+
+
+class TestDatagram:
+    def test_wire_size_v4(self):
+        dg = make_datagram("198.51.100.9", "192.0.2.1", 40000, 161, b"x" * 60)
+        assert dg.wire_size == 20 + 8 + 60  # == 88, the paper's probe size
+
+    def test_wire_size_v6(self):
+        dg = make_datagram("2001:db8::1", "2001:db8::2", 40000, 161, b"x" * 60)
+        assert dg.wire_size == 40 + 8 + 60  # == 108, the paper's IPv6 probe size
+
+    def test_family_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            make_datagram("198.51.100.9", "2001:db8::1", 1, 2, b"")
+
+    def test_port_range(self):
+        with pytest.raises(ValueError):
+            make_datagram("1.2.3.4", "5.6.7.8", 70000, 161, b"")
+
+    def test_reply_swaps_endpoints(self):
+        dg = make_datagram("198.51.100.9", "192.0.2.1", 40000, 161, b"ping")
+        reply = dg.reply(b"pong")
+        assert (reply.src, reply.dst) == (dg.dst, dg.src)
+        assert (reply.sport, reply.dport) == (dg.dport, dg.sport)
+        assert reply.payload == b"pong"
+
+
+class TestFabric:
+    def make_probe(self, payload=b"ping"):
+        return Datagram(PROBER, TARGET, 40000, 161, payload)
+
+    def test_basic_delivery(self):
+        fabric = NetworkFabric(seed=1)
+        fabric.bind(TARGET, "udp", 161, echo_handler)
+        replies = fabric.inject(self.make_probe(), now=10.0)
+        assert len(replies) == 1
+        reply, arrival = replies[0]
+        assert reply.payload == b"echo:ping"
+        assert arrival > 10.0
+
+    def test_unbound_target_silent(self):
+        fabric = NetworkFabric(seed=1)
+        assert fabric.inject(self.make_probe(), now=0.0) == []
+        assert fabric.stats.dropped_no_endpoint == 1
+
+    def test_double_bind_rejected(self):
+        fabric = NetworkFabric(seed=1)
+        fabric.bind(TARGET, "udp", 161, echo_handler)
+        with pytest.raises(ValueError):
+            fabric.bind(TARGET, "udp", 161, echo_handler)
+
+    def test_unbind_models_churn(self):
+        fabric = NetworkFabric(seed=1)
+        fabric.bind(TARGET, "udp", 161, echo_handler)
+        fabric.unbind(TARGET, "udp", 161)
+        assert not fabric.is_bound(TARGET, "udp", 161)
+        assert fabric.inject(self.make_probe(), now=0.0) == []
+
+    def test_acl_blocks_port(self):
+        fabric = NetworkFabric(seed=1)
+        fabric.bind(TARGET, "udp", 161, echo_handler)
+        fabric.set_acl(TARGET, AccessControlList(blocked_ports=frozenset({161})))
+        assert fabric.inject(self.make_probe(), now=0.0) == []
+        assert fabric.stats.dropped_acl == 1
+
+    def test_acl_source_allowlist(self):
+        fabric = NetworkFabric(seed=1)
+        fabric.bind(TARGET, "udp", 161, echo_handler)
+        mgmt = ipaddress.ip_address("203.0.113.5")
+        fabric.set_acl(TARGET, AccessControlList(allow_sources=frozenset({mgmt})))
+        assert fabric.inject(self.make_probe(), now=0.0) == []
+        allowed = Datagram(mgmt, TARGET, 40000, 161, b"ping")
+        assert len(fabric.inject(allowed, now=0.0)) == 1
+
+    def test_total_loss(self):
+        fabric = NetworkFabric(seed=1, default_profile=LinkProfile(loss_probability=1.0))
+        fabric.bind(TARGET, "udp", 161, echo_handler)
+        assert fabric.inject(self.make_probe(), now=0.0) == []
+        assert fabric.stats.dropped_loss == 1
+
+    def test_loss_is_deterministic_per_seed(self):
+        def run(seed):
+            fabric = NetworkFabric(seed=seed, default_profile=LinkProfile(loss_probability=0.5))
+            fabric.bind(TARGET, "udp", 161, echo_handler)
+            return [bool(fabric.inject(self.make_probe(), now=float(i))) for i in range(50)]
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)
+
+    def test_multiple_replies_amplification(self):
+        fabric = NetworkFabric(seed=1)
+        fabric.bind(TARGET, "udp", 161, lambda dg, now: [b"a", b"a", b"a"])
+        replies = fabric.inject(self.make_probe(), now=0.0)
+        assert len(replies) == 3
+        assert fabric.stats.replies == 3
+
+    def test_stats_bytes_accounting(self):
+        fabric = NetworkFabric(seed=1)
+        fabric.bind(TARGET, "udp", 161, echo_handler)
+        probe = self.make_probe(b"x" * 60)
+        fabric.inject(probe, now=0.0)
+        assert fabric.stats.probe_bytes == probe.wire_size
+        assert fabric.stats.reply_bytes == probe.wire_size + len(b"echo:")
+
+    def test_endpoint_count(self):
+        fabric = NetworkFabric(seed=1)
+        fabric.bind(TARGET, "udp", 161, echo_handler)
+        fabric.bind(TARGET, "tcp", 22, echo_handler)
+        assert fabric.endpoint_count == 2

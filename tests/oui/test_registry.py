@@ -1,0 +1,94 @@
+"""Unit tests for the OUI and enterprise-number registries."""
+
+import pytest
+
+from repro.net.mac import MacAddress
+from repro.oui.enterprise import (
+    ENTERPRISE_NUMBERS,
+    enterprise_name,
+    enterprise_number,
+    has_enterprise_number,
+)
+from repro.oui.registry import OuiRegistry, default_registry
+
+
+class TestOuiRegistry:
+    def test_paper_figure3_example(self):
+        # The Brocade engine ID in the paper's Figure 3 embeds 74:8e:f8.
+        assert default_registry().vendor_of(MacAddress("74:8e:f8:31:db:80")) == "Brocade"
+
+    def test_well_known_vendors(self):
+        reg = default_registry()
+        assert reg.vendor_of(MacAddress("00:00:0c:11:22:33")) == "Cisco"
+        assert reg.vendor_of(MacAddress("00:e0:fc:00:00:01")) == "Huawei"
+        assert reg.vendor_of(MacAddress("00:05:85:aa:bb:cc")) == "Juniper"
+
+    def test_unregistered_is_none(self):
+        assert default_registry().vendor_of(MacAddress("ee:ee:ee:00:00:01")) is None
+        assert not default_registry().is_registered(MacAddress("ee:ee:ee:00:00:01"))
+
+    def test_vendor_of_accepts_raw_bytes(self):
+        assert default_registry().vendor_of(b"\x00\x00\x0c\x00\x00\x00") == "Cisco"
+
+    def test_make_mac_is_deterministic(self):
+        reg = default_registry()
+        a = reg.make_mac("Cisco", 0, 42)
+        b = reg.make_mac("Cisco", 0, 42)
+        assert a == b
+        assert reg.vendor_of(a) == "Cisco"
+
+    def test_make_mac_blocks_rotate(self):
+        reg = default_registry()
+        ouis = {reg.make_mac("Cisco", i, 0).oui for i in range(20)}
+        assert ouis == set(reg.ouis_for("Cisco"))
+
+    def test_make_mac_index_bounds(self):
+        with pytest.raises(ValueError):
+            default_registry().make_mac("Cisco", 0, 1 << 24)
+
+    def test_unknown_vendor(self):
+        with pytest.raises(KeyError):
+            default_registry().ouis_for("NotAVendor")
+
+    def test_duplicate_oui_rejected(self):
+        with pytest.raises(ValueError):
+            OuiRegistry({"A": ("00000c",), "B": ("00000c",)})
+
+    def test_malformed_oui_rejected(self):
+        with pytest.raises(ValueError):
+            OuiRegistry({"A": ("00000c00",)})
+
+    def test_registry_covers_paper_vendors(self):
+        """Every vendor named in the paper's Figures 11/12 must resolve."""
+        paper_vendors = {
+            "Cisco", "Huawei", "Juniper", "H3C", "Broadcom", "Thomson",
+            "Netgear", "Ambit", "Ruijie", "Brocade", "Adtran", "OneAccess",
+        }
+        assert paper_vendors <= set(default_registry().vendors())
+
+
+class TestEnterpriseNumbers:
+    def test_real_iana_assignments(self):
+        assert enterprise_name(9) == "Cisco"
+        assert enterprise_name(2011) == "Huawei"
+        assert enterprise_name(2636) == "Juniper"
+        assert enterprise_name(8072) == "Net-SNMP"
+        assert enterprise_name(25506) == "H3C"
+
+    def test_unknown_number(self):
+        assert enterprise_name(999999999) is None
+
+    def test_reverse_lookup(self):
+        assert enterprise_number("Cisco") == 9
+        assert ENTERPRISE_NUMBERS[enterprise_number("Huawei")] == "Huawei"
+
+    def test_reverse_lookup_unknown(self):
+        with pytest.raises(KeyError):
+            enterprise_number("NotAVendor")
+        assert not has_enterprise_number("NotAVendor")
+
+    def test_aliased_vendors_map_to_lowest_number(self):
+        # Brocade holds 1588 and 1991 (Foundry); the canonical number is 1588.
+        assert enterprise_number("Brocade") == 1588
+        # Net-SNMP holds 2021 (ucdavis) and 8072; canonical is 2021.
+        assert enterprise_number("Net-SNMP") == 2021

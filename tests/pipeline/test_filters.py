@@ -1,0 +1,248 @@
+"""Unit tests for the §4.4 filtering pipeline.
+
+Uses hand-built scan results so each filter's trigger condition is
+exercised in isolation, plus combined runs verifying ordering and stats.
+"""
+
+import ipaddress
+
+import pytest
+
+from repro.net.mac import MacAddress
+from repro.pipeline.filters import FILTER_NAMES, FilterPipeline
+from repro.pipeline.records import merge_scan_pair
+from repro.scanner.records import ScanObservation, ScanResult
+from repro.snmp.engine_id import EngineId
+
+T1 = 1_000_000.0
+T2 = 1_500_000.0
+
+GOOD_EID = EngineId.from_mac(9, MacAddress("00:00:0c:aa:bb:01"))
+
+
+def obs(address, recv, engine_id=GOOD_EID, boots=4, engine_time=5000, **kwargs):
+    return ScanObservation(
+        address=ipaddress.ip_address(address),
+        recv_time=recv,
+        engine_id=engine_id,
+        engine_boots=boots,
+        engine_time=engine_time,
+        **kwargs,
+    )
+
+
+def scans(*pairs):
+    """Build (scan1, scan2) from (obs1 | None, obs2 | None) pairs."""
+    s1 = ScanResult(label="1", ip_version=4, started_at=T1)
+    s2 = ScanResult(label="2", ip_version=4, started_at=T2)
+    for first, second in pairs:
+        if first is not None:
+            s1.add(first)
+        if second is not None:
+            s2.add(second)
+    return s1, s2
+
+
+def good_pair(address="192.0.2.1", engine_id=GOOD_EID, boots=4, uptime=5000):
+    """A record that passes every filter: consistent engine triple."""
+    return (
+        obs(address, T1, engine_id, boots, uptime),
+        obs(address, T2, engine_id, boots, uptime + int(T2 - T1)),
+    )
+
+
+class TestMergeAndConsistency:
+    def test_clean_record_survives(self):
+        result = FilterPipeline().run(*scans(good_pair()))
+        assert len(result.valid) == 1
+        assert result.stats.removed_total() == 0
+
+    def test_non_overlapping_counted_not_removed(self):
+        s1, s2 = scans(good_pair())
+        s1.add(obs("192.0.2.50", T1))
+        result = FilterPipeline().run(s1, s2)
+        assert result.stats.non_overlapping == 1
+        assert len(result.valid) == 1
+
+    def test_missing_engine_id_filtered(self):
+        pair = (obs("192.0.2.1", T1, engine_id=None), obs("192.0.2.1", T2, engine_id=None))
+        result = FilterPipeline().run(*scans(pair, good_pair("192.0.2.2")))
+        assert result.stats.removed["missing-engine-id"] == 1
+
+    def test_empty_engine_id_filtered(self):
+        empty = EngineId(b"")
+        pair = (
+            obs("192.0.2.1", T1, engine_id=empty),
+            obs("192.0.2.1", T2, engine_id=empty),
+        )
+        result = FilterPipeline().run(*scans(pair))
+        assert result.stats.removed["missing-engine-id"] == 1
+
+    def test_inconsistent_engine_id_filtered(self):
+        other = EngineId.from_mac(9, MacAddress("00:00:0c:aa:bb:02"))
+        pair = (obs("192.0.2.1", T1, GOOD_EID), obs("192.0.2.1", T2, other))
+        result = FilterPipeline().run(*scans(pair))
+        assert result.stats.removed["inconsistent-engine-id"] == 1
+
+
+class TestEngineIdShapeFilters:
+    def test_short_engine_id_filtered(self):
+        short = EngineId(b"\x01\x02\x03")
+        result = FilterPipeline().run(*scans(good_pair(engine_id=short)))
+        assert result.stats.removed["short-engine-id"] == 1
+
+    def test_four_byte_engine_id_kept(self):
+        four = EngineId(b"\x01\x02\x03\x04")
+        result = FilterPipeline().run(*scans(good_pair(engine_id=four)))
+        assert result.stats.removed["short-engine-id"] == 0
+
+    def test_promiscuous_data_filtered(self):
+        data = b"\xde\xad\xbe\xef\x00\x01"
+        cisco = EngineId(bytes.fromhex("80000009") + b"\x03" + data)
+        huawei = EngineId(bytes.fromhex("800007db") + b"\x03" + data)  # 2011
+        result = FilterPipeline().run(
+            *scans(
+                good_pair("192.0.2.1", engine_id=cisco),
+                good_pair("192.0.2.2", engine_id=huawei),
+                good_pair("192.0.2.3"),
+            )
+        )
+        assert result.stats.removed["promiscuous-engine-id"] == 2
+        assert len(result.valid) == 1
+
+    def test_same_data_same_enterprise_not_promiscuous(self):
+        data = b"\xde\xad\xbe\xef\x00\x01"
+        eid = EngineId(bytes.fromhex("80000009") + b"\x03" + data)
+        result = FilterPipeline().run(
+            *scans(
+                good_pair("192.0.2.1", engine_id=eid),
+                good_pair("192.0.2.2", engine_id=eid),
+            )
+        )
+        assert result.stats.removed["promiscuous-engine-id"] == 0
+
+    def test_unroutable_ipv4_engine_id_filtered(self):
+        private = EngineId.from_ipv4(9, ipaddress.IPv4Address("192.168.1.1"))
+        result = FilterPipeline().run(*scans(good_pair(engine_id=private)))
+        assert result.stats.removed["unroutable-ipv4-engine-id"] == 1
+
+    def test_routable_ipv4_engine_id_kept(self):
+        public = EngineId.from_ipv4(9, ipaddress.IPv4Address("8.8.8.8"))
+        result = FilterPipeline().run(*scans(good_pair(engine_id=public)))
+        assert result.stats.removed["unroutable-ipv4-engine-id"] == 0
+
+    def test_unregistered_mac_filtered(self):
+        unknown = EngineId.from_mac(9, MacAddress("ee:ee:ee:00:00:01"))
+        result = FilterPipeline().run(*scans(good_pair(engine_id=unknown)))
+        assert result.stats.removed["unregistered-mac"] == 1
+
+
+class TestTimeFilters:
+    def test_zero_engine_time_filtered(self):
+        pair = (
+            obs("192.0.2.1", T1, engine_time=0, boots=0),
+            obs("192.0.2.1", T2, engine_time=0, boots=0),
+        )
+        result = FilterPipeline().run(*scans(pair))
+        assert result.stats.removed["zero-time-or-boots"] == 1
+
+    def test_zero_boots_filtered_even_with_time(self):
+        pair = (
+            obs("192.0.2.1", T1, boots=0, engine_time=55),
+            obs("192.0.2.1", T2, boots=0, engine_time=55 + int(T2 - T1)),
+        )
+        result = FilterPipeline().run(*scans(pair))
+        assert result.stats.removed["zero-time-or-boots"] == 1
+
+    def test_future_engine_time_filtered(self):
+        pair = (
+            obs("192.0.2.1", T1, engine_time=int(T1) + 999),
+            obs("192.0.2.1", T2, engine_time=int(T2) + 999),
+        )
+        result = FilterPipeline().run(*scans(pair))
+        assert result.stats.removed["future-engine-time"] == 1
+
+    def test_inconsistent_boots_filtered(self):
+        pair = (
+            obs("192.0.2.1", T1, boots=4),
+            obs("192.0.2.1", T2, boots=5, engine_time=100),
+        )
+        result = FilterPipeline().run(*scans(pair))
+        assert result.stats.removed["inconsistent-boots"] == 1
+
+    def test_reboot_drift_over_threshold_filtered(self):
+        pair = (
+            obs("192.0.2.1", T1, engine_time=5000),
+            obs("192.0.2.1", T2, engine_time=5000 + int(T2 - T1) + 11),
+        )
+        result = FilterPipeline().run(*scans(pair))
+        assert result.stats.removed["inconsistent-reboot-time"] == 1
+
+    def test_reboot_drift_under_threshold_kept(self):
+        pair = (
+            obs("192.0.2.1", T1, engine_time=5000),
+            obs("192.0.2.1", T2, engine_time=5000 + int(T2 - T1) + 9),
+        )
+        result = FilterPipeline().run(*scans(pair))
+        assert result.stats.removed["inconsistent-reboot-time"] == 0
+
+    def test_threshold_configurable(self):
+        pair = (
+            obs("192.0.2.1", T1, engine_time=5000),
+            obs("192.0.2.1", T2, engine_time=5000 + int(T2 - T1) + 15),
+        )
+        loose = FilterPipeline(reboot_threshold=20.0).run(*scans(pair))
+        assert loose.stats.removed["inconsistent-reboot-time"] == 0
+
+
+class TestConfiguration:
+    def test_skip_filter(self):
+        pair = (
+            obs("192.0.2.1", T1, boots=4),
+            obs("192.0.2.1", T2, boots=5, engine_time=100),
+        )
+        result = FilterPipeline(skip={"inconsistent-boots", "inconsistent-reboot-time"}).run(
+            *scans(pair)
+        )
+        assert result.stats.removed["inconsistent-boots"] == 0
+        assert len(result.valid) == 1
+
+    def test_unknown_skip_rejected(self):
+        with pytest.raises(ValueError):
+            FilterPipeline(skip={"no-such-filter"})
+
+    def test_all_filter_names_covered(self):
+        result = FilterPipeline().run(*scans(good_pair()))
+        assert set(result.stats.removed) == set(FILTER_NAMES)
+
+    def test_valid_engine_id_count_is_intermediate(self):
+        pair_bad_time = (
+            obs("192.0.2.1", T1, boots=0, engine_time=0),
+            obs("192.0.2.1", T2, boots=0, engine_time=0),
+        )
+        result = FilterPipeline().run(*scans(pair_bad_time, good_pair("192.0.2.2")))
+        assert result.stats.valid_engine_id_count == 2
+        assert result.stats.valid_count == 1
+
+    def test_valid_record_fields(self):
+        result = FilterPipeline().run(*scans(good_pair()))
+        record = result.valid[0]
+        assert record.engine_id.raw == GOOD_EID.raw
+        assert record.engine_boots == 4
+        assert record.last_reboot_first == pytest.approx(T1 - 5000)
+        assert abs(record.last_reboot_second - record.last_reboot_first) <= 10.0
+
+
+class TestMerge:
+    def test_merge_counts(self):
+        s1, s2 = scans(good_pair("192.0.2.1"), good_pair("192.0.2.2"))
+        s1.add(obs("192.0.2.77", T1))
+        s2.add(obs("192.0.2.88", T2))
+        merged, non_overlap = merge_scan_pair(s1, s2)
+        assert len(merged) == 2
+        assert non_overlap == 2
+
+    def test_merge_sorted_by_address(self):
+        s1, s2 = scans(good_pair("192.0.2.9"), good_pair("192.0.2.1"))
+        merged, __ = merge_scan_pair(s1, s2)
+        assert [str(m.address) for m in merged] == ["192.0.2.1", "192.0.2.9"]

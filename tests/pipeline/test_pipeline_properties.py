@@ -1,0 +1,109 @@
+"""Property-based tests for filtering-pipeline invariants."""
+
+import ipaddress
+
+from hypothesis import given, settings, strategies as st
+
+from repro.net.mac import MacAddress
+from repro.pipeline.filters import FILTER_NAMES, FilterPipeline
+from repro.scanner.records import ScanObservation, ScanResult
+from repro.snmp.engine_id import EngineId
+
+_T1, _T2 = 1_000_000.0, 1_500_000.0
+
+_engine_ids = st.one_of(
+    st.none(),
+    st.just(EngineId(b"")),
+    st.integers(min_value=0, max_value=50).map(
+        lambda i: EngineId.from_mac(9, MacAddress(0x00000C000100 + i))
+    ),
+    st.binary(min_size=1, max_size=6).map(EngineId),       # short / odd
+    st.integers(min_value=0, max_value=2**32 - 1).map(
+        lambda v: EngineId.from_ipv4(9, ipaddress.IPv4Address(v))
+    ),
+)
+
+
+@st.composite
+def observation_pairs(draw):
+    address = ipaddress.IPv4Address((203 << 24) + draw(st.integers(1, 2**20)))
+    eid1 = draw(_engine_ids)
+    eid2 = eid1 if draw(st.booleans()) else draw(_engine_ids)
+    boots1 = draw(st.integers(min_value=0, max_value=10))
+    boots2 = boots1 if draw(st.booleans()) else draw(st.integers(0, 10))
+    uptime = draw(st.integers(min_value=0, max_value=500_000))
+    drift = draw(st.integers(min_value=-100, max_value=100))
+    return (
+        ScanObservation(address=address, recv_time=_T1, engine_id=eid1,
+                        engine_boots=boots1, engine_time=uptime),
+        ScanObservation(address=address, recv_time=_T2, engine_id=eid2,
+                        engine_boots=boots2,
+                        engine_time=uptime + int(_T2 - _T1) + drift),
+    )
+
+
+pairs_lists = st.lists(
+    observation_pairs(), max_size=30, unique_by=lambda p: p[0].address
+)
+
+
+def build_scans(pairs):
+    s1 = ScanResult(label="1", ip_version=4, started_at=_T1)
+    s2 = ScanResult(label="2", ip_version=4, started_at=_T2)
+    for first, second in pairs:
+        s1.add(first)
+        s2.add(second)
+    return s1, s2
+
+
+@settings(max_examples=50)
+@given(pairs_lists)
+def test_accounting_balances(pairs):
+    """input = kept + removed, always."""
+    s1, s2 = build_scans(pairs)
+    result = FilterPipeline().run(s1, s2)
+    merged = len(pairs)
+    assert merged == len(result.valid) + result.stats.removed_total()
+
+
+@settings(max_examples=50)
+@given(pairs_lists)
+def test_valid_records_satisfy_every_filter_condition(pairs):
+    """Survivors must actually satisfy the documented predicates."""
+    s1, s2 = build_scans(pairs)
+    result = FilterPipeline().run(s1, s2)
+    for record in result.valid:
+        assert len(record.engine_id.raw) >= 4
+        assert record.engine_boots > 0
+        assert record.engine_time_first > 0
+        assert abs(record.last_reboot_second - record.last_reboot_first) <= 10.0
+
+
+@settings(max_examples=30)
+@given(pairs_lists, st.sampled_from(FILTER_NAMES))
+def test_skipping_a_filter_is_monotone(pairs, skipped):
+    """Disabling any single filter never shrinks the output."""
+    s1, s2 = build_scans(pairs)
+    full = FilterPipeline().run(s1, s2)
+    ablated = FilterPipeline(skip={skipped}).run(s1, s2)
+    assert len(ablated.valid) >= len(full.valid)
+
+
+@settings(max_examples=30)
+@given(pairs_lists, st.floats(min_value=0.0, max_value=200.0))
+def test_threshold_is_monotone(pairs, threshold):
+    """A looser reboot threshold never removes more records."""
+    s1, s2 = build_scans(pairs)
+    tight = FilterPipeline(reboot_threshold=threshold).run(s1, s2)
+    loose = FilterPipeline(reboot_threshold=threshold + 50).run(s1, s2)
+    assert len(loose.valid) >= len(tight.valid)
+
+
+@settings(max_examples=30)
+@given(pairs_lists)
+def test_pipeline_deterministic(pairs):
+    s1, s2 = build_scans(pairs)
+    a = FilterPipeline().run(s1, s2)
+    b = FilterPipeline().run(s1, s2)
+    assert [r.address for r in a.valid] == [r.address for r in b.valid]
+    assert a.stats.removed == b.stats.removed

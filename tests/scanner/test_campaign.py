@@ -1,0 +1,113 @@
+"""Integration tests for the four-scan campaign."""
+
+import pytest
+
+from repro.scanner.campaign import SCAN_LABELS, ScanCampaign
+from repro.topology import timeline
+from repro.topology.config import TopologyConfig
+from repro.topology.generator import build_topology
+from repro.topology.model import DeviceType
+
+
+@pytest.fixture(scope="module")
+def campaign_result():
+    cfg = TopologyConfig.tiny(seed=21)
+    topo = build_topology(cfg)
+    return topo, ScanCampaign(topo, cfg).run()
+
+
+class TestCampaign:
+    def test_all_four_scans_present(self, campaign_result):
+        __, result = campaign_result
+        assert set(result.scans) == set(SCAN_LABELS)
+
+    def test_scan_times_follow_paper_schedule(self, campaign_result):
+        __, result = campaign_result
+        assert result.scans["v6-1"].started_at == timeline.SCAN1_V6_START
+        assert result.scans["v4-2"].started_at == timeline.SCAN2_V4_START
+        assert result.scans["v6-1"].started_at < result.scans["v4-1"].started_at
+
+    def test_v4_targets_all_assigned_addresses(self, campaign_result):
+        topo, result = campaign_result
+        assert result.scans["v4-1"].targets_probed == len(topo.all_addresses(4))
+
+    def test_v6_targets_hitlist_only(self, campaign_result):
+        topo, result = campaign_result
+        assert result.scans["v6-1"].targets_probed == len(
+            result.datasets.hitlist_targets_v6
+        )
+        assert result.scans["v6-1"].targets_probed < len(topo.all_addresses(6))
+
+    def test_closed_devices_never_respond(self, campaign_result):
+        topo, result = campaign_result
+        responsive = set(result.scans["v4-1"].observations)
+        for device in topo.devices.values():
+            if not device.snmp_open:
+                for interface in device.interfaces:
+                    assert interface.address not in responsive
+
+    def test_acl_interfaces_never_respond(self, campaign_result):
+        topo, result = campaign_result
+        responsive = set(result.scans["v4-1"].observations) | set(
+            result.scans["v4-2"].observations
+        )
+        for device in topo.devices.values():
+            for interface in device.interfaces:
+                if not interface.snmp_reachable:
+                    assert interface.address not in responsive
+
+    def test_reboots_between_v4_scans_bump_boots(self, campaign_result):
+        topo, result = campaign_result
+        scan1, scan2 = result.scan_pair(4)
+        bumped = 0
+        for address, obs1 in scan1.observations.items():
+            obs2 = scan2.observations.get(address)
+            if obs2 is None or obs1.engine_id is None or obs2.engine_id is None:
+                continue
+            if obs1.engine_id.raw == obs2.engine_id.raw \
+                    and obs2.engine_boots > obs1.engine_boots:
+                bumped += 1
+        assert bumped > 0
+
+    def test_churn_creates_inconsistent_engine_ids(self, campaign_result):
+        __, result = campaign_result
+        scan1, scan2 = result.scan_pair(4)
+        inconsistent = sum(
+            1
+            for address, obs1 in scan1.observations.items()
+            if (obs2 := scan2.observations.get(address)) is not None
+            and obs1.engine_id is not None
+            and obs2.engine_id is not None
+            and obs1.engine_id.raw != obs2.engine_id.raw
+        )
+        assert inconsistent > 0
+
+    def test_bindings_recorded_per_scan(self, campaign_result):
+        topo, result = campaign_result
+        for label in SCAN_LABELS:
+            assert result.bindings[label]
+        # Churned addresses differ between the v4 bindings.
+        changed = {
+            a
+            for a, d in result.bindings["v4-1"].items()
+            if result.bindings["v4-2"].get(a) not in (None, d)
+        }
+        assert changed
+
+    def test_open_router_interfaces_respond(self, campaign_result):
+        topo, result = campaign_result
+        responsive = set(result.scans["v4-1"].observations) | set(
+            result.scans["v4-2"].observations
+        )
+        missing = 0
+        total = 0
+        for device in topo.devices.values():
+            if device.device_type is not DeviceType.ROUTER or not device.snmp_open:
+                continue
+            for interface in device.interfaces:
+                if interface.version == 4 and interface.snmp_reachable:
+                    total += 1
+                    if interface.address not in responsive:
+                        missing += 1
+        # Only packet loss (2% per direction, two scans) may hide them.
+        assert total == 0 or missing / total < 0.05

@@ -1,0 +1,91 @@
+"""Fuzz-hardening: agents and decoders must survive arbitrary input.
+
+An Internet-facing UDP service is fed garbage constantly; the agent must
+neither crash nor leak a reply to anything that is not well-formed SNMP,
+and the message decoders must fail only with ``BerDecodeError``.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.asn1 import ber
+from repro.net.mac import MacAddress
+from repro.snmp.agent import SnmpAgent, UsmUser
+from repro.snmp.engine_id import EngineId
+from repro.snmp.messages import SnmpV3Message, build_discovery_probe
+from repro.snmp.usm import AuthProtocol
+
+
+def make_agent():
+    return SnmpAgent(
+        engine_id=EngineId.from_mac(9, MacAddress("00:00:0c:f0:0d:01")),
+        boot_time=0.0,
+        engine_boots=2,
+        users=(UsmUser(b"u", AuthProtocol.HMAC_SHA1_96, "some-password"),),
+        communities=(b"public",),
+    )
+
+
+@settings(max_examples=300)
+@given(st.binary(max_size=256))
+def test_agent_never_crashes_on_garbage(payload):
+    agent = make_agent()
+    replies = agent.handle(payload, now=100.0)
+    assert isinstance(replies, list)
+
+
+@settings(max_examples=200)
+@given(st.binary(max_size=256))
+def test_decoder_raises_only_ber_errors(payload):
+    try:
+        SnmpV3Message.decode(payload)
+    except ber.BerDecodeError:
+        pass
+
+
+@settings(max_examples=150)
+@given(st.binary(min_size=1, max_size=64), st.integers(min_value=0, max_value=80))
+def test_agent_survives_truncated_valid_probe(junk, cut):
+    """Valid probe prefixes (mid-datagram truncation) must be ignored."""
+    agent = make_agent()
+    probe = build_discovery_probe(1).encode()
+    mutated = probe[:cut] + junk
+    replies = agent.handle(mutated, now=0.0)
+    assert isinstance(replies, list)
+
+
+@settings(max_examples=150)
+@given(st.integers(min_value=0, max_value=60), st.integers(min_value=0, max_value=255))
+def test_agent_survives_bitflipped_probe(position, xor):
+    """Single-byte corruption of a real probe: answer correctly formed
+    requests, stay silent or report on broken ones — never raise."""
+    agent = make_agent()
+    probe = bytearray(build_discovery_probe(1).encode())
+    position %= len(probe)
+    probe[position] ^= xor
+    replies = agent.handle(bytes(probe), now=0.0)
+    for reply in replies:
+        assert isinstance(reply, bytes)
+
+
+@settings(max_examples=100)
+@given(st.binary(max_size=128))
+def test_garbage_never_elicits_engine_id(payload):
+    """Only structurally valid SNMP earns a reply containing the engine
+    ID — random noise must not trigger the discovery path."""
+    agent = make_agent()
+    try:
+        SnmpV3Message.decode(payload)
+        structurally_valid = True
+    except ber.BerDecodeError:
+        structurally_valid = False
+    replies = agent.handle(payload, now=0.0)
+    if not structurally_valid:
+        try:
+            from repro.snmp.messages import CommunityMessage
+
+            CommunityMessage.decode(payload)
+            structurally_valid = True
+        except ber.BerDecodeError:
+            pass
+    if not structurally_valid:
+        assert replies == []

@@ -1,0 +1,147 @@
+"""Unit tests for engine-ID construction, parsing, and classification."""
+
+import ipaddress
+
+import pytest
+
+from repro.net.mac import MacAddress
+from repro.snmp.engine_id import EngineId, EngineIdFormat, engine_id_for_vendor_mac
+
+
+class TestConstruction:
+    def test_paper_figure3_value(self):
+        """Reproduce the exact Brocade engine ID dissected in Figure 3."""
+        eid = EngineId.from_mac(1991, MacAddress("74:8e:f8:31:db:80"))
+        assert eid.raw == bytes.fromhex("800007c703748ef831db80")
+        assert eid.is_conforming
+        assert eid.enterprise == 1991
+        assert eid.enterprise_vendor == "Brocade"
+        assert eid.format is EngineIdFormat.MAC
+        assert eid.mac == MacAddress("74:8e:f8:31:db:80")
+
+    def test_ipv4_format(self):
+        eid = EngineId.from_ipv4(9, ipaddress.IPv4Address("192.0.2.1"))
+        assert eid.format is EngineIdFormat.IPV4
+        assert eid.ip == ipaddress.IPv4Address("192.0.2.1")
+        assert len(eid.raw) == 9
+
+    def test_ipv6_format(self):
+        addr = ipaddress.IPv6Address("2001:db8::1")
+        eid = EngineId.from_ipv6(9, addr)
+        assert eid.format is EngineIdFormat.IPV6
+        assert eid.ip == addr
+
+    def test_text_format(self):
+        eid = EngineId.from_text(9, "router-1.example")
+        assert eid.format is EngineIdFormat.TEXT
+        assert eid.text == "router-1.example"
+
+    def test_text_length_bounds(self):
+        with pytest.raises(ValueError):
+            EngineId.from_text(9, "")
+        with pytest.raises(ValueError):
+            EngineId.from_text(9, "x" * 28)
+
+    def test_octets_format(self):
+        eid = EngineId.from_octets(4413, bytes.fromhex("3910910680002970"))
+        assert eid.format is EngineIdFormat.OCTETS
+
+    def test_net_snmp_format(self):
+        eid = EngineId.net_snmp_random(bytes(8))
+        assert eid.format is EngineIdFormat.NET_SNMP
+        assert eid.enterprise == 8072
+        assert eid.enterprise_vendor == "Net-SNMP"
+
+    def test_net_snmp_requires_8_bytes(self):
+        with pytest.raises(ValueError):
+            EngineId.net_snmp_random(bytes(4))
+
+    def test_legacy_non_conforming(self):
+        eid = EngineId.legacy(9, bytes.fromhex("00e0acf1325a8800"))
+        assert not eid.is_conforming
+        assert eid.format is EngineIdFormat.NON_CONFORMING
+        assert eid.enterprise == 9
+        assert len(eid.raw) == 12
+
+    def test_enterprise_range_enforced(self):
+        with pytest.raises(ValueError):
+            EngineId.from_mac(1 << 31, MacAddress(0))
+
+
+class TestClassificationEdgeCases:
+    def test_empty(self):
+        eid = EngineId(b"")
+        assert not eid.is_valid_length
+        assert not eid.is_conforming
+        assert eid.format is EngineIdFormat.NON_CONFORMING
+
+    def test_too_short_still_classifiable(self):
+        eid = EngineId(b"\x01\x02\x03")
+        assert not eid.is_valid_length
+        assert eid.enterprise is None
+
+    def test_length_bounds(self):
+        assert EngineId(b"\x80\x00\x00\x09\x01").is_valid_length
+        assert not EngineId(b"\x80" * 33).is_valid_length
+        assert EngineId(b"\x80" * 32).is_valid_length
+
+    def test_reserved_format(self):
+        eid = EngineId(bytes.fromhex("8000000907") + b"\x01\x02")
+        assert eid.format is EngineIdFormat.RESERVED
+
+    def test_enterprise_specific_format_non_netsnmp(self):
+        eid = EngineId(bytes.fromhex("80000009") + b"\x81" + b"\x01\x02\x03")
+        assert eid.format is EngineIdFormat.ENTERPRISE_SPECIFIC
+
+    def test_mac_format_with_wrong_data_length_not_mac(self):
+        # Format byte 3 but only 4 data bytes: not a valid MAC engine ID.
+        eid = EngineId(bytes.fromhex("8000000903") + b"\x01\x02\x03\x04")
+        assert eid.format is not EngineIdFormat.MAC
+        assert eid.mac is None
+
+    def test_shared_bug_engine_id(self):
+        """The CSCts87275 constant engine ID observed on 181k IPs.
+
+        The paper prints it as 0x800000090300000000000000 (a trailing pad
+        byte); the canonical Cisco MAC engine ID is the 11-byte form used
+        here, which classifies as a (constant, all-zero) MAC.
+        """
+        eid = EngineId(bytes.fromhex("8000000903000000000000"))
+        assert eid.format is EngineIdFormat.MAC
+        assert eid.enterprise_vendor == "Cisco"
+        assert eid.mac == MacAddress(0)
+
+    def test_mac_is_none_for_other_formats(self):
+        assert EngineId.from_text(9, "abc").mac is None
+        assert EngineId.from_text(9, "abc").ip is None
+
+
+class TestHammingWeight:
+    def test_all_zero(self):
+        assert EngineId(b"\x00" * 8).hamming_weight() == 0
+        assert EngineId(b"\x00" * 8).relative_hamming_weight() == 0.0
+
+    def test_all_ones(self):
+        assert EngineId(b"\xff" * 4).relative_hamming_weight() == 1.0
+
+    def test_half(self):
+        assert EngineId(b"\x0f\xf0").relative_hamming_weight() == 0.5
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            EngineId(b"").relative_hamming_weight()
+
+
+class TestVendorHelper:
+    def test_engine_id_for_vendor_mac(self):
+        mac = MacAddress("00:00:0c:01:02:03")
+        eid = engine_id_for_vendor_mac("Cisco", mac)
+        assert eid.enterprise == 9
+        assert eid.mac == mac
+
+    def test_dunder(self):
+        eid = EngineId(b"\x80\x00\x00\x09\x01\x02")
+        assert len(eid) == 6
+        assert bool(eid)
+        assert str(eid) == "0x800000090102"
+        assert not bool(EngineId(b""))

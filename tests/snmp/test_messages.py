@@ -1,0 +1,177 @@
+"""Unit tests for SNMP message framing."""
+
+import pytest
+
+from repro.asn1 import ber
+from repro.asn1.oid import Oid
+from repro.snmp import constants, pdu as pdu_mod
+from repro.snmp.messages import (
+    CommunityMessage,
+    ScopedPdu,
+    SnmpV3Message,
+    UsmSecurityParameters,
+    build_discovery_probe,
+    parse_discovery_response,
+    peek_version,
+)
+
+
+class TestUsmSecurityParameters:
+    def test_roundtrip(self):
+        params = UsmSecurityParameters(
+            engine_id=bytes.fromhex("800000090300000c112233"),
+            engine_boots=148,
+            engine_time=10043812,
+            user_name=b"admin",
+            auth_params=b"\x00" * 12,
+        )
+        assert UsmSecurityParameters.decode(params.encode()) == params
+
+    def test_empty_defaults_roundtrip(self):
+        params = UsmSecurityParameters()
+        decoded = UsmSecurityParameters.decode(params.encode())
+        assert decoded.engine_id == b""
+        assert decoded.engine_boots == 0
+        assert decoded.engine_time == 0
+
+    def test_trailing_bytes_rejected(self):
+        blob = UsmSecurityParameters().encode() + b"\x00"
+        with pytest.raises(ber.BerDecodeError):
+            UsmSecurityParameters.decode(blob)
+
+
+class TestDiscoveryProbe:
+    def test_matches_paper_figure2(self):
+        """The probe must have empty engine ID, zero boots/time, empty user,
+        no auth/priv params, and plaintext msgData — Figure 2."""
+        probe = build_discovery_probe(msg_id=99)
+        decoded = SnmpV3Message.decode(probe.encode())
+        assert decoded.security.engine_id == b""
+        assert decoded.security.engine_boots == 0
+        assert decoded.security.engine_time == 0
+        assert decoded.security.user_name == b""
+        assert decoded.security.auth_params == b""
+        assert decoded.security.priv_params == b""
+        assert decoded.is_reportable
+        assert not decoded.is_authenticated
+        assert decoded.scoped_pdu.pdu.tag == constants.TAG_GET_REQUEST
+        assert decoded.scoped_pdu.pdu.varbinds == ()
+
+    def test_probe_version_is_3(self):
+        assert peek_version(build_discovery_probe(1).encode()) == constants.VERSION_3
+
+    def test_probe_wire_size_plausible(self):
+        """The paper sends 88-byte IPv4 packets; minus 28 bytes of headers
+        the SNMP payload should be around 60 bytes."""
+        assert 50 <= len(build_discovery_probe(1).encode()) <= 70
+
+    def test_msg_ids_vary(self):
+        a = build_discovery_probe(1).encode()
+        b = build_discovery_probe(2).encode()
+        assert a != b
+
+
+class TestV3MessageRoundtrip:
+    def make_message(self, **kwargs):
+        defaults = dict(
+            msg_id=7,
+            flags=constants.FLAG_REPORTABLE,
+            security=UsmSecurityParameters(engine_id=b"\x80\x00\x00\x09\x01"),
+            scoped_pdu=ScopedPdu(
+                context_engine_id=b"\x80\x00\x00\x09\x01",
+                context_name=b"",
+                pdu=pdu_mod.get_request(7, Oid("1.3.6.1.2.1.1.1.0")),
+            ),
+        )
+        defaults.update(kwargs)
+        return SnmpV3Message(**defaults)
+
+    def test_roundtrip(self):
+        message = self.make_message()
+        assert SnmpV3Message.decode(message.encode()) == message
+
+    def test_report_roundtrip(self):
+        message = self.make_message(
+            scoped_pdu=ScopedPdu(
+                context_engine_id=b"",
+                context_name=b"",
+                pdu=pdu_mod.report(7, constants.OID_USM_STATS_UNKNOWN_ENGINE_IDS, 4),
+            )
+        )
+        decoded = SnmpV3Message.decode(message.encode())
+        assert decoded.scoped_pdu.pdu.is_report
+        assert int(decoded.scoped_pdu.pdu.varbinds[0].value) == 4
+
+    def test_wrong_version_rejected(self):
+        v2c = CommunityMessage(
+            version=constants.VERSION_2C,
+            community=b"public",
+            pdu=pdu_mod.get_request(1, Oid("1.3.6.1.2.1.1.1.0")),
+        )
+        with pytest.raises(ber.BerDecodeError):
+            SnmpV3Message.decode(v2c.encode())
+
+    def test_multibyte_flags_rejected(self):
+        message = self.make_message()
+        blob = bytearray(message.encode())
+        # Corrupting deep structure must raise BerDecodeError, never others.
+        blob[5] ^= 0xFF
+        with pytest.raises(ber.BerDecodeError):
+            SnmpV3Message.decode(bytes(blob))
+
+    def test_encode_requires_scoped_pdu(self):
+        with pytest.raises(ValueError):
+            SnmpV3Message(msg_id=1, scoped_pdu=None).encode()
+
+
+class TestCommunityMessage:
+    def test_roundtrip_v2c(self):
+        message = CommunityMessage(
+            version=constants.VERSION_2C,
+            community=b"public",
+            pdu=pdu_mod.get_request(3, Oid("1.3.6.1.2.1.1.1.0")),
+        )
+        assert CommunityMessage.decode(message.encode()) == message
+
+    def test_roundtrip_v1(self):
+        message = CommunityMessage(
+            version=constants.VERSION_1,
+            community=b"private",
+            pdu=pdu_mod.get_request(3, Oid("1.3.6.1.2.1.1.5.0")),
+        )
+        assert CommunityMessage.decode(message.encode()).version == constants.VERSION_1
+
+    def test_v3_version_rejected_in_constructor(self):
+        with pytest.raises(ValueError):
+            CommunityMessage(
+                version=constants.VERSION_3,
+                community=b"x",
+                pdu=pdu_mod.get_request(1, Oid("1.3.6.1")),
+            )
+
+
+class TestParseDiscoveryResponse:
+    def test_extracts_triple(self):
+        reply = SnmpV3Message(
+            msg_id=42,
+            flags=0,
+            security=UsmSecurityParameters(
+                engine_id=bytes.fromhex("800007c703748ef831db80"),
+                engine_boots=148,
+                engine_time=10043812,
+            ),
+            scoped_pdu=ScopedPdu(
+                context_engine_id=b"",
+                context_name=b"",
+                pdu=pdu_mod.report(42, constants.OID_USM_STATS_UNKNOWN_ENGINE_IDS, 1),
+            ),
+        )
+        parsed = parse_discovery_response(reply.encode())
+        assert parsed.engine_id == bytes.fromhex("800007c703748ef831db80")
+        assert parsed.engine_boots == 148
+        assert parsed.engine_time == 10043812
+        assert parsed.msg_id == 42
+
+    def test_garbage_raises_decode_error(self):
+        with pytest.raises(ber.BerDecodeError):
+            parse_discovery_response(b"\x30\x03\x02\x01")

@@ -1,0 +1,175 @@
+"""Property-based tests for the SNMP protocol layer."""
+
+import ipaddress
+
+from hypothesis import given, settings, strategies as st
+
+from repro.asn1 import ber
+from repro.asn1.oid import Oid
+from repro.snmp import constants, pdu as pdu_mod
+from repro.snmp.engine_id import EngineId, EngineIdFormat
+from repro.snmp.messages import ScopedPdu, SnmpV3Message, UsmSecurityParameters
+from repro.snmp.usm import AuthProtocol, compute_mac, localize_key, password_to_key
+from repro.net.mac import MacAddress
+
+# -- strategies ------------------------------------------------------------------
+
+oids = st.tuples(
+    st.integers(min_value=0, max_value=2),
+    st.integers(min_value=0, max_value=39),
+).flatmap(
+    lambda head: st.lists(st.integers(min_value=0, max_value=2**24),
+                          min_size=0, max_size=8).map(lambda t: Oid(head + tuple(t)))
+)
+
+var_values = st.one_of(
+    st.none(),
+    st.integers(min_value=-(2**31), max_value=2**31 - 1),
+    st.binary(max_size=64),
+    oids,
+    st.integers(min_value=0, max_value=2**32 - 1).map(pdu_mod.Counter32),
+    st.integers(min_value=0, max_value=2**32 - 1).map(pdu_mod.TimeTicks),
+    st.integers(min_value=0, max_value=2**64 - 1).map(pdu_mod.Counter64),
+)
+
+varbinds = st.tuples(oids, var_values).map(lambda t: pdu_mod.VarBind(*t))
+
+pdus = st.builds(
+    pdu_mod.Pdu,
+    tag=st.sampled_from(sorted(constants.PDU_TAGS)),
+    request_id=st.integers(min_value=-(2**31), max_value=2**31 - 1),
+    error_status=st.integers(min_value=0, max_value=18),
+    error_index=st.integers(min_value=0, max_value=10),
+    varbinds=st.lists(varbinds, max_size=5).map(tuple),
+)
+
+security_params = st.builds(
+    UsmSecurityParameters,
+    engine_id=st.binary(max_size=32),
+    engine_boots=st.integers(min_value=0, max_value=2**31 - 1),
+    engine_time=st.integers(min_value=0, max_value=2**31 - 1),
+    user_name=st.binary(max_size=32),
+    auth_params=st.one_of(st.just(b""), st.binary(min_size=12, max_size=12)),
+    priv_params=st.binary(max_size=8),
+)
+
+# Plaintext messages: any flag combination without the priv bit.
+messages = st.builds(
+    SnmpV3Message,
+    msg_id=st.integers(min_value=0, max_value=2**31 - 1),
+    max_size=st.integers(min_value=484, max_value=2**16),
+    flags=st.sampled_from([0, 1, 4, 5]),
+    security_model=st.just(constants.SECURITY_MODEL_USM),
+    security=security_params,
+    scoped_pdu=st.builds(
+        ScopedPdu,
+        context_engine_id=st.binary(max_size=32),
+        context_name=st.binary(max_size=16),
+        pdu=pdus,
+    ),
+)
+
+# Encrypted messages: priv bit set, opaque ciphertext instead of a PDU.
+encrypted_messages = st.builds(
+    SnmpV3Message,
+    msg_id=st.integers(min_value=0, max_value=2**31 - 1),
+    max_size=st.integers(min_value=484, max_value=2**16),
+    flags=st.sampled_from([3, 7]),  # auth+priv (priv requires auth)
+    security_model=st.just(constants.SECURITY_MODEL_USM),
+    security=security_params,
+    scoped_pdu=st.none(),
+    encrypted_pdu=st.binary(min_size=1, max_size=200),
+)
+
+
+# -- round trips ---------------------------------------------------------------------
+
+
+@given(pdus)
+def test_pdu_roundtrip(pdu):
+    decoded, __ = pdu_mod.Pdu.decode(pdu.encode())
+    assert decoded == pdu
+
+
+@given(security_params)
+def test_usm_params_roundtrip(params):
+    assert UsmSecurityParameters.decode(params.encode()) == params
+
+
+@settings(max_examples=60)
+@given(messages)
+def test_v3_message_roundtrip(message):
+    assert SnmpV3Message.decode(message.encode()) == message
+
+
+@settings(max_examples=40)
+@given(encrypted_messages)
+def test_encrypted_message_roundtrip(message):
+    decoded = SnmpV3Message.decode(message.encode())
+    assert decoded == message
+    assert decoded.is_encrypted
+    assert decoded.scoped_pdu is None
+
+
+@given(varbinds)
+def test_varbind_roundtrip(varbind):
+    decoded, __ = pdu_mod.VarBind.decode(varbind.encode(), 0)
+    assert decoded == varbind
+
+
+# -- engine-ID properties --------------------------------------------------------------
+
+
+@given(st.integers(min_value=0, max_value=2**31 - 1),
+       st.integers(min_value=0, max_value=2**48 - 1))
+def test_mac_engine_id_always_classifies_mac(enterprise, mac_int):
+    eid = EngineId.from_mac(enterprise, MacAddress(mac_int))
+    assert eid.format is EngineIdFormat.MAC
+    assert eid.enterprise == enterprise
+    assert eid.mac == MacAddress(mac_int)
+    assert eid.is_valid_length
+
+
+@given(st.binary(min_size=0, max_size=40))
+def test_engine_id_classification_total(raw):
+    """Any byte string classifies without raising."""
+    eid = EngineId(raw)
+    assert eid.format in EngineIdFormat
+    if raw:
+        assert 0.0 <= eid.relative_hamming_weight() <= 1.0
+
+
+@given(st.integers(min_value=0, max_value=2**31 - 1), st.binary(min_size=8, max_size=8))
+def test_legacy_engine_ids_never_conforming(enterprise, data):
+    eid = EngineId.legacy(enterprise, data)
+    assert eid.format is EngineIdFormat.NON_CONFORMING
+    assert eid.enterprise == enterprise
+
+
+@given(st.integers(min_value=0, max_value=2**32 - 1))
+def test_ipv4_engine_id_embeds_address(value):
+    address = ipaddress.IPv4Address(value)
+    eid = EngineId.from_ipv4(9, address)
+    assert eid.ip == address
+
+
+# -- USM properties ---------------------------------------------------------------------
+
+
+@given(st.text(min_size=1, max_size=24), st.binary(min_size=5, max_size=32),
+       st.sampled_from(list(AuthProtocol)))
+def test_localized_keys_deterministic_and_engine_bound(password, engine_id, protocol):
+    ku = password_to_key(password, protocol)
+    k1 = localize_key(ku, engine_id, protocol)
+    k2 = localize_key(ku, engine_id, protocol)
+    assert k1 == k2
+    other = localize_key(ku, engine_id + b"\x01", protocol)
+    assert other != k1
+
+
+@given(st.binary(min_size=16, max_size=20), st.binary(max_size=128),
+       st.sampled_from(list(AuthProtocol)))
+def test_mac_is_96_bits_and_message_bound(key, message, protocol):
+    mac = compute_mac(key, message, protocol)
+    assert len(mac) == 12
+    assert compute_mac(key, message + b"x", protocol) != mac

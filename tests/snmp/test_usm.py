@@ -1,0 +1,100 @@
+"""Unit tests for the User-based Security Model (RFC 3414)."""
+
+import pytest
+
+from repro.snmp.usm import (
+    AuthProtocol,
+    compute_mac,
+    localize_key,
+    localized_key_from_password,
+    password_to_key,
+    verify_mac,
+)
+
+
+class TestPasswordToKey:
+    def test_rfc3414_md5_test_vector(self):
+        """RFC 3414 §A.3.1: password 'maplesyrup' -> known MD5 Ku."""
+        key = password_to_key("maplesyrup", AuthProtocol.HMAC_MD5_96)
+        assert key.hex() == "9faf3283884e92834ebc9847d8edd963"
+
+    def test_rfc3414_sha_test_vector(self):
+        """RFC 3414 §A.5.1: password 'maplesyrup' -> known SHA-1 Ku."""
+        key = password_to_key("maplesyrup", AuthProtocol.HMAC_SHA1_96)
+        assert key.hex() == "9fb5cc0381497b3793528939ff788d5d79145211"
+
+    def test_key_lengths(self):
+        assert len(password_to_key("x", AuthProtocol.HMAC_MD5_96)) == 16
+        assert len(password_to_key("x", AuthProtocol.HMAC_SHA1_96)) == 20
+
+    def test_empty_password_rejected(self):
+        with pytest.raises(ValueError):
+            password_to_key("", AuthProtocol.HMAC_MD5_96)
+
+    def test_bytes_and_str_agree(self):
+        assert password_to_key("pw", AuthProtocol.HMAC_MD5_96) == password_to_key(
+            b"pw", AuthProtocol.HMAC_MD5_96
+        )
+
+
+class TestLocalization:
+    ENGINE_ID = bytes.fromhex("000000000000000000000002")
+
+    def test_rfc3414_md5_localized_vector(self):
+        """RFC 3414 §A.3.1: localized MD5 key for engine ID 00..02."""
+        ku = password_to_key("maplesyrup", AuthProtocol.HMAC_MD5_96)
+        kul = localize_key(ku, self.ENGINE_ID, AuthProtocol.HMAC_MD5_96)
+        assert kul.hex() == "526f5eed9fcce26f8964c2930787d82b"
+
+    def test_rfc3414_sha_localized_vector(self):
+        """RFC 3414 §A.5.1: localized SHA-1 key for engine ID 00..02."""
+        ku = password_to_key("maplesyrup", AuthProtocol.HMAC_SHA1_96)
+        kul = localize_key(ku, self.ENGINE_ID, AuthProtocol.HMAC_SHA1_96)
+        assert kul.hex() == "6695febc9288e36282235fc7151f128497b38f3f"
+
+    def test_different_engines_different_keys(self):
+        """The property the whole paper rests on: the localized key depends
+        on the engine ID, so discovery must disclose it."""
+        ku = password_to_key("maplesyrup", AuthProtocol.HMAC_SHA1_96)
+        a = localize_key(ku, b"\x80\x00\x00\x09\x01", AuthProtocol.HMAC_SHA1_96)
+        b = localize_key(ku, b"\x80\x00\x00\x09\x02", AuthProtocol.HMAC_SHA1_96)
+        assert a != b
+
+    def test_empty_engine_id_rejected(self):
+        with pytest.raises(ValueError):
+            localize_key(b"\x00" * 16, b"", AuthProtocol.HMAC_MD5_96)
+
+    def test_composed_helper(self):
+        direct = localize_key(
+            password_to_key("pw", AuthProtocol.HMAC_SHA1_96),
+            self.ENGINE_ID,
+            AuthProtocol.HMAC_SHA1_96,
+        )
+        assert localized_key_from_password("pw", self.ENGINE_ID, AuthProtocol.HMAC_SHA1_96) == direct
+
+
+class TestMac:
+    KEY = bytes(range(16))
+
+    def test_mac_is_96_bits(self):
+        assert len(compute_mac(self.KEY, b"message", AuthProtocol.HMAC_MD5_96)) == 12
+        assert len(compute_mac(self.KEY, b"message", AuthProtocol.HMAC_SHA1_96)) == 12
+
+    def test_verify_accepts_valid(self):
+        mac = compute_mac(self.KEY, b"message", AuthProtocol.HMAC_SHA1_96)
+        assert verify_mac(self.KEY, b"message", mac, AuthProtocol.HMAC_SHA1_96)
+
+    def test_verify_rejects_tampered_message(self):
+        mac = compute_mac(self.KEY, b"message", AuthProtocol.HMAC_SHA1_96)
+        assert not verify_mac(self.KEY, b"messagf", mac, AuthProtocol.HMAC_SHA1_96)
+
+    def test_verify_rejects_wrong_length(self):
+        assert not verify_mac(self.KEY, b"message", b"\x00" * 11, AuthProtocol.HMAC_SHA1_96)
+
+    def test_verify_rejects_wrong_key(self):
+        mac = compute_mac(self.KEY, b"message", AuthProtocol.HMAC_MD5_96)
+        assert not verify_mac(bytes(16), b"message", mac, AuthProtocol.HMAC_MD5_96)
+
+    def test_protocol_metadata(self):
+        assert AuthProtocol.HMAC_MD5_96.key_length == 16
+        assert AuthProtocol.HMAC_SHA1_96.key_length == 20

@@ -1,0 +1,106 @@
+"""Unit tests for dataset views and rDNS zone generation."""
+
+import pytest
+
+from repro.topology.config import TopologyConfig
+from repro.topology.datasets import build_rdns_zone, build_router_datasets
+from repro.topology.generator import build_topology
+from repro.topology.model import DeviceType
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return build_topology(TopologyConfig.tiny(seed=9))
+
+
+@pytest.fixture(scope="module")
+def config():
+    return TopologyConfig.tiny(seed=9)
+
+
+@pytest.fixture(scope="module")
+def datasets(topo, config):
+    return build_router_datasets(topo, config)
+
+
+class TestRouterDatasets:
+    def test_deterministic(self, topo, config, datasets):
+        again = build_router_datasets(topo, config)
+        assert again.itdk_v4 == datasets.itdk_v4
+        assert again.hitlist_v6 == datasets.hitlist_v6
+
+    def test_itdk_v4_only_router_interfaces(self, topo, datasets):
+        for address in datasets.itdk_v4:
+            device = topo.device_of_address(address)
+            assert device.device_type is DeviceType.ROUTER
+            assert address.version == 4
+
+    def test_ripe_smaller_than_itdk(self, datasets):
+        assert len(datasets.ripe_v4) < len(datasets.itdk_v4)
+
+    def test_itdk_covers_most_router_v4(self, topo, datasets):
+        router_v4 = sum(
+            1 for d in topo.routers() for i in d.interfaces if i.version == 4
+        )
+        assert len(datasets.itdk_v4) > 0.7 * router_v4
+
+    def test_hitlist_targets_superset_of_hops(self, datasets):
+        assert datasets.hitlist_v6 <= datasets.hitlist_targets_v6 | datasets.hitlist_v6
+        # Targets include the non-router population the hop view excludes.
+        assert len(datasets.hitlist_targets_v6) > len(datasets.hitlist_v6)
+
+    def test_hitlist_hops_mostly_routers(self, topo, datasets):
+        routers = sum(
+            1
+            for a in datasets.hitlist_v6
+            if topo.device_of_address(a).device_type is DeviceType.ROUTER
+        )
+        assert routers > 0.5 * len(datasets.hitlist_v6)
+
+    def test_union_and_tagging(self, datasets):
+        assert datasets.union_v4 == datasets.itdk_v4 | datasets.ripe_v4
+        some_v4 = next(iter(datasets.itdk_v4))
+        assert datasets.is_router_ip(some_v4)
+
+
+class TestRdnsZone:
+    def test_zone_covers_fraction_of_router_interfaces(self, topo, config):
+        zone = build_rdns_zone(topo, config)
+        router_ifaces = sum(len(d.interfaces) for d in topo.routers())
+        assert 0.25 * router_ifaces < len(zone) < 0.7 * router_ifaces
+
+    def test_hostnames_follow_as_style(self, topo, config):
+        zone = build_rdns_zone(topo, config)
+        by_style = {}
+        for address, hostname in zone.records.items():
+            device = topo.device_of_address(address)
+            style = topo.ases[device.asn].rdns_style
+            by_style.setdefault(style, []).append(hostname)
+        if "iface-router" in by_style:
+            assert all(
+                h.split(".")[0].startswith(("et-",)) for h in by_style["iface-router"]
+            )
+        if "flat" in by_style:
+            assert all(h.startswith("host-") for h in by_style["flat"])
+
+    def test_interfaces_of_one_router_share_name_when_structured(self, topo, config):
+        zone = build_rdns_zone(topo, config)
+        for device in topo.routers():
+            style = topo.ases[device.asn].rdns_style
+            if style not in ("iface-router", "router-iface"):
+                continue
+            names = set()
+            for interface in device.interfaces:
+                hostname = zone.ptr(interface.address)
+                if hostname is None:
+                    continue
+                parts = hostname.split(".")
+                if style == "iface-router":
+                    names.add(parts[1])
+                else:
+                    names.add(parts[0].split("-")[0])
+            assert len(names) <= 1
+
+    def test_suffix_styles_recorded(self, topo, config):
+        zone = build_rdns_zone(topo, config)
+        assert len(zone.suffix_styles) == len(topo.ases)

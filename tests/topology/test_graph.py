@@ -1,0 +1,116 @@
+"""Tests for interface/router topology graphs."""
+
+import ipaddress
+
+import networkx as nx
+import pytest
+
+from repro.alias.sets import AliasSets
+from repro.topology.config import TopologyConfig
+from repro.topology.generator import build_topology
+from repro.topology.graph import (
+    collapse_with_aliases,
+    graph_statistics,
+    interface_graph,
+    true_router_graph,
+)
+from repro.topology.model import DeviceType
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return build_topology(TopologyConfig.tiny(seed=91))
+
+
+@pytest.fixture(scope="module")
+def iface_graph(topo):
+    return interface_graph(topo)
+
+
+class TestInterfaceGraph:
+    def test_nonempty(self, iface_graph):
+        assert iface_graph.number_of_nodes() > 0
+        assert iface_graph.number_of_edges() > 0
+
+    def test_nodes_are_known_addresses(self, topo, iface_graph):
+        for node in list(iface_graph.nodes)[:100]:
+            assert topo.device_of_address(node) is not None
+
+    def test_no_self_loops(self, iface_graph):
+        assert all(a != b for a, b in iface_graph.edges)
+
+    def test_every_edge_touches_a_router(self, topo, iface_graph):
+        """Consecutive-hop edges always involve a router (the last hop
+        pairs a router with the end-host target)."""
+        for left, right in iface_graph.edges:
+            kinds = {
+                topo.device_of_address(left).device_type,
+                topo.device_of_address(right).device_type,
+            }
+            assert DeviceType.ROUTER in kinds
+
+
+class TestCollapse:
+    def test_ground_truth_collapse_reduces_nodes(self, topo, iface_graph):
+        collapsed = true_router_graph(topo, iface_graph)
+        assert collapsed.number_of_nodes() < iface_graph.number_of_nodes()
+
+    def test_collapse_with_empty_sets_is_identity(self, iface_graph):
+        collapsed = collapse_with_aliases(iface_graph, AliasSets(sets=[]))
+        assert collapsed.number_of_nodes() == iface_graph.number_of_nodes()
+        assert collapsed.number_of_edges() == iface_graph.number_of_edges()
+
+    def test_manual_collapse(self):
+        g = nx.Graph()
+        a, b, c = (ipaddress.ip_address(f"192.0.2.{i}") for i in (1, 2, 3))
+        g.add_edge(a, b)
+        g.add_edge(b, c)
+        sets = AliasSets(sets=[frozenset({a, b})])
+        collapsed = collapse_with_aliases(g, sets)
+        assert collapsed.number_of_nodes() == 2
+        # The a-b edge is internal to one router and disappears.
+        assert collapsed.number_of_edges() == 1
+
+    def test_collapsed_components_never_increase(self, topo, iface_graph):
+        collapsed = true_router_graph(topo, iface_graph)
+        assert (
+            nx.number_connected_components(collapsed)
+            <= nx.number_connected_components(iface_graph)
+        )
+
+
+class TestStatistics:
+    def test_comparison_summary(self, topo, iface_graph):
+        collapsed = true_router_graph(topo, iface_graph)
+        stats = graph_statistics(iface_graph, collapsed)
+        assert stats.interface_nodes >= stats.router_nodes
+        assert 0.0 <= stats.node_reduction < 1.0
+        assert stats.max_degree_interface >= 0
+
+    def test_empty_graphs(self):
+        empty = nx.Graph()
+        stats = graph_statistics(empty, empty)
+        assert stats.interface_nodes == 0
+        assert stats.node_reduction == 0.0
+
+
+class TestSnmpv3CollapseQuality:
+    def test_snmpv3_aliases_approach_ground_truth(self, topo, iface_graph):
+        """Collapsing with SNMPv3-inferred aliases lands between the raw
+        interface view and the oracle — closer to the oracle for the
+        responsive subset."""
+        from repro.pipeline.filters import FilterPipeline
+        from repro.alias.snmpv3 import resolve_aliases
+        from repro.scanner.campaign import ScanCampaign
+
+        cfg = TopologyConfig.tiny(seed=91)
+        campaign = ScanCampaign(topo, cfg).run()
+        records = FilterPipeline().run(*campaign.scan_pair(4)).valid
+        inferred = resolve_aliases(records)
+        collapsed_inferred = collapse_with_aliases(iface_graph, inferred)
+        collapsed_truth = true_router_graph(topo, iface_graph)
+        assert (
+            collapsed_truth.number_of_nodes()
+            <= collapsed_inferred.number_of_nodes()
+            <= iface_graph.number_of_nodes()
+        )

@@ -1,0 +1,110 @@
+"""Unit tests for the traceroute engine and the Atlas-derived RIPE view."""
+
+import pytest
+
+from repro.topology.config import TopologyConfig
+from repro.topology.datasets import build_router_datasets
+from repro.topology.generator import build_topology
+from repro.topology.model import DeviceType
+from repro.topology.traceroute import TracerouteEngine
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return build_topology(TopologyConfig.tiny(seed=61))
+
+
+@pytest.fixture(scope="module")
+def engine(topo):
+    return TracerouteEngine(topo)
+
+
+def any_target(topo, device_type=DeviceType.CPE, version=4):
+    for device in topo.devices.values():
+        if device.device_type is device_type:
+            for interface in device.interfaces:
+                if interface.version == version:
+                    return interface.address
+    raise AssertionError("no such target")
+
+
+class TestTrace:
+    def test_last_hop_is_target(self, topo, engine):
+        target = any_target(topo)
+        vantage = next(iter(topo.ases))
+        hops = engine.trace(vantage, target)
+        assert hops
+        assert hops[-1].address == target
+
+    def test_intermediate_hops_are_router_interfaces(self, topo, engine):
+        target = any_target(topo)
+        vantage = next(iter(topo.ases))
+        for hop in engine.trace(vantage, target)[:-1]:
+            if hop.responded:
+                device = topo.device_of_address(hop.address)
+                assert device.device_type is DeviceType.ROUTER
+
+    def test_hops_match_target_family(self, topo, engine):
+        target = any_target(topo, version=6)
+        vantage = next(iter(topo.ases))
+        for hop in engine.trace(vantage, target):
+            if hop.responded:
+                assert hop.address.version == 6
+
+    def test_ttls_strictly_increase(self, topo, engine):
+        target = any_target(topo)
+        vantage = next(iter(topo.ases))
+        ttls = [hop.ttl for hop in engine.trace(vantage, target)]
+        assert ttls == sorted(set(ttls))
+
+    def test_deterministic(self, topo):
+        target = any_target(topo)
+        vantage = next(iter(topo.ases))
+        a = TracerouteEngine(topo).trace(vantage, target)
+        b = TracerouteEngine(topo).trace(vantage, target)
+        assert [(h.ttl, h.address) for h in a] == [(h.ttl, h.address) for h in b]
+
+    def test_unknown_target_empty(self, topo, engine):
+        import ipaddress
+
+        assert engine.trace(next(iter(topo.ases)), ipaddress.ip_address("203.0.113.253")) == []
+
+    def test_some_hops_stay_silent(self, topo):
+        engine = TracerouteEngine(topo, hop_visibility=0.3)
+        vantages = list(topo.ases)
+        silent = 0
+        answered = 0
+        for i in range(50):
+            target = list(topo.devices.values())[i * 7 % topo.device_count].interfaces[0].address
+            for hop in engine.trace(vantages[i % len(vantages)], target)[:-1]:
+                if hop.responded:
+                    answered += 1
+                else:
+                    silent += 1
+        assert silent > 0 and answered > 0
+
+
+class TestAtlasCampaign:
+    def test_campaign_reveals_core_routers(self, topo, engine):
+        targets = [d.interfaces[0].address for d in list(topo.devices.values())[:200]]
+        vantages = sorted(topo.ases)[:5]
+        revealed = engine.atlas_campaign(vantages, targets)
+        assert revealed
+        assert all(
+            topo.device_of_address(a).device_type is DeviceType.ROUTER for a in revealed
+        )
+
+    def test_ripe_view_built_from_traces(self, topo):
+        cfg = TopologyConfig.tiny(seed=61)
+        assert cfg.ripe_from_traceroutes
+        datasets = build_router_datasets(topo, cfg)
+        assert datasets.ripe_v4
+        # Every traced hop is a router interface.
+        for address in list(datasets.ripe_v4)[:50]:
+            assert topo.device_of_address(address).device_type is DeviceType.ROUTER
+
+    def test_legacy_sampled_view_still_available(self, topo):
+        cfg = TopologyConfig.tiny(seed=61)
+        cfg.ripe_from_traceroutes = False
+        datasets = build_router_datasets(topo, cfg)
+        assert datasets.ripe_v4  # sampled fallback populates the view
