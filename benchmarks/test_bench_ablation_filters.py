@@ -5,7 +5,7 @@ filter buys in alias precision (and what it costs in volume)."""
 
 from repro.alias.snmpv3 import resolve_aliases
 from repro.alias.sets import evaluate_against_truth
-from repro.pipeline.filters import FILTER_NAMES, FilterPipeline
+from repro.pipeline.filters import FilterPipeline
 
 
 ABLATABLE = (

@@ -1,0 +1,97 @@
+"""Performance — legacy serial engine vs the sharded streaming executor.
+
+Runs the full four-scan campaign once per engine on identical topologies
+and compares wall time, verifies the executor's worker-count determinism
+contract (1-worker and 4-worker runs byte-identical), and records the
+numbers in ``BENCH_executor.json`` at the repo root.
+
+``EXECUTOR_BENCH_QUICK=1`` restricts the sweep to the 1/300-scale
+topology (the CI configuration); the full run adds 1/100 scale.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.scanner.campaign import SCAN_LABELS, ScanCampaign
+from repro.topology.config import TopologyConfig
+from repro.topology.generator import build_topology
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULTS_PATH = REPO_ROOT / "BENCH_executor.json"
+SEED = 2021
+
+QUICK = os.environ.get("EXECUTOR_BENCH_QUICK") == "1"
+DIVISORS = (300.0,) if QUICK else (300.0, 100.0)
+
+_results: dict = {}
+
+
+def _run_campaign(divisor: float, **campaign_kwargs):
+    """Fresh topology + campaign; returns (result, scan wall time)."""
+    cfg = TopologyConfig.paper_scale(divisor=divisor, seed=SEED)
+    topo = build_topology(cfg)
+    campaign = ScanCampaign(topology=topo, config=cfg, **campaign_kwargs)
+    started = time.perf_counter()
+    result = campaign.run()
+    return result, time.perf_counter() - started
+
+
+def _scan_fingerprint(scan):
+    return (
+        scan.observations,
+        scan.multi_responders,
+        scan.targets_probed,
+        scan.probe_bytes_sent,
+        scan.reply_bytes_received,
+    )
+
+
+@pytest.mark.parametrize("divisor", DIVISORS)
+def test_bench_executor_vs_legacy(divisor):
+    legacy, t_legacy = _run_campaign(divisor)
+    serial, t_serial = _run_campaign(divisor, workers=1)
+    sharded, t_sharded = _run_campaign(divisor, workers=4)
+
+    # Determinism contract: worker count never changes results.
+    for label in SCAN_LABELS:
+        assert _scan_fingerprint(serial.scans[label]) == \
+            _scan_fingerprint(sharded.scans[label]), label
+
+    # Same probe counts as the legacy engine (different RNG streams, so
+    # observation contents legitimately differ between engines).
+    probes = sum(s.targets_probed for s in legacy.scans.values())
+    assert probes == sum(s.targets_probed for s in serial.scans.values())
+
+    # The sharded engine's serial path must beat the legacy scanner.
+    assert t_serial < t_legacy, (
+        f"executor serial path slower than legacy at 1/{divisor:g}: "
+        f"{t_serial:.2f}s vs {t_legacy:.2f}s"
+    )
+
+    key = f"divisor_{divisor:g}"
+    _results[key] = {
+        "targets_probed": probes,
+        "responsive_v4_1": legacy.scans["v4-1"].responsive_count,
+        "legacy_seconds": round(t_legacy, 3),
+        "executor_serial_seconds": round(t_serial, 3),
+        "executor_workers4_seconds": round(t_sharded, 3),
+        "serial_speedup_vs_legacy": round(t_legacy / t_serial, 3),
+        "probes_per_second_serial": round(probes / t_serial),
+        "workers4_deterministic": True,
+    }
+    print(f"\n1/{divisor:g} scale: {probes} probes | "
+          f"legacy {t_legacy:.2f}s, executor w1 {t_serial:.2f}s "
+          f"({t_legacy / t_serial:.2f}x), executor w4 {t_sharded:.2f}s")
+
+    payload = {
+        "benchmark": "sharded-executor-vs-legacy-scan-engine",
+        "seed": SEED,
+        "quick": QUICK,
+        "cpu_count": os.cpu_count(),
+        "results": dict(sorted(_results.items())),
+    }
+    RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")

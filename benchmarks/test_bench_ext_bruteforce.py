@@ -5,7 +5,6 @@ across every engine, leaving only a cheap localization per target."""
 from repro.net.mac import MacAddress
 from repro.snmp.bruteforce import CapturedMessage, UsmBruteForcer, forge_authenticated_get
 from repro.snmp.engine_id import EngineId
-from repro.snmp.usm import AuthProtocol
 
 PASSWORD = "winter-maintenance-7"
 DICTIONARY = [f"guess-{i:04d}" for i in range(30)] + [PASSWORD]

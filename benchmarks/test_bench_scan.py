@@ -4,7 +4,6 @@ Unlike the table/figure benches (which reuse the session campaign), this
 one measures the end-to-end measurement cost: topology build + four
 rate-limited scans + interim churn/reboot events."""
 
-import pytest
 
 from repro.scanner.campaign import ScanCampaign
 from repro.topology.config import TopologyConfig
@@ -14,7 +13,7 @@ from repro.topology.generator import build_topology
 def run_campaign():
     cfg = TopologyConfig.tiny(seed=99)
     topo = build_topology(cfg)
-    return ScanCampaign(topo, cfg).run()
+    return ScanCampaign(topology=topo, config=cfg).run()
 
 
 def test_bench_full_campaign(benchmark):

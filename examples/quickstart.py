@@ -1,10 +1,11 @@
 #!/usr/bin/env python3
 """Quickstart: scan a small simulated Internet and fingerprint devices.
 
-Runs the paper's whole method end to end on a ~5k-device topology:
+Runs the paper's whole method end to end through the stable
+:mod:`repro.api` facade:
 
 1. generate the simulated Internet,
-2. launch the two-scan IPv4/IPv6 SNMPv3 campaigns,
+2. launch the two-scan IPv4/IPv6 SNMPv3 campaigns on the sharded engine,
 3. filter responses (§4.4),
 4. resolve aliases including dual-stack devices (§5),
 5. fingerprint vendors (§6),
@@ -12,38 +13,34 @@ Runs the paper's whole method end to end on a ~5k-device topology:
 and prints the headline numbers.  Takes a couple of seconds.
 """
 
-from collections import Counter
-
-from repro import ExperimentContext, TopologyConfig
+from repro.api import Session
 
 
 def main() -> None:
-    config = TopologyConfig.tiny(seed=2021)
+    session = Session(scale=1000, seed=2021, workers=1)
+    config = session.config
     print(f"generating simulated Internet ({config.n_ases} ASes, "
           f"{config.n_routers} routers, ~{config.n_servers + config.n_cpe} end hosts)...")
-    ctx = ExperimentContext.create(config)
 
-    scan1, scan2 = ctx.campaign.scan_pair(4)
+    session.scan().filter().aliases()
+
+    scan1, scan2 = session.campaign.scan_pair(4)
     print(f"\nIPv4 scans: {scan1.targets_probed} targets probed, "
           f"{scan1.responsive_count} / {scan2.responsive_count} responsive")
-    print(f"after filtering: {len(ctx.valid_v4)} IPv4 and "
-          f"{len(ctx.valid_v6)} IPv6 records with valid engine ID + time")
+    for metrics in session.metrics.values():
+        print(f"  {metrics.summary()}")
+    print(f"after filtering: {len(session.valid_v4)} IPv4 and "
+          f"{len(session.valid_v6)} IPv6 records with valid engine ID + time")
 
-    dual = ctx.alias_dual
-    split = dual.split_by_protocol()
-    print(f"\nalias resolution: {dual.count} devices "
-          f"({dual.non_singleton_count} with multiple IPs)")
+    devices = session.alias_sets
+    split = devices.split_by_protocol()
+    print(f"\nalias resolution: {devices.count} devices "
+          f"({devices.non_singleton_count} with multiple IPs)")
     print(f"  IPv4-only {len(split['v4'])}, IPv6-only {len(split['v6'])}, "
           f"dual-stack {len(split['dual'])}")
 
-    vendors = Counter(verdict.vendor for __, verdict in ctx.device_vendors)
     print("\ntop vendors (all devices):")
-    for vendor, count in vendors.most_common(8):
-        print(f"  {vendor:<14} {count}")
-
-    routers = Counter(verdict.vendor for __, verdict in ctx.router_vendors)
-    print(f"\nrouters identified: {ctx.router_sets.count}")
-    for vendor, count in routers.most_common(5):
+    for vendor, count in session.vendor_census()[:8]:
         print(f"  {vendor:<14} {count}")
 
 

@@ -20,7 +20,6 @@ engine ID, because the protocol cannot work otherwise.
 
 from repro.asn1.oid import Oid
 from repro.experiments.remediation import remediation_experiment
-from repro.net.mac import MacAddress
 from repro.snmp.agent import SnmpAgent, UsmUser
 from repro.snmp.client import SnmpClient
 from repro.snmp.constants import OID_SYS_DESCR

@@ -16,16 +16,18 @@ deterministic simulated Internet:
 * per-AS/per-region deployment analyses and a reproduction of every
   table and figure in the paper's evaluation.
 
-Quickstart::
+Quickstart — the :mod:`repro.api` facade is the supported surface::
 
-    from repro import ExperimentContext, TopologyConfig
-    ctx = ExperimentContext.create(TopologyConfig.tiny())
-    print(ctx.alias_dual.non_singleton_count, "devices with multiple IPs")
+    from repro import Session
+    session = Session(scale=300, seed=7)
+    for vendor, count in session.scan().filter().aliases().vendor_census():
+        print(f"{vendor:12s} {count}")
 
 See ``examples/`` for complete scenarios and ``DESIGN.md`` for the
 system inventory.
 """
 
+from repro.api import Session
 from repro.alias import (
     AliasSets,
     IcmpRateLimitOracle,
@@ -45,8 +47,24 @@ from repro.alias import (
 from repro.alias.mac_correlation import MacCorrelator
 from repro.experiments import ExperimentContext
 from repro.fingerprint import infer_vendor, vendor_of_alias_set
-from repro.pipeline import FilterPipeline
-from repro.scanner import ScanCampaign, ZmapScanner
+from repro.pipeline import (
+    FilterPipeline,
+    FilterStats,
+    MergedObservation,
+    PipelineResult,
+    ValidRecord,
+)
+from repro.scanner import (
+    CampaignResult,
+    ExecutorConfig,
+    ExecutorMetrics,
+    ScanCampaign,
+    ScanObservation,
+    ScanResult,
+    ScanStream,
+    ShardedScanExecutor,
+    ZmapScanner,
+)
 from repro.snmp import EngineId, EngineIdFormat, SnmpAgent, SnmpClient, build_discovery_probe
 from repro.topology import Topology, TopologyConfig, TopologyGenerator, build_topology
 
@@ -54,7 +72,19 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AliasSets",
+    "CampaignResult",
     "EngineId",
+    "ExecutorConfig",
+    "ExecutorMetrics",
+    "FilterStats",
+    "MergedObservation",
+    "PipelineResult",
+    "ScanObservation",
+    "ScanResult",
+    "ScanStream",
+    "Session",
+    "ShardedScanExecutor",
+    "ValidRecord",
     "IcmpRateLimitOracle",
     "MacCorrelator",
     "PathLengthPruner",

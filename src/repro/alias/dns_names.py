@@ -23,8 +23,7 @@ from __future__ import annotations
 
 import random
 import re
-from dataclasses import dataclass, field
-from typing import Iterable
+from dataclasses import dataclass
 
 from repro.alias.sets import AliasSets
 from repro.net.addresses import IPAddress

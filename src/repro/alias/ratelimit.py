@@ -19,7 +19,7 @@ whose limiters are generous, yield no signal.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.alias.sets import AliasSets
 from repro.net.addresses import IPAddress

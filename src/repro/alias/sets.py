@@ -11,7 +11,7 @@ the real world.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Iterator
 
 from repro.net.addresses import IPAddress

@@ -9,7 +9,6 @@ non-conforming IDs positively skewed (fewer ones than expected).
 
 from __future__ import annotations
 
-import math
 from typing import Iterable
 
 from repro.snmp.engine_id import EngineId

@@ -1,0 +1,206 @@
+"""The stable high-level facade over the measurement system.
+
+One import drives the whole paper loop — build a simulated Internet,
+scan it, filter the replies, resolve aliases, fingerprint vendors::
+
+    from repro.api import Session
+
+    session = Session(scale=300, seed=7)
+    census = session.scan().filter().aliases().vendor_census()
+
+Every stage method (:meth:`Session.scan`, :meth:`Session.filter`,
+:meth:`Session.aliases`) returns the session so calls chain, and each
+stage lazily runs its prerequisites — ``Session(scale=300).valid_v4``
+alone builds the topology, runs the campaign and filters it.  Results
+are cached on the session; rerunning a stage is a no-op.
+
+The facade is the *supported* surface: its names are re-exported from
+:mod:`repro` and covered by the deprecation policy.  Internals
+(``repro.scanner.executor`` et al.) remain importable but may move.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.alias.sets import AliasSets
+from repro.alias.snmpv3 import resolve_aliases, resolve_dual_stack
+from repro.fingerprint.vendor import vendor_of_alias_set
+from repro.pipeline.filters import FilterPipeline, PipelineResult
+from repro.pipeline.records import ValidRecord
+from repro.scanner.campaign import CampaignResult, ScanCampaign, ScanStream
+from repro.scanner.metrics import ExecutorMetrics
+from repro.topology.config import TopologyConfig
+from repro.topology.generator import build_topology
+from repro.topology.model import Topology
+
+__all__ = ["Session"]
+
+
+class Session:
+    """A lazily evaluated measurement run at a chosen scale.
+
+    Parameters
+    ----------
+    scale:
+        Scale divisor relative to the paper's Internet (``300`` ≈ 1/300
+        of the real populations).  Ignored when ``config`` is given.
+    seed:
+        Master RNG seed; every derived stage is deterministic in it.
+    config:
+        A full :class:`TopologyConfig` for fine-grained control.
+    workers / num_shards / batch_size:
+        Passed through to the sharded scan executor.  Leaving all three
+        unset selects the legacy single-process engine.
+    reboot_threshold / skip:
+        Filter-pipeline knobs (see :class:`FilterPipeline`).
+    """
+
+    def __init__(
+        self,
+        *,
+        scale: float = 300.0,
+        seed: int = 2021,
+        config: "TopologyConfig | None" = None,
+        workers: "int | None" = None,
+        num_shards: "int | None" = None,
+        batch_size: "int | None" = None,
+        reboot_threshold: "float | None" = None,
+        skip: "frozenset[str] | set[str]" = frozenset(),
+    ) -> None:
+        self.config = config or TopologyConfig.paper_scale(
+            divisor=scale, seed=seed
+        )
+        self._workers = workers
+        self._num_shards = num_shards
+        self._batch_size = batch_size
+        self._pipeline_kwargs: dict = {"skip": skip}
+        if reboot_threshold is not None:
+            self._pipeline_kwargs["reboot_threshold"] = reboot_threshold
+        self._topology: "Topology | None" = None
+        self._campaign_obj: "ScanCampaign | None" = None
+        self._campaign: "CampaignResult | None" = None
+        self._pipelines: dict[int, PipelineResult] = {}
+        self._alias: dict[str, AliasSets] = {}
+
+    # -- stages (chainable) ------------------------------------------------
+
+    def scan(self) -> "Session":
+        """Run the four-scan campaign (builds the topology if needed)."""
+        if self._campaign is None:
+            self._campaign = self._make_campaign().run()
+        return self
+
+    def filter(self) -> "Session":
+        """Run the §4.4 pipeline over both scan pairs."""
+        if not self._pipelines:
+            self.scan()
+            pipeline = FilterPipeline(**self._pipeline_kwargs)
+            for version in (4, 6):
+                self._pipelines[version] = pipeline.run(
+                    *self._campaign.scan_pair(version)
+                )
+        return self
+
+    def aliases(self) -> "Session":
+        """Resolve single-family and dual-stack alias sets (§5.1)."""
+        if not self._alias:
+            self.filter()
+            self._alias["v4"] = resolve_aliases(self.valid_v4)
+            self._alias["v6"] = resolve_aliases(self.valid_v6)
+            self._alias["dual"] = resolve_dual_stack(self.valid_v4, self.valid_v6)
+        return self
+
+    def stream_scans(self) -> Iterator[ScanStream]:
+        """Yield the campaign's scans one at a time as observation streams.
+
+        Always uses the sharded executor; the campaign result is *not*
+        cached on the session (the point is not materializing it).
+        """
+        return self._make_campaign(force_executor=True).run_streaming()
+
+    # -- accessors ---------------------------------------------------------
+
+    @property
+    def topology(self) -> Topology:
+        """The generated ground-truth Internet (built on first access)."""
+        if self._topology is None:
+            self._topology = build_topology(self.config)
+        return self._topology
+
+    @property
+    def campaign(self) -> CampaignResult:
+        """All four scans plus ground-truth bindings (runs scan())."""
+        self.scan()
+        return self._campaign
+
+    @property
+    def metrics(self) -> "dict[str, ExecutorMetrics]":
+        """Per-scan execution metrics (empty under the legacy engine)."""
+        return self.campaign.metrics
+
+    def pipeline(self, version: int) -> PipelineResult:
+        """Filter output for one address family (runs filter())."""
+        self.filter()
+        return self._pipelines[version]
+
+    @property
+    def valid_v4(self) -> "list[ValidRecord]":
+        return self.pipeline(4).valid
+
+    @property
+    def valid_v6(self) -> "list[ValidRecord]":
+        return self.pipeline(6).valid
+
+    @property
+    def alias_v4(self) -> AliasSets:
+        self.aliases()
+        return self._alias["v4"]
+
+    @property
+    def alias_v6(self) -> AliasSets:
+        self.aliases()
+        return self._alias["v6"]
+
+    @property
+    def alias_sets(self) -> AliasSets:
+        """The final dual-stack alias sets — 'devices' in the paper's §6."""
+        self.aliases()
+        return self._alias["dual"]
+
+    def vendor_census(self) -> "list[tuple[str, int]]":
+        """(vendor, device count) over the alias sets, largest first.
+
+        The Figure 11 quantity: one vendor verdict per de-aliased device,
+        inferred from its member engine IDs.
+        """
+        self.aliases()
+        by_address = {
+            r.address: r for r in self.valid_v4 + self.valid_v6
+        }
+        counts: dict[str, int] = {}
+        for group in self.alias_sets.sets:
+            engine_ids = [
+                by_address[a].engine_id for a in group if a in by_address
+            ]
+            verdict = vendor_of_alias_set(engine_ids)
+            counts[verdict.vendor] = counts.get(verdict.vendor, 0) + 1
+        return sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))
+
+    # -- internals ---------------------------------------------------------
+
+    def _make_campaign(self, *, force_executor: bool = False) -> ScanCampaign:
+        kwargs: dict = {}
+        if self._workers is not None:
+            kwargs["workers"] = self._workers
+        if self._num_shards is not None:
+            kwargs["num_shards"] = self._num_shards
+        if self._batch_size is not None:
+            kwargs["batch_size"] = self._batch_size
+        if force_executor and not kwargs:
+            kwargs["workers"] = 1
+        campaign = ScanCampaign(
+            topology=self.topology, config=self.config, **kwargs
+        )
+        self._campaign_obj = campaign
+        return campaign

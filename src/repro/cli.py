@@ -3,6 +3,7 @@
 Four subcommands mirror the measurement workflow::
 
     snmpv3-repro scan    --scale 300 --out runs/demo     # campaign -> JSONL
+    snmpv3-repro scan    --workers 4 --stats ...         # sharded engine
     snmpv3-repro analyze runs/demo                       # filter+alias+census
     snmpv3-repro report  --scale 100 [--quick]           # full paper report
     snmpv3-repro publish --scale 100 --out published     # figure CSVs
@@ -23,7 +24,7 @@ from pathlib import Path
 
 
 def _cmd_scan(args: argparse.Namespace) -> int:
-    from repro.io import export_scan_jsonl
+    from repro.io import ScanJsonlWriter
     from repro.scanner.campaign import ScanCampaign
     from repro.topology.config import TopologyConfig
     from repro.topology.generator import build_topology
@@ -34,39 +35,67 @@ def _cmd_scan(args: argparse.Namespace) -> int:
     print(f"building simulated Internet (1/{args.scale:g} scale, seed {args.seed})...")
     started = time.time()
     topology = build_topology(config)
-    result = ScanCampaign(topology, config).run()
-    for label, scan in result.scans.items():
-        path = out / f"scan-{label}.jsonl"
-        count = export_scan_jsonl(scan, path)
-        print(f"  {path}: {count} responsive IPs "
-              f"({scan.targets_probed} probed)")
+    campaign = ScanCampaign(
+        topology=topology,
+        config=config,
+        workers=args.workers,
+        num_shards=args.shards,
+        batch_size=args.batch_size,
+    )
+    summaries = []
+    # Streaming export: observation batches go straight from the executor
+    # to disk, so even a full-scale campaign is never materialized.
+    for stream in campaign.run_streaming():
+        path = out / f"scan-{stream.label}.jsonl"
+        with ScanJsonlWriter(
+            path,
+            label=stream.label,
+            ip_version=stream.ip_version,
+            started_at=stream.started_at,
+        ) as writer:
+            for batch in stream.batches():
+                writer.write_batch(batch)
+            writer.finished_at = stream.execution.finished_at
+            writer.targets_probed = stream.execution.metrics.probes_sent
+        print(f"  {path}: {writer.records} responsive IPs "
+              f"({writer.targets_probed} probed)")
+        summaries.append(stream.execution.metrics.summary())
+    if args.stats:
+        for line in summaries:
+            print(f"  {line}")
     print(f"done in {time.time() - started:.1f}s")
     return 0
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
-    from repro.alias.snmpv3 import resolve_aliases, resolve_dual_stack
+    from repro.alias.snmpv3 import resolve_dual_stack
     from repro.fingerprint.vendor import vendor_of_alias_set
     from repro.io import (
         export_alias_sets_csv,
         export_alias_sets_jsonl,
         export_vendor_census_csv,
-        load_scan_jsonl,
+        iter_scan_jsonl,
     )
     from repro.pipeline.filters import FilterPipeline
 
     run_dir = Path(args.run_dir)
-    scans = {}
+    paths = {}
     for label in ("v4-1", "v4-2", "v6-1", "v6-2"):
         path = run_dir / f"scan-{label}.jsonl"
         if not path.exists():
             print(f"error: missing {path}", file=sys.stderr)
             return 2
-        scans[label] = load_scan_jsonl(path)
+        paths[label] = path
 
+    # Stream each scan pair off disk through the pipeline; only the
+    # pipeline's own bounded state is ever resident.
     pipeline = FilterPipeline(reboot_threshold=args.threshold)
-    result_v4 = pipeline.run(scans["v4-1"], scans["v4-2"])
-    result_v6 = pipeline.run(scans["v6-1"], scans["v6-2"])
+    result_v4 = pipeline.run_stream(
+        iter_scan_jsonl(paths["v4-1"]), iter_scan_jsonl(paths["v4-2"])
+    )
+    result_v6 = pipeline.run_stream(
+        iter_scan_jsonl(paths["v6-1"]), iter_scan_jsonl(paths["v6-2"])
+    )
     print(f"valid records: {len(result_v4.valid)} IPv4, {len(result_v6.valid)} IPv6")
     for name, count in result_v4.stats.removed.items():
         if count:
@@ -151,6 +180,15 @@ def build_parser() -> argparse.ArgumentParser:
     scan.add_argument("--scale", type=float, default=300.0)
     scan.add_argument("--seed", type=int, default=2021)
     scan.add_argument("--out", default="runs/latest")
+    scan.add_argument("--workers", type=int, default=None,
+                      help="worker processes for the sharded engine (default 1)")
+    scan.add_argument("--shards", type=int, default=None,
+                      help="shard count (default 16; results are "
+                           "worker-count independent at a fixed shard count)")
+    scan.add_argument("--batch-size", type=int, default=None,
+                      help="observations per streamed batch (default 2048)")
+    scan.add_argument("--stats", action="store_true",
+                      help="print per-scan execution metrics")
     scan.set_defaults(func=_cmd_scan)
 
     analyze = sub.add_parser("analyze", help="filter + alias + census from exports")
@@ -182,7 +220,11 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: "list[str] | None" = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -9,11 +9,11 @@ from the same two scan pairs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from functools import cached_property
 
 from repro.alias.sets import AliasSets
-from repro.alias.snmpv3 import MatchVariant, resolve_aliases, resolve_dual_stack
+from repro.alias.snmpv3 import resolve_aliases, resolve_dual_stack
 from repro.fingerprint.vendor import VendorInference, vendor_of_alias_set
 from repro.net.addresses import IPAddress
 from repro.pipeline.filters import FilterPipeline, PipelineResult
@@ -44,7 +44,7 @@ class ExperimentContext:
         """Run the full measurement pipeline."""
         config = config or TopologyConfig.paper_scale()
         topology = build_topology(config)
-        campaign = ScanCampaign(topology, config).run()
+        campaign = ScanCampaign(topology=topology, config=config).run()
         pipeline = pipeline or FilterPipeline()
         pipeline_v4 = pipeline.run(*campaign.scan_pair(4))
         pipeline_v6 = pipeline.run(*campaign.scan_pair(6))

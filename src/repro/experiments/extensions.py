@@ -20,7 +20,6 @@ from repro.net.transport import LinkProfile, NetworkFabric
 from repro.scanner.zmap import ZmapConfig, ZmapScanner
 from repro.snmp.constants import SNMP_PORT
 from repro.topology import timeline
-from repro.topology.model import Topology
 
 
 # -- §9 future work: middleboxes --------------------------------------------------
@@ -150,7 +149,7 @@ def longitudinal_experiment(
             for interface in device.interfaces:
                 if interface.snmp_reachable:
                     fabric.bind(interface.address, "udp", SNMP_PORT, handler)
-        scanner = ZmapScanner(fabric, ZmapConfig())
+        scanner = ZmapScanner(fabric=fabric, config=ZmapConfig())
         scan = scanner.scan(
             sorted(topology.all_addresses(4), key=int),
             label=f"follow-up+{offset:g}d",

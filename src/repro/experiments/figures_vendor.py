@@ -29,7 +29,7 @@ from repro.analysis.regional import (
     top_networks_vendor_mix,
 )
 from repro.experiments.context import ExperimentContext
-from repro.fingerprint.nmap import NmapEngine, NmapOutcome, NmapResult
+from repro.fingerprint.nmap import NmapEngine, NmapOutcome
 from repro.fingerprint.uptime import UptimeStatistics, uptime_statistics
 from repro.topology.model import Region
 

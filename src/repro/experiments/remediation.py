@@ -103,7 +103,7 @@ def _apply_mitigation(topology: Topology, mitigation: str, adoption: float,
 
 
 def _measure(topology: Topology, config: TopologyConfig, mitigation: str) -> RemediationOutcome:
-    campaign = ScanCampaign(topology, config).run()
+    campaign = ScanCampaign(topology=topology, config=config).run()
     scan1, scan2 = campaign.scan_pair(4)
     result = FilterPipeline().run(scan1, scan2)
     mac_vendors = sum(

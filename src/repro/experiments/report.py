@@ -15,7 +15,6 @@ from repro.experiments import figures_vendor as fv
 from repro.experiments import tables
 from repro.experiments.context import ExperimentContext
 from repro.experiments.lab import default_lab, run_lab_experiment
-from repro.snmp.engine_id import EngineIdFormat
 
 
 def _h(title: str) -> str:

@@ -27,7 +27,7 @@ import random
 from dataclasses import dataclass
 
 from repro.net.addresses import IPAddress
-from repro.topology.model import Device, Topology
+from repro.topology.model import Topology
 
 #: os_family -> vendor, as a fingerprint database would resolve them.
 SIGNATURE_DATABASE: dict[str, str] = {

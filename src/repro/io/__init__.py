@@ -12,19 +12,25 @@ and the corresponding loaders, all round-trip tested.
 """
 
 from repro.io.exports import (
+    ScanJsonlWriter,
     export_alias_sets_csv,
     export_alias_sets_jsonl,
     export_scan_jsonl,
     export_vendor_census_csv,
+    iter_scan_jsonl,
     load_alias_sets_jsonl,
     load_scan_jsonl,
+    read_scan_header,
 )
 
 __all__ = [
+    "ScanJsonlWriter",
     "export_alias_sets_csv",
     "export_alias_sets_jsonl",
     "export_scan_jsonl",
     "export_vendor_census_csv",
+    "iter_scan_jsonl",
     "load_alias_sets_jsonl",
     "load_scan_jsonl",
+    "read_scan_header",
 ]

@@ -10,7 +10,7 @@ numbers of §4.1.1 can be reproduced.
 from __future__ import annotations
 
 import ipaddress
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.net.addresses import IPAddress
 

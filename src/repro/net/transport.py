@@ -23,8 +23,8 @@ sleeping anywhere, which keeps Internet-scale-shaped experiments fast.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Callable, Iterable, Protocol
+from dataclasses import dataclass
+from typing import Callable, Iterable
 
 from repro.net.addresses import IPAddress
 from repro.net.packet import Datagram
@@ -140,36 +140,83 @@ class NetworkFabric:
         A probe that is firewalled, lost, or unanswered returns an empty
         list — indistinguishable outcomes, exactly as on the real Internet.
         """
-        self.stats.injected += 1
-        self.stats.probe_bytes += datagram.wire_size
+        return self._deliver(datagram, now, protocol, self._rng, self.stats)
+
+    def _deliver(
+        self,
+        datagram: Datagram,
+        now: float,
+        protocol: str,
+        rng: random.Random,
+        stats: FabricStats,
+    ) -> list[tuple[Datagram, float]]:
+        """Delivery core, parameterized on the RNG and stats sink.
+
+        Probes to unbound or firewalled endpoints never consume random
+        numbers — shard views rely on that so an address's loss/jitter
+        stream depends only on the probes its shard actually delivers.
+        """
+        stats.injected += 1
+        stats.probe_bytes += datagram.wire_size
         handler = self._endpoints.get((datagram.dst, protocol, datagram.dport))
         if handler is None:
-            self.stats.dropped_no_endpoint += 1
+            stats.dropped_no_endpoint += 1
             return []
         acl = self._acls.get(datagram.dst)
         if acl is not None and not acl.permits(datagram):
-            self.stats.dropped_acl += 1
+            stats.dropped_acl += 1
             return []
         profile = self._profiles.get(datagram.dst, self._default_profile)
-        if self._rng.random() < profile.loss_probability:
-            self.stats.dropped_loss += 1
+        if rng.random() < profile.loss_probability:
+            stats.dropped_loss += 1
             return []
-        forward_delay = profile.base_latency / 2 + self._rng.random() * profile.jitter / 2
+        forward_delay = profile.base_latency / 2 + rng.random() * profile.jitter / 2
         arrival = now + forward_delay
-        self.stats.delivered += 1
+        stats.delivered += 1
         replies: list[tuple[Datagram, float]] = []
         for payload in handler(datagram, arrival):
-            if self._rng.random() < profile.loss_probability:
-                self.stats.dropped_loss += 1
+            if rng.random() < profile.loss_probability:
+                stats.dropped_loss += 1
                 continue
-            return_delay = profile.base_latency / 2 + self._rng.random() * profile.jitter / 2
+            return_delay = profile.base_latency / 2 + rng.random() * profile.jitter / 2
             reply = datagram.reply(payload, sent_at=arrival)
             replies.append((reply, arrival + return_delay))
-            self.stats.replies += 1
-            self.stats.reply_bytes += reply.wire_size
+            stats.replies += 1
+            stats.reply_bytes += reply.wire_size
         return replies
+
+    def shard_view(self, seed: int) -> "FabricView":
+        """A delivery view with its own RNG and stats over shared bindings.
+
+        The sharded executor gives every shard a view seeded from
+        ``(campaign seed, scan label, shard index)`` so loss and jitter
+        outcomes are a pure function of the shard's own probe sequence —
+        independent of how shards are spread over worker processes.
+        """
+        return FabricView(self, seed)
 
     @property
     def endpoint_count(self) -> int:
         """Number of bound endpoints."""
         return len(self._endpoints)
+
+
+class FabricView:
+    """A shard-local window onto a :class:`NetworkFabric`.
+
+    Shares the parent's endpoint bindings, ACLs and link profiles but owns
+    its loss/jitter RNG and its :class:`FabricStats`, so concurrent shards
+    never contend on (or perturb) the parent's random stream.  Created via
+    :meth:`NetworkFabric.shard_view`.
+    """
+
+    def __init__(self, fabric: NetworkFabric, seed: int) -> None:
+        self._fabric = fabric
+        self._rng = random.Random(seed)
+        self.stats = FabricStats()
+
+    def inject(
+        self, datagram: Datagram, now: float, protocol: str = "udp"
+    ) -> list[tuple[Datagram, float]]:
+        """Deliver a probe through the parent fabric with shard-local RNG."""
+        return self._fabric._deliver(datagram, now, protocol, self._rng, self.stats)

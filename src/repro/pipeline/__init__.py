@@ -6,14 +6,22 @@ how many records it removed (the numbers the paper quotes per step), and
 each individually disableable for the ablation benchmarks.
 """
 
-from repro.pipeline.records import MergedObservation, ValidRecord, merge_scan_pair
+from repro.pipeline.records import (
+    MergedObservation,
+    MergeStream,
+    ValidRecord,
+    merge_scan_pair,
+    merge_scan_stream,
+)
 from repro.pipeline.filters import FilterPipeline, FilterStats, PipelineResult
 
 __all__ = [
     "FilterPipeline",
     "FilterStats",
+    "MergeStream",
     "MergedObservation",
     "PipelineResult",
     "ValidRecord",
     "merge_scan_pair",
+    "merge_scan_stream",
 ]

@@ -29,13 +29,19 @@ filter-ablation benchmark.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Iterable
 
 from repro.net.addresses import is_routable_ipv4
 from repro.oui.registry import OuiRegistry, default_registry
-from repro.pipeline.records import MergedObservation, ValidRecord, merge_scan_pair
-from repro.scanner.records import ScanResult
+from repro.pipeline.records import (
+    MergedObservation,
+    ValidRecord,
+    merge_scan_pair,
+    merge_scan_stream,
+)
+from repro.scanner.records import ScanObservation, ScanResult
 from repro.snmp.engine_id import EngineIdFormat
 
 #: Minimum engine-ID length in bytes (keeps IPv4-based engine IDs).
@@ -86,14 +92,38 @@ class PipelineResult:
 
 
 class FilterPipeline:
-    """Configurable §4.4 pipeline."""
+    """Configurable §4.4 pipeline.
+
+    Arguments are keyword-only; the positional ``FilterPipeline(registry,
+    reboot_threshold, skip)`` form is deprecated but still accepted.
+    """
 
     def __init__(
         self,
+        *args,
         registry: "OuiRegistry | None" = None,
         reboot_threshold: float = DEFAULT_REBOOT_THRESHOLD,
         skip: "frozenset[str] | set[str]" = frozenset(),
     ) -> None:
+        if args:
+            warnings.warn(
+                "positional FilterPipeline(registry, reboot_threshold, skip) "
+                "is deprecated; pass keyword arguments",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            names = ("registry", "reboot_threshold", "skip")
+            if len(args) > len(names):
+                raise TypeError(
+                    f"FilterPipeline takes at most {len(names)} positional "
+                    f"arguments, got {len(args)}"
+                )
+            provided = dict(zip(names, args))
+            if "registry" in provided and registry is not None:
+                raise TypeError("registry given positionally and by keyword")
+            registry = provided.get("registry", registry)
+            reboot_threshold = provided.get("reboot_threshold", reboot_threshold)
+            skip = provided.get("skip", skip)
         unknown = set(skip) - set(FILTER_NAMES)
         if unknown:
             raise ValueError(f"unknown filter names in skip: {sorted(unknown)}")
@@ -109,30 +139,83 @@ class FilterPipeline:
             input_first=first.responsive_count, input_second=second.responsive_count
         )
         records, stats.non_overlapping = merge_scan_pair(first, second)
-        promiscuous = self._promiscuous_data_values(records)
-        predicates: dict[str, Callable[[MergedObservation], bool]] = {
-            "missing-engine-id": self._keep_present_engine_id,
-            "inconsistent-engine-id": lambda r: r.consistent_engine_id,
-            "short-engine-id": lambda r: r.engine_id is not None
-            and len(r.engine_id.raw) >= MIN_ENGINE_ID_BYTES,
-            "promiscuous-engine-id": lambda r: self._data_key(r) not in promiscuous,
-            "unroutable-ipv4-engine-id": self._keep_routable_ipv4,
-            "unregistered-mac": self._keep_registered_mac,
-            "zero-time-or-boots": self._keep_nonzero_time,
-            "future-engine-time": self._keep_past_engine_time,
-            "inconsistent-boots": lambda r: r.first.engine_boots == r.second.engine_boots,
-            "inconsistent-reboot-time": lambda r: r.reboot_time_delta
-            <= self.reboot_threshold,
-        }
-        for name in FILTER_NAMES:
-            if name in self.skip:
-                stats.removed[name] = 0
+        return self._run_filters(records, stats)
+
+    def run_stream(
+        self,
+        first: Iterable[ScanObservation],
+        second: Iterable[ScanObservation],
+    ) -> PipelineResult:
+        """Run the pipeline over observation *iterables*.
+
+        Equivalent to :meth:`run` on materialized scans but bounded in
+        memory: the join buffers only the first scan's address index,
+        the per-record filters (nine of the ten) stream, and only
+        records that survive the streaming steps are buffered for the
+        one cross-record filter (``promiscuous-engine-id``) and the
+        consistency steps.  Accepts a :class:`ScanResult`, a JSONL
+        reader (:func:`repro.io.iter_scan_jsonl`), or a flattened
+        executor batch stream on either side.
+        """
+        merge = merge_scan_stream(first, second)
+        stats = FilterStats()
+        result = self._run_filters(merge, stats)
+        stats.input_first = merge.input_first
+        stats.input_second = merge.input_second
+        stats.non_overlapping = merge.non_overlapping
+        return result
+
+    # -- filter core --------------------------------------------------------
+
+    def _run_filters(
+        self, records: Iterable[MergedObservation], stats: FilterStats
+    ) -> PipelineResult:
+        """Apply the ten steps to a merged-record stream.
+
+        Steps 1–3 stream record-by-record while the promiscuity map
+        (engine-ID data value → enterprise numbers, the only cross-record
+        state) accumulates over *every* input record, as the paper
+        computes it over the full merged population.  Survivors are then
+        ordered by address and steps 4–10 applied in sequence.
+        """
+        counts = dict.fromkeys(FILTER_NAMES, 0)
+        streaming_steps = [
+            name for name in FILTER_NAMES[:3] if name not in self.skip
+        ]
+        predicates = self._predicates()
+        enterprises_by_data: dict[bytes, set[int]] = {}
+        survivors: list[MergedObservation] = []
+        for record in records:
+            engine_id = record.engine_id
+            if engine_id is not None and engine_id.enterprise is not None:
+                data = engine_id.data
+                if data:
+                    enterprises_by_data.setdefault(data, set()).add(
+                        engine_id.enterprise
+                    )
+            for name in streaming_steps:
+                if not predicates[name](record):
+                    counts[name] += 1
+                    break
             else:
-                records, dropped = _apply(predicates[name], records)
-                stats.removed[name] = dropped
+                survivors.append(record)
+        survivors.sort(key=lambda m: int(m.address))
+        promiscuous = frozenset(
+            data for data, ents in enterprises_by_data.items() if len(ents) > 1
+        )
+        predicates["promiscuous-engine-id"] = (
+            lambda r: self._data_key(r) not in promiscuous
+        )
+        remaining = survivors
+        for name in FILTER_NAMES[3:]:
+            if name not in self.skip:
+                remaining, counts[name] = _apply(predicates[name], remaining)
             if name == _ENGINE_ID_STEPS[-1]:
-                stats.valid_engine_id_count = len(records)
-        stats.valid_count = len(records)
+                # Table 1's "valid engine ID" checkpoint, taken after the
+                # last engine-ID step whether or not it ran.
+                stats.valid_engine_id_count = len(remaining)
+        stats.removed = counts
+        stats.valid_count = len(remaining)
         valid = [
             ValidRecord(
                 address=r.address,
@@ -145,9 +228,26 @@ class FilterPipeline:
                 engine_time_first=r.first.engine_time,
                 engine_time_second=r.second.engine_time,
             )
-            for r in records
+            for r in remaining
         ]
         return PipelineResult(valid=valid, stats=stats)
+
+    def _predicates(self) -> "dict[str, Callable[[MergedObservation], bool]]":
+        """Per-record keep-predicates; the promiscuity one is bound later."""
+        return {
+            "missing-engine-id": self._keep_present_engine_id,
+            "inconsistent-engine-id": lambda r: r.consistent_engine_id,
+            "short-engine-id": lambda r: r.engine_id is not None
+            and len(r.engine_id.raw) >= MIN_ENGINE_ID_BYTES,
+            "promiscuous-engine-id": lambda r: True,
+            "unroutable-ipv4-engine-id": self._keep_routable_ipv4,
+            "unregistered-mac": self._keep_registered_mac,
+            "zero-time-or-boots": self._keep_nonzero_time,
+            "future-engine-time": self._keep_past_engine_time,
+            "inconsistent-boots": lambda r: r.first.engine_boots == r.second.engine_boots,
+            "inconsistent-reboot-time": lambda r: r.reboot_time_delta
+            <= self.reboot_threshold,
+        }
 
     # -- predicates ------------------------------------------------------------
 
@@ -194,22 +294,6 @@ class FilterPipeline:
         if record.engine_id is None:
             return None
         return record.engine_id.data
-
-    @staticmethod
-    def _promiscuous_data_values(records: list[MergedObservation]) -> frozenset[bytes]:
-        """Engine-ID data values observed under multiple enterprise numbers."""
-        enterprises_by_data: dict[bytes, set[int]] = {}
-        for record in records:
-            engine_id = record.engine_id
-            if engine_id is None or engine_id.enterprise is None:
-                continue
-            data = engine_id.data
-            if not data:
-                continue
-            enterprises_by_data.setdefault(data, set()).add(engine_id.enterprise)
-        return frozenset(
-            data for data, ents in enterprises_by_data.items() if len(ents) > 1
-        )
 
 
 def _apply(

@@ -3,10 +3,19 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable, Iterator
 
 from repro.net.addresses import IPAddress
 from repro.scanner.records import ScanObservation, ScanResult
 from repro.snmp.engine_id import EngineId
+
+__all__ = [
+    "MergeStream",
+    "MergedObservation",
+    "ValidRecord",
+    "merge_scan_pair",
+    "merge_scan_stream",
+]
 
 
 @dataclass(frozen=True)
@@ -88,3 +97,61 @@ def merge_scan_pair(first: ScanResult, second: ScanResult) -> tuple[list[MergedO
     )
     merged.sort(key=lambda m: int(m.address))
     return merged, non_overlap
+
+
+class MergeStream:
+    """Streaming address join of a scan pair.
+
+    Buffers only the *first* scan (as an address-keyed dict — the minimum
+    any join needs) and streams the second, yielding one
+    :class:`MergedObservation` per overlapping IP.  ``input_first``,
+    ``input_second`` and ``non_overlapping`` are valid once the stream is
+    exhausted.  Duplicate addresses in either input keep their first
+    observation, matching :meth:`ScanResult.add`.
+    """
+
+    def __init__(
+        self,
+        first: Iterable[ScanObservation],
+        second: Iterable[ScanObservation],
+    ) -> None:
+        self._first_by_address: dict[IPAddress, ScanObservation] = {}
+        for observation in first:
+            self._first_by_address.setdefault(observation.address, observation)
+        self._second = second
+        self.input_first = len(self._first_by_address)
+        self.input_second = 0
+        self.non_overlapping = 0
+        self._overlap = 0
+        self._exhausted = False
+
+    def __iter__(self) -> Iterator[MergedObservation]:
+        seen: set[IPAddress] = set()
+        for observation in self._second:
+            address = observation.address
+            if address in seen:
+                continue
+            seen.add(address)
+            self.input_second += 1
+            match = self._first_by_address.get(address)
+            if match is None:
+                continue
+            self._overlap += 1
+            yield MergedObservation(address=address, first=match, second=observation)
+        self.non_overlapping = (
+            self.input_first + self.input_second - 2 * self._overlap
+        )
+        self._exhausted = True
+
+
+def merge_scan_stream(
+    first: Iterable[ScanObservation], second: Iterable[ScanObservation]
+) -> MergeStream:
+    """Streaming counterpart of :func:`merge_scan_pair`.
+
+    Accepts any observation iterables (a :class:`ScanResult`, a JSONL
+    reader, an executor batch stream flattened with
+    ``itertools.chain.from_iterable``) and joins them without
+    materializing the second scan.
+    """
+    return MergeStream(first, second)

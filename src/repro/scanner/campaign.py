@@ -14,16 +14,33 @@ paired scans the simulated Internet keeps living:
 IPv4 scans target every address in the simulated address plan (equivalent
 to probing the full routable space — unassigned addresses never answer);
 IPv6 scans target the IPv6 Hitlist view only, as the paper does.
+
+Two execution engines are available.  The default is the legacy
+synchronous :class:`ZmapScanner` pass.  Passing ``workers=`` (or
+``num_shards=``/``batch_size=``) selects the sharded streaming engine of
+:mod:`repro.scanner.executor`, whose results are byte-identical for any
+worker count at a fixed seed; :meth:`ScanCampaign.run_streaming` exposes
+the same engine as an incremental per-scan observation stream.
 """
 
 from __future__ import annotations
 
 import random
+import warnings
 from dataclasses import dataclass, field
+from typing import Callable, Iterator
 
 from repro.net.addresses import IPAddress
 from repro.net.transport import LinkProfile, NetworkFabric
-from repro.scanner.records import ScanResult
+from repro.scanner.executor import (
+    DEFAULT_BATCH_SIZE,
+    DEFAULT_NUM_SHARDS,
+    ExecutorConfig,
+    ScanExecution,
+    ShardedScanExecutor,
+)
+from repro.scanner.metrics import ExecutorMetrics
+from repro.scanner.records import ScanObservation, ScanResult
 from repro.scanner.zmap import ZmapConfig, ZmapScanner
 from repro.snmp.constants import SNMP_PORT
 from repro.topology import timeline
@@ -53,6 +70,8 @@ class CampaignResult:
     scans: dict[str, ScanResult] = field(default_factory=dict)
     bindings: dict[str, dict[IPAddress, int]] = field(default_factory=dict)
     datasets: "RouterDatasets | None" = None
+    #: Per-scan execution metrics; populated only by the sharded engine.
+    metrics: dict[str, ExecutorMetrics] = field(default_factory=dict)
 
     def scan_pair(self, version: int) -> tuple[ScanResult, ScanResult]:
         """The (scan 1, scan 2) pair for one address family."""
@@ -60,15 +79,67 @@ class CampaignResult:
         return self.scans[f"{prefix}-1"], self.scans[f"{prefix}-2"]
 
 
+@dataclass
+class ScanStream:
+    """One scan of a streaming campaign run, in schedule order.
+
+    ``execution`` exposes the observation batches (consume before
+    advancing to the next stream — the campaign mutates fabric bindings
+    between scans) plus the execution metrics.
+    """
+
+    label: str
+    ip_version: int
+    started_at: float
+    bindings: dict[IPAddress, int]
+    execution: ScanExecution
+
+    def batches(self) -> Iterator[list[ScanObservation]]:
+        return self.execution.batches()
+
+    def observations(self) -> Iterator[ScanObservation]:
+        return self.execution.observations()
+
+
 class ScanCampaign:
-    """Runs the four-scan measurement campaign against a topology."""
+    """Runs the four-scan measurement campaign against a topology.
+
+    All constructor arguments are keyword-only; the historical positional
+    form ``ScanCampaign(topology, config, loss_probability)`` still works
+    but emits a :class:`DeprecationWarning`.
+    """
 
     def __init__(
         self,
-        topology: Topology,
+        *args,
+        topology: "Topology | None" = None,
         config: "TopologyConfig | None" = None,
         loss_probability: float = 0.02,
+        workers: "int | None" = None,
+        num_shards: "int | None" = None,
+        batch_size: "int | None" = None,
     ) -> None:
+        if args:
+            warnings.warn(
+                "positional ScanCampaign(topology, config, loss_probability) "
+                "is deprecated; pass keyword arguments",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            names = ("topology", "config", "loss_probability")
+            if len(args) > len(names):
+                raise TypeError(
+                    f"ScanCampaign takes at most {len(names)} positional "
+                    f"arguments, got {len(args)}"
+                )
+            provided = dict(zip(names, args))
+            if "topology" in provided and topology is not None:
+                raise TypeError("topology given positionally and by keyword")
+            topology = provided.get("topology", topology)
+            config = provided.get("config", config)
+            loss_probability = provided.get("loss_probability", loss_probability)
+        if topology is None:
+            raise TypeError("ScanCampaign requires a topology")
         self.topology = topology
         self.config = config or TopologyConfig(seed=topology.seed)
         self._rng = random.Random(topology.seed ^ 0x5CA7)
@@ -78,7 +149,16 @@ class ScanCampaign:
                 loss_probability=loss_probability, base_latency=0.08, jitter=0.04
             ),
         )
-        self._scanner = ZmapScanner(self._fabric, ZmapConfig())
+        self._scanner = ZmapScanner(fabric=self._fabric, config=ZmapConfig())
+        self._use_executor = (
+            workers is not None or num_shards is not None or batch_size is not None
+        )
+        self._executor_config = ExecutorConfig(
+            workers=workers if workers is not None else 1,
+            num_shards=num_shards if num_shards is not None else DEFAULT_NUM_SHARDS,
+            batch_size=batch_size if batch_size is not None else DEFAULT_BATCH_SIZE,
+            seed=topology.seed,
+        )
         # address -> device id, the campaign's live view (mutated by churn).
         self._binding: dict[IPAddress, int] = {}
         self._reboot_times: dict[int, float] = {}
@@ -87,11 +167,58 @@ class ScanCampaign:
     # -- public -----------------------------------------------------------------
 
     def run(self) -> CampaignResult:
-        """Execute all four scans in chronological order."""
+        """Execute all four scans in chronological order.
+
+        With the sharded engine selected (``workers=...``), per-scan
+        :class:`ExecutorMetrics` land in ``result.metrics``.
+        """
+        result = CampaignResult()
+        for label, version, start, rate, targets in self._scan_schedule(result):
+            if self._use_executor:
+                execution = self._make_executor().execute(
+                    targets, label=label, ip_version=version,
+                    start_time=start, rate_pps=rate,
+                )
+                result.scans[label] = execution.result()
+                result.metrics[label] = execution.metrics
+            else:
+                result.scans[label] = self._scanner.scan(
+                    targets, label=label, ip_version=version,
+                    start_time=start, rate_pps=rate,
+                )
+        return result
+
+    def run_streaming(self) -> Iterator[ScanStream]:
+        """Yield one :class:`ScanStream` per scan, in schedule order.
+
+        Always uses the sharded engine.  Each stream's batches must be
+        consumed before requesting the next stream: the inter-scan events
+        (reboots, churn) rebind fabric endpoints in place.
+        """
+        result = CampaignResult()
+        for label, version, start, rate, targets in self._scan_schedule(result):
+            execution = self._make_executor().execute(
+                targets, label=label, ip_version=version,
+                start_time=start, rate_pps=rate,
+            )
+            yield ScanStream(
+                label=label,
+                ip_version=version,
+                started_at=start,
+                bindings=result.bindings[label],
+                execution=execution,
+            )
+
+    # -- schedule ---------------------------------------------------------------
+
+    def _scan_schedule(
+        self, result: CampaignResult
+    ) -> Iterator[tuple[str, int, float, float, list[IPAddress]]]:
+        """Drive the four-scan timeline: interim events, targets, bindings."""
         datasets = build_router_datasets(self.topology, self.config)
+        result.datasets = datasets
         self._bind_initial()
         self._schedule_reboots()
-        result = CampaignResult(datasets=datasets)
         for label in SCAN_LABELS:
             version, start, rate = _SCHEDULE[label]
             if label.endswith("-2"):
@@ -99,12 +226,40 @@ class ScanCampaign:
             self._apply_due_reboots(start)
             targets = self._targets(version, datasets)
             result.bindings[label] = dict(self._binding)
-            result.scans[label] = self._scanner.scan(
-                targets, label=label, ip_version=version, start_time=start, rate_pps=rate
-            )
-        return result
+            yield label, version, start, rate, targets
+
+    def _make_executor(self) -> ShardedScanExecutor:
+        binding = self._binding
+        topology = self.topology
+
+        def owner_of(address: IPAddress) -> "int | None":
+            device_id = binding.get(address)
+            if device_id is not None:
+                return device_id
+            device = topology.device_of_address(address)
+            return None if device is None else device.device_id
+
+        return ShardedScanExecutor(
+            fabric=self._fabric,
+            devices=self.topology.devices,
+            owner_of=owner_of,
+            config=self._executor_config,
+            zmap_config=self._scanner.config,
+        )
 
     # -- setup -------------------------------------------------------------------
+
+    @staticmethod
+    def _handler_for(device: Device) -> "Callable[..., list[bytes]]":
+        """The datagram handler a device answers with.
+
+        Load-balancer VIPs answer through their :class:`AgentPool` (the
+        scheduling policy picks a backend engine); everything else
+        answers with its own agent.
+        """
+        if device.agent_pool is not None:
+            return device.agent_pool.handle_datagram
+        return device.agent.handle_datagram
 
     def _bind_initial(self) -> None:
         for device in self.topology.devices.values():
@@ -114,12 +269,9 @@ class ScanCampaign:
                 if not interface.snmp_reachable:
                     continue
                 self._binding[interface.address] = device.device_id
-                handler = (
-                    device.agent_pool.handle_datagram
-                    if device.agent_pool is not None
-                    else device.agent.handle_datagram
+                self._fabric.bind(
+                    interface.address, "udp", SNMP_PORT, self._handler_for(device)
                 )
-                self._fabric.bind(interface.address, "udp", SNMP_PORT, handler)
 
     def _schedule_reboots(self) -> None:
         window_start = timeline.SCAN1_V6_START
@@ -157,7 +309,9 @@ class ScanCampaign:
             for address, new_owner in zip(addresses, rotated):
                 device = self.topology.devices[new_owner]
                 self._binding[address] = new_owner
-                self._fabric.bind(address, "udp", SNMP_PORT, device.agent.handle_datagram)
+                self._fabric.bind(
+                    address, "udp", SNMP_PORT, self._handler_for(device)
+                )
 
     # -- targets ----------------------------------------------------------------------
 

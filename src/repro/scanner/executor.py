@@ -1,0 +1,467 @@
+"""Sharded, streaming scan execution.
+
+The legacy :class:`~repro.scanner.zmap.ZmapScanner` walks the whole
+target permutation in one synchronous pass and materializes every
+observation before anything downstream runs.  This module replaces that
+shape for production-scale campaigns:
+
+* **Sharding** — the permuted target list is partitioned into a fixed
+  number of shards, grouped by *owning device* so that all probes that
+  can touch one agent's session state (usmStats counters, load-balancer
+  round-robin cursors) land in the same shard;
+* **Determinism** — every shard gets its own loss/jitter RNG seeded from
+  ``(campaign seed, scan label, shard index)`` via a fabric
+  :class:`~repro.net.transport.FabricView`, and agent session state is
+  snapshotted before and restored after each shard.  Results are
+  therefore byte-identical whether shards run inline, on one worker, or
+  on eight;
+* **Parallelism** — shards run on a ``fork``-based process pool
+  (``workers > 1``) with a serial inline fallback; per-shard results are
+  merged in shard order, which keeps the merge deterministic too;
+* **Streaming** — observations are yielded in bounded batches so the
+  campaign, the filter pipeline and the JSONL exporters never hold a
+  full Internet-scale scan in memory.
+
+The probe hot loop uses
+:func:`repro.snmp.messages.encode_discovery_probe` (byte-identical to
+the message-object path, ~6x cheaper), which makes the sharded engine
+measurably faster than the legacy scanner even on a single core — see
+``benchmarks/test_bench_executor.py``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import time
+import zlib
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Iterator, Mapping
+
+from repro.net.addresses import IPAddress
+from repro.net.packet import Datagram
+from repro.net.transport import FabricView, NetworkFabric
+from repro.scanner.metrics import ExecutorMetrics, ShardMetrics
+from repro.scanner.records import ScanObservation, ScanResult
+from repro.scanner.zmap import ZmapConfig, ZmapScanner
+from repro.snmp.constants import SNMP_PORT
+from repro.snmp.messages import encode_discovery_probe
+
+if TYPE_CHECKING:
+    from repro.topology.model import Device
+
+#: Default shard count.  Fixed independently of the worker count: the
+#: shard plan (and with it every RNG stream) must not change when the
+#: same campaign is re-run with more workers.
+DEFAULT_NUM_SHARDS = 16
+
+#: Default streaming batch size (observations per yielded batch).
+DEFAULT_BATCH_SIZE = 2048
+
+
+@dataclass(frozen=True)
+class ExecutorConfig:
+    """Execution-shape parameters of the sharded engine.
+
+    ``workers`` counts OS processes: ``0``/``1`` runs all shards inline
+    (the serial fallback, also used where ``fork`` is unavailable).
+    ``seed`` is the determinism root — campaigns pass ``topology.seed``.
+    """
+
+    workers: int = 1
+    num_shards: int = DEFAULT_NUM_SHARDS
+    batch_size: int = DEFAULT_BATCH_SIZE
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {self.num_shards}")
+        if self.batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
+        if self.workers < 0:
+            raise ValueError(f"workers must be >= 0, got {self.workers}")
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One shard of a scan: permuted targets plus its RNG seed.
+
+    ``items`` are ``(global_index, target)`` pairs — the global index
+    preserves each probe's msg_id and virtual send slot from the full
+    permutation, so shard composition never changes wire contents.
+    ``device_ids`` are the owners whose agent state the shard snapshots.
+    """
+
+    index: int
+    seed: int
+    items: tuple[tuple[int, IPAddress], ...]
+    device_ids: tuple[int, ...]
+
+
+def shard_seed(base_seed: int, label: str, shard_index: int) -> int:
+    """Stable 64-bit per-shard RNG seed from the campaign determinism root."""
+    digest = hashlib.sha256(f"{base_seed}:{label}:{shard_index}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def plan_shards(
+    targets: "list[IPAddress]",
+    *,
+    label: str,
+    num_shards: int,
+    seed: int,
+    shuffle_seed: int,
+    owner_of: "Callable[[IPAddress], int | None]",
+) -> list[ShardSpec]:
+    """Partition a target list into deterministic shards.
+
+    Targets are permuted exactly like the legacy scanner (so probe
+    ``msg_id``/send-time assignment is comparable), then routed to
+    ``owner_device_id % num_shards``.  Addresses with no owning device
+    (closed or unassigned — they can never answer or consume RNG) are
+    spread by address hash.
+    """
+    import random
+
+    shuffled = list(targets)
+    random.Random(shuffle_seed ^ zlib.crc32(label.encode())).shuffle(shuffled)
+    buckets: list[list[tuple[int, IPAddress]]] = [[] for __ in range(num_shards)]
+    owners: list[set[int]] = [set() for __ in range(num_shards)]
+    for global_index, target in enumerate(shuffled):
+        device_id = owner_of(target)
+        if device_id is None:
+            shard = int(target) % num_shards
+        else:
+            shard = device_id % num_shards
+            owners[shard].add(device_id)
+        buckets[shard].append((global_index, target))
+    return [
+        ShardSpec(
+            index=i,
+            seed=shard_seed(seed, label, i),
+            items=tuple(buckets[i]),
+            device_ids=tuple(sorted(owners[i])),
+        )
+        for i in range(num_shards)
+    ]
+
+
+# -- agent session-state isolation ------------------------------------------
+
+
+def _snapshot_device(device: "Device") -> tuple:
+    """Capture the mutable SNMP session state probes can perturb."""
+    agents = [device.agent]
+    rr_counter = None
+    if device.agent_pool is not None:
+        rr_counter = device.agent_pool._rr_counter
+        agents.extend(device.agent_pool.backends)
+    return (
+        rr_counter,
+        tuple(
+            (
+                a.boot_time,
+                a.engine_boots,
+                a.stats_unknown_engine_ids,
+                a.stats_unknown_user_names,
+                a.stats_wrong_digests,
+            )
+            for a in agents
+        ),
+    )
+
+
+def _restore_device(device: "Device", snapshot: tuple) -> None:
+    rr_counter, agent_states = snapshot
+    agents = [device.agent]
+    if device.agent_pool is not None:
+        device.agent_pool._rr_counter = rr_counter
+        agents.extend(device.agent_pool.backends)
+    for agent, state in zip(agents, agent_states):
+        (
+            agent.boot_time,
+            agent.engine_boots,
+            agent.stats_unknown_engine_ids,
+            agent.stats_unknown_user_names,
+            agent.stats_wrong_digests,
+        ) = state
+
+
+# -- per-scan wire parameters -------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _ScanParams:
+    """Everything a shard runner needs besides the shard itself."""
+
+    label: str
+    ip_version: int
+    start_time: float
+    interval: float
+    source: IPAddress
+    source_port: int
+
+
+class ScanExecution:
+    """Handle over one sharded scan: a batch stream plus its metrics.
+
+    ``batches()`` (or ``observations()``) may be consumed once; metrics
+    finalize when the stream is exhausted.  ``result()`` drains the
+    stream into a materialized :class:`ScanResult` for callers that
+    still want the legacy shape.
+    """
+
+    def __init__(
+        self,
+        executor: "ShardedScanExecutor",
+        plan: list[ShardSpec],
+        params: _ScanParams,
+        total_targets: int,
+    ) -> None:
+        self._executor = executor
+        self._plan = plan
+        self._params = params
+        self._consumed = False
+        self.total_targets = total_targets
+        self.label = params.label
+        self.ip_version = params.ip_version
+        self.started_at = params.start_time
+        #: Virtual completion time: one send slot per target, as legacy.
+        self.finished_at = params.start_time + total_targets * params.interval
+        self.metrics = ExecutorMetrics(
+            label=params.label,
+            workers=self._executor.effective_workers,
+            num_shards=len(plan),
+            batch_size=self._executor.config.batch_size,
+        )
+
+    def batches(self) -> Iterator[list[ScanObservation]]:
+        """Yield observation batches in deterministic shard order."""
+        if self._consumed:
+            raise RuntimeError("a ScanExecution stream can only be consumed once")
+        self._consumed = True
+        return self._executor._stream(self._plan, self._params, self.metrics)
+
+    def observations(self) -> Iterator[ScanObservation]:
+        """Flattened view over :meth:`batches`."""
+        for batch in self.batches():
+            yield from batch
+
+    def result(self) -> ScanResult:
+        """Materialize the stream into a legacy :class:`ScanResult`."""
+        scan = ScanResult(
+            label=self.label,
+            ip_version=self.ip_version,
+            started_at=self.started_at,
+        )
+        for batch in self.batches():
+            for observation in batch:
+                scan.add(observation)
+        scan.finished_at = self.finished_at
+        scan.targets_probed = self.metrics.probes_sent
+        scan.probe_bytes_sent = sum(s.probe_bytes for s in self.metrics.shards)
+        scan.reply_bytes_received = sum(s.reply_bytes for s in self.metrics.shards)
+        return scan
+
+
+# Fork-pool plumbing: with the ``fork`` start method children inherit the
+# parent's address space, so the executor and shard plan are published via
+# module globals instead of being pickled per task.
+_FORK_EXECUTOR: "ShardedScanExecutor | None" = None
+_FORK_PLAN: "list[ShardSpec] | None" = None
+_FORK_PARAMS: "_ScanParams | None" = None
+
+
+def _pool_run_shard(shard_index: int) -> tuple[list[ScanObservation], ShardMetrics]:
+    assert _FORK_EXECUTOR is not None and _FORK_PLAN is not None
+    return _FORK_EXECUTOR._execute_shard(_FORK_PLAN[shard_index], _FORK_PARAMS)
+
+
+class ShardedScanExecutor:
+    """Partitioned, optionally parallel SNMPv3 discovery scanner.
+
+    The executor owns no topology — it probes whatever is bound on the
+    ``fabric`` — but needs the live ``owner_of`` view (address → device
+    id) to co-locate each device's addresses in one shard, and the
+    ``devices`` registry to snapshot/restore agent session state around
+    shard execution.  Both come from the campaign.
+    """
+
+    def __init__(
+        self,
+        *,
+        fabric: NetworkFabric,
+        devices: "Mapping[int, Device]",
+        owner_of: "Callable[[IPAddress], int | None] | None" = None,
+        config: "ExecutorConfig | None" = None,
+        zmap_config: "ZmapConfig | None" = None,
+    ) -> None:
+        self._fabric = fabric
+        self._devices = devices
+        self._owner_of = owner_of or (lambda address: None)
+        self.config = config or ExecutorConfig()
+        self.zmap_config = zmap_config or ZmapConfig()
+
+    @property
+    def effective_workers(self) -> int:
+        """Worker processes actually used (serial fallback collapses to 1)."""
+        if self.config.workers <= 1:
+            return 1
+        if "fork" not in multiprocessing.get_all_start_methods():
+            return 1
+        return self.config.workers
+
+    # -- public ------------------------------------------------------------
+
+    def execute(
+        self,
+        targets: "list[IPAddress]",
+        *,
+        label: str,
+        ip_version: int,
+        start_time: float,
+        rate_pps: "float | None" = None,
+    ) -> ScanExecution:
+        """Plan a scan and return its (lazily evaluated) execution handle."""
+        for target in targets:
+            if target.version != ip_version:
+                raise ValueError(
+                    f"target {target} does not match scan family IPv{ip_version}"
+                )
+        rate = rate_pps if rate_pps is not None else self.zmap_config.rate_pps
+        source = (
+            self.zmap_config.source_v4 if ip_version == 4 else self.zmap_config.source_v6
+        )
+        params = _ScanParams(
+            label=label,
+            ip_version=ip_version,
+            start_time=start_time,
+            interval=1.0 / rate,
+            source=source,
+            source_port=self.zmap_config.source_port,
+        )
+        plan = plan_shards(
+            targets,
+            label=label,
+            num_shards=self.config.num_shards,
+            seed=self.config.seed,
+            shuffle_seed=self.zmap_config.shuffle_seed,
+            owner_of=self._owner_of,
+        )
+        return ScanExecution(self, plan, params, total_targets=len(targets))
+
+    def scan(
+        self,
+        targets: "list[IPAddress]",
+        label: str,
+        ip_version: int,
+        start_time: float,
+        rate_pps: "float | None" = None,
+    ) -> ScanResult:
+        """Drop-in materialized equivalent of :meth:`ZmapScanner.scan`."""
+        return self.execute(
+            targets,
+            label=label,
+            ip_version=ip_version,
+            start_time=start_time,
+            rate_pps=rate_pps,
+        ).result()
+
+    # -- execution ---------------------------------------------------------
+
+    def _stream(
+        self,
+        plan: list[ShardSpec],
+        params: _ScanParams,
+        metrics: ExecutorMetrics,
+    ) -> Iterator[list[ScanObservation]]:
+        started = time.perf_counter()
+        batch_size = self.config.batch_size
+        if self.effective_workers > 1:
+            shard_results = self._run_pool(plan, params)
+        else:
+            shard_results = (
+                self._execute_shard(spec, params) for spec in plan
+            )
+        for observations, shard_metrics in shard_results:
+            metrics.add_shard(shard_metrics)
+            for offset in range(0, len(observations), batch_size):
+                batch = observations[offset : offset + batch_size]
+                metrics.peak_batch = max(metrics.peak_batch, len(batch))
+                yield batch
+        metrics.wall_time = time.perf_counter() - started
+
+    def _run_pool(
+        self, plan: list[ShardSpec], params: _ScanParams
+    ) -> Iterator[tuple[list[ScanObservation], ShardMetrics]]:
+        global _FORK_EXECUTOR, _FORK_PLAN, _FORK_PARAMS
+        context = multiprocessing.get_context("fork")
+        _FORK_EXECUTOR, _FORK_PLAN, _FORK_PARAMS = self, plan, params
+        try:
+            with context.Pool(processes=self.effective_workers) as pool:
+                yield from pool.imap(_pool_run_shard, range(len(plan)))
+        finally:
+            _FORK_EXECUTOR = _FORK_PLAN = _FORK_PARAMS = None
+
+    def _execute_shard(
+        self, spec: ShardSpec, params: _ScanParams
+    ) -> tuple[list[ScanObservation], ShardMetrics]:
+        """Run one shard against a shard-local fabric view.
+
+        Agent session state touched by this shard is restored afterwards,
+        so results never depend on which process — or in what order —
+        other shards ran.
+        """
+        shard_started = time.perf_counter()
+        view = self._fabric.shard_view(spec.seed)
+        snapshots = [
+            (device, _snapshot_device(device))
+            for device in (self._devices[d] for d in spec.device_ids)
+        ]
+        observations: list[ScanObservation] = []
+        shard = ShardMetrics(shard_index=spec.index, targets=len(spec.items))
+        source = params.source
+        sport = params.source_port
+        start_time = params.start_time
+        interval = params.interval
+        observe = ZmapScanner._observe
+        inject = view.inject
+        try:
+            for global_index, target in spec.items:
+                send_time = start_time + global_index * interval
+                datagram = Datagram(
+                    src=source,
+                    dst=target,
+                    sport=sport,
+                    dport=SNMP_PORT,
+                    payload=encode_discovery_probe(global_index + 1),
+                    sent_at=send_time,
+                )
+                replies = inject(datagram, now=send_time)
+                if replies:
+                    observations.append(observe(target, replies))
+        finally:
+            for device, snapshot in snapshots:
+                _restore_device(device, snapshot)
+        stats = view.stats
+        shard.probes_sent = stats.injected
+        shard.replies = stats.replies
+        shard.observations = len(observations)
+        shard.dropped_loss = stats.dropped_loss
+        shard.dropped_no_endpoint = stats.dropped_no_endpoint
+        shard.probe_bytes = stats.probe_bytes
+        shard.reply_bytes = stats.reply_bytes
+        shard.wall_time = time.perf_counter() - shard_started
+        return observations, shard
+
+
+__all__ = [
+    "DEFAULT_BATCH_SIZE",
+    "DEFAULT_NUM_SHARDS",
+    "ExecutorConfig",
+    "ScanExecution",
+    "ShardSpec",
+    "ShardedScanExecutor",
+    "plan_shards",
+    "shard_seed",
+]

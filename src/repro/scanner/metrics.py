@@ -1,0 +1,117 @@
+"""Execution metrics for the sharded scan engine.
+
+One :class:`ShardMetrics` per shard, aggregated into an
+:class:`ExecutorMetrics` per scan.  The CLI's ``--stats`` flag prints
+these, and ``benchmarks/test_bench_executor.py`` records them in
+``BENCH_executor.json`` — they are the observability surface the
+ROADMAP's "as fast as the hardware allows" goal is measured against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ShardMetrics:
+    """What one shard did: probe/reply counts and wall-clock time."""
+
+    shard_index: int
+    targets: int = 0
+    probes_sent: int = 0
+    replies: int = 0
+    observations: int = 0
+    dropped_loss: int = 0
+    dropped_no_endpoint: int = 0
+    probe_bytes: int = 0
+    reply_bytes: int = 0
+    wall_time: float = 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "shard": self.shard_index,
+            "targets": self.targets,
+            "probes_sent": self.probes_sent,
+            "replies": self.replies,
+            "observations": self.observations,
+            "dropped_loss": self.dropped_loss,
+            "dropped_no_endpoint": self.dropped_no_endpoint,
+            "probe_bytes": self.probe_bytes,
+            "reply_bytes": self.reply_bytes,
+            "wall_time": self.wall_time,
+        }
+
+
+@dataclass
+class ExecutorMetrics:
+    """Aggregated execution metrics for one sharded scan."""
+
+    label: str
+    workers: int
+    num_shards: int
+    batch_size: int
+    shards: list[ShardMetrics] = field(default_factory=list)
+    peak_batch: int = 0
+    wall_time: float = 0.0
+
+    def add_shard(self, shard: ShardMetrics) -> None:
+        self.shards.append(shard)
+
+    # -- aggregates --------------------------------------------------------
+
+    @property
+    def targets(self) -> int:
+        return sum(s.targets for s in self.shards)
+
+    @property
+    def probes_sent(self) -> int:
+        return sum(s.probes_sent for s in self.shards)
+
+    @property
+    def replies(self) -> int:
+        return sum(s.replies for s in self.shards)
+
+    @property
+    def observations(self) -> int:
+        return sum(s.observations for s in self.shards)
+
+    @property
+    def losses(self) -> int:
+        return sum(s.dropped_loss for s in self.shards)
+
+    @property
+    def probes_per_second(self) -> float:
+        """Real (not virtual) throughput of the whole scan."""
+        if self.wall_time <= 0:
+            return 0.0
+        return self.probes_sent / self.wall_time
+
+    def to_dict(self) -> dict:
+        return {
+            "label": self.label,
+            "workers": self.workers,
+            "num_shards": self.num_shards,
+            "batch_size": self.batch_size,
+            "peak_batch": self.peak_batch,
+            "wall_time": self.wall_time,
+            "targets": self.targets,
+            "probes_sent": self.probes_sent,
+            "replies": self.replies,
+            "observations": self.observations,
+            "dropped_loss": self.losses,
+            "probes_per_second": round(self.probes_per_second, 1),
+            "shards": [s.to_dict() for s in self.shards],
+        }
+
+    def summary(self) -> str:
+        """One-line human summary for the CLI's ``--stats`` output."""
+        return (
+            f"{self.label}: {self.probes_sent} probes over "
+            f"{self.num_shards} shards x {self.workers} worker(s) in "
+            f"{self.wall_time:.2f}s ({self.probes_per_second:,.0f} pps), "
+            f"{self.observations} responsive, {self.losses} lost, "
+            f"peak batch {self.peak_batch}"
+        )
+
+
+__all__ = ["ExecutorMetrics", "ShardMetrics"]

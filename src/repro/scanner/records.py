@@ -89,3 +89,6 @@ class ScanResult:
 
     def __len__(self) -> int:
         return len(self.observations)
+
+
+__all__ = ["ScanObservation", "ScanResult"]

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import ipaddress
 import random
+import warnings
 import zlib
 from dataclasses import dataclass
 
@@ -43,11 +44,45 @@ class ZmapConfig:
 
 
 class ZmapScanner:
-    """Single-probe-per-target UDP scanner over a fabric."""
+    """Single-probe-per-target UDP scanner over a fabric.
 
-    def __init__(self, fabric: NetworkFabric, config: "ZmapConfig | None" = None) -> None:
+    Arguments are keyword-only; the positional ``ZmapScanner(fabric,
+    config)`` form is deprecated but still accepted.
+    """
+
+    def __init__(
+        self,
+        *args,
+        fabric: "NetworkFabric | None" = None,
+        config: "ZmapConfig | None" = None,
+    ) -> None:
+        if args:
+            warnings.warn(
+                "positional ZmapScanner(fabric, config) is deprecated; "
+                "pass keyword arguments",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if len(args) > 2:
+                raise TypeError(
+                    f"ZmapScanner takes at most 2 positional arguments, got {len(args)}"
+                )
+            if fabric is not None:
+                raise TypeError("fabric given positionally and by keyword")
+            fabric = args[0]
+            if len(args) == 2:
+                if config is not None:
+                    raise TypeError("config given positionally and by keyword")
+                config = args[1]
+        if fabric is None:
+            raise TypeError("ZmapScanner requires a fabric")
         self._fabric = fabric
         self.config = config or ZmapConfig()
+
+    @property
+    def fabric(self) -> NetworkFabric:
+        """The delivery fabric this scanner probes."""
+        return self._fabric
 
     def scan(
         self,

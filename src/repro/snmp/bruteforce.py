@@ -25,7 +25,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable
 
-from repro.asn1 import ber
 from repro.asn1.oid import Oid
 from repro.snmp import constants, pdu as pdu_mod
 from repro.snmp.messages import ScopedPdu, SnmpV3Message, UsmSecurityParameters

@@ -12,8 +12,7 @@ Two use cases:
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, replace
-from typing import Iterable
+from dataclasses import dataclass
 
 from repro.asn1 import ber
 from repro.asn1.oid import Oid
@@ -29,7 +28,6 @@ from repro.snmp.messages import (
 )
 from repro.snmp.pdu import VarValue
 from repro.snmp.usm import (
-    AuthProtocol,
     compute_mac,
     decrypt_scoped_pdu,
     encrypt_scoped_pdu,

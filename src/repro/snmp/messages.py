@@ -15,7 +15,7 @@ measurement machinery consumes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 
 from repro.asn1 import ber
 from repro.snmp import constants
@@ -239,6 +239,46 @@ def build_discovery_probe(msg_id: int, request_id: "int | None" = None) -> SnmpV
         msg_id=msg_id,
         flags=constants.FLAG_REPORTABLE,
         scoped_pdu=ScopedPdu(context_engine_id=b"", context_name=b"", pdu=pdu),
+    )
+
+
+# Constant fragments of the discovery probe.  Everything except the two
+# msg_id/request_id INTEGERs is identical across probes, so the sharded
+# executor's hot loop can assemble the wire bytes from four joins instead
+# of building and encoding the full message object graph per target.
+_PROBE_VERSION = ber.encode_integer(constants.VERSION_3)
+_PROBE_GLOBAL_TAIL = (
+    ber.encode_integer(constants.DEFAULT_MAX_SIZE)
+    + ber.encode_octet_string(bytes([constants.FLAG_REPORTABLE]))
+    + ber.encode_integer(constants.SECURITY_MODEL_USM)
+)
+_PROBE_SECURITY = ber.encode_octet_string(UsmSecurityParameters().encode())
+_PROBE_EMPTY_OCTETS = ber.encode_octet_string(b"")
+_PROBE_PDU_TAIL = (
+    ber.encode_integer(0) + ber.encode_integer(0) + ber.encode_sequence()
+)
+
+
+def encode_discovery_probe(msg_id: int, request_id: "int | None" = None) -> bytes:
+    """Encode the Figure 2 probe directly to wire bytes.
+
+    Byte-identical to ``build_discovery_probe(msg_id).encode()`` but an
+    order of magnitude cheaper — the scan executor calls this once per
+    target.
+    """
+    msg_id_tlv = ber.encode_integer(msg_id)
+    request_tlv = (
+        msg_id_tlv if request_id is None else ber.encode_integer(request_id)
+    )
+    pdu = ber.encode_tlv(
+        constants.TAG_GET_REQUEST, request_tlv + _PROBE_PDU_TAIL
+    )
+    scoped_pdu = ber.encode_sequence(
+        _PROBE_EMPTY_OCTETS, _PROBE_EMPTY_OCTETS, pdu
+    )
+    global_data = ber.encode_sequence(msg_id_tlv + _PROBE_GLOBAL_TAIL)
+    return ber.encode_sequence(
+        _PROBE_VERSION, global_data, _PROBE_SECURITY, scoped_pdu
     )
 
 

@@ -13,7 +13,7 @@ from typing import Callable
 
 from repro.asn1.oid import Oid
 from repro.snmp import constants
-from repro.snmp.pdu import Counter32, TimeTicks, VarValue
+from repro.snmp.pdu import TimeTicks, VarValue
 
 #: A MIB entry is either a static value or a callable evaluated at query
 #: time with the current simulation time (for sysUpTime-style values).

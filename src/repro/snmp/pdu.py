@@ -16,7 +16,7 @@ TimeTicks and Counter64.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Union
 
 from repro.asn1 import ber

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.topology.model import DeviceType, Region
+from repro.topology.model import Region
 
 # -- vendor mixes -------------------------------------------------------------
 

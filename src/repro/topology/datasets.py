@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 
 from repro.net.addresses import IPAddress
 from repro.topology.config import TopologyConfig
-from repro.topology.model import Device, DeviceType, Topology
+from repro.topology.model import DeviceType, Topology
 
 
 @dataclass(frozen=True)

@@ -34,7 +34,7 @@ from repro.snmp.agent import AgentBehavior, SnmpAgent
 from repro.snmp.loadbalancer import AgentPool, BalancingPolicy
 from repro.snmp.engine_id import EngineId
 from repro.topology import timeline
-from repro.topology.config import REGION_AS_WEIGHTS, REGION_ROUTER_WEIGHTS, TopologyConfig
+from repro.topology.config import REGION_AS_WEIGHTS, TopologyConfig
 from repro.topology.model import (
     AutonomousSystem,
     Device,
@@ -456,7 +456,6 @@ class TopologyGenerator:
     def _prepare_shared_populations(self) -> None:
         """Pre-build the cloned-firmware engine IDs and promiscuous data."""
         cfg = self.config
-        rng = self._rng
         for i in range(cfg.cpe_shared_engine_models):
             vendor = ("Thomson", "Broadcom", "Netgear")[i % 3]
             enterprise = self._enterprise_for(vendor)

@@ -10,7 +10,7 @@ from __future__ import annotations
 import enum
 import ipaddress
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator
+from typing import Iterator
 
 from repro.net.addresses import IPAddress
 from repro.snmp.agent import SnmpAgent

@@ -5,7 +5,6 @@ import pytest
 from repro.alias.apple import PathLengthPruner
 from repro.topology.config import TopologyConfig
 from repro.topology.generator import build_topology
-from repro.topology.model import DeviceType
 
 
 @pytest.fixture(scope="module")

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.alias.ipid import CounterAliasResolver, CounterOracle, monotonic_bounds_test
+from repro.alias.ipid import CounterOracle, monotonic_bounds_test
 from repro.alias.midar import MidarResolver
 from repro.alias.sets import evaluate_against_truth
 from repro.alias.speedtrap import SpeedtrapResolver

@@ -6,7 +6,6 @@ from repro.alias.ratelimit import IcmpRateLimitOracle, RateLimitResolver
 from repro.alias.sets import evaluate_against_truth
 from repro.topology.config import TopologyConfig
 from repro.topology.generator import build_topology
-from repro.topology.model import DeviceType
 
 
 @pytest.fixture(scope="module")

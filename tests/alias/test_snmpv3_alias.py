@@ -2,7 +2,6 @@
 
 import ipaddress
 
-import pytest
 
 from repro.alias.sets import AliasSets, evaluate_against_truth
 from repro.alias.snmpv3 import (

@@ -9,7 +9,6 @@ from repro.analysis.coverage import as_coverage, combined_coverage
 from repro.analysis.dominance import as_vendor_profiles, dominance_values, vendors_per_as
 from repro.analysis.hamming import hamming_weight_distribution, histogram, mean, skewness
 from repro.snmp.engine_id import EngineId
-from repro.net.mac import MacAddress
 
 
 class TestHamming:

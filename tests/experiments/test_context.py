@@ -1,6 +1,5 @@
 """Unit tests for the shared ExperimentContext plumbing."""
 
-import pytest
 
 from repro.experiments import ExperimentContext
 from repro.topology.config import TopologyConfig

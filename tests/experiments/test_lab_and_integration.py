@@ -5,7 +5,6 @@ import pytest
 from repro.alias.sets import evaluate_against_truth
 from repro.experiments.lab import LabRouter, default_lab, run_lab_experiment
 from repro.experiments.report import render_full_report
-from repro.net.mac import MacAddress
 from repro.oui.registry import default_registry
 
 

@@ -9,7 +9,6 @@ from repro.fingerprint.banner import (
 )
 from repro.topology.config import TopologyConfig
 from repro.topology.generator import build_topology
-from repro.topology.model import DeviceType
 
 
 @pytest.fixture(scope="module")

@@ -8,7 +8,6 @@ from repro.fingerprint.uptime import uptime_statistics
 from repro.topology import timeline
 from repro.topology.config import TopologyConfig
 from repro.topology.generator import build_topology
-from repro.topology.model import DeviceType
 
 
 @pytest.fixture(scope="module")

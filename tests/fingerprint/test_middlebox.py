@@ -144,7 +144,7 @@ class TestDetectorEndToEnd:
 
         cfg = TopologyConfig.tiny(seed=5)
         topo = build_topology(cfg)
-        result = ScanCampaign(topo, cfg).run()
+        result = ScanCampaign(topology=topo, config=cfg).run()
         observations = list(result.scans["v4-1"].observations.values()) + list(
             result.scans["v6-1"].observations.values()
         )

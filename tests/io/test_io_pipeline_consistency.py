@@ -19,7 +19,7 @@ from repro.topology.generator import build_topology
 def campaign():
     cfg = TopologyConfig.tiny(seed=37)
     topo = build_topology(cfg)
-    return ScanCampaign(topo, cfg).run()
+    return ScanCampaign(topology=topo, config=cfg).run()
 
 
 class TestRoundTripConsistency:

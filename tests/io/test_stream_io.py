@@ -1,0 +1,106 @@
+"""Incremental JSONL writer/reader round-trips."""
+
+import json
+
+import pytest
+
+from repro.io import (
+    ScanJsonlWriter,
+    export_scan_jsonl,
+    iter_scan_jsonl,
+    load_scan_jsonl,
+    read_scan_header,
+)
+from repro.scanner.campaign import ScanCampaign
+from repro.topology.config import TopologyConfig
+from repro.topology.generator import build_topology
+
+
+@pytest.fixture(scope="module")
+def scan():
+    cfg = TopologyConfig.tiny(seed=5)
+    topo = build_topology(cfg)
+    return ScanCampaign(topology=topo, config=cfg).run().scan_pair(4)[0]
+
+
+class TestScanJsonlWriter:
+    def test_round_trip_equals_source(self, scan, tmp_path):
+        path = tmp_path / "scan.jsonl"
+        with ScanJsonlWriter(
+            path, label=scan.label, ip_version=scan.ip_version,
+            started_at=scan.started_at,
+        ) as writer:
+            writer.write_batch(iter(scan))
+            writer.finished_at = scan.finished_at
+            writer.targets_probed = scan.targets_probed
+        loaded = load_scan_jsonl(path)
+        assert loaded.observations == scan.observations
+        assert loaded.multi_responders == scan.multi_responders
+        assert loaded.finished_at == scan.finished_at
+        assert loaded.targets_probed == scan.targets_probed
+
+    def test_header_rewritten_with_final_counts(self, scan, tmp_path):
+        path = tmp_path / "scan.jsonl"
+        writer = ScanJsonlWriter(
+            path, label="x", ip_version=4, started_at=1.0
+        )
+        writer.write_batch(list(scan)[:10])
+        writer.finished_at = 99.0
+        writer.targets_probed = 1234
+        assert writer.close() == 10
+        header = read_scan_header(path)
+        assert header["responsive"] == 10
+        assert header["finished_at"] == 99.0
+        assert header["targets_probed"] == 1234
+        # Padded header still parses as plain JSON line by line.
+        first_line = path.read_text().splitlines()[0]
+        assert json.loads(first_line)["format"] == "snmpv3-scan"
+
+    def test_duplicate_addresses_kept_once(self, scan, tmp_path):
+        path = tmp_path / "scan.jsonl"
+        obs = list(scan)[:5]
+        with ScanJsonlWriter(path, label="x", ip_version=4, started_at=0.0) as w:
+            assert w.write_batch(obs) == 5
+            assert w.write_batch(obs) == 0
+        assert len(load_scan_jsonl(path)) == 5
+
+    def test_close_is_idempotent(self, scan, tmp_path):
+        path = tmp_path / "scan.jsonl"
+        writer = ScanJsonlWriter(path, label="x", ip_version=4, started_at=0.0)
+        writer.close()
+        assert writer.close() == 0
+
+
+class TestIterScanJsonl:
+    def test_streams_same_records_as_loader(self, scan, tmp_path):
+        path = tmp_path / "scan.jsonl"
+        export_scan_jsonl(scan, path)
+        streamed = {obs.address: obs for obs in iter_scan_jsonl(path)}
+        assert streamed == load_scan_jsonl(path).observations
+
+    def test_rejects_foreign_format(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"format": "something-else"}\n')
+        with pytest.raises(ValueError, match="not an snmpv3-scan"):
+            next(iter_scan_jsonl(path))
+        with pytest.raises(ValueError, match="not an snmpv3-scan"):
+            read_scan_header(path)
+
+    def test_streamed_pipeline_from_files(self, tmp_path):
+        """End to end: two exports -> run_stream == run on loaded scans."""
+        from repro.pipeline.filters import FilterPipeline
+
+        cfg = TopologyConfig.tiny(seed=5)
+        topo = build_topology(cfg)
+        first, second = ScanCampaign(
+            topology=topo, config=cfg
+        ).run().scan_pair(4)
+        p1, p2 = tmp_path / "s1.jsonl", tmp_path / "s2.jsonl"
+        export_scan_jsonl(first, p1)
+        export_scan_jsonl(second, p2)
+        via_stream = FilterPipeline().run_stream(
+            iter_scan_jsonl(p1), iter_scan_jsonl(p2)
+        )
+        direct = FilterPipeline().run(first, second)
+        assert via_stream.valid == direct.valid
+        assert via_stream.stats == direct.stats

@@ -1,19 +1,25 @@
 """Integration tests for the four-scan campaign."""
 
+import ipaddress
+
 import pytest
 
 from repro.scanner.campaign import SCAN_LABELS, ScanCampaign
+from repro.snmp.agent import SnmpAgent
+from repro.snmp.constants import SNMP_PORT
+from repro.snmp.engine_id import EngineId
+from repro.snmp.loadbalancer import AgentPool
 from repro.topology import timeline
 from repro.topology.config import TopologyConfig
 from repro.topology.generator import build_topology
-from repro.topology.model import DeviceType
+from repro.topology.model import Device, DeviceType, Interface, Region, Topology
 
 
 @pytest.fixture(scope="module")
 def campaign_result():
     cfg = TopologyConfig.tiny(seed=21)
     topo = build_topology(cfg)
-    return topo, ScanCampaign(topo, cfg).run()
+    return topo, ScanCampaign(topology=topo, config=cfg).run()
 
 
 class TestCampaign:
@@ -94,6 +100,10 @@ class TestCampaign:
         }
         assert changed
 
+    def test_metrics_empty_under_legacy_engine(self, campaign_result):
+        __, result = campaign_result
+        assert result.metrics == {}
+
     def test_open_router_interfaces_respond(self, campaign_result):
         topo, result = campaign_result
         responsive = set(result.scans["v4-1"].observations) | set(
@@ -111,3 +121,64 @@ class TestCampaign:
                         missing += 1
         # Only packet loss (2% per direction, two scans) may hide them.
         assert total == 0 or missing / total < 0.05
+
+
+def _pooled_device(device_id: int, address: str) -> Device:
+    backends = [
+        SnmpAgent(EngineId(bytes([0x80, 0, 0, 9, 3, 0, 0, 0, device_id, n])))
+        for n in (1, 2)
+    ]
+    return Device(
+        device_id=device_id,
+        device_type=DeviceType.LOAD_BALANCER,
+        vendor="Cisco",
+        asn=1,
+        region=Region.EU,
+        interfaces=[Interface(address=ipaddress.ip_address(address))],
+        agent=backends[0],
+        dhcp_pool=True,
+        agent_pool=AgentPool(backends=backends),
+    )
+
+
+class TestChurnRebinding:
+    def test_churn_rebinds_pooled_devices_through_their_pool(self):
+        """Regression: churn used to rebind a load-balancer VIP to its
+        first backend agent directly, silently bypassing the pool's
+        scheduling policy after re-addressing."""
+        devices = {
+            1: _pooled_device(1, "192.0.2.1"),
+            2: _pooled_device(2, "192.0.2.2"),
+        }
+        topo = Topology(ases={}, devices=devices, seed=9)
+        campaign = ScanCampaign(topology=topo)
+        campaign._bind_initial()
+        campaign._rng.random = lambda: 0.0  # force churn for every candidate
+        campaign._apply_churn(4)
+        # Addresses swapped owners...
+        addr1 = ipaddress.ip_address("192.0.2.1")
+        addr2 = ipaddress.ip_address("192.0.2.2")
+        assert campaign._binding[addr1] == 2
+        assert campaign._binding[addr2] == 1
+        # ...and each rebound handler is the new owner's *pool*, not a
+        # bare backend agent.
+        for address, owner in ((addr1, 2), (addr2, 1)):
+            handler = campaign._fabric._endpoints[(address, "udp", SNMP_PORT)]
+            assert handler.__self__ is devices[owner].agent_pool
+
+
+class TestDeprecatedConstructors:
+    def test_positional_campaign_warns_but_works(self):
+        cfg = TopologyConfig.tiny(seed=21)
+        topo = build_topology(cfg)
+        with pytest.warns(DeprecationWarning, match="positional ScanCampaign"):
+            campaign = ScanCampaign(topo, cfg)
+        assert campaign.topology is topo
+        assert campaign.config is cfg
+
+    def test_positional_and_keyword_topology_conflict(self):
+        cfg = TopologyConfig.tiny(seed=21)
+        topo = build_topology(cfg)
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(TypeError):
+                ScanCampaign(topo, topology=topo, config=cfg)

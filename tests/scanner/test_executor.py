@@ -1,0 +1,183 @@
+"""Tests for the sharded, streaming scan executor."""
+
+import pytest
+
+from repro.scanner.campaign import SCAN_LABELS, ScanCampaign
+from repro.scanner.executor import (
+    ExecutorConfig,
+    plan_shards,
+    shard_seed,
+)
+from repro.snmp.messages import build_discovery_probe, encode_discovery_probe
+from repro.topology.config import TopologyConfig
+from repro.topology.generator import build_topology
+
+
+def _run_campaign(**kwargs):
+    cfg = TopologyConfig.tiny(seed=21)
+    topo = build_topology(cfg)
+    campaign = ScanCampaign(topology=topo, config=cfg, **kwargs)
+    return topo, campaign
+
+
+def _scan_fingerprint(scan):
+    return (
+        scan.observations,
+        scan.multi_responders,
+        scan.targets_probed,
+        scan.probe_bytes_sent,
+        scan.reply_bytes_received,
+        scan.started_at,
+        scan.finished_at,
+    )
+
+
+@pytest.fixture(scope="module")
+def serial_result():
+    __, campaign = _run_campaign(workers=1)
+    return campaign.run()
+
+
+class TestDeterminism:
+    def test_worker_count_does_not_change_results(self, serial_result):
+        """The tentpole contract: 1-worker and 4-worker runs are identical."""
+        __, campaign = _run_campaign(workers=4)
+        parallel_result = campaign.run()
+        assert set(parallel_result.scans) == set(SCAN_LABELS)
+        for label in SCAN_LABELS:
+            assert _scan_fingerprint(parallel_result.scans[label]) == \
+                _scan_fingerprint(serial_result.scans[label]), label
+
+    def test_rerun_is_reproducible(self, serial_result):
+        __, campaign = _run_campaign(workers=1)
+        again = campaign.run()
+        for label in SCAN_LABELS:
+            assert again.scans[label].observations == \
+                serial_result.scans[label].observations
+
+    def test_metrics_cover_all_probes(self, serial_result):
+        __, campaign = _run_campaign(workers=1)
+        result = campaign.run()
+        for label, metrics in result.metrics.items():
+            scan = result.scans[label]
+            assert metrics.probes_sent == metrics.targets == scan.targets_probed
+            assert metrics.observations == len(scan.observations)
+            assert len(metrics.shards) == metrics.num_shards
+
+
+class TestStreaming:
+    def test_stream_matches_materialized(self, serial_result):
+        __, campaign = _run_campaign(workers=1)
+        streamed = {}
+        for stream in campaign.run_streaming():
+            observations = {}
+            for batch in stream.batches():
+                for obs in batch:
+                    observations.setdefault(obs.address, obs)
+            streamed[stream.label] = observations
+        for label in SCAN_LABELS:
+            assert streamed[label] == serial_result.scans[label].observations
+
+    def test_batches_respect_batch_size(self):
+        __, campaign = _run_campaign(workers=1, batch_size=50)
+        stream = next(campaign.run_streaming())
+        sizes = [len(batch) for batch in stream.batches()]
+        assert sizes
+        assert max(sizes) <= 50
+        assert stream.execution.metrics.peak_batch <= 50
+
+    def test_stream_consumed_once(self):
+        __, campaign = _run_campaign(workers=1)
+        stream = next(campaign.run_streaming())
+        list(stream.batches())
+        with pytest.raises(RuntimeError):
+            stream.batches()
+
+
+class TestStateIsolation:
+    def test_executor_scan_leaves_agent_state_pristine(self):
+        topo, campaign = _run_campaign(workers=1)
+        campaign._bind_initial()
+        before = {
+            d.device_id: (
+                d.agent.engine_boots,
+                d.agent.stats_unknown_engine_ids,
+                None if d.agent_pool is None else d.agent_pool._rr_counter,
+            )
+            for d in topo.devices.values()
+        }
+        executor = campaign._make_executor()
+        targets = sorted(topo.all_addresses(4), key=int)
+        executor.scan(targets, label="probe", ip_version=4, start_time=0.0)
+        after = {
+            d.device_id: (
+                d.agent.engine_boots,
+                d.agent.stats_unknown_engine_ids,
+                None if d.agent_pool is None else d.agent_pool._rr_counter,
+            )
+            for d in topo.devices.values()
+        }
+        assert after == before
+
+
+class TestShardPlan:
+    def test_plan_is_deterministic(self):
+        topo, campaign = _run_campaign()
+        campaign._bind_initial()
+        targets = sorted(topo.all_addresses(4), key=int)
+        owner = lambda a: (d := topo.device_of_address(a)) and d.device_id
+        kwargs = dict(label="v4-1", num_shards=16, seed=21,
+                      shuffle_seed=0xABCD, owner_of=owner)
+        assert plan_shards(targets, **kwargs) == plan_shards(targets, **kwargs)
+
+    def test_device_addresses_colocated(self):
+        topo, campaign = _run_campaign()
+        targets = sorted(topo.all_addresses(4), key=int)
+        owner = lambda a: (d := topo.device_of_address(a)) and d.device_id
+        plan = plan_shards(targets, label="v4-1", num_shards=8, seed=21,
+                           shuffle_seed=0xABCD, owner_of=owner)
+        shard_of_device = {}
+        for spec in plan:
+            for __, target in spec.items:
+                device_id = owner(target)
+                if device_id is None:
+                    continue
+                assert shard_of_device.setdefault(device_id, spec.index) == \
+                    spec.index
+        # All targets present exactly once.
+        planned = [t for spec in plan for __, t in spec.items]
+        assert sorted(planned, key=int) == targets
+
+    def test_shard_seeds_distinct(self):
+        seeds = {shard_seed(21, "v4-1", i) for i in range(64)}
+        assert len(seeds) == 64
+        assert shard_seed(21, "v4-1", 0) != shard_seed(21, "v4-2", 0)
+
+    def test_mismatched_family_rejected(self):
+        topo, campaign = _run_campaign()
+        targets = sorted(topo.all_addresses(4), key=int)
+        executor = campaign._make_executor()
+        with pytest.raises(ValueError):
+            executor.execute(targets, label="x", ip_version=6, start_time=0.0)
+
+
+class TestConfig:
+    @pytest.mark.parametrize(
+        "kwargs", [{"num_shards": 0}, {"batch_size": 0}, {"workers": -1}]
+    )
+    def test_invalid_config_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ExecutorConfig(**kwargs)
+
+
+class TestFastProbeEncoder:
+    @pytest.mark.parametrize("msg_id", [1, 2, 127, 128, 255, 256, 65535,
+                                        2**20, 2**31 - 1])
+    def test_matches_message_object_encoding(self, msg_id):
+        assert encode_discovery_probe(msg_id) == \
+            build_discovery_probe(msg_id).encode()
+
+    def test_request_id_override(self):
+        fast = encode_discovery_probe(7, request_id=42)
+        slow = build_discovery_probe(7, request_id=42).encode()
+        assert fast == slow

@@ -30,13 +30,9 @@ def make_agent(mac="00:00:0c:0a:0b:01"):
 
 def capture_authenticated_exchange(agent):
     """Sniff a legitimate manager's authenticated GET off the wire."""
-    from repro.snmp import client as client_mod
-
     client = SnmpClient(agent)
     discovery = client.discover(now=50.0)
     # Rebuild the signed request exactly as the client sends it.
-    from dataclasses import replace
-
     from repro.snmp import constants, pdu as pdu_mod
     from repro.snmp.messages import ScopedPdu, SnmpV3Message, UsmSecurityParameters
     from repro.snmp.usm import compute_mac, localized_key_from_password

@@ -1,6 +1,5 @@
 """Tests for the snmpEngine MIB group and engine-time wrap behaviour."""
 
-import pytest
 
 from repro.asn1.oid import Oid
 from repro.net.mac import MacAddress

@@ -4,7 +4,7 @@ import pytest
 
 from repro.asn1.oid import Oid
 from repro.net.mac import MacAddress
-from repro.snmp.agent import AgentBehavior, SnmpAgent, UsmUser
+from repro.snmp.agent import SnmpAgent, UsmUser
 from repro.snmp.client import SnmpClient
 from repro.snmp.constants import OID_SYS_DESCR
 from repro.snmp.engine_id import EngineId

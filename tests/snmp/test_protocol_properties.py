@@ -4,7 +4,6 @@ import ipaddress
 
 from hypothesis import given, settings, strategies as st
 
-from repro.asn1 import ber
 from repro.asn1.oid import Oid
 from repro.snmp import constants, pdu as pdu_mod
 from repro.snmp.engine_id import EngineId, EngineIdFormat

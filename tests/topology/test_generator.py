@@ -1,6 +1,5 @@
 """Unit tests for the topology generator."""
 
-import ipaddress
 
 import pytest
 
@@ -8,7 +7,7 @@ from repro.net.addresses import is_routable_ipv4
 from repro.oui.registry import default_registry
 from repro.snmp.engine_id import EngineIdFormat
 from repro.topology.config import TopologyConfig
-from repro.topology.generator import TopologyGenerator, _poisson, build_topology
+from repro.topology.generator import _poisson, build_topology
 from repro.topology.model import DeviceType, Region
 
 

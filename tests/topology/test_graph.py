@@ -104,7 +104,7 @@ class TestSnmpv3CollapseQuality:
         from repro.scanner.campaign import ScanCampaign
 
         cfg = TopologyConfig.tiny(seed=91)
-        campaign = ScanCampaign(topo, cfg).run()
+        campaign = ScanCampaign(topology=topo, config=cfg).run()
         records = FilterPipeline().run(*campaign.scan_pair(4)).valid
         inferred = resolve_aliases(records)
         collapsed_inferred = collapse_with_aliases(iface_graph, inferred)
