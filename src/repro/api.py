@@ -26,7 +26,9 @@ from typing import Iterator
 from repro.alias.sets import AliasSets
 from repro.alias.snmpv3 import resolve_aliases, resolve_dual_stack
 from repro.fingerprint.vendor import vendor_of_alias_set
+from repro.net.faults import FaultProfile
 from repro.pipeline.filters import FilterPipeline, PipelineResult
+from repro.scanner.executor import RetryPolicy
 from repro.pipeline.records import ValidRecord
 from repro.scanner.campaign import CampaignResult, ScanCampaign, ScanStream
 from repro.scanner.metrics import ExecutorMetrics
@@ -52,6 +54,14 @@ class Session:
     workers / num_shards / batch_size:
         Passed through to the sharded scan executor.  Leaving all three
         unset selects the legacy single-process engine.
+    loss_probability:
+        Independent per-packet loss on each path of every link.
+    fault_profile:
+        A :class:`~repro.net.faults.FaultProfile` (or stock-profile name
+        such as ``"conformance"`` or ``"chaos"``) injected by the fabric.
+    retry:
+        A :class:`~repro.scanner.executor.RetryPolicy`; setting one
+        selects the sharded engine (the legacy scanner has no retries).
     reboot_threshold / skip:
         Filter-pipeline knobs (see :class:`FilterPipeline`).
     """
@@ -65,6 +75,9 @@ class Session:
         workers: "int | None" = None,
         num_shards: "int | None" = None,
         batch_size: "int | None" = None,
+        loss_probability: "float | None" = None,
+        fault_profile: "FaultProfile | str | None" = None,
+        retry: "RetryPolicy | None" = None,
         reboot_threshold: "float | None" = None,
         skip: "frozenset[str] | set[str]" = frozenset(),
     ) -> None:
@@ -74,6 +87,9 @@ class Session:
         self._workers = workers
         self._num_shards = num_shards
         self._batch_size = batch_size
+        self._loss_probability = loss_probability
+        self._fault_profile = fault_profile
+        self._retry = retry
         self._pipeline_kwargs: dict = {"skip": skip}
         if reboot_threshold is not None:
             self._pipeline_kwargs["reboot_threshold"] = reboot_threshold
@@ -197,7 +213,13 @@ class Session:
             kwargs["num_shards"] = self._num_shards
         if self._batch_size is not None:
             kwargs["batch_size"] = self._batch_size
-        if force_executor and not kwargs:
+        if self._loss_probability is not None:
+            kwargs["loss_probability"] = self._loss_probability
+        if self._fault_profile is not None:
+            kwargs["fault_profile"] = self._fault_profile
+        if self._retry is not None:
+            kwargs["retry"] = self._retry
+        if force_executor and "workers" not in kwargs and self._retry is None:
             kwargs["workers"] = 1
         campaign = ScanCampaign(
             topology=self.topology, config=self.config, **kwargs

@@ -26,6 +26,7 @@ from pathlib import Path
 def _cmd_scan(args: argparse.Namespace) -> int:
     from repro.io import ScanJsonlWriter
     from repro.scanner.campaign import ScanCampaign
+    from repro.scanner.executor import RetryPolicy
     from repro.topology.config import TopologyConfig
     from repro.topology.generator import build_topology
 
@@ -35,12 +36,20 @@ def _cmd_scan(args: argparse.Namespace) -> int:
     print(f"building simulated Internet (1/{args.scale:g} scale, seed {args.seed})...")
     started = time.time()
     topology = build_topology(config)
+    retry = None
+    if args.retries or args.timeout is not None:
+        retry = RetryPolicy(
+            max_retries=args.retries,
+            timeout=args.timeout if args.timeout is not None else 1.0,
+        )
     campaign = ScanCampaign(
         topology=topology,
         config=config,
         workers=args.workers,
         num_shards=args.shards,
         batch_size=args.batch_size,
+        fault_profile=args.fault_profile,
+        retry=retry,
     )
     summaries = []
     # Streaming export: observation batches go straight from the executor
@@ -187,6 +196,16 @@ def build_parser() -> argparse.ArgumentParser:
                            "worker-count independent at a fixed shard count)")
     scan.add_argument("--batch-size", type=int, default=None,
                       help="observations per streamed batch (default 2048)")
+    from repro.net.faults import FAULT_PROFILES
+    scan.add_argument("--fault-profile", default=None,
+                      choices=sorted(FAULT_PROFILES),
+                      help="inject wire faults from a stock profile "
+                           "(deterministic per seed)")
+    scan.add_argument("--retries", type=int, default=0,
+                      help="extra probes per unanswered target (default 0)")
+    scan.add_argument("--timeout", type=float, default=None,
+                      help="per-probe reply deadline in virtual seconds "
+                           "(default 1.0 when --retries is set)")
     scan.add_argument("--stats", action="store_true",
                       help="print per-scan execution metrics")
     scan.set_defaults(func=_cmd_scan)

@@ -10,7 +10,10 @@ Internet share:
   fabric,
 * :mod:`repro.net.transport` — the simulated network fabric itself, which
   binds agents to addresses and delivers datagrams with configurable
-  latency, loss and firewall rules.
+  latency, loss and firewall rules,
+* :mod:`repro.net.faults` — deterministic fault models (duplication,
+  reordering, truncation, corruption, token-bucket rate limiting) the
+  fabric injects when a :class:`~repro.net.faults.FaultProfile` is set.
 """
 
 from repro.net.addresses import (
@@ -19,6 +22,7 @@ from repro.net.addresses import (
     is_routable_ipv4,
     is_routable_ipv6,
 )
+from repro.net.faults import FAULT_PROFILES, FaultProfile, RateLimit
 from repro.net.mac import MacAddress
 from repro.net.packet import Datagram
 from repro.net.transport import AccessControlList, NetworkFabric
@@ -26,8 +30,11 @@ from repro.net.transport import AccessControlList, NetworkFabric
 __all__ = [
     "AccessControlList",
     "Datagram",
+    "FAULT_PROFILES",
+    "FaultProfile",
     "MacAddress",
     "NetworkFabric",
+    "RateLimit",
     "ip_from_int",
     "ip_to_int",
     "is_routable_ipv4",

@@ -1,0 +1,196 @@
+"""Deterministic fault models for the simulated fabric.
+
+The real Internet does much worse than independent packet loss: probes and
+replies get duplicated, reordered, truncated and bit-flipped, and busy
+routers rate-limit their control planes (the behaviour that corrupts
+ICMP-based alias inference — Vermeulen et al.).  This module describes
+those failure modes as data so the fabric can inject them reproducibly:
+every stochastic choice is drawn from the caller's seeded RNG and every
+rate limiter runs on virtual time, which keeps fault-injected scans
+byte-identical for a fixed seed at any worker count.
+
+:class:`FaultProfile` is the wire-level fault configuration attached to a
+:class:`~repro.net.transport.NetworkFabric`; :data:`FAULT_PROFILES` names
+the stock profiles the CLI exposes via ``--fault-profile``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+__all__ = [
+    "FAULT_PROFILES",
+    "FaultProfile",
+    "RateLimit",
+    "TokenBucket",
+    "corrupt_payload",
+    "resolve_fault_profile",
+    "truncate_payload",
+]
+
+
+@dataclass(frozen=True)
+class RateLimit:
+    """Token-bucket rate limit applied per destination address.
+
+    ``rate`` is tokens (admitted probes) per virtual second; ``burst`` is
+    the bucket depth.  Probes arriving with an empty bucket are silently
+    dropped — exactly the control-plane policing a busy router applies.
+    """
+
+    rate: float
+    burst: int = 1
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ValueError(f"rate must be > 0, got {self.rate}")
+        if self.burst < 1:
+            raise ValueError(f"burst must be >= 1, got {self.burst}")
+
+
+class TokenBucket:
+    """A virtual-time token bucket (no wall clock, no RNG).
+
+    State advances only on :meth:`admit` calls, so the drop pattern is a
+    pure function of the probe arrival times — shard-local bucket state
+    therefore cannot leak information between shards.
+    """
+
+    __slots__ = ("_limit", "_tokens", "_last")
+
+    def __init__(self, limit: RateLimit, now: float) -> None:
+        self._limit = limit
+        self._tokens = float(limit.burst)
+        self._last = now
+
+    def admit(self, now: float) -> bool:
+        """Consume one token if available; refill first from elapsed time."""
+        elapsed = max(0.0, now - self._last)
+        self._tokens = min(
+            float(self._limit.burst), self._tokens + elapsed * self._limit.rate
+        )
+        self._last = now
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True
+        return False
+
+
+@dataclass(frozen=True)
+class FaultProfile:
+    """Wire-level fault mix injected by the fabric.
+
+    All probabilities are per-event (per delivered probe for corruption,
+    per reply for duplication/truncation, per multi-reply batch for
+    reordering) and all default to zero; the default profile is therefore
+    a no-op that draws **no** random numbers, preserving the fabric's
+    legacy RNG stream exactly.
+    """
+
+    name: str = "custom"
+    duplicate_probability: float = 0.0
+    reorder_probability: float = 0.0
+    truncate_probability: float = 0.0
+    corrupt_probability: float = 0.0
+    rate_limit: "RateLimit | None" = None
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "duplicate_probability",
+            "reorder_probability",
+            "truncate_probability",
+            "corrupt_probability",
+        ):
+            value = getattr(self, field_name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{field_name} must be in [0, 1], got {value}")
+
+    @property
+    def is_null(self) -> bool:
+        """True when the profile injects nothing (fast-path bypass)."""
+        return (
+            self.duplicate_probability == 0.0
+            and self.reorder_probability == 0.0
+            and self.truncate_probability == 0.0
+            and self.corrupt_probability == 0.0
+            and self.rate_limit is None
+        )
+
+    @property
+    def mutates_replies(self) -> bool:
+        """True when reply payload/ordering faults can fire."""
+        return (
+            self.duplicate_probability > 0.0
+            or self.reorder_probability > 0.0
+            or self.truncate_probability > 0.0
+            or self.corrupt_probability > 0.0
+        )
+
+
+def truncate_payload(rng: random.Random, payload: bytes) -> bytes:
+    """Cut a payload mid-TLV, keeping at least one byte."""
+    if len(payload) <= 1:
+        return payload
+    return payload[: rng.randrange(1, len(payload))]
+
+
+def corrupt_payload(rng: random.Random, payload: bytes) -> bytes:
+    """Flip one random byte (never a no-op flip)."""
+    if not payload:
+        return payload
+    position = rng.randrange(len(payload))
+    xor = rng.randrange(1, 256)
+    mutated = bytearray(payload)
+    mutated[position] ^= xor
+    return bytes(mutated)
+
+
+#: Stock fault profiles, selectable by name (CLI ``--fault-profile``).
+FAULT_PROFILES: dict[str, FaultProfile] = {
+    "none": FaultProfile(name="none"),
+    # Delivery-plane noise only: content is never altered, so a retrying
+    # scanner must converge to the fault-free result.  This is the profile
+    # the differential conformance harness runs.
+    "conformance": FaultProfile(
+        name="conformance",
+        duplicate_probability=0.05,
+        reorder_probability=0.3,
+        rate_limit=RateLimit(rate=0.5, burst=1),
+    ),
+    # Heavy control-plane policing, as seen on busy router paths.
+    "rate-limited": FaultProfile(
+        name="rate-limited",
+        rate_limit=RateLimit(rate=0.2, burst=2),
+    ),
+    # Everything at once, including content corruption: replies may parse
+    # to garbage or not parse at all.  Used to harden the parse paths.
+    "chaos": FaultProfile(
+        name="chaos",
+        duplicate_probability=0.1,
+        reorder_probability=0.3,
+        truncate_probability=0.05,
+        corrupt_probability=0.05,
+        rate_limit=RateLimit(rate=1.0, burst=2),
+    ),
+}
+
+
+def resolve_fault_profile(
+    spec: "FaultProfile | str | None",
+) -> "FaultProfile | None":
+    """Accept a profile object, a stock-profile name, or ``None``.
+
+    ``None`` and the ``"none"`` profile both resolve to ``None`` so the
+    fabric's fault branch disappears entirely when nothing is injected.
+    """
+    if spec is None:
+        return None
+    if isinstance(spec, FaultProfile):
+        return None if spec.is_null else spec
+    try:
+        profile = FAULT_PROFILES[spec]
+    except KeyError:
+        known = ", ".join(sorted(FAULT_PROFILES))
+        raise ValueError(f"unknown fault profile {spec!r} (known: {known})") from None
+    return None if profile.is_null else profile

@@ -8,12 +8,18 @@ applies, in order:
 1. firewall access-control lists (the paper notes some routers sit behind
    ACLs that drop packets to well-known ports — those devices never
    answer),
-2. independent packet loss on the forward and return path,
-3. a latency model (base propagation plus jitter),
+2. an optional per-address token-bucket rate limiter (control-plane
+   policing, from the attached :class:`~repro.net.faults.FaultProfile`),
+3. independent packet loss on the forward and return path,
+4. a latency model (base propagation plus jitter),
+5. optional injected faults — probe/reply corruption, reply truncation,
+   duplication and reordering (see :mod:`repro.net.faults`),
 
 and then hands the datagram to the bound handler, collecting zero or more
 replies.  Everything is driven by a seeded :class:`random.Random`, so a
-scan over a given topology is fully reproducible.
+scan over a given topology is fully reproducible — including its faults.
+With no fault profile attached the fault branch draws no random numbers
+at all, so legacy RNG streams are preserved bit-for-bit.
 
 Time is virtual: callers pass ``now`` (seconds since the simulation epoch)
 and receive replies tagged with their arrival time.  There is no real
@@ -22,11 +28,19 @@ sleeping anywhere, which keeps Internet-scale-shaped experiments fast.
 
 from __future__ import annotations
 
+import dataclasses
 import random
 from dataclasses import dataclass
 from typing import Callable, Iterable
 
 from repro.net.addresses import IPAddress
+from repro.net.faults import (
+    FaultProfile,
+    TokenBucket,
+    corrupt_payload,
+    resolve_fault_profile,
+    truncate_payload,
+)
 from repro.net.packet import Datagram
 
 #: A bound endpoint: receives the datagram and the virtual receive time,
@@ -69,16 +83,31 @@ class LinkProfile:
 
 @dataclass
 class FabricStats:
-    """Counters the fabric keeps for observability and tests."""
+    """Counters the fabric keeps for observability and tests.
+
+    The forward path is exactly accounted:
+    ``injected == dropped_no_endpoint + dropped_acl + dropped_rate_limited
+    + dropped_loss + delivered``.  Reply-path losses are counted
+    separately in ``dropped_reply_loss`` (historically they were folded
+    into ``dropped_loss``, which broke the forward-path invariant).
+    Fault counters (``duplicated``/``reordered``/``truncated``/
+    ``corrupted``) stay zero unless a fault profile is attached.
+    """
 
     injected: int = 0
     dropped_no_endpoint: int = 0
     dropped_acl: int = 0
+    dropped_rate_limited: int = 0
     dropped_loss: int = 0
+    dropped_reply_loss: int = 0
     delivered: int = 0
     replies: int = 0
     reply_bytes: int = 0
     probe_bytes: int = 0
+    duplicated: int = 0
+    reordered: int = 0
+    truncated: int = 0
+    corrupted: int = 0
 
 
 class NetworkFabric:
@@ -93,12 +122,19 @@ class NetworkFabric:
     [(b'pong:ping', ...)]
     """
 
-    def __init__(self, seed: int = 0, default_profile: "LinkProfile | None" = None) -> None:
+    def __init__(
+        self,
+        seed: int = 0,
+        default_profile: "LinkProfile | None" = None,
+        fault_profile: "FaultProfile | str | None" = None,
+    ) -> None:
         self._rng = random.Random(seed)
         self._endpoints: dict[tuple[IPAddress, str, int], Handler] = {}
         self._acls: dict[IPAddress, AccessControlList] = {}
         self._profiles: dict[IPAddress, LinkProfile] = {}
         self._default_profile = default_profile or LinkProfile()
+        self._fault_profile = resolve_fault_profile(fault_profile)
+        self._buckets: dict[IPAddress, TokenBucket] = {}
         self.stats = FabricStats()
 
     # -- wiring -----------------------------------------------------------
@@ -130,6 +166,21 @@ class NetworkFabric:
         """Attach per-address path characteristics."""
         self._profiles[address] = profile
 
+    def set_fault_profile(self, profile: "FaultProfile | str | None") -> None:
+        """Attach (or clear) the fabric-wide fault-injection profile.
+
+        Applies to the fabric's own :meth:`inject` path and to every
+        :class:`FabricView` created afterwards; rate-limiter bucket state
+        is reset so token counts never straddle a profile change.
+        """
+        self._fault_profile = resolve_fault_profile(profile)
+        self._buckets.clear()
+
+    @property
+    def fault_profile(self) -> "FaultProfile | None":
+        """The active fault profile (``None`` when nothing is injected)."""
+        return self._fault_profile
+
     # -- delivery ---------------------------------------------------------
 
     def inject(
@@ -137,10 +188,13 @@ class NetworkFabric:
     ) -> list[tuple[Datagram, float]]:
         """Deliver a probe and return ``(reply, arrival_time)`` pairs.
 
-        A probe that is firewalled, lost, or unanswered returns an empty
-        list — indistinguishable outcomes, exactly as on the real Internet.
+        A probe that is firewalled, rate-limited, lost, or unanswered
+        returns an empty list — indistinguishable outcomes, exactly as on
+        the real Internet.
         """
-        return self._deliver(datagram, now, protocol, self._rng, self.stats)
+        return self._deliver(
+            datagram, now, protocol, self._rng, self.stats, self._buckets
+        )
 
     def _deliver(
         self,
@@ -149,12 +203,16 @@ class NetworkFabric:
         protocol: str,
         rng: random.Random,
         stats: FabricStats,
+        buckets: "dict[IPAddress, TokenBucket]",
     ) -> list[tuple[Datagram, float]]:
-        """Delivery core, parameterized on the RNG and stats sink.
+        """Delivery core, parameterized on the RNG, stats and bucket sinks.
 
         Probes to unbound or firewalled endpoints never consume random
         numbers — shard views rely on that so an address's loss/jitter
         stream depends only on the probes its shard actually delivers.
+        The same discipline extends to faults: with no profile attached
+        this path draws exactly the legacy RNG sequence, and the rate
+        limiter itself is RNG-free (virtual-time token buckets).
         """
         stats.injected += 1
         stats.probe_bytes += datagram.wire_size
@@ -166,23 +224,77 @@ class NetworkFabric:
         if acl is not None and not acl.permits(datagram):
             stats.dropped_acl += 1
             return []
+        faults = self._fault_profile
+        if faults is not None and faults.rate_limit is not None:
+            bucket = buckets.get(datagram.dst)
+            if bucket is None:
+                bucket = buckets[datagram.dst] = TokenBucket(faults.rate_limit, now)
+            if not bucket.admit(now):
+                stats.dropped_rate_limited += 1
+                return []
         profile = self._profiles.get(datagram.dst, self._default_profile)
         if rng.random() < profile.loss_probability:
             stats.dropped_loss += 1
             return []
         forward_delay = profile.base_latency / 2 + rng.random() * profile.jitter / 2
         arrival = now + forward_delay
+        if (
+            faults is not None
+            and faults.corrupt_probability
+            and rng.random() < faults.corrupt_probability
+        ):
+            datagram = dataclasses.replace(
+                datagram, payload=corrupt_payload(rng, datagram.payload)
+            )
+            stats.corrupted += 1
         stats.delivered += 1
+        # Agents may declare themselves slow responders; the bound-method
+        # handler exposes its owner, whose response_delay stretches every
+        # reply past the normal path latency.
+        extra_delay = getattr(getattr(handler, "__self__", None), "response_delay", 0.0)
         replies: list[tuple[Datagram, float]] = []
         for payload in handler(datagram, arrival):
-            if rng.random() < profile.loss_probability:
-                stats.dropped_loss += 1
-                continue
-            return_delay = profile.base_latency / 2 + rng.random() * profile.jitter / 2
-            reply = datagram.reply(payload, sent_at=arrival)
-            replies.append((reply, arrival + return_delay))
-            stats.replies += 1
-            stats.reply_bytes += reply.wire_size
+            copies = 1
+            if (
+                faults is not None
+                and faults.duplicate_probability
+                and rng.random() < faults.duplicate_probability
+            ):
+                copies = 2
+                stats.duplicated += 1
+            for __ in range(copies):
+                if rng.random() < profile.loss_probability:
+                    stats.dropped_reply_loss += 1
+                    continue
+                reply_payload = payload
+                if faults is not None and faults.mutates_replies:
+                    if (
+                        faults.truncate_probability
+                        and rng.random() < faults.truncate_probability
+                    ):
+                        reply_payload = truncate_payload(rng, reply_payload)
+                        stats.truncated += 1
+                    if (
+                        faults.corrupt_probability
+                        and rng.random() < faults.corrupt_probability
+                    ):
+                        reply_payload = corrupt_payload(rng, reply_payload)
+                        stats.corrupted += 1
+                return_delay = (
+                    profile.base_latency / 2 + rng.random() * profile.jitter / 2
+                )
+                reply = datagram.reply(reply_payload, sent_at=arrival)
+                replies.append((reply, arrival + extra_delay + return_delay))
+                stats.replies += 1
+                stats.reply_bytes += reply.wire_size
+        if (
+            faults is not None
+            and faults.reorder_probability
+            and len(replies) > 1
+            and rng.random() < faults.reorder_probability
+        ):
+            replies.reverse()
+            stats.reordered += 1
         return replies
 
     def shard_view(self, seed: int) -> "FabricView":
@@ -204,19 +316,25 @@ class NetworkFabric:
 class FabricView:
     """A shard-local window onto a :class:`NetworkFabric`.
 
-    Shares the parent's endpoint bindings, ACLs and link profiles but owns
-    its loss/jitter RNG and its :class:`FabricStats`, so concurrent shards
-    never contend on (or perturb) the parent's random stream.  Created via
-    :meth:`NetworkFabric.shard_view`.
+    Shares the parent's endpoint bindings, ACLs, link profiles and fault
+    profile but owns its loss/jitter RNG, its :class:`FabricStats` and its
+    rate-limiter bucket state, so concurrent shards never contend on (or
+    perturb) the parent's random stream or token counts.  Device-grouped
+    sharding guarantees every address is only ever probed through one
+    view, which keeps shard-local buckets equivalent to global ones.
+    Created via :meth:`NetworkFabric.shard_view`.
     """
 
     def __init__(self, fabric: NetworkFabric, seed: int) -> None:
         self._fabric = fabric
         self._rng = random.Random(seed)
+        self._buckets: dict[IPAddress, TokenBucket] = {}
         self.stats = FabricStats()
 
     def inject(
         self, datagram: Datagram, now: float, protocol: str = "udp"
     ) -> list[tuple[Datagram, float]]:
         """Deliver a probe through the parent fabric with shard-local RNG."""
-        return self._fabric._deliver(datagram, now, protocol, self._rng, self.stats)
+        return self._fabric._deliver(
+            datagram, now, protocol, self._rng, self.stats, self._buckets
+        )

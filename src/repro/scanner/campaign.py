@@ -31,11 +31,13 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterator
 
 from repro.net.addresses import IPAddress
+from repro.net.faults import FaultProfile
 from repro.net.transport import LinkProfile, NetworkFabric
 from repro.scanner.executor import (
     DEFAULT_BATCH_SIZE,
     DEFAULT_NUM_SHARDS,
     ExecutorConfig,
+    RetryPolicy,
     ScanExecution,
     ShardedScanExecutor,
 )
@@ -118,6 +120,8 @@ class ScanCampaign:
         workers: "int | None" = None,
         num_shards: "int | None" = None,
         batch_size: "int | None" = None,
+        fault_profile: "FaultProfile | str | None" = None,
+        retry: "RetryPolicy | None" = None,
     ) -> None:
         if args:
             warnings.warn(
@@ -149,15 +153,23 @@ class ScanCampaign:
                 loss_probability=loss_probability, base_latency=0.08, jitter=0.04
             ),
         )
+        if fault_profile is not None:
+            self._fabric.set_fault_profile(fault_profile)
         self._scanner = ZmapScanner(fabric=self._fabric, config=ZmapConfig())
+        # A retry policy implies the sharded engine: the legacy scanner
+        # has no retry loop.
         self._use_executor = (
-            workers is not None or num_shards is not None or batch_size is not None
+            workers is not None
+            or num_shards is not None
+            or batch_size is not None
+            or retry is not None
         )
         self._executor_config = ExecutorConfig(
             workers=workers if workers is not None else 1,
             num_shards=num_shards if num_shards is not None else DEFAULT_NUM_SHARDS,
             batch_size=batch_size if batch_size is not None else DEFAULT_BATCH_SIZE,
             seed=topology.seed,
+            retry=retry if retry is not None else RetryPolicy(),
         )
         # address -> device id, the campaign's live view (mutated by churn).
         self._binding: dict[IPAddress, int] = {}

@@ -60,18 +60,75 @@ DEFAULT_BATCH_SIZE = 2048
 
 
 @dataclass(frozen=True)
+class RetryPolicy:
+    """Per-probe fault tolerance of the scan hot loop.
+
+    ``max_retries`` bounds how many *additional* probes a target gets
+    when the first one yields no parseable reply.  ``timeout`` (virtual
+    seconds) discards replies arriving later than ``send + timeout`` —
+    ``None`` disables the deadline entirely, which is the legacy
+    behaviour.  Retries are spaced ``timeout + backoff_base *
+    backoff_factor**attempt`` apart in virtual time (exponential
+    backoff, so rate-limited targets see widening gaps).
+
+    ``breaker_threshold`` is the dead-target circuit breaker: after that
+    many *consecutive* unanswered probes to one device, later probes to
+    the same device keep their single initial packet (the ethical
+    one-probe contract) but stop being retried.  ``0`` disables it.
+
+    Everything here is deterministic: retry schedules are pure functions
+    of the shard's own probe outcomes, so any worker count produces
+    byte-identical results.
+    """
+
+    max_retries: int = 0
+    timeout: "float | None" = None
+    backoff_base: float = 0.5
+    backoff_factor: float = 2.0
+    breaker_threshold: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError(f"timeout must be > 0, got {self.timeout}")
+        if self.backoff_base < 0:
+            raise ValueError(f"backoff_base must be >= 0, got {self.backoff_base}")
+        if self.backoff_factor < 1.0:
+            raise ValueError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+        if self.breaker_threshold < 0:
+            raise ValueError(
+                f"breaker_threshold must be >= 0, got {self.breaker_threshold}"
+            )
+        if self.max_retries and self.timeout is None:
+            raise ValueError("retries require a timeout to schedule around")
+
+    def retry_send_time(self, send_time: float, attempt: int) -> float:
+        """Virtual send slot of retry number ``attempt`` (1-based)."""
+        return send_time + self.timeout + self.backoff_base * (
+            self.backoff_factor ** (attempt - 1)
+        )
+
+
+@dataclass(frozen=True)
 class ExecutorConfig:
     """Execution-shape parameters of the sharded engine.
 
     ``workers`` counts OS processes: ``0``/``1`` runs all shards inline
     (the serial fallback, also used where ``fork`` is unavailable).
     ``seed`` is the determinism root — campaigns pass ``topology.seed``.
+    ``retry`` is the per-probe fault-tolerance policy; the default policy
+    (no retries, no timeout) reproduces the legacy single-probe engine
+    exactly, including its RNG streams.
     """
 
     workers: int = 1
     num_shards: int = DEFAULT_NUM_SHARDS
     batch_size: int = DEFAULT_BATCH_SIZE
     seed: int = 0
+    retry: RetryPolicy = RetryPolicy()
 
     def __post_init__(self) -> None:
         if self.num_shards < 1:
@@ -165,6 +222,7 @@ def _snapshot_device(device: "Device") -> tuple:
                 a.stats_unknown_engine_ids,
                 a.stats_unknown_user_names,
                 a.stats_wrong_digests,
+                a.handled_count,
             )
             for a in agents
         ),
@@ -184,6 +242,7 @@ def _restore_device(device: "Device", snapshot: tuple) -> None:
             agent.stats_unknown_engine_ids,
             agent.stats_unknown_user_names,
             agent.stats_wrong_digests,
+            agent.handled_count,
         ) = state
 
 
@@ -411,6 +470,14 @@ class ShardedScanExecutor:
         Agent session state touched by this shard is restored afterwards,
         so results never depend on which process — or in what order —
         other shards ran.
+
+        With a non-default :class:`RetryPolicy`, each target may be
+        probed up to ``1 + max_retries`` times: replies arriving past the
+        per-probe timeout are discarded (and counted), an unparseable
+        reply triggers another attempt, and a device that stays dead for
+        ``breaker_threshold`` consecutive targets stops earning retries.
+        The retry schedule is a pure function of the shard's own probe
+        outcomes, preserving byte-identity across worker counts.
         """
         shard_started = time.perf_counter()
         view = self._fabric.shard_view(spec.seed)
@@ -426,20 +493,67 @@ class ShardedScanExecutor:
         interval = params.interval
         observe = ZmapScanner._observe
         inject = view.inject
+        retry = self.config.retry
+        timeout = retry.timeout
+        owner_of = self._owner_of
+        retrying = retry.max_retries > 0
+        # Consecutive unanswered probes per device (circuit breaker).
+        dead_streak: dict[object, int] = {}
         try:
             for global_index, target in spec.items:
                 send_time = start_time + global_index * interval
-                datagram = Datagram(
-                    src=source,
-                    dst=target,
-                    sport=sport,
-                    dport=SNMP_PORT,
-                    payload=encode_discovery_probe(global_index + 1),
-                    sent_at=send_time,
-                )
-                replies = inject(datagram, now=send_time)
-                if replies:
-                    observations.append(observe(target, replies))
+                payload = encode_discovery_probe(global_index + 1)
+                if retrying and retry.breaker_threshold:
+                    breaker_key = owner_of(target)
+                    if breaker_key is None:
+                        breaker_key = target
+                    allow_retries = (
+                        dead_streak.get(breaker_key, 0) < retry.breaker_threshold
+                    )
+                else:
+                    breaker_key = None
+                    allow_retries = retrying
+                observation = None
+                attempt = 0
+                while True:
+                    datagram = Datagram(
+                        src=source,
+                        dst=target,
+                        sport=sport,
+                        dport=SNMP_PORT,
+                        payload=payload,
+                        sent_at=send_time,
+                    )
+                    replies = inject(datagram, now=send_time)
+                    if timeout is not None and replies:
+                        on_time = [
+                            entry
+                            for entry in replies
+                            if entry[1] - send_time <= timeout
+                        ]
+                        shard.timed_out += len(replies) - len(on_time)
+                        replies = on_time
+                    if replies:
+                        observation = observe(target, replies)
+                        if observation.engine_id is not None:
+                            break
+                    if not allow_retries or attempt >= retry.max_retries:
+                        break
+                    attempt += 1
+                    shard.retries += 1
+                    send_time = retry.retry_send_time(send_time, attempt)
+                if observation is not None:
+                    observations.append(observation)
+                    if observation.engine_id is None:
+                        shard.unparsed += 1
+                if breaker_key is not None:
+                    if observation is None:
+                        streak = dead_streak.get(breaker_key, 0) + 1
+                        dead_streak[breaker_key] = streak
+                        if streak == retry.breaker_threshold:
+                            shard.breaker_tripped += 1
+                    else:
+                        dead_streak[breaker_key] = 0
         finally:
             for device, snapshot in snapshots:
                 _restore_device(device, snapshot)
@@ -448,7 +562,13 @@ class ShardedScanExecutor:
         shard.replies = stats.replies
         shard.observations = len(observations)
         shard.dropped_loss = stats.dropped_loss
+        shard.dropped_reply_loss = stats.dropped_reply_loss
         shard.dropped_no_endpoint = stats.dropped_no_endpoint
+        shard.dropped_rate_limited = stats.dropped_rate_limited
+        shard.duplicated = stats.duplicated
+        shard.reordered = stats.reordered
+        shard.truncated = stats.truncated
+        shard.corrupted = stats.corrupted
         shard.probe_bytes = stats.probe_bytes
         shard.reply_bytes = stats.reply_bytes
         shard.wall_time = time.perf_counter() - shard_started

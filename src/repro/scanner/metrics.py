@@ -14,7 +14,12 @@ from dataclasses import dataclass, field
 
 @dataclass
 class ShardMetrics:
-    """What one shard did: probe/reply counts and wall-clock time."""
+    """What one shard did: probe/reply counts and wall-clock time.
+
+    The retry/fault counters (``retries`` through ``corrupted``) stay
+    zero for the default :class:`~repro.scanner.executor.RetryPolicy`
+    with no fault profile attached — the legacy single-probe path.
+    """
 
     shard_index: int
     targets: int = 0
@@ -22,7 +27,17 @@ class ShardMetrics:
     replies: int = 0
     observations: int = 0
     dropped_loss: int = 0
+    dropped_reply_loss: int = 0
     dropped_no_endpoint: int = 0
+    dropped_rate_limited: int = 0
+    retries: int = 0
+    timed_out: int = 0
+    unparsed: int = 0
+    breaker_tripped: int = 0
+    duplicated: int = 0
+    reordered: int = 0
+    truncated: int = 0
+    corrupted: int = 0
     probe_bytes: int = 0
     reply_bytes: int = 0
     wall_time: float = 0.0
@@ -35,7 +50,17 @@ class ShardMetrics:
             "replies": self.replies,
             "observations": self.observations,
             "dropped_loss": self.dropped_loss,
+            "dropped_reply_loss": self.dropped_reply_loss,
             "dropped_no_endpoint": self.dropped_no_endpoint,
+            "dropped_rate_limited": self.dropped_rate_limited,
+            "retries": self.retries,
+            "timed_out": self.timed_out,
+            "unparsed": self.unparsed,
+            "breaker_tripped": self.breaker_tripped,
+            "duplicated": self.duplicated,
+            "reordered": self.reordered,
+            "truncated": self.truncated,
+            "corrupted": self.corrupted,
             "probe_bytes": self.probe_bytes,
             "reply_bytes": self.reply_bytes,
             "wall_time": self.wall_time,
@@ -77,7 +102,36 @@ class ExecutorMetrics:
 
     @property
     def losses(self) -> int:
-        return sum(s.dropped_loss for s in self.shards)
+        """Packets lost on either path (forward probe or reply)."""
+        return sum(s.dropped_loss + s.dropped_reply_loss for s in self.shards)
+
+    @property
+    def retries(self) -> int:
+        return sum(s.retries for s in self.shards)
+
+    @property
+    def timed_out(self) -> int:
+        return sum(s.timed_out for s in self.shards)
+
+    @property
+    def unparsed(self) -> int:
+        return sum(s.unparsed for s in self.shards)
+
+    @property
+    def breaker_tripped(self) -> int:
+        return sum(s.breaker_tripped for s in self.shards)
+
+    @property
+    def rate_limited(self) -> int:
+        return sum(s.dropped_rate_limited for s in self.shards)
+
+    @property
+    def faults_injected(self) -> int:
+        """Total wire faults the fabric injected into this scan."""
+        return sum(
+            s.duplicated + s.reordered + s.truncated + s.corrupted
+            for s in self.shards
+        )
 
     @property
     def probes_per_second(self) -> float:
@@ -99,19 +153,41 @@ class ExecutorMetrics:
             "replies": self.replies,
             "observations": self.observations,
             "dropped_loss": self.losses,
+            "dropped_rate_limited": self.rate_limited,
+            "retries": self.retries,
+            "timed_out": self.timed_out,
+            "unparsed": self.unparsed,
+            "breaker_tripped": self.breaker_tripped,
+            "faults_injected": self.faults_injected,
             "probes_per_second": round(self.probes_per_second, 1),
             "shards": [s.to_dict() for s in self.shards],
         }
 
     def summary(self) -> str:
         """One-line human summary for the CLI's ``--stats`` output."""
-        return (
+        line = (
             f"{self.label}: {self.probes_sent} probes over "
             f"{self.num_shards} shards x {self.workers} worker(s) in "
             f"{self.wall_time:.2f}s ({self.probes_per_second:,.0f} pps), "
             f"{self.observations} responsive, {self.losses} lost, "
             f"peak batch {self.peak_batch}"
         )
+        extras = []
+        if self.retries:
+            extras.append(f"{self.retries} retries")
+        if self.timed_out:
+            extras.append(f"{self.timed_out} late replies")
+        if self.unparsed:
+            extras.append(f"{self.unparsed} unparsed")
+        if self.breaker_tripped:
+            extras.append(f"{self.breaker_tripped} breakers tripped")
+        if self.rate_limited:
+            extras.append(f"{self.rate_limited} rate-limited")
+        if self.faults_injected:
+            extras.append(f"{self.faults_injected} faults injected")
+        if extras:
+            line += ", " + ", ".join(extras)
+        return line
 
 
 __all__ = ["ExecutorMetrics", "ShardMetrics"]

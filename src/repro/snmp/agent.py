@@ -82,6 +82,16 @@ class AgentBehavior:
     makes the agent answer with a syntactically broken payload.
     ``v3_enabled_by_community`` reproduces the lab finding that merely
     configuring a v2c read community silently enables v3 discovery.
+
+    The remaining knobs are *adversarial personalities* for hardening the
+    scan path (they model broken firmware seen by Internet-wide scans):
+    ``garbage_reports`` replaces every reply with deterministically
+    garbled (non-BER) bytes; ``engine_id_pad_to`` pads (or truncates) the
+    reported engine ID to a fixed length, producing oversized (> 32
+    octets) or undersized (< 5 octets) identifiers; ``response_delay``
+    stretches every reply by a fixed number of virtual seconds (a slow
+    responder, tripping per-probe timeouts); ``reboot_after_handles``
+    reboots the SNMP engine mid-scan after every N handled requests.
     """
 
     amplification_count: int = 1
@@ -94,6 +104,10 @@ class AgentBehavior:
     v3_enabled: bool = True
     v3_enabled_by_community: bool = False
     time_resolution: int = 1
+    garbage_reports: bool = False
+    engine_id_pad_to: int = 0
+    response_delay: float = 0.0
+    reboot_after_handles: int = 0
 
 
 class SnmpAgent:
@@ -125,6 +139,8 @@ class SnmpAgent:
         self.stats_unknown_engine_ids = 0
         self.stats_unknown_user_names = 0
         self.stats_wrong_digests = 0
+        # Requests handled since boot (drives reboot_after_handles).
+        self.handled_count = 0
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -155,6 +171,16 @@ class SnmpAgent:
         return (value // resolution) * resolution
 
     @property
+    def response_delay(self) -> float:
+        """Extra virtual seconds this agent takes to produce any reply.
+
+        The fabric reads this off the bound handler's owner and adds it to
+        every reply's arrival time — a slow responder whose answers can
+        overrun the executor's per-probe timeout.
+        """
+        return self.behavior.response_delay
+
+    @property
     def v3_active(self) -> bool:
         """Whether v3 answers discovery — directly enabled, or implicitly via
         a configured community string (the Cisco lab finding)."""
@@ -174,6 +200,15 @@ class SnmpAgent:
             version = peek_version(payload)
         except ber.BerDecodeError:
             return []
+        self.handled_count += 1
+        if (
+            self.behavior.reboot_after_handles
+            and self.handled_count % self.behavior.reboot_after_handles == 0
+        ):
+            # Mid-scan reboot: boots bump and engine time resets *before*
+            # this request is answered, exactly like a crashing engine
+            # that restarts under probe load.
+            self.reboot(now)
         if version in (constants.VERSION_1, constants.VERSION_2C):
             reply = self._handle_community(payload)
         elif version == constants.VERSION_3:
@@ -182,7 +217,11 @@ class SnmpAgent:
             reply = None
         if reply is None:
             return []
-        if self.behavior.malformed:
+        if self.behavior.garbage_reports:
+            # Deterministically garbled: same length, every byte inverted —
+            # never valid BER, but clearly "a response arrived".
+            reply = bytes(b ^ 0xFF for b in reply)
+        elif self.behavior.malformed:
             # Truncate mid-TLV: parseable as "a response arrived" but the
             # engine ID cannot be extracted.
             return [reply[: max(4, len(reply) // 3)]]
@@ -356,7 +395,14 @@ class SnmpAgent:
     def _reported_engine_id(self) -> bytes:
         if self.behavior.report_empty_engine_id:
             return b""
-        return self.engine_id.raw
+        raw = self.engine_id.raw
+        pad_to = self.behavior.engine_id_pad_to
+        if pad_to > 0:
+            # Oversized (zero-padded past 32 octets) or undersized
+            # (truncated below the RFC 3411 minimum) engine IDs, as
+            # non-conforming firmware ships them.
+            return raw[:pad_to].ljust(pad_to, b"\x00")
+        return raw
 
     def _report(
         self, request: SnmpV3Message, counter_oid, counter_value: int, now: float

@@ -128,7 +128,11 @@ class SnmpClient:
         replies = self._agent.handle(message.encode(), now)
         if not replies:
             return None, None
-        reply = SnmpV3Message.decode(replies[0])
+        try:
+            reply = SnmpV3Message.decode(replies[0])
+        except ber.BerDecodeError:
+            # Adversarial agents answer with garbage; no data, no engine ID.
+            return None, None
         if reply.scoped_pdu is not None and reply.scoped_pdu.pdu.is_response:
             value = reply.scoped_pdu.pdu.varbinds[0].value if reply.scoped_pdu.pdu.varbinds else None
             return value, reply.security.engine_id
@@ -273,7 +277,10 @@ class SnmpClient:
         replies = self._agent.handle(signed, now)
         if not replies:
             return None
-        reply = SnmpV3Message.decode(replies[0])
+        try:
+            reply = SnmpV3Message.decode(replies[0])
+        except ber.BerDecodeError:
+            return None
         if reply.is_encrypted:
             if priv_key is None or len(reply.security.priv_params) != 8:
                 return None

@@ -1,6 +1,6 @@
 """Property-based round-trip tests for the BER codec."""
 
-from hypothesis import given, strategies as st
+from hypothesis import given, settings, strategies as st
 
 from repro.asn1 import ber
 from repro.asn1.oid import Oid
@@ -61,5 +61,75 @@ def test_decoder_never_crashes_on_garbage(blob):
     raise anything else.  The scanner feeds untrusted payloads here."""
     try:
         ber.decode_tlv(blob, 0)
+    except ber.BerDecodeError:
+        pass
+
+
+# Every public decoder entry point, exercised the same way: the fault
+# fabric can hand any of them truncated or bit-flipped input.
+_DECODERS = [
+    lambda blob: ber.decode_length(blob, 0),
+    lambda blob: ber.decode_tlv(blob, 0),
+    lambda blob: ber.decode_integer(blob, 0),
+    lambda blob: ber.decode_octet_string(blob, 0),
+    lambda blob: ber.decode_null(blob, 0),
+    lambda blob: ber.decode_oid(blob, 0),
+    lambda blob: ber.decode_sequence(blob, 0),
+    lambda blob: ber.decode_integer_content(blob),
+    lambda blob: list(ber.iter_tlvs(blob)),
+    lambda blob: ber.expect_tag(blob, 0, 0x30, "sequence"),
+]
+
+
+@settings(max_examples=300)
+@given(st.binary(max_size=96), st.integers(min_value=0, max_value=9))
+def test_every_decoder_fails_only_with_ber_decode_error(blob, which):
+    try:
+        _DECODERS[which](blob)
+    except ber.BerDecodeError:
+        pass
+
+
+def _flip(blob, position, xor):
+    mutated = bytearray(blob)
+    mutated[position % len(mutated)] ^= xor
+    return bytes(mutated)
+
+
+@settings(max_examples=300)
+@given(
+    st.lists(st.integers(min_value=-(2**31), max_value=2**31), min_size=1,
+             max_size=6),
+    st.integers(min_value=0, max_value=255),
+    st.integers(min_value=1, max_value=255),
+)
+def test_encode_corrupt_decode_roundtrips_or_fails_cleanly(values, position, xor):
+    """A bit-flipped valid encoding either still decodes (to *something*)
+    or raises BerDecodeError — the fabric's corruption fault in miniature."""
+    blob = ber.encode_sequence(*(ber.encode_integer(v) for v in values))
+    mutated = _flip(blob, position, xor)
+    try:
+        content, __ = ber.decode_sequence(mutated)
+        for __, body in ber.iter_tlvs(content):
+            ber.decode_integer_content(body)
+    except ber.BerDecodeError:
+        pass
+
+
+@settings(max_examples=300)
+@given(
+    st.lists(st.integers(min_value=-(2**31), max_value=2**31), min_size=1,
+             max_size=6),
+    st.integers(min_value=0, max_value=200),
+)
+def test_encode_truncate_decode_fails_cleanly(values, cut):
+    """Truncated valid encodings (the fabric's truncation fault) must be
+    rejected with BerDecodeError, never an IndexError or worse."""
+    blob = ber.encode_sequence(*(ber.encode_integer(v) for v in values))
+    truncated = blob[: min(cut, len(blob) - 1)]
+    try:
+        content, __ = ber.decode_sequence(truncated)
+        for __, body in ber.iter_tlvs(content):
+            ber.decode_integer_content(body)
     except ber.BerDecodeError:
         pass

@@ -1,0 +1,1 @@
+"""Differential conformance harness (see test_conformance)."""

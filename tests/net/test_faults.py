@@ -1,0 +1,283 @@
+"""Unit tests for the fault-injection layer and its fabric integration."""
+
+import ipaddress
+import random
+
+import pytest
+
+from repro.net.faults import (
+    FAULT_PROFILES,
+    FaultProfile,
+    RateLimit,
+    TokenBucket,
+    corrupt_payload,
+    resolve_fault_profile,
+    truncate_payload,
+)
+from repro.net.packet import Datagram
+from repro.net.transport import (
+    AccessControlList,
+    LinkProfile,
+    NetworkFabric,
+)
+
+PROBER = ipaddress.ip_address("198.51.100.9")
+TARGET = ipaddress.ip_address("192.0.2.1")
+OTHER = ipaddress.ip_address("192.0.2.2")
+
+
+def echo_handler(datagram, now):
+    return [b"echo:" + datagram.payload]
+
+
+def make_probe(dst=TARGET, payload=b"ping"):
+    return Datagram(PROBER, dst, 40000, 161, payload)
+
+
+class TestRateLimit:
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            RateLimit(rate=0.0)
+        with pytest.raises(ValueError):
+            RateLimit(rate=-1.0)
+
+    def test_invalid_burst_rejected(self):
+        with pytest.raises(ValueError):
+            RateLimit(rate=1.0, burst=0)
+
+
+class TestTokenBucket:
+    def test_burst_then_starve(self):
+        bucket = TokenBucket(RateLimit(rate=1.0, burst=2), now=0.0)
+        assert bucket.admit(0.0)
+        assert bucket.admit(0.0)
+        assert not bucket.admit(0.0)
+
+    def test_refills_with_virtual_time(self):
+        bucket = TokenBucket(RateLimit(rate=0.5, burst=1), now=0.0)
+        assert bucket.admit(0.0)
+        assert not bucket.admit(1.0)  # only 0.5 tokens back
+        assert bucket.admit(2.0)      # full token after 2s at rate 0.5
+
+    def test_refill_caps_at_burst(self):
+        bucket = TokenBucket(RateLimit(rate=10.0, burst=2), now=0.0)
+        # A long idle period must not bank more than `burst` tokens.
+        assert bucket.admit(100.0)
+        assert bucket.admit(100.0)
+        assert not bucket.admit(100.0)
+
+    def test_time_never_runs_backwards(self):
+        bucket = TokenBucket(RateLimit(rate=1.0, burst=1), now=5.0)
+        assert bucket.admit(5.0)
+        # An earlier timestamp contributes zero refill, not negative.
+        assert not bucket.admit(4.0)
+        assert bucket.admit(6.0)
+
+
+class TestFaultProfile:
+    def test_probability_bounds_enforced(self):
+        with pytest.raises(ValueError):
+            FaultProfile(duplicate_probability=1.5)
+        with pytest.raises(ValueError):
+            FaultProfile(corrupt_probability=-0.1)
+
+    def test_null_profile_detection(self):
+        assert FaultProfile().is_null
+        assert not FaultProfile(duplicate_probability=0.1).is_null
+        assert not FaultProfile(rate_limit=RateLimit(rate=1.0)).is_null
+
+    def test_stock_profiles_resolve(self):
+        for name in FAULT_PROFILES:
+            resolved = resolve_fault_profile(name)
+            if name == "none":
+                assert resolved is None
+            else:
+                assert resolved is FAULT_PROFILES[name]
+
+    def test_unknown_profile_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault profile"):
+            resolve_fault_profile("does-not-exist")
+
+    def test_null_object_resolves_to_none(self):
+        assert resolve_fault_profile(None) is None
+        assert resolve_fault_profile(FaultProfile()) is None
+
+
+class TestPayloadMutators:
+    def test_truncate_shortens_but_keeps_a_byte(self):
+        rng = random.Random(3)
+        payload = bytes(range(64))
+        for __ in range(100):
+            cut = truncate_payload(rng, payload)
+            assert 1 <= len(cut) < len(payload)
+            assert payload.startswith(cut)
+
+    def test_truncate_tiny_payload_is_identity(self):
+        rng = random.Random(3)
+        assert truncate_payload(rng, b"") == b""
+        assert truncate_payload(rng, b"x") == b"x"
+
+    def test_corrupt_always_changes_exactly_one_byte(self):
+        rng = random.Random(3)
+        payload = bytes(range(64))
+        for __ in range(100):
+            mutated = corrupt_payload(rng, payload)
+            assert len(mutated) == len(payload)
+            diff = [i for i in range(64) if mutated[i] != payload[i]]
+            assert len(diff) == 1
+
+    def test_corrupt_empty_payload_is_identity(self):
+        assert corrupt_payload(random.Random(3), b"") == b""
+
+
+class TestFabricFaultInjection:
+    def test_forward_path_counters_are_exact(self):
+        """Satellite regression: every injected probe lands in exactly one
+        forward-path counter bucket under a fixed seed."""
+        fabric = NetworkFabric(
+            seed=1234,
+            default_profile=LinkProfile(loss_probability=0.3),
+            fault_profile=FaultProfile(
+                name="t", rate_limit=RateLimit(rate=0.5, burst=1)
+            ),
+        )
+        fabric.bind(TARGET, "udp", 161, echo_handler)
+        fabric.set_acl(OTHER, AccessControlList(blocked_ports=frozenset({161})))
+        fabric.bind(OTHER, "udp", 161, echo_handler)
+        unbound = ipaddress.ip_address("192.0.2.200")
+        for i in range(300):
+            now = i * 0.7
+            fabric.inject(make_probe(TARGET), now=now)
+            fabric.inject(make_probe(OTHER), now=now)
+            fabric.inject(make_probe(unbound), now=now)
+        stats = fabric.stats
+        assert stats.injected == 900
+        assert stats.dropped_no_endpoint == 300
+        assert stats.dropped_acl == 300
+        assert stats.dropped_rate_limited > 0
+        assert stats.dropped_loss > 0
+        assert stats.injected == (
+            stats.dropped_no_endpoint
+            + stats.dropped_acl
+            + stats.dropped_rate_limited
+            + stats.dropped_loss
+            + stats.delivered
+        )
+
+    def test_reply_loss_counted_separately(self):
+        fabric = NetworkFabric(
+            seed=5, default_profile=LinkProfile(loss_probability=0.5)
+        )
+        fabric.bind(TARGET, "udp", 161, echo_handler)
+        for i in range(200):
+            fabric.inject(make_probe(), now=float(i))
+        stats = fabric.stats
+        assert stats.dropped_loss > 0
+        assert stats.dropped_reply_loss > 0
+        # Forward-path identity holds even with reply losses present.
+        assert stats.injected == (
+            stats.dropped_no_endpoint
+            + stats.dropped_acl
+            + stats.dropped_rate_limited
+            + stats.dropped_loss
+            + stats.delivered
+        )
+        assert stats.delivered == stats.replies + stats.dropped_reply_loss
+
+    def test_exact_drop_counts_under_fixed_seed(self):
+        """The counters are not merely consistent — they are reproducible
+        integers for a fixed seed and probe schedule."""
+        def run():
+            fabric = NetworkFabric(
+                seed=99, default_profile=LinkProfile(loss_probability=0.25)
+            )
+            fabric.bind(TARGET, "udp", 161, echo_handler)
+            for i in range(100):
+                fabric.inject(make_probe(), now=float(i))
+            s = fabric.stats
+            return (s.dropped_loss, s.dropped_reply_loss, s.delivered, s.replies)
+
+        first, second = run(), run()
+        assert first == second
+        assert first[0] + first[2] == 100
+
+    def test_null_profile_preserves_legacy_rng_stream(self):
+        """Attaching the 'none' profile must not shift a single RNG draw."""
+        def run(fault_profile):
+            fabric = NetworkFabric(
+                seed=7,
+                default_profile=LinkProfile(loss_probability=0.4, jitter=0.1),
+                fault_profile=fault_profile,
+            )
+            fabric.bind(TARGET, "udp", 161, echo_handler)
+            out = []
+            for i in range(100):
+                replies = fabric.inject(make_probe(), now=float(i))
+                out.append([(r.payload, t) for r, t in replies])
+            return out
+
+        assert run(None) == run("none") == run(FaultProfile())
+
+    def test_duplication_and_reordering(self):
+        fabric = NetworkFabric(
+            seed=11,
+            fault_profile=FaultProfile(
+                name="t", duplicate_probability=1.0, reorder_probability=1.0
+            ),
+        )
+        fabric.bind(TARGET, "udp", 161, echo_handler)
+        replies = fabric.inject(make_probe(), now=0.0)
+        assert len(replies) == 2
+        assert replies[0][0].payload == replies[1][0].payload
+        assert fabric.stats.duplicated == 1
+        assert fabric.stats.reordered == 1
+
+    def test_truncation_and_corruption_counted(self):
+        fabric = NetworkFabric(
+            seed=13,
+            fault_profile=FaultProfile(
+                name="t", truncate_probability=1.0, corrupt_probability=1.0
+            ),
+        )
+        fabric.bind(TARGET, "udp", 161, echo_handler)
+        fabric.inject(make_probe(payload=b"x" * 40), now=0.0)
+        stats = fabric.stats
+        assert stats.truncated >= 1
+        assert stats.corrupted >= 1
+
+    def test_rate_limiter_is_per_destination(self):
+        fabric = NetworkFabric(
+            seed=17,
+            fault_profile=FaultProfile(
+                name="t", rate_limit=RateLimit(rate=0.001, burst=1)
+            ),
+        )
+        fabric.bind(TARGET, "udp", 161, echo_handler)
+        fabric.bind(OTHER, "udp", 161, echo_handler)
+        assert fabric.inject(make_probe(TARGET), now=0.0)
+        # TARGET's bucket is dry, OTHER's is untouched.
+        assert fabric.inject(make_probe(TARGET), now=0.0) == []
+        assert fabric.inject(make_probe(OTHER), now=0.0)
+        assert fabric.stats.dropped_rate_limited == 1
+
+    def test_set_fault_profile_resets_buckets(self):
+        limit = FaultProfile(name="t", rate_limit=RateLimit(rate=0.001, burst=1))
+        fabric = NetworkFabric(seed=19, fault_profile=limit)
+        fabric.bind(TARGET, "udp", 161, echo_handler)
+        assert fabric.inject(make_probe(), now=0.0)
+        assert fabric.inject(make_probe(), now=0.0) == []
+        fabric.set_fault_profile(limit)
+        # Fresh bucket: the burst token is back.
+        assert fabric.inject(make_probe(), now=0.0)
+
+    def test_shard_views_have_independent_buckets(self):
+        limit = FaultProfile(name="t", rate_limit=RateLimit(rate=0.001, burst=1))
+        fabric = NetworkFabric(seed=23, fault_profile=limit)
+        fabric.bind(TARGET, "udp", 161, echo_handler)
+        view_a = fabric.shard_view(1)
+        view_b = fabric.shard_view(2)
+        assert view_a.inject(make_probe(), now=0.0)
+        assert view_a.inject(make_probe(), now=0.0) == []
+        assert view_b.inject(make_probe(), now=0.0)
+        assert view_a.stats.dropped_rate_limited == 1
+        assert view_b.stats.dropped_rate_limited == 0

@@ -1,0 +1,89 @@
+"""Golden-file regression for the ten-step filter pipeline.
+
+``tests/pipeline/golden/`` holds a frozen pair of raw-scan JSONL exports
+whose records were hand-designed so that *every* named filter removes at
+least one of them, plus survivors in three engine-ID encodings (MAC,
+Net-SNMP random, legacy non-conforming) and one non-overlapping address
+per scan.  ``expected.json`` freezes the per-step removal counts and the
+surviving records.
+
+Any behavioural drift in a filter predicate, the merge join, the JSONL
+readers or the streaming pipeline shows up here as an exact count diff —
+the fixtures must never be regenerated to make a failing test pass
+without understanding which step moved.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.io.exports import iter_scan_jsonl, load_scan_jsonl
+from repro.pipeline.filters import FILTER_NAMES, FilterPipeline
+
+GOLDEN = Path(__file__).parent / "golden"
+FIRST = GOLDEN / "scan-first.jsonl"
+SECOND = GOLDEN / "scan-second.jsonl"
+
+
+@pytest.fixture(scope="module")
+def expected():
+    return json.loads((GOLDEN / "expected.json").read_text())
+
+
+def _check(result, expected):
+    stats = result.stats
+    assert stats.input_first == expected["input_first"]
+    assert stats.input_second == expected["input_second"]
+    assert stats.non_overlapping == expected["non_overlapping"]
+    assert stats.removed == expected["removed"]
+    assert stats.valid_engine_id_count == expected["valid_engine_id_count"]
+    assert stats.valid_count == expected["valid_count"]
+    got = [
+        {
+            "ip": str(r.address),
+            "engine_id": r.engine_id.raw.hex(),
+            "engine_boots": r.engine_boots,
+            "last_reboot_first": r.last_reboot_first,
+            "last_reboot_second": r.last_reboot_second,
+        }
+        for r in result.valid
+    ]
+    assert got == expected["valid"]
+
+
+class TestGoldenCounts:
+    def test_batch_pipeline_reproduces_frozen_counts(self, expected):
+        result = FilterPipeline().run(
+            load_scan_jsonl(FIRST), load_scan_jsonl(SECOND)
+        )
+        _check(result, expected)
+
+    def test_streaming_pipeline_reproduces_frozen_counts(self, expected):
+        result = FilterPipeline().run_stream(
+            iter_scan_jsonl(FIRST), iter_scan_jsonl(SECOND)
+        )
+        _check(result, expected)
+
+    def test_every_filter_step_is_exercised(self, expected):
+        """The fixture set is only a regression net if no step is vacuous."""
+        assert set(expected["removed"]) == set(FILTER_NAMES)
+        for name, count in expected["removed"].items():
+            assert count > 0, f"golden fixtures never trigger {name}"
+        assert expected["valid_count"] > 0
+        assert expected["non_overlapping"] > 0
+
+    def test_skipping_a_step_shifts_its_records_downstream(self, expected):
+        """Ablation cross-check: with ``inconsistent-boots`` disabled, its
+        record (a mid-scan reboot, which also resets engine time) falls
+        through to the reboot-time filter instead of surviving."""
+        result = FilterPipeline(skip={"inconsistent-boots"}).run(
+            load_scan_jsonl(FIRST), load_scan_jsonl(SECOND)
+        )
+        assert result.stats.removed["inconsistent-boots"] == 0
+        assert (
+            result.stats.removed["inconsistent-reboot-time"]
+            == expected["removed"]["inconsistent-reboot-time"]
+            + expected["removed"]["inconsistent-boots"]
+        )
+        assert result.stats.valid_count == expected["valid_count"]

@@ -1,13 +1,19 @@
 """Tests for the sharded, streaming scan executor."""
 
+import ipaddress
+
 import pytest
 
+from repro.net.transport import NetworkFabric
 from repro.scanner.campaign import SCAN_LABELS, ScanCampaign
 from repro.scanner.executor import (
     ExecutorConfig,
+    RetryPolicy,
+    ShardedScanExecutor,
     plan_shards,
     shard_seed,
 )
+from repro.snmp.agent import AgentBehavior
 from repro.snmp.messages import build_discovery_probe, encode_discovery_probe
 from repro.topology.config import TopologyConfig
 from repro.topology.generator import build_topology
@@ -159,6 +165,168 @@ class TestShardPlan:
         executor = campaign._make_executor()
         with pytest.raises(ValueError):
             executor.execute(targets, label="x", ip_version=6, start_time=0.0)
+
+
+class TestRetryPolicy:
+    def test_retries_require_timeout(self):
+        with pytest.raises(ValueError, match="timeout"):
+            RetryPolicy(max_retries=1)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_retries": -1},
+            {"timeout": 0.0},
+            {"backoff_base": -0.1},
+            {"backoff_factor": 0.5},
+            {"breaker_threshold": -1},
+        ],
+    )
+    def test_invalid_policy_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+    def test_exponential_backoff_schedule(self):
+        policy = RetryPolicy(
+            max_retries=3, timeout=2.0, backoff_base=0.5, backoff_factor=2.0
+        )
+        assert policy.retry_send_time(10.0, 1) == 10.0 + 2.0 + 0.5
+        assert policy.retry_send_time(10.0, 2) == 10.0 + 2.0 + 1.0
+        assert policy.retry_send_time(10.0, 3) == 10.0 + 2.0 + 2.0
+
+
+class _FakeDevice:
+    """Just enough of Device for snapshot/restore: an agent, no pool."""
+
+    def __init__(self, agent):
+        self.agent = agent
+        self.agent_pool = None
+
+
+class TestCircuitBreaker:
+    def _dead_executor(self, retry):
+        from repro.net.mac import MacAddress
+        from repro.snmp.agent import SnmpAgent
+        from repro.snmp.engine_id import EngineId
+
+        agent = SnmpAgent(
+            engine_id=EngineId.from_mac(9, MacAddress("00:00:0c:00:00:01"))
+        )
+        # Nothing is bound on the fabric: the device is dead to probes.
+        return ShardedScanExecutor(
+            fabric=NetworkFabric(seed=3),
+            devices={1: _FakeDevice(agent)},
+            owner_of=lambda address: 1,
+            config=ExecutorConfig(num_shards=1, retry=retry),
+        )
+
+    def test_breaker_stops_retrying_dead_device(self):
+        executor = self._dead_executor(
+            RetryPolicy(max_retries=3, timeout=1.0, breaker_threshold=2)
+        )
+        targets = [ipaddress.ip_address(f"192.0.2.{i}") for i in range(1, 6)]
+        execution = executor.execute(
+            targets, label="dead", ip_version=4, start_time=0.0
+        )
+        list(execution.batches())
+        [shard] = execution.metrics.shards
+        # First two targets earn full retries; once the streak reaches the
+        # threshold the remaining three get their single ethical probe.
+        assert shard.breaker_tripped == 1
+        assert shard.retries == 2 * 3
+        assert shard.probes_sent == 2 * (1 + 3) + 3 * 1
+
+    def test_no_breaker_retries_every_target(self):
+        executor = self._dead_executor(
+            RetryPolicy(max_retries=3, timeout=1.0, breaker_threshold=0)
+        )
+        targets = [ipaddress.ip_address(f"192.0.2.{i}") for i in range(1, 6)]
+        execution = executor.execute(
+            targets, label="dead", ip_version=4, start_time=0.0
+        )
+        list(execution.batches())
+        [shard] = execution.metrics.shards
+        assert shard.breaker_tripped == 0
+        assert shard.probes_sent == 5 * (1 + 3)
+
+
+class TestFaultsAndRetries:
+    RETRY = RetryPolicy(max_retries=2, timeout=1.5)
+
+    def test_default_policy_reproduces_legacy_engine(self, serial_result):
+        """retry=RetryPolicy() must not shift a single RNG draw."""
+        __, campaign = _run_campaign(workers=1, retry=RetryPolicy())
+        result = campaign.run()
+        for label in SCAN_LABELS:
+            assert _scan_fingerprint(result.scans[label]) == \
+                _scan_fingerprint(serial_result.scans[label]), label
+
+    def test_faulted_run_is_worker_count_invariant(self):
+        """Tentpole contract under fire: faults + retries stay
+        byte-identical across worker counts."""
+        kwargs = dict(fault_profile="chaos", retry=self.RETRY, num_shards=8)
+        __, serial = _run_campaign(workers=1, **kwargs)
+        __, parallel = _run_campaign(workers=4, **kwargs)
+        serial_scans, parallel_scans = serial.run(), parallel.run()
+        for label in SCAN_LABELS:
+            assert _scan_fingerprint(parallel_scans.scans[label]) == \
+                _scan_fingerprint(serial_scans.scans[label]), label
+
+    def test_retries_recover_lost_replies(self):
+        plain_kwargs = dict(loss_probability=0.25, workers=1)
+        __, no_retry = _run_campaign(**plain_kwargs)
+        __, with_retry = _run_campaign(retry=self.RETRY, **plain_kwargs)
+        lossy = no_retry.run().scans["v4-1"]
+        recovered = with_retry.run().scans["v4-1"]
+        assert len(recovered.observations) > len(lossy.observations)
+
+    def test_retry_metrics_populated(self):
+        __, campaign = _run_campaign(
+            loss_probability=0.25, workers=1, retry=self.RETRY
+        )
+        result = campaign.run()
+        assert sum(m.retries for m in result.metrics.values()) > 0
+
+    def test_fault_counters_reach_metrics(self):
+        __, campaign = _run_campaign(
+            workers=1, fault_profile="chaos", retry=self.RETRY
+        )
+        result = campaign.run()
+        total = sum(m.faults_injected for m in result.metrics.values())
+        assert total > 0
+        for metrics in result.metrics.values():
+            assert "faults_injected" in metrics.to_dict()
+
+    def test_rate_limiter_visible_in_metrics(self):
+        from repro.net.faults import FaultProfile, RateLimit
+
+        # A bucket this starved cannot refill between a probe and its
+        # retry, so every retry to a live-but-lossy target is policed.
+        profile = FaultProfile(
+            name="starved", rate_limit=RateLimit(rate=0.01, burst=1)
+        )
+        __, campaign = _run_campaign(
+            workers=1,
+            loss_probability=0.25,
+            fault_profile=profile,
+            retry=RetryPolicy(max_retries=1, timeout=0.5),
+        )
+        result = campaign.run()
+        assert sum(m.rate_limited for m in result.metrics.values()) > 0
+
+    def test_adversarial_agents_never_crash_a_shard(self):
+        """Garbage replies are counted and skipped, not fatal."""
+        topo, campaign = _run_campaign(workers=2, retry=self.RETRY)
+        poisoned = 0
+        for device in topo.devices.values():
+            if device.snmp_open and poisoned < 25:
+                device.agent.behavior = AgentBehavior(garbage_reports=True)
+                poisoned += 1
+        result = campaign.run()
+        assert poisoned == 25
+        assert sum(m.unparsed for m in result.metrics.values()) > 0
+        summaries = [m.summary() for m in result.metrics.values()]
+        assert any("unparsed" in line for line in summaries)
 
 
 class TestConfig:
