@@ -27,13 +27,13 @@ def ctx():
 def midar_sets(ctx):
     from repro.alias.midar import MidarResolver
 
-    return MidarResolver(ctx.topology).resolve(sorted(ctx.datasets.union_v4, key=int))
+    return MidarResolver(topology=ctx.topology).resolve(sorted(ctx.datasets.union_v4, key=int))
 
 
 @pytest.fixture(scope="session")
 def speedtrap_sets(ctx):
     from repro.alias.speedtrap import SpeedtrapResolver
 
-    return SpeedtrapResolver(ctx.topology).resolve(
+    return SpeedtrapResolver(topology=ctx.topology).resolve(
         sorted(ctx.datasets.itdk_v6 | ctx.datasets.ripe_v6, key=int)
     )

@@ -8,7 +8,7 @@ from repro.alias.sets import evaluate_against_truth
 
 
 def run(ctx):
-    oracle = IcmpRateLimitOracle(ctx.topology)
+    oracle = IcmpRateLimitOracle(topology=ctx.topology)
     resolver = RateLimitResolver(oracle)
     routers = [d for d in ctx.topology.routers() if len(d.ipv4_interfaces) >= 2]
     candidates = []

@@ -10,7 +10,7 @@ from repro.alias.midar import MidarResolver
 
 def test_bench_sec53(benchmark, ctx, speedtrap_sets):
     candidates = sorted(ctx.datasets.union_v4, key=int)
-    midar = benchmark(MidarResolver(ctx.topology).resolve, candidates)
+    midar = benchmark(MidarResolver(topology=ctx.topology).resolve, candidates)
     print(f"\nMIDAR: {midar.count} sets, {midar.non_singleton_count} non-singleton "
           f"({midar.mean_non_singleton_size:.1f} IPs/set)")
     print(f"Speedtrap: {speedtrap_sets.count} sets, "

@@ -33,12 +33,12 @@ def main() -> None:
 
     print("\nIPv4 techniques (scored against ground truth):")
     score("SNMPv3", ctx.alias_v4, truth_v4)
-    midar = MidarResolver(ctx.topology).resolve(sorted(ctx.datasets.union_v4, key=int))
+    midar = MidarResolver(topology=ctx.topology).resolve(sorted(ctx.datasets.union_v4, key=int))
     score("MIDAR", midar, truth_v4)
 
     print("\nIPv6 techniques:")
     score("SNMPv3", ctx.alias_v6, truth_v6)
-    speedtrap = SpeedtrapResolver(ctx.topology).resolve(
+    speedtrap = SpeedtrapResolver(topology=ctx.topology).resolve(
         sorted(ctx.datasets.itdk_v6 | ctx.datasets.ripe_v6, key=int))
     score("Speedtrap", speedtrap, truth_v6)
 

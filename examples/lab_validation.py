@@ -42,7 +42,7 @@ def main() -> None:
         # because discovery handed us the engine ID first.
         user = UsmUser(b"admin", AuthProtocol.HMAC_SHA1_96, "s3cret-passphrase")
         router.agent.users[user.name] = user
-        client = SnmpClient(router.agent)
+        client = SnmpClient(agent=router.agent)
         discovery = client.discover(now=100.0)
         key = localized_key_from_password(user.password, discovery.engine_id,
                                           user.auth_protocol)

@@ -50,7 +50,7 @@ def main() -> None:
         mib=build_system_mib("hardened router", "r1", Oid("1.3.6.1.4.1.9.1.1"),
                              lambda: 0.0),
     )
-    client = SnmpClient(agent)
+    client = SnmpClient(agent=agent)
     value = client.get_v3_priv(user, OID_SYS_DESCR, now=100.0)
     print(f"authPriv GET over AES-128-CFB: {value.decode()}")
 

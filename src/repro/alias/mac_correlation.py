@@ -25,6 +25,7 @@ from repro.net.eui64 import mac_from_ipv6
 from repro.net.mac import MacAddress
 from repro.pipeline.records import ValidRecord
 from repro.snmp.engine_id import EngineIdFormat
+from repro.topology.model import Topology
 
 
 @dataclass(frozen=True)
@@ -115,7 +116,7 @@ class CorrelationEvaluation:
 
 
 def evaluate_correlation(
-    topology, matches: "list[MacCorrelationMatch]",
+    topology: Topology, matches: "list[MacCorrelationMatch]",
     v4_records: "list[ValidRecord]", v6_addresses: "list[IPAddress]",
 ) -> CorrelationEvaluation:
     """Score matches against device ground truth."""

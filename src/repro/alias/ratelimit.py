@@ -19,6 +19,7 @@ whose limiters are generous, yield no signal.
 from __future__ import annotations
 
 import random
+import warnings
 from dataclasses import dataclass
 
 from repro.alias.sets import AliasSets
@@ -46,12 +47,37 @@ class _TokenBucket:
 
 
 class IcmpRateLimitOracle:
-    """Answers echo probes subject to each device's shared limiter."""
+    """Answers echo probes subject to each device's shared limiter.
+
+    Arguments are keyword-only; the positional
+    ``IcmpRateLimitOracle(topology, seed)`` form is deprecated but still
+    accepted.
+    """
 
     #: Common limiter configurations (replies/second).
     RATE_CLASSES = (50.0, 100.0, 200.0)
 
-    def __init__(self, topology: Topology, seed: int = 0x1C41) -> None:
+    def __init__(self, *args, topology: "Topology | None" = None,
+                 seed: int = 0x1C41) -> None:
+        if args:
+            warnings.warn(
+                "positional IcmpRateLimitOracle(topology, seed) is "
+                "deprecated; pass keyword arguments",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if len(args) > 2:
+                raise TypeError(
+                    f"IcmpRateLimitOracle takes at most 2 positional "
+                    f"arguments, got {len(args)}"
+                )
+            if topology is not None:
+                raise TypeError("topology given positionally and by keyword")
+            topology = args[0]
+            if len(args) == 2:
+                seed = args[1]
+        if topology is None:
+            raise TypeError("IcmpRateLimitOracle requires a topology")
         self.topology = topology
         rng = random.Random(seed ^ topology.seed)
         self._buckets: dict[int, _TokenBucket] = {}

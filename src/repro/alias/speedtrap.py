@@ -10,6 +10,8 @@ than MIDAR's; the resolution machinery is otherwise identical with a
 
 from __future__ import annotations
 
+import warnings
+
 from repro.alias.ipid import CounterAliasResolver, CounterOracle
 from repro.alias.sets import AliasSets
 from repro.net.addresses import IPAddress
@@ -20,9 +22,34 @@ FRAG_ID_MODULUS = 1 << 32
 
 
 class SpeedtrapResolver:
-    """Run Speedtrap-style resolution over IPv6 candidate addresses."""
+    """Run Speedtrap-style resolution over IPv6 candidate addresses.
 
-    def __init__(self, topology: Topology, seed: int = 0x5BEED) -> None:
+    Arguments are keyword-only; the positional
+    ``SpeedtrapResolver(topology, seed)`` form is deprecated but still
+    accepted.
+    """
+
+    def __init__(self, *args, topology: "Topology | None" = None,
+                 seed: int = 0x5BEED) -> None:
+        if args:
+            warnings.warn(
+                "positional SpeedtrapResolver(topology, seed) is deprecated; "
+                "pass keyword arguments",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if len(args) > 2:
+                raise TypeError(
+                    f"SpeedtrapResolver takes at most 2 positional arguments, "
+                    f"got {len(args)}"
+                )
+            if topology is not None:
+                raise TypeError("topology given positionally and by keyword")
+            topology = args[0]
+            if len(args) == 2:
+                seed = args[1]
+        if topology is None:
+            raise TypeError("SpeedtrapResolver requires a topology")
         self._oracle = CounterOracle(
             topology,
             modulus=FRAG_ID_MODULUS,

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 from scipy import stats as sps
@@ -73,7 +74,7 @@ class BootstrapEstimate:
 
 def bootstrap_interval(
     values: "list[float]",
-    statistic=np.mean,
+    statistic: "Callable[[np.ndarray], float]" = np.mean,
     confidence: float = 0.95,
     resamples: int = 2000,
     seed: int = 7,

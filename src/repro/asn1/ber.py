@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from typing import Iterator
 
 from repro.asn1.oid import Oid
 
@@ -292,7 +293,7 @@ def decode_sequence(
     return expect_tag(buf, offset, tag_byte, "SEQUENCE")
 
 
-def iter_tlvs(content: bytes):
+def iter_tlvs(content: bytes) -> Iterator[tuple[int, bytes]]:
     """Yield ``(tag_byte, body)`` for each TLV inside a constructed content."""
     offset = 0
     while offset < len(content):

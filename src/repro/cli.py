@@ -18,9 +18,14 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
 from collections import Counter
 from pathlib import Path
+
+from repro.clock import Clock, Stopwatch
+
+#: Elapsed-time reporting goes through an injectable clock (DET001 bans
+#: ambient ``time.time()``); tests may swap in a ``ManualClock``.
+DEFAULT_CLOCK: "Clock | None" = None
 
 
 def _cmd_scan(args: argparse.Namespace) -> int:
@@ -34,7 +39,7 @@ def _cmd_scan(args: argparse.Namespace) -> int:
     out.mkdir(parents=True, exist_ok=True)
     config = TopologyConfig.paper_scale(divisor=args.scale, seed=args.seed)
     print(f"building simulated Internet (1/{args.scale:g} scale, seed {args.seed})...")
-    started = time.time()
+    stopwatch = Stopwatch(DEFAULT_CLOCK)
     topology = build_topology(config)
     retry = None
     if args.retries or args.timeout is not None:
@@ -72,7 +77,7 @@ def _cmd_scan(args: argparse.Namespace) -> int:
     if args.stats:
         for line in summaries:
             print(f"  {line}")
-    print(f"done in {time.time() - started:.1f}s")
+    print(f"done in {stopwatch.elapsed():.1f}s")
     return 0
 
 

@@ -1,0 +1,61 @@
+"""Injectable elapsed-time measurement.
+
+Rule DET001 bans ambient wall-clock reads (``time.time()``) in
+``src/repro``: a timestamp that differs between runs is entropy, and
+entropy anywhere near the measurement path undermines the byte-identical
+replay guarantee.  Elapsed-time *reporting* is still wanted — the CLI
+prints how long a campaign took — so it flows through this module:
+``time.perf_counter`` is a duration-only monotonic clock (explicitly
+whitelisted by DET001), and callers take a :class:`Clock` so tests can
+inject a :class:`ManualClock` and assert on formatted output
+deterministically.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Protocol
+
+
+class Clock(Protocol):
+    """Anything that yields monotonically non-decreasing seconds."""
+
+    def now(self) -> float:
+        """Current reading in seconds; only differences are meaningful."""
+        ...
+
+
+class PerfCounterClock:
+    """The default clock: :func:`time.perf_counter` readings."""
+
+    def now(self) -> float:
+        return time.perf_counter()
+
+
+class ManualClock:
+    """A test clock advanced explicitly with :meth:`advance`."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError(f"cannot move a clock backwards: {seconds}")
+        self._now += seconds
+
+
+class Stopwatch:
+    """Elapsed seconds since construction, against an injected clock."""
+
+    def __init__(self, clock: "Clock | None" = None) -> None:
+        self._clock: Clock = clock if clock is not None else PerfCounterClock()
+        self._started = self._clock.now()
+
+    def elapsed(self) -> float:
+        return self._clock.now() - self._started
+
+
+__all__ = ["Clock", "ManualClock", "PerfCounterClock", "Stopwatch"]

@@ -1,0 +1,34 @@
+"""Developer tooling: static analysis that guards the repo's invariants.
+
+The reproduction's headline guarantee — a seeded campaign is
+byte-identical regardless of worker count, fault profile, or shard
+layout — and its protocol-hygiene rules ("garbage is data, never a
+crash") are enforced *statically* here, before any code runs:
+
+* :mod:`repro.devtools.lint` — an AST-based rule engine with the
+  repo-specific rules (DET001/DET002/PROTO001/API001/OID001/IMP001).
+* :mod:`repro.devtools.typegate` — the strict-typing ratchet (TYP001):
+  modules listed in ``[tool.repro.typegate]`` must be fully annotated.
+
+Both ship ``python -m`` entry points and are wired into CI as hard
+gates.  Core packages must never import :mod:`repro.devtools` (that is
+itself rule IMP001); the dependency points strictly downward.
+"""
+
+from repro.devtools.lint import (
+    DEFAULT_RULES,
+    Diagnostic,
+    LintReport,
+    Rule,
+    lint_source,
+    run_lint,
+)
+
+__all__ = [
+    "DEFAULT_RULES",
+    "Diagnostic",
+    "LintReport",
+    "Rule",
+    "lint_source",
+    "run_lint",
+]

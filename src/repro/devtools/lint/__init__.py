@@ -1,0 +1,29 @@
+"""AST-based invariant linter (see ``python -m repro.devtools.lint --help``)."""
+
+from repro.devtools.lint.engine import (
+    SYNTAX_RULE,
+    Diagnostic,
+    FileContext,
+    LintReport,
+    Rule,
+    iter_python_files,
+    lint_source,
+    module_name_for,
+    run_lint,
+)
+from repro.devtools.lint.rules import DEFAULT_RULES, default_rules, oid_literal_error
+
+__all__ = [
+    "DEFAULT_RULES",
+    "Diagnostic",
+    "FileContext",
+    "LintReport",
+    "Rule",
+    "SYNTAX_RULE",
+    "default_rules",
+    "iter_python_files",
+    "lint_source",
+    "module_name_for",
+    "oid_literal_error",
+    "run_lint",
+]

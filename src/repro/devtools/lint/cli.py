@@ -1,0 +1,86 @@
+"""Command-line front end for the invariant linter.
+
+Usage::
+
+    python -m repro.devtools.lint src/repro              # the CI hard gate
+    python -m repro.devtools.lint tests --informational  # report, exit 0
+    python -m repro.devtools.lint --format json src/repro
+
+Exit status: 0 clean (or ``--informational``), 1 findings, 2 bad usage.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.devtools.lint.engine import LintReport, Rule, run_lint
+from repro.devtools.lint.rules import default_rules
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.devtools.lint",
+        description="AST-based linter for the repo's determinism and "
+                    "protocol-hygiene invariants",
+    )
+    parser.add_argument("paths", nargs="*", default=None,
+                        help="files or directories to lint (default: src/repro)")
+    parser.add_argument("--format", choices=("text", "json"), default="text",
+                        help="report format (default: text)")
+    parser.add_argument("--select", default=None, metavar="RULES",
+                        help="comma-separated rule IDs to run (default: all)")
+    parser.add_argument("--informational", action="store_true",
+                        help="always exit 0; for surveying new code")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print every rule ID with its summary and exit")
+    return parser
+
+
+def select_rules(spec: "str | None") -> "list[Rule]":
+    rules = default_rules()
+    if spec is None:
+        return rules
+    wanted = {part.strip().upper() for part in spec.split(",") if part.strip()}
+    known = {rule.rule_id for rule in rules}
+    unknown = wanted - known
+    if unknown:
+        raise SystemExit(
+            f"error: unknown rule id(s): {', '.join(sorted(unknown))} "
+            f"(known: {', '.join(sorted(known))})"
+        )
+    return [rule for rule in rules if rule.rule_id in wanted]
+
+
+def main(argv: "Sequence[str] | None" = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    rules = default_rules()
+    if args.list_rules:
+        for rule in rules:
+            print(f"{rule.rule_id}  {rule.summary}")
+        return 0
+    try:
+        rules = select_rules(args.select)
+    except SystemExit as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    paths = [Path(p) for p in (args.paths or ["src/repro"])]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(f"error: no such path: {', '.join(map(str, missing))}", file=sys.stderr)
+        return 2
+    report: LintReport = run_lint(paths, rules=rules)
+    if args.format == "json":
+        print(report.format_json())
+    else:
+        print(report.format_human())
+    if args.informational:
+        return 0
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

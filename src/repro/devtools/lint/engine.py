@@ -1,0 +1,311 @@
+"""The rule engine behind ``python -m repro.devtools.lint``.
+
+A deliberately small linter core: parse each module once with
+:mod:`ast`, hand the tree to every rule, collect
+:class:`Diagnostic` records, and drop those silenced by an inline
+``# repro-lint: disable=RULE`` comment on the flagged line.
+
+The engine knows nothing about the repo's invariants — rules do (see
+:mod:`repro.devtools.lint.rules`).  Rules receive a :class:`FileContext`
+carrying the parsed tree plus the module's dotted name, so scoping
+decisions ("only fork-pool-shared packages", "only protocol decoders")
+are made on module names, never on brittle path matching.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import json
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+#: Inline suppression marker.  Same-line only, one or more rule IDs:
+#: ``do_risky_thing()  # repro-lint: disable=DET001,PROTO001``
+_SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)")
+
+#: Rule ID used for files that do not parse; it cannot be suppressed.
+SYNTAX_RULE = "SYNTAX"
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: a rule, a location, and a human-readable message."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_json(self) -> dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+class FileContext:
+    """Everything a rule may need about one module under analysis."""
+
+    def __init__(
+        self,
+        *,
+        path: Path,
+        display_path: str,
+        module: str,
+        source: str,
+        tree: ast.Module,
+        package_root: Path | None = None,
+    ) -> None:
+        self.path = path
+        self.display_path = display_path
+        self.module = module
+        self.source = source
+        self.tree = tree
+        #: Directory of the top-level package the module belongs to
+        #: (e.g. ``.../src/repro``); ``None`` for loose files.
+        self.package_root = package_root
+        self.is_package = path.name == "__init__.py"
+        self._suppressions: dict[int, set[str]] | None = None
+
+    def diagnostic(self, rule: str, node: ast.AST, message: str) -> Diagnostic:
+        return Diagnostic(
+            rule=rule,
+            path=self.display_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+        )
+
+    # -- suppressions ------------------------------------------------------
+
+    @property
+    def suppressions(self) -> dict[int, set[str]]:
+        """Map of line number -> rule IDs disabled on that line.
+
+        Comments are located with :mod:`tokenize`, so markers inside
+        string literals never silence anything.
+        """
+        if self._suppressions is None:
+            self._suppressions = self._scan_suppressions()
+        return self._suppressions
+
+    def _scan_suppressions(self) -> dict[int, set[str]]:
+        found: dict[int, set[str]] = {}
+        try:
+            tokens = tokenize.generate_tokens(io.StringIO(self.source).readline)
+            for tok in tokens:
+                if tok.type != tokenize.COMMENT:
+                    continue
+                match = _SUPPRESS_RE.search(tok.string)
+                if match is None:
+                    continue
+                rules = {part.strip() for part in match.group(1).split(",") if part.strip()}
+                found.setdefault(tok.start[0], set()).update(rules)
+        except tokenize.TokenError:  # pragma: no cover - engine already parsed the file
+            pass
+        return found
+
+    def is_suppressed(self, diag: Diagnostic) -> bool:
+        if diag.rule == SYNTAX_RULE:
+            return False
+        return diag.rule in self.suppressions.get(diag.line, set())
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set :attr:`rule_id` / :attr:`summary` and implement
+    :meth:`check`.  A rule sees one file at a time; cross-file state
+    (e.g. the blessed-API table) belongs on the rule instance.
+    """
+
+    rule_id: str = "RULE000"
+    summary: str = ""
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.rule_id}>"
+
+
+@dataclass
+class LintReport:
+    """Aggregated result of one lint run."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    files: int = 0
+    suppressed: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.diagnostics
+
+    def counts(self) -> dict[str, int]:
+        by_rule: dict[str, int] = {}
+        for diag in self.diagnostics:
+            by_rule[diag.rule] = by_rule.get(diag.rule, 0) + 1
+        return dict(sorted(by_rule.items()))
+
+    def to_json(self) -> dict[str, object]:
+        return {
+            "version": 1,
+            "files": self.files,
+            "suppressed": self.suppressed,
+            "counts": self.counts(),
+            "diagnostics": [d.to_json() for d in self.diagnostics],
+        }
+
+    def format_json(self) -> str:
+        return json.dumps(self.to_json(), indent=2, sort_keys=False)
+
+    def format_human(self) -> str:
+        lines = [d.format() for d in self.diagnostics]
+        if self.diagnostics:
+            total = len(self.diagnostics)
+            parts = ", ".join(f"{rule} x{n}" for rule, n in self.counts().items())
+            lines.append(f"{total} finding{'s' if total != 1 else ''} ({parts}) "
+                         f"in {self.files} files; {self.suppressed} suppressed")
+        else:
+            lines.append(f"clean: {self.files} files, {self.suppressed} suppressed")
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# discovery
+# ---------------------------------------------------------------------------
+
+def module_name_for(path: Path) -> tuple[str, Path | None]:
+    """Dotted module name for ``path`` plus its top-level package directory.
+
+    Walks upward while ``__init__.py`` files exist, so
+    ``src/repro/scanner/executor.py`` maps to
+    ``("repro.scanner.executor", .../src/repro)`` regardless of where
+    the lint run was rooted.  Loose scripts map to their stem.
+    """
+    path = path.resolve()
+    parts = [path.stem] if path.name != "__init__.py" else []
+    package_dir = path.parent
+    top: Path | None = None
+    while (package_dir / "__init__.py").exists():
+        parts.insert(0, package_dir.name)
+        top = package_dir
+        package_dir = package_dir.parent
+    if not parts:
+        parts = [path.stem]
+    return ".".join(parts), top
+
+
+def iter_python_files(paths: Sequence[Path]) -> list[Path]:
+    """Expand files/directories into a sorted, de-duplicated module list."""
+    seen: set[Path] = set()
+    ordered: list[Path] = []
+    for entry in paths:
+        if entry.is_dir():
+            candidates: Iterable[Path] = sorted(entry.rglob("*.py"))
+        else:
+            candidates = [entry]
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if "__pycache__" in resolved.parts or resolved in seen:
+                continue
+            seen.add(resolved)
+            ordered.append(candidate)
+    return ordered
+
+
+# ---------------------------------------------------------------------------
+# running
+# ---------------------------------------------------------------------------
+
+def lint_source(
+    source: str,
+    *,
+    module: str,
+    rules: Sequence[Rule],
+    path: Path | None = None,
+    display_path: str | None = None,
+    package_root: Path | None = None,
+) -> tuple[list[Diagnostic], int]:
+    """Lint one in-memory module; returns ``(diagnostics, suppressed)``.
+
+    The test-suite entry point: fixtures are checked under a synthetic
+    ``module`` name so scoped rules (DET002, PROTO001, ...) can be
+    exercised without files living inside ``src/repro``.
+    """
+    real_path = path or Path(f"<{module}>")
+    shown = display_path or str(real_path)
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        diag = Diagnostic(
+            rule=SYNTAX_RULE,
+            path=shown,
+            line=exc.lineno or 1,
+            col=(exc.offset or 0) + 1,
+            message=f"file does not parse: {exc.msg}",
+        )
+        return [diag], 0
+    ctx = FileContext(
+        path=real_path,
+        display_path=shown,
+        module=module,
+        source=source,
+        tree=tree,
+        package_root=package_root,
+    )
+    kept: list[Diagnostic] = []
+    suppressed = 0
+    for rule in rules:
+        for diag in rule.check(ctx):
+            if ctx.is_suppressed(diag):
+                suppressed += 1
+            else:
+                kept.append(diag)
+    kept.sort(key=lambda d: (d.path, d.line, d.col, d.rule))
+    return kept, suppressed
+
+
+def run_lint(paths: Sequence[Path], *, rules: Sequence[Rule]) -> LintReport:
+    """Lint every module under ``paths`` with ``rules``."""
+    report = LintReport()
+    for file_path in iter_python_files(paths):
+        try:
+            source = file_path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            report.diagnostics.append(
+                Diagnostic(
+                    rule=SYNTAX_RULE,
+                    path=str(file_path),
+                    line=1,
+                    col=1,
+                    message=f"cannot read file: {exc}",
+                )
+            )
+            report.files += 1
+            continue
+        module, package_root = module_name_for(file_path)
+        diags, suppressed = lint_source(
+            source,
+            module=module,
+            rules=rules,
+            path=file_path,
+            display_path=str(file_path),
+            package_root=package_root,
+        )
+        report.diagnostics.extend(diags)
+        report.suppressed += suppressed
+        report.files += 1
+    report.diagnostics.sort(key=lambda d: (d.path, d.line, d.col, d.rule))
+    return report

@@ -1,0 +1,160 @@
+"""The strict-typing ratchet: ``python -m repro.devtools.typegate``.
+
+Modules listed under ``[tool.repro.typegate] strict = [...]`` in
+``pyproject.toml`` (exact module names or package prefixes) must be
+*fully annotated*: every function and method declares a return type and
+annotates every named parameter (``self``/``cls`` and bare ``*args`` /
+``**kwargs`` shims are exempt; nested functions are local detail and
+skipped).  Violations are reported as rule **TYP001** through the same
+engine as the invariant linter, so ``# repro-lint: disable=TYP001``
+works for the rare justified exception.
+
+The ratchet only tightens: add a module once it is clean, never remove
+one.  CI additionally runs real ``mypy`` over the same module list with
+``disallow_untyped_defs`` (see ``[tool.mypy]``); this AST gate is the
+dependency-free approximation that runs everywhere, including
+environments without mypy installed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from pathlib import Path
+from typing import Iterator, Sequence
+
+from repro.devtools.lint.engine import Diagnostic, FileContext, LintReport, Rule, run_lint
+
+try:  # python >= 3.11
+    import tomllib
+except ModuleNotFoundError:  # pragma: no cover - 3.10 fallback
+    tomllib = None  # type: ignore[assignment]
+
+#: Used when pyproject.toml is missing or unreadable, so the gate stays
+#: meaningful even from an sdist without project metadata.
+FALLBACK_STRICT: tuple[str, ...] = ("repro.devtools",)
+
+
+def load_strict_modules(pyproject: "Path | None" = None) -> tuple[str, ...]:
+    """Read the ratchet table; search upward from cwd when no path given."""
+    candidates: list[Path]
+    if pyproject is not None:
+        candidates = [pyproject]
+    else:
+        here = Path.cwd().resolve()
+        candidates = [parent / "pyproject.toml" for parent in (here, *here.parents)]
+    for candidate in candidates:
+        if not candidate.is_file():
+            continue
+        if tomllib is None:
+            break
+        try:
+            with candidate.open("rb") as fh:
+                data = tomllib.load(fh)
+        except (OSError, tomllib.TOMLDecodeError):
+            break
+        table = data.get("tool", {}).get("repro", {}).get("typegate", {})
+        strict = table.get("strict", [])
+        if isinstance(strict, list) and all(isinstance(m, str) for m in strict):
+            return tuple(strict)
+        break
+    return FALLBACK_STRICT
+
+
+class AnnotationCompletenessRule(Rule):
+    """TYP001: ratcheted modules declare every parameter and return type."""
+
+    rule_id = "TYP001"
+    summary = "function in a strict-typed module is missing annotations"
+
+    def __init__(self, strict_modules: Sequence[str]) -> None:
+        self._strict = tuple(strict_modules)
+
+    def _applies(self, module: str) -> bool:
+        return any(module == m or module.startswith(m + ".") for m in self._strict)
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        if not self._applies(ctx.module):
+            return
+        yield from self._walk_body(ctx, ctx.tree.body, method=False)
+
+    def _walk_body(
+        self, ctx: FileContext, body: Sequence[ast.stmt], *, method: bool
+    ) -> Iterator[Diagnostic]:
+        for stmt in body:
+            if isinstance(stmt, ast.ClassDef):
+                yield from self._walk_body(ctx, stmt.body, method=True)
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                # Nested defs are implementation detail; do not recurse.
+                missing = self._missing_annotations(stmt, method=method)
+                if missing:
+                    yield ctx.diagnostic(
+                        self.rule_id, stmt,
+                        f"{stmt.name}() is missing annotations: "
+                        f"{', '.join(missing)} (module is in the "
+                        f"[tool.repro.typegate] strict ratchet)",
+                    )
+
+    @staticmethod
+    def _missing_annotations(
+        fn: "ast.FunctionDef | ast.AsyncFunctionDef", *, method: bool
+    ) -> list[str]:
+        missing: list[str] = []
+        named = fn.args.posonlyargs + fn.args.args
+        skip_first = method and bool(named) and named[0].arg in ("self", "cls")
+        for index, arg in enumerate(named):
+            if index == 0 and skip_first:
+                continue
+            if arg.annotation is None:
+                missing.append(f"parameter {arg.arg!r}")
+        for arg in fn.args.kwonlyargs:
+            if arg.annotation is None:
+                missing.append(f"parameter {arg.arg!r}")
+        if fn.returns is None:
+            missing.append("return type")
+        return missing
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.devtools.typegate",
+        description="annotation-completeness gate over the "
+                    "[tool.repro.typegate] strict ratchet",
+    )
+    parser.add_argument("paths", nargs="*", default=None,
+                        help="files or directories to check (default: src/repro)")
+    parser.add_argument("--pyproject", default=None,
+                        help="explicit pyproject.toml carrying the ratchet table")
+    parser.add_argument("--format", choices=("text", "json"), default="text")
+    parser.add_argument("--informational", action="store_true",
+                        help="always exit 0")
+    parser.add_argument("--list-modules", action="store_true",
+                        help="print the ratcheted module list and exit")
+    return parser
+
+
+def main(argv: "Sequence[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+    strict = load_strict_modules(Path(args.pyproject) if args.pyproject else None)
+    if args.list_modules:
+        for module in strict:
+            print(module)
+        return 0
+    paths = [Path(p) for p in (args.paths or ["src/repro"])]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(f"error: no such path: {', '.join(map(str, missing))}", file=sys.stderr)
+        return 2
+    report: LintReport = run_lint(paths, rules=[AnnotationCompletenessRule(strict)])
+    if args.format == "json":
+        print(report.format_json())
+    else:
+        print(report.format_human())
+    if args.informational:
+        return 0
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via -m
+    raise SystemExit(main())

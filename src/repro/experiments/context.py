@@ -17,7 +17,7 @@ from repro.alias.snmpv3 import resolve_aliases, resolve_dual_stack
 from repro.fingerprint.vendor import VendorInference, vendor_of_alias_set
 from repro.net.addresses import IPAddress
 from repro.pipeline.filters import FilterPipeline, PipelineResult
-from repro.pipeline.records import ValidRecord
+from repro.pipeline.records import MergedObservation, ValidRecord
 from repro.scanner.campaign import CampaignResult, ScanCampaign
 from repro.topology.config import TopologyConfig
 from repro.topology.datasets import RdnsZone, RouterDatasets, build_rdns_zone
@@ -79,14 +79,14 @@ class ExperimentContext:
         return {r.address: r for r in self.valid_v4 + self.valid_v6}
 
     @cached_property
-    def merged_v4(self):
+    def merged_v4(self) -> list[MergedObservation]:
         """Scan-pair join for IPv4 (pre-filter), cached for the figures."""
         from repro.pipeline.records import merge_scan_pair
 
         return merge_scan_pair(*self.campaign.scan_pair(4))[0]
 
     @cached_property
-    def merged_v6(self):
+    def merged_v6(self) -> list[MergedObservation]:
         """Scan-pair join for IPv6 (pre-filter), cached for the figures."""
         from repro.pipeline.records import merge_scan_pair
 

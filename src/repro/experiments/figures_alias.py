@@ -147,8 +147,8 @@ class Section53:
 def section53(ctx: ExperimentContext) -> Section53:
     midar_candidates = sorted(ctx.datasets.union_v4, key=int)
     speedtrap_candidates = sorted(ctx.datasets.itdk_v6 | ctx.datasets.ripe_v6, key=int)
-    midar_sets = MidarResolver(ctx.topology).resolve(midar_candidates)
-    speedtrap_sets = SpeedtrapResolver(ctx.topology).resolve(speedtrap_candidates)
+    midar_sets = MidarResolver(topology=ctx.topology).resolve(midar_candidates)
+    speedtrap_sets = SpeedtrapResolver(topology=ctx.topology).resolve(speedtrap_candidates)
     return Section53(
         midar=midar_sets,
         speedtrap=speedtrap_sets,
@@ -170,7 +170,7 @@ class Section54:
 
 def section54(ctx: ExperimentContext, midar_sets: "AliasSets | None" = None) -> Section54:
     if midar_sets is None:
-        midar_sets = MidarResolver(ctx.topology).resolve(
+        midar_sets = MidarResolver(topology=ctx.topology).resolve(
             sorted(ctx.datasets.union_v4, key=int)
         )
     coverage = combined_coverage(

@@ -9,9 +9,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from typing import Iterable
+
 from repro.analysis.ecdf import Ecdf
 from repro.analysis.hamming import hamming_weight_distribution, mean, skewness
 from repro.experiments.context import ExperimentContext
+from repro.scanner.records import ScanObservation, ScanResult
 from repro.snmp.engine_id import EngineIdFormat
 
 
@@ -41,7 +44,7 @@ class Figure4:
         return self.ecdf_v4.values[-1] if self.ecdf_v4.values else 0.0
 
 
-def _ips_per_engine_id(scan_observations) -> list[int]:
+def _ips_per_engine_id(scan_observations: Iterable[ScanObservation]) -> list[int]:
     counts: dict[bytes, int] = {}
     for obs in scan_observations:
         if obs.engine_id is None or not obs.engine_id.raw:
@@ -83,7 +86,7 @@ class Figure5:
         return "\n".join(lines)
 
 
-def _format_shares(scan) -> dict[EngineIdFormat, float]:
+def _format_shares(scan: ScanResult) -> dict[EngineIdFormat, float]:
     seen: set[bytes] = set()
     counts: dict[EngineIdFormat, int] = {}
     for obs in scan.observations.values():

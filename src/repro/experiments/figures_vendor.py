@@ -30,6 +30,7 @@ from repro.analysis.regional import (
 )
 from repro.experiments.context import ExperimentContext
 from repro.fingerprint.nmap import NmapEngine, NmapOutcome
+from repro.fingerprint.vendor import VendorInference
 from repro.fingerprint.uptime import UptimeStatistics, uptime_statistics
 from repro.topology.model import Region
 
@@ -78,7 +79,9 @@ class VendorPopularity:
         return self.counts.get(vendor, 0)
 
 
-def _popularity(sets_with_vendors) -> VendorPopularity:
+def _popularity(
+    sets_with_vendors: "list[tuple[frozenset, VendorInference]]",
+) -> VendorPopularity:
     counts: dict[str, int] = {}
     by_protocol: dict[str, dict[str, int]] = {}
     for group, verdict in sets_with_vendors:

@@ -87,7 +87,7 @@ class LabReport:
 
 def run_lab_experiment(router: LabRouter, community: bytes = b"pass123") -> LabReport:
     """Execute the §6.2.1 protocol against one lab router."""
-    client = SnmpClient(router.agent)
+    client = SnmpClient(agent=router.agent)
 
     # 1. Factory state: silence on both protocol versions.
     before_v2c = client.get_v2c(community, OID_SYS_DESCR)

@@ -11,7 +11,9 @@ from __future__ import annotations
 
 import csv
 from pathlib import Path
+from typing import Iterable, Sequence
 
+from repro.analysis.ecdf import Ecdf
 from repro.experiments import figures_alias as fa
 from repro.experiments import figures_engine as fe
 from repro.experiments import figures_vendor as fv
@@ -20,14 +22,14 @@ from repro.experiments.context import ExperimentContext
 from repro.snmp.engine_id import EngineIdFormat
 
 
-def _write(path: Path, header: "list[str]", rows) -> None:
+def _write(path: Path, header: "list[str]", rows: "Iterable[Sequence[str]]") -> None:
     with path.open("w", encoding="utf-8", newline="") as handle:
         writer = csv.writer(handle)
         writer.writerow(header)
         writer.writerows(rows)
 
 
-def _ecdf_rows(ecdf):
+def _ecdf_rows(ecdf: Ecdf) -> list[tuple[str, str]]:
     return [(f"{x:.6g}", f"{y:.6f}") for x, y in ecdf.series()]
 
 
@@ -37,7 +39,7 @@ def publish_all(ctx: ExperimentContext, out_dir: "str | Path") -> list[str]:
     out.mkdir(parents=True, exist_ok=True)
     written: list[str] = []
 
-    def emit(name: str, header: "list[str]", rows) -> None:
+    def emit(name: str, header: "list[str]", rows: "Iterable[Sequence[str]]") -> None:
         _write(out / name, header, rows)
         written.append(name)
 

@@ -23,9 +23,11 @@ or future engine times, and malformed replies.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field, replace
 
 from repro.asn1 import ber
+from repro.asn1.oid import Oid
 from repro.net.packet import Datagram
 from repro.snmp import constants, pdu as pdu_mod
 from repro.snmp.engine_id import EngineId
@@ -116,11 +118,16 @@ class SnmpAgent:
     The agent is deliberately transport-agnostic: :meth:`handle` takes the
     raw UDP payload and the virtual receive time and returns reply
     payloads.  The simulated fabric adapts it to :class:`Datagram`.
+
+    Arguments are keyword-only; the historical positional
+    ``SnmpAgent(engine_id, boot_time, ...)`` form still works but emits
+    a :class:`DeprecationWarning`.
     """
 
     def __init__(
         self,
-        engine_id: EngineId,
+        *args,
+        engine_id: "EngineId | None" = None,
         boot_time: float = 0.0,
         engine_boots: int = 1,
         behavior: "AgentBehavior | None" = None,
@@ -128,6 +135,32 @@ class SnmpAgent:
         users: "tuple[UsmUser, ...]" = (),
         mib: "Mib | None" = None,
     ) -> None:
+        if args:
+            warnings.warn(
+                "positional SnmpAgent(engine_id, boot_time, ...) is "
+                "deprecated; pass keyword arguments",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            names = ("engine_id", "boot_time", "engine_boots", "behavior",
+                     "communities", "users", "mib")
+            if len(args) > len(names):
+                raise TypeError(
+                    f"SnmpAgent takes at most {len(names)} positional "
+                    f"arguments, got {len(args)}"
+                )
+            provided = dict(zip(names, args))
+            if "engine_id" in provided and engine_id is not None:
+                raise TypeError("engine_id given positionally and by keyword")
+            engine_id = provided.get("engine_id", engine_id)
+            boot_time = provided.get("boot_time", boot_time)
+            engine_boots = provided.get("engine_boots", engine_boots)
+            behavior = provided.get("behavior", behavior)
+            communities = provided.get("communities", communities)
+            users = provided.get("users", users)
+            mib = provided.get("mib", mib)
+        if engine_id is None:
+            raise TypeError("SnmpAgent requires an engine_id")
         self.engine_id = engine_id
         self.boot_time = boot_time
         self.engine_boots = engine_boots
@@ -405,7 +438,7 @@ class SnmpAgent:
         return raw
 
     def _report(
-        self, request: SnmpV3Message, counter_oid, counter_value: int, now: float
+        self, request: SnmpV3Message, counter_oid: Oid, counter_value: int, now: float
     ) -> bytes:
         request_id = (
             request.scoped_pdu.pdu.request_id if request.scoped_pdu is not None else request.msg_id
@@ -429,7 +462,9 @@ class SnmpAgent:
 
     # -- MIB access ------------------------------------------------------------
 
-    def _resolve(self, varbinds, now: float):
+    def _resolve(
+        self, varbinds: "tuple[pdu_mod.VarBind, ...]", now: float
+    ) -> "tuple[tuple[pdu_mod.VarBind, ...], int, int]":
         resolved = []
         for index, varbind in enumerate(varbinds, start=1):
             value = self.mib.get(varbind.name, now)
@@ -438,7 +473,9 @@ class SnmpAgent:
             resolved.append(pdu_mod.VarBind(varbind.name, value))
         return tuple(resolved), constants.ERR_NO_ERROR, 0
 
-    def _resolve_next(self, varbinds, now: float):
+    def _resolve_next(
+        self, varbinds: "tuple[pdu_mod.VarBind, ...]", now: float
+    ) -> "tuple[tuple[pdu_mod.VarBind, ...], int, int]":
         resolved = []
         for index, varbind in enumerate(varbinds, start=1):
             entry = self.mib.get_next(varbind.name, now)
@@ -447,7 +484,9 @@ class SnmpAgent:
             resolved.append(pdu_mod.VarBind(entry[0], entry[1]))
         return tuple(resolved), constants.ERR_NO_ERROR, 0
 
-    def _resolve_bulk(self, request, now: float):
+    def _resolve_bulk(
+        self, request: pdu_mod.Pdu, now: float
+    ) -> "tuple[tuple[pdu_mod.VarBind, ...], int, int]":
         """GetBulk (RFC 3416 §4.2.3): the PDU's error-status field carries
         non-repeaters, error-index carries max-repetitions.  Exhausted
         columns simply stop producing rows (endOfMibView simplified)."""

@@ -12,6 +12,7 @@ Two use cases:
 from __future__ import annotations
 
 import itertools
+import warnings
 from dataclasses import dataclass
 
 from repro.asn1 import ber
@@ -52,9 +53,28 @@ class SnmpClient:
 
     ``agent`` is queried synchronously; ``now`` advances under caller
     control so uptime-sensitive tests are deterministic.
+
+    Arguments are keyword-only; the positional ``SnmpClient(agent)``
+    form is deprecated but still accepted.
     """
 
-    def __init__(self, agent: SnmpAgent) -> None:
+    def __init__(self, *args, agent: "SnmpAgent | None" = None) -> None:
+        if args:
+            warnings.warn(
+                "positional SnmpClient(agent) is deprecated; "
+                "pass keyword arguments",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if len(args) > 1:
+                raise TypeError(
+                    f"SnmpClient takes at most 1 positional argument, got {len(args)}"
+                )
+            if agent is not None:
+                raise TypeError("agent given positionally and by keyword")
+            agent = args[0]
+        if agent is None:
+            raise TypeError("SnmpClient requires an agent")
         self._agent = agent
         self._msg_ids = itertools.count(1)
 
@@ -218,8 +238,9 @@ class SnmpClient:
         return reply.varbinds[0].value
 
     def _authenticated_request(
-        self, user: UsmUser, request_pdu, now: float, encrypt: bool = False
-    ):
+        self, user: UsmUser, request_pdu: pdu_mod.Pdu, now: float,
+        encrypt: bool = False,
+    ) -> "pdu_mod.Pdu | None":
         """Discovery + (encrypt) + sign + send; returns the Response PDU."""
         discovery = self.discover(now)
         if discovery is None:

@@ -9,7 +9,10 @@ walks the sorted OID space, which is all the client side needs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:  # agent.py imports this module; keep the cycle type-only
+    from repro.snmp.agent import SnmpAgent
 
 from repro.asn1.oid import Oid
 from repro.snmp import constants
@@ -49,7 +52,7 @@ class Mib:
         return len(self.entries)
 
 
-def install_engine_group(mib: "Mib", agent) -> None:
+def install_engine_group(mib: "Mib", agent: "SnmpAgent") -> None:
     """Install the snmpEngine group, live-wired to the agent's state.
 
     An authenticated manager can then read the same identity discovery

@@ -24,6 +24,7 @@ from __future__ import annotations
 import ipaddress
 import math
 import random
+import warnings
 import zlib
 from dataclasses import dataclass
 
@@ -81,10 +82,34 @@ class _VendorMacAllocator:
 
 
 class TopologyGenerator:
-    """Deterministic topology builder."""
+    """Deterministic topology builder.
 
-    def __init__(self, config: "TopologyConfig | None" = None,
+    Arguments are keyword-only; the positional
+    ``TopologyGenerator(config, registry)`` form is deprecated but
+    still accepted.
+    """
+
+    def __init__(self, *args, config: "TopologyConfig | None" = None,
                  registry: "OuiRegistry | None" = None) -> None:
+        if args:
+            warnings.warn(
+                "positional TopologyGenerator(config, registry) is "
+                "deprecated; pass keyword arguments",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if len(args) > 2:
+                raise TypeError(
+                    f"TopologyGenerator takes at most 2 positional "
+                    f"arguments, got {len(args)}"
+                )
+            if config is not None:
+                raise TypeError("config given positionally and by keyword")
+            config = args[0]
+            if len(args) == 2:
+                if registry is not None:
+                    raise TypeError("registry given positionally and by keyword")
+                registry = args[1]
         self.config = config or TopologyConfig()
         self.registry = registry or default_registry()
         self._rng = random.Random(self.config.seed)
@@ -531,9 +556,18 @@ class TopologyGenerator:
         if fmt == "legacy":
             # Mostly sparse bit patterns with a dense minority: the
             # positively skewed Hamming-weight distribution of Figure 6.
+            # AUDITED (PR 3): ANDing two independent draws is a deliberate
+            # bias, not a bug — each bit is 1 with probability 0.25, so a
+            # byte's expected weight drops from 4 to 2, reproducing the
+            # low-weight mode of the figure.  Two RNG draws per byte is
+            # also load-bearing for seeded-stream stability: replacing it
+            # with one draw would shift every later draw and regenerate
+            # the topology.  Both draws use the seeded generator, so
+            # determinism is unaffected.
             if rng.random() < 0.7:
                 data = bytes(
-                    rng.getrandbits(8) & rng.getrandbits(8) for __ in range(8)
+                    rng.getrandbits(8) & rng.getrandbits(8)  # repro-lint: disable=DET001
+                    for __ in range(8)
                 )
             else:
                 data = rng.randbytes(8)
@@ -667,4 +701,4 @@ def _poisson(rng: random.Random, lam: float) -> int:
 
 def build_topology(config: "TopologyConfig | None" = None) -> Topology:
     """One-call convenience wrapper."""
-    return TopologyGenerator(config).build()
+    return TopologyGenerator(config=config).build()

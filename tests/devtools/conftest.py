@@ -1,0 +1,27 @@
+"""Shared helpers for the devtools test suite.
+
+Fixture modules under ``fixtures/`` mark every expected finding with a
+trailing ``# expect: RULEID`` comment; :func:`load_fixture` parses those
+markers so the tests assert exact rule IDs *and* exact line numbers
+without hand-maintained line tables.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+_EXPECT_RE = re.compile(r"#\s*expect:\s*([A-Z0-9]+)")
+
+
+def load_fixture(name: str) -> tuple[str, list[tuple[str, int]]]:
+    """Return ``(source, [(rule_id, line), ...])`` for one fixture file."""
+    source = (FIXTURES / name).read_text(encoding="utf-8")
+    expected = []
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _EXPECT_RE.search(line)
+        if match:
+            expected.append((match.group(1), lineno))
+    return source, expected

@@ -1,0 +1,7 @@
+"""API001 fixture: a blessed class with a positional constructor."""
+
+
+class Gadget:
+    def __init__(self, size, color=None):  # expect: API001
+        self.size = size
+        self.color = color

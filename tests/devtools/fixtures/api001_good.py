@@ -1,0 +1,17 @@
+"""API001 fixture: keyword-only constructors and the *args shim pass."""
+
+from dataclasses import dataclass
+
+
+class Gadget:
+    def __init__(self, *args, size=None, color=None):
+        # A bare *args deprecation shim is the blessed migration idiom.
+        self.size = size
+        self.color = color
+
+
+@dataclass
+class Point:
+    # Dataclass-generated constructors are data records: exempt.
+    x: int
+    y: int

@@ -1,0 +1,29 @@
+"""DET001 fixture: every marked line is a wall-clock or entropy source.
+
+The marker comments are asserted by the rule tests; the fixture is
+never imported, only parsed.
+"""
+
+import os
+import random
+import time
+import uuid
+from datetime import datetime
+
+import numpy as np
+
+
+def stamp():
+    started = time.time()  # expect: DET001
+    today = datetime.now()  # expect: DET001
+    token = uuid.uuid4()  # expect: DET001
+    noise = os.urandom(8)  # expect: DET001
+    pick = random.choice([1, 2, 3])  # expect: DET001
+    draws = np.random.uniform()  # expect: DET001
+    rng = random.Random()  # expect: DET001
+    return started, today, token, noise, pick, draws, rng
+
+
+def quiet():
+    # A justified exception stays visible but silenced:
+    return time.time()  # repro-lint: disable=DET001

@@ -1,0 +1,10 @@
+"""DET001 fixture: the approved idioms pass untouched."""
+
+import random
+import time
+
+
+def approved(seed: int) -> float:
+    rng = random.Random(seed)  # explicit seed: replayable
+    started = time.perf_counter()  # duration-only clock is whitelisted
+    return rng.random() + (time.perf_counter() - started)

@@ -1,0 +1,17 @@
+"""DET002 fixture: module-level mutable state mutated from functions."""
+
+_CACHE = {}
+_SEEN = []
+
+
+def remember(key, value):
+    _CACHE[key] = value  # expect: DET002
+
+
+def track(item):
+    _SEEN.append(item)  # expect: DET002
+
+
+def reset():
+    global _CACHE
+    _CACHE = {}  # expect: DET002

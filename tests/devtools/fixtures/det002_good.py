@@ -1,0 +1,13 @@
+"""DET002 fixture: frozen lookup tables and shadowed locals are fine."""
+
+_TABLE = {"a": 1, "b": 2}  # read-only lookup table
+
+
+def lookup(key):
+    return _TABLE.get(key)
+
+
+def local_shadow():
+    _TABLE = {}  # a local of the same name, not the module global
+    _TABLE["x"] = 1
+    return _TABLE

@@ -1,0 +1,10 @@
+"""IMP001 fixture: a core module reaching into upper layers.
+
+Linted under a synthetic ``repro.pipeline.*`` module name; never
+imported (the targets do not even need to exist).
+"""
+
+import tests.helpers  # expect: IMP001
+from tests import utilities  # expect: IMP001
+from repro.experiments import context  # expect: IMP001
+import repro.devtools.lint  # expect: IMP001

@@ -1,0 +1,9 @@
+"""IMP001 fixture: core-to-core imports are always fine."""
+
+import json
+
+from repro.asn1.oid import Oid
+
+
+def parse(text):
+    return Oid(json.loads(text))

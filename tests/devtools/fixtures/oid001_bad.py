@@ -1,0 +1,12 @@
+"""OID001 fixture: malformed OID literals, in calls and bare strings."""
+
+
+def Oid(text):
+    return text
+
+
+BAD_LEADING_ZERO = Oid("1.3.6.1.02.1")  # expect: OID001
+BAD_FIRST_ARC = Oid("9.3.6.1.2.1")  # expect: OID001
+BAD_SECOND_ARC = Oid("1.40.6.1.2.1")  # expect: OID001
+BAD_ARC_TEXT = Oid("1.3.6.x.2.1")  # expect: OID001
+BARE_LITERAL = "1.3.6.1.99999.02.1"  # expect: OID001

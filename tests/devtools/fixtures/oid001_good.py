@@ -1,0 +1,12 @@
+"""OID001 fixture: well-formed OIDs and lookalike strings that are not OIDs."""
+
+
+def Oid(text):
+    return text
+
+
+SYS_DESCR = Oid("1.3.6.1.2.1.1.1.0")
+SHORT = Oid("1.3")
+ZERO_ARC = Oid("1.3.6.1.4.0.1")
+IPV4_NOT_AN_OID = "203.0.113.77"  # four arcs: out of OID shape
+VERSION_STRING = "1.2.3"

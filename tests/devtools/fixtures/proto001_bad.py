@@ -1,0 +1,18 @@
+"""PROTO001 fixture: decoders that would leak raw exceptions."""
+
+import struct
+
+
+def decode_header(buf, offset):
+    return buf[offset]  # expect: PROTO001
+
+
+def decode_word(data):
+    return struct.unpack(">H", data)  # expect: PROTO001
+
+
+def read_first(payload):
+    try:
+        return payload[0]
+    except IndexError:  # expect: PROTO001
+        return None

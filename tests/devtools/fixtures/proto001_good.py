@@ -1,0 +1,25 @@
+"""PROTO001 fixture: both containment disciplines pass.
+
+``decode_guarded`` validates explicitly and raises the decode-error
+type; ``decode_translated`` wraps the risky call and translates the raw
+exception.  Either marks the decoder as containing malformed input.
+"""
+
+import struct
+
+
+class FixtureDecodeError(ValueError):
+    pass
+
+
+def decode_guarded(buf, offset):
+    if offset >= len(buf):
+        raise FixtureDecodeError("truncated TLV")
+    return buf[offset]
+
+
+def decode_translated(data):
+    try:
+        return struct.unpack(">H", data)
+    except struct.error as exc:
+        raise FixtureDecodeError(str(exc)) from exc

@@ -1,0 +1,14 @@
+"""TYP001 fixture: missing annotations in a ratcheted module."""
+
+
+def no_return(value: int):  # expect: TYP001
+    return value
+
+
+def no_param(value) -> int:  # expect: TYP001
+    return value
+
+
+class Widget:
+    def method(self, other) -> None:  # expect: TYP001
+        self.other = other

@@ -1,0 +1,14 @@
+"""TYP001 fixture: fully annotated signatures, with the exemptions."""
+
+
+def annotated(value: int) -> int:
+    def nested(inner):  # nested defs are local detail: exempt
+        return inner
+
+    return nested(value)
+
+
+class Widget:
+    def method(self, *args, **kwargs) -> None:
+        # self and bare *args/**kwargs need no annotations
+        pass

@@ -1,0 +1,65 @@
+"""The ``python -m repro.devtools.lint`` front end."""
+
+from __future__ import annotations
+
+import json
+
+from repro.devtools.lint import cli
+from repro.devtools.lint.rules import DEFAULT_RULES
+
+CLEAN = "import time\n\n\ndef f() -> float:\n    return time.perf_counter()\n"
+DIRTY = "import time\n\n\ndef f():\n    return time.time()\n"
+
+
+def test_exit_zero_on_clean_tree(tmp_path, capsys):
+    (tmp_path / "good.py").write_text(CLEAN)
+    assert cli.main([str(tmp_path)]) == 0
+    assert "clean: 1 files" in capsys.readouterr().out
+
+
+def test_exit_one_on_findings(tmp_path, capsys):
+    (tmp_path / "bad.py").write_text(DIRTY)
+    assert cli.main([str(tmp_path)]) == 1
+    out = capsys.readouterr().out
+    assert "DET001" in out and "bad.py:5:" in out
+
+
+def test_informational_mode_reports_but_exits_zero(tmp_path, capsys):
+    (tmp_path / "bad.py").write_text(DIRTY)
+    assert cli.main([str(tmp_path), "--informational"]) == 0
+    assert "DET001" in capsys.readouterr().out
+
+
+def test_json_format_is_parseable(tmp_path, capsys):
+    (tmp_path / "bad.py").write_text(DIRTY)
+    assert cli.main([str(tmp_path), "--format", "json"]) == 1
+    data = json.loads(capsys.readouterr().out)
+    assert data["counts"] == {"DET001": 1}
+    assert data["diagnostics"][0]["rule"] == "DET001"
+
+
+def test_select_restricts_rules(tmp_path):
+    (tmp_path / "bad.py").write_text(DIRTY)
+    assert cli.main([str(tmp_path), "--select", "OID001"]) == 0
+    assert cli.main([str(tmp_path), "--select", "oid001,det001"]) == 1
+
+
+def test_unknown_select_is_usage_error(tmp_path, capsys):
+    (tmp_path / "bad.py").write_text(DIRTY)
+    assert cli.main([str(tmp_path), "--select", "NOPE999"]) == 2
+    assert "unknown rule id" in capsys.readouterr().err
+
+
+def test_missing_path_is_usage_error(tmp_path, capsys):
+    assert cli.main([str(tmp_path / "absent")]) == 2
+    assert "no such path" in capsys.readouterr().err
+
+
+def test_list_rules_names_all_six(capsys):
+    assert cli.main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    assert set(DEFAULT_RULES) == {
+        "DET001", "DET002", "PROTO001", "API001", "OID001", "IMP001",
+    }
+    for rule_id in DEFAULT_RULES:
+        assert rule_id in out

@@ -1,0 +1,146 @@
+"""The lint engine: suppressions, reports, discovery."""
+
+from __future__ import annotations
+
+import ast
+import json
+from typing import Iterator
+
+from repro.devtools.lint.engine import (
+    SYNTAX_RULE,
+    Diagnostic,
+    FileContext,
+    LintReport,
+    Rule,
+    iter_python_files,
+    lint_source,
+    module_name_for,
+    run_lint,
+)
+
+
+class FlagEveryCall(Rule):
+    """Test rule: one diagnostic per function call."""
+
+    rule_id = "TEST001"
+    summary = "flags every call"
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                yield ctx.diagnostic(self.rule_id, node, "a call")
+
+
+class FlagEveryDef(Rule):
+    rule_id = "TEST002"
+    summary = "flags every def"
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield ctx.diagnostic(self.rule_id, node, "a def")
+
+
+class TestSuppressions:
+    def test_same_line_comment_suppresses(self):
+        diags, suppressed = lint_source(
+            "f()  # repro-lint: disable=TEST001\ng()\n",
+            module="m", rules=[FlagEveryCall()],
+        )
+        assert [(d.rule, d.line) for d in diags] == [("TEST001", 2)]
+        assert suppressed == 1
+
+    def test_comma_list_suppresses_multiple_rules(self):
+        source = "def h():  # repro-lint: disable=TEST001,TEST002\n    f()\n"
+        # TEST002 fires on line 1 (the def); the suppression list names it.
+        diags, suppressed = lint_source(
+            source, module="m", rules=[FlagEveryCall(), FlagEveryDef()]
+        )
+        assert [(d.rule, d.line) for d in diags] == [("TEST001", 2)]
+        assert suppressed == 1
+
+    def test_other_rules_still_fire_on_a_suppressed_line(self):
+        source = "def h(): f()  # repro-lint: disable=TEST002\n"
+        diags, suppressed = lint_source(
+            source, module="m", rules=[FlagEveryCall(), FlagEveryDef()]
+        )
+        assert [(d.rule, d.line) for d in diags] == [("TEST001", 1)]
+        assert suppressed == 1
+
+    def test_marker_inside_string_literal_does_not_suppress(self):
+        source = 'f("# repro-lint: disable=TEST001")\n'
+        diags, suppressed = lint_source(source, module="m", rules=[FlagEveryCall()])
+        assert [(d.rule, d.line) for d in diags] == [("TEST001", 1)]
+        assert suppressed == 0
+
+    def test_syntax_errors_cannot_be_suppressed(self):
+        source = "def broken(:  # repro-lint: disable=SYNTAX\n"
+        diags, suppressed = lint_source(source, module="m", rules=[FlagEveryCall()])
+        assert len(diags) == 1 and diags[0].rule == SYNTAX_RULE
+        assert suppressed == 0
+
+
+class TestReport:
+    def test_json_schema(self):
+        report = LintReport(
+            diagnostics=[
+                Diagnostic(rule="TEST001", path="a.py", line=3, col=1, message="x"),
+                Diagnostic(rule="TEST001", path="a.py", line=9, col=1, message="y"),
+                Diagnostic(rule="TEST002", path="b.py", line=1, col=1, message="z"),
+            ],
+            files=2,
+            suppressed=1,
+        )
+        data = json.loads(report.format_json())
+        assert data["version"] == 1
+        assert data["files"] == 2
+        assert data["suppressed"] == 1
+        assert data["counts"] == {"TEST001": 2, "TEST002": 1}
+        assert data["diagnostics"][0] == {
+            "rule": "TEST001", "path": "a.py", "line": 3, "col": 1, "message": "x",
+        }
+        assert not report.ok
+
+    def test_human_format_summarises(self):
+        clean = LintReport(files=4)
+        assert clean.ok
+        assert "clean: 4 files" in clean.format_human()
+
+    def test_diagnostics_sorted_by_location(self):
+        source = "g()\nf()\n"
+        diags, _ = lint_source(source, module="m", rules=[FlagEveryCall()])
+        assert [d.line for d in diags] == [1, 2]
+
+
+class TestDiscovery:
+    def test_module_name_walks_init_chain(self, tmp_path):
+        pkg = tmp_path / "toppkg" / "sub"
+        pkg.mkdir(parents=True)
+        (tmp_path / "toppkg" / "__init__.py").write_text("")
+        (pkg / "__init__.py").write_text("")
+        (pkg / "mod.py").write_text("")
+        module, root = module_name_for(pkg / "mod.py")
+        assert module == "toppkg.sub.mod"
+        assert root == (tmp_path / "toppkg").resolve()
+        assert module_name_for(pkg / "__init__.py")[0] == "toppkg.sub"
+
+    def test_loose_file_maps_to_stem(self, tmp_path):
+        loose = tmp_path / "script.py"
+        loose.write_text("")
+        module, root = module_name_for(loose)
+        assert module == "script" and root is None
+
+    def test_iter_python_files_dedupes_and_skips_pycache(self, tmp_path):
+        (tmp_path / "a.py").write_text("")
+        cache = tmp_path / "__pycache__"
+        cache.mkdir()
+        (cache / "a.cpython-311.pyc.py").write_text("")
+        files = iter_python_files([tmp_path, tmp_path / "a.py"])
+        assert files == [tmp_path / "a.py"]
+
+    def test_run_lint_counts_files(self, tmp_path):
+        (tmp_path / "one.py").write_text("f()\n")
+        (tmp_path / "two.py").write_text("x = 1\n")
+        report = run_lint([tmp_path], rules=[FlagEveryCall()])
+        assert report.files == 2
+        assert [(d.rule, d.line) for d in report.diagnostics] == [("TEST001", 1)]

@@ -1,0 +1,71 @@
+"""DET001 (wall-clock/entropy) and DET002 (shared mutable state)."""
+
+from __future__ import annotations
+
+from repro.devtools.lint.engine import lint_source
+from repro.devtools.lint.rules import SharedStateRule, WallClockEntropyRule
+
+from tests.devtools.conftest import load_fixture
+
+
+def findings(source: str, module: str, rule) -> tuple[list[tuple[str, int]], int]:
+    diags, suppressed = lint_source(source, module=module, rules=[rule])
+    return [(d.rule, d.line) for d in diags], suppressed
+
+
+class TestDet001:
+    def test_bad_fixture_flags_every_marked_line(self):
+        source, expected = load_fixture("det001_bad.py")
+        got, suppressed = findings(source, "repro.scanner.fixture", WallClockEntropyRule())
+        assert got == expected
+        assert expected  # the fixture is not accidentally empty
+
+    def test_suppression_comment_silences_exactly_one(self):
+        source, _ = load_fixture("det001_bad.py")
+        _, suppressed = findings(source, "repro.scanner.fixture", WallClockEntropyRule())
+        assert suppressed == 1  # the time.time() in quiet()
+
+    def test_good_fixture_is_clean(self):
+        source, expected = load_fixture("det001_good.py")
+        got, suppressed = findings(source, "repro.scanner.fixture", WallClockEntropyRule())
+        assert got == [] and expected == []
+        assert suppressed == 0
+
+    def test_applies_outside_scanner_too(self):
+        # DET001 is repo-wide, not scoped to the fork-pool packages.
+        got, _ = findings(
+            "import time\nx = time.time()\n", "repro.analysis.thing", WallClockEntropyRule()
+        )
+        assert got == [("DET001", 2)]
+
+    def test_import_alias_is_resolved(self):
+        got, _ = findings(
+            "import time as t\nx = t.time()\n", "repro.m", WallClockEntropyRule()
+        )
+        assert got == [("DET001", 2)]
+
+    def test_seeded_default_rng_passes(self):
+        got, _ = findings(
+            "import numpy as np\nrng = np.random.default_rng(7)\n",
+            "repro.m", WallClockEntropyRule(),
+        )
+        assert got == []
+
+
+class TestDet002:
+    def test_bad_fixture_flags_every_marked_line(self):
+        source, expected = load_fixture("det002_bad.py")
+        got, _ = findings(source, "repro.snmp.fixture", SharedStateRule())
+        assert got == expected
+
+    def test_good_fixture_is_clean(self):
+        source, expected = load_fixture("det002_good.py")
+        got, _ = findings(source, "repro.net.fixture", SharedStateRule())
+        assert got == [] and expected == []
+
+    def test_out_of_scope_module_is_ignored(self):
+        # The same bad code outside scanner/net/snmp is not this rule's
+        # business (analysis code may legitimately memoize).
+        source, _ = load_fixture("det002_bad.py")
+        got, _ = findings(source, "repro.analysis.fixture", SharedStateRule())
+        assert got == []

@@ -1,0 +1,42 @@
+"""IMP001: the dependency graph points strictly downward."""
+
+from __future__ import annotations
+
+from repro.devtools.lint.engine import lint_source
+from repro.devtools.lint.rules import LayeringRule
+
+from tests.devtools.conftest import load_fixture
+
+
+def findings(source: str, module: str) -> list[tuple[str, int]]:
+    diags, _ = lint_source(source, module=module, rules=[LayeringRule()])
+    return [(d.rule, d.line) for d in diags]
+
+
+def test_bad_fixture_flags_every_marked_line():
+    source, expected = load_fixture("imp001_bad.py")
+    assert findings(source, "repro.pipeline.fixture") == expected
+
+
+def test_good_fixture_is_clean():
+    source, expected = load_fixture("imp001_good.py")
+    assert findings(source, "repro.pipeline.fixture") == [] and expected == []
+
+
+def test_cli_may_import_experiments():
+    source = "from repro.experiments import ExperimentContext\n"
+    assert findings(source, "repro.cli") == []
+    assert findings(source, "repro.scanner.executor") == [("IMP001", 1)]
+
+
+def test_devtools_may_import_devtools():
+    source = "from repro.devtools.lint.engine import Rule\n"
+    assert findings(source, "repro.devtools.typegate") == []
+    assert findings(source, "repro.snmp.agent") == [("IMP001", 1)]
+
+
+def test_relative_imports_resolve_before_checking():
+    # ``from .. import experiments`` inside repro.scanner.foo resolves to
+    # ``repro.experiments`` and is flagged like the absolute spelling.
+    source = "from ..experiments import context\n"
+    assert findings(source, "repro.scanner.foo") == [("IMP001", 1)]

@@ -1,0 +1,45 @@
+"""OID001: OID string literals must be valid dotted OIDs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.devtools.lint.engine import lint_source
+from repro.devtools.lint.rules import OidLiteralRule, oid_literal_error
+
+from tests.devtools.conftest import load_fixture
+
+
+def findings(source: str) -> list[tuple[str, int]]:
+    diags, _ = lint_source(source, module="repro.fixture", rules=[OidLiteralRule()])
+    return [(d.rule, d.line) for d in diags]
+
+
+def test_bad_fixture_flags_every_marked_line():
+    source, expected = load_fixture("oid001_bad.py")
+    assert findings(source) == expected
+
+
+def test_good_fixture_is_clean():
+    source, expected = load_fixture("oid001_good.py")
+    assert findings(source) == [] and expected == []
+
+
+@pytest.mark.parametrize("text", [
+    "1.3.6.1.2.1.1.1.0", "0.0", "2.999.1", ".1.3.6.1.4.1",
+])
+def test_valid_oids(text):
+    assert oid_literal_error(text) is None
+
+
+@pytest.mark.parametrize("text,fragment", [
+    ("", "empty"),
+    ("1.3.6.x", "not a non-negative integer"),
+    ("1.3.06.1", "leading zero"),
+    ("3.1.2", "first arc"),
+    ("1.40.1", "second arc"),
+    ("1.-3.6", "not a non-negative integer"),
+])
+def test_invalid_oids(text, fragment):
+    error = oid_literal_error(text)
+    assert error is not None and fragment in error

@@ -1,0 +1,49 @@
+"""PROTO001: protocol decoders contain malformed input."""
+
+from __future__ import annotations
+
+from repro.devtools.lint.engine import lint_source
+from repro.devtools.lint.rules import DecoderHygieneRule
+
+from tests.devtools.conftest import load_fixture
+
+
+def findings(source: str, module: str) -> list[tuple[str, int]]:
+    diags, _ = lint_source(source, module=module, rules=[DecoderHygieneRule()])
+    return [(d.rule, d.line) for d in diags]
+
+
+def test_bad_fixture_flags_every_marked_line():
+    source, expected = load_fixture("proto001_bad.py")
+    assert findings(source, "repro.asn1.fixture") == expected
+
+
+def test_good_fixture_is_clean():
+    source, expected = load_fixture("proto001_good.py")
+    assert findings(source, "repro.asn1.fixture") == [] and expected == []
+
+
+def test_out_of_scope_module_is_ignored():
+    source, _ = load_fixture("proto001_bad.py")
+    assert findings(source, "repro.analysis.fixture") == []
+
+
+def test_named_decoder_modules_are_in_scope():
+    source = "def decode_x(buf, offset):\n    return buf[offset]\n"
+    assert findings(source, "repro.net.packet") == [("PROTO001", 2)]
+    assert findings(source, "repro.net.other") == []
+
+
+def test_bare_except_without_translation_is_flagged():
+    source = (
+        "def read(payload):\n"
+        "    try:\n"
+        "        return payload[0]\n"
+        "    except Exception:\n"
+        "        return None\n"
+    )
+    # ``except Exception`` is not a *raw* handler — only handlers naming
+    # IndexError/KeyError/struct.error (or truly bare) must translate.
+    assert findings(source, "repro.asn1.fixture") == []
+    bare = source.replace("except Exception", "except")
+    assert findings(bare, "repro.asn1.fixture") == [("PROTO001", 4)]

@@ -1,0 +1,35 @@
+"""The gate applied to this repo itself.
+
+These tests make the invariant linter and the typing ratchet part of
+tier-1: a PR that reintroduces ``time.time()`` into ``src/repro`` or an
+unannotated signature into a ratcheted module fails the plain test run,
+not just the dedicated CI job.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.devtools.lint.engine import run_lint
+from repro.devtools.lint.rules import default_rules
+from repro.devtools.typegate import AnnotationCompletenessRule, load_strict_modules
+
+REPO = Path(__file__).resolve().parents[2]
+SRC = REPO / "src" / "repro"
+
+
+def test_src_repro_passes_the_invariant_linter():
+    report = run_lint([SRC], rules=default_rules())
+    assert report.ok, "\n" + report.format_human()
+    assert report.files > 90  # the whole package was actually scanned
+
+
+def test_the_whole_package_is_ratcheted():
+    strict = load_strict_modules(REPO / "pyproject.toml")
+    assert "repro" in strict
+
+
+def test_src_repro_passes_the_typegate():
+    strict = load_strict_modules(REPO / "pyproject.toml")
+    report = run_lint([SRC], rules=[AnnotationCompletenessRule(strict)])
+    assert report.ok, "\n" + report.format_human()

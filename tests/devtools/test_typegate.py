@@ -1,0 +1,83 @@
+"""TYP001 and the [tool.repro.typegate] ratchet."""
+
+from __future__ import annotations
+
+from repro.devtools import typegate
+from repro.devtools.lint.engine import lint_source
+from repro.devtools.typegate import AnnotationCompletenessRule, load_strict_modules
+
+from tests.devtools.conftest import load_fixture
+
+
+def findings(source: str, module: str, strict=("repro",)) -> list[tuple[str, int]]:
+    rule = AnnotationCompletenessRule(strict)
+    diags, _ = lint_source(source, module=module, rules=[rule])
+    return [(d.rule, d.line) for d in diags]
+
+
+def test_bad_fixture_flags_every_marked_line():
+    source, expected = load_fixture("typ001_bad.py")
+    assert findings(source, "repro.fixture") == expected
+
+
+def test_good_fixture_is_clean():
+    source, expected = load_fixture("typ001_good.py")
+    assert findings(source, "repro.fixture") == [] and expected == []
+
+
+def test_unratcheted_module_is_exempt():
+    source, _ = load_fixture("typ001_bad.py")
+    assert findings(source, "elsewhere.fixture") == []
+    assert findings(source, "repro.fixture", strict=("repro.other",)) == []
+
+
+def test_prefix_matching_does_not_leak_across_names():
+    source, _ = load_fixture("typ001_bad.py")
+    # "repro" ratchets "repro.x" but not "reproduction.x".
+    assert findings(source, "reproduction.fixture") == []
+
+
+def test_missing_pieces_named_in_message():
+    source = "def f(a, *, b):\n    pass\n"
+    rule = AnnotationCompletenessRule(["m"])
+    diags, _ = lint_source(source, module="m", rules=[rule])
+    assert len(diags) == 1
+    message = diags[0].message
+    assert "'a'" in message and "'b'" in message and "return type" in message
+
+
+class TestRatchetTable:
+    def test_reads_strict_list_from_pyproject(self, tmp_path):
+        pyproject = tmp_path / "pyproject.toml"
+        pyproject.write_text(
+            "[tool.repro.typegate]\nstrict = [\"repro.snmp\", \"repro.asn1\"]\n"
+        )
+        assert load_strict_modules(pyproject) == ("repro.snmp", "repro.asn1")
+
+    def test_missing_file_falls_back(self, tmp_path):
+        assert load_strict_modules(tmp_path / "absent.toml") == typegate.FALLBACK_STRICT
+
+    def test_malformed_table_falls_back(self, tmp_path):
+        pyproject = tmp_path / "pyproject.toml"
+        pyproject.write_text("[tool.repro.typegate]\nstrict = \"oops\"\n")
+        assert load_strict_modules(pyproject) == typegate.FALLBACK_STRICT
+
+
+class TestTypegateCli:
+    def test_exit_codes(self, tmp_path, capsys):
+        pyproject = tmp_path / "pyproject.toml"
+        pyproject.write_text("[tool.repro.typegate]\nstrict = [\"target\"]\n")
+        bad = tmp_path / "target.py"
+        bad.write_text("def f(x):\n    return x\n")
+        argv = [str(bad), "--pyproject", str(pyproject)]
+        assert typegate.main(argv) == 1
+        assert "TYP001" in capsys.readouterr().out
+        assert typegate.main(argv + ["--informational"]) == 0
+        bad.write_text("def f(x: int) -> int:\n    return x\n")
+        assert typegate.main(argv) == 0
+
+    def test_list_modules(self, tmp_path, capsys):
+        pyproject = tmp_path / "pyproject.toml"
+        pyproject.write_text("[tool.repro.typegate]\nstrict = [\"a\", \"b\"]\n")
+        assert typegate.main(["--pyproject", str(pyproject), "--list-modules"]) == 0
+        assert capsys.readouterr().out.split() == ["a", "b"]
