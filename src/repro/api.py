@@ -62,6 +62,10 @@ class Session:
     retry:
         A :class:`~repro.scanner.executor.RetryPolicy`; setting one
         selects the sharded engine (the legacy scanner has no retries).
+    profile:
+        Collect per-stage timings (encode / fabric / agent / decode)
+        into the scan metrics.  Selects the sharded engine; adds timer
+        overhead to the probe loop but never changes scan results.
     reboot_threshold / skip:
         Filter-pipeline knobs (see :class:`FilterPipeline`).
     """
@@ -78,6 +82,7 @@ class Session:
         loss_probability: "float | None" = None,
         fault_profile: "FaultProfile | str | None" = None,
         retry: "RetryPolicy | None" = None,
+        profile: bool = False,
         reboot_threshold: "float | None" = None,
         skip: "frozenset[str] | set[str]" = frozenset(),
     ) -> None:
@@ -90,6 +95,7 @@ class Session:
         self._loss_probability = loss_probability
         self._fault_profile = fault_profile
         self._retry = retry
+        self._profile = profile
         self._pipeline_kwargs: dict = {"skip": skip}
         if reboot_threshold is not None:
             self._pipeline_kwargs["reboot_threshold"] = reboot_threshold
@@ -219,7 +225,14 @@ class Session:
             kwargs["fault_profile"] = self._fault_profile
         if self._retry is not None:
             kwargs["retry"] = self._retry
-        if force_executor and "workers" not in kwargs and self._retry is None:
+        if self._profile:
+            kwargs["profile"] = True
+        if (
+            force_executor
+            and "workers" not in kwargs
+            and self._retry is None
+            and not self._profile
+        ):
             kwargs["workers"] = 1
         campaign = ScanCampaign(
             topology=self.topology, config=self.config, **kwargs

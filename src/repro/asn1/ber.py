@@ -80,12 +80,18 @@ class Tag:
         return int(self.tag_class) | (_CONSTRUCTED if self.constructed else 0) | self.number
 
 
+# Precomputed short-form length octets.  SNMP TLVs are overwhelmingly
+# tiny (discovery probes/reports are < 128 bytes end to end), so the
+# common case is a table lookup instead of a bytes() construction.
+_SHORT_LENGTHS = tuple(bytes([n]) for n in range(0x80))
+
+
 def encode_length(length: int) -> bytes:
     """Encode a definite length per X.690 §8.1.3."""
+    if 0 <= length < 0x80:
+        return _SHORT_LENGTHS[length]
     if length < 0:
         raise BerEncodeError(f"negative length: {length}")
-    if length < 0x80:
-        return bytes([length])
     body = length.to_bytes((length.bit_length() + 7) // 8, "big")
     if len(body) > _MAX_LENGTH_OCTETS:
         raise BerEncodeError(f"length too large: {length}")
@@ -155,8 +161,15 @@ def _integer_content(value: int) -> bytes:
     return value.to_bytes(length, "big", signed=True)
 
 
+# Precomputed single-octet INTEGER TLVs (0..127): request ids, engine
+# boots, error fields and version numbers nearly always land here.
+_SMALL_INTEGERS = tuple(b"\x02\x01" + bytes([v]) for v in range(0x80))
+
+
 def encode_integer(value: int, tag_byte: int = TAG_INTEGER) -> bytes:
     """Encode a signed INTEGER (or an application type sharing the encoding)."""
+    if tag_byte == TAG_INTEGER and 0 <= value < 0x80:
+        return _SMALL_INTEGERS[value]
     return encode_tlv(tag_byte, _integer_content(value))
 
 

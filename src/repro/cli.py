@@ -55,6 +55,7 @@ def _cmd_scan(args: argparse.Namespace) -> int:
         batch_size=args.batch_size,
         fault_profile=args.fault_profile,
         retry=retry,
+        profile=args.profile,
     )
     summaries = []
     # Streaming export: observation batches go straight from the executor
@@ -74,7 +75,7 @@ def _cmd_scan(args: argparse.Namespace) -> int:
         print(f"  {path}: {writer.records} responsive IPs "
               f"({writer.targets_probed} probed)")
         summaries.append(stream.execution.metrics.summary())
-    if args.stats:
+    if args.stats or args.profile:
         for line in summaries:
             print(f"  {line}")
     print(f"done in {stopwatch.elapsed():.1f}s")
@@ -213,6 +214,9 @@ def build_parser() -> argparse.ArgumentParser:
                            "(default 1.0 when --retries is set)")
     scan.add_argument("--stats", action="store_true",
                       help="print per-scan execution metrics")
+    scan.add_argument("--profile", action="store_true",
+                      help="collect per-stage timings (encode/fabric/agent/"
+                           "decode) into the metrics; implies --stats")
     scan.set_defaults(func=_cmd_scan)
 
     analyze = sub.add_parser("analyze", help="filter + alias + census from exports")

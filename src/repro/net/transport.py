@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import dataclasses
 import random
+import time
 from dataclasses import dataclass
 from typing import Callable, Iterable
 
@@ -79,6 +80,20 @@ class LinkProfile:
     loss_probability: float = 0.0
     base_latency: float = 0.05
     jitter: float = 0.02
+
+
+class HandlerTimer:
+    """Accumulates real wall-clock seconds spent inside bound handlers.
+
+    The scan executor's profile mode attaches one per shard view so the
+    delivery path can split "fabric transit" from "agent handling" time;
+    with no timer attached the hot path pays nothing.
+    """
+
+    __slots__ = ("seconds",)
+
+    def __init__(self) -> None:
+        self.seconds = 0.0
 
 
 @dataclass
@@ -204,6 +219,7 @@ class NetworkFabric:
         rng: random.Random,
         stats: FabricStats,
         buckets: "dict[IPAddress, TokenBucket]",
+        timer: "HandlerTimer | None" = None,
     ) -> list[tuple[Datagram, float]]:
         """Delivery core, parameterized on the RNG, stats and bucket sinks.
 
@@ -253,7 +269,13 @@ class NetworkFabric:
         # reply past the normal path latency.
         extra_delay = getattr(getattr(handler, "__self__", None), "response_delay", 0.0)
         replies: list[tuple[Datagram, float]] = []
-        for payload in handler(datagram, arrival):
+        if timer is None:
+            payloads = handler(datagram, arrival)
+        else:
+            handler_started = time.perf_counter()
+            payloads = list(handler(datagram, arrival))
+            timer.seconds += time.perf_counter() - handler_started
+        for payload in payloads:
             copies = 1
             if (
                 faults is not None
@@ -297,15 +319,17 @@ class NetworkFabric:
             stats.reordered += 1
         return replies
 
-    def shard_view(self, seed: int) -> "FabricView":
+    def shard_view(self, seed: int, timer: "HandlerTimer | None" = None) -> "FabricView":
         """A delivery view with its own RNG and stats over shared bindings.
 
         The sharded executor gives every shard a view seeded from
         ``(campaign seed, scan label, shard index)`` so loss and jitter
         outcomes are a pure function of the shard's own probe sequence —
         independent of how shards are spread over worker processes.
+        ``timer`` (profile mode) accumulates the wall-clock seconds spent
+        inside bound handlers during this view's deliveries.
         """
-        return FabricView(self, seed)
+        return FabricView(self, seed, timer)
 
     @property
     def endpoint_count(self) -> int:
@@ -325,16 +349,23 @@ class FabricView:
     Created via :meth:`NetworkFabric.shard_view`.
     """
 
-    def __init__(self, fabric: NetworkFabric, seed: int) -> None:
+    def __init__(
+        self,
+        fabric: NetworkFabric,
+        seed: int,
+        timer: "HandlerTimer | None" = None,
+    ) -> None:
         self._fabric = fabric
         self._rng = random.Random(seed)
         self._buckets: dict[IPAddress, TokenBucket] = {}
         self.stats = FabricStats()
+        self.timer = timer
 
     def inject(
         self, datagram: Datagram, now: float, protocol: str = "udp"
     ) -> list[tuple[Datagram, float]]:
         """Deliver a probe through the parent fabric with shard-local RNG."""
         return self._fabric._deliver(
-            datagram, now, protocol, self._rng, self.stats, self._buckets
+            datagram, now, protocol, self._rng, self.stats, self._buckets,
+            self.timer,
         )

@@ -25,8 +25,10 @@ the same engine as an incremental per-scan observation stream.
 
 from __future__ import annotations
 
+import multiprocessing
 import random
 import warnings
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Iterator
 
@@ -40,8 +42,11 @@ from repro.scanner.executor import (
     RetryPolicy,
     ScanExecution,
     ShardedScanExecutor,
+    ShardSpec,
+    _ScanParams,
 )
-from repro.scanner.metrics import ExecutorMetrics
+from repro.scanner.metrics import ExecutorMetrics, ShardMetrics
+from repro.scanner.pool import WorkerPool
 from repro.scanner.records import ScanObservation, ScanResult
 from repro.scanner.zmap import ZmapConfig, ZmapScanner
 from repro.snmp.constants import SNMP_PORT
@@ -122,6 +127,7 @@ class ScanCampaign:
         batch_size: "int | None" = None,
         fault_profile: "FaultProfile | str | None" = None,
         retry: "RetryPolicy | None" = None,
+        profile: bool = False,
     ) -> None:
         if args:
             warnings.warn(
@@ -156,13 +162,14 @@ class ScanCampaign:
         if fault_profile is not None:
             self._fabric.set_fault_profile(fault_profile)
         self._scanner = ZmapScanner(fabric=self._fabric, config=ZmapConfig())
-        # A retry policy implies the sharded engine: the legacy scanner
-        # has no retry loop.
+        # A retry policy (or profiling) implies the sharded engine: the
+        # legacy scanner has no retry loop and no stage timers.
         self._use_executor = (
             workers is not None
             or num_shards is not None
             or batch_size is not None
             or retry is not None
+            or profile
         )
         self._executor_config = ExecutorConfig(
             workers=workers if workers is not None else 1,
@@ -170,11 +177,13 @@ class ScanCampaign:
             batch_size=batch_size if batch_size is not None else DEFAULT_BATCH_SIZE,
             seed=topology.seed,
             retry=retry if retry is not None else RetryPolicy(),
+            profile=profile,
         )
         # address -> device id, the campaign's live view (mutated by churn).
         self._binding: dict[IPAddress, int] = {}
         self._reboot_times: dict[int, float] = {}
         self._rebooted: set[int] = set()
+        self._datasets: "RouterDatasets | None" = None
 
     # -- public -----------------------------------------------------------------
 
@@ -182,22 +191,27 @@ class ScanCampaign:
         """Execute all four scans in chronological order.
 
         With the sharded engine selected (``workers=...``), per-scan
-        :class:`ExecutorMetrics` land in ``result.metrics``.
+        :class:`ExecutorMetrics` land in ``result.metrics``.  A parallel
+        run forks its worker pool once, right after campaign setup, and
+        reuses it for all four scans.
         """
         result = CampaignResult()
-        for label, version, start, rate, targets in self._scan_schedule(result):
-            if self._use_executor:
-                execution = self._make_executor().execute(
-                    targets, label=label, ip_version=version,
-                    start_time=start, rate_pps=rate,
-                )
-                result.scans[label] = execution.result()
-                result.metrics[label] = execution.metrics
-            else:
-                result.scans[label] = self._scanner.scan(
-                    targets, label=label, ip_version=version,
-                    start_time=start, rate_pps=rate,
-                )
+        self._setup(result)
+        with self._pool_scope() as pool:
+            for label in SCAN_LABELS:
+                version, start, rate, targets = self._advance_to(label, result)
+                if self._use_executor:
+                    execution = self._make_executor(pool).execute(
+                        targets, label=label, ip_version=version,
+                        start_time=start, rate_pps=rate,
+                    )
+                    result.scans[label] = execution.result()
+                    result.metrics[label] = execution.metrics
+                else:
+                    result.scans[label] = self._scanner.scan(
+                        targets, label=label, ip_version=version,
+                        start_time=start, rate_pps=rate,
+                    )
         return result
 
     def run_streaming(self) -> Iterator[ScanStream]:
@@ -205,42 +219,96 @@ class ScanCampaign:
 
         Always uses the sharded engine.  Each stream's batches must be
         consumed before requesting the next stream: the inter-scan events
-        (reboots, churn) rebind fabric endpoints in place.
+        (reboots, churn) rebind fabric endpoints in place.  The worker
+        pool (if any) stays alive across all four streams and shuts down
+        when the generator finishes.
         """
         result = CampaignResult()
-        for label, version, start, rate, targets in self._scan_schedule(result):
-            execution = self._make_executor().execute(
-                targets, label=label, ip_version=version,
-                start_time=start, rate_pps=rate,
-            )
-            yield ScanStream(
-                label=label,
-                ip_version=version,
-                started_at=start,
-                bindings=result.bindings[label],
-                execution=execution,
-            )
+        self._setup(result)
+        with self._pool_scope() as pool:
+            for label in SCAN_LABELS:
+                version, start, rate, targets = self._advance_to(label, result)
+                execution = self._make_executor(pool).execute(
+                    targets, label=label, ip_version=version,
+                    start_time=start, rate_pps=rate,
+                )
+                yield ScanStream(
+                    label=label,
+                    ip_version=version,
+                    started_at=start,
+                    bindings=result.bindings[label],
+                    execution=execution,
+                )
 
     # -- schedule ---------------------------------------------------------------
+
+    def _setup(self, result: CampaignResult) -> None:
+        """One-time campaign setup: datasets, initial bindings, reboots.
+
+        This is the expensive half of the schedule.  A parallel run forks
+        its worker pool immediately *after* this point, so the children
+        inherit the built topology state copy-on-write and only ever
+        replay the cheap per-scan events themselves.
+        """
+        datasets = build_router_datasets(self.topology, self.config)
+        result.datasets = datasets
+        self._datasets = datasets
+        self._bind_initial()
+        self._schedule_reboots()
+
+    def _advance_to(
+        self, label: str, result: CampaignResult
+    ) -> tuple[int, float, float, list[IPAddress]]:
+        """Apply one scan's interim events; return its schedule and targets.
+
+        Must be called once per label, in ``SCAN_LABELS`` order, after
+        :meth:`_setup`.  Deterministic given the post-setup state: worker
+        replicas forked at pool creation replay these exact events (same
+        RNG stream, same order) to reconstruct per-scan state locally.
+        """
+        version, start, rate = _SCHEDULE[label]
+        if label.endswith("-2"):
+            self._apply_churn(version)
+        self._apply_due_reboots(start)
+        assert self._datasets is not None
+        targets = self._targets(version, self._datasets)
+        result.bindings[label] = dict(self._binding)
+        return version, start, rate, targets
 
     def _scan_schedule(
         self, result: CampaignResult
     ) -> Iterator[tuple[str, int, float, float, list[IPAddress]]]:
         """Drive the four-scan timeline: interim events, targets, bindings."""
-        datasets = build_router_datasets(self.topology, self.config)
-        result.datasets = datasets
-        self._bind_initial()
-        self._schedule_reboots()
+        self._setup(result)
         for label in SCAN_LABELS:
-            version, start, rate = _SCHEDULE[label]
-            if label.endswith("-2"):
-                self._apply_churn(version)
-            self._apply_due_reboots(start)
-            targets = self._targets(version, datasets)
-            result.bindings[label] = dict(self._binding)
+            version, start, rate, targets = self._advance_to(label, result)
             yield label, version, start, rate, targets
 
-    def _make_executor(self) -> ShardedScanExecutor:
+    @contextmanager
+    def _pool_scope(self) -> "Iterator[WorkerPool | None]":
+        """A campaign-lifetime worker pool, or ``None`` on the serial path.
+
+        Forks exactly here — after :meth:`_setup`, before the first
+        scan's events — so every child holds a replica of the campaign in
+        its pristine post-setup state (see :class:`_CampaignShardRunner`).
+        """
+        workers = self._executor_config.workers
+        if (
+            not self._use_executor
+            or workers <= 1
+            or "fork" not in multiprocessing.get_all_start_methods()
+        ):
+            yield None
+            return
+        pool = WorkerPool(workers=workers, runner=_CampaignShardRunner(self))
+        try:
+            yield pool
+        finally:
+            pool.close()
+
+    def _make_executor(
+        self, pool: "WorkerPool | None" = None
+    ) -> ShardedScanExecutor:
         binding = self._binding
         topology = self.topology
 
@@ -257,6 +325,7 @@ class ScanCampaign:
             owner_of=owner_of,
             config=self._executor_config,
             zmap_config=self._scanner.config,
+            pool=pool,
         )
 
     # -- setup -------------------------------------------------------------------
@@ -335,3 +404,51 @@ class ScanCampaign:
                 self.topology.all_addresses(4), key=int
             )
         return sorted(datasets.hitlist_targets_v6, key=int)
+
+
+class _CampaignShardRunner:
+    """Worker-side campaign replayer for the persistent pool.
+
+    Captured by the pool's children at fork time — immediately after
+    :meth:`ScanCampaign._setup`, before any scan's interim events.  Each
+    worker therefore owns a copy-on-write replica of the fully built
+    campaign and replays the cheap per-label events (churn, reboot
+    application) itself, in ``SCAN_LABELS`` order.  The replica's RNG
+    state matches the parent's at fork, so the replay — bindings, fabric
+    handlers, targets, shard plan — is byte-identical to the parent's own
+    advance, without re-pushing any state through the task pipe.
+    """
+
+    def __init__(self, campaign: ScanCampaign) -> None:
+        self._campaign = campaign
+        #: Throwaway bindings sink for the replica's `_advance_to` calls.
+        self._result = CampaignResult()
+        self._cursor = 0
+        self._scans: "dict[str, tuple[ShardedScanExecutor, list[ShardSpec], _ScanParams]]" = {}
+
+    def _advance(self, label: str) -> None:
+        campaign = self._campaign
+        while True:
+            if self._cursor >= len(SCAN_LABELS):
+                raise KeyError(f"unknown scan label {label!r}")
+            current = SCAN_LABELS[self._cursor]
+            self._cursor += 1
+            version, start, rate, targets = campaign._advance_to(
+                current, self._result
+            )
+            executor = campaign._make_executor()
+            execution = executor.execute(
+                targets, label=current, ip_version=version,
+                start_time=start, rate_pps=rate,
+            )
+            self._scans[current] = (executor, execution._plan, execution._params)
+            if current == label:
+                return
+
+    def run_shard(
+        self, scan_key: str, shard_index: int, batch_size: int
+    ) -> "tuple[Iterator[list[ScanObservation]], ShardMetrics]":
+        if scan_key not in self._scans:
+            self._advance(scan_key)
+        executor, plan, params = self._scans[scan_key]
+        return executor.stream_shard(plan[shard_index], params, batch_size)

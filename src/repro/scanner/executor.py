@@ -40,9 +40,11 @@ from typing import TYPE_CHECKING, Callable, Iterator, Mapping
 
 from repro.net.addresses import IPAddress
 from repro.net.packet import Datagram
-from repro.net.transport import FabricView, NetworkFabric
+from repro.net.transport import HandlerTimer, NetworkFabric
 from repro.scanner.metrics import ExecutorMetrics, ShardMetrics
+from repro.scanner.pool import MSG_METRICS, WorkerPool
 from repro.scanner.records import ScanObservation, ScanResult
+from repro.scanner.wire import decode_observations
 from repro.scanner.zmap import ZmapConfig, ZmapScanner
 from repro.snmp.constants import SNMP_PORT
 from repro.snmp.messages import encode_discovery_probe
@@ -129,6 +131,10 @@ class ExecutorConfig:
     batch_size: int = DEFAULT_BATCH_SIZE
     seed: int = 0
     retry: RetryPolicy = RetryPolicy()
+    #: Collect per-stage timings (encode / fabric / agent / decode) into
+    #: the shard metrics.  Off by default: the timers cost real time in
+    #: the probe hot loop.  Never affects scan *results*.
+    profile: bool = False
 
     def __post_init__(self) -> None:
         if self.num_shards < 1:
@@ -323,17 +329,30 @@ class ScanExecution:
         return scan
 
 
-# Fork-pool plumbing: with the ``fork`` start method children inherit the
-# parent's address space, so the executor and shard plan are published via
-# module globals instead of being pickled per task.
-_FORK_EXECUTOR: "ShardedScanExecutor | None" = None
-_FORK_PLAN: "list[ShardSpec] | None" = None
-_FORK_PARAMS: "_ScanParams | None" = None
+class _ExecutorShardRunner:
+    """Worker-side runner for a standalone (campaign-less) executor.
 
+    Published via :class:`~repro.scanner.pool.WorkerPool` fork
+    inheritance; children capture the executor, plan and params at fork
+    time, so tasks stay tiny ``(scan key, shard index)`` tuples.
+    """
 
-def _pool_run_shard(shard_index: int) -> tuple[list[ScanObservation], ShardMetrics]:
-    assert _FORK_EXECUTOR is not None and _FORK_PLAN is not None
-    return _FORK_EXECUTOR._execute_shard(_FORK_PLAN[shard_index], _FORK_PARAMS)
+    def __init__(
+        self,
+        executor: "ShardedScanExecutor",
+        plan: "list[ShardSpec]",
+        params: _ScanParams,
+    ) -> None:
+        self._executor = executor
+        self._plan = plan
+        self._params = params
+
+    def run_shard(
+        self, scan_key: str, shard_index: int, batch_size: int
+    ) -> "tuple[Iterator[list[ScanObservation]], ShardMetrics]":
+        return self._executor.stream_shard(
+            self._plan[shard_index], self._params, batch_size
+        )
 
 
 class ShardedScanExecutor:
@@ -354,12 +373,16 @@ class ShardedScanExecutor:
         owner_of: "Callable[[IPAddress], int | None] | None" = None,
         config: "ExecutorConfig | None" = None,
         zmap_config: "ZmapConfig | None" = None,
+        pool: "WorkerPool | None" = None,
     ) -> None:
         self._fabric = fabric
         self._devices = devices
         self._owner_of = owner_of or (lambda address: None)
         self.config = config or ExecutorConfig()
         self.zmap_config = zmap_config or ZmapConfig()
+        # Campaign-owned persistent pool; when absent, a parallel scan
+        # forks an ephemeral pool of its own for the scan's duration.
+        self._pool = pool
 
     @property
     def effective_workers(self) -> int:
@@ -435,36 +458,101 @@ class ShardedScanExecutor:
         metrics: ExecutorMetrics,
     ) -> Iterator[list[ScanObservation]]:
         started = time.perf_counter()
+        try:
+            if self.effective_workers > 1:
+                yield from self._stream_pooled(plan, params, metrics)
+            else:
+                yield from self._stream_serial(plan, params, metrics)
+        finally:
+            # Finalized even when the consumer abandons the stream early
+            # (pipeline short-circuit, partial export): wall_time must
+            # reflect the time actually spent, never stay zero.
+            metrics.wall_time = time.perf_counter() - started
+
+    def _stream_serial(
+        self,
+        plan: list[ShardSpec],
+        params: _ScanParams,
+        metrics: ExecutorMetrics,
+    ) -> Iterator[list[ScanObservation]]:
         batch_size = self.config.batch_size
-        if self.effective_workers > 1:
-            shard_results = self._run_pool(plan, params)
-        else:
-            shard_results = (
-                self._execute_shard(spec, params) for spec in plan
-            )
-        for observations, shard_metrics in shard_results:
-            metrics.add_shard(shard_metrics)
-            for offset in range(0, len(observations), batch_size):
-                batch = observations[offset : offset + batch_size]
+        for spec in plan:
+            batches, shard = self.stream_shard(spec, params, batch_size)
+            for batch in batches:
                 metrics.peak_batch = max(metrics.peak_batch, len(batch))
                 yield batch
-        metrics.wall_time = time.perf_counter() - started
+            metrics.add_shard(shard)
 
-    def _run_pool(
-        self, plan: list[ShardSpec], params: _ScanParams
-    ) -> Iterator[tuple[list[ScanObservation], ShardMetrics]]:
-        global _FORK_EXECUTOR, _FORK_PLAN, _FORK_PARAMS
-        context = multiprocessing.get_context("fork")
-        _FORK_EXECUTOR, _FORK_PLAN, _FORK_PARAMS = self, plan, params
+    def _stream_pooled(
+        self,
+        plan: list[ShardSpec],
+        params: _ScanParams,
+        metrics: ExecutorMetrics,
+    ) -> Iterator[list[ScanObservation]]:
+        pool = self._pool
+        # No campaign-owned pool (or it already shut down, e.g. the
+        # owning generator was dropped): fork one for this scan.  The
+        # runner is captured by the children at fork time, so the workers
+        # see exactly this plan and params.
+        owned = pool is None or pool.closed
+        if owned:
+            pool = WorkerPool(
+                workers=self.effective_workers,
+                runner=_ExecutorShardRunner(self, plan, params),
+            )
         try:
-            with context.Pool(processes=self.effective_workers) as pool:
-                yield from pool.imap(_pool_run_shard, range(len(plan)))
+            messages = pool.run_scan(
+                params.label,
+                num_shards=len(plan),
+                batch_size=self.config.batch_size,
+            )
+            for __, kind, payload in messages:
+                if kind == MSG_METRICS:
+                    assert isinstance(payload, ShardMetrics)
+                    metrics.add_shard(payload)
+                else:
+                    assert isinstance(payload, bytes)
+                    batch = decode_observations(payload)
+                    metrics.peak_batch = max(metrics.peak_batch, len(batch))
+                    yield batch
         finally:
-            _FORK_EXECUTOR = _FORK_PLAN = _FORK_PARAMS = None
+            if owned:
+                pool.close()
+
+    def stream_shard(
+        self, spec: ShardSpec, params: _ScanParams, batch_size: int
+    ) -> "tuple[Iterator[list[ScanObservation]], ShardMetrics]":
+        """One shard as a lazy batch stream plus its metrics record.
+
+        The metrics object is filled in while the stream is consumed and
+        complete once it is exhausted.  Batch boundaries are per-shard
+        chunks of ``batch_size``, identical on the serial and pooled
+        paths — the worker pool ships these exact batches over the pipe.
+        """
+        shard = ShardMetrics(shard_index=spec.index, targets=len(spec.items))
+
+        def batches() -> Iterator[list[ScanObservation]]:
+            batch: list[ScanObservation] = []
+            for observation in self._probe_shard(spec, params, shard):
+                batch.append(observation)
+                if len(batch) >= batch_size:
+                    yield batch
+                    batch = []
+            if batch:
+                yield batch
+
+        return batches(), shard
 
     def _execute_shard(
         self, spec: ShardSpec, params: _ScanParams
     ) -> tuple[list[ScanObservation], ShardMetrics]:
+        """Materialized equivalent of :meth:`stream_shard` (tests, tools)."""
+        shard = ShardMetrics(shard_index=spec.index, targets=len(spec.items))
+        return list(self._probe_shard(spec, params, shard)), shard
+
+    def _probe_shard(
+        self, spec: ShardSpec, params: _ScanParams, shard: ShardMetrics
+    ) -> Iterator[ScanObservation]:
         """Run one shard against a shard-local fabric view.
 
         Agent session state touched by this shard is restored afterwards,
@@ -478,15 +566,19 @@ class ShardedScanExecutor:
         ``breaker_threshold`` consecutive targets stops earning retries.
         The retry schedule is a pure function of the shard's own probe
         outcomes, preserving byte-identity across worker counts.
+
+        Observations are yielded as they are made; ``shard`` is finalized
+        (fabric stats, wall time, stage timings) on exhaustion.
         """
         shard_started = time.perf_counter()
-        view = self._fabric.shard_view(spec.seed)
+        profile = self.config.profile
+        timer = HandlerTimer() if profile else None
+        view = self._fabric.shard_view(spec.seed, timer)
         snapshots = [
             (device, _snapshot_device(device))
             for device in (self._devices[d] for d in spec.device_ids)
         ]
-        observations: list[ScanObservation] = []
-        shard = ShardMetrics(shard_index=spec.index, targets=len(spec.items))
+        yielded = 0
         source = params.source
         sport = params.source_port
         start_time = params.start_time
@@ -497,12 +589,20 @@ class ShardedScanExecutor:
         timeout = retry.timeout
         owner_of = self._owner_of
         retrying = retry.max_retries > 0
+        encode_elapsed = 0.0
+        inject_elapsed = 0.0
+        decode_elapsed = 0.0
         # Consecutive unanswered probes per device (circuit breaker).
         dead_streak: dict[object, int] = {}
         try:
             for global_index, target in spec.items:
                 send_time = start_time + global_index * interval
-                payload = encode_discovery_probe(global_index + 1)
+                if profile:
+                    stage_started = time.perf_counter()
+                    payload = encode_discovery_probe(global_index + 1)
+                    encode_elapsed += time.perf_counter() - stage_started
+                else:
+                    payload = encode_discovery_probe(global_index + 1)
                 if retrying and retry.breaker_threshold:
                     breaker_key = owner_of(target)
                     if breaker_key is None:
@@ -524,7 +624,12 @@ class ShardedScanExecutor:
                         payload=payload,
                         sent_at=send_time,
                     )
-                    replies = inject(datagram, now=send_time)
+                    if profile:
+                        stage_started = time.perf_counter()
+                        replies = inject(datagram, now=send_time)
+                        inject_elapsed += time.perf_counter() - stage_started
+                    else:
+                        replies = inject(datagram, now=send_time)
                     if timeout is not None and replies:
                         on_time = [
                             entry
@@ -534,7 +639,12 @@ class ShardedScanExecutor:
                         shard.timed_out += len(replies) - len(on_time)
                         replies = on_time
                     if replies:
-                        observation = observe(target, replies)
+                        if profile:
+                            stage_started = time.perf_counter()
+                            observation = observe(target, replies)
+                            decode_elapsed += time.perf_counter() - stage_started
+                        else:
+                            observation = observe(target, replies)
                         if observation.engine_id is not None:
                             break
                     if not allow_retries or attempt >= retry.max_retries:
@@ -543,9 +653,10 @@ class ShardedScanExecutor:
                     shard.retries += 1
                     send_time = retry.retry_send_time(send_time, attempt)
                 if observation is not None:
-                    observations.append(observation)
                     if observation.engine_id is None:
                         shard.unparsed += 1
+                    yielded += 1
+                    yield observation
                 if breaker_key is not None:
                     if observation is None:
                         streak = dead_streak.get(breaker_key, 0) + 1
@@ -560,7 +671,7 @@ class ShardedScanExecutor:
         stats = view.stats
         shard.probes_sent = stats.injected
         shard.replies = stats.replies
-        shard.observations = len(observations)
+        shard.observations = yielded
         shard.dropped_loss = stats.dropped_loss
         shard.dropped_reply_loss = stats.dropped_reply_loss
         shard.dropped_no_endpoint = stats.dropped_no_endpoint
@@ -571,8 +682,12 @@ class ShardedScanExecutor:
         shard.corrupted = stats.corrupted
         shard.probe_bytes = stats.probe_bytes
         shard.reply_bytes = stats.reply_bytes
+        if timer is not None:
+            shard.encode_time = encode_elapsed
+            shard.agent_time = timer.seconds
+            shard.fabric_time = max(0.0, inject_elapsed - timer.seconds)
+            shard.decode_time = decode_elapsed
         shard.wall_time = time.perf_counter() - shard_started
-        return observations, shard
 
 
 __all__ = [

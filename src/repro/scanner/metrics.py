@@ -41,6 +41,15 @@ class ShardMetrics:
     probe_bytes: int = 0
     reply_bytes: int = 0
     wall_time: float = 0.0
+    #: Encoded batch bytes this shard pushed over the worker→parent pipe
+    #: (zero on the serial path — nothing crosses a process boundary).
+    ipc_bytes: int = 0
+    #: Per-stage wall-clock seconds, populated only when the executor
+    #: runs with ``profile=True`` (the timers cost real time per probe).
+    encode_time: float = 0.0
+    fabric_time: float = 0.0
+    agent_time: float = 0.0
+    decode_time: float = 0.0
 
     def to_dict(self) -> dict:
         return {
@@ -64,6 +73,11 @@ class ShardMetrics:
             "probe_bytes": self.probe_bytes,
             "reply_bytes": self.reply_bytes,
             "wall_time": self.wall_time,
+            "ipc_bytes": self.ipc_bytes,
+            "encode_time": self.encode_time,
+            "fabric_time": self.fabric_time,
+            "agent_time": self.agent_time,
+            "decode_time": self.decode_time,
         }
 
 
@@ -134,6 +148,39 @@ class ExecutorMetrics:
         )
 
     @property
+    def ipc_bytes(self) -> int:
+        """Total encoded batch bytes that crossed the worker→parent pipe."""
+        return sum(s.ipc_bytes for s in self.shards)
+
+    @property
+    def encode_time(self) -> float:
+        """Seconds spent encoding probes, summed over shards (profile mode)."""
+        return sum(s.encode_time for s in self.shards)
+
+    @property
+    def fabric_time(self) -> float:
+        """Seconds spent in fabric transit (delivery minus agent handling)."""
+        return sum(s.fabric_time for s in self.shards)
+
+    @property
+    def agent_time(self) -> float:
+        """Seconds spent inside agent handlers, summed over shards."""
+        return sum(s.agent_time for s in self.shards)
+
+    @property
+    def decode_time(self) -> float:
+        """Seconds spent parsing replies into observations."""
+        return sum(s.decode_time for s in self.shards)
+
+    @property
+    def profiled(self) -> bool:
+        """Whether any shard carries stage timings (``profile=True`` runs)."""
+        return any(
+            s.encode_time or s.fabric_time or s.agent_time or s.decode_time
+            for s in self.shards
+        )
+
+    @property
     def probes_per_second(self) -> float:
         """Real (not virtual) throughput of the whole scan."""
         if self.wall_time <= 0:
@@ -160,6 +207,11 @@ class ExecutorMetrics:
             "breaker_tripped": self.breaker_tripped,
             "faults_injected": self.faults_injected,
             "probes_per_second": round(self.probes_per_second, 1),
+            "ipc_bytes": self.ipc_bytes,
+            "encode_time": round(self.encode_time, 4),
+            "fabric_time": round(self.fabric_time, 4),
+            "agent_time": round(self.agent_time, 4),
+            "decode_time": round(self.decode_time, 4),
             "shards": [s.to_dict() for s in self.shards],
         }
 
@@ -185,8 +237,17 @@ class ExecutorMetrics:
             extras.append(f"{self.rate_limited} rate-limited")
         if self.faults_injected:
             extras.append(f"{self.faults_injected} faults injected")
+        if self.ipc_bytes:
+            extras.append(f"{self.ipc_bytes / 1024:.1f} KiB over IPC")
         if extras:
             line += ", " + ", ".join(extras)
+        if self.profiled:
+            line += (
+                f"\n  stages: encode {self.encode_time:.2f}s, "
+                f"fabric {self.fabric_time:.2f}s, "
+                f"agent {self.agent_time:.2f}s, "
+                f"decode {self.decode_time:.2f}s"
+            )
         return line
 
 

@@ -33,9 +33,11 @@ from repro.snmp import constants, pdu as pdu_mod
 from repro.snmp.engine_id import EngineId
 from repro.snmp.messages import (
     CommunityMessage,
+    DiscoveryReportTemplate,
     ScopedPdu,
     SnmpV3Message,
     UsmSecurityParameters,
+    match_discovery_probe,
     peek_version,
 )
 from repro.snmp.mib import Mib
@@ -174,6 +176,9 @@ class SnmpAgent:
         self.stats_wrong_digests = 0
         # Requests handled since boot (drives reboot_after_handles).
         self.handled_count = 0
+        # Cached discovery Report template (the scan-reply fast path);
+        # rebuilt whenever the reported engine ID or boots counter moves.
+        self._report_template: "DiscoveryReportTemplate | None" = None
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -295,6 +300,9 @@ class SnmpAgent:
     def _handle_v3(self, payload: bytes, now: float) -> "bytes | None":
         if not self.v3_active:
             return None
+        probe = match_discovery_probe(payload)
+        if probe is not None:
+            return self._fast_discovery_report(probe, now)
         try:
             message = SnmpV3Message.decode(payload)
         except ber.BerDecodeError:
@@ -436,6 +444,38 @@ class SnmpAgent:
             # non-conforming firmware ships them.
             return raw[:pad_to].ljust(pad_to, b"\x00")
         return raw
+
+    def _fast_discovery_report(self, probe: "tuple[int, int]", now: float) -> bytes:
+        """Answer a structurally matched discovery probe from the cached
+        Report template, splicing in only the per-probe integers.
+
+        Byte-identical to decoding the probe and running :meth:`_report`
+        (the property test in ``tests/snmp/test_report_fast_path.py``
+        asserts it), but skips the full BER decode and the message-object
+        re-encode — the two hottest allocations of an Internet-wide scan.
+        """
+        self.stats_unknown_engine_ids += 1
+        # Boots must be read *before* engine_time(): an overflowing engine
+        # time lazily bumps the boots counter, and the slow path evaluates
+        # the boots keyword argument first.
+        boots = 0 if self.behavior.report_zero_time else self.engine_boots
+        engine_time = self.engine_time(now)
+        engine_id = self._reported_engine_id()
+        template = self._report_template
+        if (
+            template is None
+            or template.engine_id != engine_id
+            or template.engine_boots != boots
+        ):
+            template = DiscoveryReportTemplate(engine_id, boots)
+            self._report_template = template
+        msg_id, request_id = probe
+        return template.render(
+            msg_id=msg_id,
+            request_id=request_id,
+            engine_time=engine_time,
+            counter_value=self.stats_unknown_engine_ids,
+        )
 
     def _report(
         self, request: SnmpV3Message, counter_oid: Oid, counter_value: int, now: float

@@ -282,6 +282,116 @@ def encode_discovery_probe(msg_id: int, request_id: "int | None" = None) -> byte
     )
 
 
+def match_discovery_probe(payload: bytes) -> "tuple[int, int] | None":
+    """Structurally match a Figure 2 discovery probe without a full decode.
+
+    Returns ``(msg_id, request_id)`` when ``payload`` is byte-for-byte an
+    :func:`encode_discovery_probe` output — the only SNMPv3 packet the
+    scanner ever sends — and ``None`` otherwise.  Agents use a successful
+    match to take the cached report-template fast path; any mismatch
+    (hand-crafted packets, corrupted probes) falls back to the full
+    decoder, so observable behaviour never diverges.
+    """
+    try:
+        content, end = ber.decode_sequence(payload, 0)
+        if end != len(payload) or not content.startswith(_PROBE_VERSION):
+            return None
+        pos = len(_PROBE_VERSION)
+        global_data, pos = ber.decode_sequence(content, pos)
+        msg_id, gpos = ber.decode_integer(global_data, 0)
+        if global_data[gpos:] != _PROBE_GLOBAL_TAIL:
+            return None
+        if content[pos : pos + len(_PROBE_SECURITY)] != _PROBE_SECURITY:
+            return None
+        pos += len(_PROBE_SECURITY)
+        scoped, spos = ber.decode_sequence(content, pos)
+        if spos != len(content):
+            return None
+        contexts = _PROBE_EMPTY_OCTETS + _PROBE_EMPTY_OCTETS
+        if not scoped.startswith(contexts):
+            return None
+        pdu_body, ppos = ber.expect_tag(
+            scoped, len(contexts), constants.TAG_GET_REQUEST, "GetRequest"
+        )
+        if ppos != len(scoped):
+            return None
+        request_id, rpos = ber.decode_integer(pdu_body, 0)
+        if pdu_body[rpos:] != _PROBE_PDU_TAIL:
+            return None
+    except ber.BerDecodeError:
+        return None
+    return msg_id, request_id
+
+
+# Constant fragments of the discovery Report reply (Figure 3).  The reply's
+# global data differs from the probe's in one byte (msgFlags 0x00 — not
+# reportable, no auth) and its PDU is a Report carrying the
+# usmStatsUnknownEngineIDs counter.
+_REPORT_GLOBAL_TAIL = (
+    ber.encode_integer(constants.DEFAULT_MAX_SIZE)
+    + ber.encode_octet_string(b"\x00")
+    + ber.encode_integer(constants.SECURITY_MODEL_USM)
+)
+_REPORT_SECURITY_SUFFIX = _PROBE_EMPTY_OCTETS * 3
+_REPORT_COUNTER_OID = ber.encode_oid(constants.OID_USM_STATS_UNKNOWN_ENGINE_IDS)
+_REPORT_ERROR_FIELDS = ber.encode_integer(0) + ber.encode_integer(0)
+
+
+class DiscoveryReportTemplate:
+    """Pre-encoded invariant fragments of one agent's discovery Report.
+
+    An engine's ID and boots counter are stable between reboots, so an
+    agent answering an Internet-wide scan would re-encode the exact same
+    security and scoped-PDU prefixes millions of times.  The template
+    freezes those fragments once per ``(engine ID, boots)`` pair and
+    :meth:`render` splices in the four per-probe integers (msg id,
+    request id, engine time, usmStats counter).  Output is byte-identical
+    to the full ``SnmpV3Message.encode`` path — asserted by the property
+    test in ``tests/snmp/test_report_fast_path.py``.
+    """
+
+    __slots__ = ("engine_id", "engine_boots", "_security_prefix", "_scoped_prefix")
+
+    def __init__(self, engine_id: bytes, engine_boots: int) -> None:
+        self.engine_id = engine_id
+        self.engine_boots = engine_boots
+        self._security_prefix = (
+            ber.encode_octet_string(engine_id) + ber.encode_integer(engine_boots)
+        )
+        self._scoped_prefix = ber.encode_octet_string(engine_id) + _PROBE_EMPTY_OCTETS
+
+    def render(
+        self, *, msg_id: int, request_id: int, engine_time: int, counter_value: int
+    ) -> bytes:
+        """Encode the full Report reply for one probe."""
+        security = ber.encode_octet_string(
+            ber.encode_sequence(
+                self._security_prefix
+                + ber.encode_integer(engine_time)
+                + _REPORT_SECURITY_SUFFIX
+            )
+        )
+        varbinds = ber.encode_sequence(
+            ber.encode_sequence(
+                _REPORT_COUNTER_OID
+                + ber.encode_unsigned(counter_value, ber.TAG_COUNTER32)
+            )
+        )
+        report_pdu = ber.encode_tlv(
+            constants.TAG_REPORT,
+            ber.encode_integer(request_id) + _REPORT_ERROR_FIELDS + varbinds,
+        )
+        global_data = ber.encode_sequence(
+            ber.encode_integer(msg_id) + _REPORT_GLOBAL_TAIL
+        )
+        return ber.encode_sequence(
+            _PROBE_VERSION,
+            global_data,
+            security,
+            ber.encode_sequence(self._scoped_prefix + report_pdu),
+        )
+
+
 @dataclass(frozen=True)
 class DiscoveryReply:
     """The fields of Figure 3 that the measurement pipeline consumes."""

@@ -100,6 +100,68 @@ class TestStreaming:
             stream.batches()
 
 
+class TestWallTimeFinalization:
+    def test_abandoned_stream_still_records_wall_time(self):
+        """Regression: breaking out of a stream early (pipeline
+        short-circuit, partial export) must still finalize wall_time."""
+        __, campaign = _run_campaign(workers=1, batch_size=10)
+        stream = next(campaign.run_streaming())
+        batches = stream.batches()
+        next(batches)  # consume one batch, then walk away
+        batches.close()
+        assert stream.execution.metrics.wall_time > 0.0
+
+    def test_abandoned_parallel_stream_still_records_wall_time(self):
+        __, campaign = _run_campaign(workers=2, batch_size=10)
+        stream = next(campaign.run_streaming())
+        batches = stream.batches()
+        next(batches)
+        batches.close()
+        assert stream.execution.metrics.wall_time > 0.0
+
+
+class TestBatchBoundaries:
+    def _batch_lengths(self, **kwargs):
+        __, campaign = _run_campaign(**kwargs)
+        stream = next(campaign.run_streaming())
+        return [len(batch) for batch in stream.batches()], stream.execution
+
+    def test_batch_size_one(self):
+        lengths, execution = self._batch_lengths(workers=1, batch_size=1)
+        assert lengths and set(lengths) == {1}
+        assert execution.metrics.peak_batch == 1
+        assert sum(lengths) == execution.metrics.observations
+
+    def test_batch_larger_than_any_shard(self):
+        """A huge batch_size degenerates to one batch per non-empty shard."""
+        lengths, execution = self._batch_lengths(workers=1, batch_size=10**6)
+        nonempty = [
+            s.observations for s in execution.metrics.shards if s.observations
+        ]
+        assert lengths == nonempty
+        assert execution.metrics.peak_batch == max(nonempty)
+
+    def test_batches_never_span_shards(self):
+        """peak_batch accounting across shard boundaries: a shard's tail
+        remainder flushes before the next shard starts a fresh batch."""
+        lengths, execution = self._batch_lengths(workers=1, batch_size=7)
+        per_shard = [
+            s.observations for s in execution.metrics.shards if s.observations
+        ]
+        expected = []
+        for count in per_shard:
+            expected.extend([7] * (count // 7))
+            if count % 7:
+                expected.append(count % 7)
+        assert lengths == expected
+
+    @pytest.mark.parametrize("batch_size", [1, 7, 10**6])
+    def test_worker_count_invariant_boundaries(self, batch_size):
+        serial, __ = self._batch_lengths(workers=1, batch_size=batch_size)
+        pooled, __ = self._batch_lengths(workers=4, batch_size=batch_size)
+        assert serial == pooled
+
+
 class TestStateIsolation:
     def test_executor_scan_leaves_agent_state_pristine(self):
         topo, campaign = _run_campaign(workers=1)

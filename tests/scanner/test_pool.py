@@ -1,0 +1,155 @@
+"""Tests for the persistent fork-based worker pool."""
+
+import ipaddress
+
+import pytest
+
+from repro.scanner.metrics import ShardMetrics
+from repro.scanner.pool import (
+    MSG_BATCH,
+    MSG_METRICS,
+    WorkerPool,
+    WorkerPoolError,
+)
+from repro.scanner.records import ScanObservation
+from repro.scanner.wire import decode_observations
+from repro.snmp.engine_id import EngineId
+
+pytestmark = pytest.mark.skipif(
+    "fork" not in __import__("multiprocessing").get_all_start_methods(),
+    reason="fork start method unavailable",
+)
+
+
+def _obs(scan_key, shard_index, row):
+    return ScanObservation(
+        address=ipaddress.ip_address(
+            (hash(scan_key) & 0xFF) << 16 | shard_index << 8 | row
+        ),
+        recv_time=float(row),
+        engine_id=EngineId(b"\x80\x00\x00\x09\x05" + bytes([shard_index, row])),
+        engine_boots=shard_index,
+        engine_time=row,
+        response_count=1,
+        wire_bytes=40,
+    )
+
+
+class _SyntheticRunner:
+    """Deterministic fake shard runner (captured by workers at fork)."""
+
+    def __init__(self, shard_sizes, fail_shard=None):
+        self.shard_sizes = shard_sizes
+        self.fail_shard = fail_shard
+
+    def run_shard(self, scan_key, shard_index, batch_size):
+        if shard_index == self.fail_shard:
+            raise RuntimeError(f"shard {shard_index} exploded")
+        size = self.shard_sizes[shard_index]
+        metrics = ShardMetrics(shard_index=shard_index, targets=size)
+
+        def batches():
+            batch = []
+            for row in range(size):
+                batch.append(_obs(scan_key, shard_index, row))
+                if len(batch) >= batch_size:
+                    yield batch
+                    batch = []
+            if batch:
+                yield batch
+            metrics.observations = size
+
+        return batches(), metrics
+
+
+def _drain(pool, scan_key, num_shards, batch_size):
+    observations, metrics = [], []
+    for shard_index, kind, payload in pool.run_scan(
+        scan_key, num_shards=num_shards, batch_size=batch_size
+    ):
+        if kind == MSG_METRICS:
+            metrics.append(payload)
+        else:
+            assert kind == MSG_BATCH
+            observations.extend(decode_observations(payload))
+    return observations, metrics
+
+
+def _expected(scan_key, shard_sizes):
+    return [
+        _obs(scan_key, shard_index, row)
+        for shard_index, size in enumerate(shard_sizes)
+        for row in range(size)
+    ]
+
+
+class TestWorkerPool:
+    def test_messages_arrive_in_shard_order(self):
+        sizes = [5, 0, 13, 1, 7, 3]
+        with WorkerPool(workers=3, runner=_SyntheticRunner(sizes)) as pool:
+            observations, metrics = _drain(pool, "s1", len(sizes), 4)
+        assert observations == _expected("s1", sizes)
+        assert [m.shard_index for m in metrics] == list(range(len(sizes)))
+        assert [m.observations for m in metrics] == sizes
+
+    def test_pool_survives_multiple_scans(self):
+        """The tentpole: one fork, many scans."""
+        sizes = [4, 6, 2]
+        with WorkerPool(workers=2, runner=_SyntheticRunner(sizes)) as pool:
+            for scan_key in ("a", "b", "c"):
+                observations, __ = _drain(pool, scan_key, len(sizes), 3)
+                assert observations == _expected(scan_key, sizes)
+
+    def test_ipc_bytes_counted(self):
+        sizes = [8]
+        blobs = []
+        with WorkerPool(workers=2, runner=_SyntheticRunner(sizes)) as pool:
+            for __, kind, payload in pool.run_scan(
+                "s", num_shards=1, batch_size=3
+            ):
+                if kind == MSG_BATCH:
+                    blobs.append(payload)
+                else:
+                    metrics = payload
+        assert blobs
+        assert metrics.ipc_bytes == sum(len(blob) for blob in blobs)
+
+    def test_worker_exception_raises_pool_error(self):
+        runner = _SyntheticRunner([3, 3, 3], fail_shard=1)
+        with WorkerPool(workers=2, runner=runner) as pool:
+            with pytest.raises(WorkerPoolError, match="shard 1.*exploded"):
+                _drain(pool, "s", 3, 2)
+        with pytest.raises(RuntimeError, match="closed"):
+            next(pool.run_scan("s", num_shards=1, batch_size=1))
+
+    def test_abandoned_scan_does_not_poison_the_next(self):
+        """Stale messages from a half-consumed scan are discarded."""
+        sizes = [9, 9, 9, 9]
+        with WorkerPool(workers=2, runner=_SyntheticRunner(sizes)) as pool:
+            stream = pool.run_scan("first", num_shards=len(sizes), batch_size=2)
+            next(stream)  # take one message, then walk away
+            stream.close()
+            observations, metrics = _drain(pool, "second", len(sizes), 2)
+        assert observations == _expected("second", sizes)
+        assert len(metrics) == len(sizes)
+
+    def test_batch_boundaries_match_runner(self):
+        sizes = [10]
+        with WorkerPool(workers=2, runner=_SyntheticRunner(sizes)) as pool:
+            lengths = [
+                len(decode_observations(payload))
+                for __, kind, payload in pool.run_scan(
+                    "s", num_shards=1, batch_size=4
+                )
+                if kind == MSG_BATCH
+            ]
+        assert lengths == [4, 4, 2]
+
+    def test_rejects_single_worker(self):
+        with pytest.raises(ValueError, match=">= 2"):
+            WorkerPool(workers=1, runner=_SyntheticRunner([1]))
+
+    def test_close_is_idempotent(self):
+        pool = WorkerPool(workers=2, runner=_SyntheticRunner([1]))
+        pool.close()
+        pool.close()

@@ -1,0 +1,131 @@
+"""Round-trip tests for the columnar IPC observation format."""
+
+import ipaddress
+import pickle
+import random
+
+import pytest
+
+from repro.scanner.records import ScanObservation
+from repro.scanner.wire import (
+    WIRE_VERSION,
+    WireFormatError,
+    decode_observations,
+    encode_observations,
+)
+from repro.snmp.engine_id import EngineId
+
+
+def _obs(
+    address="192.0.2.1",
+    recv_time=1234.5,
+    engine_id=b"\x80\x00\x00\x09\x03\x00\x00\x0c\x01\x02\x03",
+    engine_boots=1,
+    engine_time=1000,
+    response_count=1,
+    wire_bytes=64,
+):
+    return ScanObservation(
+        address=ipaddress.ip_address(address),
+        recv_time=recv_time,
+        engine_id=None if engine_id is None else EngineId(engine_id),
+        engine_boots=engine_boots,
+        engine_time=engine_time,
+        response_count=response_count,
+        wire_bytes=wire_bytes,
+    )
+
+
+def _random_obs(rng):
+    if rng.random() < 0.5:
+        address = str(ipaddress.IPv4Address(rng.getrandbits(32)))
+    else:
+        address = str(ipaddress.IPv6Address(rng.getrandbits(128)))
+    parsed = rng.random() < 0.8
+    engine_id = bytes(
+        rng.getrandbits(8) for __ in range(rng.randint(0, 40))
+    ) if parsed else None
+    magnitude = rng.choice((1 << 6, 1 << 14, 1 << 30, 1 << 62, 1 << 100))
+    return _obs(
+        address=address,
+        recv_time=rng.random() * 1e6,
+        engine_id=engine_id,
+        engine_boots=rng.randint(-magnitude, magnitude),
+        engine_time=rng.randint(-magnitude, magnitude),
+        response_count=rng.randint(1, 300),
+        wire_bytes=rng.randint(0, 5000),
+    )
+
+
+class TestRoundTrip:
+    def test_empty_batch(self):
+        assert decode_observations(encode_observations([])) == []
+
+    def test_single_observation(self):
+        batch = [_obs()]
+        assert decode_observations(encode_observations(batch)) == batch
+
+    def test_mixed_families_and_unparsed(self):
+        batch = [
+            _obs(),
+            _obs(address="2001:db8::1", engine_id=b"", engine_boots=0),
+            _obs(address="198.51.100.7", engine_id=None, engine_time=-3),
+            _obs(address="2001:db8::ffff", response_count=250, wire_bytes=65507),
+        ]
+        assert decode_observations(encode_observations(batch)) == batch
+
+    def test_randomized_batches_round_trip(self):
+        """Property test over the whole value space the scan can produce."""
+        rng = random.Random(2021)
+        for __ in range(50):
+            batch = [_random_obs(rng) for __ in range(rng.randint(0, 40))]
+            assert decode_observations(encode_observations(batch)) == batch
+
+    def test_bigint_escape(self):
+        """Corrupted-but-parseable BER can yield arbitrary-size integers."""
+        batch = [
+            _obs(engine_boots=1 << 200, engine_time=-(1 << 90)),
+            _obs(engine_boots=-1, engine_time=0),
+        ]
+        assert decode_observations(encode_observations(batch)) == batch
+
+    def test_adaptive_width_boundaries(self):
+        for value in (127, 128, -128, -129, 32767, 32768, 2**31 - 1,
+                      2**31, 2**63 - 1, 2**63, -(2**63), -(2**63) - 1):
+            batch = [_obs(engine_boots=value)]
+            assert decode_observations(encode_observations(batch)) == batch
+
+    def test_order_preserved(self):
+        batch = [_obs(address=f"192.0.2.{i}") for i in range(1, 20)]
+        assert decode_observations(encode_observations(batch)) == batch
+
+    def test_compact_versus_per_instance_pickle(self):
+        """The reason this module exists: well over 3x smaller."""
+        rng = random.Random(7)
+        batch = [_random_obs(rng) for __ in range(256)]
+        blob = encode_observations(batch)
+        pickled = sum(len(pickle.dumps(obs)) for obs in batch)
+        assert len(blob) * 3 <= pickled
+
+
+class TestMalformedBlobs:
+    def test_truncated_header(self):
+        with pytest.raises(WireFormatError):
+            decode_observations(b"\x01")
+
+    def test_unsupported_version(self):
+        blob = bytearray(encode_observations([_obs()]))
+        blob[0] = WIRE_VERSION + 1
+        with pytest.raises(WireFormatError, match="version"):
+            decode_observations(bytes(blob))
+
+    @pytest.mark.parametrize("cut", [6, 9, 12, -10, -3, -1])
+    def test_truncated_body(self, cut):
+        blob = encode_observations([_obs(), _obs(address="2001:db8::9")])
+        with pytest.raises(WireFormatError):
+            decode_observations(blob[:cut])
+
+    def test_trailing_bytes_rejected(self):
+        blob = encode_observations([_obs()])
+        with pytest.raises(WireFormatError, match="trailing"):
+            decode_observations(blob + b"\x00")

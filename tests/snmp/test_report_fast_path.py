@@ -1,0 +1,149 @@
+"""Byte-identity of the cached discovery-Report fast path.
+
+The agent answers discovery probes through a cached encoded template
+(:class:`~repro.snmp.messages.DiscoveryReportTemplate`) patched with the
+per-request integers.  These tests pin the contract: for every probe and
+every agent personality, the fast path emits exactly the bytes the full
+message-object path would — disabling the probe matcher must never change
+a single bit on the wire.
+"""
+
+import random
+
+import pytest
+
+import repro.snmp.agent as agent_module
+from repro.net.mac import MacAddress
+from repro.snmp.agent import AgentBehavior, SnmpAgent
+from repro.snmp.constants import ENGINE_TIME_MAX
+from repro.snmp.engine_id import EngineId
+from repro.snmp.messages import encode_discovery_probe, match_discovery_probe
+
+
+def _agent(**behavior):
+    return SnmpAgent(
+        engine_id=EngineId.from_mac(9, MacAddress("00:00:0c:aa:bb:01")),
+        boot_time=50.0,
+        engine_boots=3,
+        behavior=AgentBehavior(**behavior) if behavior else None,
+    )
+
+
+def _slow_replies(monkeypatch, agent, payload, now):
+    """The same request through the template-less message-object path."""
+    with monkeypatch.context() as patcher:
+        patcher.setattr(agent_module, "match_discovery_probe", lambda p: None)
+        return agent.handle(payload, now)
+
+
+BEHAVIORS = [
+    {},
+    {"report_zero_time": True},
+    {"report_empty_engine_id": True},
+    {"engine_id_pad_to": 40},
+    {"engine_id_pad_to": 3},
+    {"future_time_offset": 10**9},
+    {"clock_skew": 0.02, "time_resolution": 10},
+    {"amplification_count": 3},
+    {"garbage_reports": True},
+    {"malformed": True},
+    {"reboot_after_handles": 3},
+]
+
+
+class TestByteIdentity:
+    @pytest.mark.parametrize(
+        "behavior", BEHAVIORS, ids=[str(sorted(b)) for b in BEHAVIORS]
+    )
+    def test_fast_equals_slow_for_every_personality(self, monkeypatch, behavior):
+        fast_agent = _agent(**behavior)
+        slow_agent = _agent(**behavior)
+        rng = random.Random(2021)
+        for i in range(40):
+            msg_id = rng.randint(1, 2**31 - 1)
+            request_id = rng.randint(0, 2**31 - 1)
+            now = 50.0 + i * rng.random() * 100.0
+            payload = encode_discovery_probe(msg_id, request_id=request_id)
+            fast = fast_agent.handle(payload, now)
+            slow = _slow_replies(monkeypatch, slow_agent, payload, now)
+            assert fast == slow, (behavior, i)
+
+    def test_property_random_probe_stream(self, monkeypatch):
+        """Shared-clock property run: both agents see one request stream."""
+        fast_agent = _agent()
+        slow_agent = _agent()
+        rng = random.Random(7)
+        now = 50.0
+        for __ in range(400):
+            now += rng.random() * 1000.0
+            payload = encode_discovery_probe(
+                rng.randint(1, 2**31 - 1), request_id=rng.randint(0, 2**31 - 1)
+            )
+            assert fast_agent.handle(payload, now) == _slow_replies(
+                monkeypatch, slow_agent, payload, now
+            )
+
+    def test_engine_time_overflow_rolls_boots_identically(self, monkeypatch):
+        """RFC 3414 §2.2.2 lazy boots bump happens on both paths."""
+        fast_agent = _agent()
+        slow_agent = _agent()
+        payload = encode_discovery_probe(5, request_id=6)
+        now = 50.0 + ENGINE_TIME_MAX + 10.0
+        assert fast_agent.handle(payload, now) == _slow_replies(
+            monkeypatch, slow_agent, payload, now
+        )
+        assert fast_agent.engine_boots == slow_agent.engine_boots == 4
+
+    def test_template_invalidated_on_reboot(self, monkeypatch):
+        fast_agent = _agent()
+        slow_agent = _agent()
+        payload = encode_discovery_probe(1, request_id=2)
+        assert fast_agent.handle(payload, 60.0) == _slow_replies(
+            monkeypatch, slow_agent, payload, 60.0
+        )
+        fast_agent.reboot(70.0)
+        slow_agent.reboot(70.0)
+        assert fast_agent.handle(payload, 80.0) == _slow_replies(
+            monkeypatch, slow_agent, payload, 80.0
+        )
+
+    def test_counter_advances_across_requests(self):
+        agent = _agent()
+        first = agent.handle(encode_discovery_probe(1), 60.0)
+        second = agent.handle(encode_discovery_probe(2), 61.0)
+        assert agent.stats_unknown_engine_ids == 2
+        assert first != second  # msg_id and counter both moved
+
+
+class TestProbeMatcher:
+    def test_matches_canonical_probe(self):
+        payload = encode_discovery_probe(123, request_id=456)
+        assert match_discovery_probe(payload) == (123, 456)
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda p: p[:-1],                      # truncated
+            lambda p: p + b"\x00",                 # trailing garbage
+            lambda p: b"\x00" + p[1:],             # wrong outer tag
+            lambda p: p.replace(b"\x02\x01\x03", b"\x02\x01\x02", 1),  # v2c
+            lambda p: bytes([p[0]]) + p[1:].replace(b"\x04\x00", b"\x04\x01A", 1),
+        ],
+        ids=["truncated", "trailing", "outer-tag", "version", "nonempty-field"],
+    )
+    def test_rejects_non_probes(self, mutate):
+        mutated = mutate(encode_discovery_probe(123, request_id=456))
+        assert match_discovery_probe(mutated) is None
+
+    def test_rejected_probe_still_answered(self):
+        """A near-probe that misses the matcher falls through to the full
+        decoder and still gets a Report — the fast path only ever adds."""
+        agent = _agent()
+        payload = bytearray(encode_discovery_probe(9, request_id=9))
+        # Bump maxSize: still a valid discovery request, not the canonical
+        # scanner probe, so the matcher refuses it.
+        index = bytes(payload).index(b"\x02\x03\x00\xff\xe3")
+        payload[index : index + 5] = b"\x02\x03\x00\xff\xe2"
+        assert match_discovery_probe(bytes(payload)) is None
+        assert agent.handle(bytes(payload), 60.0)
+        assert agent.stats_unknown_engine_ids == 1
