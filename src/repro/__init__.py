@@ -27,7 +27,7 @@ See ``examples/`` for complete scenarios and ``DESIGN.md`` for the
 system inventory.
 """
 
-from repro.api import Session
+from repro.api import Session, Store, StoreQuery
 from repro.alias import (
     AliasSets,
     IcmpRateLimitOracle,
@@ -84,6 +84,8 @@ __all__ = [
     "ScanStream",
     "Session",
     "ShardedScanExecutor",
+    "Store",
+    "StoreQuery",
     "ValidRecord",
     "IcmpRateLimitOracle",
     "MacCorrelator",

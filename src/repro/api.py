@@ -21,6 +21,7 @@ The facade is the *supported* surface: its names are re-exported from
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import Iterator
 
 from repro.alias.sets import AliasSets
@@ -32,11 +33,13 @@ from repro.scanner.executor import RetryPolicy
 from repro.pipeline.records import ValidRecord
 from repro.scanner.campaign import CampaignResult, ScanCampaign, ScanStream
 from repro.scanner.metrics import ExecutorMetrics
+from repro.store.query import StoreQuery
+from repro.store.store import Store
 from repro.topology.config import TopologyConfig
 from repro.topology.generator import build_topology
 from repro.topology.model import Topology
 
-__all__ = ["Session"]
+__all__ = ["Session", "Store", "StoreQuery"]
 
 
 class Session:
@@ -68,6 +71,11 @@ class Session:
         overhead to the probe loop but never changes scan results.
     reboot_threshold / skip:
         Filter-pipeline knobs (see :class:`FilterPipeline`).
+    store:
+        A :class:`~repro.store.store.Store` (or a path, opened/created
+        on the spot).  With a store attached, every campaign round run
+        through :meth:`run_campaign` (and the first implicit
+        :meth:`scan`) is ingested into it automatically.
     """
 
     def __init__(
@@ -85,6 +93,7 @@ class Session:
         profile: bool = False,
         reboot_threshold: "float | None" = None,
         skip: "frozenset[str] | set[str]" = frozenset(),
+        store: "Store | str | Path | None" = None,
     ) -> None:
         self.config = config or TopologyConfig.paper_scale(
             divisor=scale, seed=seed
@@ -99,6 +108,9 @@ class Session:
         self._pipeline_kwargs: dict = {"skip": skip}
         if reboot_threshold is not None:
             self._pipeline_kwargs["reboot_threshold"] = reboot_threshold
+        if isinstance(store, (str, Path)):
+            store = Store(root=store)
+        self._store = store
         self._topology: "Topology | None" = None
         self._campaign_obj: "ScanCampaign | None" = None
         self._campaign: "CampaignResult | None" = None
@@ -110,8 +122,25 @@ class Session:
     def scan(self) -> "Session":
         """Run the four-scan campaign (builds the topology if needed)."""
         if self._campaign is None:
-            self._campaign = self._make_campaign().run()
+            self.run_campaign()
         return self
+
+    def run_campaign(self, *, round_id: "int | None" = None) -> CampaignResult:
+        """Run one campaign round; with a store attached, auto-ingest it.
+
+        Each call executes a fresh four-scan campaign over the session's
+        topology — agent state (reboots) persists between calls, so
+        successive rounds form a genuine longitudinal corpus.  The first
+        round also becomes the session's cached campaign (what
+        :meth:`scan` and the accessors consume).  ``round_id`` defaults
+        to the store's next free round.
+        """
+        result = self._make_campaign().run()
+        if self._store is not None:
+            self._store.ingest_campaign(result, round_id=round_id)
+        if self._campaign is None:
+            self._campaign = result
+        return result
 
     def filter(self) -> "Session":
         """Run the §4.4 pipeline over both scan pairs."""
@@ -160,6 +189,17 @@ class Session:
     def metrics(self) -> "dict[str, ExecutorMetrics]":
         """Per-scan execution metrics (empty under the legacy engine)."""
         return self.campaign.metrics
+
+    @property
+    def store(self) -> "Store | None":
+        """The attached observatory store, if any."""
+        return self._store
+
+    def store_query(self) -> StoreQuery:
+        """The attached store's indexed query surface."""
+        if self._store is None:
+            raise ValueError("this Session has no store attached")
+        return self._store.query()
 
     def pipeline(self, version: int) -> PipelineResult:
         """Filter output for one address family (runs filter())."""

@@ -4,14 +4,22 @@ Four subcommands mirror the measurement workflow::
 
     snmpv3-repro scan    --scale 300 --out runs/demo     # campaign -> JSONL
     snmpv3-repro scan    --workers 4 --stats ...         # sharded engine
+    snmpv3-repro scan    --store obs ...                 # + stream into a store
     snmpv3-repro analyze runs/demo                       # filter+alias+census
     snmpv3-repro report  --scale 100 [--quick]           # full paper report
     snmpv3-repro publish --scale 100 --out published     # figure CSVs
+    snmpv3-repro store   ingest runs/demo --store obs    # JSONL -> observatory
+    snmpv3-repro store   query --store obs --ip 1.2.3.4  # point queries
+    snmpv3-repro store   timeline --store obs            # reboots/churn/diffs
+    snmpv3-repro store   compact --store obs             # merge segments
     snmpv3-repro lab                                     # §6.2.1 bench run
 
 ``scan`` exports the four raw scans; ``analyze`` consumes those files —
 so the two stages can run on different machines, the way the paper's
-collection and analysis separate.  ``python -m repro`` is equivalent.
+collection and analysis separate.  The ``store`` verbs maintain the
+persistent longitudinal observatory (:mod:`repro.store`): rounds of
+scans, indexed queries and incremental device timelines.  ``python -m
+repro`` is equivalent.
 """
 
 from __future__ import annotations
@@ -20,8 +28,12 @@ import argparse
 import sys
 from collections import Counter
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 from repro.clock import Clock, Stopwatch
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.store import Store
 
 #: Elapsed-time reporting goes through an injectable clock (DET001 bans
 #: ambient ``time.time()``); tests may swap in a ``ManualClock``.
@@ -57,9 +69,21 @@ def _cmd_scan(args: argparse.Namespace) -> int:
         retry=retry,
         profile=args.profile,
     )
+    store = None
+    round_id = None
+    if args.store:
+        from repro.store import Store
+
+        store = Store(root=args.store)
+        round_id = (
+            args.store_round
+            if args.store_round is not None
+            else store.next_round_id()
+        )
     summaries = []
     # Streaming export: observation batches go straight from the executor
-    # to disk, so even a full-scale campaign is never materialized.
+    # to disk (and into the store when one is attached), so even a
+    # full-scale campaign is never materialized.
     for stream in campaign.run_streaming():
         path = out / f"scan-{stream.label}.jsonl"
         with ScanJsonlWriter(
@@ -68,13 +92,19 @@ def _cmd_scan(args: argparse.Namespace) -> int:
             ip_version=stream.ip_version,
             started_at=stream.started_at,
         ) as writer:
-            for batch in stream.batches():
-                writer.write_batch(batch)
+            if store is not None:
+                stream.attach_sink(writer.write_batch)
+                store.ingest_stream(stream, round_id=round_id)
+            else:
+                for batch in stream.batches():
+                    writer.write_batch(batch)
             writer.finished_at = stream.execution.finished_at
             writer.targets_probed = stream.execution.metrics.probes_sent
         print(f"  {path}: {writer.records} responsive IPs "
               f"({writer.targets_probed} probed)")
         summaries.append(stream.execution.metrics.summary())
+    if store is not None:
+        print(f"  store: round {round_id} ingested into {args.store}")
     if args.stats or args.profile:
         for line in summaries:
             print(f"  {line}")
@@ -163,6 +193,156 @@ def _cmd_publish(args: argparse.Namespace) -> int:
     return 0
 
 
+def _store_open(args: argparse.Namespace) -> "Store":
+    from repro.store import Store
+
+    return Store(root=args.store)
+
+
+def _cmd_store_ingest(args: argparse.Namespace) -> int:
+    from repro.io import read_scan_header
+
+    store = _store_open(args)
+    run_dir = Path(args.run_dir)
+    paths = sorted(run_dir.glob("scan-*.jsonl"))
+    if not paths:
+        print(f"error: no scan-*.jsonl exports in {run_dir}", file=sys.stderr)
+        return 2
+    round_id = args.round if args.round is not None else store.next_round_id()
+    # Ingest in virtual-schedule order so the catalogue reads naturally.
+    paths.sort(key=lambda p: read_scan_header(p)["started_at"])
+    total = 0
+    for path in paths:
+        stats = store.import_jsonl(path, round_id=round_id)
+        total += stats.rows
+        print(f"  {path.name}: {stats.rows} rows -> "
+              f"{stats.segments} segment(s), {stats.bytes_written} bytes")
+    print(f"round {round_id}: {total} rows from {len(paths)} scans")
+    return 0
+
+
+def _cmd_store_import_jsonl(args: argparse.Namespace) -> int:
+    store = _store_open(args)
+    round_id = args.round if args.round is not None else store.next_round_id()
+    for path in args.files:
+        stats = store.import_jsonl(path, round_id=round_id, label=args.label)
+        print(f"  {path}: {stats.rows} rows into round {round_id} "
+              f"({stats.label})")
+    return 0
+
+
+def _cmd_store_export_jsonl(args: argparse.Namespace) -> int:
+    store = _store_open(args)
+    records = store.export_jsonl(args.round, args.label, args.out)
+    print(f"{args.out}: {records} rows (round {args.round}, {args.label})")
+    return 0
+
+
+def _cmd_store_query(args: argparse.Namespace) -> int:
+    import json as _json
+
+    query = _store_open(args).query()
+    if args.ip:
+        rows = [
+            {
+                "round": s.round_id,
+                "label": s.label,
+                "recv_time": s.observation.recv_time,
+                "engine_id": (
+                    s.observation.engine_id.raw.hex()
+                    if s.observation.engine_id
+                    else None
+                ),
+                "engine_boots": s.observation.engine_boots,
+                "engine_time": s.observation.engine_time,
+            }
+            for s in query.history(args.ip)
+        ]
+        print(_json.dumps({"ip": args.ip, "history": rows}, indent=2))
+        return 0
+    if args.engine_id:
+        ips = [str(a) for a in query.ips_with_engine_id(args.engine_id)]
+        print(_json.dumps({"engine_id": args.engine_id, "ips": ips}, indent=2))
+        return 0
+    census = query.vendor_census()
+    print(f"devices: {query.device_count}")
+    for vendor, count in census[: args.top]:
+        print(f"  {vendor:20s} {count}")
+    return 0
+
+
+def _cmd_store_timeline(args: argparse.Namespace) -> int:
+    import json as _json
+
+    query = _store_open(args).query()
+    if args.engine_id:
+        timeline = query.timeline(args.engine_id)
+        if timeline is None:
+            print(f"error: engine ID {args.engine_id} not in store",
+                  file=sys.stderr)
+            return 2
+        payload = {
+            "engine_id": args.engine_id,
+            "rounds_seen": timeline.rounds_seen,
+            "sightings": len(timeline.sightings),
+            "reboot_events": [
+                {
+                    "round": e.round_id,
+                    "label": e.label,
+                    "kind": e.kind,
+                    "boots": [e.boots_before, e.boots_after],
+                    "reboot_time": e.reboot_time,
+                }
+                for e in timeline.reboot_events
+            ],
+            "members": {
+                str(rid): sorted(str(a) for a in members)
+                for rid, members in timeline.member_history()
+            },
+        }
+        print(_json.dumps(payload, indent=2))
+        return 0
+    summary = query.timeline_summary()
+    if args.json:
+        print(_json.dumps(summary, indent=2))
+    else:
+        print(f"rounds folded: {summary['rounds']}")
+        print(f"devices: {summary['devices']}, "
+              f"sightings: {summary['sightings']}")
+        print(f"reboot events: {summary['reboot_events']} "
+              f"({summary['boots_increment_events']} boots-increment, "
+              f"{summary['time_regression_events']} engine-time-regression)")
+        for diff in summary["diffs"]:
+            print(f"  round {diff['prev_round']} -> {diff['next_round']}: "
+                  f"+{diff['born']} born, -{diff['died']} died, "
+                  f"{diff['moved']} moved")
+    return 0
+
+
+def _cmd_store_compact(args: argparse.Namespace) -> int:
+    stats = _store_open(args).compact()
+    print(f"compacted {stats.scans_compacted} scans: "
+          f"{stats.segments_before} -> {stats.segments_after} segments, "
+          f"{stats.bytes_before} -> {stats.bytes_after} bytes")
+    return 0
+
+
+def _cmd_store_stats(args: argparse.Namespace) -> int:
+    import json as _json
+
+    store = _store_open(args)
+    stats = store.stats()
+    stats["timeline"] = store.timelines().summary()
+    if args.json:
+        print(_json.dumps(stats, indent=2, sort_keys=True))
+    else:
+        print(f"store at {args.store}: {stats['rounds']} rounds, "
+              f"{stats['rows']} rows in {stats['segments']} segments "
+              f"({stats['segment_bytes']} bytes, "
+              f"{stats['bytes_per_row']:.1f} B/row)")
+    return 0
+
+
 def _cmd_lab(args: argparse.Namespace) -> int:
     from repro.experiments.lab import default_lab, run_lab_experiment
 
@@ -212,6 +392,11 @@ def build_parser() -> argparse.ArgumentParser:
     scan.add_argument("--timeout", type=float, default=None,
                       help="per-probe reply deadline in virtual seconds "
                            "(default 1.0 when --retries is set)")
+    scan.add_argument("--store", default=None,
+                      help="also stream the campaign into this observatory "
+                           "store as one round")
+    scan.add_argument("--store-round", type=int, default=None,
+                      help="round id for --store (default: next free)")
     scan.add_argument("--stats", action="store_true",
                       help="print per-scan execution metrics")
     scan.add_argument("--profile", action="store_true",
@@ -239,6 +424,67 @@ def build_parser() -> argparse.ArgumentParser:
     publish.add_argument("--seed", type=int, default=2021)
     publish.add_argument("--out", default="published")
     publish.set_defaults(func=_cmd_publish)
+
+    store = sub.add_parser(
+        "store", help="persistent observatory: ingest, query, timelines"
+    )
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+
+    def _store_parser(name: str, help_text: str) -> argparse.ArgumentParser:
+        sub_parser = store_sub.add_parser(name, help=help_text)
+        sub_parser.add_argument("--store", required=True,
+                                help="store directory (created if missing)")
+        return sub_parser
+
+    ingest = _store_parser("ingest", "ingest a scan run directory as one round")
+    ingest.add_argument("run_dir", help="directory of scan-*.jsonl exports")
+    ingest.add_argument("--round", type=int, default=None,
+                        help="round id (default: next free round)")
+    ingest.set_defaults(func=_cmd_store_ingest)
+
+    import_jsonl = _store_parser(
+        "import-jsonl", "backfill individual JSONL exports into a round"
+    )
+    import_jsonl.add_argument("files", nargs="+")
+    import_jsonl.add_argument("--round", type=int, default=None)
+    import_jsonl.add_argument("--label", default=None,
+                              help="override the label recorded in the file")
+    import_jsonl.set_defaults(func=_cmd_store_import_jsonl)
+
+    export_jsonl = _store_parser(
+        "export-jsonl", "write one stored scan back out as JSONL"
+    )
+    export_jsonl.add_argument("--round", type=int, required=True)
+    export_jsonl.add_argument("--label", required=True)
+    export_jsonl.add_argument("--out", required=True)
+    export_jsonl.set_defaults(func=_cmd_store_export_jsonl)
+
+    store_query = _store_parser("query", "point queries and vendor rollups")
+    store_query.add_argument("--ip", default=None,
+                             help="observation history of one address")
+    store_query.add_argument("--engine-id", default=None,
+                             help="addresses that answered with this "
+                                  "engine ID (hex)")
+    store_query.add_argument("--top", type=int, default=10,
+                             help="vendor-census rows to print (default 10)")
+    store_query.set_defaults(func=_cmd_store_query)
+
+    store_timeline = _store_parser(
+        "timeline", "longitudinal summaries: reboots, churn, alias diffs"
+    )
+    store_timeline.add_argument("--engine-id", default=None,
+                                help="one device's full timeline (hex)")
+    store_timeline.add_argument("--json", action="store_true")
+    store_timeline.set_defaults(func=_cmd_store_timeline)
+
+    store_compact = _store_parser(
+        "compact", "merge segment parts (query answers are invariant)"
+    )
+    store_compact.set_defaults(func=_cmd_store_compact)
+
+    store_stats = _store_parser("stats", "physical/logical store shape")
+    store_stats.add_argument("--json", action="store_true")
+    store_stats.set_defaults(func=_cmd_store_stats)
 
     lab = sub.add_parser("lab", help="run the §6.2.1 lab validation")
     lab.set_defaults(func=_cmd_lab)

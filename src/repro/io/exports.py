@@ -167,9 +167,19 @@ class ScanJsonlWriter:
             self.write(observation)
         return self.records - before
 
+    @property
+    def closed(self) -> bool:
+        """True once the final header has been written and the file shut."""
+        return self._handle.closed
+
     def close(self) -> int:
-        """Finalize the header in place; returns the record count."""
-        if self._handle.closed:
+        """Finalize the header in place; returns the record count.
+
+        Idempotent: the header is rewritten and the file closed exactly
+        once, no matter how many times ``close`` runs — a ``with`` block
+        whose body already called :meth:`close` stays a no-op on exit.
+        """
+        if self.closed:
             return self.records
         final = self._header()
         if len(final) > self._header_width:  # pragma: no cover - 48B slack
@@ -180,6 +190,8 @@ class ScanJsonlWriter:
         return self.records
 
     def __enter__(self) -> "ScanJsonlWriter":
+        if self.closed:
+            raise ValueError("cannot re-enter a closed ScanJsonlWriter")
         return self
 
     def __exit__(self, *exc_info) -> None:

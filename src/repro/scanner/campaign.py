@@ -100,12 +100,38 @@ class ScanStream:
     started_at: float
     bindings: dict[IPAddress, int]
     execution: ScanExecution
+    #: Batch observers attached via :meth:`attach_sink`.
+    sinks: "list[Callable[[list[ScanObservation]], object]]" = field(
+        default_factory=list
+    )
+
+    def attach_sink(
+        self, sink: "Callable[[list[ScanObservation]], object]"
+    ) -> "ScanStream":
+        """Mirror every consumed batch into ``sink`` (e.g. a JSONL writer).
+
+        Lets one pass over the stream feed several consumers — the CLI
+        tees batches to disk while a store ingests the same stream.
+        """
+        self.sinks.append(sink)
+        return self
 
     def batches(self) -> Iterator[list[ScanObservation]]:
-        return self.execution.batches()
+        iterator = self.execution.batches()
+        if not self.sinks:
+            return iterator
+
+        def teed() -> Iterator[list[ScanObservation]]:
+            for batch in iterator:
+                for sink in self.sinks:
+                    sink(batch)
+                yield batch
+
+        return teed()
 
     def observations(self) -> Iterator[ScanObservation]:
-        return self.execution.observations()
+        for batch in self.batches():
+            yield from batch
 
 
 class ScanCampaign:

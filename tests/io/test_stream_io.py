@@ -70,6 +70,36 @@ class TestScanJsonlWriter:
         writer.close()
         assert writer.close() == 0
 
+    def test_context_manager_closes_exactly_once(self, scan, tmp_path):
+        path = tmp_path / "scan.jsonl"
+        with ScanJsonlWriter(
+            path, label="x", ip_version=4, started_at=0.0
+        ) as writer:
+            assert not writer.closed
+        assert writer.closed
+        # A second explicit close after __exit__ is a no-op.
+        assert writer.close() == 0
+        assert writer.closed
+
+    def test_reentering_closed_writer_raises(self, scan, tmp_path):
+        path = tmp_path / "scan.jsonl"
+        writer = ScanJsonlWriter(path, label="x", ip_version=4, started_at=0.0)
+        with writer:
+            pass
+        with pytest.raises(ValueError, match="re-enter"):
+            with writer:
+                pass  # pragma: no cover - must not be reached
+
+    def test_close_inside_context_is_safe(self, scan, tmp_path):
+        path = tmp_path / "scan.jsonl"
+        with ScanJsonlWriter(
+            path, label="x", ip_version=4, started_at=0.0
+        ) as writer:
+            writer.write_batch(list(scan)[:3])
+            assert writer.close() == 3
+        # __exit__ saw an already-closed handle; file is intact.
+        assert len(load_scan_jsonl(path)) == 3
+
 
 class TestIterScanJsonl:
     def test_streams_same_records_as_loader(self, scan, tmp_path):

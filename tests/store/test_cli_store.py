@@ -1,0 +1,157 @@
+"""End-to-end tests for the ``store`` CLI verbs."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(scope="module")
+def scan_run(tmp_path_factory):
+    """One small scan run exported to JSONL, shared across tests."""
+    run_dir = tmp_path_factory.mktemp("runs") / "run"
+    assert main(["scan", "--scale", "1500", "--seed", "3",
+                 "--out", str(run_dir)]) == 0
+    return run_dir
+
+
+class TestParser:
+    def test_store_verbs_registered(self, tmp_path):
+        parser = build_parser()
+        for argv in (
+            ["store", "ingest", "x", "--store", "s"],
+            ["store", "import-jsonl", "f.jsonl", "--store", "s"],
+            ["store", "export-jsonl", "--store", "s",
+             "--round", "1", "--label", "v4-1", "--out", "o.jsonl"],
+            ["store", "query", "--store", "s"],
+            ["store", "timeline", "--store", "s"],
+            ["store", "compact", "--store", "s"],
+            ["store", "stats", "--store", "s"],
+        ):
+            assert callable(parser.parse_args(argv).func)
+
+    def test_store_flag_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["store", "query"])
+
+
+class TestStoreWorkflow:
+    def test_ingest_query_timeline_compact(self, scan_run, tmp_path, capsys):
+        store_dir = tmp_path / "obs"
+
+        assert main(["store", "ingest", str(scan_run),
+                     "--store", str(store_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "round 1" in out
+
+        # Vendor census rollup.
+        assert main(["store", "query", "--store", str(store_dir)]) == 0
+        assert "devices" in capsys.readouterr().out
+
+        # Point query on a stored address.
+        assert main(["store", "stats", "--store", str(store_dir),
+                     "--json"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["rounds"] == 1
+        assert stats["rows"] > 0
+        assert stats["timeline"]["devices"] > 0
+
+        assert main(["store", "timeline", "--store", str(store_dir),
+                     "--json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["rounds"] == [1]
+
+        assert main(["store", "compact", "--store", str(store_dir)]) == 0
+        capsys.readouterr()
+        assert main(["store", "stats", "--store", str(store_dir),
+                     "--json"]) == 0
+        after = json.loads(capsys.readouterr().out)
+        assert after["rows"] == stats["rows"]
+        assert after["timeline"] == stats["timeline"]
+
+    def test_query_by_ip_and_engine(self, scan_run, tmp_path, capsys):
+        store_dir = tmp_path / "obs"
+        main(["store", "ingest", str(scan_run), "--store", str(store_dir)])
+        capsys.readouterr()
+
+        header = json.loads(
+            (scan_run / "scan-v4-1.jsonl").read_text().splitlines()[0]
+        )
+        assert header["format"] == "snmpv3-scan"
+        row = json.loads(
+            (scan_run / "scan-v4-1.jsonl").read_text().splitlines()[1]
+        )
+        ip, engine_hex = row["ip"], row["engine_id"]
+
+        assert main(["store", "query", "--store", str(store_dir),
+                     "--ip", ip]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ip"] == ip
+        assert payload["history"]
+        assert all("engine_boots" in h for h in payload["history"])
+
+        assert main(["store", "query", "--store", str(store_dir),
+                     "--engine-id", engine_hex]) == 0
+        members = json.loads(capsys.readouterr().out)
+        assert ip in members["ips"]
+
+        assert main(["store", "timeline", "--store", str(store_dir),
+                     "--engine-id", engine_hex]) == 0
+        detail = json.loads(capsys.readouterr().out)
+        assert detail["engine_id"] == engine_hex
+
+    def test_unknown_engine_errors(self, scan_run, tmp_path, capsys):
+        store_dir = tmp_path / "obs"
+        main(["store", "ingest", str(scan_run), "--store", str(store_dir)])
+        capsys.readouterr()
+        assert main(["store", "timeline", "--store", str(store_dir),
+                     "--engine-id", "dead"]) == 2
+
+    def test_import_export_jsonl_roundtrip(self, scan_run, tmp_path, capsys):
+        store_dir = tmp_path / "obs"
+        source = scan_run / "scan-v4-1.jsonl"
+        assert main(["store", "import-jsonl", str(source),
+                     "--store", str(store_dir)]) == 0
+        out = tmp_path / "back.jsonl"
+        assert main(["store", "export-jsonl", "--store", str(store_dir),
+                     "--round", "1", "--label", "v4-1",
+                     "--out", str(out)]) == 0
+        source_lines = source.read_text().splitlines()
+        out_lines = out.read_text().splitlines()
+        # The streaming writer pads its back-patched header and emits
+        # rows in arrival order; the store export is address-sorted.
+        # Same header, same row set.
+        assert json.loads(out_lines[0]) == json.loads(source_lines[0])
+        assert sorted(out_lines[1:]) == sorted(source_lines[1:])
+
+    def test_scan_with_store_flag(self, tmp_path, capsys):
+        run_dir = tmp_path / "run"
+        store_dir = tmp_path / "obs"
+        assert main(["scan", "--scale", "1500", "--seed", "3",
+                     "--out", str(run_dir),
+                     "--store", str(store_dir)]) == 0
+        assert "store: round 1" in capsys.readouterr().out
+
+        # The streamed ingest matches a JSONL backfill of the same run.
+        backfill = tmp_path / "backfill"
+        assert main(["store", "ingest", str(run_dir),
+                     "--store", str(backfill)]) == 0
+        capsys.readouterr()
+
+        from repro.store import Store
+
+        direct = Store.open(store_dir)
+        imported = Store.open(backfill)
+        # JSONL maps an empty engine ID to null while the columnar wire
+        # codec preserves it, so the two stores agree up to the JSONL
+        # projection: re-exporting each must give identical bytes.
+        for label in direct.labels(1):
+            a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+            assert direct.export_jsonl(1, label, a) == \
+                imported.export_jsonl(1, label, b)
+            assert a.read_bytes() == b.read_bytes()
+            assert (
+                direct.scan_info(1, label)["targets_probed"]
+                == imported.scan_info(1, label)["targets_probed"]
+            )
