@@ -1,0 +1,14 @@
+"""Performance — the §4.4 filtering pipeline over the IPv4 scan pair."""
+
+from repro.pipeline.filters import FilterPipeline
+
+
+def test_bench_pipeline(benchmark, ctx):
+    scan1, scan2 = ctx.campaign.scan_pair(4)
+    result = benchmark(FilterPipeline().run, scan1, scan2)
+    print(f"\ninput {result.stats.input_first}/{result.stats.input_second} -> "
+          f"valid-eid {result.stats.valid_engine_id_count} -> "
+          f"valid {result.stats.valid_count}")
+    removed = {k: v for k, v in result.stats.removed.items() if v}
+    print("removed:", removed)
+    assert result.stats.valid_count > 0

@@ -30,6 +30,7 @@ from pathlib import Path
 import pytest
 
 from repro.scanner.campaign import SCAN_LABELS, ScanCampaign
+from repro.scanner.executor import ExecutionOptions
 from repro.topology.config import TopologyConfig
 from repro.topology.generator import build_topology
 
@@ -48,7 +49,9 @@ def _run_campaign(divisor: float, workers: int):
     """Fresh topology + campaign; returns (result, scan wall time)."""
     cfg = TopologyConfig.paper_scale(divisor=divisor, seed=SEED)
     topo = build_topology(cfg)
-    campaign = ScanCampaign(topology=topo, config=cfg, workers=workers)
+    campaign = ScanCampaign(
+        topology=topo, config=cfg, options=ExecutionOptions(workers=workers)
+    )
     started = time.perf_counter()
     result = campaign.run()
     return result, time.perf_counter() - started

@@ -27,7 +27,7 @@ See ``examples/`` for complete scenarios and ``DESIGN.md`` for the
 system inventory.
 """
 
-from repro.api import Session, Store, StoreQuery
+from repro.api import ExecutionOptions, Session, Store, StoreQuery
 from repro.alias import (
     AliasSets,
     IcmpRateLimitOracle,
@@ -74,6 +74,7 @@ __all__ = [
     "AliasSets",
     "CampaignResult",
     "EngineId",
+    "ExecutionOptions",
     "ExecutorConfig",
     "ExecutorMetrics",
     "FilterStats",

@@ -17,10 +17,9 @@ Those limitations are why the paper finds MIDAR and SNMPv3 alias sets
 
 from __future__ import annotations
 
-import warnings
-
 from repro.alias.ipid import CounterAliasResolver, CounterOracle
 from repro.alias.sets import AliasSets
+from repro.compat import keyword_only_compat
 from repro.net.addresses import IPAddress
 from repro.topology.model import DeviceType, Topology
 
@@ -28,6 +27,7 @@ from repro.topology.model import DeviceType, Topology
 IP_ID_MODULUS = 1 << 16
 
 
+@keyword_only_compat("topology", "seed")
 class MidarResolver:
     """Run MIDAR-style resolution over IPv4 candidate addresses.
 
@@ -35,25 +35,8 @@ class MidarResolver:
     seed)`` form is deprecated but still accepted.
     """
 
-    def __init__(self, *args, topology: "Topology | None" = None,
+    def __init__(self, *, topology: "Topology | None" = None,
                  seed: int = 0x41DA2) -> None:
-        if args:
-            warnings.warn(
-                "positional MidarResolver(topology, seed) is deprecated; "
-                "pass keyword arguments",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            if len(args) > 2:
-                raise TypeError(
-                    f"MidarResolver takes at most 2 positional arguments, "
-                    f"got {len(args)}"
-                )
-            if topology is not None:
-                raise TypeError("topology given positionally and by keyword")
-            topology = args[0]
-            if len(args) == 2:
-                seed = args[1]
         if topology is None:
             raise TypeError("MidarResolver requires a topology")
         self._oracle = CounterOracle(

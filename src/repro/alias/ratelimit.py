@@ -19,10 +19,10 @@ whose limiters are generous, yield no signal.
 from __future__ import annotations
 
 import random
-import warnings
 from dataclasses import dataclass
 
 from repro.alias.sets import AliasSets
+from repro.compat import keyword_only_compat
 from repro.net.addresses import IPAddress
 from repro.topology.model import DeviceType, Topology
 
@@ -46,6 +46,7 @@ class _TokenBucket:
         return False
 
 
+@keyword_only_compat("topology", "seed")
 class IcmpRateLimitOracle:
     """Answers echo probes subject to each device's shared limiter.
 
@@ -57,25 +58,8 @@ class IcmpRateLimitOracle:
     #: Common limiter configurations (replies/second).
     RATE_CLASSES = (50.0, 100.0, 200.0)
 
-    def __init__(self, *args, topology: "Topology | None" = None,
+    def __init__(self, *, topology: "Topology | None" = None,
                  seed: int = 0x1C41) -> None:
-        if args:
-            warnings.warn(
-                "positional IcmpRateLimitOracle(topology, seed) is "
-                "deprecated; pass keyword arguments",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            if len(args) > 2:
-                raise TypeError(
-                    f"IcmpRateLimitOracle takes at most 2 positional "
-                    f"arguments, got {len(args)}"
-                )
-            if topology is not None:
-                raise TypeError("topology given positionally and by keyword")
-            topology = args[0]
-            if len(args) == 2:
-                seed = args[1]
         if topology is None:
             raise TypeError("IcmpRateLimitOracle requires a topology")
         self.topology = topology

@@ -10,10 +10,9 @@ than MIDAR's; the resolution machinery is otherwise identical with a
 
 from __future__ import annotations
 
-import warnings
-
 from repro.alias.ipid import CounterAliasResolver, CounterOracle
 from repro.alias.sets import AliasSets
+from repro.compat import keyword_only_compat
 from repro.net.addresses import IPAddress
 from repro.topology.model import DeviceType, Topology
 
@@ -21,6 +20,7 @@ from repro.topology.model import DeviceType, Topology
 FRAG_ID_MODULUS = 1 << 32
 
 
+@keyword_only_compat("topology", "seed")
 class SpeedtrapResolver:
     """Run Speedtrap-style resolution over IPv6 candidate addresses.
 
@@ -29,25 +29,8 @@ class SpeedtrapResolver:
     accepted.
     """
 
-    def __init__(self, *args, topology: "Topology | None" = None,
+    def __init__(self, *, topology: "Topology | None" = None,
                  seed: int = 0x5BEED) -> None:
-        if args:
-            warnings.warn(
-                "positional SpeedtrapResolver(topology, seed) is deprecated; "
-                "pass keyword arguments",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            if len(args) > 2:
-                raise TypeError(
-                    f"SpeedtrapResolver takes at most 2 positional arguments, "
-                    f"got {len(args)}"
-                )
-            if topology is not None:
-                raise TypeError("topology given positionally and by keyword")
-            topology = args[0]
-            if len(args) == 2:
-                seed = args[1]
         if topology is None:
             raise TypeError("SpeedtrapResolver requires a topology")
         self._oracle = CounterOracle(

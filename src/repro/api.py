@@ -21,6 +21,8 @@ The facade is the *supported* surface: its names are re-exported from
 
 from __future__ import annotations
 
+import dataclasses
+import warnings
 from pathlib import Path
 from typing import Iterator
 
@@ -29,9 +31,9 @@ from repro.alias.snmpv3 import resolve_aliases, resolve_dual_stack
 from repro.fingerprint.vendor import vendor_of_alias_set
 from repro.net.faults import FaultProfile
 from repro.pipeline.filters import FilterPipeline, PipelineResult
-from repro.scanner.executor import RetryPolicy
 from repro.pipeline.records import ValidRecord
 from repro.scanner.campaign import CampaignResult, ScanCampaign, ScanStream
+from repro.scanner.executor import ExecutionOptions, RetryPolicy
 from repro.scanner.metrics import ExecutorMetrics
 from repro.store.query import StoreQuery
 from repro.store.store import Store
@@ -39,7 +41,7 @@ from repro.topology.config import TopologyConfig
 from repro.topology.generator import build_topology
 from repro.topology.model import Topology
 
-__all__ = ["Session", "Store", "StoreQuery"]
+__all__ = ["ExecutionOptions", "Session", "Store", "StoreQuery"]
 
 
 class Session:
@@ -54,21 +56,18 @@ class Session:
         Master RNG seed; every derived stage is deterministic in it.
     config:
         A full :class:`TopologyConfig` for fine-grained control.
-    workers / num_shards / batch_size:
-        Passed through to the sharded scan executor.  Leaving all three
-        unset selects the legacy single-process engine.
-    loss_probability:
-        Independent per-packet loss on each path of every link.
-    fault_profile:
-        A :class:`~repro.net.faults.FaultProfile` (or stock-profile name
-        such as ``"conformance"`` or ``"chaos"``) injected by the fabric.
-    retry:
-        A :class:`~repro.scanner.executor.RetryPolicy`; setting one
-        selects the sharded engine (the legacy scanner has no retries).
-    profile:
-        Collect per-stage timings (encode / fabric / agent / decode)
-        into the scan metrics.  Selects the sharded engine; adds timer
-        overhead to the probe loop but never changes scan results.
+    options:
+        An :class:`~repro.scanner.executor.ExecutionOptions` bundle — the
+        supported way to shape execution (workers, shard/batch/window
+        geometry, the batch-pipeline switch, retries, profiling, fault
+        injection).  Unset fields take engine defaults.
+    workers / num_shards / batch_size / loss_probability /
+    fault_profile / retry / profile:
+        Deprecated flat aliases for the corresponding
+        :class:`ExecutionOptions` fields.  They keep working (each use
+        emits a :class:`DeprecationWarning`) but cannot be combined with
+        ``options``; new execution knobs are added to the options object
+        only (lint rule API002 enforces this).
     reboot_threshold / skip:
         Filter-pipeline knobs (see :class:`FilterPipeline`).
     store:
@@ -84,6 +83,7 @@ class Session:
         scale: float = 300.0,
         seed: int = 2021,
         config: "TopologyConfig | None" = None,
+        options: "ExecutionOptions | None" = None,
         workers: "int | None" = None,
         num_shards: "int | None" = None,
         batch_size: "int | None" = None,
@@ -98,13 +98,39 @@ class Session:
         self.config = config or TopologyConfig.paper_scale(
             divisor=scale, seed=seed
         )
-        self._workers = workers
-        self._num_shards = num_shards
-        self._batch_size = batch_size
-        self._loss_probability = loss_probability
-        self._fault_profile = fault_profile
-        self._retry = retry
-        self._profile = profile
+        flat = {
+            "workers": workers,
+            "num_shards": num_shards,
+            "batch_size": batch_size,
+            "loss_probability": loss_probability,
+            "fault_profile": fault_profile,
+            "retry": retry,
+            "profile": profile or None,
+        }
+        used_flat = [name for name, value in flat.items() if value is not None]
+        if options is not None and used_flat:
+            raise TypeError(
+                "pass execution knobs either via options=ExecutionOptions(...) "
+                f"or as flat keyword arguments, not both (flat: {used_flat})"
+            )
+        if used_flat:
+            warnings.warn(
+                f"Session({', '.join(f'{n}=...' for n in used_flat)}) is "
+                "deprecated; pass options=ExecutionOptions(...) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        if options is None:
+            options = ExecutionOptions(
+                workers=workers,
+                num_shards=num_shards,
+                batch_size=batch_size,
+                loss_probability=loss_probability,
+                fault_profile=fault_profile,
+                retry=retry,
+                profile=profile,
+            )
+        self._options = options
         self._pipeline_kwargs: dict = {"skip": skip}
         if reboot_threshold is not None:
             self._pipeline_kwargs["reboot_threshold"] = reboot_threshold
@@ -125,7 +151,12 @@ class Session:
             self.run_campaign()
         return self
 
-    def run_campaign(self, *, round_id: "int | None" = None) -> CampaignResult:
+    def run_campaign(
+        self,
+        *,
+        round_id: "int | None" = None,
+        options: "ExecutionOptions | None" = None,
+    ) -> CampaignResult:
         """Run one campaign round; with a store attached, auto-ingest it.
 
         Each call executes a fresh four-scan campaign over the session's
@@ -133,9 +164,10 @@ class Session:
         successive rounds form a genuine longitudinal corpus.  The first
         round also becomes the session's cached campaign (what
         :meth:`scan` and the accessors consume).  ``round_id`` defaults
-        to the store's next free round.
+        to the store's next free round.  ``options`` overrides the
+        session's :class:`ExecutionOptions` for this round only.
         """
-        result = self._make_campaign().run()
+        result = self._make_campaign(options=options).run()
         if self._store is not None:
             self._store.ingest_campaign(result, round_id=round_id)
         if self._campaign is None:
@@ -189,6 +221,11 @@ class Session:
     def metrics(self) -> "dict[str, ExecutorMetrics]":
         """Per-scan execution metrics (empty under the legacy engine)."""
         return self.campaign.metrics
+
+    @property
+    def options(self) -> ExecutionOptions:
+        """The session's execution options (flat kwargs are folded in)."""
+        return self._options
 
     @property
     def store(self) -> "Store | None":
@@ -251,31 +288,17 @@ class Session:
 
     # -- internals ---------------------------------------------------------
 
-    def _make_campaign(self, *, force_executor: bool = False) -> ScanCampaign:
-        kwargs: dict = {}
-        if self._workers is not None:
-            kwargs["workers"] = self._workers
-        if self._num_shards is not None:
-            kwargs["num_shards"] = self._num_shards
-        if self._batch_size is not None:
-            kwargs["batch_size"] = self._batch_size
-        if self._loss_probability is not None:
-            kwargs["loss_probability"] = self._loss_probability
-        if self._fault_profile is not None:
-            kwargs["fault_profile"] = self._fault_profile
-        if self._retry is not None:
-            kwargs["retry"] = self._retry
-        if self._profile:
-            kwargs["profile"] = True
-        if (
-            force_executor
-            and "workers" not in kwargs
-            and self._retry is None
-            and not self._profile
-        ):
-            kwargs["workers"] = 1
+    def _make_campaign(
+        self,
+        *,
+        force_executor: bool = False,
+        options: "ExecutionOptions | None" = None,
+    ) -> ScanCampaign:
+        effective = options if options is not None else self._options
+        if force_executor and not effective.selects_executor:
+            effective = dataclasses.replace(effective, workers=1)
         campaign = ScanCampaign(
-            topology=self.topology, config=self.config, **kwargs
+            topology=self.topology, config=self.config, options=effective
         )
         self._campaign_obj = campaign
         return campaign

@@ -43,7 +43,7 @@ DEFAULT_CLOCK: "Clock | None" = None
 def _cmd_scan(args: argparse.Namespace) -> int:
     from repro.io import ScanJsonlWriter
     from repro.scanner.campaign import ScanCampaign
-    from repro.scanner.executor import RetryPolicy
+    from repro.scanner.executor import ExecutionOptions, RetryPolicy
     from repro.topology.config import TopologyConfig
     from repro.topology.generator import build_topology
 
@@ -59,16 +59,18 @@ def _cmd_scan(args: argparse.Namespace) -> int:
             max_retries=args.retries,
             timeout=args.timeout if args.timeout is not None else 1.0,
         )
-    campaign = ScanCampaign(
-        topology=topology,
-        config=config,
+    # Every execution flag funnels into the one blessed options object.
+    options = ExecutionOptions(
         workers=args.workers,
         num_shards=args.shards,
         batch_size=args.batch_size,
+        window=args.window,
+        pipeline=False if args.no_pipeline else None,
         fault_profile=args.fault_profile,
         retry=retry,
         profile=args.profile,
     )
+    campaign = ScanCampaign(topology=topology, config=config, options=options)
     store = None
     round_id = None
     if args.store:
@@ -382,6 +384,13 @@ def build_parser() -> argparse.ArgumentParser:
                            "worker-count independent at a fixed shard count)")
     scan.add_argument("--batch-size", type=int, default=None,
                       help="observations per streamed batch (default 2048)")
+    scan.add_argument("--window", type=int, default=None,
+                      help="probes in flight per pipeline stage "
+                           "(default 512; results are window-invariant)")
+    scan.add_argument("--no-pipeline", action="store_true",
+                      help="use the historical per-probe loop instead of "
+                           "the batch pipeline (byte-identical; for A/B "
+                           "timing comparisons)")
     from repro.net.faults import FAULT_PROFILES
     scan.add_argument("--fault-profile", default=None,
                       choices=sorted(FAULT_PROFILES),

@@ -1,0 +1,78 @@
+"""Shared keyword-only constructor compatibility shim.
+
+PR 1 migrated the public constructors to keyword-only signatures and kept
+the historical positional forms working behind a ``DeprecationWarning``.
+That shim was then copy-pasted into every migrated class — nine nearly
+identical ``*args`` preambles with hand-maintained name tuples and
+ambiguity checks.  :func:`keyword_only_compat` replaces all of them with
+one class decorator.
+
+This module is deliberately dependency-free and lives at the package
+root so that core modules (``repro.snmp``, ``repro.scanner``, ...) can
+use it without importing the :mod:`repro.devtools` package — IMP001
+forbids that direction, and dragging the lint engine into every
+fork-pool worker would be the exact cost the rule exists to prevent.
+The blessed tooling-facing name is
+:data:`repro.devtools.compat.keyword_only_compat`, a re-export of this
+implementation.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Any, Callable, TypeVar
+
+_ClassT = TypeVar("_ClassT", bound=type)
+
+
+def keyword_only_compat(*names: str) -> Callable[[_ClassT], _ClassT]:
+    """Class decorator: accept legacy positional constructor arguments.
+
+    ``names`` is the historical positional parameter order.  The decorated
+    class's ``__init__`` must be keyword-only; positional calls are mapped
+    onto the named keywords and emit a :class:`DeprecationWarning`.  A
+    parameter supplied both positionally and by keyword, or more
+    positional arguments than ``names``, raises :class:`TypeError` (after
+    the warning, so callers migrating under ``-W error`` see the
+    deprecation first).
+    """
+    if not names:
+        raise ValueError("keyword_only_compat needs at least one parameter name")
+    preview = ", ".join(names[:3]) + (", ..." if len(names) > 3 else "")
+
+    def decorate(cls: _ClassT) -> _ClassT:
+        wrapped: Callable[..., None] = cls.__init__
+
+        def __init__(self: Any, *args: Any, **kwargs: Any) -> None:
+            if args:
+                warnings.warn(
+                    f"positional {cls.__name__}({preview}) is deprecated; "
+                    "pass keyword arguments",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
+                if len(args) > len(names):
+                    raise TypeError(
+                        f"{cls.__name__} takes at most {len(names)} "
+                        f"positional arguments, got {len(args)}"
+                    )
+                for name, value in zip(names, args):
+                    if name in kwargs:
+                        raise TypeError(
+                            f"{cls.__name__}() got {name} both positionally "
+                            "and by keyword"
+                        )
+                    kwargs[name] = value
+            wrapped(self, **kwargs)
+
+        __init__.__doc__ = wrapped.__doc__
+        __init__.__qualname__ = wrapped.__qualname__
+        __init__.__module__ = wrapped.__module__
+        __init__.__wrapped__ = wrapped  # type: ignore[attr-defined]
+        cls.__init__ = __init__
+        return cls
+
+    return decorate
+
+
+__all__ = ["keyword_only_compat"]

@@ -1,0 +1,12 @@
+"""Blessed home of the keyword-only constructor compatibility decorator.
+
+The implementation lives in the dependency-free :mod:`repro.compat` so
+core packages can apply it without importing :mod:`repro.devtools`
+(IMP001 layering); import it from here in tooling, tests and docs.
+"""
+
+from __future__ import annotations
+
+from repro.compat import keyword_only_compat
+
+__all__ = ["keyword_only_compat"]

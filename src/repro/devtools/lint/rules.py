@@ -12,6 +12,9 @@ PROTO001  protocol decoders may not let ``IndexError``/``KeyError``/
           ``struct.error`` escape — garbage on the wire is data, not a crash
 API001    blessed ``repro.api`` re-exports take keyword-only constructor
           arguments (the PR-1 facade convention)
+API002    the facade's flat keyword surface is frozen — new execution
+          knobs go on ``ExecutionOptions``, not ``Session``/
+          ``run_campaign`` keyword lists
 OID001    OID string literals must parse as valid dotted OIDs
 IMP001    layering: core packages never import ``tests``,
           ``repro.experiments`` or ``repro.devtools``
@@ -589,6 +592,67 @@ class ApiKeywordOnlyRule(Rule):
 
 
 # ---------------------------------------------------------------------------
+# API002 — no new flat kwargs on the facade
+# ---------------------------------------------------------------------------
+
+#: The frozen flat keyword surface of the facade.  Execution knobs added
+#: after the :class:`~repro.scanner.executor.ExecutionOptions`
+#: consolidation belong on the options object; these sets hold the
+#: grandfathered flat aliases plus the non-execution parameters and must
+#: never grow.
+_FACADE_FROZEN_KWARGS: "dict[tuple[str, str], frozenset[str]]" = {
+    ("Session", "__init__"): frozenset({
+        "scale", "seed", "config", "options",
+        # deprecated flat execution aliases (pre-ExecutionOptions)
+        "workers", "num_shards", "batch_size", "loss_probability",
+        "fault_profile", "retry", "profile",
+        # filter-pipeline and storage knobs
+        "reboot_threshold", "skip", "store",
+    }),
+    ("Session", "run_campaign"): frozenset({"round_id", "options"}),
+}
+
+
+class ApiFlatKwargGrowthRule(Rule):
+    """API002: the facade's flat keyword surface is frozen.
+
+    ``Session`` and ``run_campaign`` accept a fixed, grandfathered set of
+    flat keyword arguments (kept as deprecated aliases); every new way to
+    shape *how* a campaign executes must be a field on
+    :class:`~repro.scanner.executor.ExecutionOptions` so callers migrate
+    toward one blessed object instead of an ever-growing keyword list.
+    """
+
+    rule_id = "API002"
+    summary = "new flat keyword argument on the repro.api facade"
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        if ctx.module != "repro.api":
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            for item in node.body:
+                if not isinstance(item, ast.FunctionDef):
+                    continue
+                allowed = _FACADE_FROZEN_KWARGS.get((node.name, item.name))
+                if allowed is None:
+                    continue
+                params = (
+                    item.args.posonlyargs + item.args.args + item.args.kwonlyargs
+                )
+                for arg in params:
+                    if arg.arg in ("self", "cls") or arg.arg in allowed:
+                        continue
+                    yield ctx.diagnostic(
+                        self.rule_id, item,
+                        f"{node.name}.{item.name} grew flat keyword argument "
+                        f"{arg.arg!r}; execution knobs belong on "
+                        f"ExecutionOptions — the flat alias list is frozen",
+                    )
+
+
+# ---------------------------------------------------------------------------
 # OID001 — OID literals must be valid
 # ---------------------------------------------------------------------------
 
@@ -731,6 +795,7 @@ def default_rules() -> list[Rule]:
         SharedStateRule(),
         DecoderHygieneRule(),
         ApiKeywordOnlyRule(),
+        ApiFlatKwargGrowthRule(),
         OidLiteralRule(),
         LayeringRule(),
     ]

@@ -150,6 +150,11 @@ class NetworkFabric:
         self._default_profile = default_profile or LinkProfile()
         self._fault_profile = resolve_fault_profile(fault_profile)
         self._buckets: dict[IPAddress, TokenBucket] = {}
+        # Combined per-address delivery records, built lazily per
+        # (protocol, port) and invalidated by any wiring change.  The
+        # batch path pays one address hash per probe instead of three
+        # (endpoint, ACL, link profile).
+        self._delivery_indexes: "dict[tuple[str, int], dict[IPAddress, tuple[Handler, AccessControlList | None, LinkProfile]]]" = {}
         self.stats = FabricStats()
 
     # -- wiring -----------------------------------------------------------
@@ -164,10 +169,12 @@ class NetworkFabric:
         if key in self._endpoints:
             raise ValueError(f"endpoint already bound: {key}")
         self._endpoints[key] = handler
+        self._delivery_indexes.clear()
 
     def unbind(self, address: IPAddress, protocol: str, port: int) -> None:
         """Remove a binding (used to model CPE address churn between scans)."""
         self._endpoints.pop((address, protocol, port), None)
+        self._delivery_indexes.clear()
 
     def is_bound(self, address: IPAddress, protocol: str, port: int) -> bool:
         """Return whether an endpoint is currently bound to the key."""
@@ -176,10 +183,41 @@ class NetworkFabric:
     def set_acl(self, address: IPAddress, acl: AccessControlList) -> None:
         """Attach a firewall ACL in front of every port of ``address``."""
         self._acls[address] = acl
+        self._delivery_indexes.clear()
 
     def set_profile(self, address: IPAddress, profile: LinkProfile) -> None:
         """Attach per-address path characteristics."""
         self._profiles[address] = profile
+        self._delivery_indexes.clear()
+
+    def _delivery_index(
+        self, protocol: str, port: int
+    ) -> "dict[IPAddress, tuple[Handler, AccessControlList | None, LinkProfile]]":
+        """The combined ``address -> (handler, acl, profile)`` map for one
+        ``(protocol, port)``, built on first use after any wiring change."""
+        key = (protocol, port)
+        index = self._delivery_indexes.get(key)
+        if index is None:
+            # ACLs and shaped profiles cover a handful of addresses while
+            # endpoints number in the tens of thousands: seed every entry
+            # with the defaults, then overlay the two sparse maps, instead
+            # of probing both per endpoint.
+            default_profile = self._default_profile
+            index = {
+                address: (handler, None, default_profile)
+                for (address, proto, bound_port), handler in self._endpoints.items()
+                if proto == protocol and bound_port == port
+            }
+            for address, acl in self._acls.items():
+                entry = index.get(address)
+                if entry is not None:
+                    index[address] = (entry[0], acl, entry[2])
+            for address, profile in self._profiles.items():
+                entry = index.get(address)
+                if entry is not None:
+                    index[address] = (entry[0], entry[1], profile)
+            self._delivery_indexes[key] = index
+        return index
 
     def set_fault_profile(self, profile: "FaultProfile | str | None") -> None:
         """Attach (or clear) the fabric-wide fault-injection profile.
@@ -319,6 +357,190 @@ class NetworkFabric:
             stats.reordered += 1
         return replies
 
+    def _deliver_probe_batch(
+        self,
+        source: IPAddress,
+        sport: int,
+        dport: int,
+        targets: "list[IPAddress]",
+        payloads: "list[bytes]",
+        send_times: "list[float]",
+        msg_ids: "list[int] | None",
+        rng: random.Random,
+        stats: FabricStats,
+        buckets: "dict[IPAddress, TokenBucket]",
+        timer: "HandlerTimer | None" = None,
+        protocol: str = "udp",
+    ) -> "list[list[tuple[bytes, float, int]]]":
+        """Deliver a window of same-source probes in one staged pass.
+
+        Returns one ``(payload, arrival_time, wire_size)`` reply list per
+        probe, aligned with the inputs.  The outcome is byte- and
+        RNG-draw-identical to calling :meth:`_deliver` once per probe in
+        order — per-probe loss/jitter/fault draws happen in exactly the
+        legacy sequence against the same per-address link profiles — but
+        the per-packet costs (endpoint/profile lookups, fault-profile
+        field reads, :class:`~repro.net.packet.Datagram` construction and
+        stats increments) are hoisted out of the loop or batch-flushed.
+
+        ``msg_ids`` carries the executor's per-probe msg/request-id hints:
+        when the fabric delivers a probe *unmodified* to a bound
+        ``handle_datagram`` whose owner exposes ``handle_discovery``, the
+        agent is invoked through that hinted entry point and the datagram
+        is never materialized.  Corrupted probes, ACL-checked targets and
+        foreign handlers fall back to the legacy handler call.
+        """
+        delivery = self._delivery_index(protocol, dport)
+        faults = self._fault_profile
+        rand = rng.random
+        header_size = (20 if source.version == 4 else 40) + 8
+        if faults is not None:
+            rate_limit = faults.rate_limit
+            duplicate_p = faults.duplicate_probability
+            reorder_p = faults.reorder_probability
+            truncate_p = faults.truncate_probability
+            corrupt_p = faults.corrupt_probability
+            mutates_replies = faults.mutates_replies
+        else:
+            rate_limit = None
+            duplicate_p = reorder_p = truncate_p = corrupt_p = 0.0
+            mutates_replies = False
+        # Per-handler owner resolution (bound-method introspection) is
+        # invariant across a scan, so resolve each handler object once.
+        owners: "dict[int, tuple[object, Callable[..., Iterable[bytes]] | None]]" = {}
+        injected = no_endpoint = acl_dropped = rate_dropped = loss_dropped = 0
+        probe_bytes = corrupted = delivered = duplicated = 0
+        reply_loss = truncated = reordered = reply_count = reply_bytes = 0
+        out: "list[list[tuple[bytes, float, int]]]" = []
+        append_out = out.append
+        try:
+            for index, target in enumerate(targets):
+                payload = payloads[index]
+                now = send_times[index]
+                injected += 1
+                probe_bytes += header_size + len(payload)
+                entry = delivery.get(target)
+                if entry is None:
+                    no_endpoint += 1
+                    append_out([])
+                    continue
+                handler, acl, profile = entry
+                if acl is not None and not acl.permits(
+                    Datagram(
+                        src=source, dst=target, sport=sport, dport=dport,
+                        payload=payload, sent_at=now,
+                    )
+                ):
+                    acl_dropped += 1
+                    append_out([])
+                    continue
+                if rate_limit is not None:
+                    bucket = buckets.get(target)
+                    if bucket is None:
+                        bucket = buckets[target] = TokenBucket(rate_limit, now)
+                    if not bucket.admit(now):
+                        rate_dropped += 1
+                        append_out([])
+                        continue
+                loss_probability = profile.loss_probability
+                if rand() < loss_probability:
+                    loss_dropped += 1
+                    append_out([])
+                    continue
+                # Parenthesized to match _deliver's ``now + forward_delay``
+                # float-addition order bit for bit.
+                arrival = now + (
+                    profile.base_latency / 2 + rand() * profile.jitter / 2
+                )
+                probe_intact = True
+                if corrupt_p and rand() < corrupt_p:
+                    payload = corrupt_payload(rng, payload)
+                    corrupted += 1
+                    probe_intact = False
+                delivered += 1
+                entry = owners.get(id(handler))
+                if entry is None:
+                    owner = getattr(handler, "__self__", None)
+                    fast = (
+                        getattr(owner, "handle_discovery", None)
+                        if owner is not None
+                        and getattr(handler, "__name__", "") == "handle_datagram"
+                        else None
+                    )
+                    entry = owners[id(handler)] = (owner, fast)
+                owner, fast = entry
+                extra_delay = getattr(owner, "response_delay", 0.0)
+                if fast is not None and probe_intact and msg_ids is not None:
+                    msg_id = msg_ids[index]
+                    if timer is None:
+                        payloads_out = fast(payload, msg_id, msg_id, arrival, source)
+                    else:
+                        handler_started = time.perf_counter()
+                        payloads_out = list(
+                            fast(payload, msg_id, msg_id, arrival, source)
+                        )
+                        timer.seconds += time.perf_counter() - handler_started
+                else:
+                    datagram = Datagram(
+                        src=source, dst=target, sport=sport, dport=dport,
+                        payload=payload, sent_at=now,
+                    )
+                    if timer is None:
+                        payloads_out = handler(datagram, arrival)
+                    else:
+                        handler_started = time.perf_counter()
+                        payloads_out = list(handler(datagram, arrival))
+                        timer.seconds += time.perf_counter() - handler_started
+                replies: "list[tuple[bytes, float, int]]" = []
+                append_reply = replies.append
+                for reply_payload in payloads_out:
+                    copies = 1
+                    if duplicate_p and rand() < duplicate_p:
+                        copies = 2
+                        duplicated += 1
+                    for __ in range(copies):
+                        if rand() < loss_probability:
+                            reply_loss += 1
+                            continue
+                        final_payload = reply_payload
+                        if mutates_replies:
+                            if truncate_p and rand() < truncate_p:
+                                final_payload = truncate_payload(rng, final_payload)
+                                truncated += 1
+                            if corrupt_p and rand() < corrupt_p:
+                                final_payload = corrupt_payload(rng, final_payload)
+                                corrupted += 1
+                        return_delay = (
+                            profile.base_latency / 2 + rand() * profile.jitter / 2
+                        )
+                        wire_size = header_size + len(final_payload)
+                        append_reply(
+                            (final_payload, arrival + extra_delay + return_delay,
+                             wire_size)
+                        )
+                        reply_count += 1
+                        reply_bytes += wire_size
+                if reorder_p and len(replies) > 1 and rand() < reorder_p:
+                    replies.reverse()
+                    reordered += 1
+                append_out(replies)
+        finally:
+            stats.injected += injected
+            stats.dropped_no_endpoint += no_endpoint
+            stats.dropped_acl += acl_dropped
+            stats.dropped_rate_limited += rate_dropped
+            stats.dropped_loss += loss_dropped
+            stats.dropped_reply_loss += reply_loss
+            stats.delivered += delivered
+            stats.replies += reply_count
+            stats.reply_bytes += reply_bytes
+            stats.probe_bytes += probe_bytes
+            stats.duplicated += duplicated
+            stats.reordered += reordered
+            stats.truncated += truncated
+            stats.corrupted += corrupted
+        return out
+
     def shard_view(self, seed: int, timer: "HandlerTimer | None" = None) -> "FabricView":
         """A delivery view with its own RNG and stats over shared bindings.
 
@@ -368,4 +590,25 @@ class FabricView:
         return self._fabric._deliver(
             datagram, now, protocol, self._rng, self.stats, self._buckets,
             self.timer,
+        )
+
+    def inject_probe_batch(
+        self,
+        source: IPAddress,
+        sport: int,
+        dport: int,
+        targets: "list[IPAddress]",
+        payloads: "list[bytes]",
+        send_times: "list[float]",
+        msg_ids: "list[int] | None" = None,
+        protocol: str = "udp",
+    ) -> "list[list[tuple[bytes, float, int]]]":
+        """Deliver a window of probes with shard-local RNG in one pass.
+
+        See :meth:`NetworkFabric._deliver_probe_batch`; outcomes are
+        draw-for-draw identical to injecting each probe individually.
+        """
+        return self._fabric._deliver_probe_batch(
+            source, sport, dport, targets, payloads, send_times, msg_ids,
+            self._rng, self.stats, self._buckets, self.timer, protocol,
         )

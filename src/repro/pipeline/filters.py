@@ -29,10 +29,10 @@ filter-ablation benchmark.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
+from repro.compat import keyword_only_compat
 from repro.net.addresses import is_routable_ipv4
 from repro.oui.registry import OuiRegistry, default_registry
 from repro.pipeline.records import (
@@ -91,6 +91,7 @@ class PipelineResult:
     stats: FilterStats
 
 
+@keyword_only_compat("registry", "reboot_threshold", "skip")
 class FilterPipeline:
     """Configurable §4.4 pipeline.
 
@@ -100,30 +101,11 @@ class FilterPipeline:
 
     def __init__(
         self,
-        *args,
+        *,
         registry: "OuiRegistry | None" = None,
         reboot_threshold: float = DEFAULT_REBOOT_THRESHOLD,
         skip: "frozenset[str] | set[str]" = frozenset(),
     ) -> None:
-        if args:
-            warnings.warn(
-                "positional FilterPipeline(registry, reboot_threshold, skip) "
-                "is deprecated; pass keyword arguments",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            names = ("registry", "reboot_threshold", "skip")
-            if len(args) > len(names):
-                raise TypeError(
-                    f"FilterPipeline takes at most {len(names)} positional "
-                    f"arguments, got {len(args)}"
-                )
-            provided = dict(zip(names, args))
-            if "registry" in provided and registry is not None:
-                raise TypeError("registry given positionally and by keyword")
-            registry = provided.get("registry", registry)
-            reboot_threshold = provided.get("reboot_threshold", reboot_threshold)
-            skip = provided.get("skip", skip)
         unknown = set(skip) - set(FILTER_NAMES)
         if unknown:
             raise ValueError(f"unknown filter names in skip: {sorted(unknown)}")

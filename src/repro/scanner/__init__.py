@@ -18,7 +18,9 @@ Mirrors the paper's §3.2 measurement setup:
 from repro.scanner.records import ScanObservation, ScanResult
 from repro.scanner.zmap import ZmapConfig, ZmapScanner
 from repro.scanner.executor import (
+    ExecutionOptions,
     ExecutorConfig,
+    RetryPolicy,
     ScanExecution,
     ShardedScanExecutor,
 )
@@ -27,8 +29,10 @@ from repro.scanner.campaign import CampaignResult, ScanCampaign, ScanStream
 
 __all__ = [
     "CampaignResult",
+    "ExecutionOptions",
     "ExecutorConfig",
     "ExecutorMetrics",
+    "RetryPolicy",
     "ScanCampaign",
     "ScanExecution",
     "ScanObservation",

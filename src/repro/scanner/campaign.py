@@ -27,18 +27,16 @@ from __future__ import annotations
 
 import multiprocessing
 import random
-import warnings
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Iterator
 
+from repro.compat import keyword_only_compat
 from repro.net.addresses import IPAddress
 from repro.net.faults import FaultProfile
 from repro.net.transport import LinkProfile, NetworkFabric
 from repro.scanner.executor import (
-    DEFAULT_BATCH_SIZE,
-    DEFAULT_NUM_SHARDS,
-    ExecutorConfig,
+    ExecutionOptions,
     RetryPolicy,
     ScanExecution,
     ShardedScanExecutor,
@@ -134,79 +132,87 @@ class ScanStream:
             yield from batch
 
 
+@keyword_only_compat("topology", "config", "loss_probability")
 class ScanCampaign:
     """Runs the four-scan measurement campaign against a topology.
 
     All constructor arguments are keyword-only; the historical positional
     form ``ScanCampaign(topology, config, loss_probability)`` still works
     but emits a :class:`DeprecationWarning`.
+
+    Execution shape is best supplied as one
+    :class:`~repro.scanner.executor.ExecutionOptions` object; the flat
+    keyword arguments remain as aliases for callers that predate it.
+    Mixing ``options`` with any flat execution kwarg is an error.
     """
 
     def __init__(
         self,
-        *args,
+        *,
         topology: "Topology | None" = None,
         config: "TopologyConfig | None" = None,
-        loss_probability: float = 0.02,
+        loss_probability: "float | None" = None,
         workers: "int | None" = None,
         num_shards: "int | None" = None,
         batch_size: "int | None" = None,
         fault_profile: "FaultProfile | str | None" = None,
         retry: "RetryPolicy | None" = None,
         profile: bool = False,
+        options: "ExecutionOptions | None" = None,
     ) -> None:
-        if args:
-            warnings.warn(
-                "positional ScanCampaign(topology, config, loss_probability) "
-                "is deprecated; pass keyword arguments",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            names = ("topology", "config", "loss_probability")
-            if len(args) > len(names):
-                raise TypeError(
-                    f"ScanCampaign takes at most {len(names)} positional "
-                    f"arguments, got {len(args)}"
-                )
-            provided = dict(zip(names, args))
-            if "topology" in provided and topology is not None:
-                raise TypeError("topology given positionally and by keyword")
-            topology = provided.get("topology", topology)
-            config = provided.get("config", config)
-            loss_probability = provided.get("loss_probability", loss_probability)
         if topology is None:
             raise TypeError("ScanCampaign requires a topology")
+        if options is None:
+            options = ExecutionOptions(
+                workers=workers,
+                num_shards=num_shards,
+                batch_size=batch_size,
+                retry=retry,
+                profile=profile,
+                fault_profile=fault_profile,
+                loss_probability=loss_probability,
+            )
+        elif (
+            workers is not None
+            or num_shards is not None
+            or batch_size is not None
+            or fault_profile is not None
+            or retry is not None
+            or profile
+            or loss_probability is not None
+        ):
+            raise TypeError(
+                "pass execution knobs either via options=ExecutionOptions(...) "
+                "or as flat keyword arguments, not both"
+            )
         self.topology = topology
         self.config = config or TopologyConfig(seed=topology.seed)
+        self.options = options
         self._rng = random.Random(topology.seed ^ 0x5CA7)
         self._fabric = NetworkFabric(
             seed=topology.seed ^ 0xFAB,
             default_profile=LinkProfile(
-                loss_probability=loss_probability, base_latency=0.08, jitter=0.04
+                loss_probability=(
+                    0.02
+                    if options.loss_probability is None
+                    else options.loss_probability
+                ),
+                base_latency=0.08,
+                jitter=0.04,
             ),
         )
-        if fault_profile is not None:
-            self._fabric.set_fault_profile(fault_profile)
+        if options.fault_profile is not None:
+            self._fabric.set_fault_profile(options.fault_profile)
         self._scanner = ZmapScanner(fabric=self._fabric, config=ZmapConfig())
-        # A retry policy (or profiling) implies the sharded engine: the
-        # legacy scanner has no retry loop and no stage timers.
-        self._use_executor = (
-            workers is not None
-            or num_shards is not None
-            or batch_size is not None
-            or retry is not None
-            or profile
-        )
-        self._executor_config = ExecutorConfig(
-            workers=workers if workers is not None else 1,
-            num_shards=num_shards if num_shards is not None else DEFAULT_NUM_SHARDS,
-            batch_size=batch_size if batch_size is not None else DEFAULT_BATCH_SIZE,
-            seed=topology.seed,
-            retry=retry if retry is not None else RetryPolicy(),
-            profile=profile,
-        )
+        # Geometry, pipeline, retry or profiling knobs imply the sharded
+        # engine: the legacy scanner has no retry loop and no stage timers.
+        self._use_executor = options.selects_executor
+        self._executor_config = options.executor_config(topology.seed)
         # address -> device id, the campaign's live view (mutated by churn).
         self._binding: dict[IPAddress, int] = {}
+        # Ground truth overlaid with the live binding, kept in sync at the
+        # two binding write sites so ``owner_of`` is a single dict lookup.
+        self._owner_map: dict[IPAddress, int] = topology.address_owners()
         self._reboot_times: dict[int, float] = {}
         self._rebooted: set[int] = set()
         self._datasets: "RouterDatasets | None" = None
@@ -335,15 +341,7 @@ class ScanCampaign:
     def _make_executor(
         self, pool: "WorkerPool | None" = None
     ) -> ShardedScanExecutor:
-        binding = self._binding
-        topology = self.topology
-
-        def owner_of(address: IPAddress) -> "int | None":
-            device_id = binding.get(address)
-            if device_id is not None:
-                return device_id
-            device = topology.device_of_address(address)
-            return None if device is None else device.device_id
+        owner_of = self._owner_map.get
 
         return ShardedScanExecutor(
             fabric=self._fabric,
@@ -376,6 +374,7 @@ class ScanCampaign:
                 if not interface.snmp_reachable:
                     continue
                 self._binding[interface.address] = device.device_id
+                self._owner_map[interface.address] = device.device_id
                 self._fabric.bind(
                     interface.address, "udp", SNMP_PORT, self._handler_for(device)
                 )
@@ -416,6 +415,7 @@ class ScanCampaign:
             for address, new_owner in zip(addresses, rotated):
                 device = self.topology.devices[new_owner]
                 self._binding[address] = new_owner
+                self._owner_map[address] = new_owner
                 self._fabric.bind(
                     address, "udp", SNMP_PORT, self._handler_for(device)
                 )

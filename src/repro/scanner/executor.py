@@ -40,8 +40,9 @@ from typing import TYPE_CHECKING, Callable, Iterator, Mapping
 
 from repro.net.addresses import IPAddress
 from repro.net.packet import Datagram
-from repro.net.transport import HandlerTimer, NetworkFabric
+from repro.net.transport import FabricView, HandlerTimer, NetworkFabric
 from repro.scanner.metrics import ExecutorMetrics, ShardMetrics
+from repro.scanner.pipeline import StageTimings, probe_targets_pipelined
 from repro.scanner.pool import MSG_METRICS, WorkerPool
 from repro.scanner.records import ScanObservation, ScanResult
 from repro.scanner.wire import decode_observations
@@ -50,6 +51,7 @@ from repro.snmp.constants import SNMP_PORT
 from repro.snmp.messages import encode_discovery_probe
 
 if TYPE_CHECKING:
+    from repro.net.faults import FaultProfile
     from repro.topology.model import Device
 
 #: Default shard count.  Fixed independently of the worker count: the
@@ -59,6 +61,12 @@ DEFAULT_NUM_SHARDS = 16
 
 #: Default streaming batch size (observations per yielded batch).
 DEFAULT_BATCH_SIZE = 2048
+
+#: Default in-flight window of the staged batch pipeline (probes encoded,
+#: injected and decoded per stage pass).  Large enough to amortize
+#: per-stage dispatch, small enough that streaming consumers see output
+#: well before a shard finishes.
+DEFAULT_WINDOW = 512
 
 
 @dataclass(frozen=True)
@@ -135,6 +143,12 @@ class ExecutorConfig:
     #: the shard metrics.  Off by default: the timers cost real time in
     #: the probe hot loop.  Never affects scan *results*.
     profile: bool = False
+    #: Run the batch-staged probe pipeline (:mod:`repro.scanner.pipeline`).
+    #: ``False`` selects the legacy per-probe loop for A/B comparison;
+    #: both produce byte-identical results.
+    pipeline: bool = True
+    #: In-flight probes per pipeline stage pass.
+    window: int = DEFAULT_WINDOW
 
     def __post_init__(self) -> None:
         if self.num_shards < 1:
@@ -143,6 +157,74 @@ class ExecutorConfig:
             raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
         if self.workers < 0:
             raise ValueError(f"workers must be >= 0, got {self.workers}")
+        if self.window < 1:
+            raise ValueError(f"window must be >= 1, got {self.window}")
+
+
+@dataclass(frozen=True)
+class ExecutionOptions:
+    """The blessed execution-knob bundle of the public facade.
+
+    One frozen object carrying every way a caller can shape *how* a
+    campaign executes — worker processes, shard/batch/window geometry,
+    the batch-pipeline A/B switch, retry policy, stage profiling and the
+    fabric's fault injection — without touching *what* it measures.
+    ``None`` means "engine default".  :class:`~repro.api.Session`,
+    ``run_campaign`` and the CLI accept this object; the historical flat
+    keyword arguments remain as deprecated aliases (API002 lints against
+    growing new ones).
+
+    ``fault_profile`` and ``loss_probability`` ride along because the
+    facade has always treated them as execution shape: they select what
+    the simulated Internet does to probes, not which devices exist.
+    """
+
+    workers: "int | None" = None
+    num_shards: "int | None" = None
+    batch_size: "int | None" = None
+    window: "int | None" = None
+    pipeline: "bool | None" = None
+    retry: "RetryPolicy | None" = None
+    profile: bool = False
+    fault_profile: "FaultProfile | str | None" = None
+    loss_probability: "float | None" = None
+
+    @property
+    def selects_executor(self) -> bool:
+        """Whether any sharded-engine knob is set.
+
+        Mirrors the flat-kwarg behavior exactly: geometry, pipeline,
+        retry or profiling knobs imply the sharded engine, while
+        ``fault_profile``/``loss_probability`` only shape the fabric —
+        a campaign with just those still runs the legacy single-pass
+        scanner, the facade's long-standing default.
+        """
+        return (
+            self.workers is not None
+            or self.num_shards is not None
+            or self.batch_size is not None
+            or self.window is not None
+            or self.pipeline is not None
+            or self.retry is not None
+            or self.profile
+        )
+
+    def executor_config(self, seed: int) -> ExecutorConfig:
+        """Materialize an :class:`ExecutorConfig`, defaulting unset fields."""
+        return ExecutorConfig(
+            workers=1 if self.workers is None else self.workers,
+            num_shards=(
+                DEFAULT_NUM_SHARDS if self.num_shards is None else self.num_shards
+            ),
+            batch_size=(
+                DEFAULT_BATCH_SIZE if self.batch_size is None else self.batch_size
+            ),
+            seed=seed,
+            retry=self.retry if self.retry is not None else RetryPolicy(),
+            profile=self.profile,
+            pipeline=True if self.pipeline is None else self.pipeline,
+            window=DEFAULT_WINDOW if self.window is None else self.window,
+        )
 
 
 @dataclass(frozen=True)
@@ -214,13 +296,27 @@ def plan_shards(
 
 def _snapshot_device(device: "Device") -> tuple:
     """Capture the mutable SNMP session state probes can perturb."""
-    agents = [device.agent]
-    rr_counter = None
-    if device.agent_pool is not None:
-        rr_counter = device.agent_pool._rr_counter
-        agents.extend(device.agent_pool.backends)
+    agent = device.agent
+    pool = device.agent_pool
+    # Pool-less devices are the overwhelmingly common case and this runs
+    # once per device per shard, so build their snapshot without the
+    # list/generator machinery.
+    if pool is None:
+        return (
+            None,
+            (
+                (
+                    agent.boot_time,
+                    agent.engine_boots,
+                    agent.stats_unknown_engine_ids,
+                    agent.stats_unknown_user_names,
+                    agent.stats_wrong_digests,
+                    agent.handled_count,
+                ),
+            ),
+        )
     return (
-        rr_counter,
+        pool._rr_counter,
         tuple(
             (
                 a.boot_time,
@@ -230,7 +326,7 @@ def _snapshot_device(device: "Device") -> tuple:
                 a.stats_wrong_digests,
                 a.handled_count,
             )
-            for a in agents
+            for a in [agent, *pool.backends]
         ),
     )
 
@@ -569,9 +665,15 @@ class ShardedScanExecutor:
 
         Observations are yielded as they are made; ``shard`` is finalized
         (fabric stats, wall time, stage timings) on exhaustion.
+
+        ``config.pipeline`` selects between the batch-staged pipeline
+        (:mod:`repro.scanner.pipeline`, the default) and the historical
+        per-probe loop; the two are byte-identical, so the switch exists
+        purely for A/B measurement.
         """
         shard_started = time.perf_counter()
-        profile = self.config.profile
+        config = self.config
+        profile = config.profile
         timer = HandlerTimer() if profile else None
         view = self._fabric.shard_view(spec.seed, timer)
         snapshots = [
@@ -579,6 +681,54 @@ class ShardedScanExecutor:
             for device in (self._devices[d] for d in spec.device_ids)
         ]
         yielded = 0
+        timings = StageTimings()
+        if config.pipeline:
+            produce = probe_targets_pipelined(
+                view, spec, params, config.retry, config.window,
+                self._owner_of, shard, timings, profile,
+            )
+        else:
+            produce = self._probe_targets_legacy(
+                view, spec, params, shard, timings, profile
+            )
+        try:
+            for observation in produce:
+                yielded += 1
+                yield observation
+        finally:
+            for device, snapshot in snapshots:
+                _restore_device(device, snapshot)
+        stats = view.stats
+        shard.probes_sent = stats.injected
+        shard.replies = stats.replies
+        shard.observations = yielded
+        shard.dropped_loss = stats.dropped_loss
+        shard.dropped_reply_loss = stats.dropped_reply_loss
+        shard.dropped_no_endpoint = stats.dropped_no_endpoint
+        shard.dropped_rate_limited = stats.dropped_rate_limited
+        shard.duplicated = stats.duplicated
+        shard.reordered = stats.reordered
+        shard.truncated = stats.truncated
+        shard.corrupted = stats.corrupted
+        shard.probe_bytes = stats.probe_bytes
+        shard.reply_bytes = stats.reply_bytes
+        if timer is not None:
+            shard.encode_time = timings.encode
+            shard.agent_time = timer.seconds
+            shard.fabric_time = max(0.0, timings.inject - timer.seconds)
+            shard.decode_time = timings.decode
+        shard.wall_time = time.perf_counter() - shard_started
+
+    def _probe_targets_legacy(
+        self,
+        view: FabricView,
+        spec: ShardSpec,
+        params: _ScanParams,
+        shard: ShardMetrics,
+        timings: StageTimings,
+        profile: bool,
+    ) -> Iterator[ScanObservation]:
+        """The historical per-probe loop (``pipeline=False`` A/B path)."""
         source = params.source
         sport = params.source_port
         start_time = params.start_time
@@ -655,7 +805,6 @@ class ShardedScanExecutor:
                 if observation is not None:
                     if observation.engine_id is None:
                         shard.unparsed += 1
-                    yielded += 1
                     yield observation
                 if breaker_key is not None:
                     if observation is None:
@@ -666,34 +815,18 @@ class ShardedScanExecutor:
                     else:
                         dead_streak[breaker_key] = 0
         finally:
-            for device, snapshot in snapshots:
-                _restore_device(device, snapshot)
-        stats = view.stats
-        shard.probes_sent = stats.injected
-        shard.replies = stats.replies
-        shard.observations = yielded
-        shard.dropped_loss = stats.dropped_loss
-        shard.dropped_reply_loss = stats.dropped_reply_loss
-        shard.dropped_no_endpoint = stats.dropped_no_endpoint
-        shard.dropped_rate_limited = stats.dropped_rate_limited
-        shard.duplicated = stats.duplicated
-        shard.reordered = stats.reordered
-        shard.truncated = stats.truncated
-        shard.corrupted = stats.corrupted
-        shard.probe_bytes = stats.probe_bytes
-        shard.reply_bytes = stats.reply_bytes
-        if timer is not None:
-            shard.encode_time = encode_elapsed
-            shard.agent_time = timer.seconds
-            shard.fabric_time = max(0.0, inject_elapsed - timer.seconds)
-            shard.decode_time = decode_elapsed
-        shard.wall_time = time.perf_counter() - shard_started
+            timings.encode += encode_elapsed
+            timings.inject += inject_elapsed
+            timings.decode += decode_elapsed
 
 
 __all__ = [
     "DEFAULT_BATCH_SIZE",
     "DEFAULT_NUM_SHARDS",
+    "DEFAULT_WINDOW",
+    "ExecutionOptions",
     "ExecutorConfig",
+    "RetryPolicy",
     "ScanExecution",
     "ShardSpec",
     "ShardedScanExecutor",

@@ -26,6 +26,13 @@ followed by exactly one :data:`MSG_METRICS` carrying the shard's
 counts the encoded batch bytes that crossed the pipe).  Worker
 exceptions travel as :data:`MSG_ERROR` messages and re-raise in the
 parent as :class:`WorkerPoolError`.
+
+The pool is agnostic to *how* a shard probes: the runner executes the
+staged batch pipeline (or the legacy per-probe loop — whatever the
+scan's :class:`~repro.scanner.executor.ExecutionOptions` selected), and
+because both produce identical observations in identical batch
+boundaries, the message stream — and the ``ipc_bytes`` accounting — is
+byte-identical either way.
 """
 
 from __future__ import annotations
@@ -137,6 +144,8 @@ class WorkerPool:
         seq = self._scan_seq
         tasks = [(seq, scan_key, index, batch_size) for index in range(num_shards)]
         result = self._pool.map_async(_worker_run_shard, tasks, chunksize=1)
+        # Out-of-order shards park their (kind, payload) messages here
+        # until every lower-indexed shard has drained.
         buffered: "dict[int, list[tuple[int, object]]]" = {}
         finished: "set[int]" = set()
         head = 0

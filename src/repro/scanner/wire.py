@@ -20,6 +20,13 @@ encode_observations(batch)) == batch`` for every observation the scan
 path can produce (property-tested in ``tests/scanner/test_wire.py``).
 A typical discovery batch shrinks well over 3x versus per-instance
 pickling — measured by ``benchmarks/test_bench_parallel.py``.
+
+Blobs are a pure function of observation content and batch boundaries —
+both of which the staged batch pipeline reproduces exactly (executor
+``batch_size`` chunking is independent of the probe-loop shape) — so
+pipeline on/off, any worker count and any window size all put identical
+bytes on the wire.  The persistent store leans on the same property for
+its segment determinism.
 """
 
 from __future__ import annotations

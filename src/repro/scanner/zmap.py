@@ -13,11 +13,11 @@ from __future__ import annotations
 
 import ipaddress
 import random
-import warnings
 import zlib
 from dataclasses import dataclass
 
 from repro.asn1 import ber
+from repro.compat import keyword_only_compat
 from repro.net.addresses import IPAddress
 from repro.net.packet import Datagram
 from repro.net.transport import NetworkFabric
@@ -43,6 +43,7 @@ class ZmapConfig:
     shuffle_seed: int = 0xC0FFEE
 
 
+@keyword_only_compat("fabric", "config")
 class ZmapScanner:
     """Single-probe-per-target UDP scanner over a fabric.
 
@@ -52,28 +53,10 @@ class ZmapScanner:
 
     def __init__(
         self,
-        *args,
+        *,
         fabric: "NetworkFabric | None" = None,
         config: "ZmapConfig | None" = None,
     ) -> None:
-        if args:
-            warnings.warn(
-                "positional ZmapScanner(fabric, config) is deprecated; "
-                "pass keyword arguments",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            if len(args) > 2:
-                raise TypeError(
-                    f"ZmapScanner takes at most 2 positional arguments, got {len(args)}"
-                )
-            if fabric is not None:
-                raise TypeError("fabric given positionally and by keyword")
-            fabric = args[0]
-            if len(args) == 2:
-                if config is not None:
-                    raise TypeError("config given positionally and by keyword")
-                config = args[1]
         if fabric is None:
             raise TypeError("ZmapScanner requires a fabric")
         self._fabric = fabric

@@ -23,11 +23,11 @@ or future engine times, and malformed replies.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field, replace
 
 from repro.asn1 import ber
 from repro.asn1.oid import Oid
+from repro.compat import keyword_only_compat
 from repro.net.packet import Datagram
 from repro.snmp import constants, pdu as pdu_mod
 from repro.snmp.engine_id import EngineId
@@ -114,6 +114,10 @@ class AgentBehavior:
     reboot_after_handles: int = 0
 
 
+@keyword_only_compat(
+    "engine_id", "boot_time", "engine_boots", "behavior", "communities",
+    "users", "mib",
+)
 class SnmpAgent:
     """A single SNMP engine bound to one device.
 
@@ -128,7 +132,7 @@ class SnmpAgent:
 
     def __init__(
         self,
-        *args,
+        *,
         engine_id: "EngineId | None" = None,
         boot_time: float = 0.0,
         engine_boots: int = 1,
@@ -137,30 +141,6 @@ class SnmpAgent:
         users: "tuple[UsmUser, ...]" = (),
         mib: "Mib | None" = None,
     ) -> None:
-        if args:
-            warnings.warn(
-                "positional SnmpAgent(engine_id, boot_time, ...) is "
-                "deprecated; pass keyword arguments",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            names = ("engine_id", "boot_time", "engine_boots", "behavior",
-                     "communities", "users", "mib")
-            if len(args) > len(names):
-                raise TypeError(
-                    f"SnmpAgent takes at most {len(names)} positional "
-                    f"arguments, got {len(args)}"
-                )
-            provided = dict(zip(names, args))
-            if "engine_id" in provided and engine_id is not None:
-                raise TypeError("engine_id given positionally and by keyword")
-            engine_id = provided.get("engine_id", engine_id)
-            boot_time = provided.get("boot_time", boot_time)
-            engine_boots = provided.get("engine_boots", engine_boots)
-            behavior = provided.get("behavior", behavior)
-            communities = provided.get("communities", communities)
-            users = provided.get("users", users)
-            mib = provided.get("mib", mib)
         if engine_id is None:
             raise TypeError("SnmpAgent requires an engine_id")
         self.engine_id = engine_id
@@ -255,6 +235,42 @@ class SnmpAgent:
             reply = None
         if reply is None:
             return []
+        return self._finalize_reply(reply)
+
+    def handle_discovery(
+        self,
+        payload: bytes,
+        msg_id: int,
+        request_id: int,
+        now: float,
+        source: "object | None" = None,
+    ) -> list[bytes]:
+        """Hinted entry point for a verbatim, uncorrupted discovery probe.
+
+        The batch probe pipeline already knows the msg/request ids it
+        encoded into ``payload``, so when the fault fabric delivers the
+        packet unmodified the agent can skip ``peek_version`` and
+        :func:`match_discovery_probe` entirely.  Behaviour — handled-count
+        accounting, mid-scan reboots, v3 gating, usmStats, adversarial
+        reply mangling — is identical to :meth:`handle`; ``source`` is
+        unused here and exists for signature parity with
+        :meth:`repro.snmp.loadbalancer.AgentPool.handle_discovery`.
+        """
+        self.handled_count += 1
+        behavior = self.behavior
+        if (
+            behavior.reboot_after_handles
+            and self.handled_count % behavior.reboot_after_handles == 0
+        ):
+            self.reboot(now)
+        if not self.v3_active:
+            return []
+        return self._finalize_reply(
+            self._fast_discovery_report((msg_id, request_id), now)
+        )
+
+    def _finalize_reply(self, reply: bytes) -> list[bytes]:
+        """Apply the adversarial reply personalities and amplification."""
         if self.behavior.garbage_reports:
             # Deterministically garbled: same length, every byte inverted —
             # never valid BER, but clearly "a response arrived".

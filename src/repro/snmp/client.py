@@ -12,11 +12,11 @@ Two use cases:
 from __future__ import annotations
 
 import itertools
-import warnings
 from dataclasses import dataclass
 
 from repro.asn1 import ber
 from repro.asn1.oid import Oid
+from repro.compat import keyword_only_compat
 from repro.snmp import constants, pdu as pdu_mod
 from repro.snmp.agent import SnmpAgent, UsmUser
 from repro.snmp.messages import (
@@ -48,6 +48,7 @@ class DiscoveryResult:
     engine_time: int
 
 
+@keyword_only_compat("agent")
 class SnmpClient:
     """A direct (in-process) SNMP manager for lab experiments.
 
@@ -58,21 +59,7 @@ class SnmpClient:
     form is deprecated but still accepted.
     """
 
-    def __init__(self, *args, agent: "SnmpAgent | None" = None) -> None:
-        if args:
-            warnings.warn(
-                "positional SnmpClient(agent) is deprecated; "
-                "pass keyword arguments",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            if len(args) > 1:
-                raise TypeError(
-                    f"SnmpClient takes at most 1 positional argument, got {len(args)}"
-                )
-            if agent is not None:
-                raise TypeError("agent given positionally and by keyword")
-            agent = args[0]
+    def __init__(self, *, agent: "SnmpAgent | None" = None) -> None:
         if agent is None:
             raise TypeError("SnmpClient requires an agent")
         self._agent = agent

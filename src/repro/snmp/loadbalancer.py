@@ -59,6 +59,28 @@ class AgentPool:
         """Fabric adapter mirroring :meth:`SnmpAgent.handle_datagram`."""
         return self.pick(datagram).handle(datagram.payload, now)
 
+    def handle_discovery(
+        self,
+        payload: bytes,
+        msg_id: int,
+        request_id: int,
+        now: float,
+        source: "object | None" = None,
+    ) -> list[bytes]:
+        """Hinted fast path mirroring :meth:`SnmpAgent.handle_discovery`.
+
+        Backend selection matches :meth:`pick` exactly: ``source`` is the
+        probe's source address (what ``datagram.src`` would have been), so
+        source-hash affinity and the round-robin counter advance just as
+        they would on the :meth:`handle_datagram` path.
+        """
+        if self.policy is BalancingPolicy.SOURCE_HASH:
+            backend = self.backends[int(source) % len(self.backends)]  # type: ignore[call-overload]
+        else:
+            backend = self.backends[self._rr_counter % len(self.backends)]
+            self._rr_counter += 1
+        return backend.handle_discovery(payload, msg_id, request_id, now, source)
+
     @property
     def engine_ids(self) -> list[bytes]:
         """Ground truth: every engine ID behind the VIP."""

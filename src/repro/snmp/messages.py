@@ -16,6 +16,7 @@ measurement machinery consumes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 from repro.asn1 import ber
 from repro.snmp import constants
@@ -282,6 +283,94 @@ def encode_discovery_probe(msg_id: int, request_id: "int | None" = None) -> byte
     )
 
 
+class DiscoveryProbeTemplate:
+    """Probe-side counterpart of :class:`DiscoveryReportTemplate`.
+
+    Every discovery probe the scanner sends is identical except for the
+    msg_id/request_id INTEGER, which appears twice (the executor always
+    uses ``request_id == msg_id``).  For a given INTEGER TLV width the
+    rest of the packet — including every enclosing length octet — is a
+    fixed three-fragment frame ``prefix | tlv | mid | tlv | tail``.  The
+    template derives those fragments analytically per width, verifies
+    them against :func:`encode_discovery_probe` once, then renders whole
+    windows of probes with a single join per probe.
+
+    Instances are cheap and unshared: the sharded executor builds one per
+    shard run, so fork-pool workers never mutate common state.
+    """
+
+    __slots__ = ("_frames",)
+
+    def __init__(self) -> None:
+        self._frames: "dict[int, tuple[bytes, bytes, bytes]]" = {}
+
+    def _build_frame(
+        self, msg_id: int, tlv: bytes
+    ) -> "tuple[bytes, bytes, bytes]":
+        """Derive and self-verify the frame for ``tlv``'s width class."""
+        width = len(tlv)
+        pdu_len = width + len(_PROBE_PDU_TAIL)
+        pdu_header = bytes([constants.TAG_GET_REQUEST]) + ber.encode_length(pdu_len)
+        scoped_len = 2 * len(_PROBE_EMPTY_OCTETS) + len(pdu_header) + pdu_len
+        scoped_header = bytes([ber.TAG_SEQUENCE]) + ber.encode_length(scoped_len)
+        global_len = width + len(_PROBE_GLOBAL_TAIL)
+        global_header = bytes([ber.TAG_SEQUENCE]) + ber.encode_length(global_len)
+        message_len = (
+            len(_PROBE_VERSION)
+            + len(global_header)
+            + global_len
+            + len(_PROBE_SECURITY)
+            + len(scoped_header)
+            + scoped_len
+        )
+        prefix = (
+            bytes([ber.TAG_SEQUENCE])
+            + ber.encode_length(message_len)
+            + _PROBE_VERSION
+            + global_header
+        )
+        mid = (
+            _PROBE_GLOBAL_TAIL
+            + _PROBE_SECURITY
+            + scoped_header
+            + _PROBE_EMPTY_OCTETS
+            + _PROBE_EMPTY_OCTETS
+            + pdu_header
+        )
+        frame = (prefix, mid, _PROBE_PDU_TAIL)
+        rendered = b"".join((prefix, tlv, mid, tlv, _PROBE_PDU_TAIL))
+        if rendered != encode_discovery_probe(msg_id):
+            raise AssertionError(
+                f"probe template drifted from encode_discovery_probe "
+                f"for INTEGER width {width}"
+            )
+        self._frames[width] = frame
+        return frame
+
+    def render(self, msg_id: int) -> bytes:
+        """Encode one probe; byte-identical to ``encode_discovery_probe``."""
+        tlv = ber.encode_integer(msg_id)
+        frame = self._frames.get(len(tlv))
+        if frame is None:
+            frame = self._build_frame(msg_id, tlv)
+        prefix, mid, tail = frame
+        return b"".join((prefix, tlv, mid, tlv, tail))
+
+    def render_batch(self, msg_ids: "Sequence[int]") -> "list[bytes]":
+        """Encode a window of probes in one vectorized pass."""
+        frames = self._frames
+        tlvs = ber.encode_integer_batch(msg_ids)
+        join = b"".join
+        out: "list[bytes]" = []
+        append = out.append
+        for index, tlv in enumerate(tlvs):
+            frame = frames.get(len(tlv))
+            if frame is None:
+                frame = self._build_frame(msg_ids[index], tlv)
+            append(join((frame[0], tlv, frame[1], tlv, frame[2])))
+        return out
+
+
 def match_discovery_probe(payload: bytes) -> "tuple[int, int] | None":
     """Structurally match a Figure 2 discovery probe without a full decode.
 
@@ -337,6 +426,16 @@ _REPORT_COUNTER_OID = ber.encode_oid(constants.OID_USM_STATS_UNKNOWN_ENGINE_IDS)
 _REPORT_ERROR_FIELDS = ber.encode_integer(0) + ber.encode_integer(0)
 
 
+# Shared frame cache for discovery Report rendering.  A frame is keyed
+# by the *byte widths* of the six variable TLVs (engine-id OCTET STRING,
+# boots / msg-id / request-id / engine-time INTEGERs, Counter32): for one
+# width tuple every enclosing length octet is invariant across ALL
+# engines, so the cache warms once per shape for an entire topology
+# instead of once per (engine, boots) template.  Values are pure
+# functions of the key, so sharing across templates cannot leak state.
+_REPORT_FRAMES: "dict[tuple[int, int, int, int, int, int], tuple[bytes, bytes, bytes, bytes, bytes]]" = {}
+
+
 class DiscoveryReportTemplate:
     """Pre-encoded invariant fragments of one agent's discovery Report.
 
@@ -350,20 +449,27 @@ class DiscoveryReportTemplate:
     test in ``tests/snmp/test_report_fast_path.py``.
     """
 
-    __slots__ = ("engine_id", "engine_boots", "_security_prefix", "_scoped_prefix")
+    __slots__ = (
+        "engine_id",
+        "engine_boots",
+        "_security_prefix",
+        "_scoped_prefix",
+        "_eid_os",
+        "_boots_tlv",
+    )
 
     def __init__(self, engine_id: bytes, engine_boots: int) -> None:
         self.engine_id = engine_id
         self.engine_boots = engine_boots
-        self._security_prefix = (
-            ber.encode_octet_string(engine_id) + ber.encode_integer(engine_boots)
-        )
-        self._scoped_prefix = ber.encode_octet_string(engine_id) + _PROBE_EMPTY_OCTETS
+        self._eid_os = ber.encode_octet_string(engine_id)
+        self._boots_tlv = ber.encode_integer(engine_boots)
+        self._security_prefix = self._eid_os + self._boots_tlv
+        self._scoped_prefix = self._eid_os + _PROBE_EMPTY_OCTETS
 
-    def render(
+    def _render_slow(
         self, *, msg_id: int, request_id: int, engine_time: int, counter_value: int
     ) -> bytes:
-        """Encode the full Report reply for one probe."""
+        """Reference encoder: the full bottom-up BER construction."""
         security = ber.encode_octet_string(
             ber.encode_sequence(
                 self._security_prefix
@@ -391,6 +497,85 @@ class DiscoveryReportTemplate:
             ber.encode_sequence(self._scoped_prefix + report_pdu),
         )
 
+    def _build_frame(
+        self,
+        key: "tuple[int, int, int, int, int, int]",
+        reference: bytes,
+        parts: "tuple[bytes, bytes, bytes, bytes]",
+    ) -> "tuple[bytes, bytes, bytes, bytes, bytes]":
+        """Derive and self-verify the shared frame for one width tuple."""
+        eid_len, boots_len, mlen, rlen, tlen, clen = key
+        vb_inner_len = len(_REPORT_COUNTER_OID) + clen
+        vb_inner_hdr = bytes([ber.TAG_SEQUENCE]) + ber.encode_length(vb_inner_len)
+        varbinds_len = len(vb_inner_hdr) + vb_inner_len
+        varbinds_hdr = bytes([ber.TAG_SEQUENCE]) + ber.encode_length(varbinds_len)
+        pdu_len = rlen + len(_REPORT_ERROR_FIELDS) + len(varbinds_hdr) + varbinds_len
+        pdu_hdr = bytes([constants.TAG_REPORT]) + ber.encode_length(pdu_len)
+        scoped_len = (
+            eid_len + len(_PROBE_EMPTY_OCTETS) + len(pdu_hdr) + pdu_len
+        )
+        scoped_hdr = bytes([ber.TAG_SEQUENCE]) + ber.encode_length(scoped_len)
+        sec_seq_len = eid_len + boots_len + tlen + len(_REPORT_SECURITY_SUFFIX)
+        sec_seq_hdr = bytes([ber.TAG_SEQUENCE]) + ber.encode_length(sec_seq_len)
+        sec_os_len = len(sec_seq_hdr) + sec_seq_len
+        sec_os_hdr = bytes([ber.TAG_OCTET_STRING]) + ber.encode_length(sec_os_len)
+        global_len = mlen + len(_REPORT_GLOBAL_TAIL)
+        global_hdr = bytes([ber.TAG_SEQUENCE]) + ber.encode_length(global_len)
+        message_len = (
+            len(_PROBE_VERSION)
+            + len(global_hdr) + global_len
+            + len(sec_os_hdr) + sec_os_len
+            + len(scoped_hdr) + scoped_len
+        )
+        frame = (
+            bytes([ber.TAG_SEQUENCE])
+            + ber.encode_length(message_len)
+            + _PROBE_VERSION
+            + global_hdr,
+            _REPORT_GLOBAL_TAIL + sec_os_hdr + sec_seq_hdr,
+            _REPORT_SECURITY_SUFFIX + scoped_hdr,
+            _PROBE_EMPTY_OCTETS + pdu_hdr,
+            _REPORT_ERROR_FIELDS + varbinds_hdr + vb_inner_hdr + _REPORT_COUNTER_OID,
+        )
+        m, r, t, c = parts
+        rendered = b"".join((
+            frame[0], m, frame[1], self._eid_os, self._boots_tlv, t,
+            frame[2], self._eid_os, frame[3], r, frame[4], c,
+        ))
+        if rendered != reference:
+            raise AssertionError(
+                f"report template frame drifted from the reference encoder "
+                f"for widths {key}"
+            )
+        # Safe across fork-pool workers: a pure width-keyed cache whose
+        # entries are self-verified against the reference encoder above,
+        # so independently-warmed caches can never disagree on bytes.
+        _REPORT_FRAMES[key] = frame  # repro-lint: disable=DET002
+        return frame
+
+    def render(
+        self, *, msg_id: int, request_id: int, engine_time: int, counter_value: int
+    ) -> bytes:
+        """Encode the full Report reply for one probe."""
+        m = ber.encode_integer(msg_id)
+        r = ber.encode_integer(request_id)
+        t = ber.encode_integer(engine_time)
+        c = ber.encode_unsigned(counter_value, ber.TAG_COUNTER32)
+        eid_os = self._eid_os
+        boots_tlv = self._boots_tlv
+        key = (len(eid_os), len(boots_tlv), len(m), len(r), len(t), len(c))
+        frame = _REPORT_FRAMES.get(key)
+        if frame is None:
+            reference = self._render_slow(
+                msg_id=msg_id, request_id=request_id,
+                engine_time=engine_time, counter_value=counter_value,
+            )
+            frame = self._build_frame(key, reference, (m, r, t, c))
+        return b"".join((
+            frame[0], m, frame[1], eid_os, boots_tlv, t,
+            frame[2], eid_os, frame[3], r, frame[4], c,
+        ))
+
 
 @dataclass(frozen=True)
 class DiscoveryReply:
@@ -415,4 +600,163 @@ def parse_discovery_response(payload: bytes) -> DiscoveryReply:
         engine_boots=message.security.engine_boots,
         engine_time=message.security.engine_time,
         msg_id=message.msg_id,
+    )
+
+
+def _tlv_bounds(
+    buf: bytes, offset: int, tag: int, limit: int
+) -> "tuple[int, int] | None":
+    """``(content_start, content_end)`` of the TLV at ``offset``, or ``None``.
+
+    Conservative by design: only short-form and minimal one/two-octet
+    long-form lengths are recognized, and the TLV must fit inside
+    ``limit``.  Anything unusual returns ``None`` and the caller falls
+    back to the full decoder — over-rejection is always safe here.
+    """
+    if offset + 2 > limit or buf[offset] != tag:
+        return None
+    length = buf[offset + 1]
+    if length < 0x80:
+        start = offset + 2
+    elif length == 0x81:
+        if offset + 3 > limit:
+            return None
+        length = buf[offset + 2]
+        if length < 0x80:
+            return None
+        start = offset + 3
+    elif length == 0x82:
+        if offset + 4 > limit:
+            return None
+        length = (buf[offset + 2] << 8) | buf[offset + 3]
+        if length < 0x100:
+            return None
+        start = offset + 4
+    else:
+        return None
+    end = start + length
+    if end > limit:
+        return None
+    return start, end
+
+
+def _minimal_int(content: bytes) -> bool:
+    """True when ``content`` is a valid minimal INTEGER body (the same
+    acceptance as :func:`ber.decode_integer_content`)."""
+    if not content:
+        return False
+    if len(content) > 1 and (
+        (content[0] == 0x00 and not content[1] & 0x80)
+        or (content[0] == 0xFF and content[1] & 0x80)
+    ):
+        return False
+    return True
+
+
+def match_discovery_report(payload: bytes) -> "DiscoveryReply | None":
+    """Structurally match a template-shaped discovery Report reply.
+
+    The reply-side twin of :func:`match_discovery_probe`: returns the
+    :class:`DiscoveryReply` when ``payload`` has exactly the
+    :class:`DiscoveryReportTemplate` shape, ``None`` otherwise.  The match
+    is *stricter* than :func:`parse_discovery_response` — a successful
+    match always agrees with the full decoder, and every rejection (other
+    engines' messages, fault-fabric mutations) falls back to it — so the
+    batch decode stage stays byte-identical to the legacy per-probe loop
+    while skipping the message-object graph for the overwhelmingly common
+    unmutated reply.
+
+    This is the scan's single hottest parse (once per reply), so it walks
+    TLV header offsets on ``payload`` directly instead of layering the
+    :mod:`repro.asn1.ber` helpers, which would copy every nested body.
+    """
+    size = len(payload)
+    outer = _tlv_bounds(payload, 0, ber.TAG_SEQUENCE, size)
+    if outer is None or outer[1] != size:
+        return None
+    pos, end = outer
+    version_end = pos + len(_PROBE_VERSION)
+    if payload[pos:version_end] != _PROBE_VERSION:
+        return None
+    global_bounds = _tlv_bounds(payload, version_end, ber.TAG_SEQUENCE, end)
+    if global_bounds is None:
+        return None
+    gpos, gend = global_bounds
+    msg_bounds = _tlv_bounds(payload, gpos, ber.TAG_INTEGER, gend)
+    if msg_bounds is None:
+        return None
+    msg_content = payload[msg_bounds[0] : msg_bounds[1]]
+    if not _minimal_int(msg_content):
+        return None
+    if payload[msg_bounds[1] : gend] != _REPORT_GLOBAL_TAIL:
+        return None
+    sec_os = _tlv_bounds(payload, gend, ber.TAG_OCTET_STRING, end)
+    if sec_os is None:
+        return None
+    sec_seq = _tlv_bounds(payload, sec_os[0], ber.TAG_SEQUENCE, sec_os[1])
+    if sec_seq is None or sec_seq[1] != sec_os[1]:
+        return None
+    spos, send = sec_seq
+    eid_bounds = _tlv_bounds(payload, spos, ber.TAG_OCTET_STRING, send)
+    if eid_bounds is None:
+        return None
+    boots_bounds = _tlv_bounds(payload, eid_bounds[1], ber.TAG_INTEGER, send)
+    if boots_bounds is None:
+        return None
+    boots_content = payload[boots_bounds[0] : boots_bounds[1]]
+    if not _minimal_int(boots_content):
+        return None
+    time_bounds = _tlv_bounds(payload, boots_bounds[1], ber.TAG_INTEGER, send)
+    if time_bounds is None:
+        return None
+    time_content = payload[time_bounds[0] : time_bounds[1]]
+    if not _minimal_int(time_content):
+        return None
+    if payload[time_bounds[1] : send] != _REPORT_SECURITY_SUFFIX:
+        return None
+    scoped = _tlv_bounds(payload, sec_os[1], ber.TAG_SEQUENCE, end)
+    if scoped is None or scoped[1] != end:
+        return None
+    zpos, zend = scoped
+    context = _tlv_bounds(payload, zpos, ber.TAG_OCTET_STRING, zend)
+    if context is None:
+        return None
+    name_end = context[1] + len(_PROBE_EMPTY_OCTETS)
+    if payload[context[1] : name_end] != _PROBE_EMPTY_OCTETS:
+        return None
+    pdu = _tlv_bounds(payload, name_end, constants.TAG_REPORT, zend)
+    if pdu is None or pdu[1] != zend:
+        return None
+    ppos, pend = pdu
+    request_bounds = _tlv_bounds(payload, ppos, ber.TAG_INTEGER, pend)
+    if request_bounds is None:
+        return None
+    if not _minimal_int(payload[request_bounds[0] : request_bounds[1]]):
+        return None
+    error_end = request_bounds[1] + len(_REPORT_ERROR_FIELDS)
+    if payload[request_bounds[1] : error_end] != _REPORT_ERROR_FIELDS:
+        return None
+    varbinds = _tlv_bounds(payload, error_end, ber.TAG_SEQUENCE, pend)
+    if varbinds is None or varbinds[1] != pend:
+        return None
+    varbind = _tlv_bounds(payload, varbinds[0], ber.TAG_SEQUENCE, varbinds[1])
+    if varbind is None or varbind[1] != varbinds[1]:
+        return None
+    oid_end = varbind[0] + len(_REPORT_COUNTER_OID)
+    if payload[varbind[0] : oid_end] != _REPORT_COUNTER_OID:
+        return None
+    counter = _tlv_bounds(payload, oid_end, ber.TAG_COUNTER32, varbind[1])
+    if counter is None or counter[1] != varbind[1]:
+        return None
+    if not _minimal_int(payload[counter[0] : counter[1]]):
+        return None
+    msg_id = int.from_bytes(msg_content, "big", signed=True)
+    engine_id = payload[eid_bounds[0] : eid_bounds[1]]
+    engine_boots = int.from_bytes(boots_content, "big", signed=True)
+    engine_time = int.from_bytes(time_content, "big", signed=True)
+    return DiscoveryReply(
+        engine_id=engine_id,
+        engine_boots=engine_boots,
+        engine_time=engine_time,
+        msg_id=msg_id,
     )

@@ -156,6 +156,12 @@ class TopologyConfig:
     seed: int = 2021
     scale_divisor: float = 100.0
 
+    def __post_init__(self) -> None:
+        if self.scale_divisor <= 0:
+            raise ValueError(
+                f"scale_divisor must be positive, got {self.scale_divisor!r}"
+            )
+
     # Population sizes (paper-scale numbers; divided by scale_divisor).
     paper_n_ases: int = 25_000
     paper_n_routers: int = 347_000

@@ -24,10 +24,10 @@ from __future__ import annotations
 import ipaddress
 import math
 import random
-import warnings
 import zlib
 from dataclasses import dataclass
 
+from repro.compat import keyword_only_compat
 from repro.net.mac import MacAddress
 from repro.oui.enterprise import enterprise_number, has_enterprise_number
 from repro.oui.registry import OuiRegistry, default_registry
@@ -81,6 +81,7 @@ class _VendorMacAllocator:
         return self.registry.make_mac(vendor, block, offset)
 
 
+@keyword_only_compat("config", "registry")
 class TopologyGenerator:
     """Deterministic topology builder.
 
@@ -89,27 +90,8 @@ class TopologyGenerator:
     still accepted.
     """
 
-    def __init__(self, *args, config: "TopologyConfig | None" = None,
+    def __init__(self, *, config: "TopologyConfig | None" = None,
                  registry: "OuiRegistry | None" = None) -> None:
-        if args:
-            warnings.warn(
-                "positional TopologyGenerator(config, registry) is "
-                "deprecated; pass keyword arguments",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            if len(args) > 2:
-                raise TypeError(
-                    f"TopologyGenerator takes at most 2 positional "
-                    f"arguments, got {len(args)}"
-                )
-            if config is not None:
-                raise TypeError("config given positionally and by keyword")
-            config = args[0]
-            if len(args) == 2:
-                if registry is not None:
-                    raise TypeError("registry given positionally and by keyword")
-                registry = args[1]
         self.config = config or TopologyConfig()
         self.registry = registry or default_registry()
         self._rng = random.Random(self.config.seed)

@@ -144,6 +144,15 @@ class Topology:
             return None
         return self.devices[device_id]
 
+    def address_owners(self) -> "dict[IPAddress, int]":
+        """A copy of the ``address -> device id`` ground-truth map.
+
+        Callers that resolve owners per probe (the executor's shard
+        planner, the retry breaker) overlay their live rebinding state on
+        this copy instead of paying two hash lookups per address.
+        """
+        return dict(self._device_by_address)
+
     def true_alias_sets(self, version: "int | None" = None) -> dict[int, frozenset[IPAddress]]:
         """Ground-truth alias sets: device id -> its addresses.
 

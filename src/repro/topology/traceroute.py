@@ -56,6 +56,13 @@ class TracerouteEngine:
     _core: dict[int, list[Device]] = field(default_factory=dict, repr=False)
     _edge: dict[int, list[Device]] = field(default_factory=dict, repr=False)
     _visible: dict[int, bool] = field(default_factory=dict, repr=False)
+    #: (device id, family) -> candidate hop addresses.  Interface sets are
+    #: immutable for a topology's lifetime (churn rebinds the fabric, it
+    #: never re-plumbs devices), so hop selection reuses them across the
+    #: tens of thousands of traces a campaign runs.
+    _hop_candidates: "dict[tuple[int, int], list[IPAddress]]" = field(
+        default_factory=dict, repr=False
+    )
 
     def __post_init__(self) -> None:
         rng = random.Random(self.seed ^ self.topology.seed)
@@ -79,7 +86,13 @@ class TracerouteEngine:
         return routers[key % len(routers)]
 
     def _interface_of(self, device: Device, version: int, key: int) -> "IPAddress | None":
-        candidates = [i.address for i in device.interfaces if i.version == version]
+        cache_key = (device.device_id, version)
+        candidates = self._hop_candidates.get(cache_key)
+        if candidates is None:
+            candidates = [
+                i.address for i in device.interfaces if i.version == version
+            ]
+            self._hop_candidates[cache_key] = candidates
         if not candidates:
             return None
         return candidates[key % len(candidates)]

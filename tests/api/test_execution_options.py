@@ -1,0 +1,130 @@
+"""The consolidated :class:`ExecutionOptions` surface on the facade.
+
+One blessed object now carries every execution knob; the sixteen-odd
+flat keyword arguments survive only as deprecated aliases.  These tests
+pin the migration contract: options-first construction is silent, flat
+kwargs warn by name, mixing the two is an error, per-round overrides
+work, and the legacy ``selects_executor`` semantics (fault shaping alone
+does not engage the sharded engine) are preserved bit for bit.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+import repro
+from repro.api import ExecutionOptions, Session
+from repro.scanner import ExecutionOptions as scanner_reexport
+from repro.scanner.campaign import ScanCampaign
+from repro.scanner.executor import (
+    DEFAULT_BATCH_SIZE,
+    DEFAULT_NUM_SHARDS,
+    DEFAULT_WINDOW,
+    RetryPolicy,
+)
+from repro.topology.config import TopologyConfig
+from repro.topology.generator import TopologyGenerator
+
+SCALE = 4000.0
+
+
+def test_options_object_is_the_facade_export():
+    assert repro.ExecutionOptions is ExecutionOptions
+    assert scanner_reexport is ExecutionOptions
+
+
+def test_session_accepts_options_silently():
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        session = Session(
+            scale=SCALE, options=ExecutionOptions(workers=1, batch_size=8)
+        )
+    assert session.options.workers == 1
+    assert session.options.batch_size == 8
+
+
+def test_flat_kwargs_still_work_but_warn_by_name():
+    with pytest.warns(DeprecationWarning, match=r"workers=.*num_shards="):
+        session = Session(scale=SCALE, workers=1, num_shards=2)
+    assert session.options.workers == 1
+    assert session.options.num_shards == 2
+
+
+def test_mixing_options_and_flat_kwargs_is_an_error():
+    with pytest.raises(TypeError, match="not both"):
+        Session(scale=SCALE, options=ExecutionOptions(workers=1), workers=2)
+
+
+def test_campaign_rejects_mixed_styles_too():
+    topology = TopologyGenerator(
+        config=TopologyConfig(seed=9, scale_divisor=SCALE)
+    ).build()
+    with pytest.raises(TypeError, match="not both"):
+        ScanCampaign(
+            topology=topology, options=ExecutionOptions(workers=1), workers=2
+        )
+
+
+def test_selects_executor_mirrors_legacy_flat_semantics():
+    # Geometry / pipeline / retry / profiling knobs engage the sharded
+    # engine; fault shaping alone never did and still must not.
+    assert not ExecutionOptions().selects_executor
+    assert not ExecutionOptions(fault_profile="chaos").selects_executor
+    assert not ExecutionOptions(loss_probability=0.5).selects_executor
+    for knob in (
+        dict(workers=1), dict(num_shards=2), dict(batch_size=4),
+        dict(window=8), dict(pipeline=False), dict(retry=RetryPolicy()),
+        dict(profile=True),
+    ):
+        assert ExecutionOptions(**knob).selects_executor, knob
+
+
+def test_executor_config_fills_documented_defaults():
+    config = ExecutionOptions(workers=2).executor_config(seed=123)
+    assert config.workers == 2
+    assert config.num_shards == DEFAULT_NUM_SHARDS
+    assert config.batch_size == DEFAULT_BATCH_SIZE
+    assert config.window == DEFAULT_WINDOW
+    assert config.pipeline is True
+    assert config.seed == 123
+
+
+def test_fault_profile_alone_runs_the_single_pass_scanner():
+    topology = TopologyGenerator(
+        config=TopologyConfig(seed=9, scale_divisor=SCALE)
+    ).build()
+    campaign = ScanCampaign(
+        topology=topology, options=ExecutionOptions(fault_profile="conformance")
+    )
+    result = campaign.run()
+    assert result.metrics == {}  # legacy scanner path: no executor metrics
+
+
+def test_run_campaign_accepts_a_per_round_override():
+    session = Session(scale=SCALE)
+    result = session.run_campaign(
+        options=ExecutionOptions(workers=1, num_shards=2)
+    )
+    assert result.metrics  # override engaged the sharded engine this round
+    assert not session.options.selects_executor  # session default untouched
+
+
+def test_session_and_override_produce_identical_observations():
+    def fingerprint(result):
+        return {
+            label: sorted(
+                (str(o.address), o.recv_time, o.engine_boots, o.engine_time)
+                for o in scan.observations.values()
+            )
+            for label, scan in result.scans.items()
+        }
+
+    via_session = Session(
+        scale=SCALE, options=ExecutionOptions(workers=1)
+    ).run_campaign()
+    via_override = Session(scale=SCALE).run_campaign(
+        options=ExecutionOptions(workers=1)
+    )
+    assert fingerprint(via_session) == fingerprint(via_override)

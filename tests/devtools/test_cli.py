@@ -55,11 +55,11 @@ def test_missing_path_is_usage_error(tmp_path, capsys):
     assert "no such path" in capsys.readouterr().err
 
 
-def test_list_rules_names_all_six(capsys):
+def test_list_rules_names_all_seven(capsys):
     assert cli.main(["--list-rules"]) == 0
     out = capsys.readouterr().out
     assert set(DEFAULT_RULES) == {
-        "DET001", "DET002", "PROTO001", "API001", "OID001", "IMP001",
+        "DET001", "DET002", "PROTO001", "API001", "API002", "OID001", "IMP001",
     }
     for rule_id in DEFAULT_RULES:
         assert rule_id in out

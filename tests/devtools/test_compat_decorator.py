@@ -1,0 +1,87 @@
+"""Unit contract of the shared ``keyword_only_compat`` decorator.
+
+The nine migrated classes all ride on this one shim now; these tests pin
+the decorator's own behavior so a refactor can't silently change what
+every facade constructor accepts.  ``tests/devtools/test_kwonly_shims.py``
+covers the real classes end to end.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.compat import keyword_only_compat
+from repro.devtools.compat import keyword_only_compat as reexported
+
+
+@keyword_only_compat("left", "right", "scale")
+class Example:
+    """Docstring preserved through the shim."""
+
+    def __init__(self, *, left=None, right=None, scale=1.0):
+        if left is None:
+            raise TypeError("Example requires a left")
+        self.left = left
+        self.right = right
+        self.scale = scale
+
+
+def test_keyword_calls_are_silent_and_unchanged():
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        example = Example(left=1, right=2, scale=0.5)
+    assert (example.left, example.right, example.scale) == (1, 2, 0.5)
+
+
+def test_positional_call_maps_in_declared_order_with_warning():
+    with pytest.warns(DeprecationWarning, match="positional"):
+        example = Example(1, 2, 0.5)
+    assert (example.left, example.right, example.scale) == (1, 2, 0.5)
+
+
+def test_positional_prefix_keeps_keyword_defaults():
+    with pytest.warns(DeprecationWarning):
+        example = Example(1)
+    assert (example.left, example.right, example.scale) == (1, None, 1.0)
+
+
+def test_mixing_positional_and_keyword_for_other_names_works():
+    with pytest.warns(DeprecationWarning):
+        example = Example(1, scale=3.0)
+    assert (example.left, example.right, example.scale) == (1, None, 3.0)
+
+
+def test_same_name_both_ways_raises_after_warning():
+    with pytest.warns(DeprecationWarning):
+        with pytest.raises(TypeError, match="both positionally and by keyword"):
+            Example(1, left=1)
+
+
+def test_excess_positional_arguments_raise_after_warning():
+    with pytest.warns(DeprecationWarning):
+        with pytest.raises(TypeError, match="at most 3 positional"):
+            Example(1, 2, 0.5, "extra")
+
+
+def test_wrapped_validation_still_runs():
+    with pytest.raises(TypeError, match="requires a left"):
+        Example()
+
+
+def test_metadata_and_wrapped_are_preserved():
+    assert Example.__init__.__doc__ is None or isinstance(
+        Example.__init__.__doc__, str
+    )
+    assert Example.__init__.__qualname__ == "Example.__init__"
+    assert Example.__init__.__wrapped__ is not Example.__init__
+
+
+def test_zero_names_is_a_programming_error():
+    with pytest.raises(ValueError):
+        keyword_only_compat()
+
+
+def test_devtools_reexport_is_the_same_object():
+    assert reexported is keyword_only_compat

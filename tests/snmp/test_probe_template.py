@@ -1,0 +1,182 @@
+"""The batch pipeline's cached fast paths never change a byte.
+
+Three equivalences, each load-bearing for the staged pipeline:
+
+* :class:`DiscoveryProbeTemplate` renders byte-identically to
+  :func:`encode_discovery_probe` across every msg-id width boundary;
+* :func:`match_discovery_report` accepts only payloads the full
+  :func:`parse_discovery_response` decoder would, with identical fields;
+* the hinted :meth:`SnmpAgent.handle_discovery` entry point answers
+  exactly like the generic :meth:`SnmpAgent.handle` for every
+  adversarial personality, including state effects (handled counts,
+  mid-scan reboots).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.asn1 import ber
+from repro.net.addresses import parse_ip
+from repro.net.packet import Datagram
+from repro.snmp.agent import AgentBehavior, SnmpAgent
+from repro.snmp.constants import SNMP_PORT
+from repro.snmp.engine_id import EngineId
+from repro.snmp.loadbalancer import AgentPool, BalancingPolicy
+from repro.snmp.messages import (
+    DiscoveryProbeTemplate,
+    encode_discovery_probe,
+    match_discovery_report,
+    parse_discovery_response,
+)
+
+#: msg-id values straddling every BER integer length boundary the scan
+#: can reach, plus the sign-bit padding cases (0x80 needs a leading zero).
+BOUNDARY_IDS = [
+    1, 2, 0x7F, 0x80, 0x81, 0xFF, 0x100, 0x7FFF, 0x8000,
+    0xFFFF, 0x10000, 0x7FFFFF, 0x800000, 0x7FFFFFFF,
+]
+
+
+@pytest.mark.parametrize("msg_id", BOUNDARY_IDS)
+def test_template_render_matches_reference_encoder(msg_id):
+    template = DiscoveryProbeTemplate()
+    assert template.render(msg_id) == encode_discovery_probe(msg_id)
+
+
+def test_render_batch_matches_per_id_render():
+    template = DiscoveryProbeTemplate()
+    batch = template.render_batch(BOUNDARY_IDS)
+    assert batch == [encode_discovery_probe(i) for i in BOUNDARY_IDS]
+
+
+def test_render_batch_reuses_cached_frames_across_calls():
+    template = DiscoveryProbeTemplate()
+    first = template.render_batch([5, 0x5000])
+    second = template.render_batch([5, 0x5000])
+    assert first == second == [encode_discovery_probe(5), encode_discovery_probe(0x5000)]
+
+
+@pytest.mark.parametrize("msg_id", BOUNDARY_IDS)
+def test_encode_integer_batch_matches_scalar(msg_id):
+    assert ber.encode_integer_batch([msg_id]) == [ber.encode_integer(msg_id)]
+
+
+def test_encode_integer_batch_mixed_widths():
+    values = [0, 1, 0x7F, 0x80, 0xFFFF, 0x123456, -1, -128, -129]
+    assert ber.encode_integer_batch(values) == [ber.encode_integer(v) for v in values]
+
+
+def agent(behavior: "AgentBehavior | None" = None) -> SnmpAgent:
+    return SnmpAgent(
+        engine_id=EngineId(bytes([0x80, 0, 0, 9, 3, 1, 2, 3, 4, 5, 6])),
+        boot_time=-300.0,
+        behavior=behavior or AgentBehavior(),
+    )
+
+
+def reply_to(msg_id: int = 7, now: float = 50.0) -> bytes:
+    replies = agent().handle(encode_discovery_probe(msg_id), now)
+    assert len(replies) == 1
+    return replies[0]
+
+
+def test_fast_match_agrees_with_full_parser():
+    payload = reply_to()
+    fast = match_discovery_report(payload)
+    slow = parse_discovery_response(payload)
+    assert fast is not None
+    assert (fast.engine_id, fast.engine_boots, fast.engine_time, fast.msg_id) == (
+        slow.engine_id, slow.engine_boots, slow.engine_time, slow.msg_id
+    )
+
+
+def test_fast_match_rejects_every_single_byte_truncation():
+    payload = reply_to()
+    for cut in range(len(payload)):
+        truncated = payload[:cut]
+        assert match_discovery_report(truncated) is None
+
+
+def test_fast_match_never_disagrees_under_byte_flips():
+    """Flip each byte in turn: wherever the fast matcher still accepts,
+    the full decoder must accept with the same fields (a match may
+    legitimately survive flips inside variable fields like engine time)."""
+    payload = reply_to()
+    for pos in range(len(payload)):
+        mutated = bytearray(payload)
+        mutated[pos] ^= 0x01
+        mutated = bytes(mutated)
+        fast = match_discovery_report(mutated)
+        if fast is None:
+            continue
+        slow = parse_discovery_response(mutated)
+        assert (fast.engine_id, fast.engine_boots, fast.engine_time, fast.msg_id) == (
+            slow.engine_id, slow.engine_boots, slow.engine_time, slow.msg_id
+        )
+
+
+def test_fast_match_rejects_trailing_garbage_and_probes():
+    payload = reply_to()
+    assert match_discovery_report(payload + b"\x00") is None
+    assert match_discovery_report(encode_discovery_probe(7)) is None
+    assert match_discovery_report(b"") is None
+
+
+PERSONALITIES = [
+    AgentBehavior(),
+    AgentBehavior(garbage_reports=True),
+    AgentBehavior(malformed=True),
+    AgentBehavior(amplification_count=4),
+    AgentBehavior(reboot_after_handles=2),
+    AgentBehavior(report_zero_time=True),
+    AgentBehavior(report_empty_engine_id=True),
+    AgentBehavior(v3_enabled=False),
+    AgentBehavior(future_time_offset=7200),
+    AgentBehavior(clock_skew=1.5),
+    AgentBehavior(time_resolution=10),
+    AgentBehavior(engine_id_pad_to=32),
+]
+
+
+@pytest.mark.parametrize("behavior", PERSONALITIES, ids=lambda b: repr(b)[:40])
+def test_hinted_handle_discovery_equals_generic_handle(behavior):
+    """Drive twin agents through several probes so stateful personalities
+    (reboots, skew) diverge if the fast path miscounts anything."""
+    generic = agent(behavior)
+    hinted = agent(behavior)
+    for step in range(5):
+        msg_id = 100 + step
+        payload = encode_discovery_probe(msg_id)
+        now = 50.0 + step * 3.7
+        assert hinted.handle_discovery(payload, msg_id, msg_id, now) == generic.handle(
+            payload, now
+        )
+    assert hinted.handled_count == generic.handled_count
+    assert hinted.engine_boots == generic.engine_boots
+
+
+def test_pool_hinted_dispatch_matches_generic_per_policy():
+    source = parse_ip("203.0.113.5")
+    vip = parse_ip("198.51.100.50")
+    for policy in BalancingPolicy:
+        def make_pool():
+            return AgentPool(
+                backends=[
+                    agent(AgentBehavior(reboot_after_handles=3)) for _ in range(3)
+                ],
+                policy=policy,
+            )
+
+        generic, hinted = make_pool(), make_pool()
+        for step in range(7):
+            msg_id = 200 + step
+            payload = encode_discovery_probe(msg_id)
+            now = 80.0 + step
+            datagram = Datagram(
+                src=source, dst=vip, sport=40000, dport=SNMP_PORT,
+                payload=payload, sent_at=now,
+            )
+            want = generic.handle_datagram(datagram, now)
+            got = hinted.handle_discovery(payload, msg_id, msg_id, now, source=source)
+            assert got == want, policy
