@@ -1,0 +1,142 @@
+"""Performance — constant-memory streaming campaigns at scale.
+
+Runs the streaming (lazy-topology) campaign at increasing target counts
+and records throughput plus peak RSS in ``BENCH_scale.json`` at the repo
+root.  The claim under test is the PR's tentpole: memory is a function
+of the residency window, not of the address space — a 10x larger
+campaign may not cost 10x the memory.
+
+Each measurement runs in a fresh subprocess so ``ru_maxrss`` (a
+process-lifetime high-water mark) reflects that campaign alone.  The
+campaign streams through ``run_streaming()`` and discards observation
+batches after counting them, exactly like the CLI export path — the
+point is that nothing is ever materialized.
+
+Assertions:
+
+* peak RSS across a ~10x target growth stays sub-linear (< 1.5x);
+* the lazy world's resident-device high-water stays O(max_resident),
+  orders of magnitude under the device count;
+* quick mode adds an absolute RSS ceiling (the CI gate).
+
+``SCALE_BENCH_QUICK=1`` (the CI configuration) measures ~93k and ~930k
+targets; the full run adds a ~9.3M-target campaign.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULTS_PATH = REPO_ROOT / "BENCH_scale.json"
+SEED = 2021
+
+QUICK = os.environ.get("SCALE_BENCH_QUICK") == "1"
+#: divisor -> nominal label.  IPv4 target count scales as ~3.7M/divisor.
+TIERS = {400.0: "93k", 40.0: "930k"} if QUICK else {
+    400.0: "93k", 40.0: "930k", 4.0: "9.3M",
+}
+#: Sub-linear growth gate: a 10x campaign may cost < 1.5x the memory.
+RSS_GROWTH_CEILING = 1.5
+#: Absolute quick-mode ceiling (MB) — generous vs the ~150 MB observed,
+#: tight vs the GBs a materialized 930k-target world would need.
+QUICK_RSS_CEILING_MB = 512
+
+_CHILD = r"""
+import json, resource, sys, time
+from repro.scanner.campaign import ScanCampaign
+from repro.scanner.executor import ExecutionOptions
+from repro.topology.config import TopologyConfig
+from repro.topology.lazy import LazyTopology
+
+divisor, seed = float(sys.argv[1]), int(sys.argv[2])
+config = TopologyConfig.streamed(divisor=divisor, seed=seed)
+topology = LazyTopology(config=config)
+campaign = ScanCampaign(
+    topology=topology, config=config, options=ExecutionOptions()
+)
+probes = observations = 0
+started = time.perf_counter()
+for stream in campaign.run_streaming():
+    for batch in stream.batches():
+        observations += len(batch)
+    probes += stream.execution.metrics.probes_sent
+elapsed = time.perf_counter() - started
+print(json.dumps({
+    "targets_probed": probes,
+    "observations": observations,
+    "seconds": elapsed,
+    "peak_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+    "device_count": topology.device_count,
+    "peak_resident_devices": topology.peak_resident,
+    "derivations": topology.derivations,
+    "max_resident": topology.max_resident,
+}))
+"""
+
+
+def _measure(divisor: float) -> dict:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", _CHILD, str(divisor), str(SEED)],
+        capture_output=True, text=True, env=env, check=True,
+    )
+    return json.loads(proc.stdout)
+
+
+def test_bench_scale_streaming_rss_flatness():
+    results = {}
+    for divisor, label in sorted(TIERS.items(), reverse=True):
+        started = time.perf_counter()
+        stats = _measure(divisor)
+        stats["pps"] = round(stats["targets_probed"] / stats["seconds"])
+        stats["seconds"] = round(stats["seconds"], 3)
+        stats["peak_rss_mb"] = round(stats["peak_rss_kb"] / 1024.0, 1)
+        results[label] = stats
+        print(f"\n~{label} targets (1/{divisor:g}): "
+              f"{stats['targets_probed']} probes in {stats['seconds']}s "
+              f"({stats['pps']} pps), peak RSS {stats['peak_rss_mb']} MB, "
+              f"resident {stats['peak_resident_devices']}"
+              f"/{stats['device_count']} devices "
+              f"({time.perf_counter() - started:.1f}s incl. subprocess)")
+
+        # Residency stays O(max_resident): the topology window plus the
+        # campaign handler cache, never the world.
+        assert stats["peak_resident_devices"] <= 2 * stats["max_resident"]
+        if stats["device_count"] > 2 * stats["max_resident"]:
+            assert stats["peak_resident_devices"] < stats["device_count"]
+
+    # The headline: RSS stays flat while targets grow ~10x per tier.
+    ordered = [results[TIERS[d]] for d in sorted(TIERS, reverse=True)]
+    for small, big in zip(ordered, ordered[1:]):
+        growth = big["targets_probed"] / small["targets_probed"]
+        rss_ratio = big["peak_rss_kb"] / small["peak_rss_kb"]
+        assert growth > 5, "tiers must differ enough to prove anything"
+        assert rss_ratio < RSS_GROWTH_CEILING, (
+            f"peak RSS grew {rss_ratio:.2f}x over a {growth:.1f}x "
+            f"target growth — streaming is no longer constant-memory"
+        )
+
+    if QUICK:
+        for stats in ordered:
+            assert stats["peak_rss_mb"] <= QUICK_RSS_CEILING_MB, (
+                f"peak RSS {stats['peak_rss_mb']} MB exceeds the "
+                f"{QUICK_RSS_CEILING_MB} MB CI ceiling"
+            )
+
+    payload = {
+        "benchmark": "streaming-campaign-scale",
+        "seed": SEED,
+        "quick": QUICK,
+        "cpu_count": os.cpu_count() or 1,
+        "rss_growth_ceiling": RSS_GROWTH_CEILING,
+        "results": results,
+    }
+    RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")

@@ -27,7 +27,7 @@ See ``examples/`` for complete scenarios and ``DESIGN.md`` for the
 system inventory.
 """
 
-from repro.api import ExecutionOptions, Session, Store, StoreQuery
+from repro.api import ExecutionOptions, Session, Store, StoreQuery, TopologyOptions
 from repro.alias import (
     AliasSets,
     IcmpRateLimitOracle,
@@ -66,7 +66,14 @@ from repro.scanner import (
     ZmapScanner,
 )
 from repro.snmp import EngineId, EngineIdFormat, SnmpAgent, SnmpClient, build_discovery_probe
-from repro.topology import Topology, TopologyConfig, TopologyGenerator, build_topology
+from repro.topology import (
+    LazyTopology,
+    Topology,
+    TopologyConfig,
+    TopologyGenerator,
+    build_topology,
+    load_topology_file,
+)
 
 __version__ = "1.0.0"
 
@@ -104,12 +111,15 @@ __all__ = [
     "SnmpClient",
     "Snmpv3AliasResolver",
     "SpeedtrapResolver",
+    "LazyTopology",
     "Topology",
     "TopologyConfig",
     "TopologyGenerator",
+    "TopologyOptions",
     "ZmapScanner",
     "build_discovery_probe",
     "build_topology",
+    "load_topology_file",
     "compare_alias_sets",
     "evaluate_against_truth",
     "infer_vendor",

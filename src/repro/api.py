@@ -38,10 +38,84 @@ from repro.scanner.metrics import ExecutorMetrics
 from repro.store.query import StoreQuery
 from repro.store.store import Store
 from repro.topology.config import TopologyConfig
+from repro.topology.datasets import load_topology_file
 from repro.topology.generator import build_topology
+from repro.topology.lazy import LazyTopology
 from repro.topology.model import Topology
 
-__all__ = ["ExecutionOptions", "Session", "Store", "StoreQuery"]
+__all__ = [
+    "ExecutionOptions",
+    "Session",
+    "Store",
+    "StoreQuery",
+    "TopologyOptions",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class TopologyOptions:
+    """How a :class:`Session` obtains its ground-truth topology.
+
+    The topology twin of :class:`~repro.scanner.executor.
+    ExecutionOptions`: every way to shape *where devices come from* is a
+    field here, never a new flat ``Session`` keyword (lint rule API002).
+    The default (all fields unset) keeps the historical behaviour — an
+    eagerly built sequential-layout topology.
+
+    Parameters
+    ----------
+    layout:
+        Override the config's topology layout (``"sequential"`` or
+        ``"streamed"``).  The streamed layout derives every device from
+        ``(seed, address)`` alone, which is what makes lazy and
+        constant-memory campaigns possible; its populations are
+        byte-identically reproduced by :class:`~repro.topology.lazy.
+        LazyTopology` at probe time.
+    lazy:
+        Build a :class:`~repro.topology.lazy.LazyTopology` view instead
+        of materializing devices up front.  Implies the streamed layout.
+        Campaign results over a lazy topology leave ``bindings`` empty —
+        query ``session.topology.owner_of`` / ``binding_of`` instead.
+    max_resident:
+        Lazy only: cap on concurrently materialized devices (default
+        ``TopologyConfig.stream_max_resident``).  Peak memory scales with
+        this window, not with the address space.
+    topology_file:
+        Load the topology from an ITDK-style topology description file
+        (see :func:`repro.topology.datasets.load_topology_file`) instead
+        of generating one.  Mutually exclusive with ``lazy``/``layout``.
+    """
+
+    layout: "str | None" = None
+    lazy: bool = False
+    max_resident: "int | None" = None
+    topology_file: "str | Path | None" = None
+
+    def __post_init__(self) -> None:
+        if self.layout not in (None, "sequential", "streamed"):
+            raise ValueError(
+                "layout must be 'sequential' or 'streamed', "
+                f"got {self.layout!r}"
+            )
+        if self.lazy and self.layout == "sequential":
+            raise ValueError(
+                "lazy topologies require the streamed layout; "
+                "drop layout='sequential' or lazy=True"
+            )
+        if self.topology_file is not None and (
+            self.lazy or self.layout is not None
+        ):
+            raise ValueError(
+                "topology_file loads a fixed topology; it cannot be "
+                "combined with lazy or layout overrides"
+            )
+        if self.max_resident is not None and not self.lazy:
+            raise ValueError("max_resident only applies to lazy=True")
+
+    @property
+    def effective_layout(self) -> "str | None":
+        """The layout this bundle demands of the config (None = keep)."""
+        return "streamed" if self.lazy else self.layout
 
 
 class Session:
@@ -70,6 +144,12 @@ class Session:
         only (lint rule API002 enforces this).
     reboot_threshold / skip:
         Filter-pipeline knobs (see :class:`FilterPipeline`).
+    topology:
+        A :class:`TopologyOptions` bundle — the supported way to shape
+        where the ground-truth topology comes from (streamed layout,
+        lazy derivation, residency cap, topology-description files).
+        Like execution knobs, new topology knobs are added to the
+        options object only.
     store:
         A :class:`~repro.store.store.Store` (or a path, opened/created
         on the spot).  With a store attached, every campaign round run
@@ -94,10 +174,15 @@ class Session:
         reboot_threshold: "float | None" = None,
         skip: "frozenset[str] | set[str]" = frozenset(),
         store: "Store | str | Path | None" = None,
+        topology: "TopologyOptions | None" = None,
     ) -> None:
         self.config = config or TopologyConfig.paper_scale(
             divisor=scale, seed=seed
         )
+        self._topology_options = topology or TopologyOptions()
+        wanted_layout = self._topology_options.effective_layout
+        if wanted_layout is not None and self.config.layout != wanted_layout:
+            self.config = dataclasses.replace(self.config, layout=wanted_layout)
         flat = {
             "workers": workers,
             "num_shards": num_shards,
@@ -137,7 +222,7 @@ class Session:
         if isinstance(store, (str, Path)):
             store = Store(root=store)
         self._store = store
-        self._topology: "Topology | None" = None
+        self._topology: "Topology | LazyTopology | None" = None
         self._campaign_obj: "ScanCampaign | None" = None
         self._campaign: "CampaignResult | None" = None
         self._pipelines: dict[int, PipelineResult] = {}
@@ -205,10 +290,27 @@ class Session:
     # -- accessors ---------------------------------------------------------
 
     @property
-    def topology(self) -> Topology:
-        """The generated ground-truth Internet (built on first access)."""
+    def topology(self) -> "Topology | LazyTopology":
+        """The ground-truth Internet (built/loaded on first access).
+
+        Dispatches on the session's :class:`TopologyOptions`: a
+        ``topology_file`` loads the described topology, ``lazy=True``
+        builds a :class:`~repro.topology.lazy.LazyTopology` view that
+        derives devices on demand, and otherwise the configured layout is
+        materialized eagerly via :func:`build_topology`.
+        """
         if self._topology is None:
-            self._topology = build_topology(self.config)
+            opts = self._topology_options
+            if opts.topology_file is not None:
+                self._topology = load_topology_file(
+                    opts.topology_file, seed=self.config.seed
+                )
+            elif opts.lazy:
+                self._topology = LazyTopology(
+                    config=self.config, max_resident=opts.max_resident
+                )
+            else:
+                self._topology = build_topology(self.config)
         return self._topology
 
     @property

@@ -41,18 +41,42 @@ DEFAULT_CLOCK: "Clock | None" = None
 
 
 def _cmd_scan(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
     from repro.io import ScanJsonlWriter
     from repro.scanner.campaign import ScanCampaign
     from repro.scanner.executor import ExecutionOptions, RetryPolicy
     from repro.topology.config import TopologyConfig
+    from repro.topology.datasets import load_topology_file
     from repro.topology.generator import build_topology
+    from repro.topology.lazy import LazyTopology
+    from repro.topology.model import Topology
 
     out = Path(args.out)
     out.mkdir(parents=True, exist_ok=True)
+    if args.topology_file and (args.lazy or args.layout):
+        raise ValueError(
+            "--topology-file loads a fixed topology; it cannot be "
+            "combined with --lazy or --layout"
+        )
+    if args.lazy and args.layout == "sequential":
+        raise ValueError("--lazy requires the streamed layout")
     config = TopologyConfig.paper_scale(divisor=args.scale, seed=args.seed)
-    print(f"building simulated Internet (1/{args.scale:g} scale, seed {args.seed})...")
+    if args.lazy or args.layout == "streamed":
+        config = replace(config, layout="streamed")
     stopwatch = Stopwatch(DEFAULT_CLOCK)
-    topology = build_topology(config)
+    topology: "Topology | LazyTopology"
+    if args.topology_file:
+        print(f"loading topology from {args.topology_file}...")
+        topology = load_topology_file(args.topology_file, seed=args.seed)
+    elif args.lazy:
+        print(f"lazy simulated Internet (1/{args.scale:g} scale, "
+              f"seed {args.seed}): devices derived at probe time...")
+        topology = LazyTopology(config=config, max_resident=args.max_resident)
+    else:
+        print(f"building simulated Internet (1/{args.scale:g} scale, "
+              f"seed {args.seed})...")
+        topology = build_topology(config)
     retry = None
     if args.retries or args.timeout is not None:
         retry = RetryPolicy(
@@ -69,6 +93,7 @@ def _cmd_scan(args: argparse.Namespace) -> int:
         fault_profile=args.fault_profile,
         retry=retry,
         profile=args.profile,
+        target_window=args.target_window,
     )
     campaign = ScanCampaign(topology=topology, config=config, options=options)
     store = None
@@ -387,6 +412,25 @@ def build_parser() -> argparse.ArgumentParser:
     scan.add_argument("--window", type=int, default=None,
                       help="probes in flight per pipeline stage "
                            "(default 512; results are window-invariant)")
+    scan.add_argument("--layout", default=None,
+                      choices=("sequential", "streamed"),
+                      help="topology layout (streamed derives every device "
+                           "from (seed, address) alone)")
+    scan.add_argument("--lazy", action="store_true",
+                      help="derive devices on demand during the scan "
+                           "instead of materializing the topology "
+                           "(implies --layout streamed; byte-identical "
+                           "results, constant memory)")
+    scan.add_argument("--max-resident", type=int, default=None,
+                      help="with --lazy: cap on concurrently derived "
+                           "devices (default 4096)")
+    scan.add_argument("--topology-file", default=None,
+                      help="load the topology from an ITDK-style "
+                           "description file instead of generating one")
+    scan.add_argument("--target-window", type=int, default=None,
+                      help="targets planned per streaming window "
+                           "(default 65536; like --shards, part of the "
+                           "deterministic result geometry)")
     scan.add_argument("--no-pipeline", action="store_true",
                       help="use the historical per-probe loop instead of "
                            "the batch pipeline (byte-identical; for A/B "

@@ -608,6 +608,8 @@ _FACADE_FROZEN_KWARGS: "dict[tuple[str, str], frozenset[str]]" = {
         "fault_profile", "retry", "profile",
         # filter-pipeline and storage knobs
         "reboot_threshold", "skip", "store",
+        # topology shaping goes through one blessed object, like execution
+        "topology",
     }),
     ("Session", "run_campaign"): frozenset({"round_id", "options"}),
 }

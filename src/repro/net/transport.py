@@ -155,6 +155,7 @@ class NetworkFabric:
         # batch path pays one address hash per probe instead of three
         # (endpoint, ACL, link profile).
         self._delivery_indexes: "dict[tuple[str, int], dict[IPAddress, tuple[Handler, AccessControlList | None, LinkProfile]]]" = {}
+        self._resolver: "Callable[[IPAddress, str, int], Handler | None] | None" = None
         self.stats = FabricStats()
 
     # -- wiring -----------------------------------------------------------
@@ -188,6 +189,21 @@ class NetworkFabric:
     def set_profile(self, address: IPAddress, profile: LinkProfile) -> None:
         """Attach per-address path characteristics."""
         self._profiles[address] = profile
+        self._delivery_indexes.clear()
+
+    def set_resolver(
+        self, resolver: "Callable[[IPAddress, str, int], Handler | None] | None"
+    ) -> None:
+        """Install a fallback endpoint resolver for lazy topologies.
+
+        When a probe reaches ``(address, protocol, port)`` with no bound
+        endpoint, the resolver is consulted; returning a handler delivers
+        the probe exactly as if the endpoint had been bound up front,
+        returning ``None`` drops it as unbound.  The fabric never caches
+        resolved handlers — the resolver owns residency policy — so a
+        streaming campaign's memory stays bounded by its own cache.
+        """
+        self._resolver = resolver
         self._delivery_indexes.clear()
 
     def _delivery_index(
@@ -271,6 +287,8 @@ class NetworkFabric:
         stats.injected += 1
         stats.probe_bytes += datagram.wire_size
         handler = self._endpoints.get((datagram.dst, protocol, datagram.dport))
+        if handler is None and self._resolver is not None:
+            handler = self._resolver(datagram.dst, protocol, datagram.dport)
         if handler is None:
             stats.dropped_no_endpoint += 1
             return []
@@ -391,6 +409,8 @@ class NetworkFabric:
         foreign handlers fall back to the legacy handler call.
         """
         delivery = self._delivery_index(protocol, dport)
+        resolver = self._resolver
+        default_profile = self._default_profile
         faults = self._fault_profile
         rand = rng.random
         header_size = (20 if source.version == 4 else 40) + 8
@@ -421,9 +441,18 @@ class NetworkFabric:
                 probe_bytes += header_size + len(payload)
                 entry = delivery.get(target)
                 if entry is None:
-                    no_endpoint += 1
-                    append_out([])
-                    continue
+                    if resolver is not None:
+                        resolved = resolver(target, protocol, dport)
+                        if resolved is not None:
+                            entry = (
+                                resolved,
+                                self._acls.get(target),
+                                self._profiles.get(target, default_profile),
+                            )
+                    if entry is None:
+                        no_endpoint += 1
+                        append_out([])
+                        continue
                 handler, acl, profile = entry
                 if acl is not None and not acl.permits(
                     Datagram(

@@ -21,12 +21,25 @@ synchronous :class:`ZmapScanner` pass.  Passing ``workers=`` (or
 :mod:`repro.scanner.executor`, whose results are byte-identical for any
 worker count at a fixed seed; :meth:`ScanCampaign.run_streaming` exposes
 the same engine as an incremental per-scan observation stream.
+
+Streamed layouts (``TopologyConfig(layout="streamed")``) change the
+campaign's memory shape, not its semantics.  A
+:class:`~repro.topology.lazy.LazyTopology` never materializes the world:
+fabric endpoints resolve at probe time, reboot/churn events are pure
+functions of ``(seed, device, address)``, dataset membership is a
+per-address roll, and targets stream through the windowed executor
+(``execute_stream``), so peak memory is bounded by one planning window.
+An eagerly built streamed ``Topology`` takes the same code path minus
+the resolver, and produces byte-identical scans — the differential
+suites in ``tests/topology/test_lazy_identity.py`` and
+``tests/scanner/test_streaming_campaign.py`` hold the two worlds equal.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import random
+from collections import OrderedDict
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Iterator
@@ -34,13 +47,14 @@ from typing import Callable, Iterator
 from repro.compat import keyword_only_compat
 from repro.net.addresses import IPAddress
 from repro.net.faults import FaultProfile
-from repro.net.transport import LinkProfile, NetworkFabric
+from repro.net.transport import Handler, LinkProfile, NetworkFabric
 from repro.scanner.executor import (
     ExecutionOptions,
     RetryPolicy,
     ScanExecution,
     ShardedScanExecutor,
     ShardSpec,
+    StreamingScanExecution,
     _ScanParams,
 )
 from repro.scanner.metrics import ExecutorMetrics, ShardMetrics
@@ -50,7 +64,19 @@ from repro.scanner.zmap import ZmapConfig, ZmapScanner
 from repro.snmp.constants import SNMP_PORT
 from repro.topology import timeline
 from repro.topology.config import TopologyConfig
-from repro.topology.datasets import RouterDatasets, build_router_datasets
+from repro.topology.datasets import (
+    RouterDatasets,
+    StreamedRouterDatasets,
+    build_router_datasets,
+)
+from repro.topology.lazy import (
+    CHURN_PROBABILITY,
+    DeviceSlot,
+    LazyTopology,
+    StreamPlan,
+    derive_churn_rotation,
+    reboot_time,
+)
 from repro.topology.model import Device, Topology
 
 #: Scan labels in chronological order.
@@ -64,8 +90,10 @@ _SCHEDULE = {
 }
 
 #: Probability that a DHCP-pool device re-addresses within the inter-scan
-#: gap, per address family (6 days for IPv4, 1 day for IPv6).
-_CHURN_PROB = {4: 0.6, 6: 0.15}
+#: gap, per address family (6 days for IPv4, 1 day for IPv6).  One table
+#: for both campaign paths: the sequential scheduler rolls it from the
+#: campaign RNG, the streamed one through per-address pure functions.
+_CHURN_PROB = CHURN_PROBABILITY
 
 
 @dataclass
@@ -73,8 +101,11 @@ class CampaignResult:
     """All four scans plus the per-scan ground-truth address bindings."""
 
     scans: dict[str, ScanResult] = field(default_factory=dict)
+    #: Per-scan ``address -> device id`` ground truth.  Lazy campaigns
+    #: leave these empty — their ground truth is a pure function, so
+    #: query ``topology.owner_of``/``binding_of`` instead of a snapshot.
     bindings: dict[str, dict[IPAddress, int]] = field(default_factory=dict)
-    datasets: "RouterDatasets | None" = None
+    datasets: "RouterDatasets | StreamedRouterDatasets | None" = None
     #: Per-scan execution metrics; populated only by the sharded engine.
     metrics: dict[str, ExecutorMetrics] = field(default_factory=dict)
 
@@ -97,7 +128,7 @@ class ScanStream:
     ip_version: int
     started_at: float
     bindings: dict[IPAddress, int]
-    execution: ScanExecution
+    execution: "ScanExecution | StreamingScanExecution"
     #: Batch observers attached via :meth:`attach_sink`.
     sinks: "list[Callable[[list[ScanObservation]], object]]" = field(
         default_factory=list
@@ -149,7 +180,7 @@ class ScanCampaign:
     def __init__(
         self,
         *,
-        topology: "Topology | None" = None,
+        topology: "Topology | LazyTopology | None" = None,
         config: "TopologyConfig | None" = None,
         loss_probability: "float | None" = None,
         workers: "int | None" = None,
@@ -186,7 +217,31 @@ class ScanCampaign:
                 "or as flat keyword arguments, not both"
             )
         self.topology = topology
-        self.config = config or TopologyConfig(seed=topology.seed)
+        self._lazy = isinstance(topology, LazyTopology)
+        self._streamed = (
+            self._lazy or getattr(topology, "layout", "sequential") == "streamed"
+        )
+        if config is not None:
+            self.config = config
+        elif self._lazy:
+            self.config = topology.config  # type: ignore[union-attr]
+        elif self._streamed:
+            streamed_config = getattr(topology, "stream_config", None)
+            self.config = streamed_config or TopologyConfig(
+                seed=topology.seed, layout="streamed"
+            )
+        else:
+            self.config = TopologyConfig(seed=topology.seed)
+        self._plan: "StreamPlan | None" = None
+        if self._lazy:
+            self._plan = topology.plan  # type: ignore[union-attr]
+        elif self._streamed:
+            self._plan = getattr(topology, "stream_plan", None)
+            if self._plan is None:
+                # An eagerly-built streamed Topology that lost its plan
+                # attribute (e.g. crossed a pickle boundary): rebuild it —
+                # the plan is a pure function of the config.
+                self._plan = StreamPlan(config=self.config)
         self.options = options
         self._rng = random.Random(topology.seed ^ 0x5CA7)
         self._fabric = NetworkFabric(
@@ -206,16 +261,36 @@ class ScanCampaign:
         self._scanner = ZmapScanner(fabric=self._fabric, config=ZmapConfig())
         # Geometry, pipeline, retry or profiling knobs imply the sharded
         # engine: the legacy scanner has no retry loop and no stage timers.
-        self._use_executor = options.selects_executor
+        # Streamed layouts always use it — only the executor can plan and
+        # probe a target *iterator* window by window.
+        self._use_executor = options.selects_executor or self._streamed
         self._executor_config = options.executor_config(topology.seed)
         # address -> device id, the campaign's live view (mutated by churn).
         self._binding: dict[IPAddress, int] = {}
         # Ground truth overlaid with the live binding, kept in sync at the
         # two binding write sites so ``owner_of`` is a single dict lookup.
-        self._owner_map: dict[IPAddress, int] = topology.address_owners()
+        # Streamed layouts derive ownership from the plan arithmetic plus a
+        # churn-override overlay instead of materializing the whole map.
+        self._owner_map: dict[IPAddress, int] = (
+            {} if self._streamed else topology.address_owners()  # type: ignore[union-attr]
+        )
+        self._stream_overrides: dict[IPAddress, int] = {}
         self._reboot_times: dict[int, float] = {}
         self._rebooted: set[int] = set()
-        self._datasets: "RouterDatasets | None" = None
+        self._datasets: "RouterDatasets | StreamedRouterDatasets | None" = None
+        # Lazy-resolver handler cache: keeps the most recently answering
+        # devices strongly referenced so the topology's canonical weak map
+        # reuses one object per device across a probe window.
+        self._handler_cache: "OrderedDict[int, tuple[Device, Handler]]" = (
+            OrderedDict()
+        )
+        # Follow the lazy topology's residency cap so one knob bounds
+        # both strong-reference pools; non-lazy campaigns never resolve.
+        self._handler_cache_cap = (
+            topology.max_resident
+            if self._lazy
+            else max(4096, self.config.stream_max_resident)
+        )
 
     # -- public -----------------------------------------------------------------
 
@@ -232,7 +307,12 @@ class ScanCampaign:
         with self._pool_scope() as pool:
             for label in SCAN_LABELS:
                 version, start, rate, targets = self._advance_to(label, result)
-                if self._use_executor:
+                if self._streamed:
+                    execution = self._execute_scan(pool, label, version,
+                                                   start, rate, targets)
+                    result.scans[label] = execution.result()
+                    result.metrics[label] = execution.metrics
+                elif self._use_executor:
                     execution = self._make_executor(pool).execute(
                         targets, label=label, ip_version=version,
                         start_time=start, rate_pps=rate,
@@ -260,9 +340,8 @@ class ScanCampaign:
         with self._pool_scope() as pool:
             for label in SCAN_LABELS:
                 version, start, rate, targets = self._advance_to(label, result)
-                execution = self._make_executor(pool).execute(
-                    targets, label=label, ip_version=version,
-                    start_time=start, rate_pps=rate,
+                execution = self._execute_scan(
+                    pool, label, version, start, rate, targets
                 )
                 yield ScanStream(
                     label=label,
@@ -281,16 +360,36 @@ class ScanCampaign:
         its worker pool immediately *after* this point, so the children
         inherit the built topology state copy-on-write and only ever
         replay the cheap per-scan events themselves.
+
+        Streamed layouts have almost nothing to set up: dataset
+        membership, reboot times and churn are pure functions, and a lazy
+        world resolves fabric endpoints at probe time instead of binding
+        them up front.
         """
-        datasets = build_router_datasets(self.topology, self.config)
-        result.datasets = datasets
-        self._datasets = datasets
+        if self._streamed:
+            assert self._plan is not None
+            datasets = StreamedRouterDatasets(
+                seed=self.topology.seed,
+                config=self.config,
+                plan=self._plan,
+                device_for=self._device_for_slot,
+            )
+            result.datasets = datasets
+            self._datasets = datasets
+            if self._lazy:
+                self._fabric.set_resolver(self._resolve_endpoint)
+            else:
+                self._bind_initial()
+            return
+        eager_datasets = build_router_datasets(self.topology, self.config)  # type: ignore[arg-type]
+        result.datasets = eager_datasets
+        self._datasets = eager_datasets
         self._bind_initial()
         self._schedule_reboots()
 
     def _advance_to(
         self, label: str, result: CampaignResult
-    ) -> tuple[int, float, float, list[IPAddress]]:
+    ) -> "tuple[int, float, float, list[IPAddress] | Iterator[IPAddress]]":
         """Apply one scan's interim events; return its schedule and targets.
 
         Must be called once per label, in ``SCAN_LABELS`` order, after
@@ -309,7 +408,7 @@ class ScanCampaign:
 
     def _scan_schedule(
         self, result: CampaignResult
-    ) -> Iterator[tuple[str, int, float, float, list[IPAddress]]]:
+    ) -> "Iterator[tuple[str, int, float, float, list[IPAddress] | Iterator[IPAddress]]]":
         """Drive the four-scan timeline: interim events, targets, bindings."""
         self._setup(result)
         for label in SCAN_LABELS:
@@ -327,6 +426,10 @@ class ScanCampaign:
         workers = self._executor_config.workers
         if (
             not self._use_executor
+            or self._streamed
+            # Streamed campaigns parallelize per planning window with
+            # ephemeral pools: a fork-time replica of a lazy world would
+            # freeze one window's resident devices for the whole run.
             or workers <= 1
             or "fork" not in multiprocessing.get_all_start_methods()
         ):
@@ -341,7 +444,16 @@ class ScanCampaign:
     def _make_executor(
         self, pool: "WorkerPool | None" = None
     ) -> ShardedScanExecutor:
-        owner_of = self._owner_map.get
+        owner_of: "Callable[[IPAddress], int | None]"
+        if self._lazy:
+            # Plan arithmetic plus the derived churn overlays; identical
+            # to the eager-streamed overlay below by construction, which
+            # keeps the two modes' shard plans byte-identical.
+            owner_of = self.topology.owner_of  # type: ignore[union-attr]
+        elif self._streamed:
+            owner_of = self._stream_owner_of
+        else:
+            owner_of = self._owner_map.get
 
         return ShardedScanExecutor(
             fabric=self._fabric,
@@ -350,6 +462,26 @@ class ScanCampaign:
             config=self._executor_config,
             zmap_config=self._scanner.config,
             pool=pool,
+        )
+
+    def _execute_scan(
+        self,
+        pool: "WorkerPool | None",
+        label: str,
+        version: int,
+        start: float,
+        rate: float,
+        targets: "list[IPAddress] | Iterator[IPAddress]",
+    ) -> "ScanExecution | StreamingScanExecution":
+        """One scan's execution handle: windowed for streamed layouts."""
+        if self._streamed:
+            return self._make_executor().execute_stream(
+                targets, label=label, ip_version=version,
+                start_time=start, rate_pps=rate,
+            )
+        return self._make_executor(pool).execute(
+            list(targets), label=label, ip_version=version,
+            start_time=start, rate_pps=rate,
         )
 
     # -- setup -------------------------------------------------------------------
@@ -391,13 +523,63 @@ class ScanCampaign:
     # -- interim events ------------------------------------------------------------
 
     def _apply_due_reboots(self, now: float) -> None:
+        if self._lazy:
+            # Live devices reboot now; devices derived later apply their
+            # (pure-function) reboot time at materialization.
+            self.topology.advance_clock(now)  # type: ignore[union-attr]
+            return
+        if self._streamed:
+            seed = self.topology.seed
+            rebooted = self._rebooted
+            for device in self.topology.devices.values():
+                if not device.reboot_between_scans \
+                        or device.device_id in rebooted:
+                    continue
+                when = reboot_time(seed, device.device_id)
+                if when <= now:
+                    device.agent.reboot(when)
+                    rebooted.add(device.device_id)
+            return
         for device_id, when in self._reboot_times.items():
             if when <= now and device_id not in self._rebooted:
                 self.topology.devices[device_id].agent.reboot(when)
                 self._rebooted.add(device_id)
 
     def _apply_churn(self, version: int) -> None:
-        """Re-address DHCP-pool devices before the family's second scan."""
+        """Re-address DHCP-pool devices before the family's second scan.
+
+        The sequential path rolls churn from the campaign RNG over the
+        live binding map; the streamed paths derive it per AS from
+        per-address pure functions (:func:`derive_churn_rotation`) — the
+        lazy view as an ownership overlay consulted at probe time, the
+        eager-streamed world as an explicit fabric rebind — so both
+        modes agree address for address.
+        """
+        if self._lazy:
+            self.topology.activate_churn(version)  # type: ignore[union-attr]
+            return
+        if self._streamed:
+            assert self._plan is not None
+            seed = self.topology.seed
+            devices = self.topology.devices
+            for as_plan in self._plan.plans:
+                members = (
+                    devices[as_plan.device_id_base + index]
+                    for index in range(as_plan.n_devices)
+                )
+                rotation = derive_churn_rotation(seed, version, members)
+                if not rotation:
+                    continue
+                for address in rotation:
+                    self._fabric.unbind(address, "udp", SNMP_PORT)
+                for address, new_owner in rotation.items():
+                    device = devices[new_owner]
+                    self._binding[address] = new_owner
+                    self._stream_overrides[address] = new_owner
+                    self._fabric.bind(
+                        address, "udp", SNMP_PORT, self._handler_for(device)
+                    )
+            return
         prob = _CHURN_PROB[version]
         pools: dict[int, list[IPAddress]] = {}
         for address, device_id in self._binding.items():
@@ -422,14 +604,74 @@ class ScanCampaign:
 
     # -- targets ----------------------------------------------------------------------
 
-    def _targets(self, version: int, datasets: RouterDatasets) -> list[IPAddress]:
+    def _targets(
+        self,
+        version: int,
+        datasets: "RouterDatasets | StreamedRouterDatasets",
+    ) -> "list[IPAddress] | Iterator[IPAddress]":
+        if self._streamed:
+            assert isinstance(datasets, StreamedRouterDatasets)
+            assert self._plan is not None
+            if version == 4:
+                # The full slot sweep — every address the plan *could*
+                # assign, whether or not the owning device bound it; the
+                # streamed analogue of probing the routable space.
+                return self._plan.iter_v4_targets()
+            return datasets.iter_hitlist_targets_v6()
+        assert isinstance(datasets, RouterDatasets)
         if version == 4:
             # Equivalent to scanning all routable IPv4 space: unassigned
             # addresses cannot answer, so only the plan's addresses matter.
             return sorted(
-                self.topology.all_addresses(4), key=int
+                self.topology.all_addresses(4), key=int  # type: ignore[union-attr]
             )
         return sorted(datasets.hitlist_targets_v6, key=int)
+
+    # -- streamed-layout plumbing -------------------------------------------------
+
+    def _device_for_slot(self, slot: DeviceSlot) -> Device:
+        """Materialize one slot (dataset membership, churn derivation)."""
+        if self._lazy:
+            return self.topology.device_at(slot)  # type: ignore[union-attr]
+        return self.topology.devices[slot.device_id]
+
+    def _stream_owner_of(self, address: IPAddress) -> "int | None":
+        """Eager-streamed ownership: churn overrides over plan arithmetic."""
+        override = self._stream_overrides.get(address)
+        if override is not None:
+            return override
+        assert self._plan is not None
+        slot = self._plan.locate(address)
+        return None if slot is None else slot.device_id
+
+    def _resolve_endpoint(
+        self, address: IPAddress, protocol: str, port: int
+    ) -> "Handler | None":
+        """Fabric resolver for lazy worlds: derive the answering device.
+
+        Called on every delivery to an unbound address; the fabric never
+        caches what we return, so residency policy lives here.  A small
+        LRU of ``(device, handler)`` pairs keeps recently probed devices
+        strongly referenced — the lazy topology's canonical weak map then
+        guarantees that retries and multi-interface probes inside a
+        window hit the *same* agent object, preserving session-state
+        byte-identity with the eager world.
+        """
+        if protocol != "udp" or port != SNMP_PORT:
+            return None
+        device = self.topology.binding_of(address)  # type: ignore[union-attr]
+        if device is None:
+            return None
+        cache = self._handler_cache
+        key = device.device_id
+        entry = cache.get(key)
+        if entry is None or entry[0] is not device:
+            entry = (device, self._handler_for(device))
+            cache[key] = entry
+        cache.move_to_end(key)
+        while len(cache) > self._handler_cache_cap:
+            cache.popitem(last=False)
+        return entry[1]
 
 
 class _CampaignShardRunner:

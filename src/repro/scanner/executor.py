@@ -36,7 +36,8 @@ import multiprocessing
 import time
 import zlib
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, Iterator, Mapping
+from itertools import islice
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Mapping
 
 from repro.net.addresses import IPAddress
 from repro.net.packet import Datagram
@@ -67,6 +68,12 @@ DEFAULT_BATCH_SIZE = 2048
 #: per-stage dispatch, small enough that streaming consumers see output
 #: well before a shard finishes.
 DEFAULT_WINDOW = 512
+
+#: Default targets per planning window when streaming (``execute_stream``
+#: with ``target_window=0``).  Large enough that per-window shard-plan
+#: and pool-setup costs amortize, small enough that a lazy topology's
+#: resident device set stays a tiny fraction of the world.
+DEFAULT_TARGET_WINDOW = 65536
 
 
 @dataclass(frozen=True)
@@ -149,6 +156,14 @@ class ExecutorConfig:
     pipeline: bool = True
     #: In-flight probes per pipeline stage pass.
     window: int = DEFAULT_WINDOW
+    #: Targets per planning window on the streaming path
+    #: (:meth:`ShardedScanExecutor.execute_stream`); ``0`` selects
+    #: :data:`DEFAULT_TARGET_WINDOW`.  Never affects ``execute()``.
+    #: Like ``num_shards``, the window size is part of the deterministic
+    #: result geometry — each window is shard-planned independently, so
+    #: runs are reproducible (and lazy/eager-identical) at a fixed window
+    #: size but differ across window sizes.
+    target_window: int = 0
 
     def __post_init__(self) -> None:
         if self.num_shards < 1:
@@ -159,6 +174,10 @@ class ExecutorConfig:
             raise ValueError(f"workers must be >= 0, got {self.workers}")
         if self.window < 1:
             raise ValueError(f"window must be >= 1, got {self.window}")
+        if self.target_window < 0:
+            raise ValueError(
+                f"target_window must be >= 0, got {self.target_window}"
+            )
 
 
 @dataclass(frozen=True)
@@ -188,6 +207,8 @@ class ExecutionOptions:
     profile: bool = False
     fault_profile: "FaultProfile | str | None" = None
     loss_probability: "float | None" = None
+    #: Targets per streaming planning window (streamed-layout campaigns).
+    target_window: "int | None" = None
 
     @property
     def selects_executor(self) -> bool:
@@ -207,6 +228,7 @@ class ExecutionOptions:
             or self.pipeline is not None
             or self.retry is not None
             or self.profile
+            or self.target_window is not None
         )
 
     def executor_config(self, seed: int) -> ExecutorConfig:
@@ -224,6 +246,7 @@ class ExecutionOptions:
             profile=self.profile,
             pipeline=True if self.pipeline is None else self.pipeline,
             window=DEFAULT_WINDOW if self.window is None else self.window,
+            target_window=0 if self.target_window is None else self.target_window,
         )
 
 
@@ -257,6 +280,7 @@ def plan_shards(
     seed: int,
     shuffle_seed: int,
     owner_of: "Callable[[IPAddress], int | None]",
+    base_index: int = 0,
 ) -> list[ShardSpec]:
     """Partition a target list into deterministic shards.
 
@@ -265,6 +289,10 @@ def plan_shards(
     ``owner_device_id % num_shards``.  Addresses with no owning device
     (closed or unassigned — they can never answer or consume RNG) are
     spread by address hash.
+
+    ``base_index`` offsets the global probe indices: the streaming path
+    plans one window at a time but every probe must keep the msg_id and
+    virtual send slot it would have had in a single whole-scan plan.
     """
     import random
 
@@ -272,7 +300,7 @@ def plan_shards(
     random.Random(shuffle_seed ^ zlib.crc32(label.encode())).shuffle(shuffled)
     buckets: list[list[tuple[int, IPAddress]]] = [[] for __ in range(num_shards)]
     owners: list[set[int]] = [set() for __ in range(num_shards)]
-    for global_index, target in enumerate(shuffled):
+    for global_index, target in enumerate(shuffled, start=base_index):
         device_id = owner_of(target)
         if device_id is None:
             shard = int(target) % num_shards
@@ -425,6 +453,120 @@ class ScanExecution:
         return scan
 
 
+class StreamingScanExecution:
+    """Handle over a windowed scan driven by a target *iterator*.
+
+    The target stream is consumed one planning window at a time: each
+    window is shard-planned with its global probe indices preserved
+    (``plan_shards(..., base_index=...)``), executed serially or on an
+    ephemeral per-window worker pool, and its observations yielded
+    before the next window's targets are even pulled.  Nothing —
+    not the executor, not a lazy topology's device cache — ever holds
+    more than one window of state, which is what makes a 10M-address
+    campaign constant-memory.
+
+    ``total_targets`` and ``finished_at`` are unknown until the stream
+    is exhausted (``None`` before that); :meth:`result` drains first, so
+    it always reports both.
+    """
+
+    def __init__(
+        self,
+        executor: "ShardedScanExecutor",
+        targets: "Iterable[IPAddress]",
+        params: _ScanParams,
+        target_window: int,
+    ) -> None:
+        self._executor = executor
+        self._targets = targets
+        self._params = params
+        self._target_window = target_window
+        self._consumed = False
+        self.label = params.label
+        self.ip_version = params.ip_version
+        self.started_at = params.start_time
+        self.total_targets: "int | None" = None
+        self.finished_at: "float | None" = None
+        self.metrics = ExecutorMetrics(
+            label=params.label,
+            workers=executor.effective_workers,
+            num_shards=executor.config.num_shards,
+            batch_size=executor.config.batch_size,
+        )
+
+    def batches(self) -> Iterator[list[ScanObservation]]:
+        """Yield observation batches window by window, shard order within."""
+        if self._consumed:
+            raise RuntimeError(
+                "a StreamingScanExecution stream can only be consumed once"
+            )
+        self._consumed = True
+        return self._stream_windows()
+
+    def _stream_windows(self) -> Iterator[list[ScanObservation]]:
+        executor = self._executor
+        params = self._params
+        metrics = self.metrics
+        ip_version = params.ip_version
+        started = time.perf_counter()
+        base_index = 0
+        window_index = 0
+        target_iter = iter(self._targets)
+        try:
+            while True:
+                chunk = list(islice(target_iter, self._target_window))
+                if not chunk:
+                    break
+                for target in chunk:
+                    if target.version != ip_version:
+                        raise ValueError(
+                            f"target {target} does not match scan family "
+                            f"IPv{ip_version}"
+                        )
+                # Per-window plan label: distinct shard RNG seeds and
+                # shuffle permutations per window, like distinct scans.
+                plan = plan_shards(
+                    chunk,
+                    label=f"{params.label}@{window_index}",
+                    num_shards=executor.config.num_shards,
+                    seed=executor.config.seed,
+                    shuffle_seed=executor.zmap_config.shuffle_seed,
+                    owner_of=executor._owner_of,
+                    base_index=base_index,
+                )
+                yield from executor._stream_window_batches(
+                    plan, params, metrics, f"{params.label}@{window_index}"
+                )
+                base_index += len(chunk)
+                window_index += 1
+            self.total_targets = base_index
+            self.finished_at = params.start_time + base_index * params.interval
+        finally:
+            metrics.wall_time = time.perf_counter() - started
+
+    def observations(self) -> Iterator[ScanObservation]:
+        """Flattened view over :meth:`batches`."""
+        for batch in self.batches():
+            yield from batch
+
+    def result(self) -> ScanResult:
+        """Drain the stream into a materialized :class:`ScanResult`."""
+        scan = ScanResult(
+            label=self.label,
+            ip_version=self.ip_version,
+            started_at=self.started_at,
+        )
+        for batch in self.batches():
+            for observation in batch:
+                scan.add(observation)
+        assert self.finished_at is not None
+        scan.finished_at = self.finished_at
+        scan.targets_probed = self.metrics.probes_sent
+        scan.probe_bytes_sent = sum(s.probe_bytes for s in self.metrics.shards)
+        scan.reply_bytes_received = sum(s.reply_bytes for s in self.metrics.shards)
+        return scan
+
+
 class _ExecutorShardRunner:
     """Worker-side runner for a standalone (campaign-less) executor.
 
@@ -528,6 +670,40 @@ class ShardedScanExecutor:
         )
         return ScanExecution(self, plan, params, total_targets=len(targets))
 
+    def execute_stream(
+        self,
+        targets: "Iterable[IPAddress]",
+        *,
+        label: str,
+        ip_version: int,
+        start_time: float,
+        rate_pps: "float | None" = None,
+    ) -> StreamingScanExecution:
+        """Plan-as-you-go scan over a target *iterator* (constant memory).
+
+        Unlike :meth:`execute`, targets are never materialized as one
+        list: they are pulled in ``config.target_window``-sized windows,
+        each planned and probed before the next is read.  Probe
+        ``msg_id``/send-slot assignment follows the target stream's
+        global order, so the output for a given target sequence is
+        independent of the window size's effect on *memory* (each window
+        is planned as its own permutation, like a sequence of scans).
+        """
+        rate = rate_pps if rate_pps is not None else self.zmap_config.rate_pps
+        source = (
+            self.zmap_config.source_v4 if ip_version == 4 else self.zmap_config.source_v6
+        )
+        params = _ScanParams(
+            label=label,
+            ip_version=ip_version,
+            start_time=start_time,
+            interval=1.0 / rate,
+            source=source,
+            source_port=self.zmap_config.source_port,
+        )
+        window = self.config.target_window or DEFAULT_TARGET_WINDOW
+        return StreamingScanExecution(self, targets, params, window)
+
     def scan(
         self,
         targets: "list[IPAddress]",
@@ -597,23 +773,60 @@ class ShardedScanExecutor:
                 runner=_ExecutorShardRunner(self, plan, params),
             )
         try:
-            messages = pool.run_scan(
-                params.label,
-                num_shards=len(plan),
-                batch_size=self.config.batch_size,
+            yield from self._merge_pool_messages(
+                pool, plan, params.label, metrics
             )
-            for __, kind, payload in messages:
-                if kind == MSG_METRICS:
-                    assert isinstance(payload, ShardMetrics)
-                    metrics.add_shard(payload)
-                else:
-                    assert isinstance(payload, bytes)
-                    batch = decode_observations(payload)
-                    metrics.peak_batch = max(metrics.peak_batch, len(batch))
-                    yield batch
         finally:
             if owned:
                 pool.close()
+
+    def _merge_pool_messages(
+        self,
+        pool: WorkerPool,
+        plan: list[ShardSpec],
+        scan_key: str,
+        metrics: ExecutorMetrics,
+    ) -> Iterator[list[ScanObservation]]:
+        """Merge one pool run's shard messages in deterministic order."""
+        messages = pool.run_scan(
+            scan_key,
+            num_shards=len(plan),
+            batch_size=self.config.batch_size,
+        )
+        for __, kind, payload in messages:
+            if kind == MSG_METRICS:
+                assert isinstance(payload, ShardMetrics)
+                metrics.add_shard(payload)
+            else:
+                assert isinstance(payload, bytes)
+                batch = decode_observations(payload)
+                metrics.peak_batch = max(metrics.peak_batch, len(batch))
+                yield batch
+
+    def _stream_window_batches(
+        self,
+        plan: list[ShardSpec],
+        params: _ScanParams,
+        metrics: ExecutorMetrics,
+        window_key: str,
+    ) -> Iterator[list[ScanObservation]]:
+        """One streaming window's shards, serial or on an ephemeral pool.
+
+        The streaming path never reuses a campaign-owned persistent pool:
+        its fork-time replicas captured eagerly-built state, while each
+        window's plan only exists for the window's lifetime.
+        """
+        if self.effective_workers <= 1:
+            yield from self._stream_serial(plan, params, metrics)
+            return
+        pool = WorkerPool(
+            workers=self.effective_workers,
+            runner=_ExecutorShardRunner(self, plan, params),
+        )
+        try:
+            yield from self._merge_pool_messages(pool, plan, window_key, metrics)
+        finally:
+            pool.close()
 
     def stream_shard(
         self, spec: ShardSpec, params: _ScanParams, batch_size: int
@@ -823,6 +1036,7 @@ class ShardedScanExecutor:
 __all__ = [
     "DEFAULT_BATCH_SIZE",
     "DEFAULT_NUM_SHARDS",
+    "DEFAULT_TARGET_WINDOW",
     "DEFAULT_WINDOW",
     "ExecutionOptions",
     "ExecutorConfig",
@@ -830,6 +1044,7 @@ __all__ = [
     "ScanExecution",
     "ShardSpec",
     "ShardedScanExecutor",
+    "StreamingScanExecution",
     "plan_shards",
     "shard_seed",
 ]

@@ -27,6 +27,13 @@ A non-zero :class:`~repro.scanner.executor.RetryPolicy` makes a target's
 follow-up probes depend on its own reply outcomes, so windows collapse to
 per-target sequencing; the encode-template, hinted-inject and
 fast-decode savings still apply.
+
+The streaming executor path (``execute_stream`` over a target iterator)
+reuses these stages unchanged: each planning window's shards run through
+:func:`probe_targets_pipelined` exactly as a whole-scan plan would, and
+on lazy topologies the batch inject's endpoint misses fall through to
+the fabric's resolver, which derives devices on demand — stage
+boundaries still never change outcomes.
 """
 
 from __future__ import annotations

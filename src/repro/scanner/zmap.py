@@ -15,6 +15,7 @@ import ipaddress
 import random
 import zlib
 from dataclasses import dataclass
+from typing import Iterable
 
 from repro.asn1 import ber
 from repro.compat import keyword_only_compat
@@ -69,13 +70,18 @@ class ZmapScanner:
 
     def scan(
         self,
-        targets: "list[IPAddress]",
+        targets: "Iterable[IPAddress]",
         label: str,
         ip_version: int,
         start_time: float,
         rate_pps: "float | None" = None,
     ) -> ScanResult:
-        """Probe every target once; return the captured scan result."""
+        """Probe every target once; return the captured scan result.
+
+        ``targets`` may be any iterable (it is materialized once for the
+        shuffle); constant-memory streaming belongs to the sharded
+        executor's ``execute_stream``, not this legacy engine.
+        """
         rate = rate_pps if rate_pps is not None else self.config.rate_pps
         interval = 1.0 / rate
         source = self.config.source_v4 if ip_version == 4 else self.config.source_v6

@@ -19,7 +19,14 @@ Main entry points:
 """
 
 from repro.topology.config import TopologyConfig
+from repro.topology.datasets import (
+    StreamedRouterDatasets,
+    TopologyFileError,
+    dump_topology_file,
+    load_topology_file,
+)
 from repro.topology.generator import TopologyGenerator, build_topology
+from repro.topology.lazy import LazyTopology, StreamPlan
 from repro.topology.model import AutonomousSystem, Device, DeviceType, Interface, Region, Topology
 
 __all__ = [
@@ -27,9 +34,15 @@ __all__ = [
     "Device",
     "DeviceType",
     "Interface",
+    "LazyTopology",
     "Region",
+    "StreamPlan",
+    "StreamedRouterDatasets",
     "Topology",
     "TopologyConfig",
+    "TopologyFileError",
     "TopologyGenerator",
     "build_topology",
+    "dump_topology_file",
+    "load_topology_file",
 ]

@@ -156,10 +156,34 @@ class TopologyConfig:
     seed: int = 2021
     scale_divisor: float = 100.0
 
+    #: Topology layout. ``"sequential"`` threads one seeded RNG through
+    #: every device in creation order (the classic byte-stable world);
+    #: ``"streamed"`` derives each device independently from
+    #: ``(seed, asn, slot)`` so it can be rebuilt lazily at probe time.
+    layout: str = "sequential"
+    #: Streamed layout only: IPv4 addresses reserved per device slot.
+    #: Must cover the largest multi-IP device.
+    stream_v4_block: int = 8
+    #: Streamed layout only: default cap on concurrently materialized
+    #: devices held by a :class:`~repro.topology.lazy.LazyTopology`.
+    stream_max_resident: int = 4096
+    #: Fraction of agents given an adversarial personality (garbage
+    #: reports, padded engine IDs, response delay, reboot-on-handle).
+    #: Zero by default so legacy seeded streams are untouched.
+    adversarial_frac: float = 0.0
+
     def __post_init__(self) -> None:
         if self.scale_divisor <= 0:
             raise ValueError(
                 f"scale_divisor must be positive, got {self.scale_divisor!r}"
+            )
+        if self.layout not in ("sequential", "streamed"):
+            raise ValueError(
+                f"layout must be 'sequential' or 'streamed', got {self.layout!r}"
+            )
+        if self.stream_v4_block < 2:
+            raise ValueError(
+                f"stream_v4_block must be >= 2, got {self.stream_v4_block!r}"
             )
 
     # Population sizes (paper-scale numbers; divided by scale_divisor).
@@ -350,3 +374,8 @@ class TopologyConfig:
     def tiny(cls, seed: int = 2021) -> "TopologyConfig":
         """A small preset for unit tests: ~30 ASes, ~350 routers."""
         return cls(seed=seed, scale_divisor=1000.0)
+
+    @classmethod
+    def streamed(cls, divisor: float = 400.0, seed: int = 2021) -> "TopologyConfig":
+        """The constant-memory preset: per-slot derivation, lazy-friendly."""
+        return cls(seed=seed, scale_divisor=divisor, layout="streamed")

@@ -18,12 +18,20 @@ Sampling is seeded from the topology seed, so views are reproducible.
 
 from __future__ import annotations
 
+import ipaddress
 import random
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Iterator
 
 from repro.net.addresses import IPAddress
 from repro.topology.config import TopologyConfig
 from repro.topology.model import DeviceType, Topology
+
+if TYPE_CHECKING:
+    from pathlib import Path
+
+    from repro.topology.lazy import DeviceSlot, StreamPlan
+    from repro.topology.model import Device
 
 
 @dataclass(frozen=True)
@@ -197,3 +205,350 @@ def _hostname(style: str, suffix: str, router_name: str, iface_index: int,
         return f"host-{dashed}.{suffix}"
     # "opaque": no structure at all.
     return f"x{rng.randrange(1 << 32):08x}.{suffix}"
+
+
+# -- streamed dataset views ------------------------------------------------------
+
+
+class StreamedRouterDatasets:
+    """Per-address dataset membership for streamed and lazy topologies.
+
+    :func:`build_router_datasets` threads one RNG through every device in
+    creation order, which would force a full materialization.  Here every
+    membership decision is a pure function of ``(seed, kind, address)``
+    (a :func:`repro.topology.lazy.mix`-keyed roll), so the ITDK / RIPE /
+    hitlist views answer point queries and stream the IPv6 target list
+    without ever holding the world.  Lazy and eagerly-streamed campaigns
+    share this class, which is what keeps their target lists — and thus
+    their scan results — byte-identical.
+
+    ``config.ripe_from_traceroutes`` is ignored on this path: the
+    simulated Atlas campaign needs global forwarding state, so streamed
+    datasets always use the sampled RIPE view.
+    """
+
+    def __init__(
+        self,
+        *,
+        seed: int,
+        config: TopologyConfig,
+        plan: "StreamPlan",
+        device_for: "Callable[[DeviceSlot], Device]",
+    ) -> None:
+        self._seed = seed
+        self._config = config
+        self._plan = plan
+        self._device_for = device_for
+
+    # -- per-address rolls ---------------------------------------------------
+
+    def _roll(self, kind: str, address: IPAddress) -> float:
+        from repro.topology.lazy import mix
+
+        return random.Random(mix(self._seed, "ds", kind, int(address))).random()
+
+    def _router_v6_hitlist(self, address: IPAddress) -> tuple[bool, bool]:
+        """``(routed hop, scan target)`` membership of a router v6 address."""
+        frac = self._config.hitlist_router_frac
+        if self._roll("hl-hop", address) < frac:
+            return True, True
+        return False, self._roll("hl-tgt", address) < frac
+
+    def _endhost_v6_hitlist(
+        self, device: "Device", address: IPAddress
+    ) -> tuple[bool, bool]:
+        is_cpe = device.device_type is DeviceType.CPE
+        frac = (
+            self._config.hitlist_cpe_frac
+            if is_cpe
+            else self._config.hitlist_server_frac
+        )
+        if self._roll("hl-end", address) >= frac:
+            return False, False
+        hop = is_cpe and (
+            self._roll("hl-routed-cpe", address)
+            < self._config.hitlist_routed_cpe_frac
+        )
+        return hop, True
+
+    def _owned_device(self, address: IPAddress) -> "Device | None":
+        slot = self._plan.locate(address)
+        if slot is None:
+            return None
+        device = self._device_for(slot)
+        for interface in device.interfaces:
+            if interface.address == address:
+                return device
+        return None
+
+    # -- queries -------------------------------------------------------------
+
+    def is_router_ip(self, address: IPAddress) -> bool:
+        """Router-tagging test, query-by-query (``RouterDatasets`` parity)."""
+        device = self._owned_device(address)
+        if device is None:
+            return False
+        cfg = self._config
+        if device.device_type is DeviceType.ROUTER:
+            if address.version == 4:
+                return (
+                    self._roll("itdk", address) < cfg.itdk_router_frac
+                    or self._roll("ripe", address) < cfg.ripe_router_frac
+                )
+            return (
+                self._roll("itdk", address) < cfg.itdk_router_frac * 0.5
+                or self._roll("ripe", address) < cfg.ripe_router_frac
+                or self._router_v6_hitlist(address)[0]
+            )
+        if address.version != 6:
+            return False
+        return self._endhost_v6_hitlist(device, address)[0]
+
+    def in_hitlist_targets_v6(self, address: IPAddress) -> bool:
+        """Whether one v6 address is on the broad scan-target list."""
+        if address.version != 6:
+            return False
+        device = self._owned_device(address)
+        if device is None:
+            return False
+        if device.device_type is DeviceType.ROUTER:
+            return self._router_v6_hitlist(address)[1]
+        return self._endhost_v6_hitlist(device, address)[1]
+
+    # -- streaming -----------------------------------------------------------
+
+    def iter_hitlist_targets_v6(self) -> Iterator[IPAddress]:
+        """The IPv6 scan-target list in ascending address order.
+
+        Slots are visited in plan order (each AS owns one /32, each slot
+        one /64, so plan order *is* address order) and each device's
+        selected addresses are sorted locally — a fully sorted global
+        stream that only ever holds one device.
+        """
+        device_for = self._device_for
+        for slot in self._plan.iter_slots():
+            device = device_for(slot)
+            selected = [
+                interface.address
+                for interface in device.interfaces
+                if interface.version == 6
+                and self.in_hitlist_targets_v6(interface.address)
+            ]
+            selected.sort(key=int)
+            yield from selected
+
+
+# -- ITDK-style topology-description files ---------------------------------------
+
+
+class TopologyFileError(ValueError):
+    """A topology-description file is malformed or inconsistent."""
+
+
+#: Vendors assigned to file-described nodes that carry no ``node.vendor``
+#: directive, picked per node from a seeded RNG.
+_FILE_DEFAULT_VENDORS = ("Cisco", "Juniper", "Huawei", "MikroTik")
+
+
+def load_topology_file(path: "str | Path", *, seed: int = 2021) -> Topology:
+    """Ingest an ITDK-style topology description as a simulated Internet.
+
+    The format follows CAIDA's ITDK node files, with inline directives
+    for the metadata ITDK ships in sibling files::
+
+        # comment
+        node N1: 192.0.10.1 2a00:10::1
+        node.AS N1: 64500
+        node.vendor N1: Cisco
+
+    Every ``node`` becomes a router whose SNMP agent (engine ID, uptime,
+    boots) derives deterministically from ``(seed, node id)``; nodes
+    without a ``node.AS`` directive land in AS 64500.  Malformed lines,
+    duplicate node ids, duplicate addresses and directives for unknown
+    nodes raise :class:`TopologyFileError` with ``path:line:`` context.
+    The resulting :class:`Topology` has ``layout="file"`` and runs
+    through the classic (materialized) campaign path.
+    """
+    nodes: dict[int, list[IPAddress]] = {}
+    owner: dict[IPAddress, int] = {}
+    node_as: dict[int, int] = {}
+    node_vendor: dict[int, str] = {}
+    with open(path, encoding="utf-8") as handle:
+        for lineno, raw in enumerate(handle, start=1):
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            keyword, __, rest = line.partition(" ")
+            if keyword == "node":
+                node_id = _parse_node_ref(path, lineno, rest, expect_colon=True)
+                if node_id in nodes:
+                    raise TopologyFileError(
+                        f"{path}:{lineno}: duplicate node N{node_id}"
+                    )
+                addresses = _parse_addresses(path, lineno, rest)
+                for address in addresses:
+                    if address in owner:
+                        raise TopologyFileError(
+                            f"{path}:{lineno}: address {address} already "
+                            f"assigned to N{owner[address]}"
+                        )
+                    owner[address] = node_id
+                nodes[node_id] = addresses
+            elif keyword == "node.AS":
+                node_id, value = _parse_directive(path, lineno, rest)
+                if node_id not in nodes:
+                    raise TopologyFileError(
+                        f"{path}:{lineno}: node.AS for unknown node N{node_id}"
+                    )
+                try:
+                    node_as[node_id] = int(value)
+                except ValueError:
+                    raise TopologyFileError(
+                        f"{path}:{lineno}: invalid AS number {value!r}"
+                    ) from None
+            elif keyword == "node.vendor":
+                node_id, value = _parse_directive(path, lineno, rest)
+                if node_id not in nodes:
+                    raise TopologyFileError(
+                        f"{path}:{lineno}: node.vendor for unknown node "
+                        f"N{node_id}"
+                    )
+                node_vendor[node_id] = value
+            else:
+                raise TopologyFileError(
+                    f"{path}:{lineno}: unrecognized line {line!r} (expected "
+                    f"'node N<id>: <addr> ...', 'node.AS N<id>: <asn>' or "
+                    f"'node.vendor N<id>: <name>')"
+                )
+    if not nodes:
+        raise TopologyFileError(f"{path}: no node lines found")
+    return _build_file_topology(nodes, owner, node_as, node_vendor, seed)
+
+
+def dump_topology_file(topology: Topology, path: str) -> None:
+    """Write a topology back out as an ingestible description file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("# repro topology description (ITDK node format)\n")
+        for device_id in sorted(topology.devices):
+            device = topology.devices[device_id]
+            addresses = " ".join(str(a) for a in device.addresses)
+            handle.write(f"node N{device_id}: {addresses}\n")
+            handle.write(f"node.AS N{device_id}: {device.asn}\n")
+            handle.write(f"node.vendor N{device_id}: {device.vendor}\n")
+
+
+def _parse_node_ref(
+    path: str, lineno: int, rest: str, *, expect_colon: bool
+) -> int:
+    ref = rest.split(":", 1)[0].strip() if expect_colon else rest.strip()
+    if ":" not in rest and expect_colon:
+        raise TopologyFileError(
+            f"{path}:{lineno}: missing ':' after node id in {rest!r}"
+        )
+    if not ref.startswith("N") or not ref[1:].isdigit():
+        raise TopologyFileError(
+            f"{path}:{lineno}: invalid node id {ref!r} (expected N<number>)"
+        )
+    return int(ref[1:])
+
+
+def _parse_addresses(path: str, lineno: int, rest: str) -> list[IPAddress]:
+    __, ___, tail = rest.partition(":")
+    tokens = tail.split()
+    if not tokens:
+        raise TopologyFileError(f"{path}:{lineno}: node carries no addresses")
+    addresses: list[IPAddress] = []
+    for token in tokens:
+        try:
+            addresses.append(ipaddress.ip_address(token))
+        except ValueError:
+            raise TopologyFileError(
+                f"{path}:{lineno}: invalid address {token!r}"
+            ) from None
+    return addresses
+
+
+def _parse_directive(path: str, lineno: int, rest: str) -> tuple[int, str]:
+    ref, colon, value = rest.partition(":")
+    if not colon or not value.strip():
+        raise TopologyFileError(
+            f"{path}:{lineno}: directive needs 'N<id>: <value>', got {rest!r}"
+        )
+    node_id = _parse_node_ref(path, lineno, ref.strip(), expect_colon=False)
+    return node_id, value.strip()
+
+
+def _build_file_topology(
+    nodes: dict[int, list[IPAddress]],
+    owner: dict[IPAddress, int],
+    node_as: dict[int, int],
+    node_vendor: dict[int, str],
+    seed: int,
+) -> Topology:
+    from repro.snmp.agent import SnmpAgent
+    from repro.snmp.engine_id import EngineId
+    from repro.topology import timeline
+    from repro.topology.generator import enterprise_for, sample_uptime
+    from repro.topology.lazy import mix
+    from repro.topology.model import (
+        AutonomousSystem,
+        Device,
+        Interface,
+        Region,
+    )
+
+    cfg = TopologyConfig(seed=seed)
+    regions = list(Region)
+    ases: dict[int, AutonomousSystem] = {}
+    devices: dict[int, Device] = {}
+    for node_id in sorted(nodes):
+        addresses = nodes[node_id]
+        asn = node_as.get(node_id, 64500)
+        rng = random.Random(mix(seed, "file-node", node_id))
+        vendor = node_vendor.get(
+            node_id, _FILE_DEFAULT_VENDORS[rng.randrange(len(_FILE_DEFAULT_VENDORS))]
+        )
+        if asn not in ases:
+            as_rng = random.Random(mix(seed, "file-as", asn))
+            v4 = next((a for a in addresses if a.version == 4), None)
+            v6 = next((a for a in addresses if a.version == 6), None)
+            ases[asn] = AutonomousSystem(
+                asn=asn,
+                region=regions[as_rng.randrange(len(regions))],
+                ipv4_prefix=(
+                    ipaddress.ip_network((int(v4) & ~0xFFFF, 16))
+                    if v4 is not None
+                    else ipaddress.ip_network("0.0.0.0/0")
+                ),
+                ipv6_prefix=(
+                    ipaddress.ip_network((int(v6) >> 96 << 96, 32))
+                    if v6 is not None
+                    else ipaddress.ip_network("::/0")
+                ),
+            )
+        uptime = sample_uptime(cfg, rng)
+        engine_id = EngineId.from_octets(
+            enterprise_for(vendor), bytes(rng.randrange(256) for __ in range(8))
+        )
+        agent = SnmpAgent(
+            engine_id=engine_id,
+            boot_time=timeline.SCAN1_V4_START - uptime,
+            engine_boots=1 + rng.randrange(5),
+        )
+        devices[node_id] = Device(
+            device_id=node_id,
+            device_type=DeviceType.ROUTER,
+            vendor=vendor,
+            asn=asn,
+            region=ases[asn].region,
+            interfaces=[Interface(address=a) for a in addresses],
+            agent=agent,
+        )
+        ases[asn].device_ids.append(node_id)
+    return Topology(
+        ases=ases,
+        devices=devices,
+        seed=seed,
+        epoch=timeline.REFERENCE_TIME,
+        layout="file",
+    )

@@ -128,6 +128,10 @@ class Topology:
     devices: dict[int, Device]
     seed: int
     epoch: float = 0.0
+    #: ``"sequential"`` (classic creation-order world), ``"streamed"``
+    #: (per-slot derivation, lazy-equivalent) or ``"file"`` (ingested
+    #: topology description).
+    layout: str = "sequential"
 
     def __post_init__(self) -> None:
         self._device_by_address: dict[IPAddress, int] = {}

@@ -1,0 +1,93 @@
+"""The TopologyOptions bundle on the Session facade."""
+
+import pytest
+
+from repro.api import Session, TopologyOptions
+from repro.topology import LazyTopology, Topology
+from repro.topology.datasets import dump_topology_file
+
+
+class TestValidation:
+    def test_lazy_conflicts_with_sequential_layout(self):
+        with pytest.raises(ValueError, match="streamed layout"):
+            TopologyOptions(lazy=True, layout="sequential")
+
+    def test_topology_file_conflicts_with_lazy(self):
+        with pytest.raises(ValueError, match="cannot be combined"):
+            TopologyOptions(topology_file="x.txt", lazy=True)
+
+    def test_topology_file_conflicts_with_layout(self):
+        with pytest.raises(ValueError, match="cannot be combined"):
+            TopologyOptions(topology_file="x.txt", layout="streamed")
+
+    def test_max_resident_requires_lazy(self):
+        with pytest.raises(ValueError, match="max_resident"):
+            TopologyOptions(max_resident=1024)
+
+    def test_unknown_layout_rejected(self):
+        with pytest.raises(ValueError, match="layout"):
+            TopologyOptions(layout="bogus")
+
+    def test_lazy_implies_streamed(self):
+        assert TopologyOptions(lazy=True).effective_layout == "streamed"
+        assert TopologyOptions().effective_layout is None
+
+
+class TestSessionDispatch:
+    def test_default_builds_sequential_eagerly(self):
+        session = Session(scale=4000, seed=3)
+        assert session.config.layout == "sequential"
+        assert isinstance(session.topology, Topology)
+
+    def test_lazy_builds_lazy_view_and_flips_layout(self):
+        session = Session(
+            scale=4000, seed=3,
+            topology=TopologyOptions(lazy=True, max_resident=600),
+        )
+        assert session.config.layout == "streamed"
+        topology = session.topology
+        assert isinstance(topology, LazyTopology)
+        assert topology.max_resident == 600
+        assert topology.derivations == 0  # nothing built yet
+
+    def test_streamed_layout_builds_eagerly(self):
+        session = Session(
+            scale=4000, seed=3, topology=TopologyOptions(layout="streamed"),
+        )
+        topology = session.topology
+        assert isinstance(topology, Topology)
+        assert topology.layout == "streamed"
+
+    def test_topology_file_loads_described_world(self, tmp_path):
+        donor = Session(scale=4000, seed=3).topology
+        path = tmp_path / "topo.txt"
+        dump_topology_file(donor, str(path))
+        session = Session(seed=3, topology=TopologyOptions(topology_file=path))
+        loaded = session.topology
+        assert loaded.layout == "file"
+        assert sorted(loaded.devices) == sorted(donor.devices)
+
+    def test_lazy_session_campaign_matches_streamed_session(self):
+        def fingerprint(session):
+            result = session.run_campaign()
+            return [
+                (
+                    label,
+                    sorted(
+                        (str(o.address), o.recv_time,
+                         None if o.engine_id is None else o.engine_id.raw,
+                         o.engine_boots, o.engine_time)
+                        for o in scan.observations.values()
+                    ),
+                )
+                for label, scan in sorted(result.scans.items())
+            ]
+
+        lazy_fp = fingerprint(
+            Session(scale=4000, seed=3, topology=TopologyOptions(lazy=True))
+        )
+        eager_fp = fingerprint(
+            Session(scale=4000, seed=3,
+                    topology=TopologyOptions(layout="streamed"))
+        )
+        assert lazy_fp == eager_fp
