@@ -1,0 +1,32 @@
+"""Whole-program dataflow analysis for the reproduction's invariants.
+
+``repro.devtools.flow`` complements the per-file invariant linter
+(:mod:`repro.devtools.lint`) with interprocedural checks over a
+project-wide call graph: seed-provenance taint (SEED001), fork/IPC
+capture safety (FORK001), and resource lifecycle (RES001).  Run it as
+``python -m repro.devtools.flow``; findings ratchet through a
+shrink-only baseline configured in ``[tool.repro.flow]``.
+"""
+
+from repro.devtools.flow.baseline import (
+    BaselineDelta,
+    compare,
+    load_baseline,
+    locate_baseline,
+    write_baseline,
+)
+from repro.devtools.flow.graph import ProjectGraph, SourceModule
+from repro.devtools.flow.rules import FLOW_RULES, FlowFinding, run_rules
+
+__all__ = [
+    "FLOW_RULES",
+    "BaselineDelta",
+    "FlowFinding",
+    "ProjectGraph",
+    "SourceModule",
+    "compare",
+    "load_baseline",
+    "locate_baseline",
+    "run_rules",
+    "write_baseline",
+]

@@ -1,0 +1,190 @@
+"""The ratcheting baseline for flow findings.
+
+The flow analyzer has no inline suppression comments; the *only* escape
+hatch is the checked-in baseline named by ``[tool.repro.flow]`` in
+``pyproject.toml``:
+
+    [tool.repro.flow]
+    baseline = "flow-baseline.json"
+
+Semantics, mirroring the typegate ratchet:
+
+* a finding **not** covered by the baseline is a hard failure — new
+  debt never lands;
+* a baseline entry that no longer matches any finding is **stale** and
+  also a hard failure — debt, once paid, may not be silently re-minted
+  later under its old entry, so the file must shrink with the fix;
+* ``--update-baseline`` rewrites the file from the current findings,
+  which CI's baseline-shrink check then requires to be no larger than
+  the one on the main branch.
+
+Entries are fingerprinted as ``(rule, path, symbol)`` with a count —
+deliberately line-insensitive so unrelated edits shifting a file do not
+churn the baseline.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.devtools.flow.rules import FlowFinding
+
+try:  # python >= 3.11
+    import tomllib
+except ModuleNotFoundError:  # pragma: no cover - 3.10 fallback
+    tomllib = None  # type: ignore[assignment]
+
+BASELINE_SCHEMA_VERSION = 1
+
+#: Used when pyproject.toml is missing or carries no flow table.
+DEFAULT_BASELINE_NAME = "flow-baseline.json"
+
+
+def locate_baseline(pyproject: "Path | None" = None) -> "Path | None":
+    """Resolve the baseline path from ``[tool.repro.flow]``.
+
+    Searches upward from the cwd when no explicit pyproject is given;
+    the configured (or default) baseline name resolves relative to the
+    pyproject's directory.  Returns ``None`` when no pyproject exists,
+    in which case the analyzer runs baseline-free (every finding is a
+    failure).
+    """
+    candidates: "list[Path]"
+    if pyproject is not None:
+        candidates = [pyproject]
+    else:
+        here = Path.cwd().resolve()
+        candidates = [parent / "pyproject.toml" for parent in (here, *here.parents)]
+    for candidate in candidates:
+        if not candidate.is_file():
+            continue
+        name = DEFAULT_BASELINE_NAME
+        if tomllib is not None:
+            try:
+                with candidate.open("rb") as fh:
+                    data = tomllib.load(fh)
+            except (OSError, tomllib.TOMLDecodeError):
+                return candidate.parent / name
+            table = data.get("tool", {}).get("repro", {}).get("flow", {})
+            configured = table.get("baseline")
+            if isinstance(configured, str) and configured:
+                name = configured
+        return candidate.parent / name
+    return None
+
+
+@dataclass(frozen=True)
+class BaselineDelta:
+    """Comparison of current findings against the checked-in baseline."""
+
+    #: Findings fully covered by baseline entries.
+    matched: "tuple[FlowFinding, ...]"
+    #: Findings not covered — hard failures.
+    new: "tuple[FlowFinding, ...]"
+    #: Baseline entries (rule, path, symbol) with no matching finding —
+    #: the baseline must shrink with the fix, so these also fail.
+    stale: "tuple[tuple[str, str, str], ...]"
+
+    @property
+    def ok(self) -> bool:
+        return not self.new and not self.stale
+
+
+def normalize_path(path: str, root: "Path | None") -> str:
+    """Repo-root-relative posix path when possible, verbatim otherwise."""
+    candidate = Path(path)
+    if root is not None:
+        try:
+            candidate = candidate.resolve().relative_to(root.resolve())
+        except (OSError, ValueError):
+            pass
+    return candidate.as_posix()
+
+
+def normalized_fingerprint(
+    finding: FlowFinding, root: "Path | None"
+) -> "tuple[str, str, str]":
+    rule, path, symbol = finding.fingerprint()
+    return (rule, normalize_path(path, root), symbol)
+
+
+def load_baseline(path: "Path | None") -> "Counter[tuple[str, str, str]]":
+    """Baseline file -> allowed-count per fingerprint (empty if absent)."""
+    allowed: "Counter[tuple[str, str, str]]" = Counter()
+    if path is None or not path.is_file():
+        return allowed
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ValueError(f"unreadable flow baseline {path}: {exc}") from exc
+    if data.get("schema_version") != BASELINE_SCHEMA_VERSION:
+        raise ValueError(
+            f"flow baseline {path} has schema_version "
+            f"{data.get('schema_version')!r}; expected {BASELINE_SCHEMA_VERSION}"
+        )
+    for entry in data.get("entries", []):
+        key = (str(entry["rule"]), str(entry["path"]), str(entry["symbol"]))
+        allowed[key] += int(entry.get("count", 1))
+    return allowed
+
+
+def compare(
+    findings: "Sequence[FlowFinding]",
+    allowed: "Counter[tuple[str, str, str]]",
+    *,
+    root: "Path | None" = None,
+) -> BaselineDelta:
+    """Split findings into matched/new and report stale entries."""
+    remaining = Counter(allowed)
+    matched: "list[FlowFinding]" = []
+    new: "list[FlowFinding]" = []
+    for finding in findings:
+        key = normalized_fingerprint(finding, root)
+        if remaining[key] > 0:
+            remaining[key] -= 1
+            matched.append(finding)
+        else:
+            new.append(finding)
+    stale = tuple(sorted(key for key, count in remaining.items() if count > 0))
+    return BaselineDelta(matched=tuple(matched), new=tuple(new), stale=stale)
+
+
+def render_baseline(
+    findings: "Iterable[FlowFinding]", *, root: "Path | None" = None
+) -> str:
+    """Serialize findings as a baseline document (sorted, stable)."""
+    counts: "Counter[tuple[str, str, str]]" = Counter(
+        normalized_fingerprint(finding, root) for finding in findings
+    )
+    entries = [
+        {"rule": rule, "path": path, "symbol": symbol, "count": count}
+        for (rule, path, symbol), count in sorted(counts.items())
+    ]
+    return json.dumps(
+        {"schema_version": BASELINE_SCHEMA_VERSION, "entries": entries},
+        indent=2,
+        sort_keys=True,
+    ) + "\n"
+
+
+def write_baseline(
+    findings: "Iterable[FlowFinding]", path: Path, *, root: "Path | None" = None
+) -> None:
+    path.write_text(render_baseline(findings, root=root), encoding="utf-8")
+
+
+__all__ = [
+    "BASELINE_SCHEMA_VERSION",
+    "DEFAULT_BASELINE_NAME",
+    "BaselineDelta",
+    "compare",
+    "load_baseline",
+    "locate_baseline",
+    "normalized_fingerprint",
+    "render_baseline",
+    "write_baseline",
+]

@@ -1,0 +1,218 @@
+"""``python -m repro.devtools.flow`` — the whole-program analyzer CLI.
+
+Usage mirrors the invariant linter:
+
+    python -m repro.devtools.flow                 # src/repro, text report
+    python -m repro.devtools.flow --format json   # machine-readable
+    python -m repro.devtools.flow --select SEED001,RES001
+    python -m repro.devtools.flow --ignore FORK001
+    python -m repro.devtools.flow --update-baseline
+
+Exit status: 0 clean (every finding covered by the baseline, no stale
+entries), 1 findings outside the baseline or stale entries, 2 usage
+error (bad rule ID, missing path, unreadable baseline, unparseable
+source).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.devtools.flow import baseline as baseline_mod
+from repro.devtools.flow.graph import ProjectGraph
+from repro.devtools.flow.rules import FLOW_RULES, FlowFinding, run_rules
+
+#: Version of the JSON report schema (bump on breaking shape changes).
+JSON_SCHEMA_VERSION = 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.devtools.flow",
+        description="whole-program dataflow analyzer: seed provenance, "
+                    "fork/IPC safety, resource lifecycle",
+    )
+    parser.add_argument("paths", nargs="*", default=None,
+                        help="files or directories to analyze (default: src/repro)")
+    parser.add_argument("--format", choices=("text", "json"), default="text")
+    parser.add_argument("--select", default=None, metavar="RULES",
+                        help="comma-separated rule IDs to run (default: all)")
+    parser.add_argument("--ignore", default=None, metavar="RULES",
+                        help="comma-separated rule IDs to skip (applied "
+                             "after --select)")
+    parser.add_argument("--baseline", default=None,
+                        help="explicit baseline file (default: from "
+                             "[tool.repro.flow] in pyproject.toml)")
+    parser.add_argument("--pyproject", default=None,
+                        help="explicit pyproject.toml carrying the flow table")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline from current findings "
+                             "and exit 0")
+    parser.add_argument("--informational", action="store_true",
+                        help="always exit 0")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule table and exit")
+    return parser
+
+
+def _parse_rule_list(raw: "str | None", flag: str) -> "tuple[str, ...]":
+    if raw is None:
+        return ()
+    rules: "list[str]" = []
+    for chunk in raw.split(","):
+        rule_id = chunk.strip().upper()
+        if not rule_id:
+            continue
+        if rule_id not in FLOW_RULES:
+            raise SystemExit(
+                f"error: unknown rule {rule_id!r} in {flag} "
+                f"(known: {', '.join(sorted(FLOW_RULES))})"
+            )
+        rules.append(rule_id)
+    return tuple(rules)
+
+
+def select_rules(
+    select: "str | None", ignore: "str | None"
+) -> "tuple[str, ...]":
+    """``--select``/``--ignore`` -> ordered rule IDs; ignore wins."""
+    selected = _parse_rule_list(select, "--select") or tuple(FLOW_RULES)
+    ignored = set(_parse_rule_list(ignore, "--ignore"))
+    return tuple(rule for rule in selected if rule not in ignored)
+
+
+def _finding_payload(finding: FlowFinding, root: "Path | None") -> "dict[str, object]":
+    return {
+        "rule": finding.rule,
+        "path": baseline_mod.normalize_path(finding.path, root),
+        "line": finding.line,
+        "col": finding.col,
+        "symbol": finding.symbol,
+        "message": finding.message,
+        "chain": list(finding.chain),
+    }
+
+
+def _format_text(
+    findings: "Sequence[FlowFinding]",
+    delta: baseline_mod.BaselineDelta,
+    *,
+    files: int,
+    root: "Path | None",
+) -> str:
+    lines: "list[str]" = []
+    for finding in delta.new:
+        path = baseline_mod.normalize_path(finding.path, root)
+        lines.append(
+            f"{path}:{finding.line}:{finding.col + 1}: "
+            f"{finding.rule} [{finding.symbol}] {finding.message}"
+        )
+        if len(finding.chain) > 1:
+            lines.append(f"    via {' -> '.join(finding.chain)}")
+    for rule, path, symbol in delta.stale:
+        lines.append(
+            f"{path}: {rule} [{symbol}] baseline entry is stale; the "
+            f"finding is gone, shrink the baseline"
+        )
+    if delta.ok:
+        suffix = f", {len(delta.matched)} baselined" if delta.matched else ""
+        lines.append(f"flow clean: {files} files, {len(findings)} findings{suffix}")
+    else:
+        lines.append(
+            f"flow: {len(delta.new)} new finding(s), {len(delta.stale)} "
+            f"stale baseline entr(ies) over {files} files"
+        )
+    return "\n".join(lines)
+
+
+def _format_json(
+    findings: "Sequence[FlowFinding]",
+    delta: baseline_mod.BaselineDelta,
+    *,
+    files: int,
+    rules: "Sequence[str]",
+    root: "Path | None",
+) -> str:
+    counts: "dict[str, int]" = {}
+    for finding in findings:
+        counts[finding.rule] = counts.get(finding.rule, 0) + 1
+    payload = {
+        "schema_version": JSON_SCHEMA_VERSION,
+        "tool": "repro.devtools.flow",
+        "rules": list(rules),
+        "files": files,
+        "counts": dict(sorted(counts.items())),
+        "findings": [_finding_payload(f, root) for f in findings],
+        "baseline": {
+            "matched": len(delta.matched),
+            "new": len(delta.new),
+            "stale": [list(entry) for entry in delta.stale],
+        },
+        "ok": delta.ok,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def main(argv: "Sequence[str] | None" = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        for rule_id, summary in FLOW_RULES.items():
+            print(f"{rule_id}: {summary}")
+        return 0
+    try:
+        rules = select_rules(args.select, args.ignore)
+    except SystemExit as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    paths = [Path(p) for p in (args.paths or ["src/repro"])]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(f"error: no such path: {', '.join(map(str, missing))}", file=sys.stderr)
+        return 2
+    graph = ProjectGraph.build(paths)
+    if graph.syntax_errors:
+        for path, (line, message) in sorted(graph.syntax_errors.items()):
+            print(f"error: {path}:{line}: {message}", file=sys.stderr)
+        return 2
+    findings = run_rules(graph, select=rules)
+
+    if args.baseline is not None:
+        baseline_path: "Path | None" = Path(args.baseline)
+    else:
+        baseline_path = baseline_mod.locate_baseline(
+            Path(args.pyproject) if args.pyproject else None
+        )
+    root = baseline_path.parent if baseline_path is not None else Path.cwd()
+
+    if args.update_baseline:
+        if baseline_path is None:
+            print("error: no baseline path configured", file=sys.stderr)
+            return 2
+        baseline_mod.write_baseline(findings, baseline_path, root=root)
+        print(f"wrote {len(findings)} finding(s) to {baseline_path}")
+        return 0
+
+    try:
+        allowed = baseline_mod.load_baseline(baseline_path)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    delta = baseline_mod.compare(findings, allowed, root=root)
+
+    files = len(graph.modules)
+    if args.format == "json":
+        print(_format_json(findings, delta, files=files, rules=rules, root=root))
+    else:
+        print(_format_text(findings, delta, files=files, root=root))
+    if args.informational:
+        return 0
+    return 0 if delta.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via -m
+    raise SystemExit(main())

@@ -16,7 +16,12 @@ import sys
 from pathlib import Path
 from typing import Sequence
 
-from repro.devtools.lint.engine import LintReport, Rule, run_lint
+from repro.devtools.lint.engine import (
+    STALE_SUPPRESSION_RULE,
+    LintReport,
+    Rule,
+    run_lint,
+)
 from repro.devtools.lint.rules import default_rules
 
 
@@ -32,6 +37,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="report format (default: text)")
     parser.add_argument("--select", default=None, metavar="RULES",
                         help="comma-separated rule IDs to run (default: all)")
+    parser.add_argument("--ignore", default=None, metavar="RULES",
+                        help="comma-separated rule IDs to skip (applied "
+                             "after --select)")
     parser.add_argument("--informational", action="store_true",
                         help="always exit 0; for surveying new code")
     parser.add_argument("--list-rules", action="store_true",
@@ -39,19 +47,35 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def select_rules(spec: "str | None") -> "list[Rule]":
-    rules = default_rules()
-    if spec is None:
-        return rules
+def _parse_spec(spec: str, known: "set[str]") -> "set[str]":
     wanted = {part.strip().upper() for part in spec.split(",") if part.strip()}
-    known = {rule.rule_id for rule in rules}
     unknown = wanted - known
     if unknown:
         raise SystemExit(
             f"error: unknown rule id(s): {', '.join(sorted(unknown))} "
             f"(known: {', '.join(sorted(known))})"
         )
-    return [rule for rule in rules if rule.rule_id in wanted]
+    return wanted
+
+
+def select_rules(
+    spec: "str | None", ignore: "str | None" = None
+) -> "list[Rule]":
+    """``--select``/``--ignore`` -> rule instances; ignore wins.
+
+    ``LINT001`` (the engine-level stale-suppression sweep) is a known ID
+    for both flags even though it has no Rule instance; ignoring it has
+    no effect on the engine but is accepted for symmetry.
+    """
+    rules = default_rules()
+    known = {rule.rule_id for rule in rules} | {STALE_SUPPRESSION_RULE}
+    selected = _parse_spec(spec, known) if spec is not None else set(known)
+    ignored = _parse_spec(ignore, known) if ignore is not None else set()
+    return [
+        rule
+        for rule in rules
+        if rule.rule_id in selected and rule.rule_id not in ignored
+    ]
 
 
 def main(argv: "Sequence[str] | None" = None) -> int:
@@ -61,9 +85,11 @@ def main(argv: "Sequence[str] | None" = None) -> int:
     if args.list_rules:
         for rule in rules:
             print(f"{rule.rule_id}  {rule.summary}")
+        print(f"{STALE_SUPPRESSION_RULE}  stale '# repro-lint: disable=...' "
+              f"marker that no longer silences any diagnostic")
         return 0
     try:
-        rules = select_rules(args.select)
+        rules = select_rules(args.select, args.ignore)
     except SystemExit as exc:
         print(exc, file=sys.stderr)
         return 2

@@ -24,11 +24,25 @@ from pathlib import Path
 from typing import Iterable, Iterator, Sequence
 
 #: Inline suppression marker.  Same-line only, one or more rule IDs:
-#: ``do_risky_thing()  # repro-lint: disable=DET001,PROTO001``
+#: ``do_risky_thing()  # repro-lint: disable=RULEA,RULEB`` (real IDs
+#: like DET001; placeholders here keep the example itself out of the
+#: LINT001 stale-suppression sweep).
 _SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)")
 
 #: Rule ID used for files that do not parse; it cannot be suppressed.
 SYNTAX_RULE = "SYNTAX"
+
+#: Meta-rule: a ``# repro-lint: disable=RULE`` comment that no longer
+#: suppresses any diagnostic of an *active* rule is itself reported —
+#: stale suppressions read as live exceptions and hide real regressions
+#: when the silenced code comes back.  Only rules actually running are
+#: considered, so a TYP001-only typegate pass never flags the linter's
+#: DET/PROTO markers as stale (and vice versa).
+STALE_SUPPRESSION_RULE = "LINT001"
+
+#: Version of the JSON report schema emitted by :meth:`LintReport.to_json`
+#: (bumped from 1 when ``version`` was renamed to ``schema_version``).
+JSON_SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -160,7 +174,7 @@ class LintReport:
 
     def to_json(self) -> dict[str, object]:
         return {
-            "version": 1,
+            "schema_version": JSON_SCHEMA_VERSION,
             "files": self.files,
             "suppressed": self.suppressed,
             "counts": self.counts(),
@@ -267,8 +281,31 @@ def lint_source(
     )
     kept: list[Diagnostic] = []
     suppressed = 0
+    used: set[tuple[int, str]] = set()
     for rule in rules:
         for diag in rule.check(ctx):
+            if ctx.is_suppressed(diag):
+                suppressed += 1
+                used.add((diag.line, diag.rule))
+            else:
+                kept.append(diag)
+    # Stale-suppression sweep (LINT001): every marker naming an active
+    # rule must have silenced at least one diagnostic this run.
+    active = {rule.rule_id for rule in rules}
+    for line, rule_ids in sorted(ctx.suppressions.items()):
+        for rule_id in sorted(rule_ids):
+            if rule_id == STALE_SUPPRESSION_RULE or rule_id not in active:
+                continue
+            if (line, rule_id) in used:
+                continue
+            diag = Diagnostic(
+                rule=STALE_SUPPRESSION_RULE,
+                path=shown,
+                line=line,
+                col=1,
+                message=f"suppression of {rule_id} no longer silences any "
+                        f"diagnostic; remove the stale marker",
+            )
             if ctx.is_suppressed(diag):
                 suppressed += 1
             else:

@@ -138,9 +138,15 @@ class ScanJsonlWriter:
         self.records = 0
         self._seen: set = set()
         self._handle = self._path.open("w", encoding="utf-8")
-        provisional = self._header()
-        self._header_width = len(provisional) + _HEADER_SLACK
-        self._handle.write(provisional.ljust(self._header_width) + "\n")
+        try:
+            provisional = self._header()
+            self._header_width = len(provisional) + _HEADER_SLACK
+            self._handle.write(provisional.ljust(self._header_width) + "\n")
+        except BaseException:
+            # A constructor that raises never hands the caller an object
+            # to close; release the handle before propagating.
+            self._handle.close()
+            raise
 
     def _header(self) -> str:
         return _scan_header(
@@ -181,12 +187,16 @@ class ScanJsonlWriter:
         """
         if self.closed:
             return self.records
-        final = self._header()
-        if len(final) > self._header_width:  # pragma: no cover - 48B slack
-            raise ValueError("final scan header outgrew its reserved space")
-        self._handle.seek(0)
-        self._handle.write(final.ljust(self._header_width))
-        self._handle.close()
+        try:
+            final = self._header()
+            if len(final) > self._header_width:  # pragma: no cover - 48B slack
+                raise ValueError("final scan header outgrew its reserved space")
+            self._handle.seek(0)
+            self._handle.write(final.ljust(self._header_width))
+        finally:
+            # The handle must shut even when finalization fails — an
+            # unwritable header should not leak the descriptor too.
+            self._handle.close()
         return self.records
 
     def __enter__(self) -> "ScanJsonlWriter":

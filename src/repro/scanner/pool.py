@@ -123,6 +123,11 @@ class WorkerPool:
         _WORKER_QUEUE = self._queue
         try:
             self._pool = context.Pool(processes=workers)
+        except BaseException:
+            # Forking can fail (resource limits); without an object to
+            # close, the queue's pipe descriptors would leak.
+            self._queue.close()
+            raise
         finally:
             _WORKER_RUNNER = None
             _WORKER_QUEUE = None
@@ -154,8 +159,7 @@ class WorkerPool:
             if msg_seq != seq:
                 continue  # abandoned predecessor scan draining out
             if kind == MSG_ERROR:
-                self._pool.terminate()
-                self._closed = True
+                self.close()
                 raise WorkerPoolError(
                     f"shard {shard_index} of scan {scan_key!r} failed: {payload}"
                 )
@@ -185,8 +189,14 @@ class WorkerPool:
         """Shut the workers down; the pool cannot be reused afterwards."""
         if not self._closed:
             self._closed = True
-            self._pool.terminate()
-            self._pool.join()
+            try:
+                self._pool.terminate()
+                self._pool.join()
+            finally:
+                # The IPC queue holds two pipe descriptors of its own;
+                # terminating the workers does not release the parent
+                # ends.
+                self._queue.close()
 
     def __enter__(self) -> "WorkerPool":
         return self

@@ -444,7 +444,7 @@ def derive_engine_id(cfg: TopologyConfig, rng: random.Random,
         # determinism is unaffected.
         if rng.random() < 0.7:
             data = bytes(
-                rng.getrandbits(8) & rng.getrandbits(8)  # repro-lint: disable=DET001
+                rng.getrandbits(8) & rng.getrandbits(8)
                 for __ in range(8)
             )
         else:

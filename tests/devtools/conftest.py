@@ -21,7 +21,8 @@ def load_fixture(name: str) -> tuple[str, list[tuple[str, int]]]:
     source = (FIXTURES / name).read_text(encoding="utf-8")
     expected = []
     for lineno, line in enumerate(source.splitlines(), start=1):
-        match = _EXPECT_RE.search(line)
-        if match:
-            expected.append((match.group(1), lineno))
+        # A line may expect several rules (``# expect: A  # expect: B``);
+        # collect them sorted so tests can compare exact pair lists.
+        for rule_id in sorted(_EXPECT_RE.findall(line)):
+            expected.append((rule_id, lineno))
     return source, expected

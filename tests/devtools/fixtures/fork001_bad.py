@@ -1,0 +1,35 @@
+"""FORK001 fixture: runners capturing fork-hostile state.
+
+Registered as ``repro.scanner.fork001_bad`` next to a minimal
+``repro.scanner.pool`` stub; the capture audit must flag the lock, the
+open handle, and the mutable module-global reference.
+"""
+
+import threading
+
+from repro.scanner.pool import WorkerPool
+
+_REGISTRY = {}
+
+
+class BadRunner:
+    def __init__(self, path):
+        self._lock = threading.Lock()  # expect: FORK001
+        self._handle = path.open("rb")  # expect: FORK001
+        self._registry = _REGISTRY  # expect: FORK001
+        self._shards = 4
+
+
+class NestedRunner:
+    """Fork-hostile state one constructor hop away still counts."""
+
+    def __init__(self, inner):
+        self._inner = inner
+
+
+def launch(path):
+    return WorkerPool(workers=2, runner=BadRunner(path))
+
+
+def launch_nested(path):
+    return WorkerPool(workers=2, runner=NestedRunner(BadRunner(path)))

@@ -1,0 +1,23 @@
+"""FORK001 fixture, corrected form: runners capture only plain data.
+
+Per-instance containers, seeded RNG state, and scalars all survive a
+copy-on-write fork; the audit must stay silent.
+"""
+
+import random
+
+from repro.scanner.pool import WorkerPool
+
+_LIMIT = 64
+
+
+class CleanRunner:
+    def __init__(self, seed, targets):
+        self._rng = random.Random(seed)
+        self._targets = list(targets)
+        self._cache = {}
+        self._limit = _LIMIT  # immutable module global: fine
+
+
+def launch(seed, targets):
+    return WorkerPool(workers=2, runner=CleanRunner(seed, targets))

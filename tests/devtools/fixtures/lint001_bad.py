@@ -1,0 +1,19 @@
+"""LINT001 fixture: suppression markers that no longer silence anything.
+
+Run through ``lint_source`` with the default rule set; each marked line
+carries a ``# repro-lint: disable=...`` comment naming an active rule
+that produces no diagnostic there.
+"""
+
+import time
+
+
+def no_violation_here():
+    total = 1 + 1  # repro-lint: disable=DET001  # expect: LINT001
+    return total
+
+
+def wrong_rule_named():
+    # The call *is* a DET001 violation, but the marker names PROTO001,
+    # so DET001 still fires and the PROTO001 marker is stale.
+    return time.time()  # repro-lint: disable=PROTO001  # expect: DET001  # expect: LINT001

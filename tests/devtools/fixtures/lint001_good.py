@@ -1,0 +1,12 @@
+"""LINT001 fixture, corrected form: every suppression still earns its keep.
+
+The marker below silences a real DET001 diagnostic, so the
+stale-suppression sweep must stay silent (and the suppression must
+still count as used).
+"""
+
+import time
+
+
+def justified_exception():
+    return time.time()  # repro-lint: disable=DET001

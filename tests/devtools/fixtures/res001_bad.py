@@ -1,0 +1,36 @@
+"""RES001 fixture: acquisitions with a missing or fragile release path.
+
+Registered as ``repro.scanner.res001_bad``; each marked line is a
+distinct lifecycle defect the analyzer must report.
+"""
+
+
+def never_released(path):
+    handle = path.open("w")  # expect: RES001
+    handle.write("x")
+    return 1
+
+
+def fallthrough_release_only(path):
+    handle = path.open("w")  # expect: RES001
+    handle.write("x")
+    handle.close()
+    return 2
+
+
+class LeakyConstructor:
+    """Acquires, then runs risky work outside any guard."""
+
+    def __init__(self, path):
+        self._handle = path.open("w")
+        self._size = path.stat().st_size  # expect: RES001
+
+    def close(self):
+        self._handle.close()
+
+
+class NoReleasePath:
+    """No method ever releases the handle the constructor opens."""
+
+    def __init__(self, path):  # expect: RES001
+        self._handle = path.open("w")

@@ -1,0 +1,51 @@
+"""RES001 fixture, corrected form: every acquisition has a safe release.
+
+``with`` blocks, try/finally, escape-to-caller, and guarded
+constructors are all acceptable lifecycles; the analyzer must stay
+silent.
+"""
+
+
+def with_statement(path):
+    with path.open("w") as handle:
+        handle.write("x")
+
+
+def try_finally(path):
+    handle = path.open("w")
+    try:
+        handle.write("x")
+    finally:
+        handle.close()
+
+
+def release_before_risk(path):
+    handle = path.open("w")
+    handle.close()
+    return path.stat().st_size
+
+
+def escapes_to_caller(path):
+    # The caller owns the lifecycle of a returned handle.
+    return path.open("w")
+
+
+class GuardedConstructor:
+    def __init__(self, path):
+        self._handle = path.open("w")
+        try:
+            self._size = path.stat().st_size
+        except BaseException:
+            self._handle.close()
+            raise
+
+    def close(self):
+        self._handle.close()
+
+
+class PlainManaged:
+    def __init__(self, path):
+        self._handle = path.open("w")
+
+    def __exit__(self, *exc_info):
+        self._handle.close()

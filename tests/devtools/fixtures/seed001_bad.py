@@ -1,0 +1,35 @@
+"""SEED001 fixture: RNG streams whose seeds are provably constant.
+
+Registered in the test's project graph as ``repro.scanner.seed001_bad``
+so the scanner-scope gate applies; never imported, only parsed.
+"""
+
+import random
+
+
+def mix(seed, *parts):
+    value = seed
+    for part in parts:
+        value = (value * 31) ^ hash(part)
+    return value
+
+
+def make_stream(seed):
+    # Innocent in isolation: the constant enters at the *call sites*.
+    return random.Random(seed)
+
+
+def relay(value):
+    return make_stream(value)
+
+
+def ambient_constant():
+    return random.Random(0xBEEF)  # expect: SEED001
+
+
+def constant_mix_derivation():
+    return random.Random(mix(77, "slot"))  # expect: SEED001
+
+
+def constant_through_chain():
+    return relay(1234)  # expect: SEED001

@@ -1,0 +1,40 @@
+"""SEED001 fixture, corrected form: every stream traces to a real seed.
+
+Same shapes as ``seed001_bad`` with the constants replaced by threaded
+seed parameters, seed-named attributes, and ``mix(seed, slot)``
+derivations — the analyzer must stay silent on all of it.
+"""
+
+import random
+
+
+def mix(seed, *parts):
+    value = seed
+    for part in parts:
+        value = (value * 31) ^ hash(part)
+    return value
+
+
+def make_stream(seed):
+    return random.Random(seed)
+
+
+def relay(value):
+    return make_stream(value)
+
+
+def derived_from_parameter(seed):
+    return random.Random(seed ^ 0x5CA7)
+
+
+def derived_from_config(config):
+    # Seed-named attributes carry provenance by naming convention.
+    return random.Random(config.shuffle_seed)
+
+
+def mix_derivation(seed):
+    return random.Random(mix(seed, "slot", 3))
+
+
+def threaded_through_chain(topology):
+    return relay(topology.seed ^ 0xFAB)

@@ -50,6 +50,31 @@ def test_unknown_select_is_usage_error(tmp_path, capsys):
     assert "unknown rule id" in capsys.readouterr().err
 
 
+def test_ignore_drops_rules(tmp_path):
+    (tmp_path / "bad.py").write_text(DIRTY)
+    assert cli.main([str(tmp_path), "--ignore", "DET001"]) == 0
+
+
+def test_ignore_wins_over_select(tmp_path):
+    (tmp_path / "bad.py").write_text(DIRTY)
+    code = cli.main(
+        [str(tmp_path), "--select", "DET001", "--ignore", "det001"]
+    )
+    assert code == 0
+
+
+def test_unknown_ignore_is_usage_error(tmp_path, capsys):
+    (tmp_path / "bad.py").write_text(DIRTY)
+    assert cli.main([str(tmp_path), "--ignore", "NOPE999"]) == 2
+    assert "unknown rule id" in capsys.readouterr().err
+
+
+def test_lint001_is_a_known_filter_id(tmp_path):
+    # LINT001 has no Rule instance but both flags must accept it.
+    (tmp_path / "bad.py").write_text(DIRTY)
+    assert cli.main([str(tmp_path), "--ignore", "LINT001"]) == 1
+
+
 def test_missing_path_is_usage_error(tmp_path, capsys):
     assert cli.main([str(tmp_path / "absent")]) == 2
     assert "no such path" in capsys.readouterr().err
@@ -63,3 +88,4 @@ def test_list_rules_names_all_seven(capsys):
     }
     for rule_id in DEFAULT_RULES:
         assert rule_id in out
+    assert "LINT001" in out  # the engine-level sweep is listed too

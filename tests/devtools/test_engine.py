@@ -53,10 +53,14 @@ class TestSuppressions:
     def test_comma_list_suppresses_multiple_rules(self):
         source = "def h():  # repro-lint: disable=TEST001,TEST002\n    f()\n"
         # TEST002 fires on line 1 (the def); the suppression list names it.
+        # The TEST001 half of the marker silences nothing on line 1, so
+        # the stale-suppression sweep reports it as LINT001.
         diags, suppressed = lint_source(
             source, module="m", rules=[FlagEveryCall(), FlagEveryDef()]
         )
-        assert [(d.rule, d.line) for d in diags] == [("TEST001", 2)]
+        assert [(d.rule, d.line) for d in diags] == [
+            ("LINT001", 1), ("TEST001", 2),
+        ]
         assert suppressed == 1
 
     def test_other_rules_still_fire_on_a_suppressed_line(self):
@@ -92,7 +96,8 @@ class TestReport:
             suppressed=1,
         )
         data = json.loads(report.format_json())
-        assert data["version"] == 1
+        assert data["schema_version"] == 2
+        assert "version" not in data
         assert data["files"] == 2
         assert data["suppressed"] == 1
         assert data["counts"] == {"TEST001": 2, "TEST002": 1}

@@ -1,0 +1,114 @@
+"""Baseline mechanics: fingerprints, comparison, the ratchet."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+
+import pytest
+
+from repro.devtools.flow import baseline as bl
+from repro.devtools.flow.rules import FlowFinding
+
+
+def finding(rule="RES001", path="src/repro/mod.py", symbol="repro.mod.f",
+            line=3):
+    return FlowFinding(
+        rule=rule, path=path, line=line, col=0, symbol=symbol,
+        message="test finding", chain=(symbol,),
+    )
+
+
+class TestCompare:
+    def test_uncovered_finding_is_new(self):
+        delta = bl.compare([finding()], Counter())
+        assert len(delta.new) == 1
+        assert not delta.matched and not delta.stale
+        assert not delta.ok
+
+    def test_covered_finding_matches(self):
+        allowed = Counter({("RES001", "src/repro/mod.py", "repro.mod.f"): 1})
+        delta = bl.compare([finding()], allowed)
+        assert len(delta.matched) == 1
+        assert delta.ok
+
+    def test_counts_are_respected(self):
+        # Two findings sharing a fingerprint against a count of one:
+        # the second is new debt, not covered by the first's entry.
+        allowed = Counter({("RES001", "src/repro/mod.py", "repro.mod.f"): 1})
+        delta = bl.compare([finding(line=3), finding(line=9)], allowed)
+        assert len(delta.matched) == 1 and len(delta.new) == 1
+
+    def test_unconsumed_entry_is_stale_and_fails(self):
+        allowed = Counter({("RES001", "src/repro/mod.py", "repro.mod.f"): 1})
+        delta = bl.compare([], allowed)
+        assert delta.stale == (("RES001", "src/repro/mod.py", "repro.mod.f"),)
+        assert not delta.ok
+
+    def test_fingerprint_is_line_insensitive(self):
+        allowed = Counter({("RES001", "src/repro/mod.py", "repro.mod.f"): 1})
+        assert bl.compare([finding(line=999)], allowed).ok
+
+
+class TestRoundTrip:
+    def test_write_then_load_restores_counts(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        bl.write_baseline([finding(line=3), finding(line=9)], path)
+        allowed = bl.load_baseline(path)
+        assert allowed == Counter(
+            {("RES001", "src/repro/mod.py", "repro.mod.f"): 2}
+        )
+
+    def test_render_is_sorted_and_stable(self):
+        a = finding(rule="SEED001", symbol="repro.mod.b")
+        b = finding(rule="RES001", symbol="repro.mod.a")
+        assert bl.render_baseline([a, b]) == bl.render_baseline([b, a])
+        entries = json.loads(bl.render_baseline([a, b]))["entries"]
+        assert [e["rule"] for e in entries] == ["RES001", "SEED001"]
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        assert bl.load_baseline(tmp_path / "absent.json") == Counter()
+        assert bl.load_baseline(None) == Counter()
+
+    def test_schema_mismatch_raises(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text('{"schema_version": 99, "entries": []}')
+        with pytest.raises(ValueError, match="schema_version"):
+            bl.load_baseline(path)
+
+    def test_bad_json_raises(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text("{nope")
+        with pytest.raises(ValueError, match="unreadable"):
+            bl.load_baseline(path)
+
+
+class TestLocate:
+    def test_reads_configured_name(self, tmp_path):
+        pyproject = tmp_path / "pyproject.toml"
+        pyproject.write_text('[tool.repro.flow]\nbaseline = "debt.json"\n')
+        assert bl.locate_baseline(pyproject) == tmp_path / "debt.json"
+
+    def test_defaults_without_flow_table(self, tmp_path):
+        pyproject = tmp_path / "pyproject.toml"
+        pyproject.write_text("[tool.other]\nx = 1\n")
+        located = bl.locate_baseline(pyproject)
+        assert located == tmp_path / bl.DEFAULT_BASELINE_NAME
+
+    def test_missing_pyproject_means_no_baseline(self, tmp_path):
+        assert bl.locate_baseline(tmp_path / "pyproject.toml") is None
+
+    def test_repo_pyproject_names_the_committed_baseline(self):
+        from pathlib import Path
+
+        repo = Path(__file__).resolve().parents[2]
+        located = bl.locate_baseline(repo / "pyproject.toml")
+        assert located == repo / "flow-baseline.json"
+        assert located.is_file()
+
+
+def test_normalize_path_is_root_relative_posix(tmp_path):
+    target = tmp_path / "pkg" / "mod.py"
+    assert bl.normalize_path(str(target), tmp_path) == "pkg/mod.py"
+    # Paths outside the root pass through verbatim.
+    assert bl.normalize_path("elsewhere/mod.py", tmp_path) == "elsewhere/mod.py"

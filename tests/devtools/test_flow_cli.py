@@ -1,0 +1,129 @@
+"""The ``python -m repro.devtools.flow`` front end.
+
+Each test runs the CLI against a throwaway tree and an explicit
+``--baseline`` so the repo's own pyproject/baseline never leak in.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.devtools.flow import cli
+
+#: One RES001 defect (handle acquired, never released on any path).
+DIRTY = (
+    "def leak(path):\n"
+    "    handle = path.open('w')\n"
+    "    handle.write('x')\n"
+    "    return 1\n"
+)
+
+CLEAN = (
+    "def fine(path):\n"
+    "    with path.open('w') as handle:\n"
+    "        handle.write('x')\n"
+    "    return 1\n"
+)
+
+
+def run(tmp_path, source, *extra):
+    (tmp_path / "mod.py").write_text(source)
+    baseline = tmp_path / "flow-baseline.json"
+    return cli.main([str(tmp_path), "--baseline", str(baseline), *extra])
+
+
+def test_exit_zero_on_clean_tree(tmp_path, capsys):
+    assert run(tmp_path, CLEAN) == 0
+    assert "flow clean: 1 files, 0 findings" in capsys.readouterr().out
+
+
+def test_exit_one_on_findings(tmp_path, capsys):
+    assert run(tmp_path, DIRTY) == 1
+    out = capsys.readouterr().out
+    assert "RES001" in out and "mod.py:2:" in out
+
+
+def test_informational_reports_but_exits_zero(tmp_path, capsys):
+    assert run(tmp_path, DIRTY, "--informational") == 0
+    assert "RES001" in capsys.readouterr().out
+
+
+def test_json_report_shape(tmp_path, capsys):
+    assert run(tmp_path, DIRTY, "--format", "json") == 1
+    data = json.loads(capsys.readouterr().out)
+    assert data["schema_version"] == cli.JSON_SCHEMA_VERSION
+    assert data["tool"] == "repro.devtools.flow"
+    assert data["counts"] == {"RES001": 1}
+    assert data["rules"] == ["SEED001", "FORK001", "RES001"]
+    assert data["ok"] is False
+    finding = data["findings"][0]
+    assert finding["rule"] == "RES001"
+    assert finding["path"] == "mod.py"
+    assert finding["line"] == 2
+    assert isinstance(finding["chain"], list)
+    assert data["baseline"] == {"matched": 0, "new": 1, "stale": []}
+
+
+class TestRuleFilters:
+    def test_select_restricts_rules(self, tmp_path):
+        assert run(tmp_path, DIRTY, "--select", "SEED001") == 0
+        assert run(tmp_path, DIRTY, "--select", "seed001,res001") == 1
+
+    def test_ignore_drops_rules(self, tmp_path):
+        assert run(tmp_path, DIRTY, "--ignore", "RES001") == 0
+
+    def test_ignore_wins_over_select(self, tmp_path):
+        code = run(
+            tmp_path, DIRTY, "--select", "RES001", "--ignore", "RES001"
+        )
+        assert code == 0
+
+    def test_unknown_rule_is_usage_error(self, tmp_path, capsys):
+        assert run(tmp_path, DIRTY, "--select", "NOPE999") == 2
+        assert "unknown rule" in capsys.readouterr().err
+        assert run(tmp_path, DIRTY, "--ignore", "NOPE999") == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_selected_rules_are_echoed_in_json(self, tmp_path, capsys):
+        run(tmp_path, DIRTY, "--select", "RES001", "--format", "json")
+        data = json.loads(capsys.readouterr().out)
+        assert data["rules"] == ["RES001"]
+
+
+class TestBaseline:
+    def test_update_baseline_then_rerun_is_clean(self, tmp_path, capsys):
+        assert run(tmp_path, DIRTY, "--update-baseline") == 0
+        assert "wrote 1 finding(s)" in capsys.readouterr().out
+        assert run(tmp_path, DIRTY) == 0
+        assert "1 baselined" in capsys.readouterr().out
+
+    def test_stale_baseline_entry_fails(self, tmp_path, capsys):
+        assert run(tmp_path, DIRTY, "--update-baseline") == 0
+        capsys.readouterr()
+        # The defect is fixed but the baseline entry remains: ratchet.
+        assert run(tmp_path, CLEAN) == 1
+        assert "stale" in capsys.readouterr().out
+
+    def test_unreadable_baseline_is_usage_error(self, tmp_path, capsys):
+        (tmp_path / "flow-baseline.json").write_text("{not json")
+        assert run(tmp_path, CLEAN) == 2
+        assert "unreadable flow baseline" in capsys.readouterr().err
+
+
+def test_missing_path_is_usage_error(tmp_path, capsys):
+    assert cli.main([str(tmp_path / "absent")]) == 2
+    assert "no such path" in capsys.readouterr().err
+
+
+def test_syntax_error_is_usage_error(tmp_path, capsys):
+    (tmp_path / "broken.py").write_text("def broken(:\n")
+    baseline = tmp_path / "flow-baseline.json"
+    assert cli.main([str(tmp_path), "--baseline", str(baseline)]) == 2
+    assert "broken.py" in capsys.readouterr().err
+
+
+def test_list_rules_names_all_three(capsys):
+    assert cli.main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("SEED001", "FORK001", "RES001"):
+        assert rule_id in out

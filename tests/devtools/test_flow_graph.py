@@ -1,0 +1,152 @@
+"""Unit tests for the project graph: modules, resolution, call edges."""
+
+from __future__ import annotations
+
+from repro.devtools.flow.graph import MODULE_BODY, ProjectGraph
+
+
+def build(sources: "dict[str, str]") -> ProjectGraph:
+    return ProjectGraph.build_from_sources(sources)
+
+
+class TestIndexing:
+    def test_functions_classes_and_module_body(self):
+        g = build({
+            "pkg.mod": (
+                "X = []\n"
+                "def f():\n    return 1\n"
+                "class C:\n    def m(self):\n        return 2\n"
+            ),
+        })
+        assert "pkg.mod.f" in g.functions
+        assert "pkg.mod.C" in g.classes
+        assert "pkg.mod.C.m" in g.functions
+        assert f"pkg.mod.{MODULE_BODY}" in g.functions
+        assert g.modules["pkg.mod"].mutable_globals == {"X": 1}
+
+    def test_parameter_capture_with_defaults(self):
+        g = build({
+            "pkg.mod": "def f(a, b=3, *, c, d=4):\n    return a\n",
+        })
+        fn = g.functions["pkg.mod.f"]
+        assert fn.params == ("a", "b", "c", "d")
+        assert set(fn.defaults) == {"b", "d"}
+
+    def test_relative_imports_resolve_against_package(self):
+        g = build({
+            "pkg.sub.mod": "from ..sibling import helper\nfrom . import local\n",
+        })
+        aliases = g.modules["pkg.sub.mod"].aliases
+        assert aliases["helper"] == "pkg.sibling.helper"
+        assert aliases["local"] == "pkg.sub.local"
+
+    def test_syntax_error_is_recorded_not_raised(self):
+        g = build({"pkg.broken": "def broken(:\n"})
+        assert "pkg.broken" not in g.modules
+        assert list(g.syntax_errors.values())[0][0] == 1
+
+
+class TestResolution:
+    def test_call_to_module_function(self):
+        g = build({
+            "pkg.mod": "def helper():\n    return 0\ndef f():\n    return helper()\n",
+        })
+        callees = [s.callee for s in g.callees_of("pkg.mod.f")]
+        assert callees == ["pkg.mod.helper"]
+
+    def test_cross_module_call_through_alias(self):
+        g = build({
+            "pkg.a": "def shared():\n    return 0\n",
+            "pkg.b": "from pkg.a import shared\ndef f():\n    return shared()\n",
+        })
+        assert [s.callee for s in g.callees_of("pkg.b.f")] == ["pkg.a.shared"]
+
+    def test_reexport_chain_resolves_to_definition(self):
+        # pkg/__init__ re-exports from pkg.impl; a third module imports
+        # from the package and must land on the defining symbol.
+        g = build({
+            "pkg": "from pkg.impl import Widget\n",
+            "pkg.impl": "class Widget:\n    def __init__(self):\n        self.x = 1\n",
+            "app.main": "from pkg import Widget\ndef f():\n    return Widget()\n",
+        })
+        assert g.canonical("pkg.Widget") == "pkg.impl.Widget"
+        assert [s.callee for s in g.callees_of("app.main.f")] == ["pkg.impl.Widget"]
+
+    def test_reexport_cycle_terminates(self):
+        g = build({
+            "pkg.a": "from pkg.b import thing\n",
+            "pkg.b": "from pkg.a import thing\n",
+        })
+        # Neither module defines ``thing``; canonical() must not loop.
+        resolved = g.canonical("pkg.a.thing")
+        assert resolved in ("pkg.a.thing", "pkg.b.thing")
+
+    def test_call_cycle_builds_both_edges(self):
+        g = build({
+            "pkg.mod": (
+                "def even(n):\n    return n == 0 or odd(n - 1)\n"
+                "def odd(n):\n    return n != 0 and even(n - 1)\n"
+            ),
+        })
+        assert [s.callee for s in g.callees_of("pkg.mod.even")] == ["pkg.mod.odd"]
+        assert [s.callee for s in g.callees_of("pkg.mod.odd")] == ["pkg.mod.even"]
+        assert [s.caller for s in g.callers_of("pkg.mod.even")] == ["pkg.mod.odd"]
+
+    def test_self_method_dispatch_and_base_hop(self):
+        g = build({
+            "pkg.mod": (
+                "class Base:\n"
+                "    def inherited(self):\n        return 1\n"
+                "class Child(Base):\n"
+                "    def f(self):\n        return self.inherited() + self.g()\n"
+                "    def g(self):\n        return 2\n"
+            ),
+        })
+        callees = sorted(s.callee for s in g.callees_of("pkg.mod.Child.f"))
+        assert callees == ["pkg.mod.Base.inherited", "pkg.mod.Child.g"]
+
+    def test_dynamic_attr_fallback_matches_by_method_name(self):
+        g = build({
+            "pkg.a": "class Impl:\n    def run_shard(self, k):\n        return k\n",
+            "pkg.b": (
+                "def f(runner):\n    return runner.run_shard(1)\n"
+            ),
+        })
+        sites = g.callees_of("pkg.b.f")
+        assert [(s.callee, s.dynamic) for s in sites] == [
+            ("pkg.a.Impl.run_shard", True),
+        ]
+
+    def test_dynamic_fallback_caps_candidate_fanout(self):
+        sources = {
+            f"pkg.m{i}": f"class C{i}:\n    def run(self):\n        return {i}\n"
+            for i in range(6)
+        }
+        sources["pkg.use"] = "def f(obj):\n    return obj.run()\n"
+        g = build(sources)
+        # Six candidates named ``run`` exceed the cap: no edges at all.
+        assert g.callees_of("pkg.use.f") == []
+
+    def test_constructor_site_reaches_init_via_callers_of(self):
+        g = build({
+            "pkg.mod": (
+                "class C:\n    def __init__(self, x):\n        self.x = x\n"
+                "def make():\n    return C(5)\n"
+            ),
+        })
+        sites = g.callers_of("pkg.mod.C.__init__")
+        assert [s.caller for s in sites] == ["pkg.mod.make"]
+
+    def test_bind_arguments_skips_self_and_maps_keywords(self):
+        g = build({
+            "pkg.mod": (
+                "class C:\n    def __init__(self, x, y=0):\n        self.x = x\n"
+                "def make():\n    return C(5, y=7)\n"
+            ),
+        })
+        init = g.functions["pkg.mod.C.__init__"]
+        site = g.callers_of("pkg.mod.C.__init__")[0]
+        bound = g.bind_arguments(init, site.node)
+        assert sorted(bound) == ["x", "y"]
+        assert bound["x"].value == 5
+        assert bound["y"].value == 7

@@ -1,0 +1,115 @@
+"""SEED001 / FORK001 / RES001 against the per-rule fixture files.
+
+Each fixture is registered in an in-memory project graph under a
+``repro.scanner.*`` module name so the scope gates apply, exactly as
+they would for real files under ``src/repro``.
+"""
+
+from __future__ import annotations
+
+from repro.devtools.flow.graph import ProjectGraph
+from repro.devtools.flow.rules import run_rules
+
+from tests.devtools.conftest import load_fixture
+
+#: Minimal stand-in for ``repro.scanner.pool`` so the fork fixtures can
+#: resolve their ``WorkerPool(runner=...)`` capture sites in-graph.
+POOL_STUB = (
+    "class WorkerPool:\n"
+    "    def __init__(self, *, workers, runner):\n"
+    "        self.workers = workers\n"
+)
+
+
+def findings_for(
+    fixture: str, rule: str, extra: "dict[str, str] | None" = None
+) -> "list[tuple[str, int]]":
+    source, _ = load_fixture(f"{fixture}.py")
+    sources = {f"repro.scanner.{fixture}": source}
+    if extra:
+        sources.update(extra)
+    graph = ProjectGraph.build_from_sources(sources)
+    return [
+        (f.rule, f.line)
+        for f in run_rules(graph, select=[rule])
+        if f.symbol.startswith(f"repro.scanner.{fixture}")
+    ]
+
+
+def expected_for(fixture: str) -> "list[tuple[str, int]]":
+    _, expected = load_fixture(f"{fixture}.py")
+    return expected
+
+
+class TestSeed001:
+    def test_bad_fixture_flags_every_marked_line(self):
+        expected = [e for e in expected_for("seed001_bad") if e[0] == "SEED001"]
+        assert findings_for("seed001_bad", "SEED001") == expected
+        assert expected  # fixture is not accidentally empty
+
+    def test_good_fixture_is_clean(self):
+        assert findings_for("seed001_good", "SEED001") == []
+        assert expected_for("seed001_good") == []
+
+    def test_out_of_scope_module_is_not_flagged(self):
+        source, _ = load_fixture("seed001_bad.py")
+        graph = ProjectGraph.build_from_sources({"repro.analysis.off": source})
+        assert run_rules(graph, select=["SEED001"]) == []
+
+    def test_chain_is_reported_for_interprocedural_flow(self):
+        source, _ = load_fixture("seed001_bad.py")
+        graph = ProjectGraph.build_from_sources(
+            {"repro.scanner.seed001_bad": source}
+        )
+        chained = [
+            f
+            for f in run_rules(graph, select=["SEED001"])
+            if f.symbol.endswith("constant_through_chain")
+        ]
+        assert len(chained) == 1
+        assert chained[0].chain == (
+            "repro.scanner.seed001_bad.constant_through_chain",
+            "repro.scanner.seed001_bad.relay",
+            "repro.scanner.seed001_bad.make_stream",
+        )
+
+
+class TestFork001:
+    EXTRA = {"repro.scanner.pool": POOL_STUB}
+
+    def test_bad_fixture_flags_every_marked_line(self):
+        expected = [e for e in expected_for("fork001_bad") if e[0] == "FORK001"]
+        assert findings_for("fork001_bad", "FORK001", self.EXTRA) == expected
+        assert expected
+
+    def test_good_fixture_is_clean(self):
+        assert findings_for("fork001_good", "FORK001", self.EXTRA) == []
+        assert expected_for("fork001_good") == []
+
+    def test_pool_contract_applies_without_the_pool_module(self):
+        # Analyzing a subset of files that imports WorkerPool must still
+        # audit capture sites against the known pool contract.
+        source, _ = load_fixture("fork001_bad.py")
+        graph = ProjectGraph.build_from_sources(
+            {"repro.scanner.fork001_bad": source}
+        )
+        expected = [e for e in expected_for("fork001_bad") if e[0] == "FORK001"]
+        got = [(f.rule, f.line) for f in run_rules(graph, select=["FORK001"])]
+        assert got == expected
+
+
+class TestRes001:
+    def test_bad_fixture_flags_every_marked_line(self):
+        expected = [e for e in expected_for("res001_bad") if e[0] == "RES001"]
+        assert findings_for("res001_bad", "RES001") == expected
+        assert expected
+
+    def test_good_fixture_is_clean(self):
+        assert findings_for("res001_good", "RES001") == []
+        assert expected_for("res001_good") == []
+
+    def test_res001_applies_outside_the_seed_scope_too(self):
+        # Resource lifecycle is not gated on scanner/topology/net.
+        source, _ = load_fixture("res001_bad.py")
+        graph = ProjectGraph.build_from_sources({"repro.io.off": source})
+        assert run_rules(graph, select=["RES001"]) != []

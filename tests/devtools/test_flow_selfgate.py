@@ -1,0 +1,38 @@
+"""The flow analyzer's gate over this repo itself.
+
+Mirrors ``test_self_gate.py``: a PR that introduces an unseeded RNG
+path, a fork-unsafe capture, or a resource leak into ``src/repro``
+fails the plain tier-1 test run, not just the dedicated CI job.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.devtools.flow import baseline as bl
+from repro.devtools.flow.graph import ProjectGraph
+from repro.devtools.flow.rules import run_rules
+
+REPO = Path(__file__).resolve().parents[2]
+SRC = REPO / "src" / "repro"
+
+
+def test_src_repro_passes_the_flow_analyzer():
+    graph = ProjectGraph.build([SRC])
+    assert not graph.syntax_errors
+    assert len(graph.modules) > 90  # the whole package was actually scanned
+    findings = run_rules(graph)
+    allowed = bl.load_baseline(bl.locate_baseline(REPO / "pyproject.toml"))
+    delta = bl.compare(findings, allowed, root=REPO)
+    lines = [
+        f"{f.path}:{f.line}: {f.rule} [{f.symbol}] {f.message}"
+        for f in delta.new
+    ] + [f"stale baseline entry: {entry}" for entry in delta.stale]
+    assert delta.ok, "\n" + "\n".join(lines)
+
+
+def test_the_committed_baseline_is_empty():
+    # The ratchet starts fully paid down; this assertion is the floor.
+    # If debt ever has to be baselined, replace this with a count ceiling.
+    allowed = bl.load_baseline(REPO / "flow-baseline.json")
+    assert sum(allowed.values()) == 0

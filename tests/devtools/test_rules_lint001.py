@@ -1,0 +1,54 @@
+"""LINT001: suppression markers must still silence a live diagnostic."""
+
+from __future__ import annotations
+
+from repro.devtools.lint.engine import lint_source
+from repro.devtools.lint.rules import default_rules
+
+from tests.devtools.conftest import load_fixture
+
+
+def run_fixture(name):
+    source, expected = load_fixture(name)
+    diags, _ = lint_source(source, module="m", rules=default_rules())
+    got = sorted(((d.rule, d.line) for d in diags), key=lambda t: (t[1], t[0]))
+    return got, expected
+
+
+def test_bad_fixture_flags_every_marked_line():
+    got, expected = run_fixture("lint001_bad.py")
+    assert got == expected
+    assert ("LINT001", expected[0][1]) in got  # sweep actually fired
+
+
+def test_good_fixture_is_clean():
+    got, expected = run_fixture("lint001_good.py")
+    assert got == [] and expected == []
+
+
+def test_inactive_rules_do_not_make_markers_stale():
+    # A DET001 marker is only auditable when DET001 is among the active
+    # rules; a TYP-only run (the typegate) must not flag lint markers.
+    source, _ = load_fixture("lint001_good.py")
+    det_only = [r for r in default_rules() if r.rule_id == "DET001"]
+    proto_only = [r for r in default_rules() if r.rule_id == "PROTO001"]
+    diags, _ = lint_source(source, module="m", rules=proto_only)
+    assert diags == []
+    # ...while the full-rule run still counts the suppression as used.
+    diags, suppressed = lint_source(source, module="m", rules=det_only)
+    assert diags == [] and suppressed == 1
+
+
+def test_lint001_is_itself_suppressible():
+    # The DET001 half of the marker is stale, but the marker also names
+    # LINT001, which silences the sweep's own diagnostic on that line.
+    source = (
+        "import time\n"
+        "\n"
+        "\n"
+        "def f() -> float:\n"
+        "    return time.perf_counter()  # repro-lint: disable=DET001,LINT001\n"
+    )
+    diags, suppressed = lint_source(source, module="m", rules=default_rules())
+    assert diags == []
+    assert suppressed == 1  # the swallowed LINT001

@@ -125,3 +125,44 @@ class TestVendorCensus:
         assert n == 2
         rows = list(csv.reader(path.read_text().splitlines()))
         assert rows == [["vendor", "devices"], ["Cisco", "10"], ["Huawei", "3"]]
+
+
+class TestWriterLifecycle:
+    """The leak RES001 caught: the handle closes on every exit path."""
+
+    def test_init_failure_closes_the_handle(self, tmp_path, monkeypatch):
+        from pathlib import Path
+
+        from repro.io import ScanJsonlWriter
+
+        handles = []
+        real_open = Path.open
+
+        def recording_open(self, *args, **kwargs):
+            handle = real_open(self, *args, **kwargs)
+            handles.append(handle)
+            return handle
+
+        monkeypatch.setattr(Path, "open", recording_open)
+
+        class ExplodingHeader(ScanJsonlWriter):
+            def _header(self):
+                raise ValueError("boom")
+
+        with pytest.raises(ValueError, match="boom"):
+            ExplodingHeader(
+                tmp_path / "scan.jsonl",
+                label="x", ip_version=4, started_at=1.0,
+            )
+        assert handles and all(handle.closed for handle in handles)
+
+    def test_close_failure_still_closes_the_handle(self, tmp_path):
+        from repro.io import ScanJsonlWriter
+
+        writer = ScanJsonlWriter(
+            tmp_path / "scan.jsonl", label="x", ip_version=4, started_at=1.0
+        )
+        writer._header_width = 0  # force header-finalize to fail
+        with pytest.raises(ValueError, match="outgrew"):
+            writer.close()
+        assert writer.closed

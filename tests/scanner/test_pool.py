@@ -153,3 +153,45 @@ class TestWorkerPool:
         pool = WorkerPool(workers=2, runner=_SyntheticRunner([1]))
         pool.close()
         pool.close()
+
+
+class TestResourceLifecycle:
+    """The leaks RES001 caught: every exit path releases the IPC queue."""
+
+    def test_close_also_closes_the_ipc_queue(self):
+        pool = WorkerPool(workers=2, runner=_SyntheticRunner([1]))
+        queue = pool._queue
+        pool.close()
+        assert queue._reader.closed and queue._writer.closed
+
+    def test_worker_error_shutdown_closes_the_queue(self):
+        runner = _SyntheticRunner([3, 3], fail_shard=0)
+        pool = WorkerPool(workers=2, runner=runner)
+        with pytest.raises(WorkerPoolError):
+            _drain(pool, "s", 2, 2)
+        assert pool.closed
+        assert pool._queue._reader.closed and pool._queue._writer.closed
+
+    def test_fork_failure_closes_the_queue(self, monkeypatch):
+        import multiprocessing as mp
+
+        real = mp.get_context("fork")
+        queues = []
+
+        class FailingPoolContext:
+            def SimpleQueue(self):
+                queue = real.SimpleQueue()
+                queues.append(queue)
+                return queue
+
+            def Pool(self, processes):
+                raise OSError("fork failed")
+
+        monkeypatch.setattr(
+            "repro.scanner.pool.multiprocessing.get_context",
+            lambda method: FailingPoolContext(),
+        )
+        with pytest.raises(OSError, match="fork failed"):
+            WorkerPool(workers=2, runner=_SyntheticRunner([1]))
+        assert len(queues) == 1
+        assert queues[0]._reader.closed and queues[0]._writer.closed
