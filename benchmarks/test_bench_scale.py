@@ -17,10 +17,21 @@ Assertions:
 * peak RSS across a ~10x target growth stays sub-linear (< 1.5x);
 * the lazy world's resident-device high-water stays O(max_resident),
   orders of magnitude under the device count;
+* adjacent tiers' end-to-end pps stay within ``TIER_PPS_GAP_CEILING`` —
+  the historical 21k→13k sag between the 93k and 930k tiers is an
+  asserted regression gate now, not a footnote;
 * quick mode adds an absolute RSS ceiling (the CI gate).
+
+Honesty rules: end-to-end ``pps`` (campaign wall, including planning,
+derivation and ingest edges) and ``pps_scan_phase`` (sum of shard wall
+clocks — the probe loop alone) are recorded separately, so the scan
+phase can never advertise a rate the whole campaign does not deliver.
+The non-probe edge seconds (plan/derive/ingest) are recorded per tier.
 
 ``SCALE_BENCH_QUICK=1`` (the CI configuration) measures ~93k and ~930k
 targets; the full run adds a ~9.3M-target campaign.
+``SCALE_BENCH_GAP_SCALE`` relaxes the tier-gap ceiling on hosts whose
+throttling behaviour differs from the reference machine.
 """
 
 import json
@@ -44,6 +55,12 @@ RSS_GROWTH_CEILING = 1.5
 #: Absolute quick-mode ceiling (MB) — generous vs the ~150 MB observed,
 #: tight vs the GBs a materialized 930k-target world would need.
 QUICK_RSS_CEILING_MB = 512
+#: Throughput flatness gate: a 10x bigger lazy campaign keeps at least
+#: 1/1.25 of the smaller tier's end-to-end pps (the derivation and
+#: eviction edges must stay amortized, not per-probe).
+TIER_PPS_GAP_CEILING = 1.25 * float(
+    os.environ.get("SCALE_BENCH_GAP_SCALE", "1.0")
+)
 
 _CHILD = r"""
 import json, resource, sys, time
@@ -59,20 +76,31 @@ campaign = ScanCampaign(
     topology=topology, config=config, options=ExecutionOptions()
 )
 probes = observations = 0
+scan_seconds = plan_seconds = derive_seconds = ingest_seconds = 0.0
 started = time.perf_counter()
 for stream in campaign.run_streaming():
     for batch in stream.batches():
         observations += len(batch)
-    probes += stream.execution.metrics.probes_sent
+    metrics = stream.execution.metrics
+    probes += metrics.probes_sent
+    scan_seconds += metrics.wall_time
+    plan_seconds += metrics.plan_time
+    derive_seconds += metrics.derive_time
+    ingest_seconds += metrics.ingest_time
 elapsed = time.perf_counter() - started
 print(json.dumps({
     "targets_probed": probes,
     "observations": observations,
     "seconds": elapsed,
+    "scan_seconds": scan_seconds,
+    "plan_seconds": plan_seconds,
+    "derive_seconds": derive_seconds,
+    "ingest_seconds": ingest_seconds,
     "peak_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
     "device_count": topology.device_count,
     "peak_resident_devices": topology.peak_resident,
     "derivations": topology.derivations,
+    "membership_derivations": topology.membership_derivations,
     "max_resident": topology.max_resident,
 }))
 """
@@ -93,19 +121,38 @@ def _measure(divisor: float) -> dict:
 
 def test_bench_scale_streaming_rss_flatness():
     results = {}
-    for divisor, label in sorted(TIERS.items(), reverse=True):
-        started = time.perf_counter()
-        stats = _measure(divisor)
+    # Two passes per tier, interleaved (small, big, big, small): host
+    # throughput drifts on shared machines, and a tier gap computed from
+    # one run of each tier mostly measures which tier hit the slow
+    # window.  Best-of-two with mirrored order decorrelates the drift.
+    tiers = sorted(TIERS.items(), reverse=True)
+    runs: dict[float, list[dict]] = {divisor: [] for divisor, __ in tiers}
+    for divisor, __ in tiers + tiers[::-1]:
+        runs[divisor].append(_measure(divisor))
+    for divisor, label in tiers:
+        stats = min(runs[divisor], key=lambda s: s["seconds"])
+        stats["divisor"] = divisor
+        stats["runs"] = len(runs[divisor])
+        stats["pps_runs"] = [
+            round(r["targets_probed"] / r["seconds"]) for r in runs[divisor]
+        ]
         stats["pps"] = round(stats["targets_probed"] / stats["seconds"])
-        stats["seconds"] = round(stats["seconds"], 3)
+        stats["pps_scan_phase"] = round(
+            stats["targets_probed"] / stats["scan_seconds"]
+        )
+        for field in ("seconds", "scan_seconds", "plan_seconds",
+                      "derive_seconds", "ingest_seconds"):
+            stats[field] = round(stats[field], 3)
         stats["peak_rss_mb"] = round(stats["peak_rss_kb"] / 1024.0, 1)
         results[label] = stats
         print(f"\n~{label} targets (1/{divisor:g}): "
               f"{stats['targets_probed']} probes in {stats['seconds']}s "
-              f"({stats['pps']} pps), peak RSS {stats['peak_rss_mb']} MB, "
+              f"({stats['pps']} pps end-to-end, "
+              f"{stats['pps_scan_phase']} pps scan-phase), "
+              f"peak RSS {stats['peak_rss_mb']} MB, "
               f"resident {stats['peak_resident_devices']}"
               f"/{stats['device_count']} devices "
-              f"({time.perf_counter() - started:.1f}s incl. subprocess)")
+              f"(best of {stats['runs']})")
 
         # Residency stays O(max_resident): the topology window plus the
         # campaign handler cache, never the world.
@@ -123,6 +170,24 @@ def test_bench_scale_streaming_rss_flatness():
             f"peak RSS grew {rss_ratio:.2f}x over a {growth:.1f}x "
             f"target growth — streaming is no longer constant-memory"
         )
+        # And so does throughput: derivation/eviction costs must stay
+        # amortized, or bigger campaigns quietly pay per-probe edges.
+        # Each ratio pairs runs from the same mirrored pass (temporally
+        # adjacent), then the min over passes is asserted: a real
+        # regression is in the code and shows up in every scheduling
+        # window, so it survives the min, while a host fast/slow
+        # transition straddling one pass only inflates that pass.
+        pps_gap = min(
+            (s["targets_probed"] / s["seconds"])
+            / (b["targets_probed"] / b["seconds"])
+            for s, b in zip(runs[small["divisor"]], runs[big["divisor"]])
+        )
+        big["pps_gap_vs_smaller_tier"] = round(pps_gap, 3)
+        assert pps_gap <= TIER_PPS_GAP_CEILING, (
+            f"end-to-end pps sagged {pps_gap:.2f}x from "
+            f"{small['targets_probed']} to {big['targets_probed']} targets "
+            f"(ceiling {TIER_PPS_GAP_CEILING:.2f}x)"
+        )
 
     if QUICK:
         for stats in ordered:
@@ -137,6 +202,7 @@ def test_bench_scale_streaming_rss_flatness():
         "quick": QUICK,
         "cpu_count": os.cpu_count() or 1,
         "rss_growth_ceiling": RSS_GROWTH_CEILING,
+        "tier_pps_gap_ceiling": TIER_PPS_GAP_CEILING,
         "results": results,
     }
     RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")

@@ -119,12 +119,14 @@ def _cmd_scan(args: argparse.Namespace) -> int:
             ip_version=stream.ip_version,
             started_at=stream.started_at,
         ) as writer:
+            stream.attach_sink(writer.write_batch)
             if store is not None:
-                stream.attach_sink(writer.write_batch)
                 store.ingest_stream(stream, round_id=round_id)
             else:
-                for batch in stream.batches():
-                    writer.write_batch(batch)
+                # Drain through the sink so the JSONL write lands in the
+                # scan's ingest_time edge metric.
+                for _ in stream.batches():
+                    pass
             writer.finished_at = stream.execution.finished_at
             writer.targets_probed = stream.execution.metrics.probes_sent
         print(f"  {path}: {writer.records} responsive IPs "
@@ -454,7 +456,9 @@ def build_parser() -> argparse.ArgumentParser:
                       help="print per-scan execution metrics")
     scan.add_argument("--profile", action="store_true",
                       help="collect per-stage timings (encode/fabric/agent/"
-                           "decode) into the metrics; implies --stats")
+                           "decode) plus the non-probe campaign edges "
+                           "(plan/derive/ingest) into the metrics; "
+                           "implies --stats")
     scan.set_defaults(func=_cmd_scan)
 
     analyze = sub.add_parser("analyze", help="filter + alias + census from exports")

@@ -167,11 +167,27 @@ class ScanJsonlWriter:
         self.records += 1
 
     def write_batch(self, batch: Iterable[ScanObservation]) -> int:
-        """Append a batch; returns how many rows were written."""
-        before = self.records
+        """Append a batch in one write; returns how many rows were written.
+
+        Duplicate-address semantics match :meth:`write` (first one wins),
+        but the serialized rows are joined and handed to the file object
+        once per batch instead of once per observation — the dominant
+        ingest edge when a campaign streams millions of rows.
+        """
+        seen = self._seen
+        add = seen.add
+        rows: list[str] = []
+        append = rows.append
         for observation in batch:
-            self.write(observation)
-        return self.records - before
+            address = observation.address
+            if address in seen:
+                continue
+            add(address)
+            append(_observation_row(observation))
+        if rows:
+            self._handle.write("\n".join(rows) + "\n")
+            self.records += len(rows)
+        return len(rows)
 
     @property
     def closed(self) -> bool:

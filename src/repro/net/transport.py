@@ -170,12 +170,23 @@ class NetworkFabric:
         if key in self._endpoints:
             raise ValueError(f"endpoint already bound: {key}")
         self._endpoints[key] = handler
-        self._delivery_indexes.clear()
+        # Maintain any built index in place: churn rebinds a few thousand
+        # addresses between scans, and a full O(endpoints) rebuild per
+        # wiring change would dominate the campaign's non-probe edges.
+        index = self._delivery_indexes.get((protocol, port))
+        if index is not None:
+            index[address] = (
+                handler,
+                self._acls.get(address),
+                self._profiles.get(address, self._default_profile),
+            )
 
     def unbind(self, address: IPAddress, protocol: str, port: int) -> None:
         """Remove a binding (used to model CPE address churn between scans)."""
-        self._endpoints.pop((address, protocol, port), None)
-        self._delivery_indexes.clear()
+        if self._endpoints.pop((address, protocol, port), None) is not None:
+            index = self._delivery_indexes.get((protocol, port))
+            if index is not None:
+                index.pop(address, None)
 
     def is_bound(self, address: IPAddress, protocol: str, port: int) -> bool:
         """Return whether an endpoint is currently bound to the key."""
@@ -184,12 +195,18 @@ class NetworkFabric:
     def set_acl(self, address: IPAddress, acl: AccessControlList) -> None:
         """Attach a firewall ACL in front of every port of ``address``."""
         self._acls[address] = acl
-        self._delivery_indexes.clear()
+        for index in self._delivery_indexes.values():
+            entry = index.get(address)
+            if entry is not None:
+                index[address] = (entry[0], acl, entry[2])
 
     def set_profile(self, address: IPAddress, profile: LinkProfile) -> None:
         """Attach per-address path characteristics."""
         self._profiles[address] = profile
-        self._delivery_indexes.clear()
+        for index in self._delivery_indexes.values():
+            entry = index.get(address)
+            if entry is not None:
+                index[address] = (entry[0], entry[1], profile)
 
     def set_resolver(
         self, resolver: "Callable[[IPAddress, str, int], Handler | None] | None"

@@ -39,6 +39,7 @@ from __future__ import annotations
 
 import multiprocessing
 import random
+import time
 from collections import OrderedDict
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -133,6 +134,9 @@ class ScanStream:
     sinks: "list[Callable[[list[ScanObservation]], object]]" = field(
         default_factory=list
     )
+    #: Campaign-installed hook run when the stream is exhausted (or
+    #: abandoned): finalizes per-scan edge metrics such as derive time.
+    finalize: "Callable[[], None] | None" = None
 
     def attach_sink(
         self, sink: "Callable[[list[ScanObservation]], object]"
@@ -140,21 +144,32 @@ class ScanStream:
         """Mirror every consumed batch into ``sink`` (e.g. a JSONL writer).
 
         Lets one pass over the stream feed several consumers — the CLI
-        tees batches to disk while a store ingests the same stream.
+        tees batches to disk while a store ingests the same stream.  Sink
+        time lands in the scan's ``ingest_time`` edge metric.
         """
         self.sinks.append(sink)
         return self
 
     def batches(self) -> Iterator[list[ScanObservation]]:
         iterator = self.execution.batches()
-        if not self.sinks:
+        if not self.sinks and self.finalize is None:
             return iterator
+        metrics = self.execution.metrics
 
         def teed() -> Iterator[list[ScanObservation]]:
-            for batch in iterator:
-                for sink in self.sinks:
-                    sink(batch)
-                yield batch
+            try:
+                for batch in iterator:
+                    if self.sinks:
+                        ingest_started = time.perf_counter()
+                        for sink in self.sinks:
+                            sink(batch)
+                        metrics.ingest_time += (
+                            time.perf_counter() - ingest_started
+                        )
+                    yield batch
+            finally:
+                if self.finalize is not None:
+                    self.finalize()
 
         return teed()
 
@@ -278,6 +293,9 @@ class ScanCampaign:
         self._reboot_times: dict[int, float] = {}
         self._rebooted: set[int] = set()
         self._datasets: "RouterDatasets | StreamedRouterDatasets | None" = None
+        # Per-family sorted target lists (sequential layout only); the
+        # address plan is campaign-constant, so compute each family once.
+        self._target_lists: dict[int, list[IPAddress]] = {}
         # Lazy-resolver handler cache: keeps the most recently answering
         # devices strongly referenced so the topology's canonical weak map
         # reuses one object per device across a probe window.
@@ -306,12 +324,19 @@ class ScanCampaign:
         self._setup(result)
         with self._pool_scope() as pool:
             for label in SCAN_LABELS:
+                derive_base = (
+                    self.topology.derive_seconds if self._lazy else 0.0  # type: ignore[union-attr]
+                )
                 version, start, rate, targets = self._advance_to(label, result)
                 if self._streamed:
                     execution = self._execute_scan(pool, label, version,
                                                    start, rate, targets)
                     result.scans[label] = execution.result()
                     result.metrics[label] = execution.metrics
+                    if self._lazy:
+                        execution.metrics.derive_time = (
+                            self.topology.derive_seconds - derive_base  # type: ignore[union-attr]
+                        )
                 elif self._use_executor:
                     execution = self._make_executor(pool).execute(
                         targets, label=label, ip_version=version,
@@ -339,16 +364,33 @@ class ScanCampaign:
         self._setup(result)
         with self._pool_scope() as pool:
             for label in SCAN_LABELS:
+                derive_base = (
+                    self.topology.derive_seconds if self._lazy else 0.0  # type: ignore[union-attr]
+                )
                 version, start, rate, targets = self._advance_to(label, result)
                 execution = self._execute_scan(
                     pool, label, version, start, rate, targets
                 )
+                finalize: "Callable[[], None] | None" = None
+                if self._lazy:
+                    topology = self.topology
+
+                    def finalize(
+                        metrics: ExecutorMetrics = execution.metrics,
+                        base: float = derive_base,
+                        topology: LazyTopology = topology,  # type: ignore[assignment]
+                    ) -> None:
+                        # Derivation happens while batches stream, so the
+                        # edge is only known once this scan is drained.
+                        metrics.derive_time = topology.derive_seconds - base
+
                 yield ScanStream(
                     label=label,
                     ip_version=version,
                     started_at=start,
                     bindings=result.bindings[label],
                     execution=execution,
+                    finalize=finalize,
                 )
 
     # -- schedule ---------------------------------------------------------------
@@ -373,6 +415,12 @@ class ScanCampaign:
                 config=self.config,
                 plan=self._plan,
                 device_for=self._device_for_slot,
+                # Lazy worlds answer dataset membership from the cheap
+                # membership records; eager-streamed worlds already hold
+                # every device, so the default device path is free.
+                membership_for=(
+                    self.topology.membership_at if self._lazy else None  # type: ignore[union-attr]
+                ),
             )
             result.datasets = datasets
             self._datasets = datasets
@@ -445,15 +493,19 @@ class ScanCampaign:
         self, pool: "WorkerPool | None" = None
     ) -> ShardedScanExecutor:
         owner_of: "Callable[[IPAddress], int | None]"
+        owner_of_batch: "Callable[[list[IPAddress]], list[int | None]]"
         if self._lazy:
             # Plan arithmetic plus the derived churn overlays; identical
             # to the eager-streamed overlay below by construction, which
             # keeps the two modes' shard plans byte-identical.
             owner_of = self.topology.owner_of  # type: ignore[union-attr]
+            owner_of_batch = self.topology.owners_of  # type: ignore[union-attr]
         elif self._streamed:
             owner_of = self._stream_owner_of
+            owner_of_batch = self._stream_owners_of
         else:
             owner_of = self._owner_map.get
+            owner_of_batch = self._owner_map_owners
 
         return ShardedScanExecutor(
             fabric=self._fabric,
@@ -462,6 +514,14 @@ class ScanCampaign:
             config=self._executor_config,
             zmap_config=self._scanner.config,
             pool=pool,
+            owner_of_batch=owner_of_batch,
+            # Lazy worlds fast-reject closed devices at the fabric, so
+            # their agents keep virgin state through every shard —
+            # narrowing the snapshot set to open devices skips the
+            # dominant materialization cost without touching results.
+            snapshot_filter=(
+                self.topology.open_device_ids if self._lazy else None  # type: ignore[union-attr]
+            ),
         )
 
     def _execute_scan(
@@ -619,13 +679,23 @@ class ScanCampaign:
                 return self._plan.iter_v4_targets()
             return datasets.iter_hitlist_targets_v6()
         assert isinstance(datasets, RouterDatasets)
+        # The target list per family is fixed for the whole campaign —
+        # churn rotates owners among existing addresses, never mints new
+        # ones — so both scans of a pair share one sorted list.  Safe to
+        # hand out repeatedly: the shard planner copies before shuffling.
+        cached = self._target_lists.get(version)
+        if cached is not None:
+            return cached
         if version == 4:
             # Equivalent to scanning all routable IPv4 space: unassigned
             # addresses cannot answer, so only the plan's addresses matter.
-            return sorted(
+            targets = sorted(
                 self.topology.all_addresses(4), key=int  # type: ignore[union-attr]
             )
-        return sorted(datasets.hitlist_targets_v6, key=int)
+        else:
+            targets = sorted(datasets.hitlist_targets_v6, key=int)
+        self._target_lists[version] = targets
+        return targets
 
     # -- streamed-layout plumbing -------------------------------------------------
 
@@ -643,6 +713,27 @@ class ScanCampaign:
         assert self._plan is not None
         slot = self._plan.locate(address)
         return None if slot is None else slot.device_id
+
+    def _stream_owners_of(
+        self, addresses: "list[IPAddress]"
+    ) -> "list[int | None]":
+        """Batch form of :meth:`_stream_owner_of`: plan sweep + overlay."""
+        assert self._plan is not None
+        owners = self._plan.owner_ids(addresses)
+        overrides = self._stream_overrides
+        if overrides:
+            override_get = overrides.get
+            for position, address in enumerate(addresses):
+                override = override_get(address)
+                if override is not None:
+                    owners[position] = override
+        return owners
+
+    def _owner_map_owners(
+        self, addresses: "list[IPAddress]"
+    ) -> "list[int | None]":
+        """Sequential-layout batch ownership: one C-speed map over the dict."""
+        return list(map(self._owner_map.get, addresses))
 
     def _resolve_endpoint(
         self, address: IPAddress, protocol: str, port: int

@@ -35,6 +35,7 @@ import hashlib
 import multiprocessing
 import time
 import zlib
+from array import array
 from dataclasses import dataclass
 from itertools import islice
 from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Mapping
@@ -272,6 +273,43 @@ def shard_seed(base_seed: int, label: str, shard_index: int) -> int:
     return int.from_bytes(digest[:8], "big")
 
 
+#: Memoized shuffle orders.  The planning permutation is a pure function
+#: of ``(shuffle seed ^ label digest, target count)`` and the same key
+#: recurs constantly — every scan of a repeated campaign, every rep of a
+#: benchmark, every worker count of an identity gate — so the O(n)
+#: Python-level Fisher-Yates runs once per key, not once per plan.  The
+#: cached order is read-only by construction (planning only iterates it).
+_PERMUTATION_CACHE: "dict[tuple[int, int], array]" = {}
+_PERMUTATION_CACHE_MAX = 16
+
+
+def _permutation(key: int, count: int) -> "array":
+    """Memoized Fisher-Yates order for one ``(shuffle key, length)``.
+
+    Streaming campaigns re-plan the same window geometry for every
+    window of every scan, so the shuffle — a pure function of the key
+    and length — is cached.  Entries are stored as C ``array``s rather
+    than int lists: a 65536-slot permutation costs 512 KB instead of
+    ~2.5 MB of boxed integers, keeping the memo invisible next to the
+    residency window.
+    """
+    import random
+
+    cache_key = (key, count)
+    order = _PERMUTATION_CACHE.get(cache_key)
+    if order is None:
+        shuffled = list(range(count))
+        random.Random(key).shuffle(shuffled)
+        order = array("l", shuffled)
+        # A memo of pure functions: every process derives identical
+        # entries from (key, count), so fork-pool sharing cannot skew
+        # results.
+        if len(_PERMUTATION_CACHE) >= _PERMUTATION_CACHE_MAX:
+            del _PERMUTATION_CACHE[next(iter(_PERMUTATION_CACHE))]  # repro-lint: disable=DET002
+        _PERMUTATION_CACHE[cache_key] = order  # repro-lint: disable=DET002
+    return order
+
+
 def plan_shards(
     targets: "list[IPAddress]",
     *,
@@ -281,6 +319,7 @@ def plan_shards(
     shuffle_seed: int,
     owner_of: "Callable[[IPAddress], int | None]",
     base_index: int = 0,
+    owners: "list[int | None] | None" = None,
 ) -> list[ShardSpec]:
     """Partition a target list into deterministic shards.
 
@@ -293,27 +332,53 @@ def plan_shards(
     ``base_index`` offsets the global probe indices: the streaming path
     plans one window at a time but every probe must keep the msg_id and
     virtual send slot it would have had in a single whole-scan plan.
-    """
-    import random
 
-    shuffled = list(targets)
-    random.Random(shuffle_seed ^ zlib.crc32(label.encode())).shuffle(shuffled)
+    ``owners`` optionally carries the pre-resolved owner of each target,
+    aligned with ``targets`` in *input* order — callers with a batch
+    ownership view (array arithmetic over a stream plan, a C-speed dict
+    sweep) resolve whole windows at once instead of paying a Python call
+    per target.  Ownership is a pure function during planning, so the
+    plan is byte-identical either way.
+    """
+    count = len(targets)
+    # Permute positions, not targets: Fisher-Yates depends only on the
+    # sequence length and seed, so shuffling the index array yields the
+    # exact historical permutation while ownership resolves in input
+    # order (sorted address order — the cache-friendly order).
+    order = _permutation(shuffle_seed ^ zlib.crc32(label.encode()), count)
+    if owners is None:
+        # Bound-method fast path: for dict-backed ownership this sweep
+        # runs entirely at C speed.
+        owners = list(map(owner_of, targets))
+    elif len(owners) != count:
+        raise ValueError(
+            f"owners carries {len(owners)} entries for {count} targets"
+        )
     buckets: list[list[tuple[int, IPAddress]]] = [[] for __ in range(num_shards)]
-    owners: list[set[int]] = [set() for __ in range(num_shards)]
-    for global_index, target in enumerate(shuffled, start=base_index):
-        device_id = owner_of(target)
+    appends = [bucket.append for bucket in buckets]
+    # Shard membership of *devices* is permutation-independent, so the
+    # per-shard owner sets come from one C-speed dedup over the owners
+    # column instead of a set-add per target in the hot loop below.
+    owner_sets: list[set[int]] = [set() for __ in range(num_shards)]
+    for device_id in set(owners):
+        if device_id is not None:
+            owner_sets[device_id % num_shards].add(device_id)
+    permuted = zip(
+        map(targets.__getitem__, order), map(owners.__getitem__, order)
+    )
+    for position, pair in enumerate(permuted, start=base_index):
+        target, device_id = pair
         if device_id is None:
             shard = int(target) % num_shards
         else:
             shard = device_id % num_shards
-            owners[shard].add(device_id)
-        buckets[shard].append((global_index, target))
+        appends[shard]((position, target))
     return [
         ShardSpec(
             index=i,
             seed=shard_seed(seed, label, i),
             items=tuple(buckets[i]),
-            device_ids=tuple(sorted(owners[i])),
+            device_ids=tuple(sorted(owner_sets[i])),
         )
         for i in range(num_shards)
     ]
@@ -443,13 +508,15 @@ class ScanExecution:
             ip_version=self.ip_version,
             started_at=self.started_at,
         )
+        metrics = self.metrics
         for batch in self.batches():
-            for observation in batch:
-                scan.add(observation)
+            ingest_started = time.perf_counter()
+            scan.add_batch(batch)
+            metrics.ingest_time += time.perf_counter() - ingest_started
         scan.finished_at = self.finished_at
-        scan.targets_probed = self.metrics.probes_sent
-        scan.probe_bytes_sent = sum(s.probe_bytes for s in self.metrics.shards)
-        scan.reply_bytes_received = sum(s.reply_bytes for s in self.metrics.shards)
+        scan.targets_probed = metrics.probes_sent
+        scan.probe_bytes_sent = sum(s.probe_bytes for s in metrics.shards)
+        scan.reply_bytes_received = sum(s.reply_bytes for s in metrics.shards)
         return scan
 
 
@@ -517,6 +584,7 @@ class StreamingScanExecution:
                 chunk = list(islice(target_iter, self._target_window))
                 if not chunk:
                     break
+                plan_started = time.perf_counter()
                 for target in chunk:
                     if target.version != ip_version:
                         raise ValueError(
@@ -533,7 +601,13 @@ class StreamingScanExecution:
                     shuffle_seed=executor.zmap_config.shuffle_seed,
                     owner_of=executor._owner_of,
                     base_index=base_index,
+                    owners=(
+                        None
+                        if executor._owner_of_batch is None
+                        else executor._owner_of_batch(chunk)
+                    ),
                 )
+                metrics.plan_time += time.perf_counter() - plan_started
                 yield from executor._stream_window_batches(
                     plan, params, metrics, f"{params.label}@{window_index}"
                 )
@@ -556,14 +630,16 @@ class StreamingScanExecution:
             ip_version=self.ip_version,
             started_at=self.started_at,
         )
+        metrics = self.metrics
         for batch in self.batches():
-            for observation in batch:
-                scan.add(observation)
+            ingest_started = time.perf_counter()
+            scan.add_batch(batch)
+            metrics.ingest_time += time.perf_counter() - ingest_started
         assert self.finished_at is not None
         scan.finished_at = self.finished_at
-        scan.targets_probed = self.metrics.probes_sent
-        scan.probe_bytes_sent = sum(s.probe_bytes for s in self.metrics.shards)
-        scan.reply_bytes_received = sum(s.reply_bytes for s in self.metrics.shards)
+        scan.targets_probed = metrics.probes_sent
+        scan.probe_bytes_sent = sum(s.probe_bytes for s in metrics.shards)
+        scan.reply_bytes_received = sum(s.reply_bytes for s in metrics.shards)
         return scan
 
 
@@ -612,10 +688,26 @@ class ShardedScanExecutor:
         config: "ExecutorConfig | None" = None,
         zmap_config: "ZmapConfig | None" = None,
         pool: "WorkerPool | None" = None,
+        owner_of_batch: "Callable[[list[IPAddress]], list[int | None]] | None" = None,
+        snapshot_filter: "Callable[[tuple[int, ...]], list[int]] | None" = None,
     ) -> None:
         self._fabric = fabric
         self._devices = devices
         self._owner_of = owner_of or (lambda address: None)
+        # Optional batch ownership view: resolves a whole planning window
+        # in one call (plan arithmetic / C-speed dict sweep) instead of
+        # one Python call per target.  Must agree with ``owner_of``
+        # pointwise — the shard plan is built from whichever is present.
+        self._owner_of_batch = owner_of_batch
+        # Optional snapshot narrowing: returns the subset of a shard's
+        # owner ids whose agent state probing can actually touch.  A
+        # device the fabric can never deliver to (SNMP closed on every
+        # interface) keeps virgin agent state through the shard, so its
+        # snapshot/restore pair is a no-op — but materializing it to
+        # take that no-op snapshot is the dominant cost of a streamed
+        # shard.  Byte-identity holds as long as the filter only drops
+        # devices that cannot answer.
+        self._snapshot_filter = snapshot_filter
         self.config = config or ExecutorConfig()
         self.zmap_config = zmap_config or ZmapConfig()
         # Campaign-owned persistent pool; when absent, a parallel scan
@@ -660,6 +752,7 @@ class ShardedScanExecutor:
             source=source,
             source_port=self.zmap_config.source_port,
         )
+        plan_started = time.perf_counter()
         plan = plan_shards(
             targets,
             label=label,
@@ -667,8 +760,15 @@ class ShardedScanExecutor:
             seed=self.config.seed,
             shuffle_seed=self.zmap_config.shuffle_seed,
             owner_of=self._owner_of,
+            owners=(
+                None
+                if self._owner_of_batch is None
+                else self._owner_of_batch(targets)
+            ),
         )
-        return ScanExecution(self, plan, params, total_targets=len(targets))
+        execution = ScanExecution(self, plan, params, total_targets=len(targets))
+        execution.metrics.plan_time = time.perf_counter() - plan_started
+        return execution
 
     def execute_stream(
         self,
@@ -889,9 +989,12 @@ class ShardedScanExecutor:
         profile = config.profile
         timer = HandlerTimer() if profile else None
         view = self._fabric.shard_view(spec.seed, timer)
+        device_ids: "Iterable[int]" = spec.device_ids
+        if self._snapshot_filter is not None:
+            device_ids = self._snapshot_filter(spec.device_ids)
         snapshots = [
             (device, _snapshot_device(device))
-            for device in (self._devices[d] for d in spec.device_ids)
+            for device in (self._devices[d] for d in device_ids)
         ]
         yielded = 0
         timings = StageTimings()

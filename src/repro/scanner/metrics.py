@@ -92,6 +92,13 @@ class ExecutorMetrics:
     shards: list[ShardMetrics] = field(default_factory=list)
     peak_batch: int = 0
     wall_time: float = 0.0
+    #: Non-probe campaign edges, measured per scan (always on — they run
+    #: once per window, not once per probe, so the timers are free):
+    #: shard planning, topology derivation (lazy worlds only) and result
+    #: ingestion (ScanResult assembly plus attached batch sinks).
+    plan_time: float = 0.0
+    derive_time: float = 0.0
+    ingest_time: float = 0.0
 
     def add_shard(self, shard: ShardMetrics) -> None:
         self.shards.append(shard)
@@ -212,6 +219,9 @@ class ExecutorMetrics:
             "fabric_time": round(self.fabric_time, 4),
             "agent_time": round(self.agent_time, 4),
             "decode_time": round(self.decode_time, 4),
+            "plan_time": round(self.plan_time, 4),
+            "derive_time": round(self.derive_time, 4),
+            "ingest_time": round(self.ingest_time, 4),
             "shards": [s.to_dict() for s in self.shards],
         }
 
@@ -247,6 +257,11 @@ class ExecutorMetrics:
                 f"fabric {self.fabric_time:.2f}s, "
                 f"agent {self.agent_time:.2f}s, "
                 f"decode {self.decode_time:.2f}s"
+            )
+            line += (
+                f"\n  edges: plan {self.plan_time:.2f}s, "
+                f"derive {self.derive_time:.2f}s, "
+                f"ingest {self.ingest_time:.2f}s"
             )
         return line
 

@@ -69,6 +69,17 @@ class ScanResult:
         if observation.response_count > 1:
             self.multi_responders[observation.address] = observation.response_count
 
+    def add_batch(self, batch: "list[ScanObservation]") -> None:
+        """Record one observation batch (same keep-first semantics as
+        :meth:`add`, without per-observation method dispatch)."""
+        observations = self.observations
+        multi = self.multi_responders
+        setdefault = observations.setdefault
+        for observation in batch:
+            setdefault(observation.address, observation)
+            if observation.response_count > 1:
+                multi[observation.address] = observation.response_count
+
     @property
     def responsive_count(self) -> int:
         """Number of distinct responsive IPs (Table 1 '#IPs')."""

@@ -35,6 +35,7 @@ from __future__ import annotations
 import json
 import os
 from dataclasses import dataclass
+from itertools import islice
 from pathlib import Path
 from typing import TYPE_CHECKING, Iterable, Iterator
 
@@ -70,6 +71,18 @@ DEFAULT_SEGMENT_ROWS = 65536
 
 class StoreError(ValueError):
     """Raised on invalid store state or misuse of the ingest contract."""
+
+
+def _iter_chunks(
+    observations: Iterable[ScanObservation], size: int
+) -> "Iterator[list[ScanObservation]]":
+    """Cut a flat observation iterable into lists of at most ``size``."""
+    iterator = iter(observations)
+    while True:
+        chunk = list(islice(iterator, size))
+        if not chunk:
+            return
+        yield chunk
 
 
 @dataclass(frozen=True)
@@ -197,6 +210,35 @@ class Store:
         error: the store is append-only and a scan is a fact, not a
         mutable table.
         """
+        return self.ingest_scan_batches(
+            _iter_chunks(observations, self.segment_rows),
+            round_id=round_id,
+            label=label,
+            ip_version=ip_version,
+            started_at=started_at,
+            finished_at=finished_at,
+            targets_probed=targets_probed,
+        )
+
+    def ingest_scan_batches(
+        self,
+        batches: "Iterable[list[ScanObservation]]",
+        *,
+        round_id: int,
+        label: str,
+        ip_version: int,
+        started_at: float,
+        finished_at: float = 0.0,
+        targets_probed: int = 0,
+    ) -> IngestStats:
+        """Batch-granular ingest core (:meth:`ingest_scan` wraps this).
+
+        Consumes whole observation batches — the executor's native unit —
+        so a streamed campaign never pays a per-observation generator
+        round-trip between decode and segment write.  Dedup order,
+        segment boundaries and bytes on disk are identical to feeding the
+        flattened stream through :meth:`ingest_scan`.
+        """
         if round_id < 0:
             raise StoreError(f"round ids are non-negative, got {round_id}")
         rounds = self._manifest["rounds"]
@@ -206,14 +248,17 @@ class Store:
                 f"round {round_id} scan {label!r} is already ingested"
             )
         seen: set[IPAddress] = set()
+        seen_add = seen.add
         generation = self._next_generation()
+        segment_rows = self.segment_rows
         part = 0
         rows_total = 0
         bytes_total = 0
         names: list[str] = []
         buffer: list[ScanObservation] = []
+        append = buffer.append
 
-        def flush() -> None:
+        def flush(rows_out: "list[ScanObservation]") -> None:
             nonlocal part, rows_total, bytes_total
             name = (
                 f"r{round_id:06d}-{label}-g{generation:06d}-p{part:04d}.seg"
@@ -227,23 +272,28 @@ class Store:
                 part=part,
             )
             rows = write_segment(
-                path, meta, buffer, block_rows=self.block_rows
+                path, meta, rows_out, block_rows=self.block_rows
             )
             names.append(name)
             rows_total += rows
             bytes_total += path.stat().st_size
             part += 1
-            buffer.clear()
 
-        for observation in observations:
-            if observation.address in seen:
-                continue
-            seen.add(observation.address)
-            buffer.append(observation)
-            if len(buffer) >= self.segment_rows:
-                flush()
+        for batch in batches:
+            for observation in batch:
+                address = observation.address
+                if address in seen:
+                    continue
+                seen_add(address)
+                append(observation)
+            # Cut exactly at segment_rows so parts match the legacy
+            # per-observation path byte for byte.
+            while len(buffer) >= segment_rows:
+                flush(buffer[:segment_rows])
+                del buffer[:segment_rows]
         if buffer or not names:
-            flush()  # a responder-less scan still gets one (empty) segment
+            flush(buffer)  # a responder-less scan still gets one (empty) segment
+            buffer.clear()
         round_entry[label] = {
             "segments": names,
             "rows": rows_total,
@@ -293,12 +343,13 @@ class Store:
         """Ingest one streaming scan without materializing it.
 
         Observation batches flow straight from the executor into segment
-        parts; the scan totals (``targets_probed``) are patched into the
+        parts — no per-observation flattening between decode and write;
+        the scan totals (``targets_probed``) are patched into the
         manifest after the stream is exhausted.  Byte-identical to
         :meth:`ingest_result` over the same scan at any worker count.
         """
-        stats = self.ingest_scan(
-            (obs for batch in stream.batches() for obs in batch),
+        stats = self.ingest_scan_batches(
+            stream.batches(),
             round_id=round_id,
             label=stream.label,
             ip_version=stream.ip_version,

@@ -21,6 +21,7 @@ from __future__ import annotations
 import ipaddress
 import random
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import TYPE_CHECKING, Callable, Iterator
 
 from repro.net.addresses import IPAddress
@@ -30,7 +31,7 @@ from repro.topology.model import DeviceType, Topology
 if TYPE_CHECKING:
     from pathlib import Path
 
-    from repro.topology.lazy import DeviceSlot, StreamPlan
+    from repro.topology.lazy import DeviceSlot, SlotMembership, StreamPlan
     from repro.topology.model import Device
 
 
@@ -42,21 +43,41 @@ class RouterDatasets:
     364M non-aliased hitlist addresses); ``hitlist_v6`` is the narrower
     router-tagging view — addresses observed as routed hops in hitlist
     traceroutes, which include some (but far from all) residential CPE.
+
+    The RIPE Atlas view is deferred: under ``ripe_from_traceroutes`` it
+    costs a simulated global traceroute campaign, and the scan phase
+    only ever reads the hitlist (v6 target list) — so ``ripe_loader``
+    runs on first access of ``ripe_v4``/``ripe_v6``, off the campaign
+    wall.  The loader resumes a captured RNG state, so the deferred sets
+    are value-identical to the eagerly built ones.
     """
 
     itdk_v4: frozenset[IPAddress]
     itdk_v6: frozenset[IPAddress]
-    ripe_v4: frozenset[IPAddress]
-    ripe_v6: frozenset[IPAddress]
     hitlist_v6: frozenset[IPAddress]
     hitlist_targets_v6: frozenset[IPAddress]
+    ripe_loader: "Callable[[], tuple[frozenset[IPAddress], frozenset[IPAddress]]]" = field(
+        repr=False, compare=False
+    )
+
+    @cached_property
+    def _ripe(self) -> "tuple[frozenset[IPAddress], frozenset[IPAddress]]":
+        return self.ripe_loader()
 
     @property
+    def ripe_v4(self) -> frozenset[IPAddress]:
+        return self._ripe[0]
+
+    @property
+    def ripe_v6(self) -> frozenset[IPAddress]:
+        return self._ripe[1]
+
+    @cached_property
     def union_v4(self) -> frozenset[IPAddress]:
         """The union router dataset for IPv4 (ITDK + RIPE)."""
         return self.itdk_v4 | self.ripe_v4
 
-    @property
+    @cached_property
     def union_v6(self) -> frozenset[IPAddress]:
         """The union router dataset for IPv6 (ITDK + RIPE + hitlist hops)."""
         return self.itdk_v6 | self.ripe_v6 | self.hitlist_v6
@@ -117,17 +138,39 @@ def build_router_datasets(topology: Topology, config: TopologyConfig) -> RouterD
                         hitlist_hops.add(interface.address)
 
     if use_traces:
-        traced_v4, traced_v6 = _ripe_from_traceroutes(topology, config, rng)
-        ripe_v4 |= traced_v4
-        ripe_v6 |= traced_v6
+        # Defer the simulated Atlas campaign to first RIPE access: the
+        # captured RNG state resumes exactly where the device sweep left
+        # off, so the traced sets are identical to an eager run's — the
+        # campaign wall just no longer pays for a view only the analysis
+        # phase reads.  Churn and reboots never touch the structural
+        # topology (interfaces, ASes, forwarding), so running the
+        # traceroutes later sees the same world.
+        rng_state = rng.getstate()
+
+        def ripe_loader() -> "tuple[frozenset[IPAddress], frozenset[IPAddress]]":
+            # Seedless construction is deliberate: setstate() replaces
+            # the entire generator state on the next line.
+            resumed = random.Random()  # repro-lint: disable=DET001
+            resumed.setstate(rng_state)
+            traced_v4, traced_v6 = _ripe_from_traceroutes(
+                topology, config, resumed
+            )
+            return (
+                frozenset(ripe_v4 | traced_v4),
+                frozenset(ripe_v6 | traced_v6),
+            )
+    else:
+        frozen_ripe = (frozenset(ripe_v4), frozenset(ripe_v6))
+
+        def ripe_loader() -> "tuple[frozenset[IPAddress], frozenset[IPAddress]]":
+            return frozen_ripe
 
     return RouterDatasets(
         itdk_v4=frozenset(itdk_v4),
         itdk_v6=frozenset(itdk_v6),
-        ripe_v4=frozenset(ripe_v4),
-        ripe_v6=frozenset(ripe_v6),
         hitlist_v6=frozenset(hitlist_hops),
         hitlist_targets_v6=frozenset(hitlist_targets),
+        ripe_loader=ripe_loader,
     )
 
 
@@ -234,11 +277,16 @@ class StreamedRouterDatasets:
         config: TopologyConfig,
         plan: "StreamPlan",
         device_for: "Callable[[DeviceSlot], Device]",
+        membership_for: "Callable[[DeviceSlot], object] | None" = None,
     ) -> None:
         self._seed = seed
         self._config = config
         self._plan = plan
         self._device_for = device_for
+        # Dataset membership only reads device_type and interface
+        # addresses, so a lazy topology passes its membership_at here and
+        # every query answers without materializing a device.
+        self._record_for = membership_for if membership_for is not None else device_for
 
     # -- per-address rolls ---------------------------------------------------
 
@@ -255,7 +303,7 @@ class StreamedRouterDatasets:
         return False, self._roll("hl-tgt", address) < frac
 
     def _endhost_v6_hitlist(
-        self, device: "Device", address: IPAddress
+        self, device: "Device | SlotMembership", address: IPAddress
     ) -> tuple[bool, bool]:
         is_cpe = device.device_type is DeviceType.CPE
         frac = (
@@ -271,11 +319,11 @@ class StreamedRouterDatasets:
         )
         return hop, True
 
-    def _owned_device(self, address: IPAddress) -> "Device | None":
+    def _owned_device(self, address: IPAddress) -> "Device | SlotMembership | None":
         slot = self._plan.locate(address)
         if slot is None:
             return None
-        device = self._device_for(slot)
+        device = self._record_for(slot)
         for interface in device.interfaces:
             if interface.address == address:
                 return device
@@ -304,6 +352,12 @@ class StreamedRouterDatasets:
             return False
         return self._endhost_v6_hitlist(device, address)[0]
 
+    def _hitlist_v6(self, device: "Device | SlotMembership",
+                    address: IPAddress) -> bool:
+        if device.device_type is DeviceType.ROUTER:
+            return self._router_v6_hitlist(address)[1]
+        return self._endhost_v6_hitlist(device, address)[1]
+
     def in_hitlist_targets_v6(self, address: IPAddress) -> bool:
         """Whether one v6 address is on the broad scan-target list."""
         if address.version != 6:
@@ -311,9 +365,7 @@ class StreamedRouterDatasets:
         device = self._owned_device(address)
         if device is None:
             return False
-        if device.device_type is DeviceType.ROUTER:
-            return self._router_v6_hitlist(address)[1]
-        return self._endhost_v6_hitlist(device, address)[1]
+        return self._hitlist_v6(device, address)
 
     # -- streaming -----------------------------------------------------------
 
@@ -325,14 +377,14 @@ class StreamedRouterDatasets:
         selected addresses are sorted locally — a fully sorted global
         stream that only ever holds one device.
         """
-        device_for = self._device_for
+        record_for = self._record_for
         for slot in self._plan.iter_slots():
-            device = device_for(slot)
+            device = record_for(slot)
             selected = [
                 interface.address
                 for interface in device.interfaces
                 if interface.version == 6
-                and self.in_hitlist_targets_v6(interface.address)
+                and self._hitlist_v6(device, interface.address)
             ]
             selected.sort(key=int)
             yield from selected

@@ -31,6 +31,7 @@ from __future__ import annotations
 import bisect
 import ipaddress
 import random
+import time
 import weakref
 from collections import OrderedDict
 from collections.abc import Iterator, Mapping
@@ -67,11 +68,15 @@ __all__ = [
     "AsPlan",
     "DeviceSlot",
     "LazyTopology",
+    "MembershipInterface",
+    "SlotMembership",
     "StreamPlan",
     "build_as_objects",
     "churn_roll",
     "derive_churn_rotation",
     "derive_device",
+    "derive_membership",
+    "membership_of_device",
     "mix",
     "reboot_time",
 ]
@@ -135,7 +140,7 @@ class AsPlan:
         return DeviceType.LOAD_BALANCER
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DeviceSlot:
     """The coordinates a streamed device derives from."""
 
@@ -316,6 +321,50 @@ class StreamPlan:
             return None
         return self._slot(plan, index)
 
+    def owner_ids(self, addresses: "list[IPAddress]") -> "list[int | None]":
+        """Batch owner lookup: ``locate(a).device_id`` without the slot.
+
+        Shard planning only needs the owning device id, and it needs it
+        for every target of every window — the dominant ``locate``
+        caller.  This is the same address arithmetic as :meth:`locate`
+        run as one loop with hoisted lookups and no ``DeviceSlot``
+        construction, which is what makes lazy planning a batch sweep
+        instead of an object allocation per target.
+        """
+        by_v4_prefix = self._by_v4_prefix.get
+        plans = self.plans
+        n_plans = len(plans)
+        block = self.block
+        out: "list[int | None]" = []
+        append = out.append
+        for address in addresses:
+            addr_int = int(address)
+            if address.version == 4:
+                plan = by_v4_prefix(addr_int >> 16)
+                if plan is None:
+                    append(None)
+                    continue
+                offset = addr_int & 0xFFFF
+                if offset < 1:
+                    append(None)
+                    continue
+                index = (offset - 1) // block
+            else:
+                if addr_int < _V6_ORIGIN:
+                    append(None)
+                    continue
+                as_index = (addr_int - _V6_ORIGIN) >> 96
+                if as_index >= n_plans:
+                    append(None)
+                    continue
+                plan = plans[as_index]
+                index = (addr_int >> 64) & 0xFFFFFFFF
+            if index >= plan.n_devices:
+                append(None)
+                continue
+            append(plan.device_id_base + index)
+        return out
+
     def slot_of_device_id(self, device_id: int) -> "DeviceSlot | None":
         if device_id < 1 or device_id > self.device_count:
             return None
@@ -450,6 +499,261 @@ def derive_device(cfg: TopologyConfig, registry: OuiRegistry, plan: StreamPlan,
     return derive_endhost(cfg, rng, alloc, shared, asys, slot.device_type, vendor)
 
 
+# -- membership-only derivation --------------------------------------------------
+#
+# Most ownership questions a campaign asks — "is this address bound?",
+# "is the owner SNMP-open?", "does this DHCP-pool interface churn?" — need
+# only the slot's address layout and open/reachable flags, all of which the
+# per-device RNG draws *before* the expensive engine-ID/agent derivation.
+# ``derive_membership`` replays exactly that prefix of the draw stream and
+# stops, producing a compact record a few hundred bytes wide instead of a
+# full ``Device``.  The prefix must stay draw-for-draw identical to
+# ``derive_router``/``derive_endhost`` (the per-slot RNG is private, so
+# stopping early is safe); ``tests/topology/test_membership.py`` holds the
+# two paths equal property-style across seeds, slots and churn rolls.
+
+
+@dataclass(frozen=True, slots=True)
+class MembershipInterface:
+    """The slice of ``Interface`` that ownership queries consult."""
+
+    address: IPAddress
+    snmp_reachable: bool = True
+
+    @property
+    def version(self) -> int:
+        return self.address.version
+
+
+@dataclass(frozen=True, slots=True)
+class SlotMembership:
+    """Address/openness facts for one slot, without the agent machinery.
+
+    Duck-types as a ``Device`` for :func:`derive_churn_rotation` (which
+    reads ``dhcp_pool``/``snmp_open``/``device_id``/``interfaces`` only).
+    """
+
+    device_id: int
+    device_type: DeviceType
+    snmp_open: bool
+    dhcp_pool: bool
+    interfaces: tuple[MembershipInterface, ...]
+
+
+def membership_of_device(device: Device) -> SlotMembership:
+    """Project an already-materialized device onto its membership record."""
+    return SlotMembership(
+        device_id=device.device_id,
+        device_type=device.device_type,
+        snmp_open=device.snmp_open,
+        dhcp_pool=device.dhcp_pool,
+        interfaces=tuple(
+            MembershipInterface(
+                address=interface.address,
+                snmp_reachable=interface.snmp_reachable,
+            )
+            for interface in device.interfaces
+        ),
+    )
+
+
+def _pack_membership(record: SlotMembership) -> bytes:
+    """Byte-pack a membership record for cache residency.
+
+    One flags byte (``snmp_open`` | ``dhcp_pool`` << 1) followed by 17
+    bytes per interface (meta byte: reachable | is-v6 << 1; then the
+    address as a 128-bit big-endian integer).  A packed record is a
+    single gc-untracked ~20-60 byte string, so caching every slot of a
+    ~930k-target world costs megabytes — against the hundreds of MB
+    (and whole-heap gc scans) a cache of live dataclass records incurs.
+    """
+    flags = record.snmp_open | record.dhcp_pool << 1
+    parts = [flags.to_bytes(1, "big")]
+    for interface in record.interfaces:
+        address = interface.address
+        meta = interface.snmp_reachable | (address.version == 6) << 1
+        parts.append(meta.to_bytes(1, "big"))
+        parts.append(int(address).to_bytes(16, "big"))
+    return b"".join(parts)
+
+
+def _unpack_membership(slot: DeviceSlot, packed: bytes) -> SlotMembership:
+    """Inverse of :func:`_pack_membership` (value-identical record)."""
+    flags = packed[0]
+    interfaces = []
+    for pos in range(1, len(packed), 17):
+        meta = packed[pos]
+        addr_int = int.from_bytes(packed[pos + 1:pos + 17], "big")
+        interfaces.append(MembershipInterface(
+            address=(
+                ipaddress.IPv6Address(addr_int)
+                if meta & 2
+                else ipaddress.IPv4Address(addr_int)
+            ),
+            snmp_reachable=bool(meta & 1),
+        ))
+    return SlotMembership(
+        device_id=slot.device_id,
+        device_type=slot.device_type,
+        snmp_open=bool(flags & 1),
+        dhcp_pool=bool(flags & 2),
+        interfaces=tuple(interfaces),
+    )
+
+
+def _router_membership(cfg: TopologyConfig, rng: random.Random,
+                       alloc: _SlotAllocator, as_plan: AsPlan,
+                       asys: AutonomousSystem, slot: DeviceSlot) -> SlotMembership:
+    # Draw-for-draw prefix of derive_router() up to (not including) the
+    # engine-ID derivation.
+    region_share = cfg.router_vendor_share[as_plan.region]
+    if rng.random() < as_plan.dominance:
+        vendor = as_plan.primary_vendor
+    else:
+        others = {
+            v: w for v, w in region_share.items()
+            if v != as_plan.primary_vendor and w > 0
+        }
+        if not others:
+            vendor = as_plan.primary_vendor
+        else:
+            vendor = rng.choices(list(others), weights=list(others.values()))[0]
+
+    roll = rng.random()
+    if roll < cfg.router_dual_frac:
+        protocol = "dual"
+    elif roll < cfg.router_dual_frac + cfg.router_v6_only_frac:
+        protocol = "v6"
+    else:
+        protocol = "v4"
+    n_ifaces = int(rng.lognormvariate(cfg.router_iface_mu, cfg.router_iface_sigma)) + 1
+    if protocol == "dual":
+        n_ifaces = int(n_ifaces * cfg.dual_stack_iface_boost) + 2
+    n_ifaces = min(n_ifaces, alloc.iface_cap(protocol))
+
+    first_mac = alloc.next_mac(vendor, n_ifaces)
+    open_prob = as_plan.open_rate
+    if vendor == "Juniper":
+        open_prob *= cfg.juniper_open_factor
+    snmp_open = rng.random() < open_prob
+
+    interfaces: list[MembershipInterface] = []
+    for i in range(n_ifaces):
+        mac = first_mac.successor(i)
+        if protocol == "v4":
+            address: IPAddress = alloc.alloc_v4(asys)
+        elif protocol == "v6":
+            address = (
+                alloc.alloc_v6_eui64(asys, mac)
+                if rng.random() < cfg.eui64_v6_frac
+                else alloc.alloc_v6(asys)
+            )
+        else:
+            if i % 3:
+                address = alloc.alloc_v4(asys)
+            elif rng.random() < cfg.eui64_v6_frac:
+                address = alloc.alloc_v6_eui64(asys, mac)
+            else:
+                address = alloc.alloc_v6(asys)
+        reachable = rng.random() >= cfg.acl_interface_frac
+        interfaces.append(
+            MembershipInterface(address=address, snmp_reachable=reachable)
+        )
+    return SlotMembership(
+        device_id=slot.device_id,
+        device_type=DeviceType.ROUTER,
+        snmp_open=snmp_open,
+        dhcp_pool=False,
+        interfaces=tuple(interfaces),
+    )
+
+
+def _endhost_membership(cfg: TopologyConfig, rng: random.Random,
+                        alloc: _SlotAllocator, asys: AutonomousSystem,
+                        slot: DeviceSlot) -> SlotMembership:
+    # Draw-for-draw prefix of derive_device()+derive_endhost(); unused
+    # rolls (skew width, open TCP) still advance the stream.
+    share = (
+        cfg.server_vendor_share
+        if slot.device_type is DeviceType.SERVER
+        else cfg.cpe_vendor_share
+    )
+    vendors = list(share)
+    vendor = rng.choices(vendors, weights=[share[v] for v in vendors])[0]
+    if slot.device_type is DeviceType.SERVER:
+        roll = rng.random()
+        dual = roll < cfg.server_dual_frac
+        v6 = not dual and roll < cfg.server_dual_frac + cfg.server_v6_frac
+        snmp_open = rng.random() < cfg.server_snmp_open
+        dhcp = False
+        rng.random()  # open_tcp roll
+    else:
+        roll = rng.random()
+        dual = roll < cfg.cpe_dual_frac
+        v6 = not dual and roll < cfg.cpe_dual_frac + cfg.cpe_v6_frac
+        rng.random()  # skew-width roll
+        snmp_open = rng.random() < cfg.cpe_snmp_open
+        dhcp = rng.random() < cfg.cpe_dhcp_churn_frac
+        rng.random()  # open_tcp roll
+
+    if slot.device_type is DeviceType.SERVER \
+            and rng.random() < cfg.server_multi_ip_frac:
+        n_addrs = rng.randint(2, cfg.server_multi_ip_max)
+    elif slot.device_type is DeviceType.CPE and not dhcp \
+            and rng.random() < cfg.cpe_multi_ip_frac:
+        n_addrs = rng.randint(2, cfg.cpe_multi_ip_max)
+    else:
+        n_addrs = 1
+
+    mac = alloc.next_mac(vendor, count=max(1, n_addrs))
+
+    def alloc_v6_for(nic_mac: MacAddress) -> ipaddress.IPv6Address:
+        if rng.random() < cfg.eui64_v6_frac:
+            return alloc.alloc_v6_eui64(asys, nic_mac)
+        return alloc.alloc_v6(asys)
+
+    interfaces: list[MembershipInterface] = []
+    if dual:
+        interfaces.append(MembershipInterface(address=alloc.alloc_v4(asys)))
+        interfaces.append(MembershipInterface(address=alloc_v6_for(mac)))
+        n_addrs = max(0, n_addrs - 2)
+    elif v6:
+        for i in range(n_addrs):
+            nic = mac.successor(i)
+            interfaces.append(MembershipInterface(address=alloc_v6_for(nic)))
+        n_addrs = 0
+    for __ in range(n_addrs):
+        interfaces.append(MembershipInterface(address=alloc.alloc_v4(asys)))
+    return SlotMembership(
+        device_id=slot.device_id,
+        device_type=slot.device_type,
+        snmp_open=snmp_open,
+        dhcp_pool=dhcp,
+        interfaces=tuple(interfaces),
+    )
+
+
+def derive_membership(cfg: TopologyConfig, registry: OuiRegistry,
+                      plan: StreamPlan, slot: DeviceSlot,
+                      asys: AutonomousSystem) -> "SlotMembership | None":
+    """Membership facts for one slot without materializing the device.
+
+    Returns ``None`` for load balancers: their per-backend agent draws
+    precede the ``snmp_open`` roll, so there is no cheap prefix — callers
+    fall back to full materialization (LB slots are a sliver of the world).
+    """
+    if slot.device_type is DeviceType.LOAD_BALANCER:
+        return None
+    as_plan = plan.as_plan(slot.asn)
+    rng = random.Random(mix(plan.seed, "device", slot.asn, slot.index))
+    mac_rng = random.Random(mix(plan.seed, "mac", slot.asn, slot.index))
+    alloc = _SlotAllocator(registry=registry, plan=plan, as_plan=as_plan,
+                           slot=slot, rng=mac_rng)
+    if slot.device_type is DeviceType.ROUTER:
+        return _router_membership(cfg, rng, alloc, as_plan, asys, slot)
+    return _endhost_membership(cfg, rng, alloc, asys, slot)
+
+
 # -- between-scan events as pure functions --------------------------------------
 
 
@@ -467,13 +771,17 @@ def churn_roll(seed: int, version: int, address: IPAddress) -> bool:
     return rng.random() < CHURN_PROBABILITY[version]
 
 
-def derive_churn_rotation(seed: int, version: int,
-                          devices: Iterable[Device]) -> dict[IPAddress, int]:
+def derive_churn_rotation(
+    seed: int, version: int,
+    devices: "Iterable[Device | SlotMembership]",
+) -> dict[IPAddress, int]:
     """DHCP churn for one AS: rotate churned addresses between pool members.
 
     ``devices`` must arrive in slot order; eligibility and the roll are
     pure functions of ``(seed, version, address)``, so lazy and eager
-    campaigns derive the same rotation.
+    campaigns derive the same rotation.  Accepts full devices or
+    :class:`SlotMembership` records interchangeably — it reads only the
+    membership surface.
     """
     eligible: list[tuple[IPAddress, int]] = []
     for device in devices:
@@ -495,6 +803,98 @@ def derive_churn_rotation(seed: int, version: int,
 
 
 # -- the lazy view ---------------------------------------------------------------
+
+
+class _SweepCache:
+    """Bounded LRU with miss-streak bypass — sweep-aware residency.
+
+    Shard plans sweep a planning window's slots cyclically, and a cyclic
+    reference string one element longer than the cache is plain LRU's
+    worst case: every access evicts exactly the entry needed soonest, so
+    the hit rate collapses to zero while eviction work is maximal.  This
+    variant counts consecutive misses; once the streak exceeds capacity
+    (proof the live working set cannot fit), new entries are *bypassed*
+    instead of admitted, so a resident subset survives the sweep and
+    serves Θ(capacity) hits on later passes.  A single hit resets the
+    streak and resumes normal LRU — shrinking working sets reclaim the
+    cache immediately.  Purely deterministic: admission depends only on
+    the access sequence.
+    """
+
+    __slots__ = ("_capacity", "_data", "_miss_streak")
+
+    def __init__(self, capacity: int) -> None:
+        self._capacity = max(capacity, 1)
+        self._data: OrderedDict = OrderedDict()
+        self._miss_streak = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def get(self, key: object) -> "object | None":
+        entry = self._data.get(key)
+        if entry is not None:
+            self._data.move_to_end(key)
+            self._miss_streak = 0
+        else:
+            self._miss_streak += 1
+        return entry
+
+    def put(self, key: object, value: object) -> None:
+        """Admit ``key`` unless mid-bypass (call after a missed ``get``)."""
+        data = self._data
+        if key in data:
+            data[key] = value
+            data.move_to_end(key)
+            return
+        if len(data) >= self._capacity and self._miss_streak > self._capacity:
+            return
+        data[key] = value
+        while len(data) > self._capacity:
+            data.popitem(last=False)
+
+    def access(self, key: object, value: object) -> None:
+        """Combined touch-or-admit for callers that already hold the value."""
+        if key in self._data:
+            self._data.move_to_end(key)
+            self._miss_streak = 0
+            return
+        self._miss_streak += 1
+        self.put(key, value)
+
+
+#: Worlds with at most this many slots store packed memberships in a
+#: flat slot-indexed list (full coverage, no per-entry dict overhead);
+#: larger worlds fall back to the sweep-aware LRU.
+_SLOT_STORE_MAX = 524_288
+
+
+class _SlotStore:
+    """Full-coverage packed-membership store, indexed by device id.
+
+    One pointer per slot plus the packed bytes themselves — ~4.4 MB for
+    a ~930k-target world, an order of magnitude under the equivalent
+    LRU dict — with O(1) gets that never evict.  Only used when the
+    world is small enough that one pointer per slot is affordable;
+    beyond :data:`_SLOT_STORE_MAX` the sweep-aware LRU takes over.
+    """
+
+    __slots__ = ("_data", "_count")
+
+    def __init__(self, n_slots: int) -> None:
+        self._data: "list[bytes | None]" = [None] * (n_slots + 1)
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    def get(self, key: int) -> "bytes | None":
+        return self._data[key]
+
+    def put(self, key: int, value: bytes) -> None:
+        if self._data[key] is None:
+            self._count += 1
+        self._data[key] = value
 
 
 class _LazyDeviceMap(Mapping):
@@ -551,7 +951,28 @@ class LazyTopology:
         self._canonical: "weakref.WeakValueDictionary[tuple[int, int], Device]" = (
             weakref.WeakValueDictionary()
         )
-        self._recent: "OrderedDict[tuple[int, int], Device]" = OrderedDict()
+        self._recent = _SweepCache(self._max_resident)
+        # Membership facts are cached *byte-packed* (one gc-untracked
+        # string of ~20-60 bytes per slot, keyed by device id), so full
+        # coverage of a ~930k-target world costs megabytes and adds no
+        # object population for the collector to sweep.  Small-enough
+        # worlds get a flat slot-indexed store (full coverage, no dict
+        # overhead); beyond that the sweep-aware LRU bounds residency
+        # and its bypass keeps a resident subset serving hits.  Two
+        # byte-per-slot tables remember the cheap verdicts for every
+        # slot ever derived: ``_openness`` (0 unknown / 1 open /
+        # 2 closed) lets ``binding_of`` and the executor's snapshot
+        # filter reject closed slots without a record, and
+        # ``_pool_flags`` (0 unknown / 1 churn-eligible / 2 not) lets
+        # churn-map builds skip slots that can never join a rotation.
+        self._memberships: "_SlotStore | _SweepCache" = (
+            _SlotStore(self.plan.device_count)
+            if self.plan.device_count <= _SLOT_STORE_MAX
+            else _SweepCache(max(131072, 4 * self._max_resident))
+        )
+        n_slots = self.plan.device_count + 1
+        self._openness = bytearray(n_slots)
+        self._pool_flags = bytearray(n_slots)
         self._now = float("-inf")
         self._churn_versions: list[int] = []
         self._churn_maps: "OrderedDict[tuple[int, int], dict[IPAddress, int]]" = (
@@ -563,6 +984,11 @@ class LazyTopology:
         #: Total derivations (cache misses); re-derivation is correct but
         #: costs time, so benchmarks watch this.
         self.derivations = 0
+        #: Membership-only derivations (the cheap fast path).
+        self.membership_derivations = 0
+        #: Wall-clock seconds spent deriving devices or membership records
+        #: (the campaign profile's ``derive`` stage).
+        self.derive_seconds = 0.0
 
     # -- materialization ----------------------------------------------------
 
@@ -570,20 +996,50 @@ class LazyTopology:
         key = (slot.asn, slot.index)
         device = self._canonical.get(key)
         if device is None:
+            began = time.perf_counter()
             device = derive_device(self.config, self.registry, self.plan,
                                    slot, self.shared, self.ases)
+            self.derive_seconds += time.perf_counter() - began
             self.derivations += 1
             self._canonical[key] = device
             self._apply_reboot(device)
-        recent = self._recent
-        recent[key] = device
-        recent.move_to_end(key)
-        while len(recent) > self._max_resident:
-            recent.popitem(last=False)
+            self._openness[device.device_id] = 1 if device.snmp_open else 2
+            self._pool_flags[device.device_id] = (
+                1 if (device.dhcp_pool and device.snmp_open) else 2
+            )
+        self._recent.access(key, device)
         resident = len(self._canonical)
         if resident > self.peak_resident:
             self.peak_resident = resident
         return device
+
+    def membership_at(self, slot: DeviceSlot) -> SlotMembership:
+        """Ownership facts for one slot, materializing nothing if possible."""
+        packed = self._memberships.get(slot.device_id)
+        if packed is not None:
+            return _unpack_membership(slot, packed)  # type: ignore[arg-type]
+        return self._derive_membership_record(slot)
+
+    def _derive_membership_record(self, slot: DeviceSlot) -> SlotMembership:
+        """Cache miss path: derive, flag, and byte-pack one slot."""
+        device = self._canonical.get((slot.asn, slot.index))
+        if device is not None:
+            record = membership_of_device(device)
+        else:
+            began = time.perf_counter()
+            record = derive_membership(self.config, self.registry, self.plan,
+                                       slot, self.ases[slot.asn])
+            self.derive_seconds += time.perf_counter() - began
+            if record is None:
+                record = membership_of_device(self.device_at(slot))
+            else:
+                self.membership_derivations += 1
+        self._openness[record.device_id] = 1 if record.snmp_open else 2
+        self._pool_flags[record.device_id] = (
+            1 if (record.dhcp_pool and record.snmp_open) else 2
+        )
+        self._memberships.put(slot.device_id, _pack_membership(record))
+        return record
 
     def device_for_id(self, device_id: int) -> "Device | None":
         slot = self.plan.slot_of_device_id(device_id)
@@ -634,9 +1090,21 @@ class LazyTopology:
             self._churn_maps.move_to_end(key)
             return cached
         as_plan = self.plan.as_plan(asn)
+        # Only CPE devices can carry ``dhcp_pool`` (routers, servers and
+        # load balancers hard-code it off), and ``derive_churn_rotation``
+        # drops every member failing ``dhcp_pool and snmp_open`` — so
+        # sweeping just the CPE index range, and within it skipping slots
+        # already known churn-ineligible, feeds the rotation the exact
+        # same eligible sequence in the same slot order.  After the first
+        # scan has populated ``_pool_flags``, a map build derives only
+        # the pool members themselves instead of the whole AS.
+        first_cpe = as_plan.n_routers + as_plan.n_servers
+        pool_flags = self._pool_flags
+        base = as_plan.device_id_base
         members = (
-            self.device_at(self.plan._slot(as_plan, index))
-            for index in range(as_plan.n_devices)
+            self.membership_at(self.plan._slot(as_plan, index))
+            for index in range(first_cpe, first_cpe + as_plan.n_cpe)
+            if pool_flags[base + index] != 2
         )
         rotation = derive_churn_rotation(self.seed, version, members)
         self._churn_maps[key] = rotation
@@ -669,12 +1137,77 @@ class LazyTopology:
                 return new_owner
         return slot.device_id
 
+    def owners_of(self, addresses: "list[IPAddress]") -> "list[int | None]":
+        """Batch :meth:`owner_of` over one planning window.
+
+        Same answers, one call: the plan arithmetic binds once, and churn
+        maps resolve through a window-local overlay cache so each AS's
+        rotation is fetched once per window rather than once per address.
+        """
+        versions = self._churn_versions
+        if not versions:
+            return self.plan.owner_ids(addresses)
+        # Churn overlay path: the same inline arithmetic as
+        # :meth:`StreamPlan.owner_ids` (the AS plan is needed here for
+        # its asn, so the shared batch helper cannot be reused), with a
+        # window-local rotation cache so each AS's churn map is fetched
+        # once per window rather than once per address.
+        stream_plan = self.plan
+        by_v4_prefix = stream_plan._by_v4_prefix.get
+        plans = stream_plan.plans
+        n_plans = len(plans)
+        block = stream_plan.block
+        churned = set(versions)
+        maps: "dict[tuple[int, int], dict[IPAddress, int]]" = {}
+        out: "list[int | None]" = []
+        append = out.append
+        for address in addresses:
+            addr_int = int(address)
+            version = address.version
+            if version == 4:
+                plan = by_v4_prefix(addr_int >> 16)
+                if plan is None:
+                    append(None)
+                    continue
+                offset = addr_int & 0xFFFF
+                if offset < 1:
+                    append(None)
+                    continue
+                index = (offset - 1) // block
+            else:
+                if addr_int < _V6_ORIGIN:
+                    append(None)
+                    continue
+                as_index = (addr_int - _V6_ORIGIN) >> 96
+                if as_index >= n_plans:
+                    append(None)
+                    continue
+                plan = plans[as_index]
+                index = (addr_int >> 64) & 0xFFFFFFFF
+            if index >= plan.n_devices:
+                append(None)
+                continue
+            owner = plan.device_id_base + index
+            if version in churned:
+                key = (version, plan.asn)
+                rotation = maps.get(key)
+                if rotation is None:
+                    rotation = self.churn_map(version, plan.asn)
+                    maps[key] = rotation
+                new_owner = rotation.get(address)
+                if new_owner is not None:
+                    owner = new_owner
+            append(owner)
+        return out
+
     def binding_of(self, address: IPAddress) -> "Device | None":
         """The device answering SNMP at ``address``, or ``None``.
 
         Mirrors the eager campaign's binding rules: open devices bind
         their reachable interfaces; churned addresses rebind to the
-        rotated pool member unconditionally.
+        rotated pool member unconditionally.  Fast-rejects through the
+        membership record — most swept addresses are unbound, closed or
+        ACL-filtered, and those answers never materialize a device.
         """
         slot = self.plan.locate(address)
         if slot is None:
@@ -685,13 +1218,60 @@ class LazyTopology:
             new_owner = self.churn_map(version, slot.asn).get(address)
             if new_owner is not None:
                 return self.device_for_id(new_owner)
-        device = self.device_at(slot)
-        if not device.snmp_open:
+        if self._openness[slot.device_id] == 2:
             return None
-        for interface in device.interfaces:
-            if interface.address == address:
-                return device if interface.snmp_reachable else None
+        packed = self._memberships.get(slot.device_id)
+        if packed is None:
+            membership = self._derive_membership_record(slot)
+            if not membership.snmp_open:
+                return None
+            for interface in membership.interfaces:
+                if interface.address == address:
+                    if not interface.snmp_reachable:
+                        return None
+                    return self.device_at(slot)
+            return None
+        # Packed fast path: answer the per-probe question — open, bound
+        # here, reachable — straight off the cached bytes, constructing
+        # no record and no address objects.
+        if not packed[0] & 1:  # type: ignore[index]
+            return None
+        target = int(address)
+        want_v6 = 2 if address.version == 6 else 0
+        for pos in range(1, len(packed), 17):  # type: ignore[arg-type]
+            meta = packed[pos]  # type: ignore[index]
+            if (meta & 2) == want_v6 and target == int.from_bytes(
+                packed[pos + 1:pos + 17], "big"  # type: ignore[index]
+            ):
+                if not meta & 1:
+                    return None
+                return self.device_at(slot)
         return None
+
+    def open_device_ids(self, device_ids: "Iterable[int]") -> "list[int]":
+        """Subset of ``device_ids`` whose slots can answer SNMP.
+
+        The executor's shard snapshot filter: a closed device's agent is
+        never invoked (``binding_of`` rejects it before materialization),
+        so its snapshot/restore pair is a no-op and can be skipped
+        without touching byte-identity.  Unknown slots derive their
+        membership record here — work ``binding_of`` would do for the
+        same shard's probes anyway, just paid at plan time.
+        """
+        openness = self._openness
+        out: "list[int]" = []
+        append = out.append
+        slot_of = self.plan.slot_of_device_id
+        for device_id in device_ids:
+            flag = openness[device_id]
+            if flag == 0:
+                slot = slot_of(device_id)
+                if slot is None:
+                    continue
+                flag = 1 if self.membership_at(slot).snmp_open else 2
+            if flag == 1:
+                append(device_id)
+        return out
 
     def device_of_address(self, address: IPAddress) -> "Device | None":
         """Ground truth including churn overlays (``Topology`` parity)."""

@@ -63,8 +63,15 @@ class TracerouteEngine:
     _hop_candidates: "dict[tuple[int, int], list[IPAddress]]" = field(
         default_factory=dict, repr=False
     )
+    #: (src asn, dst asn) -> transit ASNs; pure in the AS pair, and a
+    #: campaign reuses each pair for thousands of targets.
+    _transit_cache: "dict[tuple[int, int], list[int]]" = field(
+        default_factory=dict, repr=False
+    )
+    _all_asns: "list[int]" = field(default_factory=list, repr=False)
 
     def __post_init__(self) -> None:
+        self._all_asns = sorted(self.topology.ases)
         rng = random.Random(self.seed ^ self.topology.seed)
         for asys in self.topology.ases.values():
             routers = [
@@ -98,17 +105,23 @@ class TracerouteEngine:
         return candidates[key % len(candidates)]
 
     def _transit_path(self, src_asn: int, dst_asn: int) -> list[int]:
-        """Stable intermediate-AS selection for an AS pair."""
+        """Stable intermediate-AS selection for an AS pair (memoized)."""
         if src_asn == dst_asn:
             return []
+        key = (src_asn, dst_asn)
+        cached = self._transit_cache.get(key)
+        if cached is not None:
+            return cached
         digest = zlib.crc32(f"{src_asn}-{dst_asn}".encode())
-        all_asns = sorted(self.topology.ases)
+        all_asns = self._all_asns
         hops = digest % 4  # 0..3 transit networks
-        return [
+        path = [
             all_asns[(digest >> (4 * (i + 1))) % len(all_asns)]
             for i in range(hops)
             if all_asns[(digest >> (4 * (i + 1))) % len(all_asns)] not in (src_asn, dst_asn)
         ]
+        self._transit_cache[key] = path
+        return path
 
     def trace(self, src_asn: int, target: IPAddress) -> list[TracerouteHop]:
         """Run one traceroute; returns the hop list including the target."""
@@ -157,11 +170,49 @@ class TracerouteEngine:
 
         Returns the set of revealed *intermediate* router interface
         addresses (final targets excluded, as in the paper's tagging).
+
+        Replays :meth:`trace`'s path construction inline without building
+        :class:`TracerouteHop` rows — tens of thousands of traces per
+        campaign make the per-hop allocations the dominant cost — so the
+        revealed set is identical to collecting ``trace()`` responders.
         """
         revealed: set[IPAddress] = set()
+        add = revealed.add
+        device_of = self.topology.device_of_address
+        visible = self._visible.get
+        core = self._core.get
+        edge = self._edge.get
+        pick = self._pick
+        interface_of = self._interface_of
+        n_vantages = len(vantage_asns)
+        empty: "list[Device]" = []
         for index, target in enumerate(targets):
-            vantage = vantage_asns[index % len(vantage_asns)]
-            for hop in self.trace(vantage, target)[:-1]:
-                if hop.responded:
-                    revealed.add(hop.address)
+            vantage = vantage_asns[index % n_vantages]
+            destination = device_of(target)
+            if destination is None:
+                continue
+            version = target.version
+            digest = zlib.crc32(f"{vantage}->{target}".encode())
+            router_path: "list[Device]" = []
+            src_core = pick(core(vantage, empty), digest)
+            if src_core is not None:
+                router_path.append(src_core)
+            for asn in self._transit_path(vantage, destination.asn):
+                transit = pick(core(asn, empty), digest >> 8)
+                if transit is not None:
+                    router_path.append(transit)
+            dst_core = pick(core(destination.asn, empty), digest >> 16)
+            if dst_core is not None and dst_core not in router_path:
+                router_path.append(dst_core)
+            if destination.device_type is not DeviceType.ROUTER:
+                dst_edge = pick(edge(destination.asn, empty), digest >> 20)
+                if dst_edge is not None and dst_edge not in router_path:
+                    router_path.append(dst_edge)
+            hop_key = digest >> 12
+            for device in router_path:
+                if not visible(device.device_id, False):
+                    continue
+                address = interface_of(device, version, hop_key)
+                if address is not None:
+                    add(address)
         return revealed

@@ -168,9 +168,11 @@ def test_residency_cap_bounds_live_devices():
     # O(world).
     assert lazy.peak_resident <= 2 * lazy.max_resident
     assert lazy.peak_resident < lazy.device_count
-    # Eviction forced re-derivation; correctness came from purity, not
-    # from keeping state alive.
-    assert lazy.derivations > lazy.device_count
+    # Eviction forced re-derivation (the materialized working set
+    # exceeded the cap); correctness came from purity, not from keeping
+    # state alive.  Derivations stay below the device count because the
+    # snapshot filter keeps closed devices from ever materializing.
+    assert lazy.derivations > lazy.max_resident
 
 
 def test_streaming_never_prebinds_the_fabric():

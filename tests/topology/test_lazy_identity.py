@@ -140,10 +140,13 @@ def test_campaign_identity_with_adversarial_agents_and_retries():
         build_topology(config), config, fault_profile="chaos", retry=retry
     )
     assert lazy_fp == eager_fp
-    # The cap genuinely bit: devices were evicted and re-derived, and
-    # residency stayed O(cap) (topology window + handler cache).
+    # The cap genuinely bit: the materialized working set exceeded the
+    # residency cap (so eviction and re-derivation happened mid-campaign)
+    # while residency stayed O(cap) (topology window + handler cache).
+    # Derivations stay *below* the device count because the snapshot
+    # filter keeps closed devices from ever materializing.
     assert lazy.peak_resident <= 2 * lazy.max_resident
-    assert lazy.derivations > lazy.device_count
+    assert lazy.derivations > lazy.max_resident
 
 
 def test_campaign_identity_under_conformance_profile():
