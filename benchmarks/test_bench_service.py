@@ -1,0 +1,153 @@
+"""Performance — the query service under live ingest + compaction.
+
+Races concurrent reader threads against a writer session that keeps
+ingesting campaign rounds and compacting the store, and records the
+numbers in ``BENCH_service.json`` at the repo root:
+
+* sustained queries per second across all readers while the writer runs;
+* cache hit ratio and p50/p99 request latency over the same window;
+* the snapshot-isolation contract, asserted hard: every ``integrity``
+  sample recounts one pinned generation's rows against its manifest
+  (zero torn reads), every reader's observed generations are monotonic,
+  and the window covers at least two compaction cycles.
+
+``SERVICE_BENCH_QUICK=1`` shrinks the world and the round count (the CI
+configuration); the full run uses a 1/500-scale topology.
+"""
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+
+from repro.api import Session
+from repro.service.query import QueryService
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULTS_PATH = REPO_ROOT / "BENCH_service.json"
+SEED = 2021
+
+QUICK = os.environ.get("SERVICE_BENCH_QUICK") == "1"
+DIVISOR = 2000.0 if QUICK else 500.0
+WRITER_ROUNDS = 4 if QUICK else 6
+READERS = 4
+#: CI floor: readers of a cached store clear this by orders of magnitude;
+#: the floor guards against serialization bugs (e.g. every request
+#: re-reading segments) rather than machine speed.
+MIN_QUERIES_PER_SECOND = 50.0
+
+
+def test_bench_service(tmp_path):
+    root = tmp_path / "obs"
+    session = Session(scale=DIVISOR, seed=SEED, store=root)
+    session.run_campaign(round_id=1)
+
+    service = QueryService(store=root, cache_entries=64)
+    target = str(
+        next(iter(service.store.observations())).observation.address
+    )
+    mixed = (
+        ("rounds", None),
+        ("device-count", None),
+        ("integrity", None),
+        ("vendor-census", None),
+        ("history", target),
+        ("timeline-summary", None),
+        ("integrity", None),
+        ("stats", None),
+    )
+
+    stop = threading.Event()
+    failures: list[str] = []
+    latencies: list[list[float]] = [[] for _ in range(READERS)]
+    generations: list[list[int]] = [[] for _ in range(READERS)]
+    counts = [0] * READERS
+    integrity_samples = [0] * READERS
+
+    def read(worker: int) -> None:
+        step = 0
+        while not stop.is_set():
+            endpoint, argument = mixed[(worker + step) % len(mixed)]
+            step += 1
+            try:
+                response = service.request(endpoint, argument)
+            except Exception as error:  # noqa: BLE001 - collected
+                failures.append(f"{endpoint}: {type(error).__name__}: {error}")
+                return
+            counts[worker] += 1
+            latencies[worker].append(response.latency)
+            generations[worker].append(response.generation)
+            if endpoint == "integrity":
+                integrity_samples[worker] += 1
+                if response.value["consistent"] is not True:
+                    failures.append(f"torn read: {response.value}")
+                    return
+
+    threads = [
+        threading.Thread(target=read, args=(n,)) for n in range(READERS)
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    compactions = 0
+    try:
+        for round_id in range(2, 2 + WRITER_ROUNDS):
+            session.run_campaign(round_id=round_id)
+            if round_id % 2 == 0:
+                service.store.__class__(root=root).compact()
+                compactions += 1
+    finally:
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=60.0)
+    elapsed = time.perf_counter() - started
+
+    # -- the contract ------------------------------------------------------
+    assert not failures, failures[:5]
+    assert compactions >= 2, "window must cover >= 2 compaction cycles"
+    total_queries = sum(counts)
+    total_integrity = sum(integrity_samples)
+    assert total_integrity > 0, "no integrity sample completed"
+    for worker, seen in enumerate(generations):
+        assert seen == sorted(seen), f"reader {worker} generation regressed"
+    final_rounds = service.request("rounds").value
+    assert final_rounds == list(range(1, 2 + WRITER_ROUNDS))
+
+    # -- the numbers -------------------------------------------------------
+    queries_per_second = total_queries / elapsed
+    assert queries_per_second >= MIN_QUERIES_PER_SECOND, (
+        f"sustained {queries_per_second:.0f} qps under ingest is below "
+        f"the {MIN_QUERIES_PER_SECOND:.0f} qps floor"
+    )
+    flat = sorted(sample for window in latencies for sample in window)
+    p50 = flat[int(0.50 * len(flat))]
+    p99 = flat[min(len(flat) - 1, int(0.99 * len(flat)))]
+    summary = service.metrics_summary()
+
+    payload = {
+        "benchmark": "service-concurrent-query",
+        "seed": SEED,
+        "quick": QUICK,
+        "scale_divisor": DIVISOR,
+        "readers": READERS,
+        "writer_rounds": WRITER_ROUNDS,
+        "compactions": compactions,
+        "window_seconds": round(elapsed, 3),
+        "queries": total_queries,
+        "queries_per_second": round(queries_per_second, 1),
+        "integrity_samples": total_integrity,
+        "torn_reads": 0,
+        "cache_hit_ratio": summary["hit_ratio"],
+        "p50_latency_ms": round(p50 * 1e3, 3),
+        "p99_latency_ms": round(p99 * 1e3, 3),
+        "shed": summary["shed"],
+        "final_generation": service.generation,
+    }
+    RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nservice bench 1/{DIVISOR:g}: {total_queries} queries in "
+          f"{elapsed:.1f}s under live ingest ({queries_per_second:.0f} qps) | "
+          f"hit ratio {summary['hit_ratio']:.2f} | "
+          f"p50 {p50 * 1e3:.2f}ms p99 {p99 * 1e3:.2f}ms | "
+          f"{total_integrity} integrity samples, 0 torn | "
+          f"{compactions} compactions")

@@ -24,26 +24,12 @@ from dataclasses import dataclass
 from repro.alias.sets import AliasSets
 from repro.compat import keyword_only_compat
 from repro.net.addresses import IPAddress
+from repro.net.ratelimit import RateLimit, TokenBucket
 from repro.topology.model import DeviceType, Topology
 
-
-@dataclass
-class _TokenBucket:
-    """A per-device ICMP limiter: ``rate`` tokens/s, burst-sized bucket."""
-
-    rate: float
-    burst: float
-    tokens: float = 0.0
-    updated: float = 0.0
-
-    def admit(self, now: float) -> bool:
-        elapsed = max(0.0, now - self.updated)
-        self.tokens = min(self.burst, self.tokens + elapsed * self.rate)
-        self.updated = now
-        if self.tokens >= 1.0:
-            self.tokens -= 1.0
-            return True
-        return False
+#: Back-compat alias: the per-device limiter is now the shared
+#: :class:`repro.net.ratelimit.TokenBucket`.
+_TokenBucket = TokenBucket
 
 
 @keyword_only_compat("topology", "seed")
@@ -64,12 +50,12 @@ class IcmpRateLimitOracle:
             raise TypeError("IcmpRateLimitOracle requires a topology")
         self.topology = topology
         rng = random.Random(seed ^ topology.seed)
-        self._buckets: dict[int, _TokenBucket] = {}
+        self._buckets: dict[int, TokenBucket] = {}
         self._responsive: dict[int, bool] = {}
         for device in topology.devices.values():
             rate = rng.choice(self.RATE_CLASSES)
-            self._buckets[device.device_id] = _TokenBucket(
-                rate=rate, burst=rate * 0.2, tokens=rate * 0.2
+            self._buckets[device.device_id] = TokenBucket(
+                RateLimit(rate=rate, burst=rate * 0.2), 0.0
             )
             base = 0.85 if device.device_type is DeviceType.ROUTER else 0.6
             self._responsive[device.device_id] = rng.random() < base

@@ -24,7 +24,7 @@ from __future__ import annotations
 import dataclasses
 import warnings
 from pathlib import Path
-from typing import Iterator
+from typing import TYPE_CHECKING, Callable, Iterator
 
 from repro.alias.sets import AliasSets
 from repro.alias.snmpv3 import resolve_aliases, resolve_dual_stack
@@ -42,6 +42,14 @@ from repro.topology.datasets import load_topology_file
 from repro.topology.generator import build_topology
 from repro.topology.lazy import LazyTopology
 from repro.topology.model import Topology
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.clock import Clock
+    from repro.net.addresses import IPAddress
+    from repro.net.ratelimit import RateLimit
+    from repro.scanner.records import ScanResult
+    from repro.service.query import QueryService
+    from repro.service.scheduler import JobSpec, ServiceScheduler
 
 __all__ = [
     "ExecutionOptions",
@@ -224,6 +232,7 @@ class Session:
         self._store = store
         self._topology: "Topology | LazyTopology | None" = None
         self._campaign_obj: "ScanCampaign | None" = None
+        self._targeted_campaign: "ScanCampaign | None" = None
         self._campaign: "CampaignResult | None" = None
         self._pipelines: dict[int, PipelineResult] = {}
         self._alias: dict[str, AliasSets] = {}
@@ -258,6 +267,75 @@ class Session:
         if self._campaign is None:
             self._campaign = result
         return result
+
+    def run_targeted(
+        self,
+        targets: "list[IPAddress]",
+        *,
+        label: str,
+        ip_version: int,
+        start_time: float,
+        rate_pps: float = 5000.0,
+    ) -> "ScanResult":
+        """Run one ad-hoc scan of an explicit target list.
+
+        The service scheduler's re-probe primitive: probes exactly
+        ``targets`` at virtual ``start_time`` over the session's living
+        world (reboots due by then are applied first), returning the
+        :class:`~repro.scanner.records.ScanResult`.  The caller decides
+        whether/how to ingest it — re-probe rounds use their own labels.
+        """
+        if self._targeted_campaign is None:
+            self._targeted_campaign = self._make_campaign()
+        return self._targeted_campaign.run_targeted(
+            targets,
+            label=label,
+            ip_version=ip_version,
+            start_time=start_time,
+            rate_pps=rate_pps,
+        )
+
+    def query_service(
+        self,
+        *,
+        cache_entries: "int | None" = None,
+        rate_limit: "RateLimit | None" = None,
+        clock: "Clock | None" = None,
+    ) -> "QueryService":
+        """A :class:`~repro.service.query.QueryService` over the store.
+
+        Snapshot-isolated concurrent reads with an LRU result cache and
+        optional per-client rate limiting; see :mod:`repro.service`.
+        """
+        from repro.service.query import DEFAULT_CACHE_ENTRIES, QueryService
+
+        if self._store is None:
+            raise ValueError("this Session has no store attached")
+        return QueryService(
+            store=self._store,
+            cache_entries=(
+                DEFAULT_CACHE_ENTRIES if cache_entries is None else cache_entries
+            ),
+            rate_limit=rate_limit,
+            clock=clock,
+        )
+
+    def scheduler(
+        self,
+        *,
+        jobs: "tuple[JobSpec, ...] | list[JobSpec] | None" = None,
+        seed: "int | None" = None,
+        clock: "Clock | None" = None,
+        waiter: "Callable[[float], object] | None" = None,
+    ) -> "ServiceScheduler":
+        """A :class:`~repro.service.scheduler.ServiceScheduler` over this
+        session — recurring sweeps plus churn re-probes; see
+        :mod:`repro.service`."""
+        from repro.service.scheduler import ServiceScheduler
+
+        return ServiceScheduler(
+            session=self, jobs=jobs, seed=seed, clock=clock, waiter=waiter
+        )
 
     def filter(self) -> "Session":
         """Run the §4.4 pipeline over both scan pairs."""

@@ -12,14 +12,18 @@ Four subcommands mirror the measurement workflow::
     snmpv3-repro store   query --store obs --ip 1.2.3.4  # point queries
     snmpv3-repro store   timeline --store obs            # reboots/churn/diffs
     snmpv3-repro store   compact --store obs             # merge segments
+    snmpv3-repro serve   --store obs --port 8350         # HTTP query service
+    snmpv3-repro schedule --store obs --max-runs 4       # scheduler daemon
     snmpv3-repro lab                                     # §6.2.1 bench run
 
 ``scan`` exports the four raw scans; ``analyze`` consumes those files —
 so the two stages can run on different machines, the way the paper's
 collection and analysis separate.  The ``store`` verbs maintain the
 persistent longitudinal observatory (:mod:`repro.store`): rounds of
-scans, indexed queries and incremental device timelines.  ``python -m
-repro`` is equivalent.
+scans, indexed queries and incremental device timelines.  ``serve`` and
+``schedule`` put :mod:`repro.service` on top of a store — a concurrent
+HTTP/JSON query service and the deterministic continuous-scan scheduler
+daemon.  ``python -m repro`` is equivalent.
 """
 
 from __future__ import annotations
@@ -198,8 +202,13 @@ def _cmd_report(args: argparse.Namespace) -> int:
     from repro.topology.config import TopologyConfig
 
     config = TopologyConfig.paper_scale(divisor=args.scale, seed=args.seed)
-    print(f"running full reproduction (1/{args.scale:g} scale)...", file=sys.stderr)
-    ctx = ExperimentContext.create(config)
+    if args.topology_file:
+        print(f"running full reproduction over {args.topology_file}...",
+              file=sys.stderr)
+    else:
+        print(f"running full reproduction (1/{args.scale:g} scale)...",
+              file=sys.stderr)
+    ctx = ExperimentContext.create(config, topology_file=args.topology_file)
     text = render_full_report(ctx, include_comparators=not args.quick)
     if args.out:
         Path(args.out).write_text(text, encoding="utf-8")
@@ -216,7 +225,7 @@ def _cmd_publish(args: argparse.Namespace) -> int:
 
     config = TopologyConfig.paper_scale(divisor=args.scale, seed=args.seed)
     print(f"running measurement (1/{args.scale:g} scale)...", file=sys.stderr)
-    ctx = ExperimentContext.create(config)
+    ctx = ExperimentContext.create(config, topology_file=args.topology_file)
     files = publish_all(ctx, args.out)
     print(f"wrote {len(files)} CSV artifacts to {args.out}/")
     return 0
@@ -372,6 +381,92 @@ def _cmd_store_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
+    from repro.net.ratelimit import RateLimit
+    from repro.service.http import ServiceHttpServer
+    from repro.service.query import QueryService
+
+    rate_limit = None
+    if args.rate_limit is not None:
+        rate_limit = RateLimit(rate=args.rate_limit, burst=args.burst)
+    service = QueryService(
+        store=args.store,
+        cache_entries=args.cache_entries,
+        rate_limit=rate_limit,
+    )
+    server = ServiceHttpServer(
+        service=service, host=args.host, port=args.port
+    )
+    host, port = server.address
+    print(f"serving {args.store} on http://{host}:{port}/ "
+          f"(endpoints: {', '.join(service.endpoints())})")
+
+    # Serve on a background thread; the main thread parks on an event so
+    # the signal handler never has to join the serving loop it runs on.
+    stop = threading.Event()
+
+    def _shutdown(signum: int, frame: object) -> None:
+        stop.set()
+
+    signal.signal(signal.SIGTERM, _shutdown)
+    signal.signal(signal.SIGINT, _shutdown)
+    server.start()
+    try:
+        stop.wait()
+    finally:
+        server.close()
+        print("server closed")
+    return 0
+
+
+def _cmd_schedule(args: argparse.Namespace) -> int:
+    import json as _json
+    import signal
+    import time as _time
+
+    from repro.api import Session
+    from repro.clock import ManualClock, PerfCounterClock
+    from repro.service.scheduler import JobSpec
+
+    session = Session(scale=args.scale, seed=args.seed, store=args.store)
+    jobs = (
+        JobSpec(name="sweep", kind="sweep", period=args.sweep_period,
+                jitter=args.jitter),
+        JobSpec(name="reprobe", kind="reprobe", period=args.reprobe_period,
+                offset=args.sweep_period / 2.0, jitter=args.jitter),
+    )
+    if args.real:
+        scheduler = session.scheduler(
+            jobs=jobs, clock=PerfCounterClock(), waiter=_time.sleep
+        )
+    else:
+        scheduler = session.scheduler(jobs=jobs, clock=ManualClock(0.0))
+
+    def _drain(signum: int, frame: object) -> None:
+        print("stop requested: draining the in-flight job...",
+              file=sys.stderr)
+        scheduler.request_stop()
+
+    signal.signal(signal.SIGTERM, _drain)
+    signal.signal(signal.SIGINT, _drain)
+    if scheduler.incomplete_rounds:
+        print(f"resume: ignoring incomplete rounds "
+              f"{scheduler.incomplete_rounds}", file=sys.stderr)
+    runs = scheduler.run(max_runs=args.max_runs)
+    run_stream = sys.stderr if args.json else sys.stdout
+    for run in runs:
+        print(f"  [{run.finished:10.1f}] {run.job} #{run.firing}: "
+              f"round {run.round_id}, {run.rows} rows "
+              f"({run.targets} targets, {run.skipped_firings} skipped)",
+              file=run_stream)
+    if args.json:
+        print(_json.dumps(scheduler.summary(), indent=2, sort_keys=True))
+    return 0
+
+
 def _cmd_lab(args: argparse.Namespace) -> int:
     from repro.experiments.lab import default_lab, run_lab_experiment
 
@@ -472,6 +567,10 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--seed", type=int, default=2021)
     report.add_argument("--quick", action="store_true")
     report.add_argument("--out", default=None)
+    report.add_argument("--topology-file", default=None,
+                        help="evaluate a world loaded from an ITDK-style "
+                             "topology description instead of a generated "
+                             "one")
     report.set_defaults(func=_cmd_report)
 
     publish = sub.add_parser(
@@ -480,6 +579,10 @@ def build_parser() -> argparse.ArgumentParser:
     publish.add_argument("--scale", type=float, default=100.0)
     publish.add_argument("--seed", type=int, default=2021)
     publish.add_argument("--out", default="published")
+    publish.add_argument("--topology-file", default=None,
+                         help="evaluate a world loaded from an ITDK-style "
+                              "topology description instead of a generated "
+                              "one")
     publish.set_defaults(func=_cmd_publish)
 
     store = sub.add_parser(
@@ -542,6 +645,44 @@ def build_parser() -> argparse.ArgumentParser:
     store_stats = _store_parser("stats", "physical/logical store shape")
     store_stats.add_argument("--json", action="store_true")
     store_stats.set_defaults(func=_cmd_store_stats)
+
+    serve = sub.add_parser(
+        "serve", help="HTTP/JSON query service over an observatory store"
+    )
+    serve.add_argument("--store", required=True,
+                       help="store directory to serve")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8350)
+    serve.add_argument("--cache-entries", type=int, default=512,
+                       help="LRU result-cache capacity (default 512)")
+    serve.add_argument("--rate-limit", type=float, default=None,
+                       help="per-client requests/second (default: unlimited)")
+    serve.add_argument("--burst", type=float, default=8.0,
+                       help="per-client burst allowance with --rate-limit")
+    serve.set_defaults(func=_cmd_serve)
+
+    schedule = sub.add_parser(
+        "schedule", help="run the continuous-scan scheduler over a store"
+    )
+    schedule.add_argument("--store", required=True,
+                          help="store directory (resumed if it exists)")
+    schedule.add_argument("--scale", type=float, default=300.0)
+    schedule.add_argument("--seed", type=int, default=2021)
+    schedule.add_argument("--max-runs", type=int, default=4,
+                          help="jobs to execute before exiting (default 4)")
+    schedule.add_argument("--sweep-period", type=float, default=86400.0,
+                          help="seconds between full sweeps (default 86400)")
+    schedule.add_argument("--reprobe-period", type=float, default=21600.0,
+                          help="seconds between churn re-probes "
+                               "(default 21600)")
+    schedule.add_argument("--jitter", type=float, default=60.0,
+                          help="max seeded per-firing jitter (default 60)")
+    schedule.add_argument("--real", action="store_true",
+                          help="pace jobs on the wall clock instead of the "
+                               "virtual manual clock")
+    schedule.add_argument("--json", action="store_true",
+                          help="print the full scheduler summary as JSON")
+    schedule.set_defaults(func=_cmd_schedule)
 
     lab = sub.add_parser("lab", help="run the §6.2.1 lab validation")
     lab.set_defaults(func=_cmd_lab)

@@ -40,10 +40,22 @@ class ExperimentContext:
         cls,
         config: "TopologyConfig | None" = None,
         pipeline: "FilterPipeline | None" = None,
+        topology_file: "str | None" = None,
     ) -> "ExperimentContext":
-        """Run the full measurement pipeline."""
+        """Run the full measurement pipeline.
+
+        ``topology_file`` runs the whole evaluation over a world loaded
+        from an ITDK-style topology description instead of a generated
+        one (the ``report``/``publish`` ``--topology-file`` flag) — the
+        scheduled-rescan path for file-defined populations.
+        """
         config = config or TopologyConfig.paper_scale()
-        topology = build_topology(config)
+        if topology_file is not None:
+            from repro.topology.datasets import load_topology_file
+
+            topology = load_topology_file(topology_file, seed=config.seed)
+        else:
+            topology = build_topology(config)
         campaign = ScanCampaign(topology=topology, config=config).run()
         pipeline = pipeline or FilterPipeline()
         pipeline_v4 = pipeline.run(*campaign.scan_pair(4))

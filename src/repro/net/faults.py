@@ -19,6 +19,8 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
+from repro.net.ratelimit import RateLimit, TokenBucket
+
 __all__ = [
     "FAULT_PROFILES",
     "FaultProfile",
@@ -28,53 +30,6 @@ __all__ = [
     "resolve_fault_profile",
     "truncate_payload",
 ]
-
-
-@dataclass(frozen=True)
-class RateLimit:
-    """Token-bucket rate limit applied per destination address.
-
-    ``rate`` is tokens (admitted probes) per virtual second; ``burst`` is
-    the bucket depth.  Probes arriving with an empty bucket are silently
-    dropped — exactly the control-plane policing a busy router applies.
-    """
-
-    rate: float
-    burst: int = 1
-
-    def __post_init__(self) -> None:
-        if self.rate <= 0:
-            raise ValueError(f"rate must be > 0, got {self.rate}")
-        if self.burst < 1:
-            raise ValueError(f"burst must be >= 1, got {self.burst}")
-
-
-class TokenBucket:
-    """A virtual-time token bucket (no wall clock, no RNG).
-
-    State advances only on :meth:`admit` calls, so the drop pattern is a
-    pure function of the probe arrival times — shard-local bucket state
-    therefore cannot leak information between shards.
-    """
-
-    __slots__ = ("_limit", "_tokens", "_last")
-
-    def __init__(self, limit: RateLimit, now: float) -> None:
-        self._limit = limit
-        self._tokens = float(limit.burst)
-        self._last = now
-
-    def admit(self, now: float) -> bool:
-        """Consume one token if available; refill first from elapsed time."""
-        elapsed = max(0.0, now - self._last)
-        self._tokens = min(
-            float(self._limit.burst), self._tokens + elapsed * self._limit.rate
-        )
-        self._last = now
-        if self._tokens >= 1.0:
-            self._tokens -= 1.0
-            return True
-        return False
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,79 @@
+"""Shared token-bucket rate limiting.
+
+Three subsystems meter work with the same classic algorithm: the fault
+fabric polices probe delivery per destination (:mod:`repro.net.faults`),
+the ICMP alias oracle models per-device reply limiters
+(:mod:`repro.alias.ratelimit`), and the query service sheds abusive
+clients (:mod:`repro.service`).  This module is the single
+implementation they all share — virtual-time only, no wall clock and no
+RNG, so bucket state is a pure function of the admit-call timestamps and
+deterministic replays stay byte-identical.
+"""
+
+from __future__ import annotations
+
+__all__ = ["RateLimit", "TokenBucket"]
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RateLimit:
+    """Token-bucket configuration: ``rate`` tokens per virtual second,
+    ``burst`` bucket depth.
+
+    Callers arriving with an empty bucket are refused — dropped probes
+    for the fault fabric, suppressed replies for the ICMP oracle, shed
+    requests for the query service.
+    """
+
+    rate: float
+    burst: float = 1
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ValueError(f"rate must be > 0, got {self.rate}")
+        if self.burst < 1:
+            raise ValueError(f"burst must be >= 1, got {self.burst}")
+
+
+class TokenBucket:
+    """A virtual-time token bucket (no wall clock, no RNG).
+
+    State advances only on :meth:`admit` calls, so the drop pattern is a
+    pure function of the arrival times — shard-local bucket state
+    therefore cannot leak information between shards.  The bucket starts
+    full (``tokens == burst``) unless an explicit ``tokens`` level is
+    given.
+    """
+
+    __slots__ = ("_limit", "_tokens", "_last")
+
+    def __init__(
+        self, limit: RateLimit, now: float, *, tokens: "float | None" = None
+    ) -> None:
+        self._limit = limit
+        self._tokens = float(limit.burst) if tokens is None else float(tokens)
+        self._last = now
+
+    @property
+    def rate(self) -> float:
+        """Refill rate in tokens per virtual second."""
+        return self._limit.rate
+
+    @property
+    def burst(self) -> float:
+        """Bucket depth (maximum token level)."""
+        return float(self._limit.burst)
+
+    def admit(self, now: float) -> bool:
+        """Consume one token if available; refill first from elapsed time."""
+        elapsed = max(0.0, now - self._last)
+        self._tokens = min(
+            float(self._limit.burst), self._tokens + elapsed * self._limit.rate
+        )
+        self._last = now
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True
+        return False

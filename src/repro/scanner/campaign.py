@@ -393,6 +393,43 @@ class ScanCampaign:
                     finalize=finalize,
                 )
 
+    def run_targeted(
+        self,
+        targets: "list[IPAddress]",
+        *,
+        label: str,
+        ip_version: int,
+        start_time: float,
+        rate_pps: float = 5000.0,
+    ) -> ScanResult:
+        """One ad-hoc scan of an explicit target list over the campaign world.
+
+        The service scheduler's re-probe primitive: scans exactly
+        ``targets`` at virtual ``start_time`` without replaying the
+        four-scan schedule.  The first call performs campaign setup
+        (datasets, initial bindings, reboot schedule); reboots due by
+        ``start_time`` are applied before probing, so successive targeted
+        scans at increasing virtual times observe the world aging.
+        Deterministic in ``(seed, targets, start_time)``.
+        """
+        if self._datasets is None:
+            self._setup(CampaignResult())
+        self._apply_due_reboots(start_time)
+        if self._streamed:
+            return self._make_executor().execute_stream(
+                iter(targets), label=label, ip_version=ip_version,
+                start_time=start_time, rate_pps=rate_pps,
+            ).result()
+        if self._use_executor:
+            return self._make_executor(None).execute(
+                list(targets), label=label, ip_version=ip_version,
+                start_time=start_time, rate_pps=rate_pps,
+            ).result()
+        return self._scanner.scan(
+            list(targets), label=label, ip_version=ip_version,
+            start_time=start_time, rate_pps=rate_pps,
+        )
+
     # -- schedule ---------------------------------------------------------------
 
     def _setup(self, result: CampaignResult) -> None:

@@ -1,0 +1,404 @@
+"""The continuous-scan scheduler: recurring sweeps plus churn re-probes.
+
+The daemon half of the observatory.  A priority queue keyed on next-due
+virtual time drives two kinds of recurring jobs over one
+:class:`~repro.api.Session` and its attached store:
+
+* **sweep** — one full four-scan campaign round
+  (:meth:`Session.run_campaign`), auto-ingested as the store's next
+  round;
+* **reprobe** — a targeted scan of exactly the addresses whose device
+  timelines showed recent churn: members of engines that rebooted in
+  the latest folded round, plus addresses the latest alias diff marked
+  born or moved.  Ingested as its own (single-scan-per-family) round
+  under ``reprobe-v4``/``reprobe-v6`` labels.
+
+Determinism is the design center: the loop reads time only from its
+injected :class:`~repro.clock.Clock`, per-job jitter comes from a seeded
+RNG keyed on ``(seed, job, firing)`` via :func:`repro.topology.lazy.mix`,
+and under a :class:`~repro.clock.ManualClock` waiting *is* advancing the
+clock — two runs with the same seed produce the same job order, the same
+rounds and byte-identical segments (asserted by
+``tests/service/test_scheduler.py`` over segment fingerprints).
+
+Operational behavior:
+
+* **overlap suppression** — a job that overruns its period does not
+  queue a backlog; missed firings are skipped (and counted) and the job
+  rejoins the schedule at its next future slot.
+* **crash-safe resume** — the store manifest is the checkpoint.  On
+  construction the scheduler counts complete sweep rounds (all four
+  campaign labels present) and reprobe rounds already ingested, and
+  resumes firing numbers from there; partially ingested rounds are
+  surfaced in :attr:`incomplete_rounds` and left untouched (round ids
+  are never reused).
+* **graceful drain** — :meth:`request_stop` (wired to SIGTERM/SIGINT by
+  the CLI) lets the in-flight job finish, then exits the loop.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+from repro.clock import Clock, ManualClock
+from repro.net.addresses import IPAddress
+from repro.scanner.campaign import SCAN_LABELS
+from repro.store.segment import segment_fingerprint
+from repro.store.store import Store
+from repro.topology import timeline
+from repro.topology.lazy import mix
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.api import Session
+
+__all__ = [
+    "DEFAULT_JOBS",
+    "REPROBE_LABEL_PREFIX",
+    "JobRun",
+    "JobSpec",
+    "ServiceScheduler",
+]
+
+#: Label prefix distinguishing re-probe rounds from campaign rounds.
+REPROBE_LABEL_PREFIX = "reprobe"
+
+#: Virtual-time anchor for re-probe scans: after the campaign window.
+_REPROBE_EPOCH = timeline.SCAN2_V4_START + timeline.SCAN2_V4_DURATION
+
+
+@dataclass(frozen=True, kw_only=True)
+class JobSpec:
+    """One recurring job: what to run and when.
+
+    ``period``/``offset``/``jitter`` are seconds on the scheduler's
+    clock.  Jitter is one-sided — firing ``k`` is due at
+    ``epoch + offset + k * period + uniform(0, jitter)`` with the
+    uniform draw seeded by ``(seed, name, k)``, so replays under the
+    same seed reproduce the exact schedule.
+    """
+
+    name: str
+    kind: str
+    period: float
+    offset: float = 0.0
+    jitter: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("sweep", "reprobe"):
+            raise ValueError(
+                f"job kind must be 'sweep' or 'reprobe', got {self.kind!r}"
+            )
+        if self.period <= 0:
+            raise ValueError(f"period must be > 0, got {self.period}")
+        if self.jitter < 0 or self.offset < 0:
+            raise ValueError("offset and jitter must be >= 0")
+
+
+#: The stock observatory schedule: daily sweeps, churn re-probes between.
+DEFAULT_JOBS: "tuple[JobSpec, ...]" = (
+    JobSpec(name="sweep", kind="sweep", period=86_400.0, jitter=600.0),
+    JobSpec(
+        name="reprobe",
+        kind="reprobe",
+        period=21_600.0,
+        offset=43_200.0,
+        jitter=120.0,
+    ),
+)
+
+
+@dataclass(frozen=True)
+class JobRun:
+    """One completed firing, with enough detail to replay-compare runs."""
+
+    job: str
+    kind: str
+    firing: int
+    due: float
+    started: float
+    finished: float
+    round_id: "int | None"
+    rows: int
+    targets: int
+    skipped_firings: int
+    fingerprint: str
+
+    def to_dict(self) -> dict:
+        return {
+            "job": self.job,
+            "kind": self.kind,
+            "firing": self.firing,
+            "due": self.due,
+            "started": self.started,
+            "finished": self.finished,
+            "round": self.round_id,
+            "rows": self.rows,
+            "targets": self.targets,
+            "skipped_firings": self.skipped_firings,
+            "fingerprint": self.fingerprint,
+        }
+
+
+class ServiceScheduler:
+    """Deterministic event loop over a session + store.
+
+    All constructor arguments are keyword-only.  ``session`` must carry
+    an attached store (it is the checkpoint and the serving surface).
+    ``clock`` defaults to a :class:`~repro.clock.ManualClock` starting at
+    zero — the fully simulated mode; for wall-clock deployments inject a
+    :class:`~repro.clock.PerfCounterClock` together with a ``waiter``
+    (e.g. ``time.sleep``) that blocks the loop between jobs.
+    """
+
+    def __init__(
+        self,
+        *,
+        session: "Session",
+        jobs: "tuple[JobSpec, ...] | list[JobSpec] | None" = None,
+        seed: "int | None" = None,
+        clock: "Clock | None" = None,
+        waiter: "Callable[[float], object] | None" = None,
+    ) -> None:
+        store = session.store
+        if store is None:
+            raise ValueError(
+                "ServiceScheduler requires a Session with a store attached"
+            )
+        self._session = session
+        self._store: Store = store
+        self._jobs = tuple(jobs) if jobs is not None else DEFAULT_JOBS
+        if not self._jobs:
+            raise ValueError("at least one job is required")
+        names = [job.name for job in self._jobs]
+        if len(set(names)) != len(names):
+            raise ValueError(f"job names must be unique, got {names}")
+        if seed is None:
+            seed = session.config.seed
+        self._seed = int(seed)
+        self._clock: Clock = clock if clock is not None else ManualClock(0.0)
+        self._waiter = waiter
+        self._epoch = self._clock.now()
+        self._stop_requested = False
+        self.runs: list[JobRun] = []
+        #: Partially ingested rounds found at startup (crash leftovers).
+        self.incomplete_rounds: list[int] = []
+        self._firings = self._resume_counters()
+        self._heap: "list[tuple[float, int, int]]" = []
+        for index, job in enumerate(self._jobs):
+            firing = self._firings[job.name]
+            heapq.heappush(
+                self._heap, (self._due(job, firing), index, firing)
+            )
+
+    # -- schedule arithmetic -----------------------------------------------
+
+    def _due(self, job: JobSpec, firing: int) -> float:
+        jitter = 0.0
+        if job.jitter > 0.0:
+            rng = random.Random(mix(self._seed, "svc-jitter", job.name, firing))
+            jitter = rng.uniform(0.0, job.jitter)
+        return self._epoch + job.offset + firing * job.period + jitter
+
+    def _resume_counters(self) -> "dict[str, int]":
+        """Rebuild firing counters from the store manifest (the checkpoint).
+
+        A sweep round is complete when all four campaign labels are
+        present; a reprobe round when any ``reprobe-*`` label is.  Rounds
+        matching neither were interrupted mid-ingest: they are reported,
+        never deleted, and never recounted (fresh rounds get fresh ids).
+        """
+        sweeps = 0
+        reprobes = 0
+        store = self._store
+        for round_id in store.rounds():
+            labels = set(store.labels(round_id))
+            if labels.issuperset(SCAN_LABELS):
+                sweeps += 1
+            elif any(
+                label.startswith(REPROBE_LABEL_PREFIX) for label in labels
+            ):
+                reprobes += 1
+            else:
+                self.incomplete_rounds.append(round_id)
+        completed = {"sweep": sweeps, "reprobe": reprobes}
+        return {job.name: completed[job.kind] for job in self._jobs}
+
+    # -- loop --------------------------------------------------------------
+
+    def request_stop(self) -> None:
+        """Graceful drain: finish the in-flight job, then exit the loop."""
+        self._stop_requested = True
+
+    def _wait_until(self, due: float) -> None:
+        now = self._clock.now()
+        if due <= now:
+            return
+        if isinstance(self._clock, ManualClock):
+            self._clock.advance(due - now)
+            return
+        if self._waiter is None:
+            raise ValueError(
+                "a non-manual clock requires a waiter callable "
+                "(e.g. time.sleep) to block between jobs"
+            )
+        self._waiter(due - now)
+
+    def run(
+        self,
+        *,
+        max_runs: "int | None" = None,
+        until: "float | None" = None,
+    ) -> "list[JobRun]":
+        """Drive the loop until a bound is hit or a stop is requested.
+
+        ``max_runs`` bounds completed firings this call; ``until`` stops
+        before any job whose due time exceeds it (clock time).  Returns
+        the :class:`JobRun` records appended by this call.
+        """
+        if max_runs is None and until is None:
+            raise ValueError("bound the loop with max_runs and/or until")
+        completed = 0
+        before = len(self.runs)
+        while self._heap and not self._stop_requested:
+            if max_runs is not None and completed >= max_runs:
+                break
+            due, index, firing = self._heap[0]
+            if until is not None and due > until:
+                break
+            heapq.heappop(self._heap)
+            job = self._jobs[index]
+            self._wait_until(due)
+            started = self._clock.now()
+            round_id, rows, targets, fingerprint = self._execute(job, firing)
+            finished = self._clock.now()
+            self._firings[job.name] = firing + 1
+            # Overlap suppression: drop firings whose slot passed while
+            # this one ran; rejoin at the next strictly future slot.
+            next_firing = firing + 1
+            skipped = 0
+            while True:
+                next_due = self._due(job, next_firing)
+                if next_due >= finished:
+                    break
+                next_firing += 1
+                skipped += 1
+            self.runs.append(
+                JobRun(
+                    job=job.name,
+                    kind=job.kind,
+                    firing=firing,
+                    due=due,
+                    started=started,
+                    finished=finished,
+                    round_id=round_id,
+                    rows=rows,
+                    targets=targets,
+                    skipped_firings=skipped,
+                    fingerprint=fingerprint,
+                )
+            )
+            heapq.heappush(self._heap, (next_due, index, next_firing))
+            completed += 1
+        return self.runs[before:]
+
+    # -- job execution -----------------------------------------------------
+
+    def _execute(
+        self, job: JobSpec, firing: int
+    ) -> "tuple[int | None, int, int, str]":
+        if job.kind == "sweep":
+            return self._run_sweep()
+        return self._run_reprobe(firing)
+
+    def _run_sweep(self) -> "tuple[int, int, int, str]":
+        store = self._store
+        round_id = store.next_round_id()
+        result = self._session.run_campaign(round_id=round_id)
+        rows = sum(len(scan.observations) for scan in result.scans.values())
+        targets = sum(scan.targets_probed for scan in result.scans.values())
+        fingerprint = segment_fingerprint(store.segment_paths(round_id))
+        return round_id, rows, targets, fingerprint.hex()
+
+    def _churn_targets(self) -> "list[IPAddress]":
+        """Addresses worth a re-probe: latest-round reboots + churn."""
+        acc = self._store.timelines()
+        if not acc.folded_rounds:
+            return []
+        last = acc.folded_rounds[-1]
+        targets: set[IPAddress] = set()
+        for device in acc.timelines.values():
+            members = device.members.get(last)
+            if members and any(
+                event.round_id == last for event in device.reboot_events
+            ):
+                targets.update(members)
+        for diff in acc.diffs:
+            if diff.next_round == last:
+                targets.update(diff.born)
+                targets.update(diff.moved)
+        return sorted(targets, key=lambda a: (a.version, int(a)))
+
+    def _run_reprobe(self, firing: int) -> "tuple[int, int, int, str]":
+        """Scan the churned population; always ingests a round (possibly
+        empty) so the manifest checkpoint counts this firing."""
+        store = self._store
+        targets = self._churn_targets()
+        round_id = store.next_round_id()
+        # Virtual probe time advances per firing so the world keeps aging
+        # deterministically between re-probes.
+        start = _REPROBE_EPOCH + 3_600.0 * (firing + 1)
+        rows = 0
+        ingested = False
+        for version in (4, 6):
+            family = [a for a in targets if a.version == version]
+            if not family:
+                continue
+            scan = self._session.run_targeted(
+                family,
+                label=f"{REPROBE_LABEL_PREFIX}-v{version}",
+                ip_version=version,
+                start_time=start,
+            )
+            store.ingest_result(scan, round_id=round_id)
+            ingested = True
+            rows += len(scan.observations)
+        if not ingested:
+            # A quiet network still checkpoints: an empty reprobe scan
+            # keeps resume counters exact across crashes.
+            store.ingest_scan(
+                [],
+                round_id=round_id,
+                label=f"{REPROBE_LABEL_PREFIX}-v4",
+                ip_version=4,
+                started_at=start,
+                finished_at=start,
+            )
+        fingerprint = segment_fingerprint(store.segment_paths(round_id))
+        return round_id, rows, len(targets), fingerprint.hex()
+
+    # -- reporting ---------------------------------------------------------
+
+    def summary(self) -> dict:
+        """JSON-safe roll-up of everything this scheduler instance ran."""
+        per_job: dict[str, dict] = {}
+        for job in self._jobs:
+            runs = [run for run in self.runs if run.job == job.name]
+            per_job[job.name] = {
+                "kind": job.kind,
+                "period": job.period,
+                "completed": len(runs),
+                "next_firing": self._firings[job.name],
+                "skipped_firings": sum(r.skipped_firings for r in runs),
+                "rows": sum(r.rows for r in runs),
+            }
+        return {
+            "seed": self._seed,
+            "epoch": self._epoch,
+            "clock": self._clock.now(),
+            "runs": len(self.runs),
+            "incomplete_rounds": list(self.incomplete_rounds),
+            "jobs": per_job,
+        }

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import json
 import os
+import time
 from dataclasses import dataclass
 from itertools import islice
 from pathlib import Path
@@ -67,6 +68,10 @@ SEGMENT_DIR = "segments"
 #: Rows per segment part during ingest; scans larger than this split
 #: into multiple parts (which ``compact()`` later merges).
 DEFAULT_SEGMENT_ROWS = 65536
+
+#: Bounded re-reads of ``MANIFEST.json`` when a concurrent atomic swap
+#: briefly hides or truncates it (filesystems without atomic rename).
+MANIFEST_READ_ATTEMPTS = 8
 
 
 class StoreError(ValueError):
@@ -144,13 +149,21 @@ class Store:
         if self._manifest_path.exists():
             self._manifest = self._load_manifest()
         else:
-            self._manifest = {
+            fresh = {
                 "format": STORE_FORMAT,
                 "version": STORE_VERSION,
                 "generation": 0,
                 "rounds": {},
             }
-            self._write_manifest()
+            try:
+                # Exclusive create: if another opener (or a swap window on
+                # a filesystem without atomic rename) beat us to it, adopt
+                # the existing manifest instead of clobbering it.
+                with open(self._manifest_path, "x", encoding="utf-8") as f:
+                    f.write(json.dumps(fresh, sort_keys=True, indent=2) + "\n")
+                self._manifest = fresh
+            except FileExistsError:
+                self._manifest = self._load_manifest()
         self._readers: dict[str, SegmentReader] = {}
         self._timeline_acc: "TimelineAccumulator | None" = None
         self._index: "StoreIndex | None" = None
@@ -163,14 +176,35 @@ class Store:
     # -- manifest ----------------------------------------------------------
 
     def _load_manifest(self) -> dict:
-        manifest = json.loads(self._manifest_path.read_text(encoding="utf-8"))
-        if manifest.get("format") != STORE_FORMAT:
-            raise StoreError(f"{self.root} is not a repro store")
-        if manifest.get("version") != STORE_VERSION:
-            raise StoreError(
-                f"unsupported store version {manifest.get('version')}"
-            )
-        return manifest
+        """Read and validate ``MANIFEST.json``, riding out swap windows.
+
+        The manifest is replaced atomically (``os.replace``), so on POSIX
+        a reader always sees a complete old or new file.  Filesystems
+        without atomic rename can expose a brief ENOENT (or partial-read)
+        window during the swap; a bounded retry absorbs it instead of
+        failing a concurrent open/refresh.
+        """
+        last_error: "Exception | None" = None
+        for attempt in range(MANIFEST_READ_ATTEMPTS):
+            if attempt:
+                time.sleep(0.001 * attempt)
+            try:
+                text = self._manifest_path.read_text(encoding="utf-8")
+                manifest = json.loads(text)
+            except (FileNotFoundError, json.JSONDecodeError) as error:
+                last_error = error
+                continue
+            if manifest.get("format") != STORE_FORMAT:
+                raise StoreError(f"{self.root} is not a repro store")
+            if manifest.get("version") != STORE_VERSION:
+                raise StoreError(
+                    f"unsupported store version {manifest.get('version')}"
+                )
+            return manifest
+        raise StoreError(
+            f"manifest at {self._manifest_path} unreadable after "
+            f"{MANIFEST_READ_ATTEMPTS} attempts"
+        ) from last_error
 
     def _write_manifest(self) -> None:
         text = json.dumps(self._manifest, sort_keys=True, indent=2) + "\n"
@@ -181,6 +215,47 @@ class Store:
     def _next_generation(self) -> int:
         self._manifest["generation"] += 1
         return self._manifest["generation"]
+
+    @property
+    def generation(self) -> int:
+        """Monotonic manifest generation; bumps on every ingest/compaction."""
+        return int(self._manifest["generation"])
+
+    def refresh(self) -> bool:
+        """Re-read the manifest from disk, adopting concurrent writers.
+
+        Returns ``True`` when the on-disk generation differs from the
+        cached one.  On change, readers of segments no longer in the
+        catalogue are dropped and the index cache is discarded; the
+        timeline accumulator survives as long as every already-folded
+        round's scan set is unchanged (append-only stores only ever add
+        rounds/labels, so recurring refreshes stay incremental).
+        """
+        manifest = self._load_manifest()
+        if manifest["generation"] == self._manifest["generation"]:
+            return False
+        old_rounds = self._manifest["rounds"]
+        self._manifest = manifest
+        current = {
+            name
+            for rid in self.rounds()
+            for label in self.labels(rid)
+            for name in self._scan_entry(rid, label)["segments"]
+        }
+        for name in list(self._readers):
+            if name not in current:
+                del self._readers[name]
+        self._index = None
+        acc = self._timeline_acc
+        if acc is not None:
+            for rid in acc.folded_rounds:
+                entry = manifest["rounds"].get(str(rid))
+                if entry is None or set(entry) != set(
+                    old_rounds.get(str(rid), {})
+                ):
+                    self._timeline_acc = None
+                    break
+        return True
 
     def _scan_entry(self, round_id: int, label: str) -> dict:
         rounds = self._manifest["rounds"]

@@ -537,10 +537,14 @@ def _build_file_topology(
     node_vendor: dict[int, str],
     seed: int,
 ) -> Topology:
-    from repro.snmp.agent import SnmpAgent
-    from repro.snmp.engine_id import EngineId
+    from repro.oui.registry import default_registry
     from repro.topology import timeline
-    from repro.topology.generator import enterprise_for, sample_uptime
+    from repro.topology.generator import (
+        NIC_SUBSTITUTES,
+        derive_agent,
+        derive_engine_id,
+        derive_shared_populations,
+    )
     from repro.topology.lazy import mix
     from repro.topology.model import (
         AutonomousSystem,
@@ -551,6 +555,8 @@ def _build_file_topology(
 
     cfg = TopologyConfig(seed=seed)
     regions = list(Region)
+    registry = default_registry()
+    shared = derive_shared_populations(cfg)
     ases: dict[int, AutonomousSystem] = {}
     devices: dict[int, Device] = {}
     for node_id in sorted(nodes):
@@ -578,14 +584,30 @@ def _build_file_topology(
                     else ipaddress.ip_network("::/0")
                 ),
             )
-        uptime = sample_uptime(cfg, rng)
-        engine_id = EngineId.from_octets(
-            enterprise_for(vendor), bytes(rng.randrange(256) for __ in range(8))
+        # Agent state rides the generator's vendor-driven derivation so
+        # file worlds carry the same engine-ID format / uptime / boots
+        # mix the paper measures (Figures 5-6 stay meaningful); every
+        # draw comes from the per-node seeded stream, so a node's agent
+        # is still a pure function of ``(seed, node id)``.
+        nic_choices = NIC_SUBSTITUTES.get(vendor)
+        nic_vendor = (
+            nic_choices[rng.randrange(len(nic_choices))]
+            if nic_choices
+            else vendor
         )
-        agent = SnmpAgent(
-            engine_id=engine_id,
-            boot_time=timeline.SCAN1_V4_START - uptime,
-            engine_boots=1 + rng.randrange(5),
+        mac = registry.make_mac(
+            nic_vendor, rng.randrange(4), rng.randrange(1 << 20)
+        )
+        interfaces = [
+            Interface(address=a, mac=mac.successor(i))
+            for i, a in enumerate(addresses)
+        ]
+        engine_id = derive_engine_id(
+            cfg, rng, shared, vendor, DeviceType.ROUTER, mac, interfaces
+        )
+        agent, __extras = derive_agent(
+            cfg, rng, vendor, DeviceType.ROUTER, engine_id,
+            skew_sigma=cfg.router_skew_sigma,
         )
         devices[node_id] = Device(
             device_id=node_id,
@@ -593,7 +615,7 @@ def _build_file_topology(
             vendor=vendor,
             asn=asn,
             region=ases[asn].region,
-            interfaces=[Interface(address=a) for a in addresses],
+            interfaces=interfaces,
             agent=agent,
         )
         ases[asn].device_ids.append(node_id)

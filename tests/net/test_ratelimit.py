@@ -1,0 +1,72 @@
+"""Shared token-bucket module: behavior pinned for both former copies."""
+
+import pytest
+
+from repro.net import faults
+from repro.net.ratelimit import RateLimit, TokenBucket
+
+
+class TestRateLimit:
+    def test_rejects_non_positive_rate(self):
+        with pytest.raises(ValueError):
+            RateLimit(rate=0.0)
+
+    def test_rejects_sub_unit_burst(self):
+        with pytest.raises(ValueError):
+            RateLimit(rate=1.0, burst=0)
+
+    def test_accepts_float_burst(self):
+        limit = RateLimit(rate=50.0, burst=10.0)
+        assert limit.burst == 10.0
+
+
+class TestTokenBucket:
+    def test_starts_full_by_default(self):
+        bucket = TokenBucket(RateLimit(rate=1.0, burst=3), 0.0)
+        assert [bucket.admit(0.0) for _ in range(4)] == [True, True, True, False]
+
+    def test_explicit_initial_tokens(self):
+        bucket = TokenBucket(RateLimit(rate=1.0, burst=3), 0.0, tokens=1.0)
+        assert bucket.admit(0.0) is True
+        assert bucket.admit(0.0) is False
+
+    def test_refills_at_rate(self):
+        bucket = TokenBucket(RateLimit(rate=2.0, burst=1), 0.0)
+        assert bucket.admit(0.0) is True
+        assert bucket.admit(0.1) is False
+        assert bucket.admit(0.6) is True
+
+    def test_refill_caps_at_burst(self):
+        bucket = TokenBucket(RateLimit(rate=100.0, burst=2), 0.0)
+        assert bucket.admit(1_000.0) is True
+        assert bucket.admit(1_000.0) is True
+        assert bucket.admit(1_000.0) is False
+
+    def test_time_never_runs_backwards(self):
+        bucket = TokenBucket(RateLimit(rate=1.0, burst=1), 10.0)
+        assert bucket.admit(10.0) is True
+        # An earlier timestamp must not mint tokens.
+        assert bucket.admit(5.0) is False
+
+    def test_properties(self):
+        bucket = TokenBucket(RateLimit(rate=7.0, burst=3), 0.0)
+        assert bucket.rate == 7.0
+        assert bucket.burst == 3.0
+
+
+class TestReExports:
+    def test_faults_re_exports_shared_classes(self):
+        assert faults.RateLimit is RateLimit
+        assert faults.TokenBucket is TokenBucket
+
+    def test_alias_re_exports_shared_bucket(self):
+        from repro.alias import ratelimit as alias_ratelimit
+
+        assert alias_ratelimit.TokenBucket is TokenBucket
+        assert alias_ratelimit._TokenBucket is TokenBucket
+
+    def test_faults_profile_construction_unchanged(self):
+        profile = faults.FAULT_PROFILES["rate-limited"]
+        assert profile.rate_limit is not None
+        bucket = TokenBucket(profile.rate_limit, 0.0)
+        assert bucket.admit(0.0) is True

@@ -1,0 +1,123 @@
+"""Racing ``Store.open`` / ``refresh`` against concurrent manifest swaps."""
+
+import json
+import threading
+
+import pytest
+
+from repro.store import Store, StoreError
+from repro.store.store import MANIFEST_NAME
+
+from .conftest import make_obs, make_scan
+
+
+def _populate(root, *, rounds=2, parts=3):
+    """A store whose scans have multiple parts, so ``compact()`` rewrites."""
+    store = Store(root=root, segment_rows=4)
+    for round_id in range(1, rounds + 1):
+        base = 10_000.0 * round_id
+        observations = [
+            make_obs(f"10.{round_id}.0.{n + 1}", base + n, None)
+            for n in range(4 * parts)
+        ]
+        store.ingest_result(
+            make_scan("s-1", base, observations), round_id=round_id
+        )
+    return store
+
+
+class TestConcurrentOpen:
+    def test_open_races_compact(self, tmp_path):
+        """Openers during repeated ingest+compact never see a torn store."""
+        root = tmp_path / "store"
+        writer = _populate(root)
+        stop = threading.Event()
+        failures: list[BaseException] = []
+
+        def opener():
+            while not stop.is_set():
+                try:
+                    store = Store.open(root)
+                    rounds = store.rounds()
+                    assert rounds == sorted(rounds)
+                    for rid in rounds:
+                        assert store.labels(rid)
+                except BaseException as error:  # noqa: BLE001 - collected
+                    failures.append(error)
+                    return
+
+        threads = [threading.Thread(target=opener) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        try:
+            next_round = writer.next_round_id()
+            for _ in range(12):
+                base = 10_000.0 * next_round
+                observations = [
+                    make_obs(f"10.{next_round % 200}.1.{n + 1}", base + n, None)
+                    for n in range(12)
+                ]
+                writer.ingest_result(
+                    make_scan("s-1", base, observations), round_id=next_round
+                )
+                next_round += 1
+                writer.compact()
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join()
+        assert not failures, failures
+
+    def test_load_manifest_retries_through_enoent_window(self, tmp_path):
+        """A briefly-missing manifest is re-read, not a crash."""
+        root = tmp_path / "store"
+        store = _populate(root, rounds=1, parts=1)
+        manifest_path = root / MANIFEST_NAME
+        text = manifest_path.read_text(encoding="utf-8")
+        manifest_path.unlink()
+
+        def restore():
+            manifest_path.write_text(text, encoding="utf-8")
+
+        timer = threading.Timer(0.002, restore)
+        timer.start()
+        try:
+            assert store.refresh() is False
+        finally:
+            timer.cancel()
+            timer.join()
+
+    def test_load_manifest_gives_up_after_bounded_retries(self, tmp_path):
+        root = tmp_path / "store"
+        store = _populate(root, rounds=1, parts=1)
+        (root / MANIFEST_NAME).unlink()
+        with pytest.raises(StoreError, match="unreadable"):
+            store.refresh()
+
+    def test_refresh_adopts_concurrent_writes(self, tmp_path):
+        root = tmp_path / "store"
+        writer = _populate(root, rounds=1)
+        reader = Store.open(root)
+        generation = reader.generation
+        assert reader.refresh() is False
+
+        base = 20_000.0
+        observations = [make_obs(f"10.2.0.{n + 1}", base + n, None) for n in range(6)]
+        writer.ingest_result(make_scan("s-1", base, observations), round_id=2)
+        writer.compact()
+
+        assert reader.refresh() is True
+        assert reader.generation > generation
+        assert reader.rounds() == [1, 2]
+        # The adopted catalogue is fully readable (no stale readers).
+        total = sum(1 for _ in reader.observations())
+        assert total == sum(1 for _ in writer.observations())
+
+    def test_exclusive_create_does_not_clobber(self, tmp_path):
+        root = tmp_path / "store"
+        writer = _populate(root, rounds=1)
+        manifest = json.loads((root / MANIFEST_NAME).read_text(encoding="utf-8"))
+        # A second opener of the same root adopts, never resets, the state.
+        other = Store.open(root)
+        assert other.generation == manifest["generation"]
+        assert other.rounds() == writer.rounds()
